@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (asserting
+exact content, then timing the regeneration) or measures a quantitative
+claim the paper makes in prose (storage redundancy, baseline limitations,
+scalability of the inference).
+"""
+
+import pytest
+
+from repro.core import QueryEngine
+from repro.workloads.case_study import build_case_study, build_two_measure_case_study
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The paper's §2.1 case study."""
+    return build_case_study()
+
+
+@pytest.fixture(scope="session")
+def two_measure_study():
+    """The §5.2 turnover/profit variant (Table 12)."""
+    return build_two_measure_case_study()
+
+
+@pytest.fixture(scope="session")
+def mvft(case_study):
+    """The inferred MultiVersion fact table."""
+    return case_study.schema.multiversion_facts()
+
+
+@pytest.fixture(scope="session")
+def engine(mvft):
+    """Query engine over the case study."""
+    return QueryEngine(mvft)
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    """A seeded synthetic workload for scalability probes."""
+    return generate_workload(
+        WorkloadConfig(seed=42, n_years=5, n_departments=20)
+    )

@@ -1,0 +1,152 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* mapping-route search cost vs chain length (transform chains compose
+  linear functions; longer lineages cost more to route);
+* materialized aggregate lattice vs on-the-fly query execution;
+* dimension lowering layouts: star vs snowflake vs parent-child.
+"""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    LevelGroup,
+    MappingCatalog,
+    Measure,
+    MemberVersion,
+    Query,
+    QueryEngine,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    TimeGroup,
+    YEAR,
+    identity_maps,
+    MappingRelationship,
+)
+from repro.core.chronology import YEAR as YEAR_GRAN
+from repro.logical import lower_parent_child, lower_snowflake, lower_star
+from repro.olap import AggregateLattice
+from repro.storage import Database
+
+
+@pytest.mark.parametrize("chain_length", [1, 4, 8])
+def test_bench_route_search_vs_chain_length(benchmark, chain_length):
+    """A member renamed k times: routing composes k identity maps."""
+    catalog = MappingCatalog(measures=["m"])
+    for i in range(chain_length):
+        catalog.add(
+            MappingRelationship(
+                f"v{i}", f"v{i+1}",
+                forward=identity_maps(["m"]),
+                reverse=identity_maps(["m"]),
+            )
+        )
+
+    routes = benchmark(
+        catalog.routes, "v0", {f"v{chain_length}"}, max_hops=chain_length
+    )
+    assert len(routes) == 1
+    assert routes[0].hops == chain_length
+
+
+def _lattice_workload():
+    from repro.workloads.generator import WorkloadConfig, generate_workload
+
+    return generate_workload(WorkloadConfig(seed=77, n_years=4, n_departments=15))
+
+
+def test_bench_lattice_build(benchmark):
+    mvft = _lattice_workload().schema.multiversion_facts()
+    lattice = benchmark.pedantic(
+        AggregateLattice, args=(mvft,), rounds=3, iterations=1
+    )
+    assert lattice.cell_count() > 0
+
+
+def test_bench_lattice_hit_vs_engine(benchmark):
+    """Answering a grouped total from the lattice vs re-running the query."""
+    mvft = _lattice_workload().schema.multiversion_facts()
+    lattice = AggregateLattice(mvft)
+    engine = QueryEngine(mvft)
+    query = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+    engine_result = engine.execute(query).as_dict()
+    sample_group = next(iter(engine_result))
+
+    def from_lattice():
+        return lattice.lookup(
+            "tcm", YEAR_GRAN, "org", "Division", "amount", sample_group
+        )
+
+    hit = benchmark(from_lattice)
+    assert hit is not None
+    assert hit[0] == engine_result[sample_group]["amount"]
+
+
+def _lowering_schema():
+    """A three-level dimension with a reclassification (two versions)."""
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("root", "Root", Interval(0), level="All"))
+    for i in range(4):
+        d.add_member(MemberVersion(f"g{i}", f"G{i}", Interval(0), level="Group"))
+        d.add_relationship(TemporalRelationship(f"g{i}", "root", Interval(0)))
+    for i in range(24):
+        d.add_member(MemberVersion(f"l{i}", f"L{i}", Interval(0), level="Leaf"))
+        d.add_relationship(
+            TemporalRelationship(f"l{i}", f"g{i % 4}", Interval(0))
+        )
+    schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+    manager = EvolutionManager(schema)
+    manager.reclassify_member(
+        "org", "l0", 10, old_parents=["g0"], new_parents=["g1"]
+    )
+    return schema
+
+
+@pytest.mark.parametrize("layout", ["star", "snowflake", "parent_child"])
+def test_bench_dimension_lowering(benchmark, layout):
+    schema = _lowering_schema()
+    versions = schema.structure_versions()
+    lowerer = {
+        "star": lower_star,
+        "snowflake": lower_snowflake,
+        "parent_child": lower_parent_child,
+    }[layout]
+
+    def lower():
+        return lowerer(Database(), schema, versions, "org")
+
+    result = benchmark(lower)
+    assert result  # a table or a dict of tables
+    if layout == "star":
+        print(f"\nstar rows: {len(result)}")
+    elif layout == "parent_child":
+        print(f"\nparent-child rows: {len(result)}")
+    else:
+        total = sum(len(t) for t in result.values())
+        print(f"\nsnowflake rows across {len(result)} tables: {total}")
+
+
+@pytest.mark.parametrize("layout", ["star", "snowflake"])
+def test_bench_relational_query_by_layout(benchmark, layout):
+    """Grouped-total latency over the two queryable §5.1 layouts.
+
+    The star answers from one denormalized row per leaf; the snowflake
+    walks the rollup edges — slower, but the only layout faithful to
+    multiple hierarchies.
+    """
+    from repro.warehouse import MultiVersionDataWarehouse
+    from repro.workloads.generator import WorkloadConfig, generate_workload
+
+    wl = generate_workload(WorkloadConfig(seed=55, n_years=4, n_departments=15))
+    mvft = wl.schema.multiversion_facts()
+    dw = MultiVersionDataWarehouse.build(mvft, layouts=("star", "snowflake"))
+    query = {
+        "star": dw.query_level_totals,
+        "snowflake": dw.query_level_totals_snowflake,
+    }[layout]
+
+    rows = benchmark(query, "tcm", "org", "Division", "amount")
+    assert rows

@@ -1,0 +1,41 @@
+"""Example 5 — the confidence-factor truth table ``⊗cf``.
+
+Regenerates the full table and times folding long confidence sequences
+(what every aggregated cube cell pays).
+"""
+
+from repro.core import CANONICAL_FACTORS, DEFAULT_AGGREGATOR
+
+PAPER_TRUTH_TABLE = {
+    ("sd", "sd"): "sd", ("sd", "em"): "em", ("sd", "am"): "am", ("sd", "uk"): "uk",
+    ("em", "sd"): "em", ("em", "em"): "em", ("em", "am"): "am", ("em", "uk"): "uk",
+    ("am", "sd"): "am", ("am", "em"): "am", ("am", "am"): "am", ("am", "uk"): "uk",
+    ("uk", "sd"): "uk", ("uk", "em"): "uk", ("uk", "am"): "uk", ("uk", "uk"): "uk",
+}
+
+
+def regenerate_table():
+    return {
+        (a.symbol, b.symbol): DEFAULT_AGGREGATOR.combine(a, b).symbol
+        for a in CANONICAL_FACTORS
+        for b in CANONICAL_FACTORS
+    }
+
+
+def test_bench_example_5_truth_table(benchmark):
+    table = benchmark(regenerate_table)
+    assert table == PAPER_TRUTH_TABLE
+    print("\nExample 5 — ⊗cf truth table:")
+    symbols = [f.symbol for f in CANONICAL_FACTORS]
+    print("⊗cf  " + "  ".join(f"{s:<3}" for s in symbols))
+    for a in symbols:
+        row = "  ".join(f"{table[(a, b)]:<3}" for b in symbols)
+        print(f"{a:<4} {row}")
+
+
+def test_bench_confidence_fold(benchmark):
+    """Folding ⊗cf over a long contribution stream (deep aggregations)."""
+    stream = [CANONICAL_FACTORS[i % 3] for i in range(10_000)]  # sd/em/am mix
+
+    result = benchmark(DEFAULT_AGGREGATOR.combine_all, stream)
+    assert result.symbol == "am"

@@ -1,0 +1,28 @@
+"""Figure 2 — the Org dimension as a valid-time directed graph.
+
+Member versions are nodes annotated with valid times, temporal
+relationships are arcs annotated with theirs.
+"""
+
+from repro.olap import render_dimension_graph
+
+
+EXPECTED_FRAGMENTS = [
+    "Dpt.Jones [01/2001 ; 12/2002]",
+    "-[01/2001 ; 12/2002]-> Sales",
+    "Dpt.Bill [01/2003 ; Now]",
+    "-[01/2003 ; Now]-> Sales",
+    "Dpt.Paul [01/2003 ; Now]",
+    "Sales [01/2001 ; Now]",
+    "Dpt.Smith [01/2001 ; Now]",
+    "-[01/2001 ; 12/2001]-> Sales",
+    "-[01/2002 ; Now]-> R&D",
+]
+
+
+def test_bench_figure_2_dimension_graph(benchmark, case_study):
+    text = benchmark(render_dimension_graph, case_study.org)
+    for fragment in EXPECTED_FRAGMENTS:
+        assert fragment in text, fragment
+    print("\nFigure 2 — the Org dimension:")
+    print(text)

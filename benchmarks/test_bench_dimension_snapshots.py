@@ -1,0 +1,38 @@
+"""Tables 1, 2 and 7 — the Organization dimension in 2001, 2002, 2003.
+
+Regenerates each snapshot from the temporal dimension (``D(t)``) and
+checks it cell-for-cell against the paper before timing the regeneration.
+"""
+
+import pytest
+
+from repro.workloads.case_study import organization_table
+
+PAPER_TABLES = {
+    2001: {  # Table 1
+        ("Sales", "Dpt.Jones"),
+        ("Sales", "Dpt.Smith"),
+        ("R&D", "Dpt.Brian"),
+    },
+    2002: {  # Table 2 — Smith reorganized into R&D
+        ("Sales", "Dpt.Jones"),
+        ("R&D", "Dpt.Smith"),
+        ("R&D", "Dpt.Brian"),
+    },
+    2003: {  # Table 7 — Jones split into Bill and Paul
+        ("Sales", "Dpt.Bill"),
+        ("Sales", "Dpt.Paul"),
+        ("R&D", "Dpt.Smith"),
+        ("R&D", "Dpt.Brian"),
+    },
+}
+
+
+@pytest.mark.parametrize("year", sorted(PAPER_TABLES))
+def test_bench_organization_snapshot(benchmark, case_study, year):
+    rows = benchmark(organization_table, case_study, year)
+    assert rows == PAPER_TABLES[year]
+    print(f"\nTable ({year}) — Organization dimension:")
+    print(f"{'Division':<10}Department")
+    for division, department in sorted(rows):
+        print(f"{division:<10}{department}")

@@ -1,0 +1,36 @@
+"""MVQL front-end costs: parse, compile and execute.
+
+Not a paper table — MVQL is this repository's front-end extension (in the
+spirit of the TOLAP language cited in §2.2) — but its overhead relative
+to programmatic queries is worth tracking.
+"""
+
+from repro.mvql import MVQLSession, parse
+
+Q2_TEXT = (
+    "SELECT amount BY year, org.Department IN MODE V2 DURING 2002..2003"
+)
+
+
+def test_bench_mvql_parse(benchmark):
+    stmt = benchmark(parse, Q2_TEXT)
+    assert stmt.mode == "V2"
+
+
+def test_bench_mvql_execute(benchmark, mvft):
+    session = MVQLSession(mvft)
+
+    result = benchmark(session.execute, Q2_TEXT)
+    assert result.as_dict()[("2003", "Dpt.Jones")]["amount"] == 200.0
+
+
+def test_bench_mvql_vs_programmatic(benchmark, mvft, engine):
+    """The language layer's overhead on top of the engine."""
+    session = MVQLSession(mvft)
+    programmatic = session.compile_select(parse(Q2_TEXT))
+
+    def run_programmatic():
+        return engine.execute(programmatic)
+
+    result = benchmark(run_programmatic)
+    assert len(result) == 6

@@ -1,0 +1,90 @@
+"""Table 11 — simple and complex operations translated into sequences of
+the four basic operators.
+
+Each benchmark builds a fresh schema, applies one operation through the
+EvolutionManager and checks the emitted basic-operator sequence against
+the paper's translation, printing the paper-style renderings.
+"""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+
+
+def fresh_manager():
+    d = TemporalDimension("Org")
+    d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+    for mvid in ("idV", "idV1", "idV2"):
+        d.add_member(MemberVersion(mvid, mvid[2:], Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship(mvid, "idP1", Interval(0)))
+    schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+    return EvolutionManager(schema)
+
+
+def run_creation(manager):
+    return manager.create_member("Org", "idNew", "V", 10, parents=["idP1"])
+
+
+def run_change(manager):
+    return manager.transform_member("Org", "idV", "idV'", "V'", 10)
+
+
+def run_merge(manager):
+    return manager.merge_members(
+        "Org", ["idV1", "idV2"], "idV12", "V12", 10,
+        reverse_shares={"idV1": 0.5, "idV2": None},
+    )
+
+
+def run_increase(manager):
+    return manager.increase_member("Org", "idV", "idV+", "V+", 10, factor=2.0)
+
+
+def run_partial_annexation(manager):
+    return manager.partial_annexation(
+        "Org", "idV1", "idV2", ("idV1-", "V1-"), ("idV2+", "V2+"), 10,
+        donated_fraction=0.1,
+        acceptor_reverse_factor=0.8,
+        donated_share_of_acceptor=0.2,
+    )
+
+
+CASES = {
+    "creation": (run_creation, ["Insert"]),
+    "change": (run_change, ["Exclude", "Insert", "Associate"]),
+    "merge": (
+        run_merge,
+        ["Exclude", "Exclude", "Insert", "Associate", "Associate"],
+    ),
+    "increase": (run_increase, ["Exclude", "Insert", "Associate"]),
+    "partial_annexation": (
+        run_partial_annexation,
+        [
+            "Exclude", "Exclude", "Insert", "Insert",
+            "Associate", "Associate", "Associate",
+        ],
+    ),
+}
+
+
+@pytest.mark.parametrize("operation", sorted(CASES))
+def test_bench_operation_translation(benchmark, operation):
+    run, expected_sequence = CASES[operation]
+
+    def apply():
+        return run(fresh_manager())
+
+    result = benchmark(apply)
+    assert [r.operator for r in result.records] == expected_sequence
+    print(f"\nTable 11 — {operation}:")
+    for line in result.renderings():
+        print(f"  - {line}")

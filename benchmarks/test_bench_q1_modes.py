@@ -1,0 +1,45 @@
+"""Tables 4, 5 and 6 — query Q1 (total amount by year and division) under
+its three interpretations: consistent time, mapped on the 2001
+organization, mapped on the 2002 organization.
+"""
+
+import pytest
+
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+from repro.workloads.case_study import ORG
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+
+PAPER_RESULTS = {
+    "tcm": {  # Table 4 — consistent time
+        ("2001", "Sales"): 150.0,
+        ("2001", "R&D"): 100.0,
+        ("2002", "Sales"): 100.0,
+        ("2002", "R&D"): 150.0,
+    },
+    "V1": {  # Table 5 — mapped on the 2001 organization
+        ("2001", "Sales"): 150.0,
+        ("2001", "R&D"): 100.0,
+        ("2002", "Sales"): 200.0,
+        ("2002", "R&D"): 50.0,
+    },
+    "V2": {  # Table 6 — mapped on the 2002 organization
+        ("2001", "Sales"): 100.0,
+        ("2001", "R&D"): 150.0,
+        ("2002", "Sales"): 100.0,
+        ("2002", "R&D"): 150.0,
+    },
+}
+TABLE_NUMBER = {"tcm": 4, "V1": 5, "V2": 6}
+
+
+@pytest.mark.parametrize("mode", ["tcm", "V1", "V2"])
+def test_bench_q1(benchmark, engine, mode):
+    result = benchmark(engine.execute, Q1.with_mode(mode))
+    got = {group: cells["amount"] for group, cells in result.as_dict().items()}
+    assert got == PAPER_RESULTS[mode]
+    print(f"\nTable {TABLE_NUMBER[mode]} — Q1 in mode {mode}:")
+    print(result.to_text())

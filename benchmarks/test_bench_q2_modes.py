@@ -1,0 +1,65 @@
+"""Tables 8, 9 and 10 — query Q2 (total amounts per department, 2002-03)
+under its three interpretations, including the confidence tags the paper
+discusses (exact merge back to Dpt.Jones, approximated 40/60 split).
+"""
+
+import pytest
+
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+from repro.workloads.case_study import ORG
+
+Q2 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+    time_range=Interval(ym(2002, 1), ym(2003, 12)),
+)
+
+PAPER_RESULTS = {
+    "tcm": {  # Table 8 — consistent time
+        ("2002", "Dpt.Jones"): 100.0,
+        ("2002", "Dpt.Smith"): 100.0,
+        ("2002", "Dpt.Brian"): 50.0,
+        ("2003", "Dpt.Bill"): 150.0,
+        ("2003", "Dpt.Paul"): 50.0,
+        ("2003", "Dpt.Smith"): 110.0,
+        ("2003", "Dpt.Brian"): 40.0,
+    },
+    "V2": {  # Table 9 — mapped on the 2002 organization
+        ("2002", "Dpt.Jones"): 100.0,
+        ("2002", "Dpt.Smith"): 100.0,
+        ("2002", "Dpt.Brian"): 50.0,
+        ("2003", "Dpt.Jones"): 200.0,
+        ("2003", "Dpt.Smith"): 110.0,
+        ("2003", "Dpt.Brian"): 40.0,
+    },
+    "V3": {  # Table 10 — mapped on the 2003 organization (40 %/60 %)
+        ("2002", "Dpt.Bill"): 40.0,
+        ("2002", "Dpt.Paul"): 60.0,
+        ("2002", "Dpt.Smith"): 100.0,
+        ("2002", "Dpt.Brian"): 50.0,
+        ("2003", "Dpt.Bill"): 150.0,
+        ("2003", "Dpt.Paul"): 50.0,
+        ("2003", "Dpt.Smith"): 110.0,
+        ("2003", "Dpt.Brian"): 40.0,
+    },
+}
+TABLE_NUMBER = {"tcm": 8, "V2": 9, "V3": 10}
+
+EXPECTED_CONFIDENCES = {
+    ("V2", "2003", "Dpt.Jones"): "em",  # exact merge of Bill+Paul
+    ("V3", "2002", "Dpt.Bill"): "am",   # approximated 40 % estimate
+    ("V3", "2002", "Dpt.Paul"): "am",   # approximated 60 % estimate
+    ("V3", "2003", "Dpt.Bill"): "sd",   # source data
+}
+
+
+@pytest.mark.parametrize("mode", ["tcm", "V2", "V3"])
+def test_bench_q2(benchmark, engine, mode):
+    result = benchmark(engine.execute, Q2.with_mode(mode))
+    got = {group: cells["amount"] for group, cells in result.as_dict().items()}
+    assert got == pytest.approx(PAPER_RESULTS[mode])
+    confidences = result.confidences()
+    for (m, year, dept), expected in EXPECTED_CONFIDENCES.items():
+        if m == mode:
+            assert confidences[(year, dept)]["amount"] == expected
+    print(f"\nTable {TABLE_NUMBER[mode]} — Q2 in mode {mode}:")
+    print(result.to_text())

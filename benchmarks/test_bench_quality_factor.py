@@ -1,0 +1,39 @@
+"""§5.2 — the global quality factor Q and per-mode ranking.
+
+``Q = Σ pds(fb(i,j)) / (Ni·Nj·10)``: the user weighs each confidence and
+picks the best temporal mode of presentation for their request.
+"""
+
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, rank_modes, ym
+from repro.workloads.case_study import ORG
+
+Q2 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+    time_range=Interval(ym(2002, 1), ym(2003, 12)),
+)
+
+
+def test_bench_quality_ranking(benchmark, engine):
+    ranked = benchmark(rank_modes, engine, Q2)
+    scores = {label: q for label, q, _ in ranked}
+    # Consistent data is pure source data: Q = 1.
+    assert scores["tcm"] == 1.0
+    # V2 only needs the exact merge (em); V3 needs the approximated split.
+    assert scores["V2"] > scores["V3"]
+    assert ranked[0][0] == "tcm"
+    print("\n§5.2 — quality factor per temporal mode (Q2, default weights):")
+    for label, q, _ in ranked:
+        print(f"  {label:<4} Q = {q:.3f}")
+
+
+def test_bench_quality_custom_weights(benchmark, engine):
+    """A user who distrusts anything mapped (em weight 2) widens the gap."""
+    weights = {"sd": 10, "em": 2, "am": 1, "uk": 0}
+
+    ranked = benchmark(rank_modes, engine, Q2, weights)
+    scores = {label: q for label, q, _ in ranked}
+    assert scores["tcm"] == 1.0
+    assert scores["V2"] < 1.0
+    print("\n§5.2 — quality with mapping-averse weights:")
+    for label, q, _ in ranked:
+        print(f"  {label:<4} Q = {q:.3f}")

@@ -1,0 +1,35 @@
+"""Definition 9 / Example 7 — structure-version inference.
+
+Checks the case study's three versions (the paper's Example 7 plus the
+Smith reclassification) and measures how inference scales with history
+length on synthetic workloads.
+"""
+
+import pytest
+
+from repro.core import Interval, NOW, ym
+from repro.core.versions import infer_structure_versions
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+def test_bench_case_study_versions(benchmark, case_study):
+    versions = benchmark(infer_structure_versions, case_study.schema)
+    assert [v.vsid for v in versions] == ["V1", "V2", "V3"]
+    assert versions[0].valid_time == Interval(ym(2001, 1), ym(2001, 12))
+    assert versions[1].valid_time == Interval(ym(2002, 1), ym(2002, 12))
+    assert versions[2].valid_time == Interval(ym(2003, 1), NOW)
+    print("\nExample 7 — structure versions of the case study:")
+    for v in versions:
+        leaves = sorted(v.leaf_ids("org"))
+        print(f"  {v.vsid}: {v.valid_time!r}  leaves={leaves}")
+
+
+@pytest.mark.parametrize("n_years", [3, 6, 9])
+def test_bench_inference_scaling(benchmark, n_years):
+    workload = generate_workload(
+        WorkloadConfig(seed=21, n_years=n_years, n_departments=15)
+    )
+    versions = benchmark(infer_structure_versions, workload.schema)
+    # One version per evolution year plus the initial one.
+    assert len(versions) == n_years
+    print(f"\n{n_years} years -> {len(versions)} structure versions")

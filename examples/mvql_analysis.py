@@ -1,0 +1,39 @@
+"""Analyst session in MVQL, the multiversion query language.
+
+Replays the §2.1 analysis conversationally: discover the modes, run Q1
+and Q2 under different interpretations, and let the quality factor pick
+the best presentation — all through textual statements, the way the
+paper's front-end tier exposes the model to end users.
+
+Run with::
+
+    python examples/mvql_analysis.py
+"""
+
+from repro.mvql import MVQLSession
+from repro.workloads.case_study import build_case_study
+
+SCRIPT = [
+    "SHOW MODES",
+    "SHOW VERSIONS",
+    "SHOW LEVELS org",
+    "SELECT amount BY year, org.Division DURING 2001..2002",
+    "SELECT amount BY year, org.Division DURING 2001..2002 IN MODE V1",
+    "SELECT amount BY year, org.Division DURING 2001..2002 IN MODE V2",
+    "SELECT amount BY year, org.Department DURING 2002..2003 IN MODE V3",
+    "RANK MODES FOR SELECT amount BY year, org.Department DURING 2002..2003",
+    "SELECT amount BY quarter, org.Division DURING 2002",
+]
+
+
+def main() -> None:
+    study = build_case_study()
+    session = MVQLSession(study.schema.multiversion_facts())
+    for statement in SCRIPT:
+        print(f"mvql> {statement}")
+        print(session.execute_to_text(statement))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a full reproduction of *Handling Evolutions in Multidimensional
+Structures* (Body, Miquel, Bédard, Tchounikine — ICDE 2003).
+
+The library implements the paper's temporal multidimensional model and the
+whole stack around it:
+
+* :mod:`repro.core` — the conceptual model: member versions, temporal
+  dimensions, mapping relationships with confidence factors, structure
+  versions, temporal modes of presentation, the MultiVersion fact table,
+  evolution operators and the multiversion query engine.
+* :mod:`repro.storage` — an in-memory relational engine (the warehouse
+  server substrate the paper ran on SQL Server 2000).
+* :mod:`repro.logical` — the §4 logical-level adaptation: TMP as a flat
+  dimension, confidence factors as measures, star/snowflake/parent-child
+  dimension lowerings and the FK-compatible Reclassify rewrite.
+* :mod:`repro.warehouse` — the §5 physical architecture: ETL, the Temporal
+  Data Warehouse, the MultiVersion Data Warehouse (full and delta storage)
+  and the metadata layer (mapping-relations table, evolution descriptions).
+* :mod:`repro.olap` — cube construction, OLAP operators (roll-up,
+  drill-down, slice, dice, pivot) and the confidence-coloured front end.
+* :mod:`repro.baselines` — Kimball SCD types 1/2/3, an updating
+  (map-to-latest) model and an Eder-Koncilia-style structure-version model
+  for the comparison benchmarks.
+* :mod:`repro.workloads` — the paper's exact case study plus seeded
+  synthetic evolution generators for scalability benches.
+
+Quick start::
+
+    from repro.workloads.case_study import build_case_study
+    from repro.core import Query, QueryEngine, TimeGroup, LevelGroup, YEAR
+
+    study = build_case_study()
+    engine = QueryEngine(study.schema.multiversion_facts())
+    q1 = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+    for mode, table in engine.execute_all_modes(q1).items():
+        print(mode, table.to_text(), sep="\\n")
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

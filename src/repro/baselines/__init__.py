@@ -1,0 +1,30 @@
+"""Baseline models the paper positions itself against (§1.2, §2.2).
+
+* :mod:`~repro.baselines.scd` — Kimball's SCD Types 1, 2 and 3;
+* :mod:`~repro.baselines.updating` — a destructive map-to-latest updating
+  model (Blaschka / Hurtado-Mendelzon-Vaisman family);
+* :mod:`~repro.baselines.eder_koncilia` — structure versions with
+  transformation matrices (COMET family);
+* :mod:`~repro.baselines.mendelzon_vaisman` — timestamped elements with
+  consistent/latest query modes (TOLAP family).
+
+The comparison benchmark replays the same evolution streams through each
+baseline and through the multiversion model and reports history
+retention, cross-version comparability, data loss and the number of
+available presentations.
+"""
+
+from .eder_koncilia import EKModel, EKStructureVersion
+from .mendelzon_vaisman import MVTemporalModel
+from .scd import SCDType1, SCDType2, SCDType3
+from .updating import UpdatingModel
+
+__all__ = [
+    "SCDType1",
+    "SCDType2",
+    "SCDType3",
+    "UpdatingModel",
+    "EKModel",
+    "EKStructureVersion",
+    "MVTemporalModel",
+]

@@ -1,0 +1,174 @@
+"""An Eder & Koncilia-style structure-version model (§2.2, [9]).
+
+Eder and Koncilia's COMET model keeps explicit structure versions and
+*transformation matrices* between temporally adjacent versions: entry
+``M[i][j]`` says what fraction of old member ``i``'s value flows to new
+member ``j``.  Mapping across non-adjacent versions multiplies the
+matrices along the chain.
+
+The model is a genuine precursor of the paper's mapping relationships —
+but, as §2.2 notes, it "neither takes schema evolution and time consistent
+presentation into account, nor considers complex dimension structures":
+there is no ``tcm`` mode, no confidence tagging, and only linear
+(matrix) conversions.  The comparison benchmark checks our model agrees
+with it on the linear cases and exceeds it everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.errors import ReproError
+
+__all__ = ["EKStructureVersion", "EKModel"]
+
+
+class EKError(ReproError):
+    """Raised on inconsistent Eder-Koncilia model usage."""
+
+
+@dataclass
+class EKStructureVersion:
+    """One structure version: an ordered list of member names."""
+
+    vsid: str
+    members: list[str]
+
+    def index(self, member: str) -> int:
+        """Position of a member in this version."""
+        try:
+            return self.members.index(member)
+        except ValueError:
+            raise EKError(
+                f"{member!r} is not a member of version {self.vsid!r}"
+            ) from None
+
+
+@dataclass
+class EKModel:
+    """Structure versions chained by transformation matrices."""
+
+    versions: list[EKStructureVersion] = field(default_factory=list)
+    # matrices[k] maps versions[k] values onto versions[k+1] members;
+    # reverse_matrices[k] maps versions[k+1] values back onto versions[k].
+    matrices: list[list[list[float]]] = field(default_factory=list)
+    reverse_matrices: list[list[list[float]]] = field(default_factory=list)
+
+    def add_version(
+        self,
+        vsid: str,
+        members: Sequence[str],
+        transformation: Mapping[str, Mapping[str, float]] | None = None,
+        reverse_transformation: Mapping[str, Mapping[str, float]] | None = None,
+    ) -> EKStructureVersion:
+        """Append a version.
+
+        ``transformation[old][new]`` gives the forward flow fraction from
+        the previous version (identity by default for members present in
+        both).  ``reverse_transformation[new][old]`` gives the backward
+        flow; when omitted it defaults to the *support indicator* of the
+        forward matrix — a new member's value reports fully to every old
+        member that fed it, which reproduces EK's split semantics (each
+        part of a split reports as-is into the old whole).  Merges, whose
+        natural backward flow is a proportional share, should pass the
+        reverse matrix explicitly.
+        """
+        version = EKStructureVersion(vsid, list(members))
+        if self.versions:
+            prev = self.versions[-1]
+            matrix = [[0.0] * len(version.members) for _ in prev.members]
+            spec = transformation or {}
+            for i, old in enumerate(prev.members):
+                if old in spec:
+                    for new, fraction in spec[old].items():
+                        matrix[i][version.index(new)] = fraction
+                elif old in version.members:
+                    matrix[i][version.index(old)] = 1.0
+                # else: the member disappears; its row stays zero (loss).
+            self.matrices.append(matrix)
+            reverse = [[0.0] * len(prev.members) for _ in version.members]
+            if reverse_transformation is not None:
+                for new, flows in reverse_transformation.items():
+                    j = version.index(new)
+                    for old, fraction in flows.items():
+                        reverse[j][prev.index(old)] = fraction
+            else:
+                for i in range(len(prev.members)):
+                    for j in range(len(version.members)):
+                        if matrix[i][j] > 0.0:
+                            reverse[j][i] = 1.0
+            self.reverse_matrices.append(reverse)
+        elif transformation or reverse_transformation:
+            raise EKError("the first version cannot have a transformation")
+        self.versions.append(version)
+        return version
+
+    def _version_index(self, vsid: str) -> int:
+        for i, v in enumerate(self.versions):
+            if v.vsid == vsid:
+                return i
+        raise EKError(f"unknown version {vsid!r}")
+
+    def _chain(self, start: int, end: int) -> list[list[float]]:
+        """Multiply transformation matrices from version ``start`` to
+        ``end`` (forward) or their transposes backwards."""
+        if start == end:
+            size = len(self.versions[start].members)
+            return [
+                [1.0 if i == j else 0.0 for j in range(size)] for i in range(size)
+            ]
+        if start < end:
+            matrix = self.matrices[start]
+            for k in range(start + 1, end):
+                matrix = _matmul(matrix, self.matrices[k])
+            return matrix
+        # Backwards: chain the explicit reverse matrices.
+        matrix = self.reverse_matrices[start - 1]
+        for k in range(start - 2, end - 1, -1):
+            matrix = _matmul(matrix, self.reverse_matrices[k])
+        return matrix
+
+    def map_vector(
+        self, values: Mapping[str, float], from_vsid: str, to_vsid: str
+    ) -> dict[str, float]:
+        """Convert a per-member value vector between two versions."""
+        start = self._version_index(from_vsid)
+        end = self._version_index(to_vsid)
+        matrix = self._chain(start, end)
+        src = self.versions[start]
+        dst = self.versions[end]
+        vector = [values.get(m, 0.0) for m in src.members]
+        out = [0.0] * len(dst.members)
+        for i, value in enumerate(vector):
+            for j in range(len(dst.members)):
+                out[j] += value * matrix[i][j]
+        return dict(zip(dst.members, out))
+
+    def lost_members(self, from_vsid: str, to_vsid: str) -> list[str]:
+        """Members of the source version whose value cannot reach the
+        target version at all (an all-zero row in the chained matrix)."""
+        start = self._version_index(from_vsid)
+        end = self._version_index(to_vsid)
+        matrix = self._chain(start, end)
+        src = self.versions[start]
+        return [
+            member
+            for i, member in enumerate(src.members)
+            if all(f == 0.0 for f in matrix[i])
+        ]
+
+
+def _matmul(a: list[list[float]], b: list[list[float]]) -> list[list[float]]:
+    rows, inner, cols = len(a), len(b), len(b[0]) if b else 0
+    if a and len(a[0]) != inner:
+        raise EKError("matrix dimensions do not match")
+    out = [[0.0] * cols for _ in range(rows)]
+    for i in range(rows):
+        for k in range(inner):
+            if a[i][k] == 0.0:
+                continue
+            for j in range(cols):
+                out[i][j] += a[i][k] * b[k][j]
+    return out
+

@@ -1,0 +1,178 @@
+"""A Mendelzon & Vaisman-style temporal OLAP baseline (§2.2, [15]).
+
+Their model timestamps the elements of the multidimensional database with
+valid times (exactly like the paper's member versions and temporal
+relationships) and lets TOLAP queries choose between a *temporally
+consistent* representation and the *latest version*, with transition
+links supporting merges and splits.
+
+What it does **not** provide — the gap §2.2 calls out — is "the means of
+reporting data in any other version than the latest one": there is no
+mode per past structure version, and no confidence tagging on mapped
+values.  The comparison benchmark counts the available presentations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+__all__ = ["MVTemporalModel"]
+
+
+class MVError(ReproError):
+    """Raised on inconsistent usage of the baseline."""
+
+
+@dataclass
+class _TimedElement:
+    start: int
+    end: int | None  # None == now
+
+    def valid_at(self, t: int) -> bool:
+        return self.start <= t and (self.end is None or t <= self.end)
+
+    @property
+    def current(self) -> bool:
+        return self.end is None
+
+
+@dataclass
+class _Member(_TimedElement):
+    name: str = ""
+
+
+@dataclass
+class _Rollup(_TimedElement):
+    child: str = ""
+    parent: str = ""
+
+
+@dataclass
+class _Fact:
+    member: str
+    t: int
+    amount: float
+
+
+@dataclass
+class MVTemporalModel:
+    """Timestamped dimension elements + consistent/latest query modes."""
+
+    members: dict[str, _Member] = field(default_factory=dict)
+    rollups: list[_Rollup] = field(default_factory=list)
+    links: list[tuple[str, str, float]] = field(default_factory=list)
+    facts: list[_Fact] = field(default_factory=list)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def add_member(self, member: str, start: int, end: int | None = None) -> None:
+        """Register a timestamped member."""
+        if member in self.members:
+            raise MVError(f"member {member!r} already exists")
+        self.members[member] = _Member(start=start, end=end, name=member)
+
+    def close_member(self, member: str, end: int) -> None:
+        """End a member's validity."""
+        self._member(member).end = end
+
+    def add_rollup(
+        self, child: str, parent: str, start: int, end: int | None = None
+    ) -> None:
+        """Register a timestamped rollup edge."""
+        self._member(child)
+        self._member(parent)
+        self.rollups.append(_Rollup(start=start, end=end, child=child, parent=parent))
+
+    def close_rollup(self, child: str, parent: str, end: int) -> None:
+        """End a rollup's validity."""
+        for rollup in self.rollups:
+            if rollup.child == child and rollup.parent == parent and rollup.end is None:
+                rollup.end = end
+                return
+        raise MVError(f"no open rollup {child!r} -> {parent!r}")
+
+    def link(self, old: str, new: str, weight: float) -> None:
+        """A transition link: ``weight`` of ``old``'s value flows to
+        ``new`` when data is mapped to the latest structure."""
+        self._member(old)
+        self._member(new)
+        self.links.append((old, new, weight))
+
+    def record_fact(self, member: str, t: int, amount: float) -> None:
+        """Record a fact against a member valid at ``t``."""
+        if not self._member(member).valid_at(t):
+            raise MVError(f"member {member!r} is not valid at {t}")
+        self.facts.append(_Fact(member, t, amount))
+
+    def _member(self, member: str) -> _Member:
+        try:
+            return self.members[member]
+        except KeyError:
+            raise MVError(f"unknown member {member!r}") from None
+
+    # -- queries ---------------------------------------------------------------
+
+    def _parent_at(self, member: str, t: int) -> str | None:
+        for rollup in self.rollups:
+            if rollup.child == member and rollup.valid_at(t):
+                return rollup.parent
+        return None
+
+    def totals_consistent(self, bucket) -> dict[tuple[object, str], float]:
+        """Totals per (bucket, parent) with each fact under the rollup
+        valid at its own time — TOLAP's temporally consistent mode."""
+        out: dict[tuple[object, str], float] = {}
+        for fact in self.facts:
+            parent = self._parent_at(fact.member, fact.t)
+            if parent is None:
+                continue
+            key = (bucket(fact.t), parent)
+            out[key] = out.get(key, 0.0) + fact.amount
+        return out
+
+    def _map_to_current(self, member: str, amount: float) -> list[tuple[str, float]]:
+        """Push a value through transition links until current members."""
+        if self._member(member).current:
+            return [(member, amount)]
+        out: list[tuple[str, float]] = []
+        for old, new, weight in self.links:
+            if old != member:
+                continue
+            out.extend(self._map_to_current(new, amount * weight))
+        return out  # empty when the lineage dead-ends: the value is lost
+
+    def totals_latest(self, bucket) -> dict[tuple[object, str], float]:
+        """Totals per (bucket, parent) with every fact mapped into the
+        *latest* structure — the only mapped mode the model offers."""
+        out: dict[tuple[object, str], float] = {}
+        for fact in self.facts:
+            for member, amount in self._map_to_current(fact.member, fact.amount):
+                parent = self._current_parent(member)
+                if parent is None:
+                    continue
+                key = (bucket(fact.t), parent)
+                out[key] = out.get(key, 0.0) + amount
+        return out
+
+    def _current_parent(self, member: str) -> str | None:
+        for rollup in self.rollups:
+            if rollup.child == member and rollup.current:
+                return rollup.parent
+        return None
+
+    # -- the §2.2 gap, measured ----------------------------------------------------
+
+    def available_presentations(self) -> int:
+        """Consistent + latest: exactly two, regardless of how many
+        structure versions history holds."""
+        return 2
+
+    def supports_past_version_mapping(self) -> bool:
+        """The model cannot report data in a *past* version's structure."""
+        return False
+
+    def supports_confidence_tagging(self) -> bool:
+        """Mapped values are indistinguishable from source values."""
+        return False

@@ -1,0 +1,216 @@
+"""Kimball's Slowly Changing Dimensions (§1.2) as comparison baselines.
+
+Three classic strategies for a dimension whose members change:
+
+* **Type 1** — overwrite the member row.  Queries always see the latest
+  structure; history is destroyed ("avoids the real goal, which is the
+  tracking of history").
+* **Type 2** — insert a new member row (new surrogate key) at each change.
+  History is tracked, but the versions are unlinked, so *comparisons
+  across the transitions cannot be made*.
+* **Type 3** — keep the change *inside* the member row (current + previous
+  attribute columns).  Links exist but only one step of history survives,
+  overlaps cannot be represented, and only attribute changes are handled.
+
+Each baseline exposes the same tiny API (``assign``, ``record_fact``,
+``totals_by_group``) plus the metrics the comparison benchmark reports:
+``history_retention`` and ``cross_version_comparability``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SCDType1", "SCDType2", "SCDType3"]
+
+
+@dataclass
+class _Fact:
+    member_key: str
+    t: int
+    amount: float
+
+
+class SCDType1:
+    """Overwrite-in-place: one row per member, no history."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, str] = {}
+        self._facts: list[_Fact] = []
+        self._overwrites = 0
+
+    def assign(self, member: str, group: str, t: int) -> None:
+        """Set (or overwrite) the member's group as of ``t``."""
+        if member in self._group_of and self._group_of[member] != group:
+            self._overwrites += 1
+        self._group_of[member] = group
+
+    def record_fact(self, member: str, t: int, amount: float) -> None:
+        """Record a fact against the member (keyed by natural key)."""
+        if member not in self._group_of:
+            raise KeyError(f"unknown member {member!r}")
+        self._facts.append(_Fact(member, t, amount))
+
+    def totals_by_group(self, bucket) -> dict[tuple[object, str], float]:
+        """Totals per (time bucket, group) — always the *latest* grouping,
+        whatever grouping held when the fact happened."""
+        out: dict[tuple[object, str], float] = {}
+        for f in self._facts:
+            key = (bucket(f.t), self._group_of[f.member_key])
+            out[key] = out.get(key, 0.0) + f.amount
+        return out
+
+    def history_retention(self) -> float:
+        """Fraction of past states still reconstructible: 0 once any
+        member has been overwritten."""
+        return 0.0 if self._overwrites else 1.0
+
+    def cross_version_comparability(self) -> float:
+        """Type 1 *can* compare across time (everything is forced into one
+        structure) — at the price of corrupting history."""
+        return 1.0
+
+
+@dataclass
+class _SCD2Row:
+    surrogate: int
+    member: str
+    group: str
+    valid_from: int
+    valid_to: int | None = None
+
+
+class SCDType2:
+    """Row-versioning: full history, no links across transitions."""
+
+    def __init__(self) -> None:
+        self._rows: list[_SCD2Row] = []
+        self._facts: list[_Fact] = []  # member_key = surrogate as str
+        self._next_surrogate = 1
+
+    def assign(self, member: str, group: str, t: int) -> None:
+        """Close the member's current row (if any) and open a new one."""
+        current = self._current_row(member)
+        if current is not None:
+            if current.group == group:
+                return  # no change
+            current.valid_to = t - 1
+        self._rows.append(
+            _SCD2Row(self._next_surrogate, member, group, valid_from=t)
+        )
+        self._next_surrogate += 1
+
+    def _current_row(self, member: str) -> _SCD2Row | None:
+        for row in reversed(self._rows):
+            if row.member == member and row.valid_to is None:
+                return row
+        return None
+
+    def _row_at(self, member: str, t: int) -> _SCD2Row | None:
+        for row in self._rows:
+            if row.member == member and row.valid_from <= t and (
+                row.valid_to is None or t <= row.valid_to
+            ):
+                return row
+        return None
+
+    def record_fact(self, member: str, t: int, amount: float) -> None:
+        """Record a fact against the member version valid at ``t``."""
+        row = self._row_at(member, t)
+        if row is None:
+            raise KeyError(f"no version of {member!r} valid at {t}")
+        self._facts.append(_Fact(str(row.surrogate), t, amount))
+
+    def totals_by_group(self, bucket) -> dict[tuple[object, str], float]:
+        """Totals per (bucket, group) in *consistent time*: each fact
+        stays with the grouping of its own version."""
+        by_surrogate = {str(r.surrogate): r for r in self._rows}
+        out: dict[tuple[object, str], float] = {}
+        for f in self._facts:
+            key = (bucket(f.t), by_surrogate[f.member_key].group)
+            out[key] = out.get(key, 0.0) + f.amount
+        return out
+
+    def version_count(self, member: str) -> int:
+        """How many rows the member accumulated."""
+        return sum(1 for r in self._rows if r.member == member)
+
+    def history_retention(self) -> float:
+        """Type 2 keeps every state."""
+        return 1.0
+
+    def cross_version_comparability(self) -> float:
+        """No links between a member's rows: a fact on surrogate k cannot
+        be re-expressed against surrogate k+1's structure."""
+        return 0.0
+
+
+@dataclass
+class _SCD3Row:
+    member: str
+    current_group: str
+    previous_group: str | None = None
+    changed_at: int | None = None
+    change_count: int = 0
+
+
+class SCDType3:
+    """In-row history: current + previous attribute, one step deep."""
+
+    def __init__(self) -> None:
+        self._rows: dict[str, _SCD3Row] = {}
+        self._facts: list[_Fact] = []
+
+    def assign(self, member: str, group: str, t: int) -> None:
+        """Record a change in the member's current/previous columns."""
+        row = self._rows.get(member)
+        if row is None:
+            self._rows[member] = _SCD3Row(member, group)
+            return
+        if row.current_group == group:
+            return
+        row.previous_group = row.current_group
+        row.current_group = group
+        row.changed_at = t
+        row.change_count += 1
+
+    def record_fact(self, member: str, t: int, amount: float) -> None:
+        """Record a fact against the member (single row per member)."""
+        if member not in self._rows:
+            raise KeyError(f"unknown member {member!r}")
+        self._facts.append(_Fact(member, t, amount))
+
+    def totals_by_group(
+        self, bucket, *, use_previous: bool = False
+    ) -> dict[tuple[object, str], float]:
+        """Totals per (bucket, group) under the current — or, uniformly,
+        the previous — grouping.  This is Type 3's whole power: exactly
+        two alternative mappings, regardless of how many changes happened."""
+        out: dict[tuple[object, str], float] = {}
+        for f in self._facts:
+            row = self._rows[f.member_key]
+            group = (
+                row.previous_group
+                if use_previous and row.previous_group is not None
+                else row.current_group
+            )
+            key = (bucket(f.t), group)
+            out[key] = out.get(key, 0.0) + f.amount
+        return out
+
+    def history_retention(self) -> float:
+        """Only the last transition survives: retention decays as soon as
+        any member changes more than once."""
+        rows = list(self._rows.values())
+        if not rows:
+            return 1.0
+        changes = sum(r.change_count for r in rows)
+        if changes == 0:
+            return 1.0
+        kept = sum(min(r.change_count, 1) for r in rows)
+        return kept / changes
+
+    def cross_version_comparability(self) -> float:
+        """Comparisons are possible between exactly the two kept states —
+        full comparability only while no member changed twice."""
+        return self.history_retention()

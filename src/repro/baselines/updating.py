@@ -1,0 +1,141 @@
+"""An *updating model* baseline (§1.2, §2.2: Blaschka; Hurtado, Mendelzon
+& Vaisman).
+
+Updating models "focus on mapping data into the most recent version of the
+structure": when a member is deleted its facts are dropped (or orphaned),
+when members merge their facts are re-keyed to the merged member, when a
+member splits its facts are re-distributed by some assumption — and the
+old structure itself is gone, so there is exactly one way to look at the
+data.  "Some data are corrupted, or even lost" and "working only with the
+latest version hides the existence of evolution".
+
+The implementation runs the same evolution stream our model handles, but
+destructively, and counts what it loses/corrupts — the numbers the
+baseline-comparison benchmark reports next to the multiversion model's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UpdatingModel"]
+
+
+@dataclass
+class _Fact:
+    member: str
+    t: int
+    amount: float
+    corrupted: bool = False
+
+
+class UpdatingModel:
+    """Map-everything-to-latest, destructively."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, str] = {}
+        self._facts: list[_Fact] = []
+        self._lost: list[_Fact] = []
+        self._structure_changes = 0
+
+    # -- structure maintenance (destructive) -------------------------------------
+
+    def add_member(self, member: str, group: str) -> None:
+        """Introduce a member under a group."""
+        self._group_of[member] = group
+
+    def record_fact(self, member: str, t: int, amount: float) -> None:
+        """Record a fact against a current member."""
+        if member not in self._group_of:
+            raise KeyError(f"unknown member {member!r}")
+        self._facts.append(_Fact(member, t, amount))
+
+    def reclassify(self, member: str, new_group: str) -> None:
+        """Move the member; all its history silently moves with it."""
+        if member not in self._group_of:
+            raise KeyError(f"unknown member {member!r}")
+        self._group_of[member] = new_group
+        self._structure_changes += 1
+
+    def delete_member(self, member: str) -> None:
+        """Drop the member *and all its facts* — the data loss the paper
+        warns about ('deletion of members that do not exist anymore')."""
+        if member not in self._group_of:
+            raise KeyError(f"unknown member {member!r}")
+        del self._group_of[member]
+        kept: list[_Fact] = []
+        for f in self._facts:
+            (self._lost if f.member == member else kept).append(f)
+        self._facts = kept
+        self._structure_changes += 1
+
+    def merge_members(self, sources: list[str], merged: str, group: str) -> None:
+        """Re-key all source facts to the merged member."""
+        for src in sources:
+            if src not in self._group_of:
+                raise KeyError(f"unknown member {src!r}")
+        self._group_of[merged] = group
+        for src in sources:
+            del self._group_of[src]
+        for f in self._facts:
+            if f.member in sources:
+                f.member = merged
+        self._structure_changes += 1
+
+    def split_member(self, source: str, shares: dict[str, float], group: str) -> None:
+        """Distribute the source's facts over the parts by share — each
+        redistributed fact is *corrupted*: it is an estimate presented as
+        if it were source data."""
+        if source not in self._group_of:
+            raise KeyError(f"unknown member {source!r}")
+        del self._group_of[source]
+        for part in shares:
+            self._group_of[part] = group
+        redistributed: list[_Fact] = []
+        kept: list[_Fact] = []
+        for f in self._facts:
+            if f.member != source:
+                kept.append(f)
+                continue
+            for part, share in shares.items():
+                redistributed.append(
+                    _Fact(part, f.t, f.amount * share, corrupted=True)
+                )
+        self._facts = kept + redistributed
+        self._structure_changes += 1
+
+    # -- queries --------------------------------------------------------------------
+
+    def totals_by_group(self, bucket) -> dict[tuple[object, str], float]:
+        """Totals per (bucket, group) — necessarily in the latest structure."""
+        out: dict[tuple[object, str], float] = {}
+        for f in self._facts:
+            key = (bucket(f.t), self._group_of[f.member])
+            out[key] = out.get(key, 0.0) + f.amount
+        return out
+
+    # -- the metrics the paper's critique predicts --------------------------------------
+
+    @property
+    def facts_lost(self) -> int:
+        """Facts destroyed by deletions."""
+        return len(self._lost)
+
+    @property
+    def facts_corrupted(self) -> int:
+        """Facts silently replaced by estimates (splits)."""
+        return sum(1 for f in self._facts if f.corrupted)
+
+    def data_loss_fraction(self, total_recorded: int) -> float:
+        """Fraction of recorded facts no longer present as source data."""
+        if total_recorded == 0:
+            return 0.0
+        return (self.facts_lost + self.facts_corrupted) / total_recorded
+
+    def history_retention(self) -> float:
+        """Old structures are unrecoverable once anything changed."""
+        return 0.0 if self._structure_changes else 1.0
+
+    def available_presentations(self) -> int:
+        """The updating model offers exactly one view of the data."""
+        return 1

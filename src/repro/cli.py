@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo`` — run the case study and print every paper result table;
+* ``mvql "<statement>"`` — execute one (or more) MVQL statements against
+  the case study; with no statement, read them from stdin (one per line);
+* ``audit`` — audit the case-study schema (a template for auditing your
+  own; exits non-zero when the audit finds errors);
+* ``graph`` — print the Figure-2 dimension graph;
+* ``modes`` — list the temporal modes of presentation.
+
+The CLI is intentionally bound to the built-in case study: it is a
+demonstration surface, not a server.  Applications embed the library
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    audit_schema,
+    rank_modes,
+    ym,
+)
+from repro.core.errors import ReproError
+from repro.mvql import MVQLSession
+from repro.olap import render_dimension_graph
+from repro.workloads.case_study import ORG, build_case_study
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multiversion OLAP demo CLI — 'Handling Evolutions in "
+            "Multidimensional Structures' (ICDE 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="reproduce the paper's result tables")
+    mvql = sub.add_parser("mvql", help="execute MVQL statements")
+    mvql.add_argument(
+        "statement",
+        nargs="*",
+        help="MVQL statements (default: read one per line from stdin)",
+    )
+    sub.add_parser("audit", help="audit the case-study schema")
+    sub.add_parser("graph", help="print the Figure-2 dimension graph")
+    sub.add_parser("modes", help="list the temporal modes of presentation")
+    return parser
+
+
+def _cmd_demo(out) -> int:
+    study = build_case_study()
+    engine = QueryEngine(study.schema.multiversion_facts())
+    q1 = Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+        time_range=Interval(ym(2001, 1), ym(2002, 12)),
+    )
+    q2 = Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+        time_range=Interval(ym(2002, 1), ym(2003, 12)),
+    )
+    for title, query, modes in (
+        ("Q1 (Tables 4-6)", q1, ("tcm", "V1", "V2")),
+        ("Q2 (Tables 8-10)", q2, ("tcm", "V2", "V3")),
+    ):
+        print(f"== {title} ==", file=out)
+        for mode in modes:
+            print(f"\n-- mode {mode}", file=out)
+            print(engine.execute(query.with_mode(mode)).to_text(), file=out)
+        print(file=out)
+    print("== quality ranking for Q2 (§5.2) ==", file=out)
+    for label, quality, _table in rank_modes(engine, q2):
+        print(f"  {label:<4} Q = {quality:.3f}", file=out)
+    return 0
+
+
+def _cmd_mvql(statements: list[str], out) -> int:
+    study = build_case_study()
+    session = MVQLSession(study.schema.multiversion_facts())
+    if not statements:
+        statements = [line.strip() for line in sys.stdin if line.strip()]
+    status = 0
+    for statement in statements:
+        print(f"mvql> {statement}", file=out)
+        try:
+            print(session.execute_to_text(statement), file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            status = 1
+        print(file=out)
+    return status
+
+
+def _cmd_audit(out) -> int:
+    study = build_case_study()
+    report = audit_schema(study.schema)
+    print(report.to_text(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_graph(out) -> int:
+    study = build_case_study()
+    print(render_dimension_graph(study.org), file=out)
+    return 0
+
+
+def _cmd_modes(out) -> int:
+    study = build_case_study()
+    for mode in study.schema.presentation_modes():
+        print(f"{mode.label}: {mode.describe()}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo(out)
+    if args.command == "mvql":
+        return _cmd_mvql(list(args.statement), out)
+    if args.command == "audit":
+        return _cmd_audit(out)
+    if args.command == "graph":
+        return _cmd_graph(out)
+    if args.command == "modes":
+        return _cmd_modes(out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,284 @@
+"""Schema auditing: a linter for temporal multidimensional schemas.
+
+The model is deliberately permissive — overlapping member versions are
+legal (Definition 1), deletions without mappings are legal (they merely
+orphan facts in later modes), split shares are free numbers.  A production
+warehouse still wants to *see* these situations before analysts do.
+:func:`audit_schema` scans a schema and reports findings in three
+severities:
+
+* ``error`` — situations that will produce wrong or missing numbers
+  (facts stranded with no mapping route, empty structure versions);
+* ``warning`` — likely modelling mistakes (split shares not summing to 1,
+  merge back-shares not summing to 1, excluded members without outgoing
+  mappings);
+* ``info`` — notable but often intentional (overlapping versions of a
+  member, unknown mapping functions, members created mid-history without
+  incoming mappings).
+
+The §5.2 prototype surfaces per-cell reliability; the audit is the
+schema-level complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .chronology import ym_str
+from .mapping import LinearMapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schema import TemporalMultidimensionalSchema
+
+__all__ = ["Finding", "AuditReport", "audit_schema"]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: str
+    code: str
+    subject: str
+    message: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """All findings of one audit run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, severity: str, code: str, subject: str, message: str) -> None:
+        """Record a finding."""
+        assert severity in SEVERITIES
+        self.findings.append(Finding(severity, code, subject, message))
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        """Findings of one severity."""
+        return [f for f in self.findings if f.severity == severity]
+
+    def by_code(self, code: str) -> list[Finding]:
+        """Findings of one code."""
+        return [f for f in self.findings if f.code == code]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the audit found no errors."""
+        return not self.by_severity("error")
+
+    def to_text(self) -> str:
+        """Human-readable report, errors first."""
+        if not self.findings:
+            return "audit: clean (no findings)"
+        lines = []
+        for severity in SEVERITIES:
+            for finding in self.by_severity(severity):
+                lines.append(
+                    f"[{severity:<7}] {finding.code:<28} {finding.message}"
+                )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+def _check_share_sums(schema: "TemporalMultidimensionalSchema", report: AuditReport) -> None:
+    """Split forward shares and merge reverse shares should sum to ≈ 1."""
+    by_source: dict[str, list] = {}
+    by_target: dict[str, list] = {}
+    for rel in schema.mappings:
+        by_source.setdefault(rel.source, []).append(rel)
+        by_target.setdefault(rel.target, []).append(rel)
+
+    for source, rels in by_source.items():
+        if len(rels) < 2:
+            continue  # not a split group
+        for measure in schema.measure_names:
+            factors = []
+            for rel in rels:
+                mm = rel.measure_map(measure, direction="forward")
+                if not isinstance(mm.function, LinearMapping):
+                    factors = None
+                    break
+                factors.append(mm.function.k)
+            if factors is None:
+                continue
+            total = sum(factors)
+            if abs(total - 1.0) > 1e-6:
+                report.add(
+                    "warning",
+                    "split-shares-not-conservative",
+                    source,
+                    f"forward shares of {source!r} for measure {measure!r} "
+                    f"sum to {total:g} (a split conserving the measure "
+                    f"should sum to 1)",
+                )
+
+    for target, rels in by_target.items():
+        if len(rels) < 2:
+            continue  # not a merge group
+        for measure in schema.measure_names:
+            factors = []
+            for rel in rels:
+                mm = rel.measure_map(measure, direction="reverse")
+                if not isinstance(mm.function, LinearMapping):
+                    factors = None
+                    break
+                factors.append(mm.function.k)
+            if factors is None:
+                continue
+            total = sum(factors)
+            if abs(total - 1.0) > 1e-6:
+                report.add(
+                    "warning",
+                    "merge-back-shares-not-conservative",
+                    target,
+                    f"reverse shares into {target!r} for measure {measure!r} "
+                    f"sum to {total:g} (a conservative back-mapping should "
+                    f"sum to 1)",
+                )
+
+
+def _check_transition_coverage(
+    schema: "TemporalMultidimensionalSchema", report: AuditReport
+) -> None:
+    """Excluded members should map forward; late members should map back."""
+    history_start = min(
+        (
+            mv.start
+            for dim in schema.dimensions.values()
+            for mv in dim.members.values()
+        ),
+        default=None,
+    )
+    sources = {rel.source for rel in schema.mappings}
+    targets = {rel.target for rel in schema.mappings}
+    for did, dim in schema.dimensions.items():
+        for mv in dim.members.values():
+            if not dim._is_leaf_sometime(mv):
+                continue
+            if not mv.valid_time.open_ended and mv.mvid not in sources:
+                report.add(
+                    "warning",
+                    "excluded-without-mapping",
+                    mv.mvid,
+                    f"{mv.mvid!r} ({did}) ends at {ym_str(mv.end)} with no "
+                    f"outgoing mapping: its facts cannot be presented in "
+                    f"later structure versions",
+                )
+            if (
+                history_start is not None
+                and mv.start > history_start
+                and mv.mvid not in targets
+            ):
+                report.add(
+                    "info",
+                    "created-without-mapping",
+                    mv.mvid,
+                    f"{mv.mvid!r} ({did}) appears at {ym_str(mv.start)} with "
+                    f"no incoming mapping: its facts cannot be presented in "
+                    f"earlier structure versions",
+                )
+
+
+def _check_overlaps(schema: "TemporalMultidimensionalSchema", report: AuditReport) -> None:
+    for did, dim in schema.dimensions.items():
+        by_name: dict[str, list] = {}
+        for mv in dim.members.values():
+            by_name.setdefault(mv.name, []).append(mv)
+        for name, versions in by_name.items():
+            versions.sort(key=lambda m: m.start)
+            for a, b in zip(versions, versions[1:]):
+                if a.valid_time.overlaps(b.valid_time):
+                    report.add(
+                        "info",
+                        "overlapping-member-versions",
+                        name,
+                        f"member {name!r} ({did}) has overlapping versions "
+                        f"{a.mvid!r} and {b.mvid!r} (legal per Definition 1, "
+                        f"but verify it is intentional)",
+                    )
+
+
+def _check_unknown_mappings(
+    schema: "TemporalMultidimensionalSchema", report: AuditReport
+) -> None:
+    from .mapping import UnknownMapping
+
+    for rel in schema.mappings:
+        for measure in schema.measure_names:
+            for direction in ("forward", "reverse"):
+                mm = rel.measure_map(measure, direction=direction)
+                if isinstance(mm.function, UnknownMapping):
+                    report.add(
+                        "info",
+                        "unknown-mapping-function",
+                        f"{rel.source}->{rel.target}",
+                        f"{direction} mapping of {measure!r} from "
+                        f"{rel.source!r} to {rel.target!r} is unknown: cells "
+                        f"will surface as uk in the affected modes",
+                    )
+                    break  # one finding per relationship direction pair
+
+
+def _check_stranded_facts(
+    schema: "TemporalMultidimensionalSchema", report: AuditReport
+) -> None:
+    """Facts with no route into some mode (the red cross-points)."""
+    try:
+        mvft = schema.multiversion_facts()
+    except Exception as exc:  # schema broken enough to block inference
+        report.add(
+            "error",
+            "multiversion-inference-failed",
+            "schema",
+            f"MultiVersion inference failed: {exc}",
+        )
+        return
+    stranded: dict[tuple[str, str], int] = {}
+    for orphan in mvft.unmapped:
+        stranded[(orphan.source, orphan.mode)] = (
+            stranded.get((orphan.source, orphan.mode), 0) + 1
+        )
+    for (source, mode), count in sorted(stranded.items()):
+        report.add(
+            "error",
+            "stranded-facts",
+            source,
+            f"{count} fact(s) on {source!r} cannot be presented in mode "
+            f"{mode!r} (no mapping route)",
+        )
+
+
+def _check_empty_versions(
+    schema: "TemporalMultidimensionalSchema", report: AuditReport
+) -> None:
+    for version in schema.structure_versions():
+        for did in schema.dimension_ids:
+            if not version.leaf_ids(did):
+                report.add(
+                    "error",
+                    "empty-version-dimension",
+                    version.vsid,
+                    f"structure version {version.vsid} has no leaf member "
+                    f"versions along {did!r}: no fact is presentable there",
+                )
+
+
+def audit_schema(schema: "TemporalMultidimensionalSchema") -> AuditReport:
+    """Run every audit check over a schema and return the report."""
+    report = AuditReport()
+    _check_share_sums(schema, report)
+    _check_transition_coverage(schema, report)
+    _check_overlaps(schema, report)
+    _check_unknown_mappings(schema, report)
+    _check_empty_versions(schema, report)
+    _check_stranded_facts(schema, report)
+    return report

@@ -1,0 +1,368 @@
+"""Valid-time chronology: instants, the ``NOW`` sentinel and closed intervals.
+
+The paper (Definitions 1-3, 9) attaches *valid times* ``[ti, tf]`` to member
+versions, temporal relationships and structure versions.  Endpoints are drawn
+from a discrete time axis and ``tf`` may be the special marker *Now*,
+representing an interval that is still open at the current time.
+
+This module models:
+
+* **instants** as plain ``int`` chronons (the library is agnostic about what
+  a chronon means — a month, a day, a tick);
+* **NOW** as a singleton ordered strictly after every instant, so intervals
+  ending at *Now* behave like right-unbounded intervals;
+* **Interval** — a closed interval ``[start, end]`` with the full algebra the
+  model needs: membership, overlap, intersection, cover, adjacency and the
+  *critical instant* decomposition used to infer structure versions
+  (Definition 9).
+
+Because the paper's case study speaks in months ("01/2001") and years, the
+module also provides :func:`ym` / :func:`ym_str` / :func:`year_of` /
+:func:`month_of` helpers encoding a Gregorian month as a chronon, plus
+granularity functions used by the query engine to group fact times.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Union
+
+from .errors import InvalidIntervalError
+
+__all__ = [
+    "Instant",
+    "Endpoint",
+    "NowType",
+    "NOW",
+    "Interval",
+    "ym",
+    "ym_str",
+    "year_of",
+    "month_of",
+    "year_interval",
+    "month_interval",
+    "endpoint_max",
+    "endpoint_min",
+    "critical_instants",
+    "Granularity",
+    "YEAR",
+    "MONTH",
+    "QUARTER",
+    "INSTANT",
+]
+
+Instant = int
+"""A discrete time instant (chronon index)."""
+
+
+@functools.total_ordering
+class NowType:
+    """Singleton marker for the moving end of time.
+
+    ``NOW`` compares strictly greater than every :class:`int` instant and
+    equal only to itself, which lets interval arithmetic treat ``[t, NOW]``
+    as right-unbounded without special cases at every call site.
+    """
+
+    _instance: "NowType | None" = None
+
+    def __new__(cls) -> "NowType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NowType)
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (int, NowType)):
+            return False  # NOW is never strictly less than anything valid
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, NowType):
+            return False
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash("repro.NOW")
+
+    def __repr__(self) -> str:
+        return "NOW"
+
+    def __reduce__(self):
+        return (NowType, ())
+
+
+NOW = NowType()
+"""The unique :class:`NowType` instance."""
+
+Endpoint = Union[int, NowType]
+"""An interval endpoint: an instant or ``NOW``."""
+
+
+def _is_endpoint(value: object) -> bool:
+    return isinstance(value, (int, NowType)) and not isinstance(value, bool)
+
+
+def endpoint_min(a: Endpoint, b: Endpoint) -> Endpoint:
+    """Return the smaller of two endpoints under the ``int < NOW`` order."""
+    if isinstance(a, NowType):
+        return b
+    if isinstance(b, NowType):
+        return a
+    return a if a <= b else b
+
+
+def endpoint_max(a: Endpoint, b: Endpoint) -> Endpoint:
+    """Return the larger of two endpoints under the ``int < NOW`` order."""
+    if isinstance(a, NowType) or isinstance(b, NowType):
+        return NOW
+    return a if a >= b else b
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A closed valid-time interval ``[start, end]``.
+
+    ``start`` is always a concrete instant; ``end`` is an instant or
+    :data:`NOW`.  A single-instant interval is ``Interval(t, t)``.
+
+    The class is immutable and hashable so intervals can key dictionaries
+    and populate sets (useful when partitioning history into structure
+    versions).
+    """
+
+    start: Instant
+    end: Endpoint = NOW
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or isinstance(self.start, bool):
+            raise InvalidIntervalError(f"interval start must be an instant, got {self.start!r}")
+        if not _is_endpoint(self.end):
+            raise InvalidIntervalError(f"interval end must be an instant or NOW, got {self.end!r}")
+        if isinstance(self.end, int) and self.end < self.start:
+            raise InvalidIntervalError(f"interval end {self.end} precedes start {self.start}")
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def open_ended(self) -> bool:
+        """``True`` when the interval ends at :data:`NOW`."""
+        return isinstance(self.end, NowType)
+
+    def contains(self, t: Instant) -> bool:
+        """Whether instant ``t`` lies inside ``[start, end]``."""
+        if t < self.start:
+            return False
+        return self.open_ended or t <= self.end  # type: ignore[operator]
+
+    __contains__ = contains
+
+    def covers(self, other: "Interval") -> bool:
+        """Whether this interval fully covers ``other`` (Definition 9 uses
+        this to restrict dimensions to a structure version's valid time)."""
+        if other.start < self.start:
+            return False
+        if self.open_ended:
+            return True
+        if other.open_ended:
+            return False
+        return other.end <= self.end  # type: ignore[operator]
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two closed intervals share at least one instant."""
+        lo = endpoint_max(self.start, other.start)
+        hi = endpoint_min(self.end, other.end)
+        if isinstance(hi, NowType):
+            return True
+        return lo <= hi  # type: ignore[operator]
+
+    def meets(self, other: "Interval") -> bool:
+        """Whether ``other`` starts exactly one chronon after this ends."""
+        return not self.open_ended and other.start == self.end + 1  # type: ignore[operator]
+
+    # -- algebra ------------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or ``None`` when disjoint.
+
+        Definition 2 requires a temporal relationship's valid time to be
+        included in the intersection of the valid times of the two member
+        versions it links; this is the primitive that check uses.
+        """
+        lo = endpoint_max(self.start, other.start)
+        hi = endpoint_min(self.end, other.end)
+        if isinstance(lo, NowType):  # both starts concrete => unreachable
+            return None
+        if not isinstance(hi, NowType) and hi < lo:
+            return None
+        return Interval(lo, hi)
+
+    def union(self, other: "Interval") -> "Interval | None":
+        """The merged interval when the two overlap or are adjacent,
+        else ``None`` (closed intervals cannot union across a gap)."""
+        if not (self.overlaps(other) or self.meets(other) or other.meets(self)):
+            return None
+        return Interval(
+            min(self.start, other.start), endpoint_max(self.end, other.end)
+        )
+
+    def clamp(self, horizon: Instant) -> "Interval":
+        """Replace a ``NOW`` end by a concrete ``horizon`` instant.
+
+        Used when enumerating structure versions over a bounded history.
+        ``horizon`` must not precede ``start``.
+        """
+        if not self.open_ended:
+            return self
+        if horizon < self.start:
+            raise InvalidIntervalError(
+                f"horizon {horizon} precedes interval start {self.start}"
+            )
+        return Interval(self.start, horizon)
+
+    def truncate_end(self, new_end: Instant) -> "Interval":
+        """Return a copy ending at ``new_end`` (the Exclude operator sets the
+        end time of a member version and its relationships — §3.2)."""
+        return Interval(self.start, new_end)
+
+    def duration(self, horizon: Instant | None = None) -> int:
+        """Number of chronons covered; open intervals need a ``horizon``."""
+        if self.open_ended:
+            if horizon is None:
+                raise InvalidIntervalError("duration of an open interval needs a horizon")
+            return self.clamp(horizon).duration()
+        return self.end - self.start + 1  # type: ignore[operator]
+
+    def instants(self, horizon: Instant | None = None) -> Iterator[Instant]:
+        """Iterate every instant in the interval (clamped at ``horizon`` when
+        open-ended).  Intended for tests and small demos, not hot paths."""
+        end = self.clamp(horizon).end if self.open_ended else self.end
+        if horizon is None and self.open_ended:
+            raise InvalidIntervalError("iterating an open interval needs a horizon")
+        return iter(range(self.start, end + 1))  # type: ignore[operator]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}; {self.end!r}]"
+
+
+# -- calendar helpers --------------------------------------------------------
+
+
+def ym(year: int, month: int) -> Instant:
+    """Encode a Gregorian ``(year, month)`` as a chronon (months since 0)."""
+    if not 1 <= month <= 12:
+        raise InvalidIntervalError(f"month must be in 1..12, got {month}")
+    return year * 12 + (month - 1)
+
+
+def year_of(t: Instant) -> int:
+    """The Gregorian year of a month-encoded chronon."""
+    return t // 12
+
+
+def month_of(t: Instant) -> int:
+    """The Gregorian month (1..12) of a month-encoded chronon."""
+    return t % 12 + 1
+
+
+def ym_str(t: Endpoint) -> str:
+    """Render a month-encoded chronon as ``MM/YYYY`` (or ``Now``)."""
+    if isinstance(t, NowType):
+        return "Now"
+    return f"{month_of(t):02d}/{year_of(t)}"
+
+
+def year_interval(year: int) -> Interval:
+    """The closed interval covering every month of ``year``."""
+    return Interval(ym(year, 1), ym(year, 12))
+
+
+def month_interval(year: int, month: int) -> Interval:
+    """The single-chronon interval for ``(year, month)``."""
+    t = ym(year, month)
+    return Interval(t, t)
+
+
+# -- critical instants (structure-version inference) -------------------------
+
+
+def critical_instants(intervals: Iterable[Interval]) -> list[Instant]:
+    """Sorted instants at which the set of valid elements can change.
+
+    For a collection of valid times, the structure can only change at an
+    interval's ``start`` or just after its ``end`` (``end + 1``).  Partitioning
+    history at these instants yields the maximal spans over which the valid
+    element set is constant — exactly the structure versions of Definition 9.
+    """
+    points: set[Instant] = set()
+    for iv in intervals:
+        points.add(iv.start)
+        if not iv.open_ended:
+            points.add(iv.end + 1)  # type: ignore[operator]
+    return sorted(points)
+
+
+# -- granularities ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Granularity:
+    """A named function grouping chronons into coarser time buckets.
+
+    The query engine (§2.1's Q1/Q2 group facts *by year*) applies a
+    granularity to each fact's time coordinate to obtain the bucket label.
+
+    Beyond the built-ins (``year``, ``quarter``, ``month``, ``instant``)
+    callers may define their own by supplying ``bucket_fn`` (chronon →
+    bucket id) and optionally ``label_fn`` (bucket id → display label)::
+
+        SEMESTER = Granularity(
+            "semester",
+            bucket_fn=lambda t: year_of(t) * 2 + (month_of(t) - 1) // 6,
+            label_fn=lambda b: f"{b // 2}H{b % 2 + 1}",
+        )
+    """
+
+    name: str
+    bucket_fn: "Callable[[Instant], int] | None" = None
+    label_fn: "Callable[[int], str] | None" = None
+
+    def bucket(self, t: Instant) -> int:
+        """Map a chronon to its bucket id under this granularity."""
+        if self.bucket_fn is not None:
+            return self.bucket_fn(t)
+        if self.name == "year":
+            return year_of(t)
+        if self.name == "quarter":
+            return year_of(t) * 4 + (month_of(t) - 1) // 3
+        if self.name == "month":
+            return t
+        if self.name == "instant":
+            return t
+        raise InvalidIntervalError(
+            f"unknown granularity {self.name!r} (custom granularities "
+            f"need a bucket_fn)"
+        )
+
+    def label(self, bucket: int) -> str:
+        """Human-readable label of a bucket id."""
+        if self.label_fn is not None:
+            return self.label_fn(bucket)
+        if self.name == "year":
+            return str(bucket)
+        if self.name == "quarter":
+            return f"{bucket // 4}Q{bucket % 4 + 1}"
+        if self.name == "month":
+            return ym_str(bucket)
+        return str(bucket)
+
+
+YEAR = Granularity("year")
+QUARTER = Granularity("quarter")
+MONTH = Granularity("month")
+INSTANT = Granularity("instant")

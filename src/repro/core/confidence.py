@@ -1,0 +1,187 @@
+"""Confidence factors and their aggregate algebra (Definition 6, §5.2).
+
+A *confidence factor* describes the reliability of a value: whether it is
+source data or the product of an exact, approximated or unknown mapping.  The
+designer supplies an aggregate function ``⊗cf`` that combines confidences
+when values are aggregated in the cube; for qualitative factors the paper
+expresses it as a truth table (Example 5), for quantitative factors as a
+numeric function.
+
+This module ships:
+
+* :class:`ConfidenceFactor` — the four canonical factors ``sd`` (source
+  data), ``em`` (exact mapping), ``am`` (approximated mapping), ``uk``
+  (unknown mapping), plus support for custom qualitative factors;
+* :class:`TruthTableAggregator` — the paper's Example 5 table, extensible;
+* :class:`QuantitativeAggregator` — ``⊗cf`` for numeric confidences;
+* the §5.2 prototype integer codes (3=sd, 2=em, 1=am, 4=uk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from .errors import ConfidenceError
+
+__all__ = [
+    "ConfidenceFactor",
+    "SD",
+    "EM",
+    "AM",
+    "UK",
+    "CANONICAL_FACTORS",
+    "PROTOTYPE_CODES",
+    "factor_from_code",
+    "ConfidenceAggregator",
+    "TruthTableAggregator",
+    "QuantitativeAggregator",
+    "default_truth_table",
+    "DEFAULT_AGGREGATOR",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceFactor:
+    """A qualitative confidence factor.
+
+    ``rank`` orders factors from most to least reliable and drives the
+    default truth table (which behaves as a *min* over reliability, with
+    ``uk`` absorbing).  ``code`` is the §5.2 prototype integer code.
+    """
+
+    symbol: str
+    rank: int
+    code: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.symbol:
+            raise ConfidenceError("confidence factor needs a symbol")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.symbol
+
+
+SD = ConfidenceFactor("sd", 0, 3, "source data (temporally consistent)")
+EM = ConfidenceFactor("em", 1, 2, "exact mapped data")
+AM = ConfidenceFactor("am", 2, 1, "approximated mapped data")
+UK = ConfidenceFactor("uk", 3, 4, "unknown mapping")
+
+CANONICAL_FACTORS: tuple[ConfidenceFactor, ...] = (SD, EM, AM, UK)
+"""The paper's Example 5 range ``CF = {sd, em, am, uk}``."""
+
+PROTOTYPE_CODES: Mapping[int, ConfidenceFactor] = {f.code: f for f in CANONICAL_FACTORS}
+"""§5.2 prototype coding: 3 → sd, 2 → em, 1 → am, 4 → uk."""
+
+
+def factor_from_code(code: int) -> ConfidenceFactor:
+    """Resolve a §5.2 prototype integer code to its confidence factor."""
+    try:
+        return PROTOTYPE_CODES[code]
+    except KeyError:
+        raise ConfidenceError(f"unknown prototype confidence code {code!r}") from None
+
+
+class ConfidenceAggregator:
+    """Abstract ``⊗cf``: combines two confidences into one.
+
+    Subclasses implement :meth:`combine`; :meth:`combine_all` folds a
+    sequence (aggregating a cube cell from many children — Definition 12).
+    """
+
+    def combine(self, a: ConfidenceFactor, b: ConfidenceFactor) -> ConfidenceFactor:
+        """Combine two confidence factors."""
+        raise NotImplementedError
+
+    def combine_all(self, factors: Iterable[ConfidenceFactor]) -> ConfidenceFactor:
+        """Fold ``⊗cf`` over a non-empty sequence of factors."""
+        iterator = iter(factors)
+        try:
+            acc = next(iterator)
+        except StopIteration:
+            raise ConfidenceError("cannot combine an empty sequence of confidences") from None
+        for f in iterator:
+            acc = self.combine(acc, f)
+        return acc
+
+
+def default_truth_table() -> dict[tuple[str, str], ConfidenceFactor]:
+    """The truth table of Example 5.
+
+    ======  ====  ====  ====  ====
+    ``⊗cf``  sd    em    am    uk
+    ======  ====  ====  ====  ====
+    sd      sd    em    am    uk
+    em      em    em    am    uk
+    am      am    am    am    uk
+    uk      uk    uk    uk    uk
+    ======  ====  ====  ====  ====
+    """
+    order = {0: SD, 1: EM, 2: AM, 3: UK}
+    table: dict[tuple[str, str], ConfidenceFactor] = {}
+    for a in CANONICAL_FACTORS:
+        for b in CANONICAL_FACTORS:
+            table[(a.symbol, b.symbol)] = order[max(a.rank, b.rank)]
+    return table
+
+
+class TruthTableAggregator(ConfidenceAggregator):
+    """Qualitative ``⊗cf`` driven by an explicit truth table.
+
+    The default table is Example 5's; designers may pass their own table
+    covering a custom factor range.  The table must be total over the
+    factors it will see — a missing pair raises :class:`ConfidenceError`.
+    """
+
+    def __init__(
+        self, table: Mapping[tuple[str, str], ConfidenceFactor] | None = None
+    ) -> None:
+        self._table = dict(table) if table is not None else default_truth_table()
+        self._factors: dict[str, ConfidenceFactor] = {}
+        for (a, b), out in self._table.items():
+            self._factors[out.symbol] = out
+        for f in CANONICAL_FACTORS:
+            self._factors.setdefault(f.symbol, f)
+
+    def combine(self, a: ConfidenceFactor, b: ConfidenceFactor) -> ConfidenceFactor:
+        try:
+            return self._table[(a.symbol, b.symbol)]
+        except KeyError:
+            raise ConfidenceError(
+                f"truth table has no entry for ({a.symbol}, {b.symbol})"
+            ) from None
+
+    def factor(self, symbol: str) -> ConfidenceFactor:
+        """Look up a factor known to this aggregator by symbol."""
+        try:
+            return self._factors[symbol]
+        except KeyError:
+            raise ConfidenceError(f"unknown confidence symbol {symbol!r}") from None
+
+
+class QuantitativeAggregator(ConfidenceAggregator):
+    """``⊗cf`` for quantitative confidences.
+
+    Quantitative confidences are modelled as factors whose ``rank`` encodes
+    a reliability percentage; the aggregator combines the underlying numeric
+    values with a callable (default: ``min``) and re-wraps the result.
+    Designers with fully numeric pipelines can instead use
+    :meth:`combine_values` directly on floats.
+    """
+
+    def __init__(self, fn: Callable[[float, float], float] = min) -> None:
+        self._fn = fn
+
+    def combine(self, a: ConfidenceFactor, b: ConfidenceFactor) -> ConfidenceFactor:
+        value = self._fn(float(a.rank), float(b.rank))
+        source = a if float(a.rank) == value else b
+        return source
+
+    def combine_values(self, a: float, b: float) -> float:
+        """Combine two raw numeric confidence values."""
+        return self._fn(a, b)
+
+
+DEFAULT_AGGREGATOR = TruthTableAggregator()
+"""Module-level aggregator implementing Example 5's truth table."""

@@ -1,0 +1,451 @@
+"""Mapping relationships between member versions (Definition 7, Example 6).
+
+Mapping relationships store the *links across transitions* that Kimball's
+Type-2 SCD loses: when a member evolves (split, merge, transformation, ...),
+a mapping relationship records, per measure, *how* values of the old version
+convert into values of the new one (``F``) and back (``F⁻¹``), each pair
+tagged with a confidence factor.
+
+The §5 prototype restricts mapping functions to linear functions
+``f(x) = k·x`` (``k`` a percentage/weighting); the conceptual layer here is
+open: identity, linear, unknown and arbitrary callables are supported, and
+functions compose along mapping chains (a member split in 2002 and renamed
+in 2003 yields a two-edge chain whose composition is still a single
+function).
+
+:class:`MappingCatalog` aggregates the schema's set ``MR`` of mapping
+relationships and answers the *routing* question at the heart of the
+MultiVersion fact table (Definition 11): given a leaf member version ``d``
+and a set of leaf member versions valid in the target structure version,
+which targets can ``d``'s facts be mapped to, through which composed
+function, and with what confidence?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .confidence import (
+    AM,
+    EM,
+    SD,
+    UK,
+    ConfidenceAggregator,
+    ConfidenceFactor,
+    DEFAULT_AGGREGATOR,
+)
+from .errors import MappingError
+
+__all__ = [
+    "MappingFunction",
+    "LinearMapping",
+    "IdentityMapping",
+    "UnknownMapping",
+    "CallableMapping",
+    "ComposedMapping",
+    "MeasureMap",
+    "MappingRelationship",
+    "identity_maps",
+    "linear_maps",
+    "unknown_maps",
+    "Route",
+    "MappingCatalog",
+]
+
+
+class MappingFunction:
+    """Abstract mapping function ``fm`` from a measure domain into itself."""
+
+    def apply(self, value: float | None) -> float | None:
+        """Map a measure value; ``None`` propagates (unknown upstream)."""
+        raise NotImplementedError
+
+    def compose(self, outer: "MappingFunction") -> "MappingFunction":
+        """The function ``x ↦ outer(self(x))`` (chain traversal order)."""
+        if isinstance(self, UnknownMapping) or isinstance(outer, UnknownMapping):
+            return UnknownMapping()
+        if isinstance(self, LinearMapping) and isinstance(outer, LinearMapping):
+            return LinearMapping(self.k * outer.k)
+        return ComposedMapping(self, outer)
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``x -> 0.4*x``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class LinearMapping(MappingFunction):
+    """The prototype's linear mapping ``f(x) = k·x`` (§5.2)."""
+
+    k: float
+
+    def apply(self, value: float | None) -> float | None:
+        if value is None:
+            return None
+        return self.k * value
+
+    def describe(self) -> str:
+        if self.k == 1:
+            return "x -> x"
+        return f"x -> {self.k:g}*x"
+
+
+class IdentityMapping(LinearMapping):
+    """The identity function ``x ↦ x`` (used by equivalence transitions)."""
+
+    def __init__(self) -> None:
+        super().__init__(k=1.0)
+
+
+@dataclass(frozen=True)
+class UnknownMapping(MappingFunction):
+    """An unknown mapping: values cannot be converted (confidence ``uk``).
+
+    Applying it yields ``None``; the MultiVersion fact table surfaces such
+    cells with the ``uk`` confidence so the front end can flag them (red
+    background in the §5.2 prototype).
+    """
+
+    def apply(self, value: float | None) -> float | None:
+        return None
+
+    def describe(self) -> str:
+        return "x -> ?"
+
+
+@dataclass(frozen=True)
+class CallableMapping(MappingFunction):
+    """An arbitrary user-supplied mapping function with a description."""
+
+    fn: Callable[[float], float]
+    description: str = "x -> f(x)"
+
+    def apply(self, value: float | None) -> float | None:
+        if value is None:
+            return None
+        return self.fn(value)
+
+    def describe(self) -> str:
+        return self.description
+
+    def __hash__(self) -> int:
+        return hash((id(self.fn), self.description))
+
+
+@dataclass(frozen=True)
+class ComposedMapping(MappingFunction):
+    """Sequential composition ``x ↦ outer(inner(x))`` of two functions."""
+
+    inner: MappingFunction
+    outer: MappingFunction
+
+    def apply(self, value: float | None) -> float | None:
+        return self.outer.apply(self.inner.apply(value))
+
+    def describe(self) -> str:
+        return f"({self.outer.describe()}) o ({self.inner.describe()})"
+
+
+@dataclass(frozen=True)
+class MeasureMap:
+    """One ``<fm, cf>`` pair of Definition 7: a mapping function for a
+    measure together with the confidence of that conversion."""
+
+    function: MappingFunction
+    confidence: ConfidenceFactor
+
+    def apply(self, value: float | None) -> float | None:
+        """Apply the mapping function."""
+        return self.function.apply(value)
+
+    def compose(
+        self, outer: "MeasureMap", aggregator: ConfidenceAggregator
+    ) -> "MeasureMap":
+        """Compose two conversion steps along a mapping chain.
+
+        The composed confidence is ``⊗cf`` of the two steps' confidences —
+        an ``em`` step after an ``am`` step is still only approximated, and
+        ``uk`` absorbs.
+        """
+        return MeasureMap(
+            self.function.compose(outer.function),
+            aggregator.combine(self.confidence, outer.confidence),
+        )
+
+
+def identity_maps(
+    measures: Iterable[str], confidence: ConfidenceFactor = EM
+) -> dict[str, MeasureMap]:
+    """``{(x→x, cf)}`` for every measure — equivalence transitions."""
+    return {m: MeasureMap(IdentityMapping(), confidence) for m in measures}
+
+
+def linear_maps(
+    factors: Mapping[str, float], confidence: ConfidenceFactor = AM
+) -> dict[str, MeasureMap]:
+    """Per-measure linear maps ``x → k·x`` with a shared confidence."""
+    return {m: MeasureMap(LinearMapping(k), confidence) for m, k in factors.items()}
+
+
+def unknown_maps(measures: Iterable[str]) -> dict[str, MeasureMap]:
+    """``{(-, uk)}`` for every measure — unknown transitions."""
+    return {m: MeasureMap(UnknownMapping(), UK) for m in measures}
+
+
+@dataclass(frozen=True)
+class MappingRelationship:
+    """The tuple ``<Id_from, Id_to, F, F⁻¹>`` of Definition 7.
+
+    ``source`` (``Id_from``) is the leaf member version *before* the change
+    and ``target`` (``Id_to``) the one *after*.  ``forward`` (``F``) maps
+    measures of the old version onto the new one; ``reverse`` (``F⁻¹``) maps
+    back.  Both are dictionaries keyed by measure name; measures absent from
+    a direction are treated as unknown mappings.
+    """
+
+    source: str
+    target: str
+    forward: Mapping[str, MeasureMap] = field(default_factory=dict)
+    reverse: Mapping[str, MeasureMap] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise MappingError("mapping relationship needs source and target ids")
+        if self.source == self.target:
+            raise MappingError(
+                f"mapping relationship cannot link {self.source!r} to itself"
+            )
+        object.__setattr__(self, "forward", dict(self.forward))
+        object.__setattr__(self, "reverse", dict(self.reverse))
+
+    def measure_map(self, measure: str, *, direction: str) -> MeasureMap:
+        """The conversion of ``measure`` along ``direction``.
+
+        ``direction`` is ``"forward"`` (old → new, apply ``F``) or
+        ``"reverse"`` (new → old, apply ``F⁻¹``).  Missing measures yield an
+        unknown mapping, per the prototype's Table 12 semantics where an
+        unspecified conversion is coded ``uk``.
+        """
+        if direction == "forward":
+            maps: Mapping[str, MeasureMap] = self.forward
+        elif direction == "reverse":
+            maps = self.reverse
+        else:
+            raise MappingError(f"unknown mapping direction {direction!r}")
+        return maps.get(measure, MeasureMap(UnknownMapping(), UK))
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.target))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fwd = {m: (mm.function.describe(), mm.confidence.symbol) for m, mm in self.forward.items()}
+        rev = {m: (mm.function.describe(), mm.confidence.symbol) for m, mm in self.reverse.items()}
+        return f"<{self.source} => {self.target}, F={fwd}, F-1={rev}>"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved mapping path from a source to a target member version.
+
+    ``maps`` carries, per measure, the composed conversion along the path;
+    ``hops`` is the number of mapping relationships traversed (0 means the
+    source is itself valid in the target structure and no conversion was
+    needed — confidence ``sd``).
+    """
+
+    source: str
+    target: str
+    maps: Mapping[str, MeasureMap]
+    hops: int
+
+    def confidence(self, measure: str) -> ConfidenceFactor:
+        """Confidence of the composed conversion for ``measure``."""
+        mm = self.maps.get(measure)
+        return mm.confidence if mm is not None else UK
+
+    def convert(self, measure: str, value: float | None) -> float | None:
+        """Convert a measure value along the route."""
+        mm = self.maps.get(measure)
+        if mm is None:
+            return None
+        return mm.apply(value)
+
+
+class MappingCatalog:
+    """The schema's set ``MR`` of mapping relationships, with routing.
+
+    The catalog indexes relationships by endpoint and performs a breadth-
+    first search over the *bidirectional* mapping graph: a forward edge
+    applies ``F`` and a reverse edge applies ``F⁻¹``.  Searches return the
+    shortest route to every reachable target, composing functions and
+    confidences hop by hop.
+    """
+
+    def __init__(
+        self,
+        relationships: Iterable[MappingRelationship] = (),
+        *,
+        aggregator: ConfidenceAggregator = DEFAULT_AGGREGATOR,
+        measures: Iterable[str] = (),
+    ) -> None:
+        self._aggregator = aggregator
+        self._measures = list(measures)
+        self._by_source: dict[str, list[MappingRelationship]] = {}
+        self._by_target: dict[str, list[MappingRelationship]] = {}
+        self._relationships: list[MappingRelationship] = []
+        for rel in relationships:
+            self.add(rel)
+
+    # -- maintenance --------------------------------------------------------
+
+    def add(self, rel: MappingRelationship) -> None:
+        """Register a mapping relationship (the Associate operator, §3.2,
+        calls this after its consistency check)."""
+        if any(
+            r.source == rel.source and r.target == rel.target
+            for r in self._relationships
+        ):
+            raise MappingError(
+                f"a mapping relationship {rel.source!r} => {rel.target!r} already exists"
+            )
+        self._relationships.append(rel)
+        self._by_source.setdefault(rel.source, []).append(rel)
+        self._by_target.setdefault(rel.target, []).append(rel)
+        for direction in (rel.forward, rel.reverse):
+            for measure in direction:
+                if measure not in self._measures:
+                    self._measures.append(measure)
+
+    def __iter__(self) -> Iterator[MappingRelationship]:
+        return iter(self._relationships)
+
+    def __len__(self) -> int:
+        return len(self._relationships)
+
+    @property
+    def measures(self) -> list[str]:
+        """Every measure named by at least one relationship."""
+        return list(self._measures)
+
+    def relationships_from(self, mvid: str) -> list[MappingRelationship]:
+        """Relationships whose ``Id_from`` is ``mvid``."""
+        return list(self._by_source.get(mvid, ()))
+
+    def relationships_to(self, mvid: str) -> list[MappingRelationship]:
+        """Relationships whose ``Id_to`` is ``mvid``."""
+        return list(self._by_target.get(mvid, ()))
+
+    # -- routing ------------------------------------------------------------
+
+    def _neighbours(
+        self, mvid: str, measures: Iterable[str]
+    ) -> Iterator[tuple[str, dict[str, MeasureMap], str]]:
+        """Adjacent member versions with the per-measure one-hop conversion
+        and the direction of the edge taken."""
+        for rel in self._by_source.get(mvid, ()):  # forward edge: apply F
+            yield rel.target, {
+                m: rel.measure_map(m, direction="forward") for m in measures
+            }, "forward"
+        for rel in self._by_target.get(mvid, ()):  # reverse edge: apply F⁻¹
+            yield rel.source, {
+                m: rel.measure_map(m, direction="reverse") for m in measures
+            }, "reverse"
+
+    def routes(
+        self,
+        source: str,
+        targets: frozenset[str] | set[str],
+        *,
+        measures: Iterable[str] | None = None,
+        max_hops: int = 8,
+    ) -> list[Route]:
+        """Mapping routes from ``source`` into ``targets``.
+
+        When ``source`` itself belongs to ``targets`` the fact needs no
+        conversion: a single zero-hop identity route with confidence ``sd``
+        is returned, and the fact must NOT additionally leak through
+        mapping edges into sibling members (a 2003 fact on Dpt.Bill stays
+        on Dpt.Bill in the 2003 structure — it does not also contribute to
+        Dpt.Paul through Dpt.Jones).
+
+        Otherwise the catalog enumerates every *simple path* (no repeated
+        member version, length ≤ ``max_hops``) over the mapping graph —
+        forward edges apply ``F``, reverse edges ``F⁻¹`` — stopping each
+        path at the first target it reaches.  Returning *all* paths, not
+        just the shortest per target, is what conserves flow through
+        diamond lineages: a member split into B and C whose parts later
+        re-merge into D must contribute via both the B- and C-legs, their
+        contributions folding with the measure's ``⊕`` downstream.
+
+        Paths are **direction-monotone**: once a path takes a forward edge
+        it may only continue forward, and likewise for reverse.  Transition
+        lineages are chronological, so a target structure version is always
+        reached by walking consistently into the future (``F``) or the past
+        (``F⁻¹``); a direction switch would overshoot into a sibling branch
+        and manufacture spurious flow (e.g. a fact on a member leaking into
+        its split-sibling through their common ancestor, or into an
+        unrelated member through a later merge).
+
+        Unreachable targets are simply absent from the result (the
+        MultiVersion fact table reports those facts as unmapped).
+        """
+        ms = list(measures) if measures is not None else list(self._measures)
+        if source in targets:
+            return [
+                Route(
+                    source=source,
+                    target=source,
+                    maps={m: MeasureMap(IdentityMapping(), SD) for m in ms},
+                    hops=0,
+                )
+            ]
+        results: list[Route] = []
+        identity = {m: MeasureMap(IdentityMapping(), SD) for m in ms}
+        # Iterative DFS over direction-monotone simple paths: entries are
+        # (node, accumulated maps, depth, visited nodes, path direction).
+        stack: deque[
+            tuple[str, dict[str, MeasureMap], int, frozenset[str], str | None]
+        ] = deque()
+        stack.append((source, identity, 0, frozenset((source,)), None))
+        while stack:
+            node, acc, depth, visited, direction = stack.pop()
+            if depth >= max_hops:
+                continue
+            for neighbour, step, edge_direction in self._neighbours(node, ms):
+                if neighbour in visited:
+                    continue
+                if direction is not None and edge_direction != direction:
+                    continue  # keep the path monotone in time
+                composed = {
+                    m: (
+                        acc[m].compose(step[m], self._aggregator)
+                        if depth > 0
+                        else step[m]
+                    )
+                    for m in ms
+                }
+                if neighbour in targets:
+                    results.append(
+                        Route(
+                            source=source,
+                            target=neighbour,
+                            maps=composed,
+                            hops=depth + 1,
+                        )
+                    )
+                    continue  # a path ends at the first target it reaches
+                stack.append(
+                    (
+                        neighbour,
+                        composed,
+                        depth + 1,
+                        visited | {neighbour},
+                        edge_direction,
+                    )
+                )
+        return results

@@ -1,0 +1,109 @@
+"""Member versions (Definition 1).
+
+A *member* is an object of interest to the analyst ("Dpt.Jones", "Sales").
+Because members change, the model stores *member versions*: states of a
+member that are unchanged and coherent over a valid-time slice.  A member
+version is the tuple ``<MVid, Name, [A], [Level], ti, tf>`` of the paper.
+
+Several versions of the same member may have overlapping valid times
+(Definition 1's note) — the model never requires an exact history partition,
+unlike Kimball's Type-2 slowly changing dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from .chronology import NOW, Endpoint, Instant, Interval
+from .errors import ModelError
+
+__all__ = ["MemberVersion"]
+
+
+@dataclass(frozen=True)
+class MemberVersion:
+    """One state of a member over a valid-time slice.
+
+    Parameters
+    ----------
+    mvid:
+        Unique identifier of this member version within its dimension.
+    name:
+        Name of the *member* this version belongs to.  Two versions with the
+        same ``name`` are versions of the same member.
+    valid_time:
+        The ``[ti, tf]`` slice over which this version holds.
+    attributes:
+        Optional user-defined attributes ``[A]`` (frozen on construction).
+    level:
+        Optional explicit level name.  When *every* member version of a
+        dimension carries a level, levels are the equivalence classes of the
+        "has same level field" relation; otherwise they are inferred from
+        DAG depth (Definition 4).
+    """
+
+    mvid: str
+    name: str
+    valid_time: Interval
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    level: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.mvid:
+            raise ModelError("member version id must be a non-empty string")
+        if not self.name:
+            raise ModelError(f"member version {self.mvid!r} needs a member name")
+        # Freeze the attribute mapping so the dataclass is deeply immutable.
+        object.__setattr__(
+            self, "attributes", MappingProxyType(dict(self.attributes))
+        )
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def start(self) -> Instant:
+        """Start of the valid time (``ti``)."""
+        return self.valid_time.start
+
+    @property
+    def end(self) -> Endpoint:
+        """End of the valid time (``tf``, possibly ``NOW``)."""
+        return self.valid_time.end
+
+    def valid_at(self, t: Instant) -> bool:
+        """Whether this version is valid at instant ``t``."""
+        return self.valid_time.contains(t)
+
+    def valid_throughout(self, interval: Interval) -> bool:
+        """Whether this version is valid over the whole ``interval`` —
+        the membership test of a structure version (Definition 9)."""
+        return self.valid_time.covers(interval)
+
+    def excluded_at(self, tf: Instant) -> "MemberVersion":
+        """A copy whose validity ends at ``tf - 1`` (the Exclude operator of
+        §3.2 sets the end time of a member version to ``tf - 1``)."""
+        if tf <= self.start:
+            raise ModelError(
+                f"cannot exclude {self.mvid!r} at {tf}: version starts at {self.start}"
+            )
+        return replace(self, valid_time=self.valid_time.truncate_end(tf - 1))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemberVersion):
+            return NotImplemented
+        return (
+            self.mvid == other.mvid
+            and self.name == other.name
+            and self.valid_time == other.valid_time
+            and dict(self.attributes) == dict(other.attributes)
+            and self.level == other.level
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mvid, self.name, self.valid_time, self.level))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        level = f", level={self.level!r}" if self.level else ""
+        return f"<{self.mvid}, {self.name!r}{level}, {self.valid_time!r}>"

@@ -1,0 +1,341 @@
+"""The MultiVersion Fact Table (Definition 11).
+
+``f' : D1 × ... × Dn × T × TMP → dom(m1) × ... × dom(mm) × CF^m`` associates
+measure values *and confidence factors* to leaf member versions valid for a
+given presentation mode (not necessarily for the fact's own time ``t``), a
+time and a mode.
+
+The table is **inferred** from the Temporal Multidimensional Schema:
+
+* the ``tcm`` slice is the temporally consistent fact table with every
+  confidence set to ``sd`` (the paper's identity
+  ``f'|tcm = f × {sd}^m``);
+* for each structure-version mode ``VMi``, every consistent fact is routed
+  along mapping relationships to the leaf member versions valid in ``Vi``:
+  a fact already valid there keeps its value with ``sd``, others traverse
+  the mapping graph (``F`` forward, ``F⁻¹`` backward), composing functions
+  and confidences hop by hop;
+* several contributions landing on the same ``(coordinates, t, mode)`` cell
+  (merges) are folded with each measure's ``⊕`` and the confidence
+  aggregate ``⊗cf`` (Definition 12);
+* facts with *no route at all* into a mode are collected in
+  :attr:`MultiVersionFactTable.unmapped` — the impossible cross-points the
+  §5.2 front end paints red.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+from .chronology import Instant
+from .confidence import ConfidenceFactor, SD, UK
+from .errors import QueryError
+from .facts import FactRow
+from .mapping import Route
+from .presentation import ModeSet, PresentationMode, TCM_LABEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .schema import TemporalMultidimensionalSchema
+
+__all__ = ["MVFactRow", "UnmappedFact", "MultiVersionFactTable"]
+
+
+@dataclass(frozen=True)
+class MVFactRow:
+    """One cell of the MultiVersion fact table.
+
+    ``coordinates`` are leaf member version ids valid in the row's mode;
+    ``values`` may hold ``None`` for unknown-mapped measures, whose
+    ``confidences`` entry is then ``uk``.  ``provenance`` records how each
+    contribution was computed (source coordinates and applied conversions) —
+    the §5.2 metadata giving the user "direct access to very precise
+    information on the way the data were calculated".
+    """
+
+    coordinates: Mapping[str, str]
+    t: Instant
+    mode: str
+    values: Mapping[str, float | None]
+    confidences: Mapping[str, ConfidenceFactor]
+    provenance: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coordinates", MappingProxyType(dict(self.coordinates)))
+        object.__setattr__(self, "values", MappingProxyType(dict(self.values)))
+        object.__setattr__(self, "confidences", MappingProxyType(dict(self.confidences)))
+
+    def value(self, measure: str) -> float | None:
+        """The (possibly unknown) value of ``measure``."""
+        return self.values.get(measure)
+
+    def confidence(self, measure: str) -> ConfidenceFactor:
+        """The confidence factor attached to ``measure``."""
+        return self.confidences.get(measure, UK)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        coords = ", ".join(f"{d}={m}" for d, m in sorted(self.coordinates.items()))
+        vals = ", ".join(
+            f"{m}={v}({self.confidences[m].symbol})" for m, v in self.values.items()
+        )
+        return f"MVFact[{self.mode}]({coords}, t={self.t}, {vals})"
+
+
+@dataclass(frozen=True)
+class UnmappedFact:
+    """A consistent fact that cannot be presented in a mode at all.
+
+    ``dimension`` names the axis along which no mapping route exists from
+    the fact's member version into the mode's structure version.
+    """
+
+    fact: FactRow
+    mode: str
+    dimension: str
+    source: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Unmapped(mode={self.mode}, dim={self.dimension}, "
+            f"source={self.source}, t={self.fact.t})"
+        )
+
+
+class _CellAccumulator:
+    """Collects contributions to one MV cell and folds them (Definition 12)."""
+
+    __slots__ = ("contributions", "provenance")
+
+    def __init__(self) -> None:
+        self.contributions: dict[str, list[tuple[float | None, ConfidenceFactor]]] = {}
+        self.provenance: list[str] = []
+
+    def add(
+        self,
+        measure: str,
+        value: float | None,
+        confidence: ConfidenceFactor,
+    ) -> None:
+        self.contributions.setdefault(measure, []).append((value, confidence))
+
+
+class MultiVersionFactTable:
+    """The inferred multiversion store behind every presentation mode.
+
+    Build with :meth:`build`; query with :meth:`slice`, :meth:`lookup` and
+    :meth:`rows`.  The builder memoizes mapping routes per (member version,
+    structure version) so repeated facts on the same member are cheap.
+    """
+
+    def __init__(
+        self,
+        schema: "TemporalMultidimensionalSchema",
+        modes: ModeSet,
+        rows_by_mode: dict[str, list[MVFactRow]],
+        unmapped: list[UnmappedFact],
+    ) -> None:
+        self._schema = schema
+        self._modes = modes
+        self._rows_by_mode = rows_by_mode
+        self._unmapped = unmapped
+        self._index: dict[tuple[tuple[tuple[str, str], ...], Instant, str], MVFactRow] = {}
+        for mode_rows in rows_by_mode.values():
+            for row in mode_rows:
+                key = (tuple(sorted(row.coordinates.items())), row.t, row.mode)
+                self._index[key] = row
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        schema: "TemporalMultidimensionalSchema",
+        *,
+        horizon: Instant | None = None,
+        max_hops: int = 8,
+        mode_labels: Sequence[str] | None = None,
+    ) -> "MultiVersionFactTable":
+        """Infer ``f'`` from the schema (Definition 11).
+
+        ``mode_labels`` restricts inference to a subset of modes (always
+        including any requested version modes; ``tcm`` is cheap and always
+        materialized unless explicitly excluded).
+        """
+        modes = schema.presentation_modes(horizon=horizon)
+        wanted = list(modes.labels) if mode_labels is None else list(mode_labels)
+        for label in wanted:
+            modes.mode(label)  # raise early on unknown labels
+        measures = schema.measure_names
+        aggregator = schema.cf_aggregator
+        rows_by_mode: dict[str, list[MVFactRow]] = {}
+        unmapped: list[UnmappedFact] = []
+
+        if TCM_LABEL in wanted:
+            rows_by_mode[TCM_LABEL] = [
+                MVFactRow(
+                    coordinates=row.coordinates,
+                    t=row.t,
+                    mode=TCM_LABEL,
+                    values={m: row.value(m) for m in measures},
+                    confidences={m: SD for m in measures},
+                    provenance=("source data",),
+                )
+                for row in schema.facts
+            ]
+
+        route_cache: dict[tuple[str, str, str], list[Route]] = {}
+        for mode in modes:
+            if mode.is_tcm or mode.label not in wanted:
+                continue
+            rows_by_mode[mode.label] = cls._build_mode(
+                schema,
+                mode,
+                measures,
+                aggregator,
+                route_cache,
+                unmapped,
+                max_hops,
+            )
+        return cls(schema, modes, rows_by_mode, unmapped)
+
+    @staticmethod
+    def _build_mode(
+        schema: "TemporalMultidimensionalSchema",
+        mode: PresentationMode,
+        measures: list[str],
+        aggregator,
+        route_cache: dict[tuple[str, str, str], list[Route]],
+        unmapped: list[UnmappedFact],
+        max_hops: int,
+    ) -> list[MVFactRow]:
+        version = mode.version
+        assert version is not None
+        targets = {did: version.leaf_ids(did) for did in schema.dimension_ids}
+        cells: dict[tuple[tuple[tuple[str, str], ...], Instant], _CellAccumulator] = {}
+
+        for fact in schema.facts:
+            routes_per_dim: list[list[Route]] = []
+            blocked_dim: str | None = None
+            blocked_src = ""
+            for did in schema.dimension_ids:
+                source = fact.coordinate(did)
+                cache_key = (source, version.vsid, did)
+                if cache_key not in route_cache:
+                    route_cache[cache_key] = schema.mappings.routes(
+                        source,
+                        targets[did],
+                        measures=measures,
+                        max_hops=max_hops,
+                    )
+                routes = route_cache[cache_key]
+                if not routes:
+                    blocked_dim, blocked_src = did, source
+                    break
+                routes_per_dim.append(routes)
+            if blocked_dim is not None:
+                unmapped.append(
+                    UnmappedFact(
+                        fact=fact,
+                        mode=mode.label,
+                        dimension=blocked_dim,
+                        source=blocked_src,
+                    )
+                )
+                continue
+
+            for combo in itertools.product(*routes_per_dim):
+                coords = {
+                    did: route.target
+                    for did, route in zip(schema.dimension_ids, combo)
+                }
+                key = (tuple(sorted(coords.items())), fact.t)
+                acc = cells.setdefault(key, _CellAccumulator())
+                steps: list[str] = []
+                for m in measures:
+                    value = fact.value(m)
+                    confidence = SD
+                    for route in combo:
+                        value = route.convert(m, value)
+                        confidence = aggregator.combine(
+                            confidence, route.confidence(m)
+                        )
+                    acc.add(m, value, confidence)
+                for route in combo:
+                    if route.hops:
+                        described = {
+                            m: route.maps[m].function.describe() for m in measures
+                        }
+                        steps.append(
+                            f"{route.source} -> {route.target} via {described}"
+                        )
+                acc.provenance.append(
+                    "; ".join(steps) if steps else "valid in version (source data)"
+                )
+
+        rows: list[MVFactRow] = []
+        for (coord_items, t), acc in cells.items():
+            values: dict[str, float | None] = {}
+            confidences: dict[str, ConfidenceFactor] = {}
+            for m in measures:
+                contribs = acc.contributions.get(m, [])
+                agg = schema.measure(m).aggregate
+                values[m] = agg.combine_all(v for v, _ in contribs)
+                confidences[m] = aggregator.combine_all(cf for _, cf in contribs)
+            rows.append(
+                MVFactRow(
+                    coordinates=dict(coord_items),
+                    t=t,
+                    mode=mode.label,
+                    values=values,
+                    confidences=confidences,
+                    provenance=tuple(acc.provenance),
+                )
+            )
+        rows.sort(key=lambda r: (r.t, tuple(sorted(r.coordinates.items()))))
+        return rows
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> "TemporalMultidimensionalSchema":
+        """The schema this table was inferred from."""
+        return self._schema
+
+    @property
+    def modes(self) -> ModeSet:
+        """The presentation modes (Definition 10)."""
+        return self._modes
+
+    @property
+    def unmapped(self) -> list[UnmappedFact]:
+        """Facts with no route into some mode (red cells in the §5.2 UI)."""
+        return list(self._unmapped)
+
+    def slice(self, mode_label: str) -> list[MVFactRow]:
+        """All rows of one presentation mode."""
+        if mode_label not in self._rows_by_mode:
+            if mode_label in self._modes:
+                return []
+            raise QueryError(f"unknown presentation mode {mode_label!r}")
+        return list(self._rows_by_mode[mode_label])
+
+    def rows(self) -> Iterator[MVFactRow]:
+        """Iterate every materialized row across modes."""
+        for mode_rows in self._rows_by_mode.values():
+            yield from mode_rows
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._rows_by_mode.values())
+
+    def lookup(
+        self, coordinates: Mapping[str, str], t: Instant, mode_label: str
+    ) -> MVFactRow | None:
+        """The cell at exactly these coordinates/time/mode, if materialized."""
+        key = (tuple(sorted(coordinates.items())), t, mode_label)
+        return self._index.get(key)
+
+    def cell_count(self) -> dict[str, int]:
+        """Number of materialized cells per mode (storage-redundancy bench)."""
+        return {label: len(rows) for label, rows in self._rows_by_mode.items()}

@@ -1,0 +1,534 @@
+"""Simple and complex evolution operations (§2.3, Table 11).
+
+The paper lists six *simple* operations on dimension instances — creation,
+deletion, transformation, merging, splitting, reclassification — and shows
+that complex operations (increasing, decreasing, partial annexation) are
+combinations of them.  Every operation compiles down to a sequence of the
+four basic operators of §3.2, exactly as Table 11 illustrates.
+
+:class:`EvolutionManager` is the administrator-facing API: each method
+applies one operation to the schema through a :class:`SchemaEditor` and
+returns an :class:`OperationResult` carrying the executed basic-operator
+sequence — the Table 11 reproduction prints these verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from .chronology import NOW, Endpoint, Instant
+from .confidence import AM, EM, ConfidenceFactor, UK
+from .errors import OperatorError
+from .mapping import (
+    LinearMapping,
+    MappingRelationship,
+    MeasureMap,
+    UnknownMapping,
+    identity_maps,
+)
+from .operators import OperatorRecord, SchemaEditor
+from .schema import TemporalMultidimensionalSchema
+
+__all__ = ["OperationResult", "EvolutionManager"]
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of one simple/complex operation.
+
+    ``operation`` names the operation (``"merge"``, ``"split"``, ...),
+    ``records`` is the sequence of basic operators it compiled to (Table
+    11) and ``created`` lists the member versions brought into existence.
+    """
+
+    operation: str
+    description: str
+    records: tuple[OperatorRecord, ...]
+    created: tuple[str, ...] = ()
+
+    def renderings(self) -> list[str]:
+        """Paper-style operator call syntax, one line per basic operator."""
+        return [record.rendering for record in self.records]
+
+
+class EvolutionManager:
+    """High-level evolution operations compiled to basic operators."""
+
+    def __init__(self, schema: TemporalMultidimensionalSchema) -> None:
+        self.schema = schema
+        self.editor = SchemaEditor(schema)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _measures(self) -> list[str]:
+        return self.schema.measure_names
+
+    def _shares_to_maps(
+        self,
+        shares: Mapping[str, float] | float | None,
+        confidence: ConfidenceFactor,
+    ) -> dict[str, MeasureMap]:
+        """Normalize a user share spec into per-measure measure maps.
+
+        ``shares`` may be a single factor (applied to every measure), a
+        per-measure mapping, or ``None`` for an unknown conversion.
+        """
+        if shares is None:
+            return {m: MeasureMap(UnknownMapping(), UK) for m in self._measures()}
+        if isinstance(shares, (int, float)):
+            return {
+                m: MeasureMap(LinearMapping(float(shares)), confidence)
+                for m in self._measures()
+            }
+        out: dict[str, MeasureMap] = {}
+        for m in self._measures():
+            if m in shares:
+                out[m] = MeasureMap(LinearMapping(float(shares[m])), confidence)
+            else:
+                out[m] = MeasureMap(UnknownMapping(), UK)
+        return out
+
+    def _surviving_parents(self, did: str, mvid: str, t: Instant) -> list[str]:
+        """Parents of ``mvid`` just before ``t`` that are still valid at ``t``.
+
+        Used as the default position for the member versions an operation
+        creates: a merged department stays under the division its sources
+        reported to, unless the administrator overrides the parents.
+        """
+        dim = self.schema.dimension(did)
+        snap = dim.at(t - 1)
+        if mvid not in snap:
+            return []
+        return [p for p in snap.parents(mvid) if dim.member(p).valid_at(t)]
+
+    def _wrap(
+        self,
+        operation: str,
+        description: str,
+        mark: int,
+        created: Sequence[str] = (),
+    ) -> OperationResult:
+        return OperationResult(
+            operation=operation,
+            description=description,
+            records=tuple(self.editor.records_since(mark)),
+            created=tuple(created),
+        )
+
+    # -- simple operations (§2.3) ---------------------------------------------------
+
+    def create_member(
+        self,
+        did: str,
+        mvid: str,
+        name: str,
+        t: Instant,
+        *,
+        tf: Endpoint = NOW,
+        parents: Sequence[str] = (),
+        children: Sequence[str] = (),
+        attributes: Mapping[str, Any] | None = None,
+        level: str | None = None,
+    ) -> OperationResult:
+        """Creation of a dimension member: a single ``Insert``."""
+        mark = self.editor.mark()
+        self.editor.insert(
+            did,
+            mvid,
+            name,
+            t,
+            tf,
+            parents=parents,
+            children=children,
+            attributes=attributes,
+            level=level,
+        )
+        return self._wrap(
+            "create", f"creation of {name!r} at {t} in {did!r}", mark, [mvid]
+        )
+
+    def delete_member(self, did: str, mvid: str, t: Instant) -> OperationResult:
+        """Deletion of a dimension member: a single ``Exclude``.
+
+        No mapping relationship is created, so facts recorded on the member
+        cannot be presented in later structure versions (they surface in
+        the MultiVersion fact table's ``unmapped`` set).
+        """
+        mark = self.editor.mark()
+        self.editor.exclude(did, mvid, t)
+        return self._wrap("delete", f"deletion of {mvid!r} at {t} in {did!r}", mark)
+
+    def transform_member(
+        self,
+        did: str,
+        mvid: str,
+        new_mvid: str,
+        new_name: str,
+        t: Instant,
+        *,
+        attributes: Mapping[str, Any] | None = None,
+        level: str | None = None,
+        confidence: ConfidenceFactor = EM,
+    ) -> OperationResult:
+        """Transformation (change of name/attribute/meaning): an equivalence
+        transition — ``Exclude`` + ``Insert`` + identity ``Associate``."""
+        mark = self.editor.mark()
+        parents = self._surviving_parents(did, mvid, t)
+        old = self.schema.dimension(did).member(mvid)
+        self.editor.exclude(did, mvid, t)
+        self.editor.insert(
+            did,
+            new_mvid,
+            new_name,
+            t,
+            attributes=attributes if attributes is not None else dict(old.attributes),
+            level=level if level is not None else old.level,
+            parents=parents,
+        )
+        self.editor.associate(
+            MappingRelationship(
+                source=mvid,
+                target=new_mvid,
+                forward=identity_maps(self._measures(), confidence),
+                reverse=identity_maps(self._measures(), confidence),
+            )
+        )
+        return self._wrap(
+            "transform",
+            f"change from {mvid!r} to {new_mvid!r} at {t}",
+            mark,
+            [new_mvid],
+        )
+
+    def merge_members(
+        self,
+        did: str,
+        sources: Sequence[str],
+        new_mvid: str,
+        new_name: str,
+        t: Instant,
+        *,
+        reverse_shares: Mapping[str, Mapping[str, float] | float | None] | None = None,
+        parents: Sequence[str] | None = None,
+        confidence: ConfidenceFactor = AM,
+        level: str | None = None,
+    ) -> OperationResult:
+        """Merging of ``n`` members into one (Table 11's *Merge*).
+
+        Each source is excluded, the merged member inserted, and one
+        ``Associate`` added per source: forward identity (``em`` — each old
+        value contributes as-is to the merged member), reverse given by
+        ``reverse_shares[source]`` (a factor, per-measure factors, or
+        ``None`` for an unknown back-mapping).
+
+        When ``parents`` is omitted the merged member inherits the *union*
+        of the sources' parents; merging members of different parents thus
+        creates a multiple hierarchy (the merged member rolls up into both)
+        — pass ``parents`` explicitly to pick a single home instead.
+        """
+        if len(sources) < 2:
+            raise OperatorError("merging needs at least two source members")
+        mark = self.editor.mark()
+        if parents is None:
+            inferred: list[str] = []
+            for src in sources:
+                for p in self._surviving_parents(did, src, t):
+                    if p not in inferred:
+                        inferred.append(p)
+            parents = inferred
+        old_levels = {
+            self.schema.dimension(did).member(src).level for src in sources
+        }
+        if level is None and len(old_levels) == 1:
+            level = next(iter(old_levels))
+        for src in sources:
+            self.editor.exclude(did, src, t)
+        self.editor.insert(did, new_mvid, new_name, t, parents=parents, level=level)
+        shares = reverse_shares or {}
+        for src in sources:
+            self.editor.associate(
+                MappingRelationship(
+                    source=src,
+                    target=new_mvid,
+                    forward=identity_maps(self._measures(), EM),
+                    reverse=self._shares_to_maps(shares.get(src), confidence),
+                )
+            )
+        return self._wrap(
+            "merge",
+            f"merge of {list(sources)} into {new_mvid!r} at {t}",
+            mark,
+            [new_mvid],
+        )
+
+    def split_member(
+        self,
+        did: str,
+        source: str,
+        parts: Mapping[str, tuple[str, Mapping[str, float] | float | None]],
+        t: Instant,
+        *,
+        parents: Sequence[str] | None = None,
+        confidence: ConfidenceFactor = AM,
+        level: str | None = None,
+    ) -> OperationResult:
+        """Splitting of one member into ``n`` (the paper's Dpt.Jones case).
+
+        ``parts`` maps each new member version id to ``(name, shares)``:
+        the forward conversion is ``x → share·x`` with ``confidence``
+        (approximated by default), the reverse is identity/``em`` — values
+        of a part report exactly into the old whole, as in Example 6.
+        """
+        if len(parts) < 2:
+            raise OperatorError("splitting needs at least two parts")
+        mark = self.editor.mark()
+        if parents is None:
+            parents = self._surviving_parents(did, source, t)
+        if level is None:
+            level = self.schema.dimension(did).member(source).level
+        self.editor.exclude(did, source, t)
+        for new_mvid, (name, _) in parts.items():
+            self.editor.insert(did, new_mvid, name, t, parents=parents, level=level)
+        for new_mvid, (_, shares) in parts.items():
+            self.editor.associate(
+                MappingRelationship(
+                    source=source,
+                    target=new_mvid,
+                    forward=self._shares_to_maps(shares, confidence),
+                    reverse=identity_maps(self._measures(), EM),
+                )
+            )
+        return self._wrap(
+            "split",
+            f"split of {source!r} into {list(parts)} at {t}",
+            mark,
+            list(parts),
+        )
+
+    def reclassify_member(
+        self,
+        did: str,
+        mvid: str,
+        t: Instant,
+        *,
+        old_parents: Sequence[str] = (),
+        new_parents: Sequence[str] = (),
+        tf: Endpoint = NOW,
+    ) -> OperationResult:
+        """Reclassification in the dimension structure — the conceptual
+        ``Reclassify`` operator (the member version is untouched; only its
+        relationships change)."""
+        mark = self.editor.mark()
+        self.editor.reclassify(
+            did, mvid, t, tf, old_parents=old_parents, new_parents=new_parents
+        )
+        return self._wrap(
+            "reclassify",
+            f"reclassification of {mvid!r} at {t}: "
+            f"{list(old_parents)} -> {list(new_parents)}",
+            mark,
+        )
+
+    # -- complex operations (§2.3, Table 11) -------------------------------------------
+
+    def increase_member(
+        self,
+        did: str,
+        mvid: str,
+        new_mvid: str,
+        new_name: str,
+        t: Instant,
+        factor: float,
+        *,
+        confidence: ConfidenceFactor = AM,
+    ) -> OperationResult:
+        """Increasing (creation followed by merging, collapsed as in Table
+        11): values scale by ``factor`` forward and ``1/factor`` backward,
+        both approximated."""
+        if factor <= 0:
+            raise OperatorError("increase factor must be positive")
+        mark = self.editor.mark()
+        parents = self._surviving_parents(did, mvid, t)
+        old = self.schema.dimension(did).member(mvid)
+        self.editor.exclude(did, mvid, t)
+        self.editor.insert(did, new_mvid, new_name, t, parents=parents, level=old.level)
+        self.editor.associate(
+            MappingRelationship(
+                source=mvid,
+                target=new_mvid,
+                forward=self._shares_to_maps(factor, confidence),
+                reverse=self._shares_to_maps(1.0 / factor, confidence),
+            )
+        )
+        return self._wrap(
+            "increase",
+            f"increase of {mvid!r} into {new_mvid!r} by {factor:g} at {t}",
+            mark,
+            [new_mvid],
+        )
+
+    def decrease_member(
+        self,
+        did: str,
+        mvid: str,
+        new_mvid: str,
+        new_name: str,
+        t: Instant,
+        kept_share: float,
+        *,
+        confidence: ConfidenceFactor = AM,
+    ) -> OperationResult:
+        """Decreasing (splitting followed by a deletion, collapsed): only a
+        ``kept_share`` of the old member survives into the new version; the
+        rest disappears."""
+        if not 0 < kept_share < 1:
+            raise OperatorError("kept_share must lie strictly between 0 and 1")
+        mark = self.editor.mark()
+        parents = self._surviving_parents(did, mvid, t)
+        old = self.schema.dimension(did).member(mvid)
+        self.editor.exclude(did, mvid, t)
+        self.editor.insert(did, new_mvid, new_name, t, parents=parents, level=old.level)
+        self.editor.associate(
+            MappingRelationship(
+                source=mvid,
+                target=new_mvid,
+                forward=self._shares_to_maps(kept_share, confidence),
+                reverse=identity_maps(self._measures(), EM),
+            )
+        )
+        return self._wrap(
+            "decrease",
+            f"decrease of {mvid!r} into {new_mvid!r} (kept {kept_share:g}) at {t}",
+            mark,
+            [new_mvid],
+        )
+
+    def partial_annexation(
+        self,
+        did: str,
+        donor: str,
+        acceptor: str,
+        new_donor: tuple[str, str],
+        new_acceptor: tuple[str, str],
+        t: Instant,
+        *,
+        donated_fraction: float,
+        acceptor_reverse_factor: float,
+        donated_share_of_acceptor: float,
+        confidence: ConfidenceFactor = AM,
+    ) -> OperationResult:
+        """Partial annexation (Table 11): a ``donated_fraction`` of the
+        donor moves to the acceptor.
+
+        Six basic operators: both members excluded, their successors
+        inserted, and three ``Associate`` calls — donor→donor⁻ (keeps
+        ``1 - donated_fraction``), acceptor→acceptor⁺ (identity forward,
+        ``acceptor_reverse_factor`` backward) and donor→acceptor⁺
+        (``donated_fraction`` forward, ``donated_share_of_acceptor``
+        backward), exactly the paper's 10 % / 20 % example.
+        """
+        if not 0 < donated_fraction < 1:
+            raise OperatorError("donated_fraction must lie strictly between 0 and 1")
+        mark = self.editor.mark()
+        donor_parents = self._surviving_parents(did, donor, t)
+        acceptor_parents = self._surviving_parents(did, acceptor, t)
+        donor_level = self.schema.dimension(did).member(donor).level
+        acceptor_level = self.schema.dimension(did).member(acceptor).level
+        self.editor.exclude(did, donor, t)
+        self.editor.exclude(did, acceptor, t)
+        d_mvid, d_name = new_donor
+        a_mvid, a_name = new_acceptor
+        self.editor.insert(
+            did, d_mvid, d_name, t, parents=donor_parents, level=donor_level
+        )
+        self.editor.insert(
+            did, a_mvid, a_name, t, parents=acceptor_parents, level=acceptor_level
+        )
+        self.editor.associate(
+            MappingRelationship(
+                source=donor,
+                target=d_mvid,
+                forward=self._shares_to_maps(1.0 - donated_fraction, confidence),
+                reverse=identity_maps(self._measures(), EM),
+            )
+        )
+        self.editor.associate(
+            MappingRelationship(
+                source=acceptor,
+                target=a_mvid,
+                forward=identity_maps(self._measures(), EM),
+                reverse=self._shares_to_maps(acceptor_reverse_factor, confidence),
+            )
+        )
+        self.editor.associate(
+            MappingRelationship(
+                source=donor,
+                target=a_mvid,
+                forward=self._shares_to_maps(donated_fraction, confidence),
+                reverse=self._shares_to_maps(donated_share_of_acceptor, confidence),
+            )
+        )
+        return self._wrap(
+            "partial_annexation",
+            f"partial annexation of {donated_fraction:.0%} of {donor!r} by "
+            f"{acceptor!r} at {t}",
+            mark,
+            [d_mvid, a_mvid],
+        )
+
+    # -- schema-level evolutions (§2.3: treated through instances) ----------------------
+
+    def create_level(
+        self,
+        did: str,
+        members: Mapping[str, str],
+        t: Instant,
+        *,
+        level: str,
+        parents_of: Mapping[str, Sequence[str]] | None = None,
+        children_of: Mapping[str, Sequence[str]] | None = None,
+    ) -> OperationResult:
+        """Introducing a level == creating the members of that level.
+
+        ``members`` maps new member version ids to names; ``parents_of`` and
+        ``children_of`` wire each new member into the hierarchy.
+        """
+        mark = self.editor.mark()
+        for mvid, name in members.items():
+            self.editor.insert(
+                did,
+                mvid,
+                name,
+                t,
+                level=level,
+                parents=(parents_of or {}).get(mvid, ()),
+                children=(children_of or {}).get(mvid, ()),
+            )
+        return self._wrap(
+            "create_level",
+            f"creation of level {level!r} in {did!r} at {t}",
+            mark,
+            list(members),
+        )
+
+    def delete_level(self, did: str, level: str, t: Instant) -> OperationResult:
+        """Deleting a level == excluding the members of that level at ``t``."""
+        dim = self.schema.dimension(did)
+        snap = dim.at(t - 1)
+        victims = snap.levels().get(level, [])
+        if not victims:
+            raise OperatorError(
+                f"dimension {did!r} has no level {level!r} at {t - 1}"
+            )
+        mark = self.editor.mark()
+        for mvid in victims:
+            self.editor.exclude(did, mvid, t)
+        return self._wrap(
+            "delete_level", f"deletion of level {level!r} in {did!r} at {t}", mark
+        )
+
+    @property
+    def journal(self) -> list[OperatorRecord]:
+        """The full basic-operator journal, across all operations."""
+        return list(self.editor.journal)

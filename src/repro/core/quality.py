@@ -1,0 +1,96 @@
+"""The global quality factor of a presentation mode (§5.2).
+
+Once a request is built, the prototype computes, for each temporal mode, a
+global quality factor::
+
+    Q = ( Σ_i Σ_j pds(fb(i, j)) ) / (Ni * Nj * 10)
+
+where ``pds`` is a user-pondered weight (0 weakest .. 10 best) assigned to
+each confidence factor, and ``Ni``/``Nj`` are the numbers of lines and
+columns of the result.  The user then picks the best version among the
+temporal modes of presentation according to their own quality criteria.
+
+This module computes ``Q`` over :class:`~repro.core.query.ResultTable`
+objects and ranks modes for a given query.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, TYPE_CHECKING
+
+from .confidence import AM, EM, SD, UK, ConfidenceFactor
+from .errors import QualityError
+from .query import Query, QueryEngine, ResultTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["DEFAULT_WEIGHTS", "quality_factor", "rank_modes"]
+
+DEFAULT_WEIGHTS: dict[str, int] = {
+    SD.symbol: 10,
+    EM.symbol: 8,
+    AM.symbol: 5,
+    UK.symbol: 0,
+}
+"""A sensible default ``pds``: source data best, unknown mappings worthless.
+
+The paper leaves the weights to the user; override per call.
+"""
+
+
+def _weight(
+    confidence: ConfidenceFactor | None, weights: Mapping[str, int]
+) -> int:
+    if confidence is None:
+        # An empty cell carries no information — treated like an unknown
+        # mapping (the prototype paints these cross-points red).
+        return weights.get(UK.symbol, 0)
+    try:
+        return weights[confidence.symbol]
+    except KeyError:
+        raise QualityError(
+            f"no quality weight declared for confidence {confidence.symbol!r}"
+        ) from None
+
+
+def quality_factor(
+    result: ResultTable, weights: Mapping[str, int] | None = None
+) -> float:
+    """The §5.2 quality factor ``Q`` of one result table, in ``[0, 1]``.
+
+    ``weights`` maps confidence symbols to integers in ``0..10``; missing
+    tables default to :data:`DEFAULT_WEIGHTS`.  An empty result has no
+    cells to judge and scores 0.
+    """
+    pds = dict(DEFAULT_WEIGHTS if weights is None else weights)
+    for symbol, w in pds.items():
+        if not 0 <= w <= 10:
+            raise QualityError(
+                f"quality weight for {symbol!r} must be within 0..10, got {w}"
+            )
+    confidences = result.cell_confidences()
+    if not confidences:
+        return 0.0
+    total = sum(_weight(cf, pds) for cf in confidences)
+    return total / (len(confidences) * 10)
+
+
+def rank_modes(
+    engine: QueryEngine,
+    query: Query,
+    weights: Mapping[str, int] | None = None,
+) -> list[tuple[str, float, ResultTable]]:
+    """Run ``query`` in every presentation mode and rank modes by ``Q``.
+
+    Returns ``(mode label, Q, result)`` triples, best mode first (ties keep
+    mode-set order, so ``tcm`` wins ties — consistent data is never worse
+    than a mapping of itself).
+    """
+    results = engine.execute_all_modes(query)
+    ranked = [
+        (label, quality_factor(table, weights), table)
+        for label, table in results.items()
+    ]
+    ranked.sort(key=lambda item: -item[1])
+    return ranked

@@ -1,0 +1,445 @@
+"""The multiversion query engine.
+
+This is the layer that answers the paper's motivating queries Q1 and Q2
+(§2.1) under every interpretation: *temporally consistent*, or *mapped into
+a chosen structure version* — the Temporal Modes of Presentation of
+Definition 10.
+
+A :class:`Query` declares:
+
+* a presentation ``mode`` (``"tcm"`` or a structure-version id),
+* ``group_by`` terms — a time bucket (:class:`TimeGroup`) and/or dimension
+  levels (:class:`LevelGroup`),
+* an optional time window and coordinate filter,
+* the measures to report.
+
+Execution groups MultiVersion fact rows of the requested mode, resolving
+each leaf coordinate to its ancestor(s) at the requested level **in the
+structure the mode prescribes**: the snapshot ``D(t)`` at the fact's own
+time for ``tcm``, the static restricted dimension for version modes.
+Measures fold with their ``⊕`` and confidences with ``⊗cf``, so every
+result cell carries the reliability tag the §5.2 front end colours by.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .chronology import Granularity, Instant, Interval, YEAR
+from .confidence import ConfidenceFactor
+from .dimension import DimensionSnapshot
+from .errors import QueryError
+from .multiversion import MVFactRow, MultiVersionFactTable
+from .presentation import PresentationMode, TCM_LABEL
+
+__all__ = [
+    "TimeGroup",
+    "LevelGroup",
+    "AttributeGroup",
+    "LevelFilter",
+    "Query",
+    "ResultCell",
+    "ResultRow",
+    "ResultTable",
+    "QueryEngine",
+]
+
+
+@dataclass(frozen=True)
+class TimeGroup:
+    """Group facts by a time bucket (e.g. year, as in Q1/Q2)."""
+
+    granularity: Granularity = YEAR
+
+    @property
+    def column(self) -> str:
+        """Column header in the result table."""
+        return self.granularity.name
+
+
+@dataclass(frozen=True)
+class LevelGroup:
+    """Group facts by the member at a hierarchy level of one dimension.
+
+    ``level`` is an explicit level name (``"Division"``) or a ``depth-<k>``
+    label when the dimension infers levels from DAG depth (Definition 4).
+    Labels in the result are member *names* (several member versions of the
+    same member share a name, exactly like the paper's tables).
+
+    With multiple hierarchies a leaf may have several ancestors at the
+    level: the fact then contributes to each (standard multi-rollup
+    semantics).  With a non-covering hierarchy a leaf may have none: it is
+    grouped under ``None``, rendered ``"(no <level>)"``.
+    """
+
+    dimension: str
+    level: str
+
+    @property
+    def column(self) -> str:
+        """Column header in the result table."""
+        return self.level
+
+
+@dataclass(frozen=True)
+class AttributeGroup:
+    """Group facts by a user-defined attribute of the leaf member version.
+
+    Member versions carry the optional attribute set ``[A]`` (Definition
+    1), and a *transformation* may change an attribute — creating a new
+    version.  Grouping by an attribute therefore honours the presentation
+    mode exactly like level grouping does: in ``tcm`` the attribute value
+    of the version valid at the fact's time applies; in a version mode the
+    attribute of the version living in that structure does.
+
+    Leaves without the attribute group under ``None``.
+    """
+
+    dimension: str
+    attribute: str
+
+    @property
+    def column(self) -> str:
+        """Column header in the result table."""
+        return self.attribute
+
+
+GroupTerm = TimeGroup | LevelGroup | AttributeGroup
+
+
+@dataclass(frozen=True)
+class LevelFilter:
+    """Keep only facts rolling up into given members of a level.
+
+    The filter is resolved *in the query's presentation mode*: slicing on
+    ``Division = Sales`` keeps the facts whose leaf coordinate rolls into
+    Sales in the structure the mode prescribes — D(t) for ``tcm``, the
+    static version structure otherwise.  With multiple hierarchies a fact
+    passes if *any* of its ancestors at the level matches.
+    """
+
+    dimension: str
+    level: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise QueryError("a level filter needs at least one value")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A declarative multiversion query.
+
+    Parameters
+    ----------
+    mode:
+        Presentation mode label: ``"tcm"`` or a structure version id.
+    group_by:
+        Group terms, in output column order.
+    measures:
+        Measure names to report (defaults to every schema measure).
+    time_range:
+        Optional closed interval filtering fact times.
+    level_filters:
+        Optional slice/dice restrictions resolved through the mode's
+        hierarchy (:class:`LevelFilter`).
+    coordinate_filter:
+        Optional predicate over the raw MV row, for restrictions the
+        declarative filters cannot express.
+    """
+
+    mode: str = TCM_LABEL
+    group_by: tuple[GroupTerm, ...] = ()
+    measures: tuple[str, ...] = ()
+    time_range: Interval | None = None
+    level_filters: tuple[LevelFilter, ...] = ()
+    coordinate_filter: Callable[[MVFactRow], bool] | None = None
+
+    def with_mode(self, mode: str) -> "Query":
+        """The same query presented in another mode — the user 'switching
+        between temporal modes' that §4.1 calls out."""
+        return Query(
+            mode=mode,
+            group_by=self.group_by,
+            measures=self.measures,
+            time_range=self.time_range,
+            level_filters=self.level_filters,
+            coordinate_filter=self.coordinate_filter,
+        )
+
+
+@dataclass(frozen=True)
+class ResultCell:
+    """One measure value of a result row, with its confidence."""
+
+    measure: str
+    value: float | None
+    confidence: ConfidenceFactor | None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cf = self.confidence.symbol if self.confidence else "-"
+        return f"{self.measure}={self.value}({cf})"
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One grouped row: the group key labels plus one cell per measure."""
+
+    group: tuple[object, ...]
+    cells: tuple[ResultCell, ...]
+
+    def value(self, measure: str) -> float | None:
+        """Value of ``measure`` in this row."""
+        for cell in self.cells:
+            if cell.measure == measure:
+                return cell.value
+        raise QueryError(f"result row has no measure {measure!r}")
+
+    def confidence(self, measure: str) -> ConfidenceFactor | None:
+        """Confidence of ``measure`` in this row."""
+        for cell in self.cells:
+            if cell.measure == measure:
+                return cell.confidence
+        raise QueryError(f"result row has no measure {measure!r}")
+
+
+class ResultTable:
+    """An ordered collection of result rows with named group columns."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        measures: Sequence[str],
+        rows: Iterable[ResultRow],
+        mode: str,
+    ) -> None:
+        self.columns = list(columns)
+        self.measures = list(measures)
+        self.mode = mode
+        self.rows = sorted(rows, key=lambda r: tuple(_sort_key(g) for g in r.group))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def as_dict(self) -> dict[tuple[object, ...], dict[str, float | None]]:
+        """``{group key: {measure: value}}`` — handy for assertions."""
+        return {
+            row.group: {cell.measure: cell.value for cell in row.cells}
+            for row in self.rows
+        }
+
+    def confidences(self) -> dict[tuple[object, ...], dict[str, str | None]]:
+        """``{group key: {measure: confidence symbol}}``."""
+        return {
+            row.group: {
+                cell.measure: cell.confidence.symbol if cell.confidence else None
+                for cell in row.cells
+            }
+            for row in self.rows
+        }
+
+    def cell_confidences(self) -> list[ConfidenceFactor | None]:
+        """Every cell's confidence, row-major — input to the §5.2 quality
+        factor ``Q``."""
+        return [cell.confidence for row in self.rows for cell in row.cells]
+
+    def to_text(self, *, show_confidence: bool = True) -> str:
+        """Render the table in the style of the paper's result tables."""
+        headers = [*self.columns, *self.measures]
+        body: list[list[str]] = []
+        for row in self.rows:
+            labels = [_render_label(g) for g in row.group]
+            for cell in row.cells:
+                if cell.value is None:
+                    text = "?"
+                else:
+                    text = f"{cell.value:g}"
+                if show_confidence and cell.confidence is not None:
+                    text += f" ({cell.confidence.symbol})"
+                labels.append(text)
+            body.append(labels)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+def _sort_key(value: object) -> tuple[int, str]:
+    if value is None:
+        return (1, "")
+    return (0, str(value))
+
+
+def _render_label(value: object) -> str:
+    return "(none)" if value is None else str(value)
+
+
+class QueryEngine:
+    """Executes :class:`Query` objects against a MultiVersion fact table."""
+
+    def __init__(self, mvft: MultiVersionFactTable) -> None:
+        self._mvft = mvft
+        self._schema = mvft.schema
+        self._snapshot_cache: dict[tuple[str, str, Instant], DimensionSnapshot] = {}
+        self._level_cache: dict[tuple[str, str, Instant, str, str], tuple[object, ...]] = {}
+
+    # -- structure resolution ---------------------------------------------------
+
+    def _snapshot(
+        self, mode: PresentationMode, did: str, t: Instant
+    ) -> DimensionSnapshot:
+        if mode.is_tcm:
+            key = (TCM_LABEL, did, t)
+            if key not in self._snapshot_cache:
+                self._snapshot_cache[key] = self._schema.dimension(did).at(t)
+            return self._snapshot_cache[key]
+        version = mode.version
+        assert version is not None
+        anchor = version.valid_time.start
+        key = (mode.label, did, anchor)
+        if key not in self._snapshot_cache:
+            self._snapshot_cache[key] = version.dimension(did).at(anchor)
+        return self._snapshot_cache[key]
+
+    def _labels_at_level(
+        self, mode: PresentationMode, term: LevelGroup, leaf: str, t: Instant
+    ) -> tuple[object, ...]:
+        """Member name(s) of the ancestors-or-self of ``leaf`` that sit at
+        the requested level in the mode's structure."""
+        anchor = t if mode.is_tcm else mode.version.valid_time.start  # type: ignore[union-attr]
+        cache_key = (mode.label, term.dimension, anchor, term.level, leaf)
+        if cache_key in self._level_cache:
+            return self._level_cache[cache_key]
+        snap = self._snapshot(mode, term.dimension, t)
+        if leaf not in snap:
+            self._level_cache[cache_key] = (None,)
+            return (None,)
+        level_ids = set(snap.levels().get(term.level, ()))
+        if not level_ids:
+            raise QueryError(
+                f"dimension {term.dimension!r} has no level {term.level!r} in "
+                f"mode {mode.label!r} (available: {sorted(snap.levels())})"
+            )
+        candidates = {leaf} | snap.ancestors(leaf)
+        hits = sorted(candidates & level_ids)
+        labels: tuple[object, ...]
+        if hits:
+            labels = tuple(snap.member(mvid).name for mvid in hits)
+        else:
+            labels = (None,)
+        self._level_cache[cache_key] = labels
+        return labels
+
+    def _passes_filters(
+        self,
+        mode: PresentationMode,
+        filters: tuple[LevelFilter, ...],
+        row: MVFactRow,
+    ) -> bool:
+        """Whether a row survives every level filter of the query."""
+        for flt in filters:
+            leaf = row.coordinates.get(flt.dimension)
+            if leaf is None:
+                raise QueryError(
+                    f"rows carry no coordinate for dimension {flt.dimension!r}"
+                )
+            labels = self._labels_at_level(
+                mode, LevelGroup(flt.dimension, flt.level), leaf, row.t
+            )
+            if not any(label in flt.values for label in labels):
+                return False
+        return True
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, query: Query) -> ResultTable:
+        """Run a query and return its grouped, confidence-tagged result."""
+        mode = self._mvft.modes.mode(query.mode)
+        measures = list(query.measures) or self._schema.measure_names
+        for m in measures:
+            self._schema.measure(m)
+        if not query.group_by:
+            raise QueryError("a query needs at least one group_by term")
+
+        groups: dict[tuple[object, ...], dict[str, list]] = {}
+        for row in self._mvft.slice(mode.label):
+            if query.time_range is not None and not query.time_range.contains(row.t):
+                continue
+            if query.coordinate_filter is not None and not query.coordinate_filter(row):
+                continue
+            if query.level_filters and not self._passes_filters(
+                mode, query.level_filters, row
+            ):
+                continue
+            label_sets: list[tuple[object, ...]] = []
+            for term in query.group_by:
+                if isinstance(term, TimeGroup):
+                    label_sets.append(
+                        (term.granularity.label(term.granularity.bucket(row.t)),)
+                    )
+                    continue
+                leaf = row.coordinates.get(term.dimension)
+                if leaf is None:
+                    raise QueryError(
+                        f"rows carry no coordinate for dimension "
+                        f"{term.dimension!r}"
+                    )
+                if isinstance(term, AttributeGroup):
+                    snap = self._snapshot(mode, term.dimension, row.t)
+                    value = (
+                        snap.member(leaf).attributes.get(term.attribute)
+                        if leaf in snap
+                        else None
+                    )
+                    label_sets.append((value,))
+                else:
+                    label_sets.append(self._labels_at_level(mode, term, leaf, row.t))
+            for combo in _product(label_sets):
+                acc = groups.setdefault(combo, {m: [] for m in measures})
+                for m in measures:
+                    acc[m].append((row.value(m), row.confidence(m)))
+
+        result_rows: list[ResultRow] = []
+        for group, acc in groups.items():
+            cells: list[ResultCell] = []
+            for m in measures:
+                contribs = acc[m]
+                agg = self._schema.measure(m).aggregate
+                value = agg.combine_all(v for v, _ in contribs)
+                confidence = (
+                    self._schema.cf_aggregator.combine_all(cf for _, cf in contribs)
+                    if contribs
+                    else None
+                )
+                cells.append(ResultCell(m, value, confidence))
+            result_rows.append(ResultRow(group=group, cells=tuple(cells)))
+
+        columns = [term.column for term in query.group_by]
+        return ResultTable(columns, measures, result_rows, mode.label)
+
+    def execute_all_modes(self, query: Query) -> dict[str, ResultTable]:
+        """Run the same query in every presentation mode — the §2.1 drill
+        across interpretations."""
+        return {
+            label: self.execute(query.with_mode(label))
+            for label in self._mvft.modes.labels
+        }
+
+
+def _product(label_sets: Sequence[tuple[object, ...]]) -> Iterable[tuple[object, ...]]:
+    if not label_sets:
+        return [()]
+    return itertools.product(*label_sets)

@@ -1,0 +1,100 @@
+"""Temporal relationships (Definition 2).
+
+A temporal relationship ``<Id_from, Id_to, ti, tf>`` is an explicit,
+valid-time-stamped rollup edge: ``Id_from`` is the *child* member version and
+``Id_to`` the *parent*.  Its valid time must be included in the intersection
+of the valid times of the two member versions it links — checked by the
+owning :class:`~repro.core.dimension.TemporalDimension` at insertion, with
+:func:`validate_relationship` as the reusable primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .chronology import Endpoint, Instant, Interval
+from .errors import InvalidRelationshipError, ModelError
+from .member import MemberVersion
+
+__all__ = ["TemporalRelationship", "validate_relationship"]
+
+
+@dataclass(frozen=True)
+class TemporalRelationship:
+    """A valid-time rollup edge from a child member version to a parent.
+
+    Parameters
+    ----------
+    child:
+        Identifier of the child member version (``Id_from``).
+    parent:
+        Identifier of the parent member version (``Id_to``).
+    valid_time:
+        The ``[ti, tf]`` slice over which the rollup holds.
+    """
+
+    child: str
+    parent: str
+    valid_time: Interval
+
+    def __post_init__(self) -> None:
+        if not self.child or not self.parent:
+            raise InvalidRelationshipError(
+                "temporal relationship needs non-empty child and parent ids"
+            )
+        if self.child == self.parent:
+            raise InvalidRelationshipError(
+                f"temporal relationship cannot link {self.child!r} to itself"
+            )
+
+    @property
+    def start(self) -> Instant:
+        """Start of the relationship's valid time."""
+        return self.valid_time.start
+
+    @property
+    def end(self) -> Endpoint:
+        """End of the relationship's valid time (possibly ``NOW``)."""
+        return self.valid_time.end
+
+    def valid_at(self, t: Instant) -> bool:
+        """Whether the rollup holds at instant ``t``."""
+        return self.valid_time.contains(t)
+
+    def valid_throughout(self, interval: Interval) -> bool:
+        """Whether the rollup holds over all of ``interval``."""
+        return self.valid_time.covers(interval)
+
+    def excluded_at(self, tf: Instant) -> "TemporalRelationship":
+        """A copy whose validity ends at ``tf - 1`` (used by Exclude, §3.2)."""
+        if tf <= self.start:
+            raise ModelError(
+                f"cannot exclude relationship {self.child}->{self.parent} at {tf}: "
+                f"it starts at {self.start}"
+            )
+        return replace(self, valid_time=self.valid_time.truncate_end(tf - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.child} -> {self.parent}, {self.valid_time!r}>"
+
+
+def validate_relationship(
+    rel: TemporalRelationship, child: MemberVersion, parent: MemberVersion
+) -> None:
+    """Enforce Definition 2's inclusion constraint.
+
+    Raises :class:`InvalidRelationshipError` unless ``rel.valid_time`` is
+    included in the intersection of the valid times of ``child`` and
+    ``parent``.
+    """
+    if rel.child != child.mvid or rel.parent != parent.mvid:
+        raise InvalidRelationshipError(
+            f"relationship {rel!r} does not link {child.mvid!r} to {parent.mvid!r}"
+        )
+    common = child.valid_time.intersect(parent.valid_time)
+    if common is None or not common.covers(rel.valid_time):
+        raise InvalidRelationshipError(
+            f"valid time {rel.valid_time!r} of relationship {rel.child}->{rel.parent} "
+            f"is not included in the intersection of the member versions' valid "
+            f"times ({child.valid_time!r} ∩ {parent.valid_time!r})"
+        )

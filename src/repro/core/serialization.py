@@ -1,0 +1,259 @@
+"""JSON serialization of Temporal Multidimensional Schemas.
+
+A TMD schema is a model artifact worth versioning next to the data it
+describes; this module round-trips the whole conceptual state — member
+versions (with attributes and valid times), temporal relationships,
+measures, mapping relationships and the consistent fact table — through a
+single JSON document.
+
+Limits, stated loudly rather than discovered late:
+
+* mapping functions must be **linear or unknown** (the §5.2 prototype's
+  assumption); arbitrary :class:`CallableMapping` functions cannot be
+  serialized and raise :class:`SerializationError`;
+* the confidence aggregate must be the default Example-5 truth table;
+* measure aggregates must be the built-ins (sum/min/max/count/avg).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .chronology import Interval, NOW, NowType
+from .confidence import DEFAULT_AGGREGATOR, factor_from_code
+from .errors import ReproError
+from .facts import AVG, COUNT, MAX, MIN, SUM, Measure
+from .mapping import (
+    LinearMapping,
+    MappingRelationship,
+    MeasureMap,
+    UnknownMapping,
+)
+from .member import MemberVersion
+from .relationship import TemporalRelationship
+from .schema import TemporalMultidimensionalSchema
+from .dimension import TemporalDimension
+
+__all__ = [
+    "SerializationError",
+    "schema_to_dict",
+    "schema_from_dict",
+    "save_schema",
+    "load_schema",
+]
+
+FORMAT_VERSION = 1
+
+_AGGREGATES = {"sum": SUM, "min": MIN, "max": MAX, "count": COUNT, "avg": AVG}
+
+
+class SerializationError(ReproError):
+    """Raised when a schema cannot be (de)serialized."""
+
+
+def _interval_to_json(interval: Interval) -> dict[str, Any]:
+    end = interval.end
+    return {
+        "start": interval.start,
+        "end": None if isinstance(end, NowType) else end,
+    }
+
+
+def _interval_from_json(payload: dict[str, Any]) -> Interval:
+    end = payload["end"]
+    return Interval(payload["start"], NOW if end is None else end)
+
+
+def _measure_map_to_json(mm: MeasureMap) -> dict[str, Any]:
+    fn = mm.function
+    if isinstance(fn, LinearMapping):
+        spec: dict[str, Any] = {"kind": "linear", "k": fn.k}
+    elif isinstance(fn, UnknownMapping):
+        spec = {"kind": "unknown"}
+    else:
+        raise SerializationError(
+            f"mapping function {fn.describe()!r} is not serializable; only "
+            f"linear and unknown functions round-trip (the §5.2 prototype's "
+            f"assumption)"
+        )
+    spec["confidence"] = mm.confidence.code
+    return spec
+
+
+def _measure_map_from_json(payload: dict[str, Any]) -> MeasureMap:
+    confidence = factor_from_code(payload["confidence"])
+    if payload["kind"] == "linear":
+        return MeasureMap(LinearMapping(payload["k"]), confidence)
+    if payload["kind"] == "unknown":
+        return MeasureMap(UnknownMapping(), confidence)
+    raise SerializationError(f"unknown mapping-function kind {payload['kind']!r}")
+
+
+def schema_to_dict(schema: TemporalMultidimensionalSchema) -> dict[str, Any]:
+    """Serialize a schema to a JSON-compatible dictionary."""
+    if schema.cf_aggregator is not DEFAULT_AGGREGATOR:
+        raise SerializationError(
+            "only the default (Example 5) confidence aggregate serializes"
+        )
+    dimensions = []
+    for did, dim in schema.dimensions.items():
+        members = []
+        for mv in dim.members.values():
+            members.append(
+                {
+                    "mvid": mv.mvid,
+                    "name": mv.name,
+                    "level": mv.level,
+                    "attributes": dict(mv.attributes),
+                    "valid_time": _interval_to_json(mv.valid_time),
+                }
+            )
+        relationships = [
+            {
+                "child": rel.child,
+                "parent": rel.parent,
+                "valid_time": _interval_to_json(rel.valid_time),
+            }
+            for rel in dim.relationships
+        ]
+        dimensions.append(
+            {
+                "did": did,
+                "name": dim.name,
+                "members": members,
+                "relationships": relationships,
+            }
+        )
+
+    measures = []
+    for measure in schema.measures:
+        if measure.aggregate.name not in _AGGREGATES:
+            raise SerializationError(
+                f"measure {measure.name!r} uses a custom aggregate "
+                f"{measure.aggregate.name!r}; only built-ins serialize"
+            )
+        measures.append(
+            {
+                "name": measure.name,
+                "aggregate": measure.aggregate.name,
+                "description": measure.description,
+            }
+        )
+
+    mappings = []
+    for rel in schema.mappings:
+        mappings.append(
+            {
+                "source": rel.source,
+                "target": rel.target,
+                "forward": {
+                    m: _measure_map_to_json(mm) for m, mm in rel.forward.items()
+                },
+                "reverse": {
+                    m: _measure_map_to_json(mm) for m, mm in rel.reverse.items()
+                },
+            }
+        )
+
+    facts = []
+    for row in schema.facts:
+        facts.append(
+            {
+                "coordinates": dict(row.coordinates),
+                "t": row.t,
+                "values": dict(row.values),
+            }
+        )
+
+    return {
+        "format": FORMAT_VERSION,
+        "dimensions": dimensions,
+        "measures": measures,
+        "mappings": mappings,
+        "facts": facts,
+    }
+
+
+def schema_from_dict(payload: dict[str, Any]) -> TemporalMultidimensionalSchema:
+    """Rebuild a schema from :func:`schema_to_dict` output.
+
+    The rebuilt schema is fully validated (dimension invariants, fact
+    leaf/validity constraints, mapping endpoints) before being returned.
+    """
+    if payload.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported schema format {payload.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    dimensions = []
+    for dim_payload in payload["dimensions"]:
+        dim = TemporalDimension(dim_payload["did"], dim_payload["name"])
+        for m in dim_payload["members"]:
+            dim.add_member(
+                MemberVersion(
+                    mvid=m["mvid"],
+                    name=m["name"],
+                    valid_time=_interval_from_json(m["valid_time"]),
+                    attributes=m["attributes"],
+                    level=m["level"],
+                )
+            )
+        for r in dim_payload["relationships"]:
+            dim.add_relationship(
+                TemporalRelationship(
+                    child=r["child"],
+                    parent=r["parent"],
+                    valid_time=_interval_from_json(r["valid_time"]),
+                ),
+                check_acyclic=False,
+            )
+        dimensions.append(dim)
+
+    measures = [
+        Measure(
+            name=m["name"],
+            aggregate=_AGGREGATES[m["aggregate"]],
+            description=m.get("description", ""),
+        )
+        for m in payload["measures"]
+    ]
+    schema = TemporalMultidimensionalSchema(dimensions, measures)
+
+    for rel_payload in payload["mappings"]:
+        schema.add_mapping(
+            MappingRelationship(
+                source=rel_payload["source"],
+                target=rel_payload["target"],
+                forward={
+                    m: _measure_map_from_json(spec)
+                    for m, spec in rel_payload["forward"].items()
+                },
+                reverse={
+                    m: _measure_map_from_json(spec)
+                    for m, spec in rel_payload["reverse"].items()
+                },
+            ),
+            allow_non_leaf=True,  # §4.2 rewrites may have inner-node links
+        )
+
+    for fact in payload["facts"]:
+        schema.add_fact(fact["coordinates"], fact["t"], fact["values"])
+
+    schema.validate()
+    return schema
+
+
+def save_schema(schema: TemporalMultidimensionalSchema, path: str | Path) -> None:
+    """Write a schema to a JSON file."""
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2))
+
+
+def load_schema(path: str | Path) -> TemporalMultidimensionalSchema:
+    """Read a schema from a JSON file written by :func:`save_schema`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path} is not valid JSON: {exc}") from None
+    return schema_from_dict(payload)

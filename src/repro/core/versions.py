@@ -1,0 +1,130 @@
+"""Structure versions (Definition 9) and their inference.
+
+A structure version ``V = <VSid, {D1,V, ..., Dn,V}, ti, tf>`` is a *valid
+and unchanged* structure over its valid time: each ``Di,V`` is the
+restriction of the temporal dimension ``Di`` to the elements valid for **all**
+``t`` in ``[ti, tf]``.
+
+The paper notes structure versions "partition history and … can be inferred
+from the TMD Schema, as the intersections of the valid time intervals of all
+Member Versions and Temporal Relationships".  :func:`infer_structure_versions`
+implements exactly that: collect the critical instants of every dimension,
+cut history at them, and restrict each dimension to each maximal span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from .chronology import NOW, Instant, Interval
+from .dimension import TemporalDimension
+from .errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .schema import TemporalMultidimensionalSchema
+
+__all__ = ["StructureVersion", "infer_structure_versions"]
+
+
+@dataclass(frozen=True)
+class StructureVersion:
+    """One maximal span over which the multidimensional structure is fixed.
+
+    Attributes
+    ----------
+    vsid:
+        Unique identifier (``"V1"``, ``"V2"``, ... in chronological order).
+    valid_time:
+        The span ``[ti, tf]`` (``tf`` may be ``NOW`` for the live version).
+    dimensions:
+        Per-dimension restrictions ``Di,V`` (Definition 9).
+    """
+
+    vsid: str
+    valid_time: Interval
+    dimensions: Mapping[str, TemporalDimension]
+
+    def dimension(self, did: str) -> TemporalDimension:
+        """The restriction of dimension ``did`` to this version."""
+        try:
+            return self.dimensions[did]
+        except KeyError:
+            raise ModelError(
+                f"structure version {self.vsid!r} has no dimension {did!r}"
+            ) from None
+
+    def leaf_ids(self, did: str) -> frozenset[str]:
+        """Ids of the leaf member versions of ``did`` within this version.
+
+        The structure is constant over the span, so leaves at the span's
+        start instant are the leaves throughout.
+        """
+        dim = self.dimension(did)
+        snap = dim.at(self.valid_time.start)
+        return frozenset(snap.leaves())
+
+    def member_ids(self, did: str) -> frozenset[str]:
+        """Ids of every member version of ``did`` valid in this version."""
+        return frozenset(self.dimension(did).members)
+
+    def contains_instant(self, t: Instant) -> bool:
+        """Whether ``t`` falls inside this version's span."""
+        return self.valid_time.contains(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {did: len(dim.members) for did, dim in self.dimensions.items()}
+        return f"StructureVersion({self.vsid}, {self.valid_time!r}, members={sizes})"
+
+
+def infer_structure_versions(
+    schema: "TemporalMultidimensionalSchema",
+    *,
+    horizon: Instant | None = None,
+) -> list[StructureVersion]:
+    """Partition history into structure versions (Definition 9).
+
+    The timeline is cut at every *critical instant* — an interval start or
+    the instant after an interval end, over all member versions and temporal
+    relationships of all dimensions.  Between two consecutive cuts the valid
+    element set cannot change, so each span is a maximal unchanged
+    structure.  Spans in which no member version is valid are dropped
+    (history before the first member, or gaps).
+
+    The last span is open-ended (``NOW``) when any element is still valid at
+    the end of history; ``horizon`` only matters for callers that want to
+    bound enumeration explicitly.
+    """
+    points = schema.critical_instants()
+    if not points:
+        return []
+    has_open = any(
+        mv.valid_time.open_ended
+        for dim in schema.dimensions.values()
+        for mv in dim.members.values()
+    )
+    spans: list[Interval] = []
+    for i, start in enumerate(points):
+        if i + 1 < len(points):
+            spans.append(Interval(start, points[i + 1] - 1))
+        elif has_open:
+            spans.append(Interval(start, NOW))
+        elif horizon is not None and horizon >= start:
+            spans.append(Interval(start, horizon))
+        # else: the final cut is just past the last closed end — empty span.
+
+    versions: list[StructureVersion] = []
+    for span in spans:
+        restricted = {
+            did: dim.restrict(span) for did, dim in schema.dimensions.items()
+        }
+        if not any(len(dim.members) for dim in restricted.values()):
+            continue
+        versions.append(
+            StructureVersion(
+                vsid=f"V{len(versions) + 1}",
+                valid_time=span,
+                dimensions=restricted,
+            )
+        )
+    return versions

@@ -1,0 +1,36 @@
+"""The §4 logical-level adaptation for commercial-tool constraints.
+
+Current multidimensional systems are only made of dimensions and fact
+tables; this package translates the conceptual model into that world:
+
+* :mod:`~repro.logical.tmp_dimension` — the set TMP of temporal modes as a
+  *flat dimension* (§4.1), giving mode-switching all the flexibility of a
+  normal dimension during cube exploration;
+* :mod:`~repro.logical.cf_measures` — confidence factors encoded as extra
+  measures with the §5.2 integer codes;
+* :mod:`~repro.logical.reclassify` — the §4.2 rewrite of Reclassify into
+  ``Exclude`` + ``Insert`` + identity-``Associate`` with recursive
+  re-versioning of descendants (hierarchies stored as foreign keys cannot
+  change independently of members);
+* :mod:`~repro.logical.star`, :mod:`~repro.logical.snowflake`,
+  :mod:`~repro.logical.parent_child` — the three §5.1 dimension storage
+  layouts lowered onto the relational engine.
+"""
+
+from .cf_measures import cf_column, decode_confidence, encode_confidence
+from .parent_child import lower_parent_child
+from .reclassify import logical_reclassify
+from .snowflake import lower_snowflake
+from .star import lower_star
+from .tmp_dimension import build_tmp_dimension
+
+__all__ = [
+    "build_tmp_dimension",
+    "cf_column",
+    "encode_confidence",
+    "decode_confidence",
+    "logical_reclassify",
+    "lower_star",
+    "lower_snowflake",
+    "lower_parent_child",
+]

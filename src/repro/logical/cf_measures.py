@@ -1,0 +1,32 @@
+"""Confidence factors as measures (§4.1, §5.2 coding).
+
+"Each confidence factor, which is characterizing a value, may be seen as a
+measure in the fact table, associated to the same members in the
+multidimensional structure."
+
+The prototype codes the qualitative factors as integers — 3 for source
+data, 2 for exact mapped, 1 for approximated mapped, 4 for unknown — and
+that coding is what the MultiVersion fact table's ``cf_<measure>`` columns
+carry.
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import ConfidenceFactor, factor_from_code
+
+__all__ = ["cf_column", "encode_confidence", "decode_confidence"]
+
+
+def cf_column(measure: str) -> str:
+    """Name of the confidence-measure column paired with ``measure``."""
+    return f"cf_{measure}"
+
+
+def encode_confidence(factor: ConfidenceFactor) -> int:
+    """The §5.2 integer code of a confidence factor."""
+    return factor.code
+
+
+def decode_confidence(code: int) -> ConfidenceFactor:
+    """The confidence factor behind a §5.2 integer code."""
+    return factor_from_code(code)

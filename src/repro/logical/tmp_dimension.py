@@ -1,0 +1,75 @@
+"""The TMP set as a flat dimension (§4.1).
+
+"In the logical level, we represent the set TMP as a 'flat' dimension,
+i.e. without hierarchical structure.  This choice offers all the
+flexibility provided by a usual dimension, during cubes exploration
+(comparing different structure versions, switching between temporal modes,
+rotating…)."
+
+:func:`build_tmp_dimension` materializes that dimension as a relational
+table: one row per temporal mode of presentation, carrying the mode label,
+a human description and — for version modes — the structure version's
+valid-time bounds (the §5.2 member-version metadata made visible to the
+user).
+"""
+
+from __future__ import annotations
+
+from repro.core.chronology import NowType, ym_str
+from repro.core.presentation import ModeSet
+from repro.storage import Column, Database, INTEGER, TEXT, Table
+
+__all__ = ["TMP_TABLE", "build_tmp_dimension"]
+
+TMP_TABLE = "dim_tmp"
+"""Canonical name of the TMP dimension table."""
+
+
+def build_tmp_dimension(db: Database, modes: ModeSet) -> Table:
+    """Create and populate the flat TMP dimension table.
+
+    Columns: ``mode`` (pk), ``description``, ``valid_from``/``valid_to``
+    (``NULL`` for ``tcm``; ``valid_to`` is also ``NULL`` for the live,
+    open-ended structure version), ``valid_from_label``/``valid_to_label``
+    (month/year renderings for front ends).
+    """
+    table = db.create_table(
+        TMP_TABLE,
+        [
+            Column("mode", TEXT),
+            Column("description", TEXT),
+            Column("valid_from", INTEGER, nullable=True),
+            Column("valid_to", INTEGER, nullable=True),
+            Column("valid_from_label", TEXT, nullable=True),
+            Column("valid_to_label", TEXT, nullable=True),
+        ],
+        primary_key=["mode"],
+    )
+    for mode in modes:
+        if mode.is_tcm:
+            table.insert(
+                {
+                    "mode": mode.label,
+                    "description": mode.describe(),
+                    "valid_from": None,
+                    "valid_to": None,
+                    "valid_from_label": None,
+                    "valid_to_label": None,
+                }
+            )
+            continue
+        version = mode.version
+        assert version is not None
+        end = version.valid_time.end
+        open_ended = isinstance(end, NowType)
+        table.insert(
+            {
+                "mode": mode.label,
+                "description": mode.describe(),
+                "valid_from": version.valid_time.start,
+                "valid_to": None if open_ended else end,
+                "valid_from_label": ym_str(version.valid_time.start),
+                "valid_to_label": ym_str(end),
+            }
+        )
+    return table

@@ -1,0 +1,36 @@
+"""MVQL — a small multiversion query language.
+
+The paper's related work (Mendelzon & Vaisman's TOLAP) shows why a
+*textual* interface matters: the analyst must be able to say, per query,
+which temporal interpretation they want.  MVQL is that interface for this
+library — a tiny declarative language compiled onto the
+:class:`~repro.core.query.QueryEngine`:
+
+.. code-block:: sql
+
+    SELECT amount BY year, org.Division                 -- consistent time
+    SELECT amount BY year, org.Department IN MODE V2    -- mapped on 2002
+    SELECT amount BY year, org.Division DURING 2001..2002
+    RANK MODES FOR SELECT amount BY year, org.Department DURING 2002..2003
+    SHOW MODES
+    SHOW VERSIONS
+    SHOW LEVELS org
+
+Statements are case-insensitive on keywords; dimension and level names are
+case-sensitive identifiers.  ``SELECT *`` selects every measure.  The
+result of a ``SELECT`` is a :class:`~repro.core.query.ResultTable` (values
+*and* confidence factors); ``RANK MODES FOR`` returns the §5.2 quality
+ranking.
+"""
+
+from .errors import MVQLCompileError, MVQLError, MVQLSyntaxError
+from .parser import parse
+from .session import MVQLSession
+
+__all__ = [
+    "parse",
+    "MVQLSession",
+    "MVQLError",
+    "MVQLSyntaxError",
+    "MVQLCompileError",
+]

@@ -1,0 +1,101 @@
+"""MVQL abstract syntax trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Statement",
+    "GroupTerm",
+    "TimeTerm",
+    "LevelTerm",
+    "AttributeTerm",
+    "FilterTerm",
+    "SelectStatement",
+    "RankModesStatement",
+    "ShowModesStatement",
+    "ShowVersionsStatement",
+    "ShowLevelsStatement",
+]
+
+
+class Statement:
+    """Base class of every parsed MVQL statement."""
+
+
+class GroupTerm:
+    """Base class of the BY-clause terms."""
+
+
+@dataclass(frozen=True)
+class TimeTerm(GroupTerm):
+    """A time bucket term: ``year``, ``quarter`` or ``month``."""
+
+    granularity: str  # "year" | "quarter" | "month"
+
+
+@dataclass(frozen=True)
+class LevelTerm(GroupTerm):
+    """A ``dimension.Level`` term."""
+
+    dimension: str
+    level: str
+
+
+@dataclass(frozen=True)
+class AttributeTerm(GroupTerm):
+    """A ``dimension@attribute`` term: group by a member attribute."""
+
+    dimension: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class FilterTerm:
+    """One WHERE condition: ``dimension.Level = value`` or
+    ``dimension.Level IN (v1, v2, ...)``."""
+
+    dimension: str
+    level: str
+    values: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """``SELECT measures BY terms [IN MODE m] [DURING y[..y]] [WHERE ...]``.
+
+    ``measures`` empty means ``*`` (every schema measure); ``mode`` is
+    ``None`` for the temporally consistent default; ``during`` is a
+    ``(first year, last year)`` pair or ``None``; ``filters`` are the
+    AND-ed WHERE conditions.
+    """
+
+    measures: tuple[str, ...]
+    group_by: tuple[GroupTerm, ...]
+    mode: str | None = None
+    during: tuple[int, int] | None = None
+    filters: tuple[FilterTerm, ...] = ()
+
+
+@dataclass(frozen=True)
+class RankModesStatement(Statement):
+    """``RANK MODES FOR <select>`` — §5.2 quality ranking."""
+
+    select: SelectStatement
+
+
+@dataclass(frozen=True)
+class ShowModesStatement(Statement):
+    """``SHOW MODES`` — list the temporal modes of presentation."""
+
+
+@dataclass(frozen=True)
+class ShowVersionsStatement(Statement):
+    """``SHOW VERSIONS`` — list structure versions with their spans."""
+
+
+@dataclass(frozen=True)
+class ShowLevelsStatement(Statement):
+    """``SHOW LEVELS <dimension>`` — list a dimension's levels."""
+
+    dimension: str

@@ -1,0 +1,20 @@
+"""MVQL error types."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["MVQLError", "MVQLSyntaxError", "MVQLCompileError"]
+
+
+class MVQLError(ReproError):
+    """Base class of every MVQL error."""
+
+
+class MVQLSyntaxError(MVQLError):
+    """Raised by the lexer/parser on malformed statements."""
+
+
+class MVQLCompileError(MVQLError):
+    """Raised when a well-formed statement references unknown schema
+    elements (measures, dimensions, levels, modes)."""

@@ -1,0 +1,131 @@
+"""The MVQL tokenizer.
+
+Token kinds: ``KEYWORD`` (case-insensitive reserved words), ``IDENT``,
+``NUMBER`` (integer literals — years), ``STRING`` (single- or
+double-quoted member names such as ``'Dpt.Jones'``) and the punctuation
+``COMMA``, ``DOT``, ``DOTDOT``, ``STAR``, ``EQUALS``, ``AT``, ``LPAREN``,
+``RPAREN``.  Whitespace separates tokens; ``--`` starts a comment running
+to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import MVQLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "BY",
+    "IN",
+    "MODE",
+    "DURING",
+    "WHERE",
+    "AND",
+    "SHOW",
+    "MODES",
+    "VERSIONS",
+    "LEVELS",
+    "RANK",
+    "FOR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.value!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-&"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize one MVQL statement.
+
+    Raises :class:`MVQLSyntaxError` on characters outside the language.
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if text.startswith("..", i):
+            tokens.append(Token("DOTDOT", "..", i))
+            i += 2
+            continue
+        if ch == ",":
+            tokens.append(Token("COMMA", ",", i))
+            i += 1
+            continue
+        if ch == ".":
+            tokens.append(Token("DOT", ".", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token("STAR", "*", i))
+            i += 1
+            continue
+        if ch == "@":
+            tokens.append(Token("AT", "@", i))
+            i += 1
+            continue
+        if ch == "=":
+            tokens.append(Token("EQUALS", "=", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token("RPAREN", ")", i))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            quote, start = ch, i
+            i += 1
+            closing = text.find(quote, i)
+            if closing == -1:
+                raise MVQLSyntaxError(f"unterminated string at position {start}")
+            tokens.append(Token("STRING", text[i:closing], start))
+            i = closing + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            tokens.append(Token("NUMBER", text[start:i], start))
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_char(text[i]):
+                i += 1
+            word = text[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        raise MVQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,245 @@
+"""The MVQL recursive-descent parser.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := select | rank | show
+    select      := SELECT measures BY terms
+                   [IN MODE name] [during] [WHERE filters]
+    rank        := RANK MODES FOR select
+    show        := SHOW MODES | SHOW VERSIONS | SHOW LEVELS ident
+    measures    := '*' | ident (',' ident)*
+    terms       := term (',' term)*
+    term        := 'year' | 'quarter' | 'month' | ident '.' ident
+                   | ident '@' ident
+    during      := DURING NUMBER [ '..' NUMBER ]
+    filters     := filter (AND filter)*
+    filter      := ident '.' ident ('=' value | IN '(' value (',' value)* ')')
+    value       := STRING | IDENT | NUMBER
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AttributeTerm,
+    FilterTerm,
+    GroupTerm,
+    LevelTerm,
+    RankModesStatement,
+    SelectStatement,
+    ShowLevelsStatement,
+    ShowModesStatement,
+    ShowVersionsStatement,
+    Statement,
+    TimeTerm,
+)
+from .errors import MVQLSyntaxError
+from .lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_GRANULARITIES = {"year", "quarter", "month"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise MVQLSyntaxError(
+                f"expected {wanted} at position {token.position}, "
+                f"got {token.value or 'end of statement'!r}"
+            )
+        return self._advance()
+
+    def _at_keyword(self, value: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.value == value
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self._at_keyword("SELECT"):
+            statement = self._parse_select()
+        elif self._at_keyword("RANK"):
+            statement = self._parse_rank()
+        elif self._at_keyword("SHOW"):
+            statement = self._parse_show()
+        else:
+            token = self._peek()
+            raise MVQLSyntaxError(
+                f"statement must start with SELECT, RANK or SHOW, got "
+                f"{token.value or 'end of statement'!r}"
+            )
+        self._expect("EOF")
+        return statement
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect("KEYWORD", "SELECT")
+        measures = self._parse_measures()
+        self._expect("KEYWORD", "BY")
+        group_by = self._parse_terms()
+        mode: str | None = None
+        during: tuple[int, int] | None = None
+        filters: tuple[FilterTerm, ...] = ()
+        while self._peek().kind == "KEYWORD" and self._peek().value in (
+            "IN",
+            "DURING",
+            "WHERE",
+        ):
+            if self._at_keyword("IN"):
+                if mode is not None:
+                    raise MVQLSyntaxError("duplicate IN MODE clause")
+                self._advance()
+                self._expect("KEYWORD", "MODE")
+                token = self._peek()
+                if token.kind == "IDENT":
+                    mode = self._advance().value
+                else:
+                    raise MVQLSyntaxError(
+                        f"expected a mode name at position {token.position}"
+                    )
+            elif self._at_keyword("DURING"):
+                if during is not None:
+                    raise MVQLSyntaxError("duplicate DURING clause")
+                self._advance()
+                first = int(self._expect("NUMBER").value)
+                last = first
+                if self._peek().kind == "DOTDOT":
+                    self._advance()
+                    last = int(self._expect("NUMBER").value)
+                if last < first:
+                    raise MVQLSyntaxError(
+                        f"DURING range {first}..{last} runs backwards"
+                    )
+                during = (first, last)
+            else:
+                if filters:
+                    raise MVQLSyntaxError("duplicate WHERE clause")
+                self._advance()
+                filters = self._parse_filters()
+        return SelectStatement(
+            measures=measures,
+            group_by=group_by,
+            mode=mode,
+            during=during,
+            filters=filters,
+        )
+
+    def _parse_filters(self) -> tuple[FilterTerm, ...]:
+        filters = [self._parse_filter()]
+        while self._at_keyword("AND"):
+            self._advance()
+            filters.append(self._parse_filter())
+        return tuple(filters)
+
+    def _parse_filter(self) -> FilterTerm:
+        dimension = self._expect("IDENT").value
+        self._expect("DOT")
+        level = self._expect("IDENT").value
+        if self._peek().kind == "EQUALS":
+            self._advance()
+            return FilterTerm(dimension, level, (self._parse_value(),))
+        if self._at_keyword("IN"):
+            self._advance()
+            self._expect("LPAREN")
+            values = [self._parse_value()]
+            while self._peek().kind == "COMMA":
+                self._advance()
+                values.append(self._parse_value())
+            self._expect("RPAREN")
+            return FilterTerm(dimension, level, tuple(values))
+        token = self._peek()
+        raise MVQLSyntaxError(
+            f"expected '=' or IN (...) after {dimension}.{level} at "
+            f"position {token.position}"
+        )
+
+    def _parse_value(self) -> str:
+        token = self._peek()
+        if token.kind in ("STRING", "IDENT", "NUMBER"):
+            return self._advance().value
+        raise MVQLSyntaxError(
+            f"expected a member name at position {token.position}"
+        )
+
+    def _parse_measures(self) -> tuple[str, ...]:
+        if self._peek().kind == "STAR":
+            self._advance()
+            return ()
+        measures = [self._expect("IDENT").value]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            measures.append(self._expect("IDENT").value)
+        return tuple(measures)
+
+    def _parse_terms(self) -> tuple[GroupTerm, ...]:
+        terms = [self._parse_term()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            terms.append(self._parse_term())
+        return tuple(terms)
+
+    def _parse_term(self) -> GroupTerm:
+        token = self._expect("IDENT")
+        if self._peek().kind == "DOT":
+            self._advance()
+            level = self._expect("IDENT").value
+            return LevelTerm(dimension=token.value, level=level)
+        if self._peek().kind == "AT":
+            self._advance()
+            attribute = self._expect("IDENT").value
+            return AttributeTerm(dimension=token.value, attribute=attribute)
+        if token.value.lower() in _GRANULARITIES:
+            return TimeTerm(granularity=token.value.lower())
+        raise MVQLSyntaxError(
+            f"group term {token.value!r} is neither a time granularity "
+            f"(year/quarter/month), a dimension.Level reference, nor a "
+            f"dimension@attribute reference"
+        )
+
+    def _parse_rank(self) -> RankModesStatement:
+        self._expect("KEYWORD", "RANK")
+        self._expect("KEYWORD", "MODES")
+        self._expect("KEYWORD", "FOR")
+        select = self._parse_select()
+        if select.mode is not None:
+            raise MVQLSyntaxError(
+                "RANK MODES runs the query in every mode; drop the IN MODE clause"
+            )
+        return RankModesStatement(select=select)
+
+    def _parse_show(self) -> Statement:
+        self._expect("KEYWORD", "SHOW")
+        token = self._peek()
+        if self._at_keyword("MODES"):
+            self._advance()
+            return ShowModesStatement()
+        if self._at_keyword("VERSIONS"):
+            self._advance()
+            return ShowVersionsStatement()
+        if self._at_keyword("LEVELS"):
+            self._advance()
+            dimension = self._expect("IDENT").value
+            return ShowLevelsStatement(dimension=dimension)
+        raise MVQLSyntaxError(
+            f"SHOW expects MODES, VERSIONS or LEVELS, got {token.value!r}"
+        )
+
+
+def parse(text: str) -> Statement:
+    """Parse one MVQL statement into its AST."""
+    return _Parser(tokenize(text)).parse_statement()

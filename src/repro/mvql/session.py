@@ -1,0 +1,181 @@
+"""MVQL compilation and execution.
+
+:class:`MVQLSession` holds a MultiVersion fact table and executes MVQL
+statements against it: ``SELECT`` statements compile onto
+:class:`~repro.core.query.Query`, ``RANK MODES`` onto
+:func:`~repro.core.quality.rank_modes`, ``SHOW`` statements onto schema
+introspection.  Compilation validates every referenced measure, mode,
+dimension and level against the schema with precise error messages.
+"""
+
+from __future__ import annotations
+
+from repro.core.chronology import Interval, MONTH, QUARTER, YEAR, ym
+from repro.core.multiversion import MultiVersionFactTable
+from repro.core.quality import rank_modes
+from repro.core.query import (
+    AttributeGroup,
+    LevelFilter,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    ResultTable,
+    TimeGroup,
+)
+
+from .ast import (
+    AttributeTerm,
+    LevelTerm,
+    RankModesStatement,
+    SelectStatement,
+    ShowLevelsStatement,
+    ShowModesStatement,
+    ShowVersionsStatement,
+    TimeTerm,
+)
+from .errors import MVQLCompileError
+from .parser import parse
+
+__all__ = ["MVQLSession"]
+
+_GRANULARITY = {"year": YEAR, "quarter": QUARTER, "month": MONTH}
+
+
+class MVQLSession:
+    """An interactive-style MVQL session over one MultiVersion fact table."""
+
+    def __init__(self, mvft: MultiVersionFactTable) -> None:
+        self.mvft = mvft
+        self.schema = mvft.schema
+        self.engine = QueryEngine(mvft)
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile_select(self, statement: SelectStatement) -> Query:
+        """Compile a SELECT AST into a core query, validating names."""
+        measures = statement.measures
+        for measure in measures:
+            if measure not in self.schema.measure_names:
+                raise MVQLCompileError(
+                    f"unknown measure {measure!r} "
+                    f"(available: {self.schema.measure_names})"
+                )
+        mode = statement.mode if statement.mode is not None else "tcm"
+        if mode not in self.mvft.modes:
+            raise MVQLCompileError(
+                f"unknown mode {mode!r} (available: {self.mvft.modes.labels})"
+            )
+        group_by = []
+        for term in statement.group_by:
+            if isinstance(term, TimeTerm):
+                group_by.append(TimeGroup(_GRANULARITY[term.granularity]))
+                continue
+            if isinstance(term, AttributeTerm):
+                if term.dimension not in self.schema.dimensions:
+                    raise MVQLCompileError(
+                        f"unknown dimension {term.dimension!r} "
+                        f"(available: {self.schema.dimension_ids})"
+                    )
+                group_by.append(AttributeGroup(term.dimension, term.attribute))
+                continue
+            assert isinstance(term, LevelTerm)
+            if term.dimension not in self.schema.dimensions:
+                raise MVQLCompileError(
+                    f"unknown dimension {term.dimension!r} "
+                    f"(available: {self.schema.dimension_ids})"
+                )
+            if term.level not in self._levels_of(term.dimension):
+                raise MVQLCompileError(
+                    f"dimension {term.dimension!r} has no level {term.level!r} "
+                    f"(available: {self._levels_of(term.dimension)})"
+                )
+            group_by.append(LevelGroup(term.dimension, term.level))
+        time_range = None
+        if statement.during is not None:
+            first, last = statement.during
+            time_range = Interval(ym(first, 1), ym(last, 12))
+        filters = []
+        for term in statement.filters:
+            if term.dimension not in self.schema.dimensions:
+                raise MVQLCompileError(
+                    f"unknown dimension {term.dimension!r} in WHERE "
+                    f"(available: {self.schema.dimension_ids})"
+                )
+            if term.level not in self._levels_of(term.dimension):
+                raise MVQLCompileError(
+                    f"dimension {term.dimension!r} has no level {term.level!r} "
+                    f"in WHERE (available: {self._levels_of(term.dimension)})"
+                )
+            filters.append(
+                LevelFilter(term.dimension, term.level, term.values)
+            )
+        return Query(
+            mode=mode,
+            group_by=tuple(group_by),
+            measures=measures,
+            time_range=time_range,
+            level_filters=tuple(filters),
+        )
+
+    def _levels_of(self, did: str) -> list[str]:
+        levels: list[str] = []
+        for mode in self.mvft.modes.version_modes:
+            version = mode.version
+            assert version is not None
+            snap = version.dimension(did).at(version.valid_time.start)
+            for level in snap.levels():
+                if level not in levels:
+                    levels.append(level)
+        return levels
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, text: str):
+        """Parse and execute one MVQL statement.
+
+        Returns a :class:`ResultTable` for ``SELECT``, a list of
+        ``(mode, quality, table)`` triples for ``RANK MODES``, and a list
+        of descriptive strings for ``SHOW`` statements.
+        """
+        statement = parse(text)
+        if isinstance(statement, SelectStatement):
+            return self.engine.execute(self.compile_select(statement))
+        if isinstance(statement, RankModesStatement):
+            query = self.compile_select(statement.select)
+            return rank_modes(self.engine, query)
+        if isinstance(statement, ShowModesStatement):
+            return [
+                f"{mode.label}: {mode.describe()}" for mode in self.mvft.modes
+            ]
+        if isinstance(statement, ShowVersionsStatement):
+            return [
+                f"{mode.label}: {mode.version.valid_time!r} "
+                f"(members per dimension: "
+                + ", ".join(
+                    f"{did}={len(mode.version.dimension(did).members)}"
+                    for did in self.schema.dimension_ids
+                )
+                + ")"
+                for mode in self.mvft.modes.version_modes
+            ]
+        if isinstance(statement, ShowLevelsStatement):
+            did = statement.dimension
+            if did not in self.schema.dimensions:
+                raise MVQLCompileError(
+                    f"unknown dimension {did!r} "
+                    f"(available: {self.schema.dimension_ids})"
+                )
+            return self._levels_of(did)
+        raise MVQLCompileError(f"unsupported statement {statement!r}")
+
+    def execute_to_text(self, text: str) -> str:
+        """Execute and render any statement's result as plain text."""
+        result = self.execute(text)
+        if isinstance(result, ResultTable):
+            return result.to_text()
+        if result and isinstance(result, list) and isinstance(result[0], tuple):
+            lines = [
+                f"{label:<6} Q = {quality:.3f}" for label, quality, _t in result
+            ]
+            return "\n".join(lines)
+        return "\n".join(str(item) for item in result)

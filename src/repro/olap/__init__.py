@@ -1,0 +1,56 @@
+"""The OLAP server and client tiers (Figure 1, §5.2).
+
+* :mod:`~repro.olap.cube` — the hypercube over the MultiVersion fact
+  table, with TMP/time/level axes and 2-D pivots;
+* :mod:`~repro.olap.operators` — roll-up, drill-down, slice, dice, rotate
+  and mode switching;
+* :mod:`~repro.olap.aggregates` — the materialized aggregate lattice;
+* :mod:`~repro.olap.frontend` — confidence-coloured rendering, the grid
+  quality factor and the Figure 2 dimension-graph view.
+"""
+
+from .aggregates import AggregateLattice
+from .cube import Axis, Cube, CubeView, LevelAxis, TimeAxis
+from .frontend import (
+    ANSI_COLOURS,
+    HTML_COLOURS,
+    explain_cell,
+    grid_quality,
+    quality_report,
+    render_dimension_graph,
+    render_view,
+    render_view_html,
+)
+from .operators import (
+    dice,
+    drill_down,
+    roll_up,
+    rotate,
+    slice_view,
+    switch_mode,
+    time_window,
+)
+
+__all__ = [
+    "Cube",
+    "CubeView",
+    "Axis",
+    "TimeAxis",
+    "LevelAxis",
+    "AggregateLattice",
+    "roll_up",
+    "drill_down",
+    "slice_view",
+    "dice",
+    "rotate",
+    "switch_mode",
+    "time_window",
+    "render_view",
+    "render_view_html",
+    "explain_cell",
+    "HTML_COLOURS",
+    "grid_quality",
+    "quality_report",
+    "render_dimension_graph",
+    "ANSI_COLOURS",
+]

@@ -1,0 +1,273 @@
+"""The OLAP cube (Figure 1's third tier).
+
+The cube wraps a MultiVersion fact table and exposes *axes* the OLAP
+operators manipulate:
+
+* the TMP axis (presentation modes, §4.1's flat dimension),
+* a time axis at a chosen granularity,
+* one axis per (dimension, level).
+
+A :class:`CubeView` is a fully specified pivot: a mode, a row axis, a
+column axis and a measure; its cells carry values *and* confidence
+factors so the front end can colour them (§5.2).  Views are computed
+through the multiversion query engine, optionally against a materialized
+aggregate lattice (:mod:`repro.olap.aggregates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chronology import Granularity, YEAR
+from repro.core.confidence import ConfidenceFactor
+from repro.core.errors import QueryError
+from repro.core.multiversion import MultiVersionFactTable
+from repro.core.query import LevelGroup, Query, QueryEngine, TimeGroup
+
+__all__ = ["Axis", "TimeAxis", "LevelAxis", "CubeView", "Cube"]
+
+
+@dataclass(frozen=True)
+class TimeAxis:
+    """The time axis at a granularity (year by default, like Q1/Q2)."""
+
+    granularity: Granularity = YEAR
+
+    def group_term(self):
+        """The query group term implementing this axis."""
+        return TimeGroup(self.granularity)
+
+    @property
+    def name(self) -> str:
+        """Axis label."""
+        return self.granularity.name
+
+
+@dataclass(frozen=True)
+class LevelAxis:
+    """A (dimension, level) axis, e.g. ``org / Division``."""
+
+    dimension: str
+    level: str
+
+    def group_term(self):
+        """The query group term implementing this axis."""
+        return LevelGroup(self.dimension, self.level)
+
+    @property
+    def name(self) -> str:
+        """Axis label."""
+        return f"{self.dimension}/{self.level}"
+
+
+Axis = TimeAxis | LevelAxis
+
+
+@dataclass(frozen=True)
+class CubeCell:
+    """One pivot cell: value plus confidence (may be empty)."""
+
+    value: float | None
+    confidence: ConfidenceFactor | None
+
+    @property
+    def empty(self) -> bool:
+        """Whether no fact contributes to the cell."""
+        return self.confidence is None
+
+
+class CubeView:
+    """A materialized 2-D pivot of the cube."""
+
+    def __init__(
+        self,
+        mode: str,
+        row_axis: Axis,
+        col_axis: Axis,
+        measure: str,
+        rows: list[object],
+        cols: list[object],
+        cells: dict[tuple[object, object], CubeCell],
+        time_range=None,
+    ) -> None:
+        self.mode = mode
+        self.row_axis = row_axis
+        self.col_axis = col_axis
+        self.measure = measure
+        self.rows = rows
+        self.cols = cols
+        self.time_range = time_range
+        self._cells = cells
+
+    def cell(self, row: object, col: object) -> CubeCell:
+        """The cell at (row label, column label)."""
+        return self._cells.get((row, col), CubeCell(None, None))
+
+    def transpose(self) -> "CubeView":
+        """Swap rows and columns — the OLAP *rotate* operator."""
+        return CubeView(
+            mode=self.mode,
+            row_axis=self.col_axis,
+            col_axis=self.row_axis,
+            measure=self.measure,
+            rows=list(self.cols),
+            cols=list(self.rows),
+            cells={(c, r): cell for (r, c), cell in self._cells.items()},
+            time_range=self.time_range,
+        )
+
+    def confidences(self) -> list[ConfidenceFactor | None]:
+        """Every grid cell's confidence, row-major (for the quality factor
+        ``Q``, whose denominator is ``Ni·Nj·10`` — the *grid*, including
+        empty cross-points, exactly as §5.2 counts it)."""
+        return [self.cell(r, c).confidence for r in self.rows for c in self.cols]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CubeView(mode={self.mode}, {self.row_axis.name} × "
+            f"{self.col_axis.name}, {len(self.rows)}×{len(self.cols)})"
+        )
+
+
+class Cube:
+    """The hypercube over a MultiVersion fact table.
+
+    When built with ``materialize=True`` (or handed an existing
+    :class:`~repro.olap.aggregates.AggregateLattice` via ``lattice``), the
+    cube answers untimed (time × level) pivots straight from the
+    precomputed aggregates — §1.1's "query results are pre-calculated in
+    the form of aggregates".  Pivots the lattice cannot serve (custom time
+    windows, level × level grids) fall back to the query engine.
+    """
+
+    def __init__(
+        self,
+        mvft: MultiVersionFactTable,
+        *,
+        materialize: bool = False,
+        lattice=None,
+    ) -> None:
+        self.mvft = mvft
+        self.schema = mvft.schema
+        self.engine = QueryEngine(mvft)
+        if lattice is None and materialize:
+            from .aggregates import AggregateLattice
+
+            lattice = AggregateLattice(mvft)
+        self.lattice = lattice
+
+    @property
+    def modes(self) -> list[str]:
+        """Available presentation modes (the TMP axis)."""
+        return self.mvft.modes.labels
+
+    def level_axes(self) -> list[LevelAxis]:
+        """Every (dimension, level) axis available in the schema.
+
+        Levels are taken from the latest structure version (Definition 4:
+        levels emerge from instances and evolve; the latest version is the
+        natural navigation default).
+        """
+        axes: list[LevelAxis] = []
+        version_modes = self.mvft.modes.version_modes
+        if not version_modes:
+            return axes
+        last = version_modes[-1].version
+        assert last is not None
+        for did in self.schema.dimension_ids:
+            snap = last.dimension(did).at(last.valid_time.start)
+            for level in snap.levels():
+                axes.append(LevelAxis(did, level))
+        return axes
+
+    def _pivot_from_lattice(
+        self,
+        mode: str,
+        row_axis: Axis,
+        col_axis: Axis,
+        measure: str,
+        time_range,
+    ) -> "CubeView | None":
+        """Serve a (time × level) pivot from the lattice, if possible."""
+        if self.lattice is None or time_range is not None:
+            return None
+        if isinstance(row_axis, TimeAxis) and isinstance(col_axis, LevelAxis):
+            time_axis, level_axis, transposed = row_axis, col_axis, False
+        elif isinstance(row_axis, LevelAxis) and isinstance(col_axis, TimeAxis):
+            time_axis, level_axis, transposed = col_axis, row_axis, True
+        else:
+            return None
+        node = self.lattice.totals(
+            mode,
+            time_axis.granularity,
+            level_axis.dimension,
+            level_axis.level,
+            measure,
+        )
+        if not node:
+            return None
+        rows: list[object] = []
+        cols: list[object] = []
+        cells: dict[tuple[object, object], CubeCell] = {}
+        for (time_label, level_label), (value, cf) in node.items():
+            if time_label not in rows:
+                rows.append(time_label)
+            if level_label not in cols:
+                cols.append(level_label)
+            cells[(time_label, level_label)] = CubeCell(value, cf)
+        rows.sort(key=lambda x: (x is None, str(x)))
+        cols.sort(key=lambda x: (x is None, str(x)))
+        view = CubeView(mode, time_axis, level_axis, measure, rows, cols, cells)
+        return view.transpose() if transposed else view
+
+    def pivot(
+        self,
+        mode: str,
+        row_axis: Axis,
+        col_axis: Axis,
+        measure: str,
+        *,
+        time_range=None,
+        filters=(),
+    ) -> CubeView:
+        """Materialize a 2-D view: ``measure`` over ``row × column``.
+
+        ``filters`` are :class:`~repro.core.query.LevelFilter` slice/dice
+        restrictions, resolved through this mode's hierarchy.  Filtered
+        pivots always go through the engine (the aggregate lattice caches
+        unfiltered group-bys only).
+        """
+        if row_axis == col_axis:
+            raise QueryError("row and column axes must differ")
+        if not filters:
+            served = self._pivot_from_lattice(
+                mode, row_axis, col_axis, measure, time_range
+            )
+            if served is not None:
+                return served
+        query = Query(
+            mode=mode,
+            group_by=(row_axis.group_term(), col_axis.group_term()),
+            measures=(measure,),
+            time_range=time_range,
+            level_filters=tuple(filters),
+        )
+        result = self.engine.execute(query)
+        rows: list[object] = []
+        cols: list[object] = []
+        cells: dict[tuple[object, object], CubeCell] = {}
+        for rrow in result:
+            r, c = rrow.group
+            if r not in rows:
+                rows.append(r)
+            if c not in cols:
+                cols.append(c)
+            cells[(r, c)] = CubeCell(
+                rrow.value(measure), rrow.confidence(measure)
+            )
+        rows.sort(key=lambda x: (x is None, str(x)))
+        cols.sort(key=lambda x: (x is None, str(x)))
+        return CubeView(
+            mode, row_axis, col_axis, measure, rows, cols, cells,
+            time_range=time_range,
+        )

@@ -1,0 +1,239 @@
+"""The OLAP client tier (Figure 1's fourth level, §5.2's UX).
+
+Renders cube views as text grids with the prototype's confidence colour
+code — "white for source data, green for exact mapping, yellow for
+approximated mapping and red for impossible cross-point" — computes the
+per-mode quality report the user picks a version with, and draws the
+valid-time dimension graph of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.chronology import ym_str
+from repro.core.confidence import AM, EM, SD, UK, ConfidenceFactor
+from repro.core.dimension import TemporalDimension
+from repro.core.errors import QualityError
+from repro.core.quality import DEFAULT_WEIGHTS
+from .cube import Cube, CubeView
+
+__all__ = [
+    "ANSI_COLOURS",
+    "HTML_COLOURS",
+    "render_view",
+    "render_view_html",
+    "explain_cell",
+    "grid_quality",
+    "quality_report",
+    "render_dimension_graph",
+]
+
+ANSI_COLOURS: dict[str, str] = {
+    SD.symbol: "\x1b[37m",   # white  — source data
+    EM.symbol: "\x1b[32m",   # green  — exact mapping
+    AM.symbol: "\x1b[33m",   # yellow — approximated mapping
+    UK.symbol: "\x1b[31m",   # red    — unknown / impossible cross-point
+}
+_RESET = "\x1b[0m"
+
+
+def _cell_text(value: float | None, cf: ConfidenceFactor | None, colour: bool) -> str:
+    if cf is None:
+        body = "·"
+        symbol = UK.symbol  # empty cross-points are painted red (§5.2)
+    elif value is None:
+        body = f"? ({cf.symbol})"
+        symbol = cf.symbol
+    else:
+        body = f"{value:g} ({cf.symbol})"
+        symbol = cf.symbol
+    if colour:
+        return f"{ANSI_COLOURS[symbol]}{body}{_RESET}"
+    return body
+
+
+def render_view(view: CubeView, *, colour: bool = False) -> str:
+    """Render a cube view as a text grid.
+
+    With ``colour=True`` each cell is wrapped in the §5.2 ANSI colour for
+    its confidence.  Column widths are computed on the uncoloured text so
+    ANSI escapes never skew the layout.
+    """
+    headers = [f"{view.row_axis.name} \\ {view.col_axis.name}"]
+    headers.extend(str(c) for c in view.cols)
+    plain_rows: list[list[str]] = []
+    for r in view.rows:
+        line = [str(r)]
+        for c in view.cols:
+            cell = view.cell(r, c)
+            line.append(_cell_text(cell.value, cell.confidence, colour=False))
+        plain_rows.append(line)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in plain_rows))
+        if plain_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r, plain in zip(view.rows, plain_rows):
+        rendered = [plain[0].ljust(widths[0])]
+        for i, c in enumerate(view.cols, start=1):
+            cell = view.cell(r, c)
+            text = plain[i].ljust(widths[i])
+            if colour:
+                symbol = (cell.confidence or UK).symbol
+                text = f"{ANSI_COLOURS[symbol]}{text}{_RESET}"
+            rendered.append(text)
+        lines.append("  ".join(rendered))
+    return "\n".join(lines)
+
+
+HTML_COLOURS: dict[str, str] = {
+    SD.symbol: "#ffffff",  # white  — source data
+    EM.symbol: "#d6f5d6",  # green  — exact mapping
+    AM.symbol: "#fff3bf",  # yellow — approximated mapping
+    UK.symbol: "#ffd6d6",  # red    — unknown / impossible cross-point
+}
+"""The §5.2 cell-background palette for HTML reports."""
+
+
+def _html_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_view_html(view: CubeView, *, title: str | None = None) -> str:
+    """Render a cube view as a standalone HTML table.
+
+    Cells carry the §5.2 background colours (white/green/yellow/red) and a
+    ``title`` tooltip naming the confidence factor; empty cross-points are
+    painted red, like the prototype's grid.
+    """
+    heading = title or (
+        f"{view.measure} — {view.row_axis.name} × {view.col_axis.name} "
+        f"(mode {view.mode})"
+    )
+    lines = [
+        "<table border='1' cellspacing='0' cellpadding='4'>",
+        f"<caption>{_html_escape(heading)}</caption>",
+        "<tr><th></th>"
+        + "".join(f"<th>{_html_escape(str(c))}</th>" for c in view.cols)
+        + "</tr>",
+    ]
+    for r in view.rows:
+        cells = [f"<th>{_html_escape(str(r))}</th>"]
+        for c in view.cols:
+            cell = view.cell(r, c)
+            cf = cell.confidence
+            symbol = (cf or UK).symbol
+            colour = HTML_COLOURS[symbol]
+            if cf is None:
+                body, tip = "&middot;", "empty cross-point"
+            elif cell.value is None:
+                body, tip = "?", cf.description or cf.symbol
+            else:
+                body = _html_escape(f"{cell.value:g}")
+                tip = cf.description or cf.symbol
+            cells.append(
+                f"<td style='background:{colour}' "
+                f"title='{_html_escape(tip)}'>{body}</td>"
+            )
+        lines.append("<tr>" + "".join(cells) + "</tr>")
+    lines.append("</table>")
+    return "\n".join(lines)
+
+
+def grid_quality(
+    view: CubeView, weights: Mapping[str, int] | None = None
+) -> float:
+    """The §5.2 quality factor over a view's full grid.
+
+    ``Q = Σ pds(fb(i,j)) / (Ni·Nj·10)`` — the denominator counts the whole
+    grid, so empty cross-points (confidence ``None`` → treated as ``uk``)
+    drag the quality down, exactly as red cells do in the prototype.
+    """
+    pds = dict(DEFAULT_WEIGHTS if weights is None else weights)
+    for symbol, w in pds.items():
+        if not 0 <= w <= 10:
+            raise QualityError(f"weight for {symbol!r} must be in 0..10, got {w}")
+    confidences = view.confidences()
+    if not confidences:
+        return 0.0
+    total = 0
+    for cf in confidences:
+        symbol = (cf or UK).symbol
+        if symbol not in pds:
+            raise QualityError(f"no weight declared for confidence {symbol!r}")
+        total += pds[symbol]
+    return total / (len(confidences) * 10)
+
+
+def quality_report(
+    cube: Cube,
+    row_axis,
+    col_axis,
+    measure: str,
+    *,
+    weights: Mapping[str, int] | None = None,
+    time_range=None,
+) -> list[tuple[str, float, CubeView]]:
+    """The same view in every temporal mode, ranked by grid quality —
+    'the user can choose his best version among all temporal modes of
+    presentation, according to its own criteria of quality' (§5.2)."""
+    ranked = []
+    for mode in cube.modes:
+        view = cube.pivot(mode, row_axis, col_axis, measure, time_range=time_range)
+        ranked.append((mode, grid_quality(view, weights), view))
+    ranked.sort(key=lambda item: -item[1])
+    return ranked
+
+
+def explain_cell(mvft, coordinates, t, mode: str) -> str:
+    """§5.2's drill-through: how was this cell calculated?
+
+    "The user has a direct access to very precise information on the way
+    the data were calculated and on the factors applied in conversions."
+    Returns a multi-line explanation of the MultiVersion cell at
+    ``(coordinates, t, mode)``: per-measure value, confidence and the
+    provenance of every contribution (source member and applied mapping
+    functions), or a note that the cell is an empty cross-point.
+    """
+    row = mvft.lookup(coordinates, t, mode)
+    coords_text = ", ".join(f"{d}={m}" for d, m in sorted(dict(coordinates).items()))
+    if row is None:
+        return (
+            f"cell ({coords_text}, t={t}, mode={mode}): empty cross-point — "
+            f"no fact is presentable here (painted red in the grid)"
+        )
+    lines = [f"cell ({coords_text}, t={t}, mode={mode}):"]
+    for measure, value in row.values.items():
+        cf = row.confidence(measure)
+        rendered = "?" if value is None else f"{value:g}"
+        lines.append(f"  {measure} = {rendered}  [{cf.symbol}: {cf.description}]")
+    lines.append("  computed from:")
+    for step in row.provenance:
+        lines.append(f"    - {step}")
+    return "\n".join(lines)
+
+
+def render_dimension_graph(dimension: TemporalDimension) -> str:
+    """Figure 2: the dimension as a valid-time graph, one line per node
+    and edge (``child -[from; to]-> parent``)."""
+    lines = [f"Dimension {dimension.name!r}"]
+    for mv in sorted(dimension.members.values(), key=lambda m: (m.start, m.mvid)):
+        lines.append(
+            f"  {mv.name} [{ym_str(mv.start)} ; {ym_str(mv.end)}]"
+        )
+        for rel in dimension.relationships_of(mv.mvid):
+            if rel.child != mv.mvid:
+                continue
+            parent = dimension.member(rel.parent)
+            lines.append(
+                f"    -[{ym_str(rel.start)} ; {ym_str(rel.end)}]-> {parent.name}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""An in-memory relational engine — the warehouse-server substrate.
+
+The paper's prototype ran on SQL Server 2000; this package provides the
+relational primitives that stack needs, from scratch: typed columns,
+tables with primary keys and hash indexes, foreign-key enforcement, a
+join/group/order query pipeline and CSV persistence.  The §4 logical
+lowerings (:mod:`repro.logical`) and the §5 warehouse builders
+(:mod:`repro.warehouse`) are built entirely on it.
+"""
+
+from .csvio import dump_database, dump_table, load_database, load_table
+from .database import Database
+from .errors import (
+    ConstraintViolation,
+    DuplicateKeyError,
+    ForeignKeyViolation,
+    QueryPlanError,
+    StorageError,
+    TableExistsError,
+    TypeCoercionError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from .index import HashIndex
+from .query import Q
+from .schema import Column, ForeignKey, TableSchema
+from .table import Table
+from .types import BOOLEAN, FLOAT, INTEGER, TEXT, ColumnType
+
+__all__ = [
+    "Database",
+    "Table",
+    "TableSchema",
+    "Column",
+    "ForeignKey",
+    "HashIndex",
+    "Q",
+    "ColumnType",
+    "INTEGER",
+    "FLOAT",
+    "TEXT",
+    "BOOLEAN",
+    "dump_table",
+    "load_table",
+    "dump_database",
+    "load_database",
+    "StorageError",
+    "TableExistsError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "TypeCoercionError",
+    "ConstraintViolation",
+    "DuplicateKeyError",
+    "ForeignKeyViolation",
+    "QueryPlanError",
+]

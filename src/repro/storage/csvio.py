@@ -1,0 +1,120 @@
+"""CSV persistence for tables and whole databases.
+
+The paper's warehouse is non-volatile; this module gives the in-memory
+engine a durable form — one CSV file per table plus a small catalog file —
+so example pipelines can persist and reload their warehouses.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .database import Database
+from .errors import StorageError
+from .schema import Column, TableSchema
+from .table import Table
+from .types import BOOLEAN, FLOAT, INTEGER, TEXT, ColumnType
+
+__all__ = ["dump_table", "load_table", "dump_database", "load_database"]
+
+_TYPES: dict[str, ColumnType] = {
+    "INTEGER": INTEGER,
+    "FLOAT": FLOAT,
+    "TEXT": TEXT,
+    "BOOLEAN": BOOLEAN,
+}
+
+_NULL = ""
+
+
+def dump_table(table: Table, path: str | Path) -> None:
+    """Write a table to CSV (header row = column names, NULL = empty)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.schema.column_names)
+        for row in table.rows():
+            writer.writerow(
+                [
+                    _NULL if row[c] is None else str(row[c])
+                    for c in table.schema.column_names
+                ]
+            )
+
+
+def load_table(schema: TableSchema, path: str | Path) -> Table:
+    """Read a CSV written by :func:`dump_table` back into a table."""
+    path = Path(path)
+    table = Table(schema)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path} is empty — not a table dump") from None
+        if header != schema.column_names:
+            raise StorageError(
+                f"{path} columns {header} do not match schema "
+                f"{schema.column_names}"
+            )
+        for line in reader:
+            row = {}
+            for name, text in zip(header, line):
+                column = schema.column(name)
+                row[name] = None if text == _NULL else column.type.parse(text)
+            table.insert(row)
+    return table
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "type": c.type.name, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+    }
+
+
+def _schema_from_json(payload: dict) -> TableSchema:
+    return TableSchema(
+        name=payload["name"],
+        columns=tuple(
+            Column(c["name"], _TYPES[c["type"]], nullable=c["nullable"])
+            for c in payload["columns"]
+        ),
+        primary_key=tuple(payload["primary_key"]),
+    )
+
+
+def dump_database(db: Database, directory: str | Path) -> None:
+    """Persist a whole database: ``catalog.json`` plus one CSV per table."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    catalog = []
+    for name in db.table_names:
+        table = db.table(name)
+        catalog.append(_schema_to_json(table.schema))
+        dump_table(table, directory / f"{name}.csv")
+    (directory / "catalog.json").write_text(json.dumps(catalog, indent=2))
+
+
+def load_database(directory: str | Path, name: str = "warehouse") -> Database:
+    """Reload a database persisted with :func:`dump_database`."""
+    directory = Path(directory)
+    catalog_path = directory / "catalog.json"
+    if not catalog_path.exists():
+        raise StorageError(f"{directory} has no catalog.json")
+    db = Database(name)
+    for payload in json.loads(catalog_path.read_text()):
+        schema = _schema_from_json(payload)
+        loaded = load_table(schema, directory / f"{schema.name}.csv")
+        created = db.create_table(
+            schema.name, schema.columns, primary_key=schema.primary_key
+        )
+        for row in loaded.rows():
+            created.insert(row)
+    return db

@@ -1,0 +1,126 @@
+"""The database catalog: named tables plus referential integrity.
+
+A :class:`Database` owns tables and (optionally, per insert call) enforces
+the foreign keys their schemas declare — enough relational behaviour for
+the warehouse layer to build star, snowflake and parent-child schemas the
+way the paper's prototype did on SQL Server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .errors import ForeignKeyViolation, TableExistsError, UnknownTableError
+from .schema import Column, ForeignKey, TableSchema
+from .table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory catalog of relational tables."""
+
+    def __init__(self, name: str = "warehouse") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # -- catalog -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        *,
+        primary_key: Iterable[str] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> Table:
+        """Create and register a table."""
+        if name in self._tables:
+            raise TableExistsError(f"table {name!r} already exists in {self.name!r}")
+        schema = TableSchema(
+            name=name,
+            columns=tuple(columns),
+            primary_key=tuple(primary_key),
+            foreign_keys=tuple(foreign_keys),
+        )
+        table = Table(schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise UnknownTableError(f"database {self.name!r} has no table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names, in creation order."""
+        return list(self._tables)
+
+    # -- integrity-checked writes -----------------------------------------------------
+
+    def insert(
+        self, table_name: str, row: Mapping[str, Any], *, check_fk: bool = True
+    ) -> int:
+        """Insert with foreign-key enforcement.
+
+        Each foreign key of the table is checked against the parent table's
+        current rows; ``None`` components opt out (SQL semantics).
+        """
+        table = self.table(table_name)
+        if check_fk:
+            coerced = table.schema.coerce_row(row)
+            for fk in table.schema.foreign_keys:
+                values = tuple(coerced[c] for c in fk.columns)
+                if any(v is None for v in values):
+                    continue
+                parent = self.table(fk.parent_table)
+                matches = parent.find(
+                    **{pc: v for pc, v in zip(fk.parent_columns, values)}
+                )
+                if not matches:
+                    raise ForeignKeyViolation(
+                        f"{table_name}.{fk.columns} = {values!r} has no parent in "
+                        f"{fk.parent_table}.{fk.parent_columns}"
+                    )
+        return table.insert(row)
+
+    def insert_many(
+        self,
+        table_name: str,
+        rows: Iterable[Mapping[str, Any]],
+        *,
+        check_fk: bool = True,
+    ) -> int:
+        """Bulk insert with optional FK enforcement."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row, check_fk=check_fk)
+            count += 1
+        return count
+
+    # -- introspection -------------------------------------------------------------------
+
+    def row_counts(self) -> dict[str, int]:
+        """``{table: row count}`` — the storage-size probe benches use."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def total_rows(self) -> int:
+        """Total live rows across tables."""
+        return sum(self.row_counts().values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, tables={self.table_names})"

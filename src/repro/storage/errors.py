@@ -1,0 +1,53 @@
+"""Exception hierarchy of the relational storage substrate."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "StorageError",
+    "TableExistsError",
+    "UnknownTableError",
+    "UnknownColumnError",
+    "TypeCoercionError",
+    "ConstraintViolation",
+    "DuplicateKeyError",
+    "ForeignKeyViolation",
+    "QueryPlanError",
+]
+
+
+class StorageError(ReproError):
+    """Base class of every storage-layer error."""
+
+
+class TableExistsError(StorageError):
+    """Raised when creating a table whose name is already taken."""
+
+
+class UnknownTableError(StorageError):
+    """Raised when referencing a table the database does not contain."""
+
+
+class UnknownColumnError(StorageError):
+    """Raised when referencing a column a table schema does not declare."""
+
+
+class TypeCoercionError(StorageError):
+    """Raised when a value cannot be coerced to its column's type."""
+
+
+class ConstraintViolation(StorageError):
+    """Base class for integrity-constraint violations."""
+
+
+class DuplicateKeyError(ConstraintViolation):
+    """Raised on a primary-key or unique-index collision."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """Raised when a row references a missing parent key."""
+
+
+class QueryPlanError(StorageError):
+    """Raised on malformed query-builder pipelines."""

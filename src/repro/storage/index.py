@@ -1,0 +1,59 @@
+"""Hash indexes over table columns.
+
+The engine keeps a unique index on each table's primary key and lets
+callers declare secondary (non-unique) indexes; point lookups and
+equi-joins use them instead of scanning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .errors import DuplicateKeyError, StorageError
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """A hash index mapping column-value tuples to row ids.
+
+    ``unique`` indexes reject duplicate keys (primary keys); non-unique
+    indexes accumulate row-id lists (secondary lookup structures).
+    """
+
+    def __init__(self, columns: Iterable[str], *, unique: bool = False) -> None:
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise StorageError("an index needs at least one column")
+        self.unique = unique
+        self._buckets: dict[tuple[Any, ...], list[int]] = {}
+
+    def key_of(self, row: Mapping[str, Any]) -> tuple[Any, ...]:
+        """The index key of a row."""
+        return tuple(row[c] for c in self.columns)
+
+    def add(self, rid: int, row: Mapping[str, Any]) -> None:
+        """Index a stored row by id."""
+        key = self.key_of(row)
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique and bucket:
+            raise DuplicateKeyError(
+                f"duplicate key {key!r} on unique index over {self.columns}"
+            )
+        bucket.append(rid)
+
+    def remove(self, rid: int, row: Mapping[str, Any]) -> None:
+        """Drop a row id from the index (row deletes/updates)."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key, [])
+        if rid in bucket:
+            bucket.remove(rid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> list[int]:
+        """Row ids stored under ``key`` (empty when absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

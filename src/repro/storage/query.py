@@ -1,0 +1,235 @@
+"""A small relational query pipeline over tables.
+
+:class:`Q` is a fluent builder: filter, hash-join, project, group and
+order — the operations the warehouse layer needs to assemble and query
+star/snowflake schemas.  Pipelines are lazy until :meth:`rows` executes.
+
+Example::
+
+    rows = (
+        Q(db.table("fact"))
+        .join(db.table("dim_org"), on=[("member", "member_id")])
+        .where(lambda r: r["year"] == 2002)
+        .group_by(["division"], aggregates={"total": ("sum", "amount")})
+        .order_by(["division"])
+        .rows()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .errors import QueryPlanError
+from .table import Table
+
+__all__ = ["Q"]
+
+Row = dict[str, Any]
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+_AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "sum": lambda values: sum(v for v in values if v is not None) if any(v is not None for v in values) else None,
+    "min": lambda values: min((v for v in values if v is not None), default=None),
+    "max": lambda values: max((v for v in values if v is not None), default=None),
+    "count": lambda values: sum(1 for v in values if v is not None),
+    "avg": lambda values: (
+        (lambda known: sum(known) / len(known) if known else None)(
+            [v for v in values if v is not None]
+        )
+    ),
+    "first": lambda values: values[0] if values else None,
+}
+
+
+class Q:
+    """A lazy relational pipeline over a table or row iterable."""
+
+    def __init__(self, source: Table | Iterable[Mapping[str, Any]]) -> None:
+        if isinstance(source, Table):
+            self._source: Callable[[], list[Row]] = lambda: list(source.rows())
+        else:
+            materialized = [dict(r) for r in source]
+            self._source = lambda: [dict(r) for r in materialized]
+        self._steps: list[Callable[[list[Row]], list[Row]]] = []
+
+    def _derive(self, step: Callable[[list[Row]], list[Row]]) -> "Q":
+        clone = Q([])
+        clone._source = self._source
+        clone._steps = [*self._steps, step]
+        return clone
+
+    # -- operators ----------------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Q":
+        """Keep rows matching ``predicate``."""
+        return self._derive(lambda rows: [r for r in rows if predicate(r)])
+
+    def select(self, columns: Sequence[str]) -> "Q":
+        """Project to the named columns (missing columns are an error)."""
+        cols = list(columns)
+
+        def run(rows: list[Row]) -> list[Row]:
+            out = []
+            for r in rows:
+                missing = [c for c in cols if c not in r]
+                if missing:
+                    raise QueryPlanError(f"projection references unknown {missing}")
+                out.append({c: r[c] for c in cols})
+            return out
+
+        return self._derive(run)
+
+    def extend(self, column: str, fn: Callable[[Mapping[str, Any]], Any]) -> "Q":
+        """Add a computed column."""
+        def run(rows: list[Row]) -> list[Row]:
+            return [{**r, column: fn(r)} for r in rows]
+
+        return self._derive(run)
+
+    def join(
+        self,
+        other: Table | Iterable[Mapping[str, Any]],
+        on: Sequence[tuple[str, str]],
+        *,
+        how: str = "inner",
+        suffix: str = "_r",
+    ) -> "Q":
+        """Hash join with another table/row set.
+
+        ``on`` pairs ``(left column, right column)``.  ``how`` is
+        ``"inner"`` or ``"left"`` (unmatched left rows keep ``None`` for
+        right columns).  Right columns colliding with left names are
+        renamed with ``suffix``.
+        """
+        if how not in ("inner", "left"):
+            raise QueryPlanError(f"unsupported join type {how!r}")
+        if not on:
+            raise QueryPlanError("join needs at least one column pair")
+        right_rows = (
+            list(other.rows()) if isinstance(other, Table) else [dict(r) for r in other]
+        )
+        left_cols = [pair[0] for pair in on]
+        right_cols = [pair[1] for pair in on]
+
+        def run(rows: list[Row]) -> list[Row]:
+            buckets: dict[tuple[Any, ...], list[Row]] = {}
+            for rr in right_rows:
+                missing = [c for c in right_cols if c not in rr]
+                if missing:
+                    raise QueryPlanError(f"join references unknown right {missing}")
+                buckets.setdefault(tuple(rr[c] for c in right_cols), []).append(rr)
+            right_names = set()
+            for rr in right_rows:
+                right_names.update(rr)
+            out: list[Row] = []
+            for lr in rows:
+                missing = [c for c in left_cols if c not in lr]
+                if missing:
+                    raise QueryPlanError(f"join references unknown left {missing}")
+                matches = buckets.get(tuple(lr[c] for c in left_cols), [])
+                if not matches and how == "left":
+                    merged = dict(lr)
+                    for name in right_names:
+                        key = name if name not in lr else name + suffix
+                        merged.setdefault(key, None)
+                    out.append(merged)
+                    continue
+                for rr in matches:
+                    merged = dict(lr)
+                    for name, value in rr.items():
+                        key = name if name not in lr else name + suffix
+                        merged[key] = value
+                    out.append(merged)
+            return out
+
+        return self._derive(run)
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Mapping[str, tuple[str, str]],
+    ) -> "Q":
+        """Group rows and compute aggregates.
+
+        ``aggregates`` maps output column names to ``(function, column)``
+        with function one of ``sum/min/max/count/avg/first``.
+        """
+        key_cols = list(keys)
+        for out_name, (fn, _col) in aggregates.items():
+            if fn not in _AGGREGATES:
+                raise QueryPlanError(f"unknown aggregate {fn!r} for {out_name!r}")
+
+        def run(rows: list[Row]) -> list[Row]:
+            groups: dict[tuple[Any, ...], list[Row]] = {}
+            for r in rows:
+                missing = [c for c in key_cols if c not in r]
+                if missing:
+                    raise QueryPlanError(f"group_by references unknown {missing}")
+                groups.setdefault(tuple(r[c] for c in key_cols), []).append(r)
+            out: list[Row] = []
+            for key, members in groups.items():
+                row: Row = dict(zip(key_cols, key))
+                for out_name, (fn, col) in aggregates.items():
+                    row[out_name] = _AGGREGATES[fn]([m.get(col) for m in members])
+                out.append(row)
+            return out
+
+        return self._derive(run)
+
+    def order_by(self, columns: Sequence[str], *, descending: bool = False) -> "Q":
+        """Sort rows by the named columns (``None`` sorts first)."""
+        cols = list(columns)
+
+        def sort_key(row: Row):
+            return tuple(
+                (row.get(c) is not None, row.get(c)) for c in cols
+            )
+
+        return self._derive(
+            lambda rows: sorted(rows, key=sort_key, reverse=descending)
+        )
+
+    def limit(self, n: int) -> "Q":
+        """Keep the first ``n`` rows."""
+        if n < 0:
+            raise QueryPlanError("limit must be non-negative")
+        return self._derive(lambda rows: rows[:n])
+
+    def distinct(self) -> "Q":
+        """Drop duplicate rows (first occurrence wins)."""
+
+        def run(rows: list[Row]) -> list[Row]:
+            seen: set[tuple[tuple[str, Any], ...]] = set()
+            out = []
+            for r in rows:
+                key = tuple(sorted(r.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(r)
+            return out
+
+        return self._derive(run)
+
+    # -- execution ------------------------------------------------------------------
+
+    def rows(self) -> list[Row]:
+        """Execute the pipeline and return the result rows."""
+        rows = self._source()
+        for step in self._steps:
+            rows = step(rows)
+        return rows
+
+    def one(self) -> Row:
+        """Execute and assert exactly one result row."""
+        rows = self.rows()
+        if len(rows) != 1:
+            raise QueryPlanError(f"expected exactly one row, got {len(rows)}")
+        return rows[0]
+
+    def scalar(self, column: str) -> Any:
+        """Execute and return one column of the single result row."""
+        row = self.one()
+        if column not in row:
+            raise QueryPlanError(f"result has no column {column!r}")
+        return row[column]

@@ -1,0 +1,126 @@
+"""Table schemas: columns, keys and foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .errors import StorageError, TypeCoercionError, UnknownColumnError
+from .types import ColumnType
+
+__all__ = ["Column", "ForeignKey", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type and nullability."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StorageError("column needs a non-empty name")
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a value for this column, honouring nullability."""
+        if value is None:
+            if self.nullable:
+                return None
+            raise TypeCoercionError(f"column {self.name!r} is NOT NULL")
+        return self.type.coerce(value)
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key: local columns referencing a parent table's key."""
+
+    columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.parent_columns):
+            raise StorageError(
+                "foreign key column count mismatch: "
+                f"{self.columns} vs {self.parent_columns}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The schema of one table.
+
+    ``primary_key`` names the key columns (may be empty for heap tables —
+    e.g. fact tables keyed by their full coordinates are usually declared
+    with an explicit composite key instead).
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _index: Mapping[str, Column] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StorageError("table needs a non-empty name")
+        if not self.columns:
+            raise StorageError(f"table {self.name!r} needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"duplicate column names in table {self.name!r}")
+        index = {c.name: c for c in self.columns}
+        for key_col in self.primary_key:
+            if key_col not in index:
+                raise UnknownColumnError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+            if index[key_col].nullable:
+                raise StorageError(
+                    f"primary key column {key_col!r} of {self.name!r} must be NOT NULL"
+                )
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in index:
+                    raise UnknownColumnError(
+                        f"foreign key column {col!r} not in table {self.name!r}"
+                    )
+        object.__setattr__(self, "_index", index)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def coerce_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and coerce a full row against the schema.
+
+        Missing nullable columns default to ``None``; missing NOT NULL
+        columns and unknown columns are errors.
+        """
+        unknown = set(row) - set(self._index)
+        if unknown:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no columns {sorted(unknown)}"
+            )
+        out: dict[str, Any] = {}
+        for col in self.columns:
+            out[col.name] = col.coerce(row.get(col.name))
+        return out
+
+    def key_of(self, row: Mapping[str, Any]) -> tuple[Any, ...] | None:
+        """The primary-key tuple of a coerced row (``None`` if keyless)."""
+        if not self.primary_key:
+            return None
+        return tuple(row[c] for c in self.primary_key)

@@ -1,0 +1,191 @@
+"""The row store: typed tables with keys, indexes and CRUD.
+
+Rows are stored as dictionaries in an append-ordered slot list (deleted
+slots become ``None``); a unique hash index enforces the primary key and
+secondary indexes accelerate point lookups and equi-joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from .errors import DuplicateKeyError, StorageError
+from .index import HashIndex
+from .schema import TableSchema
+
+__all__ = ["Table"]
+
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+
+class Table:
+    """One relational table: schema, slots and indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._slots: list[dict[str, Any] | None] = []
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        if schema.primary_key:
+            self._indexes[schema.primary_key] = HashIndex(
+                schema.primary_key, unique=True
+            )
+
+    # -- index maintenance --------------------------------------------------------
+
+    def create_index(self, columns: Iterable[str], *, unique: bool = False) -> None:
+        """Declare a secondary index; existing rows are indexed immediately."""
+        cols = tuple(columns)
+        for c in cols:
+            self.schema.column(c)
+        if cols in self._indexes:
+            raise StorageError(f"index over {cols} already exists on {self.name!r}")
+        index = HashIndex(cols, unique=unique)
+        for rid, row in enumerate(self._slots):
+            if row is not None:
+                index.add(rid, row)
+        self._indexes[cols] = index
+
+    def _index_for(self, columns: tuple[str, ...]) -> HashIndex | None:
+        return self._indexes.get(columns)
+
+    # -- CRUD -----------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table name."""
+        return self.schema.name
+
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Insert a row (coerced against the schema); returns its row id."""
+        coerced = self.schema.coerce_row(row)
+        rid = len(self._slots)
+        for index in self._indexes.values():
+            # Validate unique constraints before touching any index so a
+            # failed insert leaves the table unchanged.
+            if index.unique and index.lookup(index.key_of(coerced)):
+                raise DuplicateKeyError(
+                    f"duplicate key {index.key_of(coerced)!r} in {self.name!r}"
+                )
+        self._slots.append(coerced)
+        for index in self._indexes.values():
+            index.add(rid, coerced)
+        return rid
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Bulk insert; returns the number of rows stored."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def get(self, key: tuple[Any, ...]) -> dict[str, Any] | None:
+        """Point lookup by primary key."""
+        if not self.schema.primary_key:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        index = self._indexes[self.schema.primary_key]
+        rids = index.lookup(key)
+        if not rids:
+            return None
+        row = self._slots[rids[0]]
+        assert row is not None
+        return dict(row)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate live rows in insertion order (copies)."""
+        for row in self._slots:
+            if row is not None:
+                yield dict(row)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def __len__(self) -> int:
+        return sum(1 for row in self._slots if row is not None)
+
+    def scan(self, predicate: Predicate | None = None) -> list[dict[str, Any]]:
+        """Filtered scan (copies)."""
+        if predicate is None:
+            return list(self.rows())
+        return [row for row in self.rows() if predicate(row)]
+
+    def find(self, **equalities: Any) -> list[dict[str, Any]]:
+        """Equality lookup, index-accelerated when an index matches.
+
+        ``table.find(member="jones", mode="V2")`` uses an index over
+        ``(member, mode)`` (or any declared permutation prefix match is not
+        attempted — exact column-set match only), else falls back to a
+        scan.
+        """
+        for c in equalities:
+            self.schema.column(c)
+        cols = tuple(sorted(equalities))
+        for index_cols, index in self._indexes.items():
+            if tuple(sorted(index_cols)) == cols:
+                key = tuple(equalities[c] for c in index_cols)
+                out = []
+                for rid in index.lookup(key):
+                    row = self._slots[rid]
+                    if row is not None:
+                        out.append(dict(row))
+                return out
+        return self.scan(
+            lambda row: all(row[c] == v for c, v in equalities.items())
+        )
+
+    def update(
+        self, predicate: Predicate, changes: Mapping[str, Any]
+    ) -> int:
+        """Update matching rows; returns the number updated."""
+        for c in changes:
+            self.schema.column(c)
+        updated = 0
+        for rid, row in enumerate(self._slots):
+            if row is None or not predicate(row):
+                continue
+            new_row = dict(row)
+            new_row.update(changes)
+            coerced = self.schema.coerce_row(new_row)
+            for index in self._indexes.values():
+                if index.unique:
+                    key = index.key_of(coerced)
+                    existing = [r for r in index.lookup(key) if r != rid]
+                    if existing:
+                        raise DuplicateKeyError(
+                            f"update would duplicate key {key!r} in {self.name!r}"
+                        )
+            for index in self._indexes.values():
+                index.remove(rid, row)
+                index.add(rid, coerced)
+            self._slots[rid] = coerced
+            updated += 1
+        return updated
+
+    def delete(self, predicate: Predicate) -> int:
+        """Delete matching rows; returns the number removed."""
+        removed = 0
+        for rid, row in enumerate(self._slots):
+            if row is None or not predicate(row):
+                continue
+            for index in self._indexes.values():
+                index.remove(rid, row)
+            self._slots[rid] = None
+            removed += 1
+        return removed
+
+    # -- projections -------------------------------------------------------------------
+
+    def column_values(self, column: str) -> list[Any]:
+        """All live values of one column, in row order."""
+        self.schema.column(column)
+        return [row[column] for row in self.rows()]
+
+    def distinct(self, column: str) -> list[Any]:
+        """Distinct values of one column, in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self.column_values(column):
+            seen.setdefault(value, None)
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {len(self)} rows)"

@@ -1,0 +1,76 @@
+"""Column types of the relational substrate.
+
+The engine stores plain Python values; column types validate and coerce on
+insert so the logical layer (star/snowflake/parent-child lowerings) gets
+database-like integrity without an external DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import TypeCoercionError
+
+__all__ = ["ColumnType", "INTEGER", "FLOAT", "TEXT", "BOOLEAN"]
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A column type: a name plus coercion/validation behaviour.
+
+    ``coerce`` either returns a value of the canonical Python type or
+    raises :class:`TypeCoercionError`.  ``None`` is handled by the schema
+    layer (nullability), never by the type.
+    """
+
+    name: str
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type's canonical representation."""
+        if self.name == "INTEGER":
+            if isinstance(value, bool):
+                raise TypeCoercionError(f"boolean {value!r} is not an INTEGER")
+            if isinstance(value, int):
+                return value
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise TypeCoercionError(f"cannot store {value!r} in an INTEGER column")
+        if self.name == "FLOAT":
+            if isinstance(value, bool):
+                raise TypeCoercionError(f"boolean {value!r} is not a FLOAT")
+            if isinstance(value, (int, float)):
+                return float(value)
+            raise TypeCoercionError(f"cannot store {value!r} in a FLOAT column")
+        if self.name == "TEXT":
+            if isinstance(value, str):
+                return value
+            raise TypeCoercionError(f"cannot store {value!r} in a TEXT column")
+        if self.name == "BOOLEAN":
+            if isinstance(value, bool):
+                return value
+            raise TypeCoercionError(f"cannot store {value!r} in a BOOLEAN column")
+        raise TypeCoercionError(f"unknown column type {self.name!r}")
+
+    def parse(self, text: str) -> Any:
+        """Parse a CSV cell into this type (empty string handled upstream)."""
+        if self.name == "INTEGER":
+            return int(text)
+        if self.name == "FLOAT":
+            return float(text)
+        if self.name == "BOOLEAN":
+            if text in ("true", "True", "1"):
+                return True
+            if text in ("false", "False", "0"):
+                return False
+            raise TypeCoercionError(f"cannot parse {text!r} as BOOLEAN")
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+INTEGER = ColumnType("INTEGER")
+FLOAT = ColumnType("FLOAT")
+TEXT = ColumnType("TEXT")
+BOOLEAN = ColumnType("BOOLEAN")

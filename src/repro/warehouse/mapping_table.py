@@ -1,0 +1,120 @@
+"""The mapping-relations metadata table (§5.2, Table 12).
+
+In the prototype, mapping functions are linear — ``f(x) = k·x`` — and a
+confidence code is attached per mapping relation (and its symmetrical),
+not per function.  Table 12's layout is::
+
+    From       To        k for m1  k for m2  k-1 for m1  k-1 for m2  Confidence  Confidence-1
+    Dpt.Jones  Dpt.Paul  0.6       0.8       1           1           1           2
+    Dpt.Jones  Dpt.Bill  0.4       0.2       1           1           1           2
+
+This module builds exactly that table on the relational engine: one row
+per mapping relation, a ``k_<measure>`` / ``k_inv_<measure>`` column pair
+per measure (NULL for unknown mappings) and the §5.2 integer confidence
+codes (3=sd, 2=em, 1=am, 4=uk), derived per relation by folding the
+per-measure confidences with ``⊗cf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.mapping import LinearMapping, MappingRelationship
+from repro.core.schema import TemporalMultidimensionalSchema
+from repro.storage import Column, Database, FLOAT, INTEGER, TEXT, Table
+
+__all__ = ["MAPPING_TABLE", "k_column", "k_inv_column", "build_mapping_table", "mapping_relations_extract"]
+
+MAPPING_TABLE = "mapping_relations"
+"""Canonical name of the mapping-relations metadata table."""
+
+
+def k_column(measure: str) -> str:
+    """Column carrying the forward linear factor of ``measure``."""
+    return f"k_{measure}"
+
+
+def k_inv_column(measure: str) -> str:
+    """Column carrying the reverse linear factor of ``measure``."""
+    return f"k_inv_{measure}"
+
+
+def _linear_factor(rel: MappingRelationship, measure: str, direction: str) -> float | None:
+    mm = rel.measure_map(measure, direction=direction)
+    if isinstance(mm.function, LinearMapping):
+        return mm.function.k
+    return None  # unknown or non-linear: outside the prototype's metadata
+
+
+def _relation_confidence(
+    schema: TemporalMultidimensionalSchema, rel: MappingRelationship, direction: str
+) -> int:
+    factors = [
+        rel.measure_map(m, direction=direction).confidence
+        for m in schema.measure_names
+    ]
+    return schema.cf_aggregator.combine_all(factors).code
+
+
+def mapping_relations_extract(
+    schema: TemporalMultidimensionalSchema,
+) -> list[dict[str, Any]]:
+    """Table 12 as plain dictionaries (names, not ids, like the paper).
+
+    One row per mapping relation: member names of both endpoints, linear
+    factors per measure in both directions, and the two §5.2 confidence
+    codes.
+    """
+    rows: list[dict[str, Any]] = []
+    for rel in schema.mappings:
+        src_dim, _ = schema.find_member(rel.source)
+        row: dict[str, Any] = {
+            "from": src_dim.member(rel.source).name,
+            "to": src_dim.member(rel.target).name,
+        }
+        for m in schema.measure_names:
+            row[k_column(m)] = _linear_factor(rel, m, "forward")
+            row[k_inv_column(m)] = _linear_factor(rel, m, "reverse")
+        row["confidence"] = _relation_confidence(schema, rel, "forward")
+        row["confidence_inv"] = _relation_confidence(schema, rel, "reverse")
+        rows.append(row)
+    return rows
+
+
+def build_mapping_table(
+    db: Database, schema: TemporalMultidimensionalSchema
+) -> Table:
+    """Materialize the mapping-relations metadata on the relational engine.
+
+    Keys are the member-version ids (``from_id``, ``to_id``); display
+    names are carried alongside so front ends can print Table 12 without
+    a join.
+    """
+    columns = [
+        Column("from_id", TEXT),
+        Column("to_id", TEXT),
+        Column("from_name", TEXT),
+        Column("to_name", TEXT),
+    ]
+    for m in schema.measure_names:
+        columns.append(Column(k_column(m), FLOAT, nullable=True))
+        columns.append(Column(k_inv_column(m), FLOAT, nullable=True))
+    columns.append(Column("confidence", INTEGER))
+    columns.append(Column("confidence_inv", INTEGER))
+    table = db.create_table(MAPPING_TABLE, columns, primary_key=["from_id", "to_id"])
+
+    for rel in schema.mappings:
+        src_dim, _ = schema.find_member(rel.source)
+        row: dict[str, Any] = {
+            "from_id": rel.source,
+            "to_id": rel.target,
+            "from_name": src_dim.member(rel.source).name,
+            "to_name": src_dim.member(rel.target).name,
+            "confidence": _relation_confidence(schema, rel, "forward"),
+            "confidence_inv": _relation_confidence(schema, rel, "reverse"),
+        }
+        for m in schema.measure_names:
+            row[k_column(m)] = _linear_factor(rel, m, "forward")
+            row[k_inv_column(m)] = _linear_factor(rel, m, "reverse")
+        table.insert(row)
+    return table

@@ -1,0 +1,107 @@
+"""Metadata for end users (§5.2).
+
+Two categories:
+
+* metadata related to **member versions** — valid time, member name,
+  position in the hierarchy (stored in the dimension tables and surfaced
+  here as plain records);
+* metadata related to **evolutions** — the mapping relations (Table 12,
+  see :mod:`repro.warehouse.mapping_table`) and short textual descriptions
+  of the transformations that affected a member, derived from the
+  basic-operator journal.
+"""
+
+from __future__ import annotations
+
+from repro.core.chronology import ym_str
+from repro.core.operators import OperatorRecord
+from repro.core.schema import TemporalMultidimensionalSchema
+
+__all__ = ["member_version_metadata", "member_history", "describe_evolutions"]
+
+
+def member_version_metadata(
+    schema: TemporalMultidimensionalSchema, did: str
+) -> list[dict]:
+    """One record per member version of a dimension: id, member name,
+    level, valid time (both raw and month/year labels)."""
+    dim = schema.dimension(did)
+    records = []
+    for mv in sorted(dim.members.values(), key=lambda m: (m.start, m.mvid)):
+        records.append(
+            {
+                "mvid": mv.mvid,
+                "name": mv.name,
+                "level": mv.level,
+                "valid_from": mv.start,
+                "valid_to": mv.end,
+                "valid_from_label": ym_str(mv.start),
+                "valid_to_label": ym_str(mv.end),
+            }
+        )
+    return records
+
+
+def member_history(
+    schema: TemporalMultidimensionalSchema, did: str, member_name: str
+) -> list[dict]:
+    """The version chain of one member (by name) with its rollup targets
+    over time — the §5.2 'position in the hierarchy of dimension'."""
+    dim = schema.dimension(did)
+    history = []
+    for mv in dim.versions_of(member_name):
+        parents = []
+        for rel in dim.relationships_of(mv.mvid):
+            if rel.child == mv.mvid:
+                parents.append(
+                    {
+                        "parent": dim.member(rel.parent).name,
+                        "from": ym_str(rel.start),
+                        "to": ym_str(rel.end),
+                    }
+                )
+        history.append(
+            {
+                "mvid": mv.mvid,
+                "valid_from": ym_str(mv.start),
+                "valid_to": ym_str(mv.end),
+                "parents": parents,
+            }
+        )
+    return history
+
+
+def describe_evolutions(
+    schema: TemporalMultidimensionalSchema,
+    journal: list[OperatorRecord],
+    mvid: str,
+) -> list[str]:
+    """Short textual descriptions of the transformations affecting a
+    member version, in application order (§5.2's user-facing metadata)."""
+    sentences: list[str] = []
+    for record in journal:
+        args = record.arguments
+        if record.operator == "Insert" and args.get("mvid") == mvid:
+            sentences.append(
+                f"created at {ym_str(args['ti'])} as {args['name']!r}"
+                + (
+                    f" under {sorted(args['parents'])}"
+                    if args.get("parents")
+                    else ""
+                )
+            )
+        elif record.operator == "Exclude" and args.get("mvid") == mvid:
+            sentences.append(f"excluded on and after {ym_str(args['tf'])}")
+        elif record.operator == "Reclassify" and args.get("mvid") == mvid:
+            sentences.append(
+                f"reclassified at {ym_str(args['ti'])} from "
+                f"{sorted(args['old_parents'])} to {sorted(args['new_parents'])}"
+            )
+        elif record.operator == "Associate" and mvid in (
+            args.get("source"),
+            args.get("target"),
+        ):
+            other = args["target"] if args.get("source") == mvid else args["source"]
+            role = "mapped onto" if args.get("source") == mvid else "mapped from"
+            sentences.append(f"{role} {other!r}")
+    return sentences

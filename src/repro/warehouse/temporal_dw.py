@@ -1,0 +1,146 @@
+"""The Temporal Data Warehouse (§5.1, first store of the architecture).
+
+Contains the Temporal Multidimensional Schema — temporally consistent data
+— and the metadata related to it, including the mapping relations.  On the
+relational engine that means:
+
+* ``member_versions`` — one row per member version with its valid time;
+* ``temporal_relationships`` — the valid-time rollup edges;
+* ``consistent_facts`` — the Definition 5 fact table;
+* ``mapping_relations`` — the Table 12 metadata
+  (:mod:`repro.warehouse.mapping_table`);
+* ``evolution_journal`` — the basic-operator trace (§5.2's "short textual
+  description of the transformations that have affected a member").
+"""
+
+from __future__ import annotations
+
+from repro.core.chronology import NowType
+from repro.core.operators import OperatorRecord
+from repro.core.schema import TemporalMultidimensionalSchema
+from repro.storage import Column, Database, FLOAT, INTEGER, TEXT
+from .mapping_table import build_mapping_table
+
+__all__ = ["TemporalDataWarehouse"]
+
+
+class TemporalDataWarehouse:
+    """The relational form of a Temporal Multidimensional Schema."""
+
+    MEMBER_TABLE = "member_versions"
+    RELATIONSHIP_TABLE = "temporal_relationships"
+    FACT_TABLE = "consistent_facts"
+    JOURNAL_TABLE = "evolution_journal"
+
+    def __init__(self, schema: TemporalMultidimensionalSchema, db: Database) -> None:
+        self.schema = schema
+        self.db = db
+
+    @classmethod
+    def from_schema(
+        cls,
+        schema: TemporalMultidimensionalSchema,
+        journal: list[OperatorRecord] | None = None,
+    ) -> "TemporalDataWarehouse":
+        """Materialize a schema (and optionally its operator journal)."""
+        db = Database("temporal_dw")
+
+        members = db.create_table(
+            cls.MEMBER_TABLE,
+            [
+                Column("did", TEXT),
+                Column("mvid", TEXT),
+                Column("name", TEXT),
+                Column("level", TEXT, nullable=True),
+                Column("valid_from", INTEGER),
+                Column("valid_to", INTEGER, nullable=True),
+            ],
+            primary_key=["mvid"],
+        )
+        relationships = db.create_table(
+            cls.RELATIONSHIP_TABLE,
+            [
+                Column("did", TEXT),
+                Column("child", TEXT),
+                Column("parent", TEXT),
+                Column("valid_from", INTEGER),
+                Column("valid_to", INTEGER, nullable=True),
+            ],
+            primary_key=["did", "child", "parent", "valid_from"],
+        )
+        for did, dim in schema.dimensions.items():
+            for mv in dim.members.values():
+                members.insert(
+                    {
+                        "did": did,
+                        "mvid": mv.mvid,
+                        "name": mv.name,
+                        "level": mv.level,
+                        "valid_from": mv.start,
+                        "valid_to": None if isinstance(mv.end, NowType) else mv.end,
+                    }
+                )
+            for rel in dim.relationships:
+                relationships.insert(
+                    {
+                        "did": did,
+                        "child": rel.child,
+                        "parent": rel.parent,
+                        "valid_from": rel.start,
+                        "valid_to": None if isinstance(rel.end, NowType) else rel.end,
+                    }
+                )
+
+        fact_columns = [Column(did, TEXT) for did in schema.dimension_ids]
+        fact_columns.append(Column("t", INTEGER))
+        fact_columns.extend(
+            Column(m, FLOAT, nullable=True) for m in schema.measure_names
+        )
+        facts = db.create_table(
+            cls.FACT_TABLE,
+            fact_columns,
+            primary_key=[*schema.dimension_ids, "t"],
+        )
+        for row in schema.facts:
+            record = {did: row.coordinate(did) for did in schema.dimension_ids}
+            record["t"] = row.t
+            record.update({m: row.value(m) for m in schema.measure_names})
+            facts.insert(record)
+
+        build_mapping_table(db, schema)
+
+        journal_table = db.create_table(
+            cls.JOURNAL_TABLE,
+            [
+                Column("seq", INTEGER),
+                Column("operator", TEXT),
+                Column("rendering", TEXT),
+            ],
+            primary_key=["seq"],
+        )
+        for seq, record in enumerate(journal or []):
+            journal_table.insert(
+                {"seq": seq, "operator": record.operator, "rendering": record.rendering}
+            )
+        return cls(schema, db)
+
+    # -- convenience views ----------------------------------------------------------
+
+    def member_rows(self, did: str | None = None) -> list[dict]:
+        """Rows of the member-version table (optionally one dimension)."""
+        table = self.db.table(self.MEMBER_TABLE)
+        if did is None:
+            return list(table.rows())
+        return table.find(did=did)
+
+    def fact_rows(self) -> list[dict]:
+        """Rows of the consistent fact table."""
+        return list(self.db.table(self.FACT_TABLE).rows())
+
+    def journal_rows(self) -> list[dict]:
+        """The evolution journal, in application order."""
+        rows = list(self.db.table(self.JOURNAL_TABLE).rows())
+        return sorted(rows, key=lambda r: r["seq"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TemporalDataWarehouse({self.db.row_counts()})"

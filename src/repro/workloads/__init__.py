@@ -1,0 +1,29 @@
+"""Workloads: the paper's case study and synthetic evolution generators."""
+
+from .case_study import (
+    CaseStudy,
+    build_case_study,
+    build_two_measure_case_study,
+    organization_table,
+    fact_snapshot_table,
+)
+from .generator import (
+    EvolvingWorkload,
+    TwoDimWorkloadConfig,
+    WorkloadConfig,
+    generate_two_dim_workload,
+    generate_workload,
+)
+
+__all__ = [
+    "CaseStudy",
+    "build_case_study",
+    "build_two_measure_case_study",
+    "organization_table",
+    "fact_snapshot_table",
+    "WorkloadConfig",
+    "EvolvingWorkload",
+    "generate_workload",
+    "TwoDimWorkloadConfig",
+    "generate_two_dim_workload",
+]

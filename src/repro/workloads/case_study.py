@@ -1,0 +1,234 @@
+"""The paper's running case study (§2.1): an institution restructuring.
+
+The multidimensional schema has a fact table with the measure *Amount*, a
+Time dimension with hierarchy ``{year}``, and an *Organization* dimension
+with hierarchy ``{division > department}``.  Two evolutions happen:
+
+* in 2002, **Dpt.Smith is reclassified** from the Sales division to R&D
+  (Tables 1-2) — the conceptual model keeps one member version and changes
+  its temporal relationships;
+* in 2003, **Dpt.Jones is split** into Dpt.Bill (40 %) and Dpt.Paul (60 %)
+  (Table 7, Example 6) — the split excludes Jones, inserts Bill/Paul and
+  associates mapping relationships (forward ``x → 0.4x`` / ``x → 0.6x``
+  approximated, reverse identity exact).
+
+Fact data follows Table 3 exactly.  The resulting schema yields three
+structure versions (2001 / 2002 / 2003-Now) and four presentation modes
+(tcm + three), against which the paper's Q1/Q2 result tables (Tables 4-6
+and 8-10) are reproduced by the integration tests and the benchmark
+harness.
+
+:func:`build_two_measure_case_study` is the §5.2 variant with *Turnover*
+and *Profit* measures and per-measure split factors (60/40 and 80/20) —
+the source of the Table 12 mapping-relations extract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    EvolutionManager,
+    Instant,
+    Measure,
+    MemberVersion,
+    Interval,
+    NOW,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    ym,
+)
+
+__all__ = [
+    "CaseStudy",
+    "build_case_study",
+    "build_two_measure_case_study",
+    "organization_table",
+    "fact_snapshot_table",
+    "fact_instant",
+]
+
+ORG = "org"
+"""Dimension id of the Organization dimension."""
+
+DIVISION = "Division"
+DEPARTMENT = "Department"
+
+
+def fact_instant(year: int) -> Instant:
+    """The chronon a yearly fact is recorded at (mid-year, month 6).
+
+    The paper records facts per year while member validity is monthly
+    ("01/2001"); anchoring yearly facts mid-year keeps every Table 3 row
+    inside its member versions' valid times.
+    """
+    return ym(year, 6)
+
+
+@dataclass
+class CaseStudy:
+    """A built case study: the schema plus the evolution manager that
+    applied the §2.1 changes (its journal holds the operator trace)."""
+
+    schema: TemporalMultidimensionalSchema
+    manager: EvolutionManager
+
+    @property
+    def org(self) -> TemporalDimension:
+        """The Organization dimension."""
+        return self.schema.dimension(ORG)
+
+
+def _base_schema(measures: list[Measure]) -> tuple[TemporalMultidimensionalSchema, EvolutionManager]:
+    org = TemporalDimension(ORG, "Organization")
+    schema = TemporalMultidimensionalSchema([org], measures)
+    start = ym(2001, 1)
+
+    org.add_member(
+        MemberVersion("sales", "Sales", Interval(start, NOW), level=DIVISION)
+    )
+    org.add_member(MemberVersion("rd", "R&D", Interval(start, NOW), level=DIVISION))
+    org.add_member(
+        MemberVersion("jones", "Dpt.Jones", Interval(start, NOW), level=DEPARTMENT)
+    )
+    org.add_member(
+        MemberVersion("smith", "Dpt.Smith", Interval(start, NOW), level=DEPARTMENT)
+    )
+    org.add_member(
+        MemberVersion("brian", "Dpt.Brian", Interval(start, NOW), level=DEPARTMENT)
+    )
+    org.add_relationship(
+        TemporalRelationship("jones", "sales", Interval(start, NOW))
+    )
+    org.add_relationship(
+        TemporalRelationship("smith", "sales", Interval(start, NOW))
+    )
+    org.add_relationship(TemporalRelationship("brian", "rd", Interval(start, NOW)))
+
+    manager = EvolutionManager(schema)
+    return schema, manager
+
+
+def _apply_evolutions(
+    manager: EvolutionManager,
+    *,
+    split_shares_bill,
+    split_shares_paul,
+) -> None:
+    # 2002: Smith's department is reorganized and moved into R&D (Table 2).
+    manager.reclassify_member(
+        ORG,
+        "smith",
+        ym(2002, 1),
+        old_parents=["sales"],
+        new_parents=["rd"],
+    )
+    # 2003: Jones's department is split into Bill's and Paul's (Table 7).
+    manager.split_member(
+        ORG,
+        "jones",
+        {
+            "bill": ("Dpt.Bill", split_shares_bill),
+            "paul": ("Dpt.Paul", split_shares_paul),
+        },
+        ym(2003, 1),
+    )
+
+
+def build_case_study(*, with_facts: bool = True) -> CaseStudy:
+    """Build the §2.1 case study with the single *amount* measure.
+
+    Returns a schema whose consistent fact table is exactly Table 3 and
+    whose evolutions (Smith reclassified in 2002, Jones split 40/60 in
+    2003) were applied through the evolution operators.  With
+    ``with_facts=False`` only the evolving structure is built — the
+    warehouse-pipeline example loads Table 3 through the ETL tier instead.
+    """
+    schema, manager = _base_schema([Measure("amount", SUM)])
+    _apply_evolutions(
+        manager, split_shares_bill=0.4, split_shares_paul=0.6
+    )
+    if not with_facts:
+        schema.validate()
+        return CaseStudy(schema=schema, manager=manager)
+
+    # Table 3: the snapshot of data for years 2001-2003.
+    table3 = [
+        (2001, "jones", 100.0),
+        (2001, "smith", 50.0),
+        (2001, "brian", 100.0),
+        (2002, "jones", 100.0),
+        (2002, "smith", 100.0),
+        (2002, "brian", 50.0),
+        (2003, "bill", 150.0),
+        (2003, "paul", 50.0),
+        (2003, "smith", 110.0),
+        (2003, "brian", 40.0),
+    ]
+    for year, dept, amount in table3:
+        schema.add_fact({ORG: dept}, fact_instant(year), amount=amount)
+    schema.validate()
+    return CaseStudy(schema=schema, manager=manager)
+
+
+def build_two_measure_case_study() -> CaseStudy:
+    """The §5.2 prototype variant: *turnover* (m1) and *profit* (m2).
+
+    The Jones split uses per-measure factors — 60 % of turnover and 80 %
+    of profit to Paul, 40 % and 20 % to Bill — which is exactly the
+    mapping-relations extract of Table 12.
+    """
+    schema, manager = _base_schema(
+        [Measure("turnover", SUM), Measure("profit", SUM)]
+    )
+    _apply_evolutions(
+        manager,
+        split_shares_bill={"turnover": 0.4, "profit": 0.2},
+        split_shares_paul={"turnover": 0.6, "profit": 0.8},
+    )
+    facts = [
+        (2001, "jones", 100.0, 20.0),
+        (2001, "smith", 50.0, 10.0),
+        (2001, "brian", 100.0, 30.0),
+        (2002, "jones", 100.0, 25.0),
+        (2002, "smith", 100.0, 20.0),
+        (2002, "brian", 50.0, 15.0),
+        (2003, "bill", 150.0, 30.0),
+        (2003, "paul", 50.0, 10.0),
+        (2003, "smith", 110.0, 22.0),
+        (2003, "brian", 40.0, 12.0),
+    ]
+    for year, dept, turnover, profit in facts:
+        schema.add_fact(
+            {ORG: dept}, fact_instant(year), turnover=turnover, profit=profit
+        )
+    schema.validate()
+    return CaseStudy(schema=schema, manager=manager)
+
+
+def organization_table(study: CaseStudy, year: int) -> set[tuple[str, str]]:
+    """The Organization dimension as the paper prints it (Tables 1, 2, 7):
+    a set of ``(division name, department name)`` pairs valid in ``year``."""
+    snap = study.org.at(fact_instant(year))
+    rows: set[tuple[str, str]] = set()
+    for dept_id in snap.levels().get(DEPARTMENT, []):
+        for parent_id in snap.parents(dept_id):
+            rows.add((snap.member(parent_id).name, snap.member(dept_id).name))
+    return rows
+
+
+def fact_snapshot_table(study: CaseStudy) -> list[tuple[int, str, str, float]]:
+    """Table 3 regenerated from the consistent fact table: rows of
+    ``(year, division, department, amount)`` in insertion order."""
+    rows: list[tuple[int, str, str, float]] = []
+    for fact in study.schema.facts:
+        snap = study.org.at(fact.t)
+        dept = fact.coordinate(ORG)
+        division = snap.member(snap.parents(dept)[0]).name
+        measure = study.schema.measure_names[0]
+        rows.append(
+            (fact.t // 12, division, snap.member(dept).name, fact.value(measure))
+        )
+    return rows

@@ -1,0 +1,411 @@
+"""Seeded synthetic workloads: evolving dimensions plus fact streams.
+
+The paper's evaluation is a worked case study; its prose claims (storage
+redundancy of full replication, the cost of mapped presentations, the
+limits of SCD baselines) need *parameterized* workloads to be measured.
+:func:`generate_workload` builds an organization-like schema of configurable
+size, applies a configurable number of evolution operations (splits, merges,
+reclassifications, transformations, creations, deletions) through the
+public :class:`~repro.core.EvolutionManager`, and loads a yearly fact
+stream — all driven by a seeded :class:`random.Random`, so every benchmark
+run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    NOW,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    ym,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "EvolvingWorkload",
+    "generate_workload",
+    "TwoDimWorkloadConfig",
+    "generate_two_dim_workload",
+]
+
+ORG = "org"
+DIVISION = "Division"
+DEPARTMENT = "Department"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic evolving workload.
+
+    ``*_per_year`` counts apply from the second year on (the first year is
+    the initial structure).  All randomness flows from ``seed``.
+    """
+
+    seed: int = 7
+    n_divisions: int = 3
+    n_departments: int = 12
+    start_year: int = 2000
+    n_years: int = 4
+    splits_per_year: int = 1
+    merges_per_year: int = 1
+    reclassifications_per_year: int = 1
+    transforms_per_year: int = 0
+    creations_per_year: int = 0
+    deletions_per_year: int = 0
+    facts_per_department_per_year: int = 1
+    amount_low: float = 10.0
+    amount_high: float = 200.0
+
+
+@dataclass
+class EvolvingWorkload:
+    """A generated workload: schema, manager and the applied event log."""
+
+    config: "WorkloadConfig | TwoDimWorkloadConfig"
+    schema: TemporalMultidimensionalSchema
+    manager: EvolutionManager
+    events: list[tuple[int, str, str]] = field(default_factory=list)
+
+    @property
+    def org(self) -> TemporalDimension:
+        """The organization-like dimension (single-dimension workloads)."""
+        return self.schema.dimension(ORG)
+
+    def fact_instant(self, year: int) -> int:
+        """The chronon yearly facts are recorded at (mid-year)."""
+        return ym(year, 6)
+
+
+def generate_workload(config: WorkloadConfig = WorkloadConfig()) -> EvolvingWorkload:
+    """Build a seeded evolving workload per ``config``.
+
+    The first year establishes ``n_divisions`` divisions and
+    ``n_departments`` departments; each following year applies the
+    configured evolution mix at January, then facts are loaded mid-year
+    for every department alive at that point.
+    """
+    rng = random.Random(config.seed)
+    org = TemporalDimension(ORG, "Organization")
+    schema = TemporalMultidimensionalSchema([org], [Measure("amount", SUM)])
+    start = ym(config.start_year, 1)
+
+    divisions = [f"div{i}" for i in range(config.n_divisions)]
+    for div in divisions:
+        org.add_member(
+            MemberVersion(div, div.upper(), Interval(start, NOW), level=DIVISION)
+        )
+    live: list[str] = []
+    counter = 0
+    for i in range(config.n_departments):
+        dept = f"dept{i}"
+        counter = i + 1
+        org.add_member(
+            MemberVersion(dept, f"Dept-{i}", Interval(start, NOW), level=DEPARTMENT)
+        )
+        org.add_relationship(
+            TemporalRelationship(dept, rng.choice(divisions), Interval(start, NOW))
+        )
+        live.append(dept)
+
+    manager = EvolutionManager(schema)
+    workload = EvolvingWorkload(config=config, schema=schema, manager=manager)
+    born: dict[str, int] = {dept: start for dept in live}
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def eligible(t: int) -> list[str]:
+        """Members that existed before ``t`` (a member created at ``t`` by
+        an earlier operation this year cannot be excluded again at ``t``)."""
+        return [dept for dept in live if born[dept] < t]
+
+    for year in range(config.start_year + 1, config.start_year + config.n_years):
+        t = ym(year, 1)
+        for _ in range(config.splits_per_year):
+            candidates = eligible(t)
+            if not candidates:
+                break
+            source = rng.choice(candidates)
+            share = round(rng.uniform(0.2, 0.8), 2)
+            a, b = fresh("dept"), fresh("dept")
+            manager.split_member(
+                ORG,
+                source,
+                {
+                    a: (f"Dept-{a}", share),
+                    b: (f"Dept-{b}", round(1.0 - share, 2)),
+                },
+                t,
+            )
+            live.remove(source)
+            live.extend([a, b])
+            born[a] = born[b] = t
+            workload.events.append((year, "split", source))
+        for _ in range(config.merges_per_year):
+            candidates = eligible(t)
+            if len(candidates) < 2:
+                break
+            src_a, src_b = rng.sample(candidates, 2)
+            merged = fresh("dept")
+            manager.merge_members(
+                ORG,
+                [src_a, src_b],
+                merged,
+                f"Dept-{merged}",
+                t,
+                reverse_shares={src_a: 0.5, src_b: 0.5},
+            )
+            live.remove(src_a)
+            live.remove(src_b)
+            live.append(merged)
+            born[merged] = t
+            workload.events.append((year, "merge", f"{src_a}+{src_b}"))
+        reclassified_this_year: set[str] = set()
+        for _ in range(config.reclassifications_per_year):
+            # A member reclassified at t already lost its t-1 parent edge;
+            # reclassifying it again at the same instant is inconsistent.
+            candidates = [
+                d for d in eligible(t) if d not in reclassified_this_year
+            ]
+            if not candidates:
+                break
+            dept = rng.choice(candidates)
+            snap = org.at(t - 1)
+            parents = snap.parents(dept) if dept in snap else []
+            if not parents:
+                continue
+            new_parent = rng.choice(divisions)
+            if new_parent in parents:
+                continue
+            manager.reclassify_member(
+                ORG, dept, t, old_parents=parents, new_parents=[new_parent]
+            )
+            reclassified_this_year.add(dept)
+            workload.events.append((year, "reclassify", dept))
+        for _ in range(config.transforms_per_year):
+            candidates = eligible(t)
+            if not candidates:
+                break
+            dept = rng.choice(candidates)
+            renamed = fresh("dept")
+            manager.transform_member(ORG, dept, renamed, f"Dept-{renamed}", t)
+            live.remove(dept)
+            live.append(renamed)
+            born[renamed] = t
+            workload.events.append((year, "transform", dept))
+        for _ in range(config.creations_per_year):
+            created = fresh("dept")
+            manager.create_member(
+                ORG,
+                created,
+                f"Dept-{created}",
+                t,
+                parents=[rng.choice(divisions)],
+                level=DEPARTMENT,
+            )
+            live.append(created)
+            born[created] = t
+            workload.events.append((year, "create", created))
+        for _ in range(config.deletions_per_year):
+            candidates = eligible(t)
+            if len(candidates) < 2 or len(live) < 2:
+                break
+            victim = rng.choice(candidates)
+            manager.delete_member(ORG, victim, t)
+            live.remove(victim)
+            workload.events.append((year, "delete", victim))
+
+    for year in range(config.start_year, config.start_year + config.n_years):
+        # Spread the per-department facts over distinct months so the fact
+        # table stays a function of (coordinates, t) — Definition 5.
+        count = config.facts_per_department_per_year
+        for k in range(count):
+            if count == 1:
+                month = 6  # matches fact_instant's mid-year anchor
+            else:
+                month = 1 + round(k * 11 / (count - 1))
+            t = ym(year, month)
+            snap = org.at(t)
+            departments = [
+                mvid
+                for mvid in snap.leaves()
+                if snap.member(mvid).level == DEPARTMENT
+            ]
+            for dept in departments:
+                schema.add_fact(
+                    {ORG: dept},
+                    t,
+                    amount=round(rng.uniform(config.amount_low, config.amount_high), 2),
+                )
+    return workload
+
+
+@dataclass(frozen=True)
+class TwoDimWorkloadConfig:
+    """Parameters for a two-dimensional (product × store) workload.
+
+    Both dimensions evolve independently: products split/merge per year,
+    stores get reclassified between regions.  Facts are sampled on the
+    cross product of live leaves with ``fact_density`` probability.
+    """
+
+    seed: int = 7
+    n_categories: int = 3
+    n_products: int = 9
+    n_regions: int = 2
+    n_stores: int = 6
+    start_year: int = 2020
+    n_years: int = 3
+    product_splits_per_year: int = 1
+    product_merges_per_year: int = 1
+    store_reclassifications_per_year: int = 1
+    fact_density: float = 0.6
+    amount_low: float = 10.0
+    amount_high: float = 500.0
+
+
+def generate_two_dim_workload(
+    config: TwoDimWorkloadConfig = TwoDimWorkloadConfig(),
+) -> EvolvingWorkload:
+    """Build a seeded two-dimensional evolving workload.
+
+    Exercises the cross-dimension paths of the MultiVersion inference:
+    each fact carries a coordinate per dimension, and mapped modes route
+    (and compose confidences) along *both* axes.
+    """
+    rng = random.Random(config.seed)
+    start = ym(config.start_year, 1)
+
+    product = TemporalDimension("product", "Product")
+    categories = [f"cat{i}" for i in range(config.n_categories)]
+    for cat in categories:
+        product.add_member(
+            MemberVersion(cat, cat.upper(), Interval(start, NOW), level="Category")
+        )
+    live_products: list[str] = []
+    for i in range(config.n_products):
+        pid = f"prod{i}"
+        product.add_member(
+            MemberVersion(pid, f"Product-{i}", Interval(start, NOW), level="Product")
+        )
+        product.add_relationship(
+            TemporalRelationship(pid, rng.choice(categories), Interval(start, NOW))
+        )
+        live_products.append(pid)
+
+    store = TemporalDimension("store", "Store")
+    regions = [f"reg{i}" for i in range(config.n_regions)]
+    for reg in regions:
+        store.add_member(
+            MemberVersion(reg, reg.upper(), Interval(start, NOW), level="Region")
+        )
+    stores: list[str] = []
+    for i in range(config.n_stores):
+        sid = f"store{i}"
+        store.add_member(
+            MemberVersion(sid, f"Store-{i}", Interval(start, NOW), level="Store")
+        )
+        store.add_relationship(
+            TemporalRelationship(sid, rng.choice(regions), Interval(start, NOW))
+        )
+        stores.append(sid)
+
+    schema = TemporalMultidimensionalSchema(
+        [product, store], [Measure("amount", SUM)]
+    )
+    manager = EvolutionManager(schema)
+    workload = EvolvingWorkload(config=config, schema=schema, manager=manager)
+    born: dict[str, int] = {pid: start for pid in live_products}
+    counter = config.n_products
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"prod{counter}"
+
+    for year in range(config.start_year + 1, config.start_year + config.n_years):
+        t = ym(year, 1)
+        eligible_products = [p for p in live_products if born[p] < t]
+        for _ in range(config.product_splits_per_year):
+            if not eligible_products:
+                break
+            source = rng.choice(eligible_products)
+            eligible_products.remove(source)
+            share = round(rng.uniform(0.3, 0.7), 2)
+            a, b = fresh(), fresh()
+            manager.split_member(
+                "product",
+                source,
+                {a: (f"Product-{a}", share), b: (f"Product-{b}", round(1 - share, 2))},
+                t,
+            )
+            live_products.remove(source)
+            live_products.extend([a, b])
+            born[a] = born[b] = t
+            workload.events.append((year, "product-split", source))
+        for _ in range(config.product_merges_per_year):
+            if len(eligible_products) < 2:
+                break
+            pa, pb = rng.sample(eligible_products, 2)
+            eligible_products.remove(pa)
+            eligible_products.remove(pb)
+            merged = fresh()
+            manager.merge_members(
+                "product", [pa, pb], merged, f"Product-{merged}", t,
+                reverse_shares={pa: 0.5, pb: 0.5},
+            )
+            live_products.remove(pa)
+            live_products.remove(pb)
+            live_products.append(merged)
+            born[merged] = t
+            workload.events.append((year, "product-merge", f"{pa}+{pb}"))
+        for _ in range(config.store_reclassifications_per_year):
+            sid = rng.choice(stores)
+            snap = store.at(t - 1)
+            parents = snap.parents(sid) if sid in snap else []
+            if not parents:
+                continue
+            new_region = rng.choice(regions)
+            if new_region in parents:
+                continue
+            already_moved = any(
+                rel.child == sid and rel.start == t
+                for rel in store.relationships_of(sid)
+            )
+            if already_moved:
+                continue
+            manager.reclassify_member(
+                "store", sid, t, old_parents=parents, new_parents=[new_region]
+            )
+            workload.events.append((year, "store-reclassify", sid))
+
+    for year in range(config.start_year, config.start_year + config.n_years):
+        t = ym(year, 6)
+        product_snap = product.at(t)
+        live_now = [
+            p for p in product_snap.leaves()
+            if product_snap.member(p).level == "Product"
+        ]
+        for pid in live_now:
+            for sid in stores:
+                if rng.random() > config.fact_density:
+                    continue
+                schema.add_fact(
+                    {"product": pid, "store": sid},
+                    t,
+                    amount=round(
+                        rng.uniform(config.amount_low, config.amount_high), 2
+                    ),
+                )
+    return workload

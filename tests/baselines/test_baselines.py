@@ -1,0 +1,309 @@
+"""Tests for the SCD / updating / Eder-Koncilia baselines, including the
+claims the paper makes about each (§1.2, §2.2)."""
+
+import pytest
+
+from repro.baselines import EKModel, SCDType1, SCDType2, SCDType3, UpdatingModel
+from repro.baselines.eder_koncilia import EKError
+
+
+def year_bucket(t: int) -> int:
+    return t
+
+
+class TestSCDType1:
+    def test_overwrite_loses_history(self):
+        scd = SCDType1()
+        scd.assign("smith", "Sales", 2001)
+        scd.record_fact("smith", 2001, 50.0)
+        scd.assign("smith", "R&D", 2002)
+        scd.record_fact("smith", 2002, 100.0)
+        totals = scd.totals_by_group(year_bucket)
+        # 2001's fact is silently re-homed under R&D: corrupted history.
+        assert totals[(2001, "R&D")] == 50.0
+        assert (2001, "Sales") not in totals
+        assert scd.history_retention() == 0.0
+        assert scd.cross_version_comparability() == 1.0
+
+    def test_without_changes_history_intact(self):
+        scd = SCDType1()
+        scd.assign("a", "G", 1)
+        scd.record_fact("a", 1, 5.0)
+        assert scd.history_retention() == 1.0
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(KeyError):
+            SCDType1().record_fact("ghost", 1, 1.0)
+
+
+class TestSCDType2:
+    def test_versions_accumulate(self):
+        scd = SCDType2()
+        scd.assign("smith", "Sales", 2001)
+        scd.assign("smith", "R&D", 2002)
+        assert scd.version_count("smith") == 2
+
+    def test_no_change_no_new_version(self):
+        scd = SCDType2()
+        scd.assign("smith", "Sales", 2001)
+        scd.assign("smith", "Sales", 2002)
+        assert scd.version_count("smith") == 1
+
+    def test_consistent_time_totals(self):
+        scd = SCDType2()
+        scd.assign("smith", "Sales", 2001)
+        scd.record_fact("smith", 2001, 50.0)
+        scd.assign("smith", "R&D", 2002)
+        scd.record_fact("smith", 2002, 100.0)
+        totals = scd.totals_by_group(year_bucket)
+        assert totals[(2001, "Sales")] == 50.0
+        assert totals[(2002, "R&D")] == 100.0
+
+    def test_fact_outside_any_version_rejected(self):
+        scd = SCDType2()
+        scd.assign("smith", "Sales", 2001)
+        with pytest.raises(KeyError):
+            scd.record_fact("smith", 1999, 1.0)
+
+    def test_history_kept_but_not_comparable(self):
+        """The paper's §1.2 critique of Type 2: history yes, links no."""
+        scd = SCDType2()
+        scd.assign("smith", "Sales", 2001)
+        scd.assign("smith", "R&D", 2002)
+        assert scd.history_retention() == 1.0
+        assert scd.cross_version_comparability() == 0.0
+
+
+class TestSCDType3:
+    def test_current_and_previous_views(self):
+        scd = SCDType3()
+        scd.assign("smith", "Sales", 2001)
+        scd.record_fact("smith", 2001, 50.0)
+        scd.assign("smith", "R&D", 2002)
+        scd.record_fact("smith", 2002, 100.0)
+        current = scd.totals_by_group(year_bucket)
+        previous = scd.totals_by_group(year_bucket, use_previous=True)
+        assert current[(2001, "R&D")] == 50.0
+        assert previous[(2001, "Sales")] == 50.0
+
+    def test_second_change_overwrites_first(self):
+        """'Equipped to handle only [one] change': retention halves."""
+        scd = SCDType3()
+        scd.assign("x", "A", 1)
+        scd.assign("x", "B", 2)
+        assert scd.history_retention() == 1.0
+        scd.assign("x", "C", 3)
+        assert scd.history_retention() == 0.5
+        previous = scd.totals_by_group(year_bucket, use_previous=True)
+        assert previous == {}  # no facts yet, but the A state is gone
+        assert scd.cross_version_comparability() == 0.5
+
+    def test_no_changes_full_retention(self):
+        scd = SCDType3()
+        scd.assign("x", "A", 1)
+        assert scd.history_retention() == 1.0
+
+
+class TestUpdatingModel:
+    def build(self):
+        m = UpdatingModel()
+        m.add_member("jones", "Sales")
+        m.add_member("smith", "Sales")
+        m.add_member("brian", "R&D")
+        m.record_fact("jones", 2001, 100.0)
+        m.record_fact("smith", 2001, 50.0)
+        m.record_fact("brian", 2001, 100.0)
+        return m
+
+    def test_reclassify_rewrites_history(self):
+        m = self.build()
+        m.reclassify("smith", "R&D")
+        totals = m.totals_by_group(year_bucket)
+        assert totals[(2001, "R&D")] == 150.0  # 2001 history silently moved
+        assert m.history_retention() == 0.0
+
+    def test_delete_loses_facts(self):
+        m = self.build()
+        m.delete_member("brian")
+        assert m.facts_lost == 1
+        assert (2001, "R&D") not in m.totals_by_group(year_bucket)
+
+    def test_split_corrupts_facts(self):
+        m = self.build()
+        m.split_member("jones", {"bill": 0.4, "paul": 0.6}, "Sales")
+        totals = m.totals_by_group(year_bucket)
+        assert totals[(2001, "Sales")] == pytest.approx(150.0)
+        assert m.facts_corrupted == 2  # jones's fact became two estimates
+
+    def test_merge_rekeys_facts(self):
+        m = self.build()
+        m.merge_members(["jones", "smith"], "mega", "Sales")
+        totals = m.totals_by_group(year_bucket)
+        assert totals[(2001, "Sales")] == 150.0
+        assert m.facts_corrupted == 0  # merged values are exact, just re-keyed
+
+    def test_data_loss_fraction(self):
+        m = self.build()
+        m.delete_member("brian")
+        m.split_member("jones", {"bill": 0.4, "paul": 0.6}, "Sales")
+        assert m.data_loss_fraction(total_recorded=3) == pytest.approx(1.0)
+
+    def test_single_presentation(self):
+        assert self.build().available_presentations() == 1
+
+
+class TestEderKoncilia:
+    def build(self):
+        """Jones split 40/60, Smith and Brian unchanged."""
+        model = EKModel()
+        model.add_version("S1", ["jones", "smith", "brian"])
+        model.add_version(
+            "S2",
+            ["bill", "paul", "smith", "brian"],
+            transformation={"jones": {"bill": 0.4, "paul": 0.6}},
+        )
+        return model
+
+    def test_forward_mapping_matches_our_split(self):
+        model = self.build()
+        mapped = model.map_vector(
+            {"jones": 100.0, "smith": 100.0, "brian": 50.0}, "S1", "S2"
+        )
+        assert mapped == pytest.approx(
+            {"bill": 40.0, "paul": 60.0, "smith": 100.0, "brian": 50.0}
+        )
+
+    def test_backward_mapping_merges(self):
+        model = self.build()
+        mapped = model.map_vector(
+            {"bill": 150.0, "paul": 50.0, "smith": 110.0, "brian": 40.0}, "S2", "S1"
+        )
+        assert mapped["jones"] == pytest.approx(200.0)
+        assert mapped["smith"] == 110.0
+
+    def test_chained_versions_multiply(self):
+        model = self.build()
+        model.add_version(
+            "S3",
+            ["bill2", "paul", "smith", "brian"],
+            transformation={"bill": {"bill2": 0.5}},
+        )
+        mapped = model.map_vector({"jones": 100.0}, "S1", "S3")
+        assert mapped["bill2"] == pytest.approx(20.0)  # 0.4 * 0.5
+        assert mapped["paul"] == pytest.approx(60.0)
+
+    def test_disappearing_member_detected(self):
+        model = EKModel()
+        model.add_version("S1", ["a", "b"])
+        model.add_version("S2", ["b"])  # a vanishes with no transformation
+        assert model.lost_members("S1", "S2") == ["a"]
+
+    def test_identity_chain(self):
+        model = self.build()
+        same = model.map_vector({"jones": 5.0}, "S1", "S1")
+        assert same["jones"] == 5.0
+
+    def test_errors(self):
+        model = EKModel()
+        with pytest.raises(EKError):
+            model.add_version("S1", ["a"], transformation={"a": {"a": 1.0}})
+        model.add_version("S1", ["a"])
+        with pytest.raises(EKError):
+            model.map_vector({}, "S1", "S9")
+
+    def test_agrees_with_multiversion_model_on_linear_case(self, engine):
+        """On the paper's case study the EK matrices and our mapping
+        relationships produce identical department-level numbers."""
+        from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+
+        model = self.build()
+        q2_v3 = engine.execute(
+            Query(
+                mode="V3",
+                group_by=(TimeGroup(YEAR), LevelGroup("org", "Department")),
+                time_range=Interval(ym(2002, 1), ym(2002, 12)),
+            )
+        ).as_dict()
+        ek = model.map_vector(
+            {"jones": 100.0, "smith": 100.0, "brian": 50.0}, "S1", "S2"
+        )
+        assert q2_v3[("2002", "Dpt.Bill")]["amount"] == pytest.approx(ek["bill"])
+        assert q2_v3[("2002", "Dpt.Paul")]["amount"] == pytest.approx(ek["paul"])
+
+
+class TestMendelzonVaisman:
+    def build(self):
+        """The case study in the MV temporal model (year chronons)."""
+        from repro.baselines import MVTemporalModel
+
+        m = MVTemporalModel()
+        for member in ("Sales", "R&D"):
+            m.add_member(member, 2001)
+        for member, parent in (
+            ("jones", "Sales"), ("smith", "Sales"), ("brian", "R&D")
+        ):
+            m.add_member(member, 2001)
+            m.add_rollup(member, parent, 2001)
+        # 2002: smith reclassified.
+        m.close_rollup("smith", "Sales", 2001)
+        m.add_rollup("smith", "R&D", 2002)
+        # 2003: jones split 40/60.
+        m.close_member("jones", 2002)
+        m.close_rollup("jones", "Sales", 2002)
+        for part in ("bill", "paul"):
+            m.add_member(part, 2003)
+            m.add_rollup(part, "Sales", 2003)
+        m.link("jones", "bill", 0.4)
+        m.link("jones", "paul", 0.6)
+        facts = [
+            ("jones", 2001, 100.0), ("smith", 2001, 50.0), ("brian", 2001, 100.0),
+            ("jones", 2002, 100.0), ("smith", 2002, 100.0), ("brian", 2002, 50.0),
+            ("bill", 2003, 150.0), ("paul", 2003, 50.0),
+            ("smith", 2003, 110.0), ("brian", 2003, 40.0),
+        ]
+        for member, year, amount in facts:
+            m.record_fact(member, year, amount)
+        return m
+
+    def test_consistent_mode_matches_table_4(self):
+        m = self.build()
+        totals = m.totals_consistent(lambda t: t)
+        assert totals[(2001, "Sales")] == 150.0
+        assert totals[(2002, "R&D")] == 150.0
+
+    def test_latest_mode_matches_our_v3(self, engine):
+        """On the case study, MV's latest mode equals our V3 mode."""
+        from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+
+        m = self.build()
+        latest = m.totals_latest(lambda t: t)
+        ours = engine.execute(
+            Query(mode="V3", group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+        ).as_dict()
+        for (year, division), amount in latest.items():
+            assert ours[(str(year), division)]["amount"] == pytest.approx(amount)
+
+    def test_fact_validity_enforced(self):
+        from repro.baselines.mendelzon_vaisman import MVError
+
+        m = self.build()
+        with pytest.raises(MVError):
+            m.record_fact("jones", 2003, 1.0)  # jones closed in 2002
+
+    def test_dead_end_lineage_loses_data(self):
+        from repro.baselines import MVTemporalModel
+
+        m = MVTemporalModel()
+        m.add_member("root", 2001)
+        m.add_member("gone", 2001, end=2001)
+        m.add_rollup("gone", "root", 2001, end=2001)
+        m.record_fact("gone", 2001, 10.0)
+        # no link from 'gone': its value vanishes from the latest mode.
+        assert m.totals_latest(lambda t: t) == {}
+        assert m.totals_consistent(lambda t: t) == {(2001, "root"): 10.0}
+
+    def test_the_section_2_2_gap(self):
+        m = self.build()
+        assert m.available_presentations() == 2
+        assert not m.supports_past_version_mapping()
+        assert not m.supports_confidence_tagging()

@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's case study, built once per session."""
+
+import pytest
+
+from repro.core import QueryEngine
+from repro.workloads.case_study import (
+    build_case_study,
+    build_two_measure_case_study,
+)
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The §2.1 case study (amount measure, Tables 1-10)."""
+    return build_case_study()
+
+
+@pytest.fixture(scope="session")
+def two_measure_study():
+    """The §5.2 prototype variant (turnover/profit, Table 12)."""
+    return build_two_measure_case_study()
+
+
+@pytest.fixture(scope="session")
+def mvft(case_study):
+    """The inferred MultiVersion fact table of the case study."""
+    return case_study.schema.multiversion_facts()
+
+
+@pytest.fixture(scope="session")
+def engine(mvft):
+    """A query engine over the case study."""
+    return QueryEngine(mvft)

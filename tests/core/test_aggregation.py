@@ -1,0 +1,86 @@
+"""Unit tests for Definition 12's recursive data aggregation."""
+
+import pytest
+
+from repro.core import DataAggregator, QueryError
+from repro.workloads.case_study import ORG, fact_instant
+
+
+@pytest.fixture(scope="module")
+def aggregator(mvft):
+    return DataAggregator(mvft)
+
+
+class TestLeafCells:
+    def test_leaf_value_matches_mv_cell(self, aggregator):
+        value, cf = aggregator.value("tcm", {ORG: "jones"}, fact_instant(2001), "amount")
+        assert value == 100.0 and cf.symbol == "sd"
+
+    def test_missing_leaf_cell_is_empty(self, aggregator):
+        value, cf = aggregator.value("tcm", {ORG: "jones"}, fact_instant(2003), "amount")
+        assert value is None and cf is None
+
+
+class TestRollup:
+    def test_division_rollup_tcm_2001(self, aggregator):
+        """Sales in 2001 = Jones 100 + Smith 50 (Table 4's first row)."""
+        value, cf = aggregator.value("tcm", {ORG: "sales"}, fact_instant(2001), "amount")
+        assert value == 150.0 and cf.symbol == "sd"
+
+    def test_division_rollup_follows_snapshot_hierarchy(self, aggregator):
+        """In 2002 Smith rolls into R&D, so tcm R&D = 100 + 50."""
+        value, cf = aggregator.value("tcm", {ORG: "rd"}, fact_instant(2002), "amount")
+        assert value == 150.0 and cf.symbol == "sd"
+
+    def test_version_mode_uses_version_hierarchy(self, aggregator):
+        """In mode V1 (2001 structure) Smith stays under Sales, so the 2002
+        Sales aggregate is Jones 100 + Smith 100 = 200 (Table 5)."""
+        value, cf = aggregator.value("V1", {ORG: "sales"}, fact_instant(2002), "amount")
+        assert value == 200.0 and cf.symbol == "sd"
+
+    def test_mapped_contributions_degrade_confidence(self, aggregator):
+        """In mode V3 the 2002 Sales aggregate contains Jones's amount
+        split onto Bill/Paul: value 100 but confidence am."""
+        value, cf = aggregator.value("V3", {ORG: "sales"}, fact_instant(2002), "amount")
+        assert value == pytest.approx(100.0)
+        assert cf.symbol == "am"
+
+    def test_member_absent_from_mode_structure_is_empty(self, aggregator):
+        """Bill does not exist in the V1 structure."""
+        value, cf = aggregator.value("V1", {ORG: "bill"}, fact_instant(2003), "amount")
+        assert value is None and cf is None
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, aggregator):
+        with pytest.raises(QueryError):
+            aggregator.value("V99", {ORG: "sales"}, fact_instant(2001), "amount")
+
+    def test_missing_dimension_coordinate_rejected(self, aggregator):
+        with pytest.raises(QueryError):
+            aggregator.value("tcm", {}, fact_instant(2001), "amount")
+
+    def test_unknown_measure_rejected(self, aggregator):
+        with pytest.raises(Exception):
+            aggregator.value("tcm", {ORG: "sales"}, fact_instant(2001), "zzz")
+
+
+class TestAggregatorEngineParity:
+    """Definition 12's recursive aggregation must agree with the query
+    engine's leaf-grouped folds on the case study."""
+
+    def test_division_cells_match_query_engine(self, aggregator, engine):
+        from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+
+        result = engine.execute(
+            Query(
+                mode="V1",
+                group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+            )
+        ).as_dict()
+        div_ids = {"Sales": "sales", "R&D": "rd"}
+        for (year, division), cells in result.items():
+            value, _cf = aggregator.value(
+                "V1", {ORG: div_ids[division]}, fact_instant(int(year)), "amount"
+            )
+            assert value == cells["amount"], (year, division)

@@ -1,0 +1,147 @@
+"""Tests for the schema audit (linter)."""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    audit_schema,
+)
+
+
+def base_schema(n_departments=3):
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    for i in range(n_departments):
+        d.add_member(
+            MemberVersion(f"d{i}", f"Dept-{i}", Interval(0), level="Department")
+        )
+        d.add_relationship(TemporalRelationship(f"d{i}", "div", Interval(0)))
+    return TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+
+
+class TestCleanSchema:
+    def test_untouched_schema_is_clean(self):
+        schema = base_schema()
+        schema.add_fact({"org": "d0"}, 5, amount=1.0)
+        report = audit_schema(schema)
+        assert report.ok
+        assert len(report) == 0
+        assert report.to_text() == "audit: clean (no findings)"
+
+    def test_well_formed_split_is_clean_of_warnings(self):
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.split_member(
+            "org", "d0", {"a": ("A", 0.4), "b": ("B", 0.6)}, 10
+        )
+        report = audit_schema(schema)
+        assert not report.by_code("split-shares-not-conservative")
+        # the created parts legitimately have incoming mappings: no info
+        assert not report.by_code("created-without-mapping")
+
+    def test_case_study_audit(self, case_study):
+        report = audit_schema(case_study.schema)
+        assert report.ok  # no errors: every fact presentable everywhere
+
+
+class TestShareChecks:
+    def test_non_conservative_split_flagged(self):
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.split_member(
+            "org", "d0", {"a": ("A", 0.4), "b": ("B", 0.4)}, 10  # sums to 0.8
+        )
+        report = audit_schema(schema)
+        findings = report.by_code("split-shares-not-conservative")
+        assert len(findings) == 1
+        assert findings[0].subject == "d0"
+        assert "0.8" in findings[0].message
+
+    def test_non_conservative_merge_back_shares_flagged(self):
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.merge_members(
+            "org", ["d0", "d1"], "m", "Merged", 10,
+            reverse_shares={"d0": 0.9, "d1": 0.9},  # sums to 1.8
+        )
+        report = audit_schema(schema)
+        assert report.by_code("merge-back-shares-not-conservative")
+
+    def test_unknown_share_groups_skipped(self):
+        """A merge with an unknown back-share is not a share-sum warning
+        (it is an unknown-mapping info instead)."""
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.merge_members(
+            "org", ["d0", "d1"], "m", "Merged", 10,
+            reverse_shares={"d0": 0.5, "d1": None},
+        )
+        report = audit_schema(schema)
+        assert not report.by_code("merge-back-shares-not-conservative")
+        assert report.by_code("unknown-mapping-function")
+
+
+class TestTransitionCoverage:
+    def test_deletion_without_mapping_flagged(self):
+        schema = base_schema()
+        schema.add_fact({"org": "d0"}, 5, amount=1.0)
+        manager = EvolutionManager(schema)
+        manager.delete_member("org", "d0", 10)
+        report = audit_schema(schema)
+        assert report.by_code("excluded-without-mapping")
+        # and the fact really is stranded in the later mode:
+        stranded = report.by_code("stranded-facts")
+        assert stranded and stranded[0].severity == "error"
+        assert not report.ok
+
+    def test_creation_without_mapping_is_info(self):
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.create_member("org", "late", "Latecomer", 10, parents=["div"])
+        report = audit_schema(schema)
+        findings = report.by_code("created-without-mapping")
+        assert findings and findings[0].severity == "info"
+
+
+class TestOverlapsAndEmptiness:
+    def test_overlapping_versions_of_same_member_flagged(self):
+        schema = base_schema()
+        dim = schema.dimension("org")
+        dim.add_member(
+            MemberVersion("d0bis", "Dept-0", Interval(5), level="Department")
+        )
+        report = audit_schema(schema)
+        assert report.by_code("overlapping-member-versions")
+
+    def test_distinct_members_do_not_trigger_overlap(self):
+        report = audit_schema(base_schema())
+        assert not report.by_code("overlapping-member-versions")
+
+
+class TestReportApi:
+    def test_to_text_orders_errors_first(self):
+        schema = base_schema()
+        schema.add_fact({"org": "d0"}, 5, amount=1.0)
+        manager = EvolutionManager(schema)
+        manager.delete_member("org", "d0", 10)
+        text = audit_schema(schema).to_text()
+        first_line = text.splitlines()[0]
+        assert first_line.startswith("[error")
+
+    def test_by_severity_partitions(self):
+        schema = base_schema()
+        manager = EvolutionManager(schema)
+        manager.delete_member("org", "d0", 10)
+        manager.create_member("org", "late", "Late", 10, parents=["div"])
+        report = audit_schema(schema)
+        total = sum(
+            len(report.by_severity(s)) for s in ("error", "warning", "info")
+        )
+        assert total == len(report)

@@ -1,0 +1,292 @@
+"""Unit tests for instants, NOW and interval algebra."""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    INSTANT,
+    Interval,
+    InvalidIntervalError,
+    MONTH,
+    NOW,
+    NowType,
+    QUARTER,
+    YEAR,
+    month_interval,
+    ym,
+    ym_str,
+    year_interval,
+    year_of,
+)
+from repro.core.chronology import (
+    critical_instants,
+    endpoint_max,
+    endpoint_min,
+    month_of,
+)
+
+
+class TestNow:
+    def test_now_is_singleton(self):
+        assert NowType() is NOW
+
+    def test_now_survives_pickling_as_singleton(self):
+        assert pickle.loads(pickle.dumps(NOW)) is NOW
+
+    def test_now_orders_after_every_instant(self):
+        assert NOW > 10**9
+        assert not (NOW < 0)
+        assert 5 < NOW
+        assert NOW >= 5
+
+    def test_now_equals_only_itself(self):
+        assert NOW == NowType()
+        assert NOW != 42
+
+    def test_now_is_hashable(self):
+        assert len({NOW, NowType()}) == 1
+
+
+class TestEndpointHelpers:
+    def test_min_of_instants(self):
+        assert endpoint_min(3, 7) == 3
+
+    def test_min_with_now(self):
+        assert endpoint_min(NOW, 7) == 7
+        assert endpoint_min(7, NOW) == 7
+
+    def test_max_of_instants(self):
+        assert endpoint_max(3, 7) == 7
+
+    def test_max_with_now(self):
+        assert endpoint_max(NOW, 7) is NOW
+        assert endpoint_max(7, NOW) is NOW
+
+
+class TestIntervalConstruction:
+    def test_single_instant_interval(self):
+        iv = Interval(5, 5)
+        assert iv.contains(5)
+        assert not iv.contains(4)
+        assert not iv.contains(6)
+
+    def test_default_end_is_now(self):
+        assert Interval(3).open_ended
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 4)
+
+    def test_bool_endpoints_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(True, 4)
+
+    def test_non_int_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval("2001", 4)  # type: ignore[arg-type]
+
+    def test_intervals_are_hashable_values(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+
+
+class TestContains:
+    def test_closed_interval_bounds_inclusive(self):
+        iv = Interval(10, 20)
+        assert iv.contains(10) and iv.contains(20)
+        assert not iv.contains(9) and not iv.contains(21)
+
+    def test_open_interval_contains_arbitrarily_late_instants(self):
+        assert Interval(10).contains(10**12)
+
+    def test_in_operator(self):
+        assert 15 in Interval(10, 20)
+
+
+class TestCoversOverlaps:
+    def test_covers_subinterval(self):
+        assert Interval(0, 10).covers(Interval(2, 5))
+
+    def test_does_not_cover_extending_interval(self):
+        assert not Interval(0, 10).covers(Interval(2, 15))
+
+    def test_open_interval_covers_everything_after_start(self):
+        assert Interval(0).covers(Interval(5, NOW))
+        assert Interval(0).covers(Interval(5, 100))
+
+    def test_closed_never_covers_open(self):
+        assert not Interval(0, 100).covers(Interval(5))
+
+    def test_overlap_on_single_shared_instant(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_disjoint_do_not_overlap(self):
+        assert not Interval(0, 4).overlaps(Interval(5, 9))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(0, 7), Interval(3, 12)
+        assert a.overlaps(b) and b.overlaps(a)
+
+
+class TestIntersect:
+    def test_intersection_of_overlapping(self):
+        assert Interval(0, 7).intersect(Interval(3, 12)) == Interval(3, 7)
+
+    def test_intersection_of_disjoint_is_none(self):
+        assert Interval(0, 2).intersect(Interval(5, 9)) is None
+
+    def test_intersection_with_open(self):
+        assert Interval(0, 7).intersect(Interval(3)) == Interval(3, 7)
+
+    def test_intersection_of_two_open(self):
+        assert Interval(2).intersect(Interval(5)) == Interval(5, NOW)
+
+    def test_intersection_is_commutative(self):
+        a, b = Interval(1, 9), Interval(4, 20)
+        assert a.intersect(b) == b.intersect(a)
+
+
+class TestUnionMeets:
+    def test_union_of_adjacent(self):
+        assert Interval(0, 4).union(Interval(5, 9)) == Interval(0, 9)
+
+    def test_union_across_gap_is_none(self):
+        assert Interval(0, 3).union(Interval(5, 9)) is None
+
+    def test_union_of_overlapping_open(self):
+        assert Interval(0, 4).union(Interval(2)) == Interval(0, NOW)
+
+    def test_meets_detects_adjacency(self):
+        assert Interval(0, 4).meets(Interval(5, 9))
+        assert not Interval(0, 4).meets(Interval(6, 9))
+
+    def test_open_interval_meets_nothing(self):
+        assert not Interval(0).meets(Interval(5, 9))
+
+
+class TestClampTruncateDuration:
+    def test_clamp_replaces_now(self):
+        assert Interval(3).clamp(10) == Interval(3, 10)
+
+    def test_clamp_noop_on_closed(self):
+        assert Interval(3, 5).clamp(10) == Interval(3, 5)
+
+    def test_clamp_before_start_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5).clamp(3)
+
+    def test_truncate_end(self):
+        assert Interval(3, 9).truncate_end(5) == Interval(3, 5)
+
+    def test_duration_closed(self):
+        assert Interval(3, 5).duration() == 3
+
+    def test_duration_open_requires_horizon(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3).duration()
+        assert Interval(3).duration(horizon=7) == 5
+
+    def test_instants_enumeration(self):
+        assert list(Interval(3, 6).instants()) == [3, 4, 5, 6]
+
+
+class TestCalendarHelpers:
+    def test_ym_roundtrip(self):
+        t = ym(2003, 1)
+        assert year_of(t) == 2003
+        assert month_of(t) == 1
+
+    def test_ym_rejects_bad_month(self):
+        with pytest.raises(InvalidIntervalError):
+            ym(2003, 13)
+
+    def test_ym_str_formats_like_paper(self):
+        assert ym_str(ym(2001, 1)) == "01/2001"
+        assert ym_str(NOW) == "Now"
+
+    def test_year_interval_spans_12_months(self):
+        assert year_interval(2001).duration() == 12
+
+    def test_month_interval_is_single_chronon(self):
+        assert month_interval(2001, 4).duration() == 1
+
+    def test_consecutive_months_are_consecutive_chronons(self):
+        assert ym(2001, 12) + 1 == ym(2002, 1)
+
+
+class TestCriticalInstants:
+    def test_starts_and_post_ends_are_critical(self):
+        points = critical_instants([Interval(2, 5), Interval(4)])
+        assert points == [2, 4, 6]
+
+    def test_open_interval_contributes_only_start(self):
+        assert critical_instants([Interval(3)]) == [3]
+
+    def test_duplicates_collapse(self):
+        assert critical_instants([Interval(2, 5), Interval(2, 5)]) == [2, 6]
+
+    def test_empty_input(self):
+        assert critical_instants([]) == []
+
+
+class TestGranularity:
+    def test_year_bucket_and_label(self):
+        assert YEAR.bucket(ym(2002, 7)) == 2002
+        assert YEAR.label(2002) == "2002"
+
+    def test_quarter_bucket(self):
+        assert QUARTER.bucket(ym(2002, 1)) == QUARTER.bucket(ym(2002, 3))
+        assert QUARTER.bucket(ym(2002, 3)) != QUARTER.bucket(ym(2002, 4))
+
+    def test_quarter_label(self):
+        assert QUARTER.label(QUARTER.bucket(ym(2002, 5))) == "2002Q2"
+
+    def test_month_bucket_is_identity(self):
+        t = ym(2002, 7)
+        assert MONTH.bucket(t) == t
+        assert MONTH.label(t) == "07/2002"
+
+    def test_instant_granularity(self):
+        assert INSTANT.bucket(42) == 42
+        assert INSTANT.label(42) == "42"
+
+
+class TestCustomGranularity:
+    def test_custom_bucket_and_label(self):
+        from repro.core.chronology import Granularity, month_of
+
+        semester = Granularity(
+            "semester",
+            bucket_fn=lambda t: year_of(t) * 2 + (month_of(t) - 1) // 6,
+            label_fn=lambda b: f"{b // 2}H{b % 2 + 1}",
+        )
+        assert semester.bucket(ym(2002, 3)) == semester.bucket(ym(2002, 6))
+        assert semester.bucket(ym(2002, 6)) != semester.bucket(ym(2002, 7))
+        assert semester.label(semester.bucket(ym(2002, 9))) == "2002H2"
+
+    def test_custom_granularity_drives_query_engine(self, engine):
+        from repro.core import Query, TimeGroup
+        from repro.core.chronology import Granularity, month_of
+
+        semester = Granularity(
+            "semester",
+            bucket_fn=lambda t: year_of(t) * 2 + (month_of(t) - 1) // 6,
+            label_fn=lambda b: f"{b // 2}H{b % 2 + 1}",
+        )
+        result = engine.execute(Query(group_by=(TimeGroup(semester),)))
+        # Case-study facts sit mid-year (June): all in H1.
+        assert ("2001H1",) in result.as_dict()
+
+    def test_unknown_named_granularity_without_fn_rejected(self):
+        from repro.core import InvalidIntervalError
+        from repro.core.chronology import Granularity
+
+        with pytest.raises(InvalidIntervalError):
+            Granularity("fortnight").bucket(5)
+
+    def test_custom_label_fallback_is_str(self):
+        from repro.core.chronology import Granularity
+
+        g = Granularity("raw", bucket_fn=lambda t: t // 100)
+        assert g.label(g.bucket(512)) == "5"

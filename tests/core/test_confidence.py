@@ -1,0 +1,125 @@
+"""Unit tests for confidence factors and ⊗cf (Definition 6, Example 5)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    AM,
+    CANONICAL_FACTORS,
+    ConfidenceError,
+    DEFAULT_AGGREGATOR,
+    EM,
+    QuantitativeAggregator,
+    SD,
+    TruthTableAggregator,
+    UK,
+    factor_from_code,
+)
+from repro.core.confidence import ConfidenceFactor, default_truth_table
+
+
+class TestCanonicalFactors:
+    def test_four_factors(self):
+        assert [f.symbol for f in CANONICAL_FACTORS] == ["sd", "em", "am", "uk"]
+
+    def test_prototype_codes_match_section_5_2(self):
+        # §5.2: 3=source, 2=exact, 1=approximated, 4=unknown.
+        assert factor_from_code(3) is SD
+        assert factor_from_code(2) is EM
+        assert factor_from_code(1) is AM
+        assert factor_from_code(4) is UK
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ConfidenceError):
+            factor_from_code(0)
+
+    def test_factor_needs_symbol(self):
+        with pytest.raises(ConfidenceError):
+            ConfidenceFactor("", 0, 0)
+
+
+class TestExample5TruthTable:
+    """The truth table printed in Example 5, checked cell by cell."""
+
+    EXPECTED = {
+        ("sd", "sd"): "sd", ("sd", "em"): "em", ("sd", "am"): "am", ("sd", "uk"): "uk",
+        ("em", "sd"): "em", ("em", "em"): "em", ("em", "am"): "am", ("em", "uk"): "uk",
+        ("am", "sd"): "am", ("am", "em"): "am", ("am", "am"): "am", ("am", "uk"): "uk",
+        ("uk", "sd"): "uk", ("uk", "em"): "uk", ("uk", "am"): "uk", ("uk", "uk"): "uk",
+    }
+
+    def test_every_cell(self):
+        table = default_truth_table()
+        for pair, out in self.EXPECTED.items():
+            assert table[pair].symbol == out, pair
+
+    def test_aggregator_uses_table(self):
+        assert DEFAULT_AGGREGATOR.combine(SD, AM) is AM
+        assert DEFAULT_AGGREGATOR.combine(EM, EM) is EM
+        assert DEFAULT_AGGREGATOR.combine(AM, UK) is UK
+
+
+class TestAlgebraicLaws:
+    """⊗cf from Example 5 is a commutative monoid with identity sd and
+    absorbing element uk — properties the aggregation layer relies on."""
+
+    def test_commutative(self):
+        for a, b in itertools.product(CANONICAL_FACTORS, repeat=2):
+            assert DEFAULT_AGGREGATOR.combine(a, b) is DEFAULT_AGGREGATOR.combine(b, a)
+
+    def test_associative(self):
+        for a, b, c in itertools.product(CANONICAL_FACTORS, repeat=3):
+            left = DEFAULT_AGGREGATOR.combine(DEFAULT_AGGREGATOR.combine(a, b), c)
+            right = DEFAULT_AGGREGATOR.combine(a, DEFAULT_AGGREGATOR.combine(b, c))
+            assert left is right
+
+    def test_sd_is_identity(self):
+        for a in CANONICAL_FACTORS:
+            assert DEFAULT_AGGREGATOR.combine(SD, a) is a
+
+    def test_uk_absorbs(self):
+        for a in CANONICAL_FACTORS:
+            assert DEFAULT_AGGREGATOR.combine(UK, a) is UK
+
+    def test_idempotent(self):
+        for a in CANONICAL_FACTORS:
+            assert DEFAULT_AGGREGATOR.combine(a, a) is a
+
+
+class TestCombineAll:
+    def test_fold_sequence(self):
+        assert DEFAULT_AGGREGATOR.combine_all([SD, EM, AM]) is AM
+
+    def test_single_element(self):
+        assert DEFAULT_AGGREGATOR.combine_all([EM]) is EM
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfidenceError):
+            DEFAULT_AGGREGATOR.combine_all([])
+
+    def test_uk_poisons_long_fold(self):
+        assert DEFAULT_AGGREGATOR.combine_all([SD, SD, UK, EM]) is UK
+
+
+class TestCustomTruthTable:
+    def test_missing_pair_raises(self):
+        agg = TruthTableAggregator({("sd", "sd"): SD})
+        with pytest.raises(ConfidenceError):
+            agg.combine(SD, EM)
+
+    def test_factor_lookup(self):
+        agg = TruthTableAggregator()
+        assert agg.factor("am") is AM
+        with pytest.raises(ConfidenceError):
+            agg.factor("nope")
+
+
+class TestQuantitativeAggregator:
+    def test_min_combination_picks_less_reliable(self):
+        agg = QuantitativeAggregator(max)  # rank: higher = less reliable
+        assert agg.combine(SD, AM) is AM
+
+    def test_combine_values(self):
+        agg = QuantitativeAggregator(min)
+        assert agg.combine_values(0.9, 0.4) == 0.4

@@ -1,0 +1,221 @@
+"""Unit tests for mapping functions, relationships and routing (Def. 7)."""
+
+import pytest
+
+from repro.core import (
+    AM,
+    CallableMapping,
+    EM,
+    IdentityMapping,
+    LinearMapping,
+    MappingCatalog,
+    MappingError,
+    MappingRelationship,
+    MeasureMap,
+    SD,
+    UK,
+    UnknownMapping,
+    identity_maps,
+    linear_maps,
+    unknown_maps,
+)
+from repro.core.confidence import DEFAULT_AGGREGATOR
+
+
+class TestMappingFunctions:
+    def test_linear_apply(self):
+        assert LinearMapping(0.4).apply(100.0) == pytest.approx(40.0)
+
+    def test_identity_is_linear_one(self):
+        f = IdentityMapping()
+        assert f.k == 1.0
+        assert f.apply(7.0) == 7.0
+
+    def test_unknown_yields_none(self):
+        assert UnknownMapping().apply(100.0) is None
+
+    def test_none_propagates_through_linear(self):
+        assert LinearMapping(2.0).apply(None) is None
+
+    def test_callable_mapping(self):
+        f = CallableMapping(lambda x: x + 5, "x -> x+5")
+        assert f.apply(10.0) == 15.0
+        assert f.describe() == "x -> x+5"
+
+    def test_linear_composition_multiplies_factors(self):
+        composed = LinearMapping(0.5).compose(LinearMapping(4.0))
+        assert isinstance(composed, LinearMapping)
+        assert composed.k == pytest.approx(2.0)
+
+    def test_unknown_absorbs_composition(self):
+        assert isinstance(LinearMapping(2.0).compose(UnknownMapping()), UnknownMapping)
+        assert isinstance(UnknownMapping().compose(LinearMapping(2.0)), UnknownMapping)
+
+    def test_callable_composition_applies_in_order(self):
+        inner = CallableMapping(lambda x: x + 1, "x -> x+1")
+        outer = LinearMapping(10.0)
+        assert inner.compose(outer).apply(4.0) == pytest.approx(50.0)
+
+    def test_describe_linear(self):
+        assert LinearMapping(0.4).describe() == "x -> 0.4*x"
+        assert IdentityMapping().describe() == "x -> x"
+        assert UnknownMapping().describe() == "x -> ?"
+
+
+class TestMeasureMap:
+    def test_compose_confidence_uses_truth_table(self):
+        a = MeasureMap(LinearMapping(0.5), AM)
+        b = MeasureMap(IdentityMapping(), EM)
+        composed = a.compose(b, DEFAULT_AGGREGATOR)
+        assert composed.confidence is AM
+        assert composed.apply(10.0) == pytest.approx(5.0)
+
+    def test_helpers(self):
+        ids = identity_maps(["m1", "m2"])
+        assert ids["m1"].confidence is EM and ids["m1"].apply(3.0) == 3.0
+        lin = linear_maps({"m1": 0.6})
+        assert lin["m1"].apply(10.0) == pytest.approx(6.0)
+        unk = unknown_maps(["m1"])
+        assert unk["m1"].confidence is UK and unk["m1"].apply(3.0) is None
+
+
+class TestMappingRelationship:
+    def test_self_mapping_rejected(self):
+        with pytest.raises(MappingError):
+            MappingRelationship("a", "a")
+
+    def test_needs_endpoints(self):
+        with pytest.raises(MappingError):
+            MappingRelationship("", "b")
+
+    def test_missing_measure_defaults_to_unknown(self):
+        rel = MappingRelationship("a", "b", forward=identity_maps(["m1"]))
+        mm = rel.measure_map("m2", direction="forward")
+        assert mm.confidence is UK and mm.apply(1.0) is None
+
+    def test_direction_validation(self):
+        rel = MappingRelationship("a", "b")
+        with pytest.raises(MappingError):
+            rel.measure_map("m1", direction="sideways")
+
+    def test_example6_split_semantics(self):
+        """Example 6: Jones -> Bill maps 0.4x forward (am), identity back (em)."""
+        rel = MappingRelationship(
+            "jones",
+            "bill",
+            forward=linear_maps({"m1": 0.4}, AM),
+            reverse=identity_maps(["m1"], EM),
+        )
+        fwd = rel.measure_map("m1", direction="forward")
+        rev = rel.measure_map("m1", direction="reverse")
+        assert fwd.apply(100.0) == pytest.approx(40.0) and fwd.confidence is AM
+        assert rev.apply(100.0) == 100.0 and rev.confidence is EM
+
+
+def catalog_for_split():
+    """Jones split into Bill (0.4) and Paul (0.6), Example 6."""
+    cat = MappingCatalog(measures=["m1"])
+    cat.add(
+        MappingRelationship(
+            "jones", "bill",
+            forward=linear_maps({"m1": 0.4}, AM),
+            reverse=identity_maps(["m1"], EM),
+        )
+    )
+    cat.add(
+        MappingRelationship(
+            "jones", "paul",
+            forward=linear_maps({"m1": 0.6}, AM),
+            reverse=identity_maps(["m1"], EM),
+        )
+    )
+    return cat
+
+
+class TestCatalogMaintenance:
+    def test_duplicate_relationship_rejected(self):
+        cat = catalog_for_split()
+        with pytest.raises(MappingError):
+            cat.add(MappingRelationship("jones", "bill"))
+
+    def test_measures_discovered_from_relationships(self):
+        cat = MappingCatalog()
+        cat.add(MappingRelationship("a", "b", forward=identity_maps(["x"])))
+        assert cat.measures == ["x"]
+
+    def test_indexing(self):
+        cat = catalog_for_split()
+        assert {r.target for r in cat.relationships_from("jones")} == {"bill", "paul"}
+        assert [r.source for r in cat.relationships_to("paul")] == ["jones"]
+        assert len(cat) == 2
+
+
+class TestRouting:
+    def test_zero_hop_route_is_exclusive(self):
+        """A source valid in the target set maps only to itself (sd)."""
+        cat = catalog_for_split()
+        routes = cat.routes("bill", {"bill", "paul"})
+        assert len(routes) == 1
+        route = routes[0]
+        assert route.target == "bill" and route.hops == 0
+        assert route.confidence("m1") is SD
+        assert route.convert("m1", 150.0) == 150.0
+
+    def test_forward_split_routes(self):
+        cat = catalog_for_split()
+        routes = {r.target: r for r in cat.routes("jones", {"bill", "paul"})}
+        assert set(routes) == {"bill", "paul"}
+        assert routes["bill"].convert("m1", 100.0) == pytest.approx(40.0)
+        assert routes["paul"].convert("m1", 100.0) == pytest.approx(60.0)
+        assert routes["bill"].confidence("m1") is AM
+
+    def test_reverse_route(self):
+        cat = catalog_for_split()
+        routes = cat.routes("bill", {"jones"})
+        assert len(routes) == 1
+        assert routes[0].convert("m1", 150.0) == 150.0
+        assert routes[0].confidence("m1") is EM
+
+    def test_chained_route_composes_functions_and_confidence(self):
+        cat = catalog_for_split()
+        cat.add(
+            MappingRelationship(
+                "bill", "bill2",
+                forward=linear_maps({"m1": 0.5}, AM),
+                reverse=linear_maps({"m1": 2.0}, EM),
+            )
+        )
+        routes = {r.target: r for r in cat.routes("jones", {"bill2", "paul"})}
+        # jones -> bill -> bill2: 0.4 * 0.5 = 0.2, am ⊗ am = am
+        assert routes["bill2"].convert("m1", 100.0) == pytest.approx(20.0)
+        assert routes["bill2"].confidence("m1") is AM
+        assert routes["bill2"].hops == 2
+
+    def test_chain_with_unknown_leg_yields_uk(self):
+        cat = MappingCatalog(measures=["m1"])
+        cat.add(MappingRelationship("a", "b", forward=unknown_maps(["m1"])))
+        cat.add(MappingRelationship("b", "c", forward=identity_maps(["m1"])))
+        routes = cat.routes("a", {"c"})
+        assert routes[0].confidence("m1") is UK
+        assert routes[0].convert("m1", 5.0) is None
+
+    def test_unreachable_target_absent(self):
+        cat = catalog_for_split()
+        assert cat.routes("brian", {"bill"}) == []
+
+    def test_max_hops_bounds_search(self):
+        cat = MappingCatalog(measures=["m1"])
+        for i in range(5):
+            cat.add(
+                MappingRelationship(
+                    f"n{i}", f"n{i+1}", forward=identity_maps(["m1"])
+                )
+            )
+        assert cat.routes("n0", {"n5"}, max_hops=3) == []
+        assert len(cat.routes("n0", {"n5"}, max_hops=5)) == 1
+
+    def test_route_unknown_measure_is_uk(self):
+        cat = catalog_for_split()
+        route = cat.routes("jones", {"bill", "paul"})[0]
+        assert route.confidence("zzz") is UK
+        assert route.convert("zzz", 1.0) is None

@@ -1,0 +1,89 @@
+"""Unit tests for member versions (Definition 1)."""
+
+import pytest
+
+from repro.core import Interval, MemberVersion, ModelError, NOW
+
+
+def mv(mvid="d1", name="Dept", start=0, end=NOW, **kw):
+    return MemberVersion(mvid, name, Interval(start, end), **kw)
+
+
+class TestConstruction:
+    def test_requires_id(self):
+        with pytest.raises(ModelError):
+            MemberVersion("", "Dept", Interval(0))
+
+    def test_requires_name(self):
+        with pytest.raises(ModelError):
+            MemberVersion("d1", "", Interval(0))
+
+    def test_attributes_are_frozen(self):
+        m = mv(attributes={"city": "Lyon"})
+        with pytest.raises(TypeError):
+            m.attributes["city"] = "Quebec"  # type: ignore[index]
+
+    def test_attributes_copied_not_aliased(self):
+        attrs = {"city": "Lyon"}
+        m = mv(attributes=attrs)
+        attrs["city"] = "Quebec"
+        assert m.attributes["city"] == "Lyon"
+
+    def test_level_is_optional(self):
+        assert mv().level is None
+        assert mv(level="Department").level == "Department"
+
+
+class TestValidity:
+    def test_valid_at_endpoints(self):
+        m = mv(start=5, end=9)
+        assert m.valid_at(5) and m.valid_at(9)
+        assert not m.valid_at(4) and not m.valid_at(10)
+
+    def test_open_ended_version(self):
+        m = mv(start=5)
+        assert m.valid_at(10**9)
+        assert m.end is NOW
+
+    def test_valid_throughout(self):
+        m = mv(start=0, end=10)
+        assert m.valid_throughout(Interval(2, 8))
+        assert not m.valid_throughout(Interval(2, 12))
+
+    def test_start_end_accessors(self):
+        m = mv(start=3, end=7)
+        assert (m.start, m.end) == (3, 7)
+
+
+class TestExclusion:
+    def test_excluded_at_ends_previous_chronon(self):
+        m = mv(start=0, end=NOW).excluded_at(10)
+        assert m.valid_time == Interval(0, 9)
+
+    def test_exclusion_before_start_rejected(self):
+        with pytest.raises(ModelError):
+            mv(start=5).excluded_at(5)
+
+    def test_exclusion_preserves_identity_fields(self):
+        m = mv(mvid="x", name="X", start=0, level="L", attributes={"a": 1})
+        cut = m.excluded_at(3)
+        assert (cut.mvid, cut.name, cut.level) == ("x", "X", "L")
+        assert dict(cut.attributes) == {"a": 1}
+
+
+class TestEqualityHashing:
+    def test_equal_versions(self):
+        assert mv(attributes={"a": 1}) == mv(attributes={"a": 1})
+
+    def test_attribute_difference_breaks_equality(self):
+        assert mv(attributes={"a": 1}) != mv(attributes={"a": 2})
+
+    def test_usable_in_sets(self):
+        assert len({mv(), mv()}) == 1
+
+    def test_overlapping_versions_of_same_member_allowed(self):
+        # Definition 1's note: a member may have several valid versions at
+        # one instant; nothing in the value object forbids it.
+        v1 = mv(mvid="a1", name="A", start=0, end=10)
+        v2 = mv(mvid="a2", name="A", start=5, end=15)
+        assert v1.valid_at(7) and v2.valid_at(7)

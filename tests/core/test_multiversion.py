@@ -1,0 +1,216 @@
+"""Unit tests for the MultiVersion fact table inference (Definition 11)."""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    QueryError,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.workloads.case_study import ORG, fact_instant
+
+
+class TestTcmSlice:
+    def test_tcm_slice_equals_consistent_table_with_sd(self, case_study, mvft):
+        """Definition 11's identity: f' restricted to tcm == f × {sd}^m."""
+        rows = mvft.slice("tcm")
+        assert len(rows) == len(case_study.schema.facts)
+        for mv_row, fact in zip(rows, case_study.schema.facts):
+            assert dict(mv_row.coordinates) == dict(fact.coordinates)
+            assert mv_row.t == fact.t
+            assert mv_row.value("amount") == fact.value("amount")
+            assert mv_row.confidence("amount").symbol == "sd"
+
+
+class TestVersionModes:
+    def test_fact_valid_in_version_keeps_value_and_sd(self, mvft):
+        row = mvft.lookup({ORG: "brian"}, fact_instant(2001), "V1")
+        assert row is not None
+        assert row.value("amount") == 100.0
+        assert row.confidence("amount").symbol == "sd"
+
+    def test_split_fact_mapped_forward_with_am(self, mvft):
+        """Jones's 2002 amount 100 appears as 40 on Bill in the 2003 mode."""
+        row = mvft.lookup({ORG: "bill"}, fact_instant(2002), "V3")
+        assert row is not None
+        assert row.value("amount") == pytest.approx(40.0)
+        assert row.confidence("amount").symbol == "am"
+
+    def test_split_facts_merged_backward_with_em(self, mvft):
+        """Bill's 150 and Paul's 50 merge to 200 on Jones in the 2002 mode."""
+        row = mvft.lookup({ORG: "jones"}, fact_instant(2003), "V2")
+        assert row is not None
+        assert row.value("amount") == pytest.approx(200.0)
+        assert row.confidence("amount").symbol == "em"
+
+    def test_fact_valid_in_version_not_sprayed_to_siblings(self, mvft):
+        """A 2003 fact on Bill must not leak onto Paul through Jones."""
+        row = mvft.lookup({ORG: "paul"}, fact_instant(2003), "V3")
+        assert row is not None
+        assert row.value("amount") == pytest.approx(50.0)
+        assert row.confidence("amount").symbol == "sd"
+
+    def test_provenance_describes_mapping(self, mvft):
+        row = mvft.lookup({ORG: "jones"}, fact_instant(2003), "V2")
+        assert row is not None
+        assert any("bill -> jones" in p for p in row.provenance)
+
+    def test_cell_counts_per_mode(self, mvft):
+        counts = mvft.cell_count()
+        assert counts["tcm"] == 10
+        assert counts["V1"] == 9   # 2003's four facts collapse to three cells
+        assert counts["V2"] == 9
+        assert counts["V3"] == 12  # 2001/2002 Jones facts split into two cells
+
+    def test_len_sums_modes(self, mvft):
+        assert len(mvft) == sum(mvft.cell_count().values())
+
+    def test_slice_unknown_mode_rejected(self, mvft):
+        with pytest.raises(QueryError):
+            mvft.slice("V99")
+
+    def test_lookup_miss_returns_none(self, mvft):
+        assert mvft.lookup({ORG: "jones"}, fact_instant(2003), "V3") is None
+
+
+class TestModeSubsetBuild:
+    def test_build_only_requested_modes(self, case_study):
+        mvft = case_study.schema.multiversion_facts()
+        partial = type(mvft).build(case_study.schema, mode_labels=["tcm", "V3"])
+        assert partial.cell_count() == {
+            "tcm": mvft.cell_count()["tcm"],
+            "V3": mvft.cell_count()["V3"],
+        }
+
+    def test_unbuilt_known_mode_slices_empty(self, case_study):
+        mvft = type(case_study.schema.multiversion_facts()).build(
+            case_study.schema, mode_labels=["tcm"]
+        )
+        assert mvft.slice("V1") == []
+
+    def test_unknown_mode_label_rejected_early(self, case_study):
+        from repro.core import MultiVersionFactTable
+
+        with pytest.raises(QueryError):
+            MultiVersionFactTable.build(case_study.schema, mode_labels=["V99"])
+
+
+def deletion_schema():
+    """A member deleted without any Associate: its facts are orphaned in
+    later modes (and symmetric: later facts are orphaned in older modes
+    when creation had no mapping)."""
+    d = TemporalDimension(ORG)
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    d.add_member(MemberVersion("a", "Dept-A", Interval(0), level="Department"))
+    d.add_member(MemberVersion("b", "Dept-B", Interval(0), level="Department"))
+    d.add_relationship(TemporalRelationship("a", "div", Interval(0)))
+    d.add_relationship(TemporalRelationship("b", "div", Interval(0)))
+    schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+    manager = EvolutionManager(schema)
+    schema.add_fact({ORG: "a"}, 5, amount=10.0)
+    schema.add_fact({ORG: "b"}, 5, amount=20.0)
+    manager.delete_member(ORG, "b", 10)
+    schema.add_fact({ORG: "a"}, 15, amount=30.0)
+    return schema
+
+
+class TestUnmappedFacts:
+    def test_deleted_member_facts_unmapped_in_later_mode(self):
+        schema = deletion_schema()
+        mvft = schema.multiversion_facts()
+        v2 = schema.structure_versions()[1].vsid
+        orphans = [u for u in mvft.unmapped if u.mode == v2]
+        assert len(orphans) == 1
+        assert orphans[0].source == "b"
+        assert orphans[0].dimension == ORG
+        assert orphans[0].fact.value("amount") == 20.0
+
+    def test_surviving_member_facts_still_presented(self):
+        schema = deletion_schema()
+        mvft = schema.multiversion_facts()
+        v2 = schema.structure_versions()[1].vsid
+        row = mvft.lookup({ORG: "a"}, 5, v2)
+        assert row is not None and row.value("amount") == 10.0
+
+    def test_unmapped_repr_mentions_mode(self):
+        schema = deletion_schema()
+        mvft = schema.multiversion_facts()
+        assert mvft.unmapped
+        assert "mode=" in repr(mvft.unmapped[0])
+
+
+class TestUnknownMappings:
+    def test_unknown_reverse_mapping_yields_none_with_uk(self):
+        """Table 11's merge: V2's back-mapping is unknown, so in the old
+        structure V2 shows an unknown value tagged uk."""
+        d = TemporalDimension(ORG)
+        d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+        for mvid in ("v1", "v2"):
+            d.add_member(
+                MemberVersion(mvid, mvid.upper(), Interval(0), level="Department")
+            )
+            d.add_relationship(TemporalRelationship(mvid, "div", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+        manager = EvolutionManager(schema)
+        schema.add_fact({ORG: "v1"}, 5, amount=10.0)
+        schema.add_fact({ORG: "v2"}, 5, amount=20.0)
+        manager.merge_members(
+            ORG, ["v1", "v2"], "v12", "V12", 10,
+            reverse_shares={"v1": 0.5, "v2": None},
+        )
+        schema.add_fact({ORG: "v12"}, 15, amount=100.0)
+        mvft = schema.multiversion_facts()
+        v1_mode = schema.structure_versions()[0].vsid
+        back_v1 = mvft.lookup({ORG: "v1"}, 15, v1_mode)
+        back_v2 = mvft.lookup({ORG: "v2"}, 15, v1_mode)
+        assert back_v1 is not None
+        assert back_v1.value("amount") == pytest.approx(50.0)
+        assert back_v1.confidence("amount").symbol == "am"
+        assert back_v2 is not None
+        assert back_v2.value("amount") is None
+        assert back_v2.confidence("amount").symbol == "uk"
+
+
+class TestMaxHops:
+    def test_long_transform_chain_respects_max_hops(self):
+        """A member renamed five times: presenting its early facts in the
+        final structure needs a 5-hop route; max_hops below that leaves
+        the facts unmapped instead of silently wrong."""
+        from repro.core import (
+            EvolutionManager,
+            Interval,
+            Measure,
+            MemberVersion,
+            MultiVersionFactTable,
+            SUM,
+            TemporalDimension,
+            TemporalMultidimensionalSchema,
+            TemporalRelationship,
+        )
+
+        d = TemporalDimension(ORG)
+        d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+        d.add_member(MemberVersion("v0", "Dept", Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship("v0", "div", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+        manager = EvolutionManager(schema)
+        schema.add_fact({ORG: "v0"}, 5, amount=10.0)
+        for i in range(5):
+            manager.transform_member(
+                ORG, f"v{i}", f"v{i+1}", "Dept", 10 * (i + 1)
+            )
+        last_mode = schema.structure_versions()[-1].vsid
+
+        wide = MultiVersionFactTable.build(schema, max_hops=8)
+        assert wide.lookup({ORG: "v5"}, 5, last_mode) is not None
+        assert not [u for u in wide.unmapped if u.mode == last_mode]
+
+        narrow = MultiVersionFactTable.build(schema, max_hops=3)
+        assert narrow.lookup({ORG: "v5"}, 5, last_mode) is None
+        assert [u for u in narrow.unmapped if u.mode == last_mode]

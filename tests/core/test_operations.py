@@ -1,0 +1,215 @@
+"""Unit tests for the simple/complex evolution operations (Table 11)."""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    NOW,
+    OperatorError,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+
+
+@pytest.fixture()
+def manager():
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("p1", "Parent-1", Interval(0), level="Division"))
+    d.add_member(MemberVersion("p2", "Parent-2", Interval(0), level="Division"))
+    for mvid in ("v", "v1", "v2"):
+        d.add_member(
+            MemberVersion(mvid, mvid.upper(), Interval(0), level="Department")
+        )
+        d.add_relationship(TemporalRelationship(mvid, "p1", Interval(0)))
+    schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+    return EvolutionManager(schema)
+
+
+class TestSimpleOperations:
+    def test_create_compiles_to_single_insert(self, manager):
+        result = manager.create_member("org", "new", "New", 10, parents=["p1"])
+        assert [r.operator for r in result.records] == ["Insert"]
+        assert result.created == ("new",)
+
+    def test_delete_compiles_to_single_exclude(self, manager):
+        result = manager.delete_member("org", "v", 10)
+        assert [r.operator for r in result.records] == ["Exclude"]
+        assert manager.schema.dimension("org").member("v").valid_time == Interval(0, 9)
+
+    def test_transform_compiles_to_exclude_insert_associate(self, manager):
+        """Table 11: change from V to V' == Exclude + Insert + equivalence."""
+        result = manager.transform_member("org", "v", "vprime", "V'", 10)
+        assert [r.operator for r in result.records] == [
+            "Exclude",
+            "Insert",
+            "Associate",
+        ]
+
+    def test_transform_keeps_position_and_metadata(self, manager):
+        manager.transform_member("org", "v", "vprime", "V'", 10)
+        dim = manager.schema.dimension("org")
+        assert dim.at(10).parents("vprime") == ["p1"]
+        assert dim.member("vprime").level == "Department"
+
+    def test_transform_mapping_is_identity_both_ways(self, manager):
+        manager.transform_member("org", "v", "vprime", "V'", 10)
+        (rel,) = list(manager.schema.mappings)
+        assert rel.measure_map("amount", direction="forward").apply(7.0) == 7.0
+        assert rel.measure_map("amount", direction="reverse").apply(7.0) == 7.0
+
+    def test_merge_compiles_per_table_11(self, manager):
+        result = manager.merge_members(
+            "org", ["v1", "v2"], "v12", "V12", 10,
+            reverse_shares={"v1": 0.5, "v2": None},
+        )
+        assert [r.operator for r in result.records] == [
+            "Exclude", "Exclude", "Insert", "Associate", "Associate",
+        ]
+
+    def test_merge_reverse_share_semantics(self, manager):
+        manager.merge_members(
+            "org", ["v1", "v2"], "v12", "V12", 10,
+            reverse_shares={"v1": 0.5, "v2": None},
+        )
+        rels = {r.source: r for r in manager.schema.mappings}
+        assert rels["v1"].measure_map("amount", direction="reverse").apply(100.0) == 50.0
+        assert rels["v2"].measure_map("amount", direction="reverse").apply(100.0) is None
+        # forward is identity/em for both sources
+        assert rels["v1"].measure_map("amount", direction="forward").apply(3.0) == 3.0
+
+    def test_merge_needs_two_sources(self, manager):
+        with pytest.raises(OperatorError):
+            manager.merge_members("org", ["v1"], "v12", "V12", 10)
+
+    def test_split_compiles_per_table_11(self, manager):
+        result = manager.split_member(
+            "org", "v", {"a": ("A", 0.4), "b": ("B", 0.6)}, 10
+        )
+        assert [r.operator for r in result.records] == [
+            "Exclude", "Insert", "Insert", "Associate", "Associate",
+        ]
+        assert result.created == ("a", "b")
+
+    def test_split_share_semantics_match_example_6(self, manager):
+        manager.split_member("org", "v", {"a": ("A", 0.4), "b": ("B", 0.6)}, 10)
+        rels = {r.target: r for r in manager.schema.mappings}
+        assert rels["a"].measure_map("amount", direction="forward").apply(100.0) == pytest.approx(40.0)
+        assert rels["a"].measure_map("amount", direction="forward").confidence.symbol == "am"
+        assert rels["a"].measure_map("amount", direction="reverse").apply(150.0) == 150.0
+        assert rels["a"].measure_map("amount", direction="reverse").confidence.symbol == "em"
+
+    def test_split_needs_two_parts(self, manager):
+        with pytest.raises(OperatorError):
+            manager.split_member("org", "v", {"a": ("A", 1.0)}, 10)
+
+    def test_split_parts_inherit_parents(self, manager):
+        manager.split_member("org", "v", {"a": ("A", 0.4), "b": ("B", 0.6)}, 10)
+        snap = manager.schema.dimension("org").at(10)
+        assert snap.parents("a") == ["p1"] and snap.parents("b") == ["p1"]
+
+    def test_reclassify_member_is_single_operator(self, manager):
+        result = manager.reclassify_member(
+            "org", "v", 10, old_parents=["p1"], new_parents=["p2"]
+        )
+        assert [r.operator for r in result.records] == ["Reclassify"]
+
+
+class TestComplexOperations:
+    def test_increase_per_table_11(self, manager):
+        result = manager.increase_member("org", "v", "vplus", "V+", 10, factor=2.0)
+        assert [r.operator for r in result.records] == [
+            "Exclude", "Insert", "Associate",
+        ]
+        (rel,) = list(manager.schema.mappings)
+        assert rel.measure_map("amount", direction="forward").apply(10.0) == 20.0
+        assert rel.measure_map("amount", direction="reverse").apply(10.0) == pytest.approx(5.0)
+
+    def test_increase_rejects_nonpositive_factor(self, manager):
+        with pytest.raises(OperatorError):
+            manager.increase_member("org", "v", "vplus", "V+", 10, factor=0.0)
+
+    def test_decrease_keeps_share(self, manager):
+        manager.decrease_member("org", "v", "vminus", "V-", 10, kept_share=0.9)
+        (rel,) = list(manager.schema.mappings)
+        assert rel.measure_map("amount", direction="forward").apply(100.0) == pytest.approx(90.0)
+        assert rel.measure_map("amount", direction="reverse").apply(90.0) == 90.0
+
+    def test_decrease_rejects_degenerate_share(self, manager):
+        with pytest.raises(OperatorError):
+            manager.decrease_member("org", "v", "x", "X", 10, kept_share=1.0)
+
+    def test_partial_annexation_per_table_11(self, manager):
+        """The paper's 10 % annexation: six basic operators, three mappings."""
+        result = manager.partial_annexation(
+            "org", "v1", "v2", ("v1m", "V1-"), ("v2p", "V2+"), 10,
+            donated_fraction=0.1,
+            acceptor_reverse_factor=0.8,
+            donated_share_of_acceptor=0.2,
+        )
+        assert [r.operator for r in result.records] == [
+            "Exclude", "Exclude", "Insert", "Insert",
+            "Associate", "Associate", "Associate",
+        ]
+        rels = {(r.source, r.target): r for r in manager.schema.mappings}
+        donor = rels[("v1", "v1m")]
+        assert donor.measure_map("amount", direction="forward").apply(100.0) == pytest.approx(90.0)
+        acceptor = rels[("v2", "v2p")]
+        assert acceptor.measure_map("amount", direction="forward").apply(5.0) == 5.0
+        assert acceptor.measure_map("amount", direction="reverse").apply(10.0) == pytest.approx(8.0)
+        cross = rels[("v1", "v2p")]
+        assert cross.measure_map("amount", direction="forward").apply(100.0) == pytest.approx(10.0)
+        assert cross.measure_map("amount", direction="reverse").apply(100.0) == pytest.approx(20.0)
+
+    def test_partial_annexation_rejects_bad_fraction(self, manager):
+        with pytest.raises(OperatorError):
+            manager.partial_annexation(
+                "org", "v1", "v2", ("a", "A"), ("b", "B"), 10,
+                donated_fraction=1.5,
+                acceptor_reverse_factor=0.8,
+                donated_share_of_acceptor=0.2,
+            )
+
+
+class TestSchemaLevelOperations:
+    def test_create_level(self, manager):
+        result = manager.create_level(
+            "org",
+            {"grp1": "Group-1"},
+            10,
+            level="Group",
+            parents_of={},
+            children_of={"grp1": ["v1", "v2"]},
+        )
+        assert result.created == ("grp1",)
+        snap = manager.schema.dimension("org").at(10)
+        assert set(snap.children("grp1")) == {"v1", "v2"}
+
+    def test_delete_level_excludes_its_members(self, manager):
+        manager.delete_level("org", "Department", 10)
+        dim = manager.schema.dimension("org")
+        for mvid in ("v", "v1", "v2"):
+            assert dim.member(mvid).valid_time == Interval(0, 9)
+
+    def test_delete_unknown_level_rejected(self, manager):
+        with pytest.raises(OperatorError):
+            manager.delete_level("org", "Continent", 10)
+
+
+class TestJournal:
+    def test_manager_journal_accumulates_across_operations(self, manager):
+        manager.delete_member("org", "v", 10)
+        manager.create_member("org", "new", "New", 10, parents=["p1"])
+        assert [r.operator for r in manager.journal] == ["Exclude", "Insert"]
+
+    def test_renderings_are_paper_style(self, manager):
+        result = manager.split_member(
+            "org", "v", {"a": ("A", 0.4), "b": ("B", 0.6)}, 10
+        )
+        lines = result.renderings()
+        assert lines[0].startswith("Exclude(org, v")
+        assert any(line.startswith("Associate(v, ") for line in lines)

@@ -1,0 +1,190 @@
+"""Unit tests for the four basic evolution operators (§3.2)."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    MappingRelationship,
+    Measure,
+    MemberVersion,
+    NOW,
+    OperatorError,
+    SchemaEditor,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    identity_maps,
+)
+
+
+@pytest.fixture()
+def editor():
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("p1", "Parent-1", Interval(0), level="Division"))
+    d.add_member(MemberVersion("p2", "Parent-2", Interval(0), level="Division"))
+    d.add_member(MemberVersion("c1", "Child-1", Interval(0), level="Department"))
+    d.add_relationship(TemporalRelationship("c1", "p1", Interval(0)))
+    schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+    return SchemaEditor(schema)
+
+
+class TestInsert:
+    def test_insert_creates_member_and_edges(self, editor):
+        editor.insert("org", "c2", "Child-2", 5, parents=["p1"], level="Department")
+        dim = editor.schema.dimension("org")
+        assert dim.member("c2").valid_time == Interval(5, NOW)
+        assert dim.at(5).parents("c2") == ["p1"]
+
+    def test_insert_with_children(self, editor):
+        editor.insert("org", "mid", "Mid", 5, parents=["p1"], children=["c1"])
+        dim = editor.schema.dimension("org")
+        assert dim.at(5).parents("mid") == ["p1"]
+        assert "mid" in dim.at(5).parents("c1")
+
+    def test_insert_with_bounded_validity(self, editor):
+        editor.insert("org", "tmp", "Temp", 5, 9, parents=["p1"])
+        assert editor.schema.dimension("org").member("tmp").valid_time == Interval(5, 9)
+
+    def test_edge_clipped_to_parent_validity(self, editor):
+        dim = editor.schema.dimension("org")
+        dim.add_member(MemberVersion("px", "Px", Interval(0, 7), level="Division"))
+        editor.insert("org", "cx", "Cx", 5, parents=["px"])
+        rel = [r for r in dim.relationships if r.child == "cx"][0]
+        assert rel.valid_time == Interval(5, 7)
+
+    def test_insert_under_disjoint_parent_rejected(self, editor):
+        dim = editor.schema.dimension("org")
+        dim.add_member(MemberVersion("gone", "Gone", Interval(0, 3), level="Division"))
+        with pytest.raises(OperatorError):
+            editor.insert("org", "cx", "Cx", 5, parents=["gone"])
+
+    def test_insert_journaled(self, editor):
+        editor.insert("org", "c2", "Child-2", 5, parents=["p1"])
+        rec = editor.journal[-1]
+        assert rec.operator == "Insert"
+        assert "Insert(org, c2" in rec.rendering
+
+
+class TestExclude:
+    def test_exclude_truncates_member_and_edges(self, editor):
+        editor.exclude("org", "c1", 10)
+        dim = editor.schema.dimension("org")
+        assert dim.member("c1").valid_time == Interval(0, 9)
+        rel = [r for r in dim.relationships if r.child == "c1"][0]
+        assert rel.valid_time == Interval(0, 9)
+
+    def test_exclude_before_start_rejected(self, editor):
+        with pytest.raises(OperatorError):
+            editor.exclude("org", "c1", 0)
+
+    def test_exclude_removes_future_edges_entirely(self, editor):
+        """An edge scheduled to start after the exclusion point vanishes."""
+        dim = editor.schema.dimension("org")
+        dim.add_relationship(TemporalRelationship("c1", "p2", Interval(30)))
+        editor.exclude("org", "c1", 20)
+        assert all(r.parent != "p2" for r in dim.relationships if r.child == "c1")
+
+    def test_exclude_at_creation_instant_rejected(self, editor):
+        editor.insert("org", "c2", "Child-2", 20, parents=["p1"])
+        with pytest.raises(OperatorError):
+            editor.exclude("org", "c2", 20)
+
+    def test_exclude_leaves_already_ended_edges_alone(self, editor):
+        dim = editor.schema.dimension("org")
+        dim.add_member(MemberVersion("c3", "Child-3", Interval(0), level="Department"))
+        dim.add_relationship(TemporalRelationship("c3", "p1", Interval(0, 4)))
+        editor.exclude("org", "c3", 10)
+        rel = [r for r in dim.relationships if r.child == "c3"][0]
+        assert rel.valid_time == Interval(0, 4)
+
+    def test_exclude_journaled(self, editor):
+        editor.exclude("org", "c1", 10)
+        assert editor.journal[-1].rendering == "Exclude(org, c1, 10)"
+
+
+class TestAssociate:
+    def test_associate_registers_mapping(self, editor):
+        editor.insert("org", "c2", "Child-2", 5, parents=["p1"], level="Department")
+        editor.associate(
+            MappingRelationship(
+                "c1", "c2", forward=identity_maps(["amount"])
+            )
+        )
+        assert len(editor.schema.mappings) == 1
+        assert editor.journal[-1].operator == "Associate"
+
+    def test_associate_consistency_check_fails_on_non_leaf(self, editor):
+        from repro.core import MappingError
+
+        with pytest.raises(MappingError):
+            editor.associate(MappingRelationship("c1", "p1"))
+
+
+class TestReclassify:
+    def test_reclassify_moves_member(self, editor):
+        editor.reclassify(
+            "org", "c1", 10, old_parents=["p1"], new_parents=["p2"]
+        )
+        dim = editor.schema.dimension("org")
+        assert dim.at(9).parents("c1") == ["p1"]
+        assert dim.at(10).parents("c1") == ["p2"]
+
+    def test_member_version_unchanged_by_reclassify(self, editor):
+        """The conceptual Reclassify touches relationships only."""
+        before = editor.schema.dimension("org").member("c1")
+        editor.reclassify("org", "c1", 10, old_parents=["p1"], new_parents=["p2"])
+        assert editor.schema.dimension("org").member("c1") == before
+
+    def test_reclassify_with_wrong_old_parent_rejected(self, editor):
+        with pytest.raises(OperatorError):
+            editor.reclassify(
+                "org", "c1", 10, old_parents=["p2"], new_parents=["p1"]
+            )
+
+    def test_pure_detachment(self, editor):
+        editor.reclassify("org", "c1", 10, old_parents=["p1"], new_parents=[])
+        assert editor.schema.dimension("org").at(10).parents("c1") == []
+
+    def test_pure_attachment(self, editor):
+        """NewParents on top of existing ones: a multiple hierarchy."""
+        editor.reclassify("org", "c1", 10, old_parents=[], new_parents=["p2"])
+        assert editor.schema.dimension("org").at(10).parents("c1") == ["p1", "p2"]
+
+    def test_bounded_reclassification(self, editor):
+        editor.reclassify(
+            "org", "c1", 10, 19, old_parents=["p1"], new_parents=["p2"]
+        )
+        dim = editor.schema.dimension("org")
+        assert dim.at(15).parents("c1") == ["p2"]
+        # after tf the p2 edge has expired (and the p1 edge ended at 9):
+        assert dim.at(25).parents("c1") == []
+
+    def test_reclassify_journaled(self, editor):
+        editor.reclassify("org", "c1", 10, old_parents=["p1"], new_parents=["p2"])
+        assert editor.journal[-1].operator == "Reclassify"
+        assert "{p1}" in editor.journal[-1].rendering
+
+
+class TestJournalHelpers:
+    def test_mark_and_records_since(self, editor):
+        mark = editor.mark()
+        editor.exclude("org", "c1", 10)
+        editor.insert("org", "c2", "Child-2", 10, parents=["p1"])
+        records = editor.records_since(mark)
+        assert [r.operator for r in records] == ["Exclude", "Insert"]
+
+
+class TestExcludeEdgeCases:
+    def test_exclude_already_ended_member_is_noop_on_member(self, editor):
+        dim = editor.schema.dimension("org")
+        dim.add_member(MemberVersion("old", "Old", Interval(0, 4), level="Department"))
+        editor.exclude("org", "old", 10)  # already ends at 4 < 9
+        assert dim.member("old").valid_time == Interval(0, 4)
+
+    def test_exclude_journal_still_records_noop(self, editor):
+        dim = editor.schema.dimension("org")
+        dim.add_member(MemberVersion("old", "Old", Interval(0, 4), level="Department"))
+        mark = editor.mark()
+        editor.exclude("org", "old", 10)
+        assert [r.operator for r in editor.records_since(mark)] == ["Exclude"]

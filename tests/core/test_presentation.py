@@ -1,0 +1,75 @@
+"""Unit tests for temporal modes of presentation (Definition 10)."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    PresentationMode,
+    QueryError,
+    TCM_LABEL,
+    build_modes,
+)
+from repro.core.presentation import ModeSet
+from repro.workloads.case_study import fact_instant
+
+
+class TestModeSet:
+    def test_case_study_has_tcm_plus_three(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        assert modes.labels == ["tcm", "V1", "V2", "V3"]
+        assert len(modes) == 4
+
+    def test_tcm_mode_properties(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        assert modes.tcm.is_tcm
+        assert modes.tcm.version is None
+        assert "consistent" in modes.tcm.describe()
+
+    def test_version_modes_carry_their_version(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        for mode in modes.version_modes:
+            assert not mode.is_tcm
+            assert mode.version is not None
+            assert mode.version.vsid == mode.label
+
+    def test_lookup_by_label(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        assert modes.mode("V2").label == "V2"
+        with pytest.raises(QueryError):
+            modes.mode("V99")
+
+    def test_contains(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        assert "tcm" in modes and "V1" in modes and "V9" not in modes
+
+    def test_mode_for_instant(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        assert modes.mode_for_instant(fact_instant(2001)).label == "V1"
+        assert modes.mode_for_instant(fact_instant(2003)).label == "V3"
+
+    def test_mode_for_uncovered_instant(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        with pytest.raises(QueryError):
+            modes.mode_for_instant(0)  # far before 2001
+
+
+class TestConstructionRules:
+    def test_build_modes_always_prepends_tcm(self, case_study):
+        versions = case_study.schema.structure_versions()
+        modes = build_modes(versions)
+        assert modes.labels[0] == TCM_LABEL
+
+    def test_duplicate_labels_rejected(self):
+        dup = PresentationMode(TCM_LABEL, None)
+        with pytest.raises(QueryError):
+            ModeSet([dup, dup])
+
+    def test_missing_tcm_rejected(self, case_study):
+        (v1, *_r) = case_study.schema.structure_versions()
+        with pytest.raises(QueryError):
+            ModeSet([PresentationMode(v1.vsid, v1)])
+
+    def test_describe_version_mode_mentions_span(self, case_study):
+        modes = case_study.schema.presentation_modes()
+        text = modes.mode("V1").describe()
+        assert "V1" in text

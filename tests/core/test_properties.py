@@ -1,0 +1,310 @@
+"""Property-based tests (hypothesis) for the model's core invariants."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DEFAULT_AGGREGATOR,
+    CANONICAL_FACTORS,
+    Interval,
+    LinearMapping,
+    Measure,
+    MemberVersion,
+    NOW,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.core.chronology import critical_instants
+
+
+# -- strategies ---------------------------------------------------------------
+
+instants = st.integers(min_value=0, max_value=200)
+
+
+@st.composite
+def intervals(draw, open_ratio=0.3):
+    start = draw(instants)
+    if draw(st.floats(min_value=0, max_value=1)) < open_ratio:
+        return Interval(start, NOW)
+    length = draw(st.integers(min_value=0, max_value=80))
+    return Interval(start, start + length)
+
+
+confidences = st.sampled_from(CANONICAL_FACTORS)
+
+
+# -- interval algebra ----------------------------------------------------------
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals(), intervals())
+    def test_intersection_associates(self, a, b, c):
+        def chain(x, y, z):
+            xy = x.intersect(y)
+            return None if xy is None else xy.intersect(z)
+
+        assert chain(a, b, c) == chain(b, c, a) == chain(c, a, b)
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_both(self, a, b):
+        common = a.intersect(b)
+        if common is not None:
+            assert a.covers(common) and b.covers(common)
+
+    @given(intervals(), instants)
+    def test_containment_consistent_with_intersection(self, iv, t):
+        point = Interval(t, t)
+        assert iv.contains(t) == (iv.intersect(point) is not None)
+
+    @given(intervals(), intervals())
+    def test_overlap_iff_nonempty_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(intervals(), intervals())
+    def test_union_covers_both_when_defined(self, a, b):
+        u = a.union(b)
+        if u is not None:
+            assert u.covers(a) and u.covers(b)
+
+    @given(st.lists(intervals(), max_size=8), instants)
+    def test_valid_set_constant_between_critical_instants(self, ivs, t):
+        """Between two consecutive critical instants the set of valid
+        intervals cannot change — the keystone of Definition 9."""
+        points = critical_instants(ivs)
+        later = [p for p in points if p > t]
+        next_cut = min(later) if later else None
+        probe = t if next_cut is None else next_cut - 1
+        if probe < t:
+            return
+        valid_at_t = [iv.contains(t) for iv in ivs]
+        valid_at_probe = [iv.contains(probe) for iv in ivs]
+        assert valid_at_t == valid_at_probe
+
+
+# -- confidence algebra ----------------------------------------------------------
+
+
+class TestConfidenceProperties:
+    @given(confidences, confidences)
+    def test_commutative(self, a, b):
+        assert DEFAULT_AGGREGATOR.combine(a, b) is DEFAULT_AGGREGATOR.combine(b, a)
+
+    @given(confidences, confidences, confidences)
+    def test_associative(self, a, b, c):
+        agg = DEFAULT_AGGREGATOR
+        assert agg.combine(agg.combine(a, b), c) is agg.combine(a, agg.combine(b, c))
+
+    @given(st.lists(confidences, min_size=1, max_size=10))
+    def test_fold_order_independent(self, factors):
+        agg = DEFAULT_AGGREGATOR
+        baseline = agg.combine_all(factors)
+        for perm in itertools.islice(itertools.permutations(factors), 12):
+            assert agg.combine_all(perm) is baseline
+
+    @given(st.lists(confidences, min_size=1, max_size=10))
+    def test_fold_result_is_least_reliable_input(self, factors):
+        result = DEFAULT_AGGREGATOR.combine_all(factors)
+        assert result.rank == max(f.rank for f in factors)
+
+
+# -- mapping functions -------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+factors_st = st.floats(min_value=0.01, max_value=10, allow_nan=False)
+
+
+class TestLinearMappingProperties:
+    @given(factors_st, factors_st, finite_floats)
+    def test_composition_equals_sequential_application(self, k1, k2, x):
+        f, g = LinearMapping(k1), LinearMapping(k2)
+        composed = f.compose(g)
+        sequential = g.apply(f.apply(x))
+        assert composed.apply(x) is not None
+        assert abs(composed.apply(x) - sequential) <= 1e-6 * max(1.0, abs(sequential))
+
+    @given(factors_st, finite_floats)
+    def test_identity_composition_neutral(self, k, x):
+        f = LinearMapping(k)
+        ident = LinearMapping(1.0)
+        assert f.compose(ident).apply(x) == f.apply(x)
+        assert ident.compose(f).apply(x) == f.apply(x)
+
+
+# -- structure-version partition over random dimensions ------------------------------
+
+
+@st.composite
+def random_dimension_schema(draw):
+    """A random single-dimension schema with parents and valid times."""
+    n_parents = draw(st.integers(min_value=1, max_value=3))
+    n_children = draw(st.integers(min_value=1, max_value=6))
+    dim = TemporalDimension("d")
+    parent_ids = []
+    for i in range(n_parents):
+        iv = draw(intervals())
+        dim.add_member(MemberVersion(f"p{i}", f"P{i}", iv, level="top"))
+        parent_ids.append((f"p{i}", iv))
+    for j in range(n_children):
+        iv = draw(intervals())
+        dim.add_member(MemberVersion(f"c{j}", f"C{j}", iv, level="bottom"))
+        pid, piv = draw(st.sampled_from(parent_ids))
+        common = iv.intersect(piv)
+        if common is not None:
+            dim.add_relationship(
+                TemporalRelationship(f"c{j}", pid, common), check_acyclic=False
+            )
+    return TemporalMultidimensionalSchema([dim], [Measure("m", SUM)])
+
+
+class TestStructureVersionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_dimension_schema())
+    def test_versions_are_disjoint_and_ordered(self, schema):
+        versions = schema.structure_versions()
+        for a, b in zip(versions, versions[1:]):
+            assert not a.valid_time.overlaps(b.valid_time)
+            assert a.valid_time.start < b.valid_time.start
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dimension_schema())
+    def test_membership_matches_validity(self, schema):
+        dim = schema.dimension("d")
+        for v in schema.structure_versions():
+            for mv in dim.members.values():
+                assert (mv.mvid in v.member_ids("d")) == mv.valid_time.covers(
+                    v.valid_time
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_dimension_schema(), instants)
+    def test_every_instant_with_members_is_covered(self, schema, t):
+        dim = schema.dimension("d")
+        any_valid = any(mv.valid_at(t) for mv in dim.members.values())
+        covered = any(v.contains_instant(t) for v in schema.structure_versions())
+        assert covered == any_valid
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_dimension_schema())
+    def test_restriction_is_time_invariant_within_version(self, schema):
+        """Inside a structure version the snapshot never changes."""
+        for v in schema.structure_versions():
+            dim = v.dimension("d")
+            start = v.valid_time.start
+            end = start if v.valid_time.open_ended else v.valid_time.end
+            probe = min(end, start + 7)
+            snap_a, snap_b = dim.at(start), dim.at(probe)
+            assert set(snap_a.members) == set(snap_b.members)
+            assert set(snap_a.relationships) == set(snap_b.relationships)
+
+
+# -- MultiVersion fact table invariants over the generator ----------------------------
+
+
+class TestWorkloadInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_tcm_slice_is_source_data(self, seed):
+        from repro.workloads.generator import WorkloadConfig, generate_workload
+
+        wl = generate_workload(WorkloadConfig(seed=seed, n_years=3, n_departments=6))
+        mvft = wl.schema.multiversion_facts()
+        rows = mvft.slice("tcm")
+        assert len(rows) == len(wl.schema.facts)
+        assert all(r.confidence("amount").symbol == "sd" for r in rows)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_exact_mapped_modes_preserve_grand_total(self, seed):
+        """With splits whose shares sum to 1, merges with identity forward
+        maps and reclassifications, the grand total is conserved in every
+        mode that has no unmapped facts."""
+        from repro.workloads.generator import WorkloadConfig, generate_workload
+
+        wl = generate_workload(
+            WorkloadConfig(seed=seed, n_years=3, n_departments=6, deletions_per_year=0)
+        )
+        mvft = wl.schema.multiversion_facts()
+        source_total = wl.schema.facts.total("amount")
+        blocked_modes = {u.mode for u in mvft.unmapped}
+        for label in mvft.modes.labels:
+            if label in blocked_modes:
+                continue
+            rows = mvft.slice(label)
+            total = sum(
+                r.value("amount") for r in rows if r.value("amount") is not None
+            )
+            unknown = [r for r in rows if r.value("amount") is None]
+            if unknown:
+                continue  # an unknown back-mapping hides part of the total
+            assert abs(total - source_total) <= 1e-6 * max(1.0, abs(source_total))
+
+
+class TestQueryEngineProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_group_totals_partition_grand_total(self, seed):
+        """With a covering, single-parent hierarchy, the division-level
+        totals partition the grand total in every mode that presents all
+        facts with known values.
+
+        Merges are disabled: merging departments of *different* divisions
+        parks the merged member under both (a multiple hierarchy), whose
+        facts then legitimately contribute to both rollups — the partition
+        property only holds for single-parent hierarchies.
+        """
+        from repro.core import LevelGroup, Query, QueryEngine, TimeGroup, YEAR
+        from repro.workloads.generator import WorkloadConfig, generate_workload
+
+        wl = generate_workload(
+            WorkloadConfig(seed=seed, n_years=3, n_departments=8,
+                           merges_per_year=0, deletions_per_year=0)
+        )
+        mvft = wl.schema.multiversion_facts()
+        engine = QueryEngine(mvft)
+        blocked = {u.mode for u in mvft.unmapped}
+        for label in mvft.modes.labels:
+            if label in blocked:
+                continue
+            rows = mvft.slice(label)
+            if any(r.value("amount") is None for r in rows):
+                continue
+            by_division = engine.execute(
+                Query(mode=label, group_by=(LevelGroup("org", "Division"),))
+            )
+            total = sum(row.value("amount") for row in by_division)
+            grand = sum(r.value("amount") for r in rows)
+            assert abs(total - grand) <= 1e-6 * max(1.0, abs(grand))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_time_and_level_grouping_commute(self, seed):
+        """Grouping by (year, division) then summing divisions equals the
+        year-only grouping — group-by is a partition refinement."""
+        from repro.core import LevelGroup, Query, QueryEngine, TimeGroup, YEAR
+        from repro.workloads.generator import WorkloadConfig, generate_workload
+
+        wl = generate_workload(
+            WorkloadConfig(seed=seed, n_years=3, merges_per_year=0)
+        )
+        engine = QueryEngine(wl.schema.multiversion_facts())
+        fine = engine.execute(
+            Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+        )
+        coarse = engine.execute(Query(group_by=(TimeGroup(YEAR),))).as_dict()
+        per_year: dict = {}
+        for row in fine:
+            year = row.group[0]
+            per_year[year] = per_year.get(year, 0.0) + (row.value("amount") or 0.0)
+        for year, total in per_year.items():
+            expected = coarse[(year,)]["amount"]
+            assert abs(total - expected) <= 1e-6 * max(1.0, abs(expected))

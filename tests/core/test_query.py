@@ -1,0 +1,283 @@
+"""Unit tests for the multiversion query engine."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    QueryError,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.workloads.case_study import ORG
+
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+
+
+class TestValidation:
+    def test_query_needs_group_by(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute(Query(mode="tcm"))
+
+    def test_unknown_mode_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.execute(Q1.with_mode("V99"))
+
+    def test_unknown_level_rejected(self, engine):
+        q = Query(group_by=(LevelGroup(ORG, "Continent"),))
+        with pytest.raises(QueryError):
+            engine.execute(q)
+
+    def test_unknown_dimension_rejected(self, engine):
+        q = Query(group_by=(LevelGroup("geo", "Country"),))
+        with pytest.raises(QueryError):
+            engine.execute(q)
+
+    def test_unknown_measure_rejected(self, engine):
+        q = Query(group_by=(TimeGroup(YEAR),), measures=("zzz",))
+        with pytest.raises(Exception):
+            engine.execute(q)
+
+
+class TestGrouping:
+    def test_time_only_grouping(self, engine):
+        table = engine.execute(Query(group_by=(TimeGroup(YEAR),)))
+        assert table.as_dict()[("2001",)]["amount"] == 250.0
+        assert table.as_dict()[("2003",)]["amount"] == 350.0
+
+    def test_level_only_grouping(self, engine):
+        q = Query(group_by=(LevelGroup(ORG, "Division"),))
+        totals = engine.execute(q).as_dict()
+        assert totals[("Sales",)]["amount"] + totals[("R&D",)]["amount"] == 850.0
+
+    def test_group_order_defines_columns(self, engine):
+        table = engine.execute(Q1)
+        assert table.columns == ["year", "Division"]
+
+    def test_time_range_filters(self, engine):
+        table = engine.execute(Q1)
+        years = {g[0] for g in table.as_dict()}
+        assert years == {"2001", "2002"}
+
+    def test_coordinate_filter(self, engine):
+        q = Query(
+            group_by=(TimeGroup(YEAR),),
+            coordinate_filter=lambda row: row.coordinates[ORG] == "brian",
+        )
+        totals = engine.execute(q).as_dict()
+        assert totals[("2001",)]["amount"] == 100.0
+        assert totals[("2003",)]["amount"] == 40.0
+
+    def test_with_mode_preserves_everything_else(self):
+        q2 = Q1.with_mode("V2")
+        assert q2.mode == "V2"
+        assert q2.group_by == Q1.group_by
+        assert q2.time_range == Q1.time_range
+
+
+class TestModeSemantics:
+    def test_tcm_uses_hierarchy_at_fact_time(self, engine):
+        table = engine.execute(Q1)  # tcm by default
+        d = table.as_dict()
+        # 2002: Smith already under R&D in consistent time.
+        assert d[("2002", "Sales")]["amount"] == 100.0
+        assert d[("2002", "R&D")]["amount"] == 150.0
+
+    def test_version_mode_uses_static_hierarchy(self, engine):
+        d = engine.execute(Q1.with_mode("V1")).as_dict()
+        # 2001 structure: Smith still under Sales.
+        assert d[("2002", "Sales")]["amount"] == 200.0
+        assert d[("2002", "R&D")]["amount"] == 50.0
+
+    def test_execute_all_modes(self, engine, mvft):
+        results = engine.execute_all_modes(Q1)
+        assert set(results) == set(mvft.modes.labels)
+
+    def test_result_confidences_surface_mapping_quality(self, engine):
+        q2 = Query(
+            group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+            time_range=Interval(ym(2002, 1), ym(2003, 12)),
+            mode="V3",
+        )
+        confs = engine.execute(q2).confidences()
+        assert confs[("2002", "Dpt.Bill")]["amount"] == "am"
+        assert confs[("2003", "Dpt.Bill")]["amount"] == "sd"
+
+
+class TestResultTable:
+    def test_rows_sorted_by_group(self, engine):
+        table = engine.execute(Q1)
+        groups = [row.group for row in table]
+        assert groups == sorted(groups, key=lambda g: tuple(str(x) for x in g))
+
+    def test_row_accessors(self, engine):
+        table = engine.execute(Q1)
+        row = table.rows[0]
+        assert row.value("amount") is not None
+        assert row.confidence("amount") is not None
+        with pytest.raises(QueryError):
+            row.value("zzz")
+
+    def test_to_text_contains_headers_and_confidence(self, engine):
+        text = engine.execute(Q1).to_text()
+        assert "year" in text and "Division" in text
+        assert "(sd)" in text
+
+    def test_to_text_without_confidence(self, engine):
+        text = engine.execute(Q1).to_text(show_confidence=False)
+        assert "(sd)" not in text
+
+    def test_len(self, engine):
+        assert len(engine.execute(Q1)) == 4
+
+
+class TestLevelFilters:
+    """Slice/dice via LevelFilter, resolved through the mode's hierarchy."""
+
+    def test_filter_follows_tcm_hierarchy(self, engine):
+        from repro.core import LevelFilter
+
+        q = Query(
+            group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+            level_filters=(LevelFilter(ORG, "Division", ("Sales",)),),
+        )
+        d = engine.execute(q).as_dict()
+        # Smith is under Sales only in 2001 (reclassified in 2002).
+        assert ("2001", "Dpt.Smith") in d
+        assert ("2002", "Dpt.Smith") not in d
+        assert ("2003", "Dpt.Bill") in d
+
+    def test_filter_follows_version_hierarchy(self, engine):
+        from repro.core import LevelFilter
+
+        q = Query(
+            mode="V1",
+            group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+            level_filters=(LevelFilter(ORG, "Division", ("Sales",)),),
+        )
+        d = engine.execute(q).as_dict()
+        # In the 2001 structure Smith is under Sales for every year.
+        assert ("2002", "Dpt.Smith") in d
+        assert ("2001", "Dpt.Brian") not in d
+
+    def test_multi_value_filter(self, engine):
+        from repro.core import LevelFilter
+
+        q = Query(
+            group_by=(TimeGroup(YEAR),),
+            level_filters=(
+                LevelFilter(ORG, "Department", ("Dpt.Bill", "Dpt.Paul")),
+            ),
+        )
+        d = engine.execute(q).as_dict()
+        assert d == {("2003",): {"amount": 200.0}}
+
+    def test_empty_values_rejected(self):
+        from repro.core import LevelFilter
+
+        with pytest.raises(QueryError):
+            LevelFilter(ORG, "Division", ())
+
+    def test_filter_preserved_by_with_mode(self, engine):
+        from repro.core import LevelFilter
+
+        q = Query(
+            group_by=(TimeGroup(YEAR),),
+            level_filters=(LevelFilter(ORG, "Division", ("Sales",)),),
+        )
+        assert q.with_mode("V2").level_filters == q.level_filters
+
+    def test_filter_unknown_dimension_rejected(self, engine):
+        from repro.core import LevelFilter
+
+        q = Query(
+            group_by=(TimeGroup(YEAR),),
+            level_filters=(LevelFilter("geo", "Country", ("France",)),),
+        )
+        with pytest.raises(QueryError):
+            engine.execute(q)
+
+
+class TestAttributeGroup:
+    """Grouping by member-version attributes (Definition 1's [A])."""
+
+    @pytest.fixture()
+    def attr_engine(self):
+        from repro.core import (
+            AttributeGroup,
+            EvolutionManager,
+            Measure,
+            MemberVersion,
+            SUM,
+            TemporalDimension,
+            TemporalMultidimensionalSchema,
+            TemporalRelationship,
+        )
+
+        d = TemporalDimension(ORG)
+        d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+        d.add_member(
+            MemberVersion(
+                "a", "Dept-A", Interval(0),
+                attributes={"size": "small"}, level="Department",
+            )
+        )
+        d.add_member(
+            MemberVersion(
+                "b", "Dept-B", Interval(0),
+                attributes={"size": "large"}, level="Department",
+            )
+        )
+        d.add_relationship(TemporalRelationship("a", "div", Interval(0)))
+        d.add_relationship(TemporalRelationship("b", "div", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+        manager = EvolutionManager(schema)
+        # Dept-A grows: a *transformation* changes its size attribute.
+        manager.transform_member(
+            ORG, "a", "a2", "Dept-A", 10, attributes={"size": "large"}
+        )
+        schema.add_fact({ORG: "a"}, 5, amount=10.0)
+        schema.add_fact({ORG: "b"}, 5, amount=20.0)
+        schema.add_fact({ORG: "a2"}, 15, amount=30.0)
+        schema.add_fact({ORG: "b"}, 15, amount=40.0)
+        return QueryEngine(schema.multiversion_facts())
+
+    def test_tcm_uses_attribute_at_fact_time(self, attr_engine):
+        from repro.core import AttributeGroup
+
+        q = Query(group_by=(AttributeGroup(ORG, "size"),))
+        d = attr_engine.execute(q).as_dict()
+        assert d[("small",)]["amount"] == 10.0          # Dept-A while small
+        assert d[("large",)]["amount"] == 90.0          # B always + A after
+
+    def test_version_mode_uses_versions_attribute(self, attr_engine):
+        from repro.core import AttributeGroup
+
+        q = Query(mode="V1", group_by=(AttributeGroup(ORG, "size"),))
+        d = attr_engine.execute(q).as_dict()
+        # In the old structure Dept-A is its small version: all of A's
+        # history (10 + 30 mapped back) groups under small.
+        assert d[("small",)]["amount"] == 40.0
+        assert d[("large",)]["amount"] == 60.0
+
+    def test_missing_attribute_groups_under_none(self, attr_engine):
+        from repro.core import AttributeGroup
+
+        q = Query(group_by=(AttributeGroup(ORG, "colour"),))
+        d = attr_engine.execute(q).as_dict()
+        assert list(d) == [(None,)]
+
+    def test_attribute_column_header(self, attr_engine):
+        from repro.core import AttributeGroup
+
+        table = attr_engine.execute(
+            Query(group_by=(TimeGroup(YEAR), AttributeGroup(ORG, "size")))
+        )
+        assert table.columns == ["year", "size"]

@@ -1,0 +1,78 @@
+"""Unit tests for temporal relationships (Definition 2)."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    InvalidRelationshipError,
+    MemberVersion,
+    ModelError,
+    NOW,
+    TemporalRelationship,
+    validate_relationship,
+)
+
+
+def member(mvid, start=0, end=NOW):
+    return MemberVersion(mvid, mvid.upper(), Interval(start, end))
+
+
+class TestConstruction:
+    def test_requires_both_endpoints(self):
+        with pytest.raises(InvalidRelationshipError):
+            TemporalRelationship("", "p", Interval(0))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidRelationshipError):
+            TemporalRelationship("a", "a", Interval(0))
+
+    def test_validity_accessors(self):
+        rel = TemporalRelationship("c", "p", Interval(3, 9))
+        assert (rel.start, rel.end) == (3, 9)
+        assert rel.valid_at(3) and rel.valid_at(9)
+        assert not rel.valid_at(10)
+
+    def test_valid_throughout(self):
+        rel = TemporalRelationship("c", "p", Interval(0, 10))
+        assert rel.valid_throughout(Interval(2, 8))
+        assert not rel.valid_throughout(Interval(8, 12))
+
+
+class TestExclusion:
+    def test_excluded_at_truncates(self):
+        rel = TemporalRelationship("c", "p", Interval(0)).excluded_at(5)
+        assert rel.valid_time == Interval(0, 4)
+
+    def test_excluding_before_start_rejected(self):
+        with pytest.raises(ModelError):
+            TemporalRelationship("c", "p", Interval(5)).excluded_at(5)
+
+
+class TestDefinition2Constraint:
+    def test_valid_relationship_passes(self):
+        rel = TemporalRelationship("c", "p", Interval(2, 8))
+        validate_relationship(rel, member("c", 0, 10), member("p", 1, 9))
+
+    def test_relationship_extending_past_child_rejected(self):
+        rel = TemporalRelationship("c", "p", Interval(2, 12))
+        with pytest.raises(InvalidRelationshipError):
+            validate_relationship(rel, member("c", 0, 10), member("p", 0))
+
+    def test_relationship_outside_intersection_rejected(self):
+        rel = TemporalRelationship("c", "p", Interval(0, 3))
+        with pytest.raises(InvalidRelationshipError):
+            validate_relationship(rel, member("c", 0, 10), member("p", 5, 20))
+
+    def test_disjoint_member_validities_rejected(self):
+        rel = TemporalRelationship("c", "p", Interval(0, 1))
+        with pytest.raises(InvalidRelationshipError):
+            validate_relationship(rel, member("c", 0, 2), member("p", 5, 9))
+
+    def test_wrong_endpoints_rejected(self):
+        rel = TemporalRelationship("c", "p", Interval(0, 1))
+        with pytest.raises(InvalidRelationshipError):
+            validate_relationship(rel, member("x", 0, 9), member("p", 0, 9))
+
+    def test_open_ended_relationship_inside_open_members(self):
+        rel = TemporalRelationship("c", "p", Interval(5))
+        validate_relationship(rel, member("c", 0), member("p", 2))

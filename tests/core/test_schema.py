@@ -1,0 +1,156 @@
+"""Unit tests for the TMD schema (Definition 8) and its validation."""
+
+import pytest
+
+from repro.core import (
+    FactValidityError,
+    Interval,
+    MappingError,
+    MappingRelationship,
+    Measure,
+    MemberVersion,
+    ModelError,
+    NOW,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    UnknownDimensionError,
+    UnknownMemberVersionError,
+    identity_maps,
+)
+
+
+def org_dimension():
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    d.add_member(MemberVersion("a", "Dept-A", Interval(0, 9), level="Department"))
+    d.add_member(MemberVersion("b", "Dept-B", Interval(0), level="Department"))
+    d.add_relationship(TemporalRelationship("a", "div", Interval(0, 9)))
+    d.add_relationship(TemporalRelationship("b", "div", Interval(0)))
+    return d
+
+
+def make_schema():
+    return TemporalMultidimensionalSchema([org_dimension()], [Measure("amount", SUM)])
+
+
+class TestConstruction:
+    def test_needs_dimensions(self):
+        with pytest.raises(ModelError):
+            TemporalMultidimensionalSchema([], [Measure("m")])
+
+    def test_duplicate_dimension_ids_rejected(self):
+        with pytest.raises(ModelError):
+            TemporalMultidimensionalSchema(
+                [org_dimension(), org_dimension()], [Measure("m")]
+            )
+
+    def test_dimension_lookup(self):
+        s = make_schema()
+        assert s.dimension("org").did == "org"
+        with pytest.raises(UnknownDimensionError):
+            s.dimension("nope")
+
+    def test_find_member_across_dimensions(self):
+        s = make_schema()
+        dim, mvid = s.find_member("a")
+        assert dim.did == "org" and mvid == "a"
+        with pytest.raises(UnknownMemberVersionError):
+            s.find_member("ghost")
+
+    def test_measure_names(self):
+        assert make_schema().measure_names == ["amount"]
+
+
+class TestFactValidation:
+    def test_valid_fact_accepted(self):
+        s = make_schema()
+        s.add_fact({"org": "a"}, 5, amount=10.0)
+        assert len(s.facts) == 1
+
+    def test_fact_outside_member_validity_rejected(self):
+        s = make_schema()
+        with pytest.raises(FactValidityError):
+            s.add_fact({"org": "a"}, 15, amount=10.0)
+
+    def test_fact_on_non_leaf_rejected(self):
+        s = make_schema()
+        with pytest.raises(FactValidityError):
+            s.add_fact({"org": "div"}, 5, amount=10.0)
+
+    def test_fact_on_unknown_member_rejected(self):
+        s = make_schema()
+        with pytest.raises(UnknownMemberVersionError):
+            s.add_fact({"org": "ghost"}, 5, amount=10.0)
+
+    def test_validate_catches_facts_invalidated_by_later_exclusion(self):
+        """A fact loaded first, then the member's validity shrunk under it."""
+        s = make_schema()
+        dim = s.dimension("org")
+        dim.add_member(
+            MemberVersion("free", "Dept-Free", Interval(0), level="Department")
+        )
+        s.add_fact({"org": "free"}, 20, amount=1.0)
+        dim.replace_member(dim.member("free").excluded_at(10))
+        with pytest.raises(FactValidityError):
+            s.validate()
+
+
+class TestMappingValidation:
+    def test_mapping_between_leaves_accepted(self):
+        s = make_schema()
+        s.add_mapping(
+            MappingRelationship("a", "b", forward=identity_maps(["amount"]))
+        )
+        assert len(s.mappings) == 1
+
+    def test_mapping_with_unknown_endpoint_rejected(self):
+        s = make_schema()
+        with pytest.raises(UnknownMemberVersionError):
+            s.add_mapping(MappingRelationship("a", "ghost"))
+
+    def test_mapping_on_non_leaf_rejected(self):
+        s = make_schema()
+        with pytest.raises(MappingError):
+            s.add_mapping(MappingRelationship("a", "div"))
+
+    def test_mapping_across_dimensions_rejected(self):
+        other = TemporalDimension("geo")
+        other.add_member(MemberVersion("fr", "France", Interval(0)))
+        s = TemporalMultidimensionalSchema(
+            [org_dimension(), other], [Measure("amount")]
+        )
+        with pytest.raises(MappingError):
+            s.add_mapping(MappingRelationship("a", "fr"))
+
+    def test_mapping_unknown_measure_rejected(self):
+        s = make_schema()
+        with pytest.raises(MappingError):
+            s.add_mapping(
+                MappingRelationship("a", "b", forward=identity_maps(["zzz"]))
+            )
+
+
+class TestGlobalInvariants:
+    def test_duplicate_mvid_across_dimensions_detected(self):
+        other = TemporalDimension("geo")
+        other.add_member(MemberVersion("a", "France", Interval(0)))
+        s = TemporalMultidimensionalSchema(
+            [org_dimension(), other], [Measure("amount")]
+        )
+        with pytest.raises(ModelError):
+            s.validate()
+
+    def test_horizon_covers_structure_and_facts(self):
+        s = make_schema()
+        s.add_fact({"org": "b"}, 50, amount=1.0)
+        assert s.horizon() > 50
+        assert s.horizon() > max(s.critical_instants())
+
+    def test_critical_instants_aggregate_dimensions(self):
+        s = make_schema()
+        assert s.critical_instants() == [0, 10]
+
+    def test_case_study_schema_validates(self, case_study):
+        case_study.schema.validate()

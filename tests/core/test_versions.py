@@ -1,0 +1,148 @@
+"""Unit tests for structure-version inference (Definition 9, Example 7)."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    Measure,
+    MemberVersion,
+    ModelError,
+    NOW,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    ym,
+)
+from repro.workloads.case_study import fact_instant
+
+
+def schema_with(*members, rels=()):
+    d = TemporalDimension("org")
+    for m in members:
+        d.add_member(m)
+    for r in rels:
+        d.add_relationship(r)
+    return TemporalMultidimensionalSchema([d], [Measure("amount")])
+
+
+class TestInference:
+    def test_no_members_no_versions(self):
+        s = schema_with()
+        assert s.structure_versions() == []
+
+    def test_single_open_member_yields_one_open_version(self):
+        s = schema_with(MemberVersion("a", "A", Interval(5)))
+        (v,) = s.structure_versions()
+        assert v.valid_time == Interval(5, NOW)
+        assert v.member_ids("org") == {"a"}
+
+    def test_member_replacement_cuts_history(self):
+        s = schema_with(
+            MemberVersion("a1", "A", Interval(0, 9)),
+            MemberVersion("a2", "A", Interval(10)),
+        )
+        v1, v2 = s.structure_versions()
+        assert v1.valid_time == Interval(0, 9)
+        assert v2.valid_time == Interval(10, NOW)
+        assert v1.member_ids("org") == {"a1"}
+        assert v2.member_ids("org") == {"a2"}
+
+    def test_relationship_change_cuts_history_without_member_change(self):
+        """A pure reclassification (conceptual Reclassify) creates a new
+        structure version even though the member set is unchanged."""
+        s = schema_with(
+            MemberVersion("p1", "P1", Interval(0)),
+            MemberVersion("p2", "P2", Interval(0)),
+            MemberVersion("c", "C", Interval(0)),
+            rels=[
+                TemporalRelationship("c", "p1", Interval(0, 9)),
+                TemporalRelationship("c", "p2", Interval(10)),
+            ],
+        )
+        v1, v2 = s.structure_versions()
+        assert v1.valid_time == Interval(0, 9)
+        assert v2.valid_time == Interval(10, NOW)
+        assert v1.dimension("org").at(0).parents("c") == ["p1"]
+        assert v2.dimension("org").at(10).parents("c") == ["p2"]
+
+    def test_gap_between_members_yields_no_empty_version(self):
+        s = schema_with(
+            MemberVersion("a", "A", Interval(0, 4)),
+            MemberVersion("b", "B", Interval(10, 19)),
+        )
+        versions = s.structure_versions()
+        assert [v.valid_time for v in versions] == [Interval(0, 4), Interval(10, 19)]
+
+    def test_closed_history_final_version_closed(self):
+        s = schema_with(MemberVersion("a", "A", Interval(0, 9)))
+        (v,) = s.structure_versions()
+        assert v.valid_time == Interval(0, 9)
+
+    def test_horizon_extends_closed_history(self):
+        s = schema_with(MemberVersion("a", "A", Interval(0, 9)))
+        versions = s.structure_versions(horizon=15)
+        assert [v.valid_time for v in versions] == [Interval(0, 9)]
+
+    def test_vsids_are_chronological(self):
+        s = schema_with(
+            MemberVersion("a1", "A", Interval(0, 9)),
+            MemberVersion("a2", "A", Interval(10)),
+        )
+        assert [v.vsid for v in s.structure_versions()] == ["V1", "V2"]
+
+
+class TestPartitionProperties:
+    def test_versions_partition_history(self):
+        """Consecutive versions tile the covered history without overlap."""
+        s = schema_with(
+            MemberVersion("a", "A", Interval(0, 14)),
+            MemberVersion("b", "B", Interval(5, 9)),
+            MemberVersion("c", "C", Interval(8)),
+        )
+        versions = s.structure_versions()
+        for earlier, later in zip(versions, versions[1:]):
+            assert not earlier.valid_time.overlaps(later.valid_time)
+            assert earlier.valid_time.meets(later.valid_time)
+
+    def test_membership_equals_validity_over_span(self):
+        s = schema_with(
+            MemberVersion("a", "A", Interval(0, 14)),
+            MemberVersion("b", "B", Interval(5, 9)),
+        )
+        for v in s.structure_versions():
+            for mv in s.dimension("org").members.values():
+                expected = mv.valid_time.covers(v.valid_time)
+                assert (mv.mvid in v.member_ids("org")) == expected
+
+
+class TestCaseStudyVersions:
+    def test_three_versions(self, case_study):
+        versions = case_study.schema.structure_versions()
+        assert [v.vsid for v in versions] == ["V1", "V2", "V3"]
+        assert versions[0].valid_time == Interval(ym(2001, 1), ym(2001, 12))
+        assert versions[1].valid_time == Interval(ym(2002, 1), ym(2002, 12))
+        assert versions[2].valid_time == Interval(ym(2003, 1), NOW)
+
+    def test_leaves_per_version(self, case_study):
+        v1, v2, v3 = case_study.schema.structure_versions()
+        assert v1.leaf_ids("org") == {"jones", "smith", "brian"}
+        assert v2.leaf_ids("org") == {"jones", "smith", "brian"}
+        assert v3.leaf_ids("org") == {"bill", "paul", "smith", "brian"}
+
+    def test_smith_parent_differs_between_v1_and_v2(self, case_study):
+        v1, v2, _ = case_study.schema.structure_versions()
+        snap1 = v1.dimension("org").at(fact_instant(2001))
+        snap2 = v2.dimension("org").at(fact_instant(2002))
+        assert snap1.parents("smith") == ["sales"]
+        assert snap2.parents("smith") == ["rd"]
+
+    def test_contains_instant(self, case_study):
+        v1, _, v3 = case_study.schema.structure_versions()
+        assert v1.contains_instant(fact_instant(2001))
+        assert not v1.contains_instant(fact_instant(2002))
+        assert v3.contains_instant(ym(2050, 1))
+
+    def test_unknown_dimension_in_version(self, case_study):
+        (v1, *_rest) = case_study.schema.structure_versions()
+        with pytest.raises(ModelError):
+            v1.dimension("nope")

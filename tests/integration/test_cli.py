@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestDemo:
+    def test_demo_prints_paper_tables(self):
+        status, out = run_cli("demo")
+        assert status == 0
+        assert "Q1 (Tables 4-6)" in out
+        assert "200 (sd)" in out     # Table 5's 2002 Sales
+        assert "Q = 1.000" in out    # tcm quality
+
+
+class TestMvqlCommand:
+    def test_single_statement(self):
+        status, out = run_cli("mvql", "SELECT amount BY year, org.Division")
+        assert status == 0
+        assert "Division" in out and "(sd)" in out
+
+    def test_multiple_statements(self):
+        status, out = run_cli("mvql", "SHOW MODES", "SHOW LEVELS org")
+        assert status == 0
+        assert "tcm" in out and "Department" in out
+
+    def test_error_reported_with_nonzero_status(self):
+        status, out = run_cli("mvql", "SELECT zzz BY year")
+        assert status == 1
+        assert "error:" in out
+
+    def test_stdin_mode(self, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("SHOW MODES\n\n"))
+        status, out = run_cli("mvql")
+        assert status == 0
+        assert "temporally consistent" in out
+
+
+class TestOtherCommands:
+    def test_audit_clean_case_study(self):
+        status, out = run_cli("audit")
+        assert status == 0
+        assert "clean" in out
+
+    def test_graph_prints_figure_2(self):
+        status, out = run_cli("graph")
+        assert status == 0
+        assert "Dpt.Jones [01/2001 ; 12/2002]" in out
+
+    def test_modes_lists_tmp(self):
+        status, out = run_cli("modes")
+        assert status == 0
+        assert out.startswith("tcm:")
+        assert "V3:" in out
+
+
+class TestParser:
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_module_invocation(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "modes"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "tcm:" in proc.stdout

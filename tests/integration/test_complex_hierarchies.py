@@ -1,0 +1,190 @@
+"""The paper's genericity claim (§2.3): by not imposing any explicit
+schema, the model handles *non-onto*, *non-covering* and *multiple*
+hierarchies [Pedersen et al.].  These integration tests exercise each
+shape through the full pipeline — schema, structure versions, MultiVersion
+inference, query engine.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Measure,
+    MemberVersion,
+    NOW,
+    Query,
+    QueryEngine,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+
+T = ym(2001, 6)
+
+
+def schema_for(dimension: TemporalDimension) -> TemporalMultidimensionalSchema:
+    return TemporalMultidimensionalSchema([dimension], [Measure("amount", SUM)])
+
+
+class TestNonOntoHierarchy:
+    """Non-onto: a parent level member with no children — it can still
+    carry facts directly (it is a leaf member version)."""
+
+    def build(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("div1", "Div-1", Interval(0), level="Division"))
+        d.add_member(MemberVersion("div2", "Div-2", Interval(0), level="Division"))
+        d.add_member(MemberVersion("a", "Dept-A", Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship("a", "div1", Interval(0)))
+        schema = schema_for(d)
+        schema.add_fact({"org": "a"}, T, amount=10.0)
+        schema.add_fact({"org": "div2"}, T, amount=5.0)  # childless division
+        return schema
+
+    def test_childless_division_is_a_valid_fact_target(self):
+        schema = self.build()
+        schema.validate()
+
+    def test_division_grouping_includes_direct_facts(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(LevelGroup("org", "Division"),))
+        ).as_dict()
+        assert result[("Div-1",)]["amount"] == 10.0
+        assert result[("Div-2",)]["amount"] == 5.0
+
+    def test_structure_version_keeps_childless_leaf(self):
+        schema = self.build()
+        (v1,) = schema.structure_versions()
+        assert "div2" in v1.leaf_ids("org")
+
+
+class TestNonCoveringHierarchy:
+    """Non-covering: a leaf attached directly to the top, skipping the
+    middle level.  Grouping at the skipped level puts it under ``(none)``;
+    grouping at the top level still counts it."""
+
+    def build(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("all", "All", Interval(0), level="Total"))
+        d.add_member(MemberVersion("g", "Group-G", Interval(0), level="Group"))
+        d.add_member(MemberVersion("x", "Leaf-X", Interval(0), level="Leaf"))
+        d.add_member(MemberVersion("y", "Leaf-Y", Interval(0), level="Leaf"))
+        d.add_relationship(TemporalRelationship("g", "all", Interval(0)))
+        d.add_relationship(TemporalRelationship("x", "g", Interval(0)))
+        d.add_relationship(TemporalRelationship("y", "all", Interval(0)))  # skips Group
+        schema = schema_for(d)
+        schema.add_fact({"org": "x"}, T, amount=7.0)
+        schema.add_fact({"org": "y"}, T, amount=3.0)
+        return schema
+
+    def test_top_level_total_covers_everything(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(LevelGroup("org", "Total"),))
+        ).as_dict()
+        assert result[("All",)]["amount"] == 10.0
+
+    def test_skipped_level_groups_under_none(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(LevelGroup("org", "Group"),))
+        ).as_dict()
+        assert result[("Group-G",)]["amount"] == 7.0
+        assert result[(None,)]["amount"] == 3.0
+
+
+class TestMultipleHierarchies:
+    """Multiple hierarchies: one leaf rolls up into two parents (e.g. a
+    department reporting to both a geographic and a functional unit).
+    Facts contribute to both rollup paths."""
+
+    def build(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("geo", "Geo-North", Interval(0), level="Unit"))
+        d.add_member(MemberVersion("fun", "Fn-Research", Interval(0), level="Unit"))
+        d.add_member(MemberVersion("lab", "Lab", Interval(0), level="Team"))
+        d.add_member(MemberVersion("shop", "Shop", Interval(0), level="Team"))
+        d.add_relationship(TemporalRelationship("lab", "geo", Interval(0)))
+        d.add_relationship(TemporalRelationship("lab", "fun", Interval(0)))
+        d.add_relationship(TemporalRelationship("shop", "geo", Interval(0)))
+        schema = schema_for(d)
+        schema.add_fact({"org": "lab"}, T, amount=12.0)
+        schema.add_fact({"org": "shop"}, T, amount=8.0)
+        return schema
+
+    def test_snapshot_reports_both_parents(self):
+        schema = self.build()
+        snap = schema.dimension("org").at(T)
+        assert snap.parents("lab") == ["fun", "geo"]
+
+    def test_fact_contributes_to_both_rollups(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(LevelGroup("org", "Unit"),))
+        ).as_dict()
+        assert result[("Geo-North",)]["amount"] == 20.0
+        assert result[("Fn-Research",)]["amount"] == 12.0
+
+    def test_multiple_hierarchy_survives_structure_versioning(self):
+        schema = self.build()
+        (v1,) = schema.structure_versions()
+        snap = v1.dimension("org").at(v1.valid_time.start)
+        assert snap.parents("lab") == ["fun", "geo"]
+
+
+class TestEvolvingComplexHierarchy:
+    """A non-covering hierarchy that *becomes* covering: the direct leaf
+    is reclassified under a group mid-history.  Levels are inferred per
+    instant (Definition 4), so the change is just another evolution."""
+
+    def build(self):
+        from repro.core import EvolutionManager
+
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("all", "All", Interval(0), level="Total"))
+        d.add_member(MemberVersion("g", "Group-G", Interval(0), level="Group"))
+        d.add_member(MemberVersion("y", "Leaf-Y", Interval(0), level="Leaf"))
+        d.add_relationship(TemporalRelationship("g", "all", Interval(0)))
+        d.add_relationship(TemporalRelationship("y", "all", Interval(0)))
+        schema = schema_for(d)
+        manager = EvolutionManager(schema)
+        manager.reclassify_member(
+            "org", "y", 100, old_parents=["all"], new_parents=["g"]
+        )
+        schema.add_fact({"org": "y"}, 50, amount=3.0)
+        schema.add_fact({"org": "y"}, 150, amount=4.0)
+        return schema
+
+    def test_two_structure_versions(self):
+        schema = self.build()
+        assert len(schema.structure_versions()) == 2
+
+    def test_tcm_grouping_follows_the_change(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Group")))
+        ).as_dict()
+        # t=50 (year 4): not covered by Group -> (none); t=150 (year 12): G.
+        assert result[("4", None)]["amount"] == 3.0
+        assert result[("12", "Group-G")]["amount"] == 4.0
+
+    def test_version_modes_disagree_on_coverage(self):
+        schema = self.build()
+        engine = QueryEngine(schema.multiversion_facts())
+        v1, v2 = [v.vsid for v in schema.structure_versions()]
+        q = Query(group_by=(LevelGroup("org", "Group"),))
+        in_v1 = engine.execute(q.with_mode(v1)).as_dict()
+        in_v2 = engine.execute(q.with_mode(v2)).as_dict()
+        assert in_v1[(None,)]["amount"] == 7.0       # never under a group
+        assert in_v2[("Group-G",)]["amount"] == 7.0  # always under G

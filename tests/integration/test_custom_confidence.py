@@ -1,0 +1,141 @@
+"""A designer-defined confidence range, end to end (Definition 6).
+
+"This aggregate function can either be defined by a function, in case of
+quantitative Confidence Factors, or by a truth table, if Confidence
+Factors are given in a qualitative way" — and Example 5's range is just
+one possibility.  This test extends the range with a fifth factor ``es``
+(*estimated source*: source data that was itself an estimate), wires a
+custom truth table through the schema, and checks it flows through
+mapping composition, MultiVersion inference, queries and the quality
+factor.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    AM,
+    CANONICAL_FACTORS,
+    ConfidenceFactor,
+    EM,
+    EvolutionManager,
+    Interval,
+    LevelGroup,
+    Measure,
+    MemberVersion,
+    Query,
+    QueryEngine,
+    SD,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    TimeGroup,
+    TruthTableAggregator,
+    UK,
+    YEAR,
+    quality_factor,
+)
+
+ES = ConfidenceFactor("es", rank=2, code=5, description="estimated source data")
+# Rank 2 puts es on par with am: an estimate is an estimate wherever it
+# was made.  The truth table treats es ⊗ am = am (approximation wins the
+# tie for display purposes) and uk still absorbs.
+
+FACTORS = (SD, EM, ES, AM, UK)
+
+
+def build_truth_table():
+    order = {0: SD, 1: EM, 2: AM, 3: UK}
+    table = {}
+    for a, b in itertools.product(FACTORS, repeat=2):
+        worst_rank = max(a.rank, b.rank)
+        if worst_rank == 2:
+            # the es/am tie: es survives only when both sides are es
+            out = ES if (a is ES and b is ES) else AM
+            if {a, b} <= {ES, SD, EM} and (a is ES or b is ES):
+                out = ES
+        else:
+            out = order[worst_rank]
+        table[(a.symbol, b.symbol)] = out
+    return table
+
+
+@pytest.fixture(scope="module")
+def custom_engine():
+    aggregator = TruthTableAggregator(build_truth_table())
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    for mvid in ("a", "b"):
+        d.add_member(
+            MemberVersion(mvid, mvid.upper(), Interval(0), level="Department")
+        )
+        d.add_relationship(TemporalRelationship(mvid, "div", Interval(0)))
+    schema = TemporalMultidimensionalSchema(
+        [d], [Measure("amount", SUM)], cf_aggregator=aggregator
+    )
+    manager = EvolutionManager(schema)
+    # 'a' is merged into a successor with an *estimated-source* back share.
+    manager.merge_members(
+        "org", ["a", "b"], "ab", "AB", 10,
+        reverse_shares={"a": 0.5, "b": 0.5},
+        confidence=ES,
+    )
+    schema.add_fact({"org": "a"}, 5, amount=10.0)
+    schema.add_fact({"org": "b"}, 5, amount=20.0)
+    schema.add_fact({"org": "ab"}, 15, amount=50.0)
+    return QueryEngine(schema.multiversion_facts())
+
+
+class TestCustomRangeFlows:
+    def test_custom_factor_survives_inference(self, custom_engine):
+        """The back-mapped cells carry es, not am."""
+        v1 = custom_engine._mvft.modes.version_modes[0].label
+        result = custom_engine.execute(
+            Query(
+                mode=v1,
+                group_by=(TimeGroup(YEAR), LevelGroup("org", "Department")),
+            )
+        )
+        confs = result.confidences()
+        year = str(15 // 12)
+        assert confs[(year, "A")]["amount"] == "es"
+        assert confs[(year, "B")]["amount"] == "es"
+
+    def test_custom_truth_table_drives_aggregation(self, custom_engine):
+        """Division rollup mixes sd (old facts) with es (mapped): es."""
+        v1 = custom_engine._mvft.modes.version_modes[0].label
+        result = custom_engine.execute(
+            Query(mode=v1, group_by=(LevelGroup("org", "Division"),))
+        )
+        assert result.confidences()[("Division",)]["amount"] == "es"
+
+    def test_quality_with_custom_weights(self, custom_engine):
+        v1 = custom_engine._mvft.modes.version_modes[0].label
+        result = custom_engine.execute(
+            Query(
+                mode=v1,
+                group_by=(TimeGroup(YEAR), LevelGroup("org", "Department")),
+            )
+        )
+        weights = {"sd": 10, "em": 8, "es": 6, "am": 5, "uk": 0}
+        q = quality_factor(result, weights)
+        assert 0.0 < q < 1.0
+
+    def test_missing_custom_weight_rejected(self, custom_engine):
+        from repro.core import QualityError
+
+        v1 = custom_engine._mvft.modes.version_modes[0].label
+        result = custom_engine.execute(
+            Query(mode=v1, group_by=(LevelGroup("org", "Department"),))
+        )
+        with pytest.raises(QualityError):
+            quality_factor(result, {f.symbol: 5 for f in CANONICAL_FACTORS})
+
+    def test_tie_semantics_of_the_custom_table(self):
+        aggregator = TruthTableAggregator(build_truth_table())
+        assert aggregator.combine(ES, ES) is ES
+        assert aggregator.combine(ES, SD) is ES
+        assert aggregator.combine(ES, AM) is AM
+        assert aggregator.combine(ES, UK) is UK

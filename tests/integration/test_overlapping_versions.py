@@ -1,0 +1,107 @@
+"""Overlapping member versions (Definition 1's note).
+
+"A Member may have several valid Member Versions for a given time (when
+valid times overlap).  Therefore, there is no need of accurate history
+partitions (as was needed in Type Two Slowly Changing Dimensions of
+Kimball)."
+
+These tests model a department that runs under two concurrent versions
+for a transition quarter (the old team winding down while the new one
+ramps up) and verify the whole pipeline copes: snapshots, structure
+versions, fact recording on both versions, queries and quality.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Measure,
+    MemberVersion,
+    NOW,
+    Query,
+    QueryEngine,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+
+
+@pytest.fixture(scope="module")
+def overlap_schema():
+    org = TemporalDimension("org")
+    start = ym(2001, 1)
+    org.add_member(MemberVersion("div", "Division", Interval(start, NOW), level="Division"))
+    # Old version runs through 06/2002; new version starts 04/2002:
+    # three months of overlap.
+    org.add_member(
+        MemberVersion(
+            "ops_v1", "Dpt.Ops", Interval(start, ym(2002, 6)), level="Department"
+        )
+    )
+    org.add_member(
+        MemberVersion("ops_v2", "Dpt.Ops", Interval(ym(2002, 4), NOW), level="Department")
+    )
+    org.add_relationship(
+        TemporalRelationship("ops_v1", "div", Interval(start, ym(2002, 6)))
+    )
+    org.add_relationship(
+        TemporalRelationship("ops_v2", "div", Interval(ym(2002, 4), NOW))
+    )
+    schema = TemporalMultidimensionalSchema([org], [Measure("amount", SUM)])
+    schema.add_fact({"org": "ops_v1"}, ym(2002, 5), amount=30.0)  # winding down
+    schema.add_fact({"org": "ops_v2"}, ym(2002, 5), amount=70.0)  # ramping up
+    schema.add_fact({"org": "ops_v2"}, ym(2002, 9), amount=100.0)
+    schema.validate()
+    return schema
+
+
+class TestOverlapStructure:
+    def test_both_versions_valid_in_the_overlap(self, overlap_schema):
+        snap = overlap_schema.dimension("org").at(ym(2002, 5))
+        assert "ops_v1" in snap and "ops_v2" in snap
+
+    def test_structure_versions_cut_at_both_boundaries(self, overlap_schema):
+        spans = [v.valid_time for v in overlap_schema.structure_versions()]
+        assert Interval(ym(2002, 4), ym(2002, 6)) in spans  # the overlap window
+
+    def test_facts_recordable_on_both_concurrent_versions(self, overlap_schema):
+        rows = overlap_schema.facts.rows_at(ym(2002, 5))
+        assert {r.coordinate("org") for r in rows} == {"ops_v1", "ops_v2"}
+
+
+class TestOverlapQueries:
+    def test_tcm_groups_by_member_name_merging_versions(self, overlap_schema):
+        engine = QueryEngine(overlap_schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Department")))
+        ).as_dict()
+        # Both versions are named Dpt.Ops: one row, values folded.
+        assert result[("2002", "Dpt.Ops")]["amount"] == 200.0
+
+    def test_division_rollup_includes_both(self, overlap_schema):
+        engine = QueryEngine(overlap_schema.multiversion_facts())
+        result = engine.execute(
+            Query(group_by=(LevelGroup("org", "Division"),))
+        ).as_dict()
+        assert result[("Division",)]["amount"] == 200.0
+
+    def test_overlap_mode_presents_both_versions_as_source(self, overlap_schema):
+        mvft = overlap_schema.multiversion_facts()
+        overlap_mode = next(
+            v.vsid
+            for v in overlap_schema.structure_versions()
+            if v.valid_time == Interval(ym(2002, 4), ym(2002, 6))
+        )
+        engine = QueryEngine(mvft)
+        confs = engine.execute(
+            Query(
+                mode=overlap_mode,
+                group_by=(TimeGroup(YEAR), LevelGroup("org", "Department")),
+            )
+        ).confidences()
+        assert confs[("2002", "Dpt.Ops")]["amount"] == "sd"

@@ -1,0 +1,222 @@
+"""Integration tests: every table of the paper, reproduced exactly.
+
+Each test regenerates one table of the paper from the implemented system
+and compares it value for value.  These are the ground truth behind the
+benchmark harness in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    NOW,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.workloads.case_study import (
+    ORG,
+    fact_instant,
+    fact_snapshot_table,
+    organization_table,
+)
+
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+Q2 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+    time_range=Interval(ym(2002, 1), ym(2003, 12)),
+)
+
+
+class TestDimensionTables:
+    def test_table_1_organization_2001(self, case_study):
+        assert organization_table(case_study, 2001) == {
+            ("Sales", "Dpt.Jones"),
+            ("Sales", "Dpt.Smith"),
+            ("R&D", "Dpt.Brian"),
+        }
+
+    def test_table_2_organization_2002(self, case_study):
+        assert organization_table(case_study, 2002) == {
+            ("Sales", "Dpt.Jones"),
+            ("R&D", "Dpt.Smith"),
+            ("R&D", "Dpt.Brian"),
+        }
+
+    def test_table_7_organization_2003(self, case_study):
+        assert organization_table(case_study, 2003) == {
+            ("Sales", "Dpt.Bill"),
+            ("Sales", "Dpt.Paul"),
+            ("R&D", "Dpt.Smith"),
+            ("R&D", "Dpt.Brian"),
+        }
+
+
+class TestTable3FactSnapshot:
+    EXPECTED = [
+        (2001, "Sales", "Dpt.Jones", 100.0),
+        (2001, "Sales", "Dpt.Smith", 50.0),
+        (2001, "R&D", "Dpt.Brian", 100.0),
+        (2002, "Sales", "Dpt.Jones", 100.0),
+        (2002, "R&D", "Dpt.Smith", 100.0),
+        (2002, "R&D", "Dpt.Brian", 50.0),
+        (2003, "Sales", "Dpt.Bill", 150.0),
+        (2003, "Sales", "Dpt.Paul", 50.0),
+        (2003, "R&D", "Dpt.Smith", 110.0),
+        (2003, "R&D", "Dpt.Brian", 40.0),
+    ]
+
+    def test_table_3(self, case_study):
+        assert fact_snapshot_table(case_study) == self.EXPECTED
+
+
+class TestQ1ResultTables:
+    def test_table_4_consistent_time(self, engine):
+        d = engine.execute(Q1.with_mode("tcm")).as_dict()
+        assert d == {
+            ("2001", "Sales"): {"amount": 150.0},
+            ("2001", "R&D"): {"amount": 100.0},
+            ("2002", "Sales"): {"amount": 100.0},
+            ("2002", "R&D"): {"amount": 150.0},
+        }
+
+    def test_table_5_mapped_on_2001_organization(self, engine):
+        d = engine.execute(Q1.with_mode("V1")).as_dict()
+        assert d == {
+            ("2001", "Sales"): {"amount": 150.0},
+            ("2001", "R&D"): {"amount": 100.0},
+            ("2002", "Sales"): {"amount": 200.0},
+            ("2002", "R&D"): {"amount": 50.0},
+        }
+
+    def test_table_6_mapped_on_2002_organization(self, engine):
+        d = engine.execute(Q1.with_mode("V2")).as_dict()
+        assert d == {
+            ("2001", "Sales"): {"amount": 100.0},
+            ("2001", "R&D"): {"amount": 150.0},
+            ("2002", "Sales"): {"amount": 100.0},
+            ("2002", "R&D"): {"amount": 150.0},
+        }
+
+    def test_q1_interpretations_disagree_as_the_paper_warns(self, engine):
+        """§2.1: 'Amounts in the Sales Division seem to decrease, increase
+        or be the same depending on the different interpretations.'"""
+        tcm = engine.execute(Q1.with_mode("tcm")).as_dict()
+        v1 = engine.execute(Q1.with_mode("V1")).as_dict()
+        v2 = engine.execute(Q1.with_mode("V2")).as_dict()
+
+        def trend(d):
+            before = d[("2001", "Sales")]["amount"]
+            after = d[("2002", "Sales")]["amount"]
+            return (after > before) - (after < before)
+
+        assert trend(tcm) == -1  # decreases 150 -> 100
+        assert trend(v1) == 1    # increases 150 -> 200
+        assert trend(v2) == 0    # stable 100 -> 100
+
+
+class TestQ2ResultTables:
+    def test_table_8_consistent_time(self, engine):
+        d = engine.execute(Q2.with_mode("tcm")).as_dict()
+        assert d == {
+            ("2002", "Dpt.Jones"): {"amount": 100.0},
+            ("2002", "Dpt.Smith"): {"amount": 100.0},
+            ("2002", "Dpt.Brian"): {"amount": 50.0},
+            ("2003", "Dpt.Bill"): {"amount": 150.0},
+            ("2003", "Dpt.Paul"): {"amount": 50.0},
+            ("2003", "Dpt.Smith"): {"amount": 110.0},
+            ("2003", "Dpt.Brian"): {"amount": 40.0},
+        }
+
+    def test_table_9_mapped_on_2002_organization(self, engine):
+        d = engine.execute(Q2.with_mode("V2")).as_dict()
+        assert d == {
+            ("2002", "Dpt.Jones"): {"amount": 100.0},
+            ("2002", "Dpt.Smith"): {"amount": 100.0},
+            ("2002", "Dpt.Brian"): {"amount": 50.0},
+            ("2003", "Dpt.Jones"): {"amount": 200.0},
+            ("2003", "Dpt.Smith"): {"amount": 110.0},
+            ("2003", "Dpt.Brian"): {"amount": 40.0},
+        }
+
+    def test_table_9_confidences(self, engine):
+        confs = engine.execute(Q2.with_mode("V2")).confidences()
+        assert confs[("2003", "Dpt.Jones")]["amount"] == "em"
+        assert confs[("2002", "Dpt.Jones")]["amount"] == "sd"
+
+    def test_table_10_mapped_on_2003_organization(self, engine):
+        d = engine.execute(Q2.with_mode("V3")).as_dict()
+        assert d == {
+            ("2002", "Dpt.Bill"): {"amount": 40.0},
+            ("2002", "Dpt.Paul"): {"amount": 60.0},
+            ("2002", "Dpt.Smith"): {"amount": 100.0},
+            ("2002", "Dpt.Brian"): {"amount": 50.0},
+            ("2003", "Dpt.Bill"): {"amount": 150.0},
+            ("2003", "Dpt.Paul"): {"amount": 50.0},
+            ("2003", "Dpt.Smith"): {"amount": 110.0},
+            ("2003", "Dpt.Brian"): {"amount": 40.0},
+        }
+
+    def test_table_10_confidences(self, engine):
+        """The 40/60 estimates are approximated (am); 2003 rows are sd."""
+        confs = engine.execute(Q2.with_mode("V3")).confidences()
+        assert confs[("2002", "Dpt.Bill")]["amount"] == "am"
+        assert confs[("2002", "Dpt.Paul")]["amount"] == "am"
+        assert confs[("2003", "Dpt.Bill")]["amount"] == "sd"
+
+    def test_older_version_less_detailed_but_truthful(self, engine):
+        """§2.1's observation: the 2002 presentation is less detailed (one
+        Jones row instead of Bill+Paul) but exact; the 2003 presentation is
+        more detailed but approximated."""
+        v2 = engine.execute(Q2.with_mode("V2"))
+        v3 = engine.execute(Q2.with_mode("V3"))
+        assert len(v2) < len(v3)
+        v2_confs = {c for row in v2.confidences().values() for c in row.values()}
+        v3_confs = {c for row in v3.confidences().values() for c in row.values()}
+        assert "am" not in v2_confs
+        assert "am" in v3_confs
+
+
+class TestExample1MemberVersions:
+    def test_jones_paul_bill_versions(self, case_study):
+        org = case_study.org
+        jones = org.member("jones")
+        assert jones.valid_time == Interval(ym(2001, 1), ym(2002, 12))
+        for mvid in ("bill", "paul"):
+            assert org.member(mvid).valid_time == Interval(ym(2003, 1), NOW)
+
+
+class TestExample6Mappings:
+    def test_split_mapping_functions(self, case_study):
+        rels = {r.target: r for r in case_study.schema.mappings}
+        bill = rels["bill"]
+        assert bill.source == "jones"
+        fwd = bill.measure_map("amount", direction="forward")
+        rev = bill.measure_map("amount", direction="reverse")
+        assert fwd.apply(100.0) == pytest.approx(40.0)
+        assert fwd.confidence.symbol == "am"
+        assert rev.apply(150.0) == 150.0
+        assert rev.confidence.symbol == "em"
+
+
+class TestTotalsPreservation:
+    def test_exact_modes_preserve_yearly_totals(self, engine, case_study):
+        """Identity/split-share mappings conserve the yearly grand total in
+        every mode (0.4 + 0.6 = 1), a sanity invariant of the case study."""
+        totals_by_mode = {}
+        for label in ("tcm", "V1", "V2", "V3"):
+            q = Query(group_by=(TimeGroup(YEAR),), mode=label)
+            totals_by_mode[label] = engine.execute(q).as_dict()
+        for year in ("2001", "2002", "2003"):
+            values = {
+                label: totals_by_mode[label][(year,)]["amount"]
+                for label in totals_by_mode
+            }
+            assert len({round(v, 6) for v in values.values()}) == 1, (year, values)

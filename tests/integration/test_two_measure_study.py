@@ -1,0 +1,103 @@
+"""Per-measure mapping functions on the §5.2 two-measure case study.
+
+Table 12's split attributes 60 % of *turnover* but 80 % of *profit* to
+Dpt.Paul — one mapping relationship, different functions per measure.
+These tests drive queries over both measures at once and check each
+follows its own factor.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.workloads.case_study import ORG
+
+
+@pytest.fixture(scope="module")
+def tm_engine(two_measure_study):
+    return QueryEngine(two_measure_study.schema.multiversion_facts())
+
+
+Q2 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+    time_range=Interval(ym(2002, 1), ym(2002, 12)),
+    mode="V3",
+)
+
+
+class TestPerMeasureSplitFactors:
+    def test_turnover_splits_60_40(self, tm_engine):
+        d = tm_engine.execute(Q2).as_dict()
+        assert d[("2002", "Dpt.Bill")]["turnover"] == pytest.approx(40.0)
+        assert d[("2002", "Dpt.Paul")]["turnover"] == pytest.approx(60.0)
+
+    def test_profit_splits_80_20(self, tm_engine):
+        """Jones's 2002 profit is 25: Bill gets 5 (20 %), Paul 20 (80 %)."""
+        d = tm_engine.execute(Q2).as_dict()
+        assert d[("2002", "Dpt.Bill")]["profit"] == pytest.approx(5.0)
+        assert d[("2002", "Dpt.Paul")]["profit"] == pytest.approx(20.0)
+
+    def test_both_measures_tagged_am(self, tm_engine):
+        confs = tm_engine.execute(Q2).confidences()
+        for dept in ("Dpt.Bill", "Dpt.Paul"):
+            assert confs[("2002", dept)]["turnover"] == "am"
+            assert confs[("2002", dept)]["profit"] == "am"
+
+    def test_measures_conserved_separately(self, tm_engine):
+        """0.6+0.4 and 0.8+0.2 both sum to 1: each measure's 2002 total
+        survives the mapping unchanged."""
+        totals = tm_engine.execute(
+            Query(
+                group_by=(TimeGroup(YEAR),),
+                time_range=Interval(ym(2002, 1), ym(2002, 12)),
+                mode="V3",
+            )
+        ).as_dict()
+        assert totals[("2002",)]["turnover"] == pytest.approx(250.0)
+        assert totals[("2002",)]["profit"] == pytest.approx(60.0)
+
+
+class TestReverseDirectionPerMeasure:
+    def test_merge_back_is_identity_for_both_measures(self, tm_engine):
+        """Bill's and Paul's 2003 figures report exactly into Jones."""
+        d = tm_engine.execute(
+            Query(
+                group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+                time_range=Interval(ym(2003, 1), ym(2003, 12)),
+                mode="V2",
+            )
+        ).as_dict()
+        assert d[("2003", "Dpt.Jones")]["turnover"] == pytest.approx(200.0)
+        assert d[("2003", "Dpt.Jones")]["profit"] == pytest.approx(40.0)
+
+    def test_reverse_confidence_is_em(self, tm_engine):
+        confs = tm_engine.execute(
+            Query(
+                group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+                time_range=Interval(ym(2003, 1), ym(2003, 12)),
+                mode="V2",
+            )
+        ).confidences()
+        assert confs[("2003", "Dpt.Jones")]["turnover"] == "em"
+        assert confs[("2003", "Dpt.Jones")]["profit"] == "em"
+
+
+class TestSelectiveMeasureQueries:
+    def test_single_measure_projection(self, tm_engine):
+        table = tm_engine.execute(
+            Query(
+                group_by=(TimeGroup(YEAR),),
+                measures=("profit",),
+            )
+        )
+        assert table.measures == ["profit"]
+        row = table.rows[0]
+        with pytest.raises(Exception):
+            row.value("turnover")

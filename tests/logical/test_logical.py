@@ -1,0 +1,286 @@
+"""Tests for the §4 logical-level adaptation."""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    ModelError,
+    NOW,
+    OperatorError,
+    SchemaEditor,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    ym,
+)
+from repro.logical import (
+    build_tmp_dimension,
+    cf_column,
+    decode_confidence,
+    encode_confidence,
+    logical_reclassify,
+    lower_parent_child,
+    lower_snowflake,
+    lower_star,
+)
+from repro.logical.parent_child import parent_child_table_name
+from repro.logical.snowflake import snowflake_edge_table, snowflake_level_table
+from repro.logical.star import level_column, star_table_name
+from repro.core.confidence import AM, EM, SD, UK
+from repro.storage import Database
+from repro.workloads.case_study import ORG, build_case_study
+
+
+class TestTmpDimension:
+    def test_one_row_per_mode(self, case_study):
+        db = Database()
+        modes = case_study.schema.presentation_modes()
+        table = build_tmp_dimension(db, modes)
+        assert len(table) == 4
+        assert table.get(("tcm",)) is not None
+
+    def test_tcm_row_has_no_bounds(self, case_study):
+        db = Database()
+        table = build_tmp_dimension(db, case_study.schema.presentation_modes())
+        row = table.get(("tcm",))
+        assert row["valid_from"] is None and row["valid_to"] is None
+
+    def test_version_rows_carry_span_labels(self, case_study):
+        db = Database()
+        table = build_tmp_dimension(db, case_study.schema.presentation_modes())
+        v1 = table.get(("V1",))
+        assert v1["valid_from"] == ym(2001, 1)
+        assert v1["valid_from_label"] == "01/2001"
+        assert v1["valid_to_label"] == "12/2001"
+        v3 = table.get(("V3",))
+        assert v3["valid_to"] is None  # open-ended live version
+        assert v3["valid_to_label"] == "Now"
+
+
+class TestCfMeasures:
+    def test_column_naming(self):
+        assert cf_column("amount") == "cf_amount"
+
+    def test_roundtrip_codes(self):
+        for factor in (SD, EM, AM, UK):
+            assert decode_confidence(encode_confidence(factor)) is factor
+
+
+class TestStarLowering:
+    def test_rows_per_version_leaf(self, case_study):
+        db = Database()
+        versions = case_study.schema.structure_versions()
+        table = lower_star(db, case_study.schema, versions, ORG)
+        assert table.name == star_table_name(ORG)
+        # V1: 3 leaves, V2: 3, V3: 4.
+        assert len(table) == 10
+
+    def test_level_columns_denormalized(self, case_study):
+        db = Database()
+        versions = case_study.schema.structure_versions()
+        table = lower_star(db, case_study.schema, versions, ORG)
+        row_v1 = table.get(("V1", "smith"))
+        row_v2 = table.get(("V2", "smith"))
+        assert row_v1[level_column("Division")] == "Sales"
+        assert row_v2[level_column("Division")] == "R&D"
+        assert row_v1[level_column("Department")] == "Dpt.Smith"
+
+    def test_version_bounds_recorded(self, case_study):
+        db = Database()
+        versions = case_study.schema.structure_versions()
+        table = lower_star(db, case_study.schema, versions, ORG)
+        row = table.get(("V3", "bill"))
+        assert row["valid_from"] == ym(2003, 1)
+        assert row["valid_to"] is None
+
+    def test_multi_parent_ancestors_joined(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("p1", "P1", Interval(0), level="Top"))
+        d.add_member(MemberVersion("p2", "P2", Interval(0), level="Top"))
+        d.add_member(MemberVersion("c", "C", Interval(0), level="Bottom"))
+        d.add_relationship(TemporalRelationship("c", "p1", Interval(0)))
+        d.add_relationship(TemporalRelationship("c", "p2", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        db = Database()
+        table = lower_star(db, schema, schema.structure_versions(), "org")
+        row = table.get(("V1", "c"))
+        assert row[level_column("Top")] == "P1 | P2"
+
+
+class TestSnowflakeLowering:
+    def test_level_tables_and_edges(self, case_study):
+        db = Database()
+        versions = case_study.schema.structure_versions()
+        tables = lower_snowflake(db, case_study.schema, versions, ORG)
+        assert snowflake_level_table(ORG, "Division") in tables
+        assert snowflake_level_table(ORG, "Department") in tables
+        edges = tables[snowflake_edge_table(ORG)]
+        assert {"vsid": "V1", "child": "smith", "parent": "sales"} in list(edges.rows())
+        assert {"vsid": "V2", "child": "smith", "parent": "rd"} in list(edges.rows())
+
+    def test_multi_hierarchy_supported(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("p1", "P1", Interval(0), level="Top"))
+        d.add_member(MemberVersion("p2", "P2", Interval(0), level="Top"))
+        d.add_member(MemberVersion("c", "C", Interval(0), level="Bottom"))
+        d.add_relationship(TemporalRelationship("c", "p1", Interval(0)))
+        d.add_relationship(TemporalRelationship("c", "p2", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        db = Database()
+        tables = lower_snowflake(db, schema, schema.structure_versions(), "org")
+        edges = list(tables[snowflake_edge_table("org")].rows())
+        assert len(edges) == 2  # both rollups kept
+
+
+class TestParentChildLowering:
+    def test_rows_with_parent_links(self, case_study):
+        db = Database()
+        versions = case_study.schema.structure_versions()
+        table = lower_parent_child(db, case_study.schema, versions, ORG)
+        assert table.name == parent_child_table_name(ORG)
+        assert table.get(("V1", "smith"))["parent"] == "sales"
+        assert table.get(("V2", "smith"))["parent"] == "rd"
+        assert table.get(("V1", "sales"))["parent"] is None
+
+    def test_multi_hierarchy_rejected_per_5_1(self):
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("p1", "P1", Interval(0), level="Top"))
+        d.add_member(MemberVersion("p2", "P2", Interval(0), level="Top"))
+        d.add_member(MemberVersion("c", "C", Interval(0), level="Bottom"))
+        d.add_relationship(TemporalRelationship("c", "p1", Interval(0)))
+        d.add_relationship(TemporalRelationship("c", "p2", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        db = Database()
+        with pytest.raises(ModelError):
+            lower_parent_child(db, schema, schema.structure_versions(), "org")
+        assert parent_child_table_name("org") not in db  # cleaned up
+
+
+def reclassify_fixture():
+    """div1/div2 over {mid > leaf}: reclassify mid from div1 to div2."""
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div1", "Div-1", Interval(0), level="Division"))
+    d.add_member(MemberVersion("div2", "Div-2", Interval(0), level="Division"))
+    d.add_member(MemberVersion("mid", "Mid", Interval(0), level="Group"))
+    d.add_member(MemberVersion("leaf", "Leaf", Interval(0), level="Department"))
+    d.add_relationship(TemporalRelationship("mid", "div1", Interval(0)))
+    d.add_relationship(TemporalRelationship("leaf", "mid", Interval(0)))
+    schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+    return schema, SchemaEditor(schema)
+
+
+class TestLogicalReclassify:
+    def test_creates_new_versions_for_member_and_descendants(self):
+        schema, editor = reclassify_fixture()
+        created = logical_reclassify(
+            editor, "org", "mid", 10, old_parents=["div1"], new_parents=["div2"]
+        )
+        assert created == [("mid", "mid@10"), ("leaf", "leaf@10")]
+        dim = schema.dimension("org")
+        assert dim.member("mid").valid_time == Interval(0, 9)
+        assert dim.at(10).parents("mid@10") == ["div2"]
+        assert dim.at(10).parents("leaf@10") == ["mid@10"]
+
+    def test_identity_sd_mappings_created(self):
+        schema, editor = reclassify_fixture()
+        logical_reclassify(
+            editor, "org", "mid", 10, old_parents=["div1"], new_parents=["div2"]
+        )
+        rels = {(r.source, r.target): r for r in schema.mappings}
+        leaf_rel = rels[("leaf", "leaf@10")]
+        mm = leaf_rel.measure_map("amount", direction="forward")
+        assert mm.apply(7.0) == 7.0
+        assert mm.confidence is SD
+
+    def test_recursion_produces_expected_operator_count(self):
+        """2 member versions re-created -> 2 × (Insert+Exclude+Associate)."""
+        schema, editor = reclassify_fixture()
+        logical_reclassify(
+            editor, "org", "mid", 10, old_parents=["div1"], new_parents=["div2"]
+        )
+        ops = [r.operator for r in editor.journal]
+        assert ops.count("Insert") == 2
+        assert ops.count("Exclude") == 2
+        assert ops.count("Associate") == 2
+
+    def test_invalid_member_rejected(self):
+        _, editor = reclassify_fixture()
+        with pytest.raises(OperatorError):
+            logical_reclassify(editor, "org", "ghost", 10, new_parents=["div2"])
+
+    def test_wrong_old_parent_rejected(self):
+        _, editor = reclassify_fixture()
+        with pytest.raises(OperatorError):
+            logical_reclassify(
+                editor, "org", "mid", 10, old_parents=["div2"], new_parents=["div1"]
+            )
+
+    def test_custom_rename(self):
+        schema, editor = reclassify_fixture()
+        created = logical_reclassify(
+            editor,
+            "org",
+            "mid",
+            10,
+            old_parents=["div1"],
+            new_parents=["div2"],
+            rename=lambda mvid, ti: f"{mvid}_v2",
+        )
+        assert created[0] == ("mid", "mid_v2")
+
+
+class TestLogicalVsConceptualEquivalence:
+    def test_query_results_agree_across_the_rewrite(self):
+        """The §4.2 rewrite must present the same numbers as the conceptual
+        Reclassify — only the member-version bookkeeping differs."""
+        from repro.core import Query, QueryEngine, TimeGroup, LevelGroup, YEAR
+
+        def build(use_logical: bool):
+            d = TemporalDimension("org")
+            d.add_member(
+                MemberVersion("sales", "Sales", Interval(ym(2001, 1)), level="Division")
+            )
+            d.add_member(
+                MemberVersion("rd", "R&D", Interval(ym(2001, 1)), level="Division")
+            )
+            d.add_member(
+                MemberVersion(
+                    "smith", "Dpt.Smith", Interval(ym(2001, 1)), level="Department"
+                )
+            )
+            d.add_relationship(
+                TemporalRelationship("smith", "sales", Interval(ym(2001, 1)))
+            )
+            schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+            editor = SchemaEditor(schema)
+            if use_logical:
+                logical_reclassify(
+                    editor, "org", "smith", ym(2002, 1),
+                    old_parents=["sales"], new_parents=["rd"],
+                )
+                new_leaf = "smith@" + str(ym(2002, 1))
+            else:
+                manager = EvolutionManager(schema)
+                manager.reclassify_member(
+                    "org", "smith", ym(2002, 1),
+                    old_parents=["sales"], new_parents=["rd"],
+                )
+                new_leaf = "smith"
+            schema.add_fact({"org": "smith"}, ym(2001, 6), amount=50.0)
+            schema.add_fact({"org": new_leaf}, ym(2002, 6), amount=100.0)
+            return schema
+
+        q = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+        results = {}
+        for use_logical in (False, True):
+            schema = build(use_logical)
+            engine = QueryEngine(schema.multiversion_facts())
+            results[use_logical] = {
+                label: engine.execute(q.with_mode(label)).as_dict()
+                for label in ("tcm", "V1", "V2")
+            }
+        assert results[False] == results[True]

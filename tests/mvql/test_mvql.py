@@ -1,0 +1,336 @@
+"""Tests for the MVQL language: lexer, parser, compilation, execution."""
+
+import pytest
+
+from repro.core.query import ResultTable
+from repro.mvql import MVQLCompileError, MVQLSession, MVQLSyntaxError, parse
+from repro.mvql.ast import (
+    LevelTerm,
+    RankModesStatement,
+    SelectStatement,
+    ShowLevelsStatement,
+    ShowModesStatement,
+    ShowVersionsStatement,
+    TimeTerm,
+)
+from repro.mvql.lexer import Token, tokenize
+
+
+@pytest.fixture(scope="module")
+def session(mvft):
+    return MVQLSession(mvft)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select BY In mode")]
+        assert kinds == ["KEYWORD"] * 4 + ["EOF"]
+        assert tokenize("select")[0].value == "SELECT"
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("Division")[0]
+        assert token.kind == "IDENT" and token.value == "Division"
+
+    def test_identifiers_allow_ampersand_and_dash(self):
+        assert tokenize("R&D")[0].value == "R&D"
+        assert tokenize("C-North")[0].value == "C-North"
+
+    def test_numbers_and_ranges(self):
+        kinds = [t.kind for t in tokenize("2001..2002")]
+        assert kinds == ["NUMBER", "DOTDOT", "NUMBER", "EOF"]
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("a.b, *")]
+        assert kinds == ["IDENT", "DOT", "IDENT", "COMMA", "STAR", "EOF"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- the measures\n amount")
+        assert [t.kind for t in tokens] == ["KEYWORD", "IDENT", "EOF"]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            tokenize("SELECT #")
+
+    def test_positions_recorded(self):
+        assert tokenize("  BY")[0] == Token("KEYWORD", "BY", 2)
+
+
+class TestParser:
+    def test_minimal_select(self):
+        stmt = parse("SELECT amount BY year")
+        assert stmt == SelectStatement(
+            measures=("amount",), group_by=(TimeTerm("year"),)
+        )
+
+    def test_star_measures(self):
+        stmt = parse("SELECT * BY year")
+        assert stmt.measures == ()
+
+    def test_multiple_measures_and_terms(self):
+        stmt = parse("SELECT turnover, profit BY year, org.Division")
+        assert stmt.measures == ("turnover", "profit")
+        assert stmt.group_by == (
+            TimeTerm("year"),
+            LevelTerm("org", "Division"),
+        )
+
+    def test_mode_clause(self):
+        assert parse("SELECT amount BY year IN MODE V2").mode == "V2"
+
+    def test_during_single_year(self):
+        assert parse("SELECT amount BY year DURING 2001").during == (2001, 2001)
+
+    def test_during_range(self):
+        assert parse("SELECT amount BY year DURING 2001..2003").during == (2001, 2003)
+
+    def test_clause_order_flexible(self):
+        stmt = parse("SELECT amount BY year DURING 2001 IN MODE V1")
+        assert stmt.mode == "V1" and stmt.during == (2001, 2001)
+
+    def test_backwards_range_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year DURING 2003..2001")
+
+    def test_duplicate_clauses_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year IN MODE V1 IN MODE V2")
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year DURING 2001 DURING 2002")
+
+    def test_unknown_group_term_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY banana")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year banana")
+
+    def test_rank_modes(self):
+        stmt = parse("RANK MODES FOR SELECT amount BY year")
+        assert isinstance(stmt, RankModesStatement)
+        assert stmt.select.measures == ("amount",)
+
+    def test_rank_modes_with_mode_clause_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("RANK MODES FOR SELECT amount BY year IN MODE V1")
+
+    def test_show_statements(self):
+        assert isinstance(parse("SHOW MODES"), ShowModesStatement)
+        assert isinstance(parse("SHOW VERSIONS"), ShowVersionsStatement)
+        assert parse("SHOW LEVELS org") == ShowLevelsStatement("org")
+
+    def test_show_garbage_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SHOW TABLES")
+
+    def test_empty_statement_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("")
+
+
+class TestCompilation:
+    def test_unknown_measure(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT zzz BY year")
+
+    def test_unknown_mode(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY year IN MODE V99")
+
+    def test_unknown_dimension(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY geo.Country")
+
+    def test_unknown_level(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY org.Continent")
+
+    def test_show_levels_unknown_dimension(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SHOW LEVELS geo")
+
+
+class TestExecution:
+    def test_select_reproduces_table_4(self, session):
+        result = session.execute(
+            "SELECT amount BY year, org.Division DURING 2001..2002"
+        )
+        assert isinstance(result, ResultTable)
+        assert result.as_dict() == {
+            ("2001", "Sales"): {"amount": 150.0},
+            ("2001", "R&D"): {"amount": 100.0},
+            ("2002", "Sales"): {"amount": 100.0},
+            ("2002", "R&D"): {"amount": 150.0},
+        }
+
+    def test_select_in_mode_reproduces_table_9(self, session):
+        result = session.execute(
+            "SELECT amount BY year, org.Department IN MODE V2 DURING 2002..2003"
+        )
+        assert result.as_dict()[("2003", "Dpt.Jones")]["amount"] == 200.0
+        assert result.confidences()[("2003", "Dpt.Jones")]["amount"] == "em"
+
+    def test_star_selects_every_measure(self, session):
+        result = session.execute("SELECT * BY year")
+        assert result.measures == ["amount"]
+
+    def test_rank_modes(self, session):
+        ranking = session.execute(
+            "RANK MODES FOR SELECT amount BY year, org.Department DURING 2002..2003"
+        )
+        assert ranking[0][0] == "tcm"
+        assert ranking[0][1] == 1.0
+
+    def test_show_modes(self, session):
+        lines = session.execute("SHOW MODES")
+        assert any(line.startswith("tcm") for line in lines)
+        assert any(line.startswith("V3") for line in lines)
+
+    def test_show_versions(self, session):
+        lines = session.execute("SHOW VERSIONS")
+        assert len(lines) == 3
+
+    def test_show_levels(self, session):
+        assert session.execute("SHOW LEVELS org") == ["Division", "Department"]
+
+    def test_execute_to_text(self, session):
+        text = session.execute_to_text(
+            "SELECT amount BY year, org.Division DURING 2001..2002"
+        )
+        assert "Division" in text and "(sd)" in text
+        ranked = session.execute_to_text(
+            "RANK MODES FOR SELECT amount BY year, org.Department DURING 2002..2003"
+        )
+        assert "Q = 1.000" in ranked
+        shown = session.execute_to_text("SHOW LEVELS org")
+        assert shown == "Division\nDepartment"
+
+    def test_quarter_and_month_granularities(self, session):
+        result = session.execute("SELECT amount BY quarter DURING 2001")
+        assert list(result.as_dict()) == [("2001Q2",)]
+        result = session.execute("SELECT amount BY month DURING 2001")
+        assert list(result.as_dict()) == [("06/2001",)]
+
+
+class TestWhereClause:
+    def test_parse_equality(self):
+        from repro.mvql.ast import FilterTerm
+
+        stmt = parse("SELECT amount BY year WHERE org.Division = 'Sales'")
+        assert stmt.filters == (FilterTerm("org", "Division", ("Sales",)),)
+
+    def test_parse_in_list(self):
+        from repro.mvql.ast import FilterTerm
+
+        stmt = parse(
+            "SELECT amount BY year WHERE org.Department IN ('Dpt.Bill', 'Dpt.Paul')"
+        )
+        assert stmt.filters == (
+            FilterTerm("org", "Department", ("Dpt.Bill", "Dpt.Paul")),
+        )
+
+    def test_parse_and_chain(self):
+        stmt = parse(
+            "SELECT amount BY year "
+            "WHERE org.Division = 'Sales' AND org.Department = 'Dpt.Jones'"
+        )
+        assert len(stmt.filters) == 2
+
+    def test_unquoted_single_word_value(self):
+        stmt = parse("SELECT amount BY year WHERE org.Division = Sales")
+        assert stmt.filters[0].values == ("Sales",)
+
+    def test_double_quotes_work(self):
+        stmt = parse('SELECT amount BY year WHERE org.Division = "R&D"')
+        assert stmt.filters[0].values == ("R&D",)
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year WHERE org.Division = 'Sales")
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse("SELECT amount BY year WHERE org.Division")
+
+    def test_duplicate_where_rejected(self):
+        with pytest.raises(MVQLSyntaxError):
+            parse(
+                "SELECT amount BY year WHERE org.Division = Sales "
+                "WHERE org.Division = Sales"
+            )
+
+    def test_execution_slices_division(self, session):
+        result = session.execute(
+            "SELECT amount BY year, org.Department WHERE org.Division = 'Sales'"
+        )
+        d = result.as_dict()
+        assert ("2001", "Dpt.Smith") in d
+        assert ("2002", "Dpt.Smith") not in d
+
+    def test_execution_respects_mode(self, session):
+        result = session.execute(
+            "SELECT amount BY year "
+            "WHERE org.Department IN ('Dpt.Bill', 'Dpt.Paul') IN MODE V3"
+        )
+        d = result.as_dict()
+        assert d[("2001",)]["amount"] == pytest.approx(100.0)
+        assert d[("2003",)]["amount"] == pytest.approx(200.0)
+
+    def test_unknown_filter_level_rejected(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY year WHERE org.Continent = 'X'")
+
+    def test_unknown_filter_dimension_rejected(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY year WHERE geo.Country = 'X'")
+
+
+class TestAttributeTerms:
+    def test_parse_attribute_term(self):
+        from repro.mvql.ast import AttributeTerm
+
+        stmt = parse("SELECT amount BY year, org@size")
+        assert stmt.group_by[1] == AttributeTerm("org", "size")
+
+    def test_attribute_term_compiles_to_attribute_group(self, session):
+        from repro.core import AttributeGroup
+
+        query = session.compile_select(parse("SELECT amount BY org@size"))
+        assert query.group_by == (AttributeGroup("org", "size"),)
+
+    def test_unknown_dimension_rejected(self, session):
+        with pytest.raises(MVQLCompileError):
+            session.execute("SELECT amount BY geo@size")
+
+    def test_execution_groups_by_attribute(self):
+        """An attributed schema: departments tagged with a region code."""
+        from repro.core import (
+            Interval,
+            Measure,
+            MemberVersion,
+            SUM,
+            TemporalDimension,
+            TemporalMultidimensionalSchema,
+            TemporalRelationship,
+        )
+
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+        for mvid, region in (("a", "north"), ("b", "south"), ("c", "north")):
+            d.add_member(
+                MemberVersion(
+                    mvid, mvid.upper(), Interval(0),
+                    attributes={"region": region}, level="Department",
+                )
+            )
+            d.add_relationship(TemporalRelationship(mvid, "div", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+        schema.add_fact({"org": "a"}, 5, amount=1.0)
+        schema.add_fact({"org": "b"}, 5, amount=2.0)
+        schema.add_fact({"org": "c"}, 5, amount=4.0)
+        sess = MVQLSession(schema.multiversion_facts())
+        result = sess.execute("SELECT amount BY org@region")
+        assert result.as_dict() == {
+            ("north",): {"amount": 5.0},
+            ("south",): {"amount": 2.0},
+        }

@@ -1,0 +1,40 @@
+"""Direct unit tests for the hash index."""
+
+import pytest
+
+from repro.storage import DuplicateKeyError, HashIndex, StorageError
+
+
+class TestHashIndex:
+    def test_needs_columns(self):
+        with pytest.raises(StorageError):
+            HashIndex([])
+
+    def test_add_and_lookup(self):
+        idx = HashIndex(["a", "b"])
+        idx.add(0, {"a": 1, "b": "x", "c": "ignored"})
+        idx.add(1, {"a": 1, "b": "x"})
+        assert idx.lookup((1, "x")) == [0, 1]
+        assert idx.lookup((2, "x")) == []
+        assert len(idx) == 2
+
+    def test_unique_index_rejects_duplicates(self):
+        idx = HashIndex(["k"], unique=True)
+        idx.add(0, {"k": 5})
+        with pytest.raises(DuplicateKeyError):
+            idx.add(1, {"k": 5})
+
+    def test_remove(self):
+        idx = HashIndex(["k"])
+        idx.add(0, {"k": 5})
+        idx.add(1, {"k": 5})
+        idx.remove(0, {"k": 5})
+        assert idx.lookup((5,)) == [1]
+        idx.remove(1, {"k": 5})
+        assert idx.lookup((5,)) == []
+        # removing an absent rid is a no-op
+        idx.remove(9, {"k": 5})
+
+    def test_key_of(self):
+        idx = HashIndex(["b", "a"])
+        assert idx.key_of({"a": 1, "b": 2}) == (2, 1)

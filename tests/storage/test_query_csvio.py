@@ -1,0 +1,223 @@
+"""Unit tests for the query pipeline and CSV persistence."""
+
+import pytest
+
+from repro.storage import (
+    Column,
+    Database,
+    FLOAT,
+    INTEGER,
+    Q,
+    QueryPlanError,
+    StorageError,
+    TEXT,
+    dump_database,
+    dump_table,
+    load_database,
+    load_table,
+)
+
+
+def sales_db():
+    db = Database()
+    dim = db.create_table(
+        "dim",
+        [Column("member", TEXT), Column("division", TEXT)],
+        primary_key=["member"],
+    )
+    fact = db.create_table(
+        "fact",
+        [
+            Column("member", TEXT),
+            Column("year", INTEGER),
+            Column("amount", FLOAT, nullable=True),
+        ],
+    )
+    dim.insert_many(
+        [
+            {"member": "jones", "division": "Sales"},
+            {"member": "smith", "division": "Sales"},
+            {"member": "brian", "division": "R&D"},
+        ]
+    )
+    fact.insert_many(
+        [
+            {"member": "jones", "year": 2001, "amount": 100.0},
+            {"member": "smith", "year": 2001, "amount": 50.0},
+            {"member": "brian", "year": 2001, "amount": 100.0},
+            {"member": "jones", "year": 2002, "amount": 100.0},
+            {"member": "brian", "year": 2002, "amount": None},
+        ]
+    )
+    return db
+
+
+class TestPipeline:
+    def test_where_and_select(self):
+        db = sales_db()
+        rows = (
+            Q(db.table("fact"))
+            .where(lambda r: r["year"] == 2001)
+            .select(["member", "amount"])
+            .rows()
+        )
+        assert len(rows) == 3
+        assert set(rows[0]) == {"member", "amount"}
+
+    def test_select_unknown_column_rejected(self):
+        db = sales_db()
+        with pytest.raises(QueryPlanError):
+            Q(db.table("fact")).select(["zzz"]).rows()
+
+    def test_join_group_order(self):
+        db = sales_db()
+        rows = (
+            Q(db.table("fact"))
+            .join(db.table("dim"), on=[("member", "member")])
+            .group_by(
+                ["year", "division"], aggregates={"total": ("sum", "amount")}
+            )
+            .order_by(["year", "division"])
+            .rows()
+        )
+        assert rows == [
+            {"year": 2001, "division": "R&D", "total": 100.0},
+            {"year": 2001, "division": "Sales", "total": 150.0},
+            {"year": 2002, "division": "R&D", "total": None},
+            {"year": 2002, "division": "Sales", "total": 100.0},
+        ]
+
+    def test_left_join_keeps_unmatched(self):
+        db = sales_db()
+        db.table("fact").insert({"member": "ghost", "year": 2001, "amount": 5.0})
+        rows = (
+            Q(db.table("fact"))
+            .join(db.table("dim"), on=[("member", "member")], how="left")
+            .where(lambda r: r["member"] == "ghost")
+            .rows()
+        )
+        assert rows[0]["division"] is None
+
+    def test_inner_join_drops_unmatched(self):
+        db = sales_db()
+        db.table("fact").insert({"member": "ghost", "year": 2001, "amount": 5.0})
+        rows = (
+            Q(db.table("fact"))
+            .join(db.table("dim"), on=[("member", "member")])
+            .rows()
+        )
+        assert all(r["member"] != "ghost" for r in rows)
+
+    def test_join_name_collision_suffixed(self):
+        db = sales_db()
+        other = [{"member": "jones", "year": 1999}]
+        row = (
+            Q(db.table("fact"))
+            .where(lambda r: r["member"] == "jones" and r["year"] == 2001)
+            .join(other, on=[("member", "member")])
+            .rows()[0]
+        )
+        assert row["year"] == 2001 and row["year_r"] == 1999
+
+    def test_bad_join_spec_rejected(self):
+        db = sales_db()
+        with pytest.raises(QueryPlanError):
+            Q(db.table("fact")).join(db.table("dim"), on=[]).rows()
+        with pytest.raises(QueryPlanError):
+            Q(db.table("fact")).join(db.table("dim"), on=[("member", "member")], how="outer")
+
+    def test_aggregates(self):
+        db = sales_db()
+        row = (
+            Q(db.table("fact"))
+            .group_by(
+                [],
+                aggregates={
+                    "total": ("sum", "amount"),
+                    "n": ("count", "amount"),
+                    "lo": ("min", "amount"),
+                    "hi": ("max", "amount"),
+                    "mean": ("avg", "amount"),
+                },
+            )
+            .one()
+        )
+        assert row["total"] == 350.0
+        assert row["n"] == 4  # None not counted
+        assert (row["lo"], row["hi"]) == (50.0, 100.0)
+        assert row["mean"] == pytest.approx(87.5)
+
+    def test_unknown_aggregate_rejected(self):
+        db = sales_db()
+        with pytest.raises(QueryPlanError):
+            Q(db.table("fact")).group_by([], aggregates={"x": ("median", "amount")})
+
+    def test_extend_distinct_limit(self):
+        db = sales_db()
+        rows = (
+            Q(db.table("fact"))
+            .extend("era", lambda r: "early" if r["year"] < 2002 else "late")
+            .select(["era"])
+            .distinct()
+            .order_by(["era"])
+            .limit(1)
+            .rows()
+        )
+        assert rows == [{"era": "early"}]
+
+    def test_scalar_and_one_guards(self):
+        db = sales_db()
+        q = Q(db.table("fact")).group_by([], aggregates={"total": ("sum", "amount")})
+        assert q.scalar("total") == 350.0
+        with pytest.raises(QueryPlanError):
+            q.scalar("zzz")
+        with pytest.raises(QueryPlanError):
+            Q(db.table("fact")).one()
+
+    def test_pipeline_is_reusable_and_immutable(self):
+        db = sales_db()
+        base = Q(db.table("fact"))
+        q1 = base.where(lambda r: r["year"] == 2001)
+        q2 = base.where(lambda r: r["year"] == 2002)
+        assert len(q1.rows()) == 3 and len(q2.rows()) == 2
+        assert len(base.rows()) == 5  # untouched
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryPlanError):
+            Q([]).limit(-1)
+
+
+class TestCsvIO:
+    def test_table_roundtrip(self, tmp_path):
+        db = sales_db()
+        path = tmp_path / "fact.csv"
+        dump_table(db.table("fact"), path)
+        loaded = load_table(db.table("fact").schema, path)
+        assert list(loaded.rows()) == list(db.table("fact").rows())
+
+    def test_null_roundtrip(self, tmp_path):
+        db = sales_db()
+        path = tmp_path / "fact.csv"
+        dump_table(db.table("fact"), path)
+        loaded = load_table(db.table("fact").schema, path)
+        nones = [r for r in loaded.rows() if r["amount"] is None]
+        assert len(nones) == 1
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        db = sales_db()
+        path = tmp_path / "x.csv"
+        dump_table(db.table("fact"), path)
+        with pytest.raises(StorageError):
+            load_table(db.table("dim").schema, path)
+
+    def test_database_roundtrip(self, tmp_path):
+        db = sales_db()
+        dump_database(db, tmp_path / "wh")
+        loaded = load_database(tmp_path / "wh")
+        assert loaded.table_names == db.table_names
+        assert loaded.row_counts() == db.row_counts()
+        assert list(loaded.table("dim").rows()) == list(db.table("dim").rows())
+
+    def test_missing_catalog_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(tmp_path)

@@ -1,0 +1,199 @@
+"""Unit tests for tables, indexes and the database catalog."""
+
+import pytest
+
+from repro.storage import (
+    Column,
+    Database,
+    DuplicateKeyError,
+    FLOAT,
+    ForeignKey,
+    ForeignKeyViolation,
+    INTEGER,
+    StorageError,
+    TableExistsError,
+    TEXT,
+    UnknownTableError,
+)
+
+
+def make_db():
+    db = Database("test")
+    db.create_table(
+        "dim",
+        [Column("member_id", TEXT), Column("name", TEXT)],
+        primary_key=["member_id"],
+    )
+    db.create_table(
+        "fact",
+        [
+            Column("member_id", TEXT),
+            Column("t", INTEGER),
+            Column("amount", FLOAT, nullable=True),
+        ],
+        primary_key=["member_id", "t"],
+        foreign_keys=[ForeignKey(("member_id",), "dim", ("member_id",))],
+    )
+    return db
+
+
+class TestTableCrud:
+    def test_insert_and_get(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        assert dim.get(("a",)) == {"member_id": "a", "name": "A"}
+        assert dim.get(("zz",)) is None
+
+    def test_primary_key_uniqueness(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        with pytest.raises(DuplicateKeyError):
+            dim.insert({"member_id": "a", "name": "A2"})
+        assert len(dim) == 1  # failed insert left no trace
+
+    def test_composite_primary_key(self):
+        db = make_db()
+        db.table("dim").insert({"member_id": "a", "name": "A"})
+        fact = db.table("fact")
+        db.insert("fact", {"member_id": "a", "t": 1, "amount": 5.0})
+        db.insert("fact", {"member_id": "a", "t": 2, "amount": 6.0})
+        with pytest.raises(DuplicateKeyError):
+            fact.insert({"member_id": "a", "t": 1, "amount": 7.0})
+
+    def test_update(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        changed = dim.update(lambda r: r["member_id"] == "a", {"name": "A2"})
+        assert changed == 1
+        assert dim.get(("a",))["name"] == "A2"
+
+    def test_update_cannot_create_duplicate_key(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        dim.insert({"member_id": "b", "name": "B"})
+        with pytest.raises(DuplicateKeyError):
+            dim.update(lambda r: r["member_id"] == "b", {"member_id": "a"})
+
+    def test_delete(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        dim.insert({"member_id": "b", "name": "B"})
+        assert dim.delete(lambda r: r["member_id"] == "a") == 1
+        assert len(dim) == 1
+        assert dim.get(("a",)) is None
+        # the key slot is reusable after deletion
+        dim.insert({"member_id": "a", "name": "A-again"})
+
+    def test_rows_are_copies(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        row = next(iter(dim))
+        row["name"] = "mutated"
+        assert dim.get(("a",))["name"] == "A"
+
+    def test_scan_with_predicate(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert_many(
+            [{"member_id": m, "name": m.upper()} for m in ("a", "b", "c")]
+        )
+        assert len(dim.scan(lambda r: r["name"] > "A")) == 2
+
+    def test_column_values_and_distinct(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert_many(
+            [
+                {"member_id": "a", "name": "X"},
+                {"member_id": "b", "name": "X"},
+                {"member_id": "c", "name": "Y"},
+            ]
+        )
+        assert dim.column_values("name") == ["X", "X", "Y"]
+        assert dim.distinct("name") == ["X", "Y"]
+
+
+class TestSecondaryIndexes:
+    def test_find_uses_index(self):
+        db = make_db()
+        fact = db.table("fact")
+        db.table("dim").insert({"member_id": "a", "name": "A"})
+        for t in range(100):
+            fact.insert({"member_id": "a", "t": t, "amount": float(t)})
+        fact.create_index(["t"])
+        hits = fact.find(t=42)
+        assert len(hits) == 1 and hits[0]["amount"] == 42.0
+
+    def test_find_falls_back_to_scan(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        assert dim.find(name="A")[0]["member_id"] == "a"
+
+    def test_duplicate_index_rejected(self):
+        db = make_db()
+        fact = db.table("fact")
+        fact.create_index(["t"])
+        with pytest.raises(StorageError):
+            fact.create_index(["t"])
+
+    def test_index_backfills_existing_rows(self):
+        db = make_db()
+        dim = db.table("dim")
+        dim.insert({"member_id": "a", "name": "A"})
+        dim.create_index(["name"])
+        assert dim.find(name="A")
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self):
+        db = make_db()
+        with pytest.raises(TableExistsError):
+            db.create_table("dim", [Column("x", TEXT)])
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(UnknownTableError):
+            make_db().table("zzz")
+
+    def test_drop_table(self):
+        db = make_db()
+        db.drop_table("fact")
+        assert "fact" not in db
+        with pytest.raises(UnknownTableError):
+            db.drop_table("fact")
+
+    def test_foreign_key_enforced(self):
+        db = make_db()
+        with pytest.raises(ForeignKeyViolation):
+            db.insert("fact", {"member_id": "ghost", "t": 1, "amount": 1.0})
+
+    def test_foreign_key_satisfied(self):
+        db = make_db()
+        db.table("dim").insert({"member_id": "a", "name": "A"})
+        db.insert("fact", {"member_id": "a", "t": 1, "amount": 1.0})
+
+    def test_foreign_key_skipped_on_null(self):
+        db = Database()
+        db.create_table("p", [Column("k", TEXT)], primary_key=["k"])
+        db.create_table(
+            "c",
+            [Column("k", TEXT, nullable=True), Column("v", INTEGER)],
+            foreign_keys=[ForeignKey(("k",), "p", ("k",))],
+        )
+        db.insert("c", {"k": None, "v": 1})  # SQL semantics: NULL FK passes
+
+    def test_check_fk_false_bypasses(self):
+        db = make_db()
+        db.insert("fact", {"member_id": "ghost", "t": 1, "amount": 1.0}, check_fk=False)
+
+    def test_row_counts(self):
+        db = make_db()
+        db.table("dim").insert({"member_id": "a", "name": "A"})
+        assert db.row_counts() == {"dim": 1, "fact": 0}
+        assert db.total_rows() == 1

@@ -1,0 +1,140 @@
+"""Unit tests for column types and table schemas."""
+
+import pytest
+
+from repro.storage import (
+    BOOLEAN,
+    Column,
+    FLOAT,
+    ForeignKey,
+    INTEGER,
+    StorageError,
+    TableSchema,
+    TEXT,
+    TypeCoercionError,
+    UnknownColumnError,
+)
+
+
+class TestTypes:
+    def test_integer_coercion(self):
+        assert INTEGER.coerce(5) == 5
+        assert INTEGER.coerce(5.0) == 5
+
+    def test_integer_rejects_fraction_and_bool(self):
+        with pytest.raises(TypeCoercionError):
+            INTEGER.coerce(5.5)
+        with pytest.raises(TypeCoercionError):
+            INTEGER.coerce(True)
+        with pytest.raises(TypeCoercionError):
+            INTEGER.coerce("5")
+
+    def test_float_coercion(self):
+        assert FLOAT.coerce(5) == 5.0
+        assert isinstance(FLOAT.coerce(5), float)
+        with pytest.raises(TypeCoercionError):
+            FLOAT.coerce("x")
+        with pytest.raises(TypeCoercionError):
+            FLOAT.coerce(False)
+
+    def test_text_coercion(self):
+        assert TEXT.coerce("abc") == "abc"
+        with pytest.raises(TypeCoercionError):
+            TEXT.coerce(5)
+
+    def test_boolean_coercion(self):
+        assert BOOLEAN.coerce(True) is True
+        with pytest.raises(TypeCoercionError):
+            BOOLEAN.coerce(1)
+
+    def test_parse_from_csv_text(self):
+        assert INTEGER.parse("42") == 42
+        assert FLOAT.parse("1.5") == 1.5
+        assert BOOLEAN.parse("True") is True
+        assert BOOLEAN.parse("0") is False
+        assert TEXT.parse("x") == "x"
+        with pytest.raises(TypeCoercionError):
+            BOOLEAN.parse("maybe")
+
+
+def simple_schema(**kw):
+    return TableSchema(
+        name="t",
+        columns=(
+            Column("id", INTEGER),
+            Column("name", TEXT),
+            Column("score", FLOAT, nullable=True),
+        ),
+        primary_key=("id",),
+        **kw,
+    )
+
+
+class TestColumn:
+    def test_not_null_enforced(self):
+        with pytest.raises(TypeCoercionError):
+            Column("id", INTEGER).coerce(None)
+
+    def test_nullable_passes_none(self):
+        assert Column("score", FLOAT, nullable=True).coerce(None) is None
+
+    def test_needs_name(self):
+        with pytest.raises(StorageError):
+            Column("", INTEGER)
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        s = simple_schema()
+        assert s.column("name").type is TEXT
+        with pytest.raises(UnknownColumnError):
+            s.column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StorageError):
+            TableSchema("t", (Column("a", TEXT), Column("a", TEXT)))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema("t", (Column("a", TEXT),), primary_key=("zzz",))
+
+    def test_primary_key_must_be_not_null(self):
+        with pytest.raises(StorageError):
+            TableSchema(
+                "t",
+                (Column("a", TEXT, nullable=True),),
+                primary_key=("a",),
+            )
+
+    def test_coerce_row_fills_nullable_defaults(self):
+        s = simple_schema()
+        row = s.coerce_row({"id": 1, "name": "x"})
+        assert row == {"id": 1, "name": "x", "score": None}
+
+    def test_coerce_row_rejects_unknown_columns(self):
+        with pytest.raises(UnknownColumnError):
+            simple_schema().coerce_row({"id": 1, "name": "x", "zzz": 0})
+
+    def test_coerce_row_rejects_missing_not_null(self):
+        with pytest.raises(TypeCoercionError):
+            simple_schema().coerce_row({"id": 1})
+
+    def test_key_of(self):
+        s = simple_schema()
+        assert s.key_of({"id": 7, "name": "x", "score": None}) == (7,)
+
+    def test_keyless_schema(self):
+        s = TableSchema("t", (Column("a", TEXT),))
+        assert s.key_of({"a": "x"}) is None
+
+    def test_foreign_key_arity_checked(self):
+        with pytest.raises(StorageError):
+            ForeignKey(("a",), "p", ("x", "y"))
+
+    def test_foreign_key_columns_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            TableSchema(
+                "t",
+                (Column("a", TEXT),),
+                foreign_keys=(ForeignKey(("zzz",), "p", ("x",)),),
+            )

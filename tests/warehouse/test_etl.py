@@ -1,0 +1,107 @@
+"""Tests for the ETL pipeline (Figure 1's first tier)."""
+
+import pytest
+
+from repro.core import Interval, Measure, MemberVersion, SUM
+from repro.core import TemporalDimension, TemporalMultidimensionalSchema
+from repro.core import TemporalRelationship, ym
+from repro.warehouse import CleaningRule, ETLPipeline, FactMapping, OperationalSource
+
+
+@pytest.fixture()
+def schema():
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    d.add_member(MemberVersion("a", "Dept-A", Interval(0), level="Department"))
+    d.add_member(MemberVersion("b", "Dept-B", Interval(0, 9), level="Department"))
+    d.add_relationship(TemporalRelationship("a", "div", Interval(0)))
+    d.add_relationship(TemporalRelationship("b", "div", Interval(0, 9)))
+    return TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+
+
+def pipeline_for(schema, rules=()):
+    mapping = FactMapping(
+        lambda rec: ({"org": rec["dept"]}, rec["t"], {"amount": rec["amount"]})
+    )
+    return ETLPipeline(schema, rules=rules, mapping=mapping)
+
+
+class TestExtraction:
+    def test_sources_are_not_mutated(self, schema):
+        source = OperationalSource("ops", [{"dept": "a", "t": 1, "amount": 5.0}])
+        rule = CleaningRule("mutate", lambda r: {**r, "amount": 0.0})
+        pipeline_for(schema, [rule]).run([source])
+        assert source.records[0]["amount"] == 5.0
+
+    def test_multiple_sources_merged(self, schema):
+        s1 = OperationalSource("s1", [{"dept": "a", "t": 1, "amount": 1.0}])
+        s2 = OperationalSource("s2", [{"dept": "a", "t": 2, "amount": 2.0}])
+        report = pipeline_for(schema).run([s1, s2])
+        assert report.extracted == 2 and report.loaded == 2
+        assert len(schema.facts) == 2
+
+
+class TestCleaning:
+    def test_rule_rejection_reported_with_rule_name(self, schema):
+        rule = CleaningRule(
+            "drop-null-amounts",
+            lambda r: r if r.get("amount") is not None else None,
+        )
+        source = OperationalSource("ops", [{"dept": "a", "t": 1, "amount": None}])
+        report = pipeline_for(schema, [rule]).run([source])
+        assert report.loaded == 0
+        assert report.rejected_count == 1
+        assert "drop-null-amounts" in report.rejected[0][1]
+
+    def test_rules_chain_in_order(self, schema):
+        calls = []
+        r1 = CleaningRule("one", lambda r: (calls.append("one"), r)[1])
+        r2 = CleaningRule("two", lambda r: (calls.append("two"), r)[1])
+        source = OperationalSource("ops", [{"dept": "a", "t": 1, "amount": 1.0}])
+        pipeline_for(schema, [r1, r2]).run([source])
+        assert calls == ["one", "two"]
+
+    def test_fixing_rule_transforms_record(self, schema):
+        rule = CleaningRule(
+            "negative-to-zero",
+            lambda r: {**r, "amount": max(0.0, r["amount"])},
+        )
+        source = OperationalSource("ops", [{"dept": "a", "t": 1, "amount": -4.0}])
+        report = pipeline_for(schema, [rule]).run([source])
+        assert report.loaded == 1
+        assert schema.facts.total("amount") == 0.0
+
+
+class TestLoadValidation:
+    def test_schema_rejects_invalid_member_time(self, schema):
+        """Dept-B ends at t=9: a record at t=20 is rejected, not loaded."""
+        source = OperationalSource("ops", [{"dept": "b", "t": 20, "amount": 1.0}])
+        report = pipeline_for(schema).run([source])
+        assert report.loaded == 0
+        assert "schema rejection" in report.rejected[0][1]
+
+    def test_unknown_member_rejected(self, schema):
+        source = OperationalSource("ops", [{"dept": "ghost", "t": 1, "amount": 1.0}])
+        report = pipeline_for(schema).run([source])
+        assert report.rejected_count == 1
+
+    def test_mapper_crash_contained(self, schema):
+        source = OperationalSource("ops", [{"wrong_key": 1}])
+        report = pipeline_for(schema).run([source])
+        assert report.loaded == 0
+        assert "mapping error" in report.rejected[0][1]
+
+    def test_mixed_batch_partially_loads(self, schema):
+        source = OperationalSource(
+            "ops",
+            [
+                {"dept": "a", "t": 1, "amount": 1.0},
+                {"dept": "b", "t": 20, "amount": 2.0},  # invalid
+                {"dept": "a", "t": 2, "amount": 3.0},
+            ],
+        )
+        report = pipeline_for(schema).run([source])
+        assert report.extracted == 3
+        assert report.loaded == 2
+        assert report.rejected_count == 1
+        assert schema.facts.total("amount") == 4.0

@@ -1,0 +1,156 @@
+"""Tests for incremental MultiVersion maintenance."""
+
+import pytest
+
+from repro.core import (
+    AVG,
+    Measure,
+    ModelError,
+    MultiVersionFactTable,
+    SUM,
+)
+from repro.warehouse import IncrementalMultiVersion
+from repro.workloads.case_study import ORG, build_case_study, fact_instant
+
+
+def snapshot(mvft):
+    """A comparable snapshot of a MV table: per-mode cell dictionaries."""
+    out = {}
+    for label in mvft.modes.labels:
+        out[label] = {
+            (tuple(sorted(r.coordinates.items())), r.t): (
+                {m: r.value(m) for m in r.values},
+                {m: c.symbol for m, c in r.confidences.items()},
+            )
+            for r in mvft.slice(label)
+        }
+    return out
+
+
+class TestEquivalenceToBatchRebuild:
+    def test_appends_match_full_rebuild(self):
+        """Grow the fact table fact by fact; after every append the
+        incremental table equals a from-scratch rebuild."""
+        reference = build_case_study()
+        stream = [
+            (dict(row.coordinates), row.t, {m: row.value(m) for m in row.values})
+            for row in reference.schema.facts
+        ]
+        study = build_case_study(with_facts=False)
+        incremental = IncrementalMultiVersion(study.schema)
+        assert len(incremental.mvft) == 0
+        for coordinates, t, values in stream:
+            incremental.append_fact(coordinates, t, values)
+            rebuilt = MultiVersionFactTable.build(study.schema)
+            assert snapshot(incremental.mvft) == snapshot(rebuilt)
+
+    def test_final_state_matches_case_study(self, mvft):
+        reference = build_case_study()
+        study = build_case_study(with_facts=False)
+        incremental = IncrementalMultiVersion(study.schema)
+        for row in reference.schema.facts:
+            incremental.append_fact(
+                dict(row.coordinates), row.t, {m: row.value(m) for m in row.values}
+            )
+        assert snapshot(incremental.mvft) == snapshot(mvft)
+
+
+class TestMergingCells:
+    def test_second_fact_merges_into_mapped_cell(self):
+        """Two facts at the same instant on Bill and Paul both map onto
+        the Jones cell in mode V2 and must fold to their sum."""
+        study = build_case_study(with_facts=False)
+        incremental = IncrementalMultiVersion(study.schema)
+        t = fact_instant(2003)
+        incremental.append_fact({ORG: "bill"}, t, amount=150.0)
+        incremental.append_fact({ORG: "paul"}, t, amount=50.0)
+        cell = incremental.mvft.lookup({ORG: "jones"}, t, "V2")
+        assert cell is not None
+        assert cell.value("amount") == 200.0
+        assert cell.confidence("amount").symbol == "em"
+
+
+class TestLifecycle:
+    def test_validation_still_enforced(self):
+        study = build_case_study(with_facts=False)
+        incremental = IncrementalMultiVersion(study.schema)
+        from repro.core import FactValidityError
+
+        with pytest.raises(FactValidityError):
+            incremental.append_fact({ORG: "jones"}, fact_instant(2003), amount=1.0)
+
+    def test_unroutable_fact_recorded_as_unmapped(self):
+        from repro.core import EvolutionManager
+
+        study = build_case_study(with_facts=False)
+        manager = EvolutionManager(study.schema)
+        manager.create_member(
+            "org", "orphan", "Dpt.Orphan", fact_instant(2003) - 1,
+            parents=["sales"], level="Department",
+        )
+        incremental = IncrementalMultiVersion(study.schema)
+        incremental.append_fact({ORG: "orphan"}, fact_instant(2003), amount=5.0)
+        assert any(u.source == "orphan" for u in incremental.mvft.unmapped)
+
+    def test_invalidate_forces_rebuild(self):
+        study = build_case_study(with_facts=False)
+        incremental = IncrementalMultiVersion(study.schema)
+        first = incremental.mvft
+        incremental.invalidate()
+        assert incremental.mvft is not first
+
+    def test_non_foldable_aggregate_rejected(self):
+        from repro.core import (
+            Interval,
+            MemberVersion,
+            TemporalDimension,
+            TemporalMultidimensionalSchema,
+        )
+
+        d = TemporalDimension("org")
+        d.add_member(MemberVersion("a", "A", Interval(0)))
+        schema = TemporalMultidimensionalSchema(
+            [d], [Measure("amount", SUM), Measure("mean", AVG)]
+        )
+        with pytest.raises(ModelError):
+            IncrementalMultiVersion(schema)
+
+
+class TestDeltaReconstructionProperty:
+    """Hypothesis: delta-store reconstruction equals the full table on
+    random full-mix workloads."""
+
+    def test_random_workloads(self):
+        from hypothesis import given, settings, strategies as st
+        from repro.warehouse import DeltaMultiVersionStore
+        from repro.workloads.generator import WorkloadConfig, generate_workload
+
+        @settings(max_examples=10, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=10_000))
+        def check(seed):
+            wl = generate_workload(
+                WorkloadConfig(
+                    seed=seed, n_years=3, n_departments=7,
+                    transforms_per_year=1, deletions_per_year=1,
+                )
+            )
+            mvft = wl.schema.multiversion_facts()
+            delta = DeltaMultiVersionStore(mvft)
+            for label in mvft.modes.labels:
+                assert snapshot_mode(mvft, label) == snapshot_mode_rows(
+                    delta.slice(label)
+                )
+
+        def snapshot_mode(mvft, label):
+            return snapshot_mode_rows(mvft.slice(label))
+
+        def snapshot_mode_rows(rows):
+            return {
+                (tuple(sorted(r.coordinates.items())), r.t): (
+                    dict(r.values),
+                    {m: c.symbol for m, c in r.confidences.items()},
+                )
+                for r in rows
+            }
+
+        check()

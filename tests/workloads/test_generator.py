@@ -1,0 +1,137 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = generate_workload(WorkloadConfig(seed=11))
+        b = generate_workload(WorkloadConfig(seed=11))
+        assert a.events == b.events
+        assert [
+            (r.coordinates["org"], r.t, r.value("amount")) for r in a.schema.facts
+        ] == [(r.coordinates["org"], r.t, r.value("amount")) for r in b.schema.facts]
+
+    def test_different_seed_different_workload(self):
+        a = generate_workload(WorkloadConfig(seed=11))
+        b = generate_workload(WorkloadConfig(seed=12))
+        assert a.events != b.events or list(a.schema.facts) != list(b.schema.facts)
+
+
+class TestStructure:
+    def test_generated_schema_validates(self):
+        wl = generate_workload(WorkloadConfig(seed=5, n_years=4))
+        wl.schema.validate()
+
+    def test_event_mix_respects_config(self):
+        cfg = WorkloadConfig(
+            seed=5,
+            n_years=3,
+            splits_per_year=2,
+            merges_per_year=1,
+            reclassifications_per_year=0,
+            transforms_per_year=1,
+            creations_per_year=1,
+            deletions_per_year=1,
+        )
+        wl = generate_workload(cfg)
+        kinds = [kind for _, kind, _ in wl.events]
+        assert kinds.count("split") == 4  # 2 per year × 2 evolution years
+        assert kinds.count("merge") == 2
+        assert kinds.count("create") == 2
+        assert kinds.count("delete") == 2
+        assert kinds.count("transform") == 2
+
+    def test_structure_version_count_grows_with_years(self):
+        short = generate_workload(WorkloadConfig(seed=5, n_years=2))
+        long = generate_workload(WorkloadConfig(seed=5, n_years=6))
+        assert len(long.schema.structure_versions()) > len(
+            short.schema.structure_versions()
+        )
+
+    def test_facts_cover_every_year(self):
+        cfg = WorkloadConfig(seed=5, n_years=4, start_year=2010)
+        wl = generate_workload(cfg)
+        years = {t // 12 for t in (r.t for r in wl.schema.facts)}
+        assert years == {2010, 2011, 2012, 2013}
+
+    def test_multiple_facts_per_year_use_distinct_months(self):
+        cfg = WorkloadConfig(seed=5, n_years=2, facts_per_department_per_year=3)
+        wl = generate_workload(cfg)
+        months = {t % 12 for t in (r.t for r in wl.schema.facts)}
+        assert len(months) == 3
+
+    def test_amounts_within_bounds(self):
+        cfg = WorkloadConfig(seed=5, amount_low=50.0, amount_high=60.0)
+        wl = generate_workload(cfg)
+        for row in wl.schema.facts:
+            assert 50.0 <= row.value("amount") <= 60.0
+
+    def test_mvft_buildable_end_to_end(self):
+        wl = generate_workload(WorkloadConfig(seed=5, n_years=3))
+        mvft = wl.schema.multiversion_facts()
+        assert len(mvft.slice("tcm")) == len(wl.schema.facts)
+
+    def test_deletions_produce_unmapped_facts(self):
+        cfg = WorkloadConfig(
+            seed=5,
+            n_years=3,
+            splits_per_year=0,
+            merges_per_year=0,
+            reclassifications_per_year=0,
+            deletions_per_year=2,
+        )
+        wl = generate_workload(cfg)
+        mvft = wl.schema.multiversion_facts()
+        assert len(mvft.unmapped) > 0
+
+
+class TestTwoDimWorkload:
+    def test_deterministic(self):
+        from repro.workloads import TwoDimWorkloadConfig, generate_two_dim_workload
+
+        a = generate_two_dim_workload(TwoDimWorkloadConfig(seed=4))
+        b = generate_two_dim_workload(TwoDimWorkloadConfig(seed=4))
+        assert a.events == b.events
+        assert len(a.schema.facts) == len(b.schema.facts)
+
+    def test_schema_validates_and_builds_mvft(self):
+        from repro.workloads import TwoDimWorkloadConfig, generate_two_dim_workload
+
+        wl = generate_two_dim_workload(TwoDimWorkloadConfig(seed=4))
+        wl.schema.validate()
+        mvft = wl.schema.multiversion_facts()
+        assert len(mvft.slice("tcm")) == len(wl.schema.facts)
+
+    def test_facts_are_two_dimensional(self):
+        from repro.workloads import TwoDimWorkloadConfig, generate_two_dim_workload
+
+        wl = generate_two_dim_workload(TwoDimWorkloadConfig(seed=4))
+        row = next(iter(wl.schema.facts))
+        assert set(row.coordinates) == {"product", "store"}
+
+    def test_cross_dimension_totals_preserved_in_exact_modes(self):
+        from repro.workloads import TwoDimWorkloadConfig, generate_two_dim_workload
+
+        wl = generate_two_dim_workload(TwoDimWorkloadConfig(seed=4))
+        mvft = wl.schema.multiversion_facts()
+        source_total = wl.schema.facts.total("amount")
+        blocked = {u.mode for u in mvft.unmapped}
+        for label in mvft.modes.labels:
+            if label in blocked:
+                continue
+            rows = mvft.slice(label)
+            if any(r.value("amount") is None for r in rows):
+                continue
+            total = sum(r.value("amount") for r in rows)
+            assert total == pytest.approx(source_total, rel=1e-9)
+
+    def test_both_dimensions_evolve(self):
+        from repro.workloads import TwoDimWorkloadConfig, generate_two_dim_workload
+
+        wl = generate_two_dim_workload(TwoDimWorkloadConfig(seed=1))
+        kinds = {kind for _, kind, _ in wl.events}
+        assert "product-split" in kinds or "product-merge" in kinds
+        assert "store-reclassify" in kinds
