@@ -1,0 +1,135 @@
+"""Robustness-layer overhead and recovery throughput.
+
+Two questions a deployment needs answered before turning the
+transactional engine on:
+
+* how much does wrapping the §3.2 operators in a transaction (undo
+  capture + WAL append) cost compared to the bare :class:`SchemaEditor`?
+* how fast does crash recovery replay a long journal?
+"""
+
+import pytest
+
+from repro.core import (
+    EvolutionManager,
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    TransactionManager,
+    recover_schema,
+)
+
+
+def fresh_schema(departments=8):
+    d = TemporalDimension("Org")
+    d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+    for i in range(departments):
+        mvid = f"idD{i}"
+        d.add_member(MemberVersion(mvid, f"D{i}", Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship(mvid, "idP1", Interval(0)))
+    return TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+
+
+def run_merges(evolution, rounds=4):
+    for i in range(rounds):
+        evolution.merge_members(
+            "Org",
+            [f"idD{2 * i}", f"idD{2 * i + 1}"],
+            f"idM{i}",
+            f"M{i}",
+            10,
+            reverse_shares={f"idD{2 * i}": 0.5, f"idD{2 * i + 1}": None},
+        )
+
+
+class TestTransactionOverhead:
+    def test_bare_editor_baseline(self, benchmark):
+        def run():
+            run_merges(EvolutionManager(fresh_schema()))
+
+        benchmark(run)
+
+    def test_transactional_in_memory(self, benchmark):
+        """Undo capture only — no journal on disk."""
+
+        def run():
+            txm = TransactionManager(fresh_schema())
+            with txm.transaction():
+                run_merges(txm.evolution)
+
+        benchmark(run)
+
+    def test_transactional_with_wal(self, benchmark, tmp_path):
+        counter = {"n": 0}
+
+        def run():
+            counter["n"] += 1
+            txm = TransactionManager(
+                fresh_schema(), wal=tmp_path / f"bench-{counter['n']}.wal"
+            )
+            with txm.transaction():
+                run_merges(txm.evolution)
+            txm.wal.close()
+
+        benchmark(run)
+
+    def test_rollback_cost(self, benchmark):
+        """Fault at the last operator: full undo of the whole compound run."""
+
+        def run():
+            injector = FaultInjector()
+            injector.arm("txn.op.pre", at_call=20)  # 4 merges x 5 operators
+            txm = TransactionManager(fresh_schema(), fault_injector=injector)
+            try:
+                with txm.transaction():
+                    run_merges(txm.evolution)
+            except InjectedFault:
+                pass
+
+        benchmark(run)
+
+
+class TestRecoveryThroughput:
+    @pytest.fixture(scope="class")
+    def long_wal(self, tmp_path_factory):
+        """A journal of 40 committed transactions / 200 operator records."""
+        path = tmp_path_factory.mktemp("wal") / "long.wal"
+        txm = TransactionManager(fresh_schema(departments=80), wal=path)
+        for i in range(40):
+            with txm.transaction():
+                txm.evolution.merge_members(
+                    "Org",
+                    [f"idD{2 * i}", f"idD{2 * i + 1}"],
+                    f"idM{i}",
+                    f"M{i}",
+                    10,
+                    reverse_shares={f"idD{2 * i}": 0.5, f"idD{2 * i + 1}": None},
+                )
+        txm.wal.close()
+        return path
+
+    def test_replay_long_journal(self, benchmark, long_wal):
+        def run():
+            schema, report = recover_schema(long_wal)
+            assert report.operators_replayed == 200
+            return report
+
+        report = benchmark(run)
+        assert report.transactions_replayed == 40
+        assert report.integrity_violations == 0
+
+    def test_replay_without_verification(self, benchmark, long_wal):
+        """Integrity sweep excluded — the replay loop alone."""
+
+        def run():
+            recover_schema(long_wal, verify=False)
+
+        benchmark(run)

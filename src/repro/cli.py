@@ -8,7 +8,11 @@ Commands:
 * ``audit`` — audit the case-study schema (a template for auditing your
   own; exits non-zero when the audit finds errors);
 * ``graph`` — print the Figure-2 dimension graph;
-* ``modes`` — list the temporal modes of presentation.
+* ``modes`` — list the temporal modes of presentation;
+* ``integrity`` — run the structural invariant checker on the case-study
+  schema (exits non-zero on violations);
+* ``recover <wal>`` — replay a write-ahead journal and report what crash
+  recovery restored.
 
 The CLI is intentionally bound to the built-in case study: it is a
 demonstration surface, not a server.  Applications embed the library
@@ -60,6 +64,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("audit", help="audit the case-study schema")
     sub.add_parser("graph", help="print the Figure-2 dimension graph")
     sub.add_parser("modes", help="list the temporal modes of presentation")
+    sub.add_parser(
+        "integrity", help="check the case-study schema's structural invariants"
+    )
+    recover = sub.add_parser(
+        "recover", help="replay a write-ahead journal (crash recovery)"
+    )
+    recover.add_argument("wal", help="path to the JSONL write-ahead journal")
     return parser
 
 
@@ -126,6 +137,34 @@ def _cmd_modes(out) -> int:
     return 0
 
 
+def _cmd_integrity(out) -> int:
+    from repro.robustness import IntegrityChecker
+
+    study = build_case_study()
+    report = IntegrityChecker(study.schema).run()
+    print(report.to_text(), file=out)
+    return 0 if report.ok else 2
+
+
+def _cmd_recover(wal: str, out) -> int:
+    from repro.robustness import (
+        IntegrityChecker,
+        RecoveryError,
+        WALError,
+        recover_schema,
+    )
+
+    try:
+        schema, report = recover_schema(wal)
+    except (RecoveryError, WALError) as exc:
+        print(f"recovery failed: {exc}", file=out)
+        return 2
+    print(report.to_text(), file=out)
+    print(IntegrityChecker(schema).run().to_text(), file=out)
+    print(f"recovered: {schema!r}", file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -140,4 +179,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_graph(out)
     if args.command == "modes":
         return _cmd_modes(out)
+    if args.command == "integrity":
+        return _cmd_integrity(out)
+    if args.command == "recover":
+        return _cmd_recover(args.wal, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -15,7 +15,7 @@ and support non-onto, non-covering and multiple hierarchies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Any, Mapping
 
 from .chronology import Instant, Interval, critical_instants
 from .errors import (
@@ -295,6 +295,22 @@ class TemporalDimension:
                 raise
         return rel
 
+    def remove_member(self, mvid: str) -> MemberVersion:
+        """Unregister a member version that no relationship references.
+
+        This is *not* an evolution operator (the paper removes members by
+        ``Exclude``); it exists so a failed ``Insert`` can be compensated
+        without leaving a half-created member behind.
+        """
+        mv = self.member(mvid)
+        if self._rels_by_child.get(mvid) or self._rels_by_parent.get(mvid):
+            raise ModelError(
+                f"cannot remove {mvid!r} from {self.did!r}: temporal "
+                f"relationships still reference it"
+            )
+        del self._members[mvid]
+        return mv
+
     def replace_member(self, mv: MemberVersion) -> None:
         """Overwrite a member version in place (Exclude truncations)."""
         if mv.mvid not in self._members:
@@ -332,6 +348,26 @@ class TemporalDimension:
         for i, rel in enumerate(self._relationships):
             self._rels_by_child.setdefault(rel.child, []).append(i)
             self._rels_by_parent.setdefault(rel.parent, []).append(i)
+
+    # -- state capture (transactional undo) -----------------------------------
+
+    def capture_state(self) -> tuple[Any, ...]:
+        """An opaque, cheap copy of the dimension's mutable state.
+
+        Member versions and relationships are immutable, so shallow
+        container copies fully describe the dimension.  Pair with
+        :meth:`restore_state` to implement exact rollback — restoration
+        preserves insertion order, so a restored dimension serializes
+        byte-identically to the captured one.
+        """
+        return (dict(self._members), list(self._relationships))
+
+    def restore_state(self, state: tuple[Any, ...]) -> None:
+        """Restore a state captured by :meth:`capture_state`."""
+        members, relationships = state
+        self._members = dict(members)
+        self._relationships = list(relationships)
+        self._reindex()
 
     # -- time slicing ---------------------------------------------------------
 

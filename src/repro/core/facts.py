@@ -288,6 +288,21 @@ class TemporallyConsistentFactTable:
         """Iterate all fact rows in insertion order."""
         return iter(self._rows)
 
+    def truncate(self, length: int) -> int:
+        """Drop every row appended after position ``length``.
+
+        The fact table is append-only for *committed* data; truncation
+        exists solely so a transaction that loaded facts can roll them back
+        to its begin mark.  Returns the number of rows dropped.
+        """
+        if length < 0 or length > len(self._rows):
+            raise FactError(
+                f"cannot truncate {len(self._rows)} fact rows to {length}"
+            )
+        dropped = len(self._rows) - length
+        del self._rows[length:]
+        return dropped
+
     def __len__(self) -> int:
         return len(self._rows)
 

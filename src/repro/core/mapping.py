@@ -321,6 +321,29 @@ class MappingCatalog:
                 if measure not in self._measures:
                     self._measures.append(measure)
 
+    def remove(self, rel: MappingRelationship) -> None:
+        """Unregister a mapping relationship.
+
+        Mapping relationships are never removed by an evolution operator;
+        this exists so a rolled-back ``Associate`` can be compensated.  The
+        relationship is matched by endpoints; list order of the remaining
+        relationships is preserved.
+        """
+        for i, existing in enumerate(self._relationships):
+            if existing.source == rel.source and existing.target == rel.target:
+                del self._relationships[i]
+                break
+        else:
+            raise MappingError(
+                f"no mapping relationship {rel.source!r} => {rel.target!r} to remove"
+            )
+        self._by_source[rel.source] = [
+            r for r in self._by_source.get(rel.source, []) if r.target != rel.target
+        ]
+        self._by_target[rel.target] = [
+            r for r in self._by_target.get(rel.target, []) if r.source != rel.source
+        ]
+
     def __iter__(self) -> Iterator[MappingRelationship]:
         return iter(self._relationships)
 

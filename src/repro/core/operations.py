@@ -55,9 +55,19 @@ class OperationResult:
 class EvolutionManager:
     """High-level evolution operations compiled to basic operators."""
 
-    def __init__(self, schema: TemporalMultidimensionalSchema) -> None:
+    def __init__(
+        self,
+        schema: TemporalMultidimensionalSchema,
+        editor: SchemaEditor | None = None,
+    ) -> None:
+        """``editor`` defaults to a plain :class:`SchemaEditor`; pass a
+        subclass (e.g. the transactional editor of
+        :mod:`repro.robustness.transactions`) to intercept every basic
+        operator the operations compile to."""
+        if editor is not None and editor.schema is not schema:
+            raise OperatorError("the injected editor must edit the same schema")
         self.schema = schema
-        self.editor = SchemaEditor(schema)
+        self.editor = editor if editor is not None else SchemaEditor(schema)
 
     # -- internals ---------------------------------------------------------------
 

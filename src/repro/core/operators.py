@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from .chronology import NOW, Endpoint, Instant, Interval
-from .errors import OperatorError
+from .errors import OperatorError, ReproError
 from .mapping import MappingRelationship
 from .member import MemberVersion
 from .relationship import TemporalRelationship
@@ -94,12 +94,22 @@ class SchemaEditor:
             level=level,
         )
         dim.add_member(mv)
+        added: list[TemporalRelationship] = []
         try:
             for parent in parents:
-                dim.add_relationship(self._clipped_edge(did, mvid, parent, ti, tf))
+                added.append(
+                    dim.add_relationship(self._clipped_edge(did, mvid, parent, ti, tf))
+                )
             for child in children:
-                dim.add_relationship(self._clipped_edge(did, child, mvid, ti, tf))
-        except OperatorError:
+                added.append(
+                    dim.add_relationship(self._clipped_edge(did, child, mvid, ti, tf))
+                )
+        except ReproError:
+            # Compensate so a rejected Insert leaves the schema unchanged:
+            # drop the edges added so far, then the half-created member.
+            for rel in reversed(added):
+                dim.remove_relationship(rel)
+            dim.remove_member(mvid)
             raise
         self.journal.append(
             OperatorRecord(

@@ -42,6 +42,10 @@ __all__ = [
     "schema_from_dict",
     "save_schema",
     "load_schema",
+    "interval_to_json",
+    "interval_from_json",
+    "measure_map_to_json",
+    "measure_map_from_json",
 ]
 
 FORMAT_VERSION = 1
@@ -89,6 +93,14 @@ def _measure_map_from_json(payload: dict[str, Any]) -> MeasureMap:
     if payload["kind"] == "unknown":
         return MeasureMap(UnknownMapping(), confidence)
     raise SerializationError(f"unknown mapping-function kind {payload['kind']!r}")
+
+
+# Public aliases: the write-ahead journal (repro.robustness.wal) serializes
+# the same value shapes as full-schema snapshots, record by record.
+interval_to_json = _interval_to_json
+interval_from_json = _interval_from_json
+measure_map_to_json = _measure_map_to_json
+measure_map_from_json = _measure_map_from_json
 
 
 def schema_to_dict(schema: TemporalMultidimensionalSchema) -> dict[str, Any]:

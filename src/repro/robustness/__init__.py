@@ -1,0 +1,70 @@
+"""Operational hardening for the evolution engine.
+
+The paper's §3.2 operators are applied in multi-operator sequences (Table
+11); this package makes those sequences safe to run in production:
+
+* :mod:`~repro.robustness.transactions` — ``begin``/``commit``/``rollback``
+  over :class:`~repro.core.operations.EvolutionManager` and
+  :class:`~repro.storage.database.Database`, with an inverse-operator undo
+  log (all-or-nothing compound operations);
+* :mod:`~repro.robustness.wal` — a persistent JSONL write-ahead journal;
+* :mod:`~repro.robustness.recovery` — replay-based crash recovery to the
+  last committed transaction boundary;
+* :mod:`~repro.robustness.integrity` — on-demand validation of the paper's
+  invariants (Definitions 2, 3, 5, 7);
+* :mod:`~repro.robustness.faults` — deterministic, seedable fault
+  injection at named points;
+* :mod:`~repro.robustness.retry` — exponential-backoff retries for flaky
+  operational sources.
+
+See ``docs/robustness.md`` for the transaction API, the WAL format, the
+fault-point catalog and a recovery walkthrough.
+"""
+
+from .errors import (
+    InjectedFault,
+    RecoveryError,
+    RetryExhaustedError,
+    RobustnessError,
+    TransactionError,
+    WALError,
+)
+from .faults import FAULT_POINTS, FaultInjector, FaultPlan
+from .integrity import IntegrityChecker, IntegrityReport, Violation
+from .recovery import RecoveryReport, recover_schema, replay_operator
+from .retry import RetryPolicy
+from .transactions import (
+    Transaction,
+    TransactionalDatabase,
+    TransactionalEditor,
+    TransactionManager,
+    UndoRecord,
+)
+from .wal import WAL_FORMAT, WriteAheadJournal, operator_payload
+
+__all__ = [
+    "RobustnessError",
+    "TransactionError",
+    "WALError",
+    "RecoveryError",
+    "InjectedFault",
+    "RetryExhaustedError",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "IntegrityChecker",
+    "IntegrityReport",
+    "Violation",
+    "RecoveryReport",
+    "recover_schema",
+    "replay_operator",
+    "RetryPolicy",
+    "Transaction",
+    "TransactionManager",
+    "TransactionalDatabase",
+    "TransactionalEditor",
+    "UndoRecord",
+    "WAL_FORMAT",
+    "WriteAheadJournal",
+    "operator_payload",
+]

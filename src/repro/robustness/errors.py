@@ -1,0 +1,64 @@
+"""Exception hierarchy of the robustness subsystem.
+
+Everything derives from :class:`RobustnessError`, itself a
+:class:`~repro.core.errors.ReproError`, so applications keep a single
+catch-all for the whole library.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "RobustnessError",
+    "TransactionError",
+    "WALError",
+    "RecoveryError",
+    "InjectedFault",
+    "RetryExhaustedError",
+]
+
+
+class RobustnessError(ReproError):
+    """Base class of every robustness-subsystem error."""
+
+
+class TransactionError(RobustnessError):
+    """Raised on transaction protocol misuse — operators applied outside a
+    transaction, nested ``begin``, commit/rollback without a transaction."""
+
+
+class WALError(RobustnessError):
+    """Raised on an unusable write-ahead journal (corrupt records other
+    than a torn final line, unknown record kinds, bad format version)."""
+
+
+class RecoveryError(RobustnessError):
+    """Raised when crash recovery cannot rebuild a schema from the journal
+    (no checkpoint, replay of a committed operator fails)."""
+
+
+class InjectedFault(RobustnessError):
+    """The exception a tripped fault point raises.
+
+    Deliberately *not* derived from any domain error so production code
+    paths cannot accidentally swallow it as an expected failure.
+    """
+
+    def __init__(self, point: str, count: int) -> None:
+        super().__init__(f"injected fault at {point!r} (call #{count})")
+        self.point = point
+        self.count = count
+
+
+class RetryExhaustedError(RobustnessError):
+    """Raised when a retry policy runs out of attempts; ``__cause__`` holds
+    the last underlying exception."""
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"operation failed after {attempts} attempts: "
+            f"{type(last).__name__}: {last}"
+        )
+        self.attempts = attempts
+        self.last = last

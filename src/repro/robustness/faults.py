@@ -1,0 +1,173 @@
+"""Deterministic fault injection.
+
+A :class:`FaultInjector` is a registry of *named fault points*.  Code that
+wants to be testable under partial failure calls ``injector.fire("point")``
+at its hazardous boundaries; tests arm the points they care about —
+either at an exact call index (fully deterministic) or with a seeded
+probability (deterministic per seed) — and the injector raises
+:class:`InjectedFault` when a point trips.
+
+The injector is duck-typed on purpose: :class:`~repro.storage.database.Database`
+and :class:`~repro.warehouse.etl.ETLPipeline` accept any object with a
+``fire(point)`` method, so the core layers stay free of a dependency on
+this package.
+
+Fault-point catalog (see ``docs/robustness.md`` for the walkthrough):
+
+========================  ====================================================
+point                     fired
+========================  ====================================================
+``txn.begin``             when a transaction starts
+``txn.op.pre``            before each basic operator inside a transaction
+``txn.op.post``           after each basic operator, before it is journaled
+``txn.commit``            at commit, before the WAL commit record
+``txn.commit.durable``    after the WAL commit record is on disk
+``wal.append``            before each WAL record is written
+``db.insert``             before each checked :class:`Database` insert
+``db.insert_many.row``    before each row of a :meth:`Database.insert_many`
+``etl.extract``           before each operational-source extraction
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .errors import InjectedFault
+
+__all__ = ["FAULT_POINTS", "FaultPlan", "FaultInjector"]
+
+FAULT_POINTS: tuple[str, ...] = (
+    "txn.begin",
+    "txn.op.pre",
+    "txn.op.post",
+    "txn.commit",
+    "txn.commit.durable",
+    "wal.append",
+    "db.insert",
+    "db.insert_many.row",
+    "etl.extract",
+)
+
+
+@dataclass
+class FaultPlan:
+    """How one armed point misbehaves.
+
+    Exactly one of ``at_call`` (1-based call index that trips) or
+    ``probability`` (seeded chance per call) is set; ``times`` bounds how
+    many trips the plan will produce before exhausting itself.
+    """
+
+    point: str
+    at_call: int | None = None
+    probability: float | None = None
+    times: int = 1
+    exception: type[Exception] = InjectedFault
+    trips: int = field(default=0, init=False)
+
+    def exhausted(self) -> bool:
+        """Whether this plan has produced all its trips."""
+        return self.trips >= self.times
+
+    def should_trip(self, call_index: int, rng: random.Random) -> bool:
+        """Decide whether call ``call_index`` (1-based) trips."""
+        if self.exhausted():
+            return False
+        if self.at_call is not None:
+            return call_index == self.at_call
+        assert self.probability is not None
+        return rng.random() < self.probability
+
+
+class FaultInjector:
+    """A seeded, deterministic fault injector.
+
+    >>> inj = FaultInjector(seed=7)
+    >>> inj.arm("txn.op.pre", at_call=2)
+    >>> inj.fire("txn.op.pre")   # call 1: passes
+    >>> inj.fire("txn.op.pre")   # call 2: raises InjectedFault
+    Traceback (most recent call last):
+      ...
+    repro.robustness.errors.InjectedFault: injected fault at 'txn.op.pre' (call #2)
+
+    Determinism: probability plans draw from one ``random.Random(seed)``
+    private to the injector, and call counters advance only on ``fire`` —
+    the same program with the same seed trips the same faults.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._plans: dict[str, FaultPlan] = {}
+        self._calls: dict[str, int] = {}
+        self.trip_log: list[tuple[str, int]] = []
+
+    # -- arming ----------------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        *,
+        at_call: int | None = None,
+        probability: float | None = None,
+        times: int = 1,
+        exception: type[Exception] = InjectedFault,
+    ) -> FaultPlan:
+        """Arm a fault point.
+
+        ``at_call`` trips the exact Nth ``fire`` of that point (1-based);
+        ``probability`` trips each call with the given seeded chance.
+        Exactly one must be given.  Re-arming a point replaces its plan and
+        resets its call counter.
+        """
+        if (at_call is None) == (probability is None):
+            raise ValueError("arm() needs exactly one of at_call / probability")
+        if at_call is not None and at_call < 1:
+            raise ValueError("at_call is a 1-based call index")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        plan = FaultPlan(
+            point=point,
+            at_call=at_call,
+            probability=probability,
+            times=times,
+            exception=exception,
+        )
+        self._plans[point] = plan
+        self._calls[point] = 0
+        return plan
+
+    def disarm(self, point: str) -> None:
+        """Disarm a point (a no-op when the point is not armed)."""
+        self._plans.pop(point, None)
+
+    def disarm_all(self) -> None:
+        """Disarm every point; call counters and the trip log survive."""
+        self._plans.clear()
+
+    # -- firing ----------------------------------------------------------------
+
+    def fire(self, point: str) -> None:
+        """Pass through a fault point; raises when its plan trips."""
+        count = self._calls.get(point, 0) + 1
+        self._calls[point] = count
+        plan = self._plans.get(point)
+        if plan is None or not plan.should_trip(count, self._rng):
+            return
+        plan.trips += 1
+        self.trip_log.append((point, count))
+        if plan.exception is InjectedFault:
+            raise InjectedFault(point, count)
+        raise plan.exception(f"injected fault at {point!r} (call #{count})")
+
+    def calls(self, point: str) -> int:
+        """How many times ``point`` has fired so far."""
+        return self._calls.get(point, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(seed={self.seed}, armed={sorted(self._plans)}, "
+            f"trips={len(self.trip_log)})"
+        )

@@ -1,0 +1,294 @@
+"""On-demand validation of the paper's structural invariants.
+
+:class:`IntegrityChecker` is the non-throwing complement of
+:meth:`TemporalMultidimensionalSchema.validate`: instead of raising on the
+first problem it sweeps the whole schema and reports *every* violation,
+which is what crash recovery and operational monitoring need.  It checks:
+
+* **interval well-formedness** — every member-version and relationship
+  valid time has ``start <= end`` (defensive: corrupted states built
+  through internals can bypass the :class:`Interval` constructor);
+* **Definition 2 inclusion** — each temporal relationship's valid time
+  lies inside the intersection of its endpoints' valid times;
+* **rollup DAG acyclicity** — ``D(t)`` is acyclic at every critical
+  instant of every dimension, i.e. in every structure version;
+* **Definition 5 temporal consistency** — every fact row references
+  member versions that exist, are valid at the row's ``t`` and are leaves
+  at ``t``;
+* **mapping confidence-factor totality** — every mapping relationship
+  covers *every* schema measure in both directions with a canonical
+  confidence factor, and links existing leaf-capable member versions of
+  one dimension;
+* **MVid global uniqueness** across dimensions.
+
+The schema-quality *linter* lives in :mod:`repro.core.audit`; the checker
+here is about hard invariants, not modelling style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chronology import Interval, NowType
+from repro.core.confidence import CANONICAL_FACTORS
+from repro.core.errors import CyclicHierarchyError, ReproError
+from repro.core.schema import TemporalMultidimensionalSchema
+
+__all__ = ["Violation", "IntegrityReport", "IntegrityChecker"]
+
+_CANONICAL_SYMBOLS = {f.symbol for f in CANONICAL_FACTORS}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant.
+
+    ``code`` is a stable machine-readable identifier (``interval``,
+    ``relationship``, ``acyclicity``, ``fact``, ``mapping``, ``mvid``);
+    ``subject`` names the offending object.
+    """
+
+    code: str
+    subject: str
+    message: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.subject}: {self.message}"
+
+
+@dataclass
+class IntegrityReport:
+    """All violations of one integrity sweep."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the schema satisfies every checked invariant."""
+        return not self.violations
+
+    def by_code(self) -> dict[str, int]:
+        """Violation counts per invariant code."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.code] = out.get(v.code, 0) + 1
+        return out
+
+    def to_text(self) -> str:
+        """Human-readable listing (empty schemas report a clean bill)."""
+        if self.ok:
+            return "integrity: OK (0 violations)"
+        lines = [f"integrity: {len(self.violations)} violation(s)"]
+        for v in self.violations:
+            lines.append(f"  [{v.code}] {v.subject}: {v.message}")
+        return "\n".join(lines)
+
+
+class IntegrityChecker:
+    """Sweeps a schema and reports every invariant violation."""
+
+    def __init__(self, schema: TemporalMultidimensionalSchema) -> None:
+        self.schema = schema
+
+    def run(self) -> IntegrityReport:
+        """Run every check and return the consolidated report."""
+        report = IntegrityReport()
+        self._check_intervals(report)
+        self._check_relationships(report)
+        self._check_acyclicity(report)
+        self._check_facts(report)
+        self._check_mappings(report)
+        self._check_mvid_uniqueness(report)
+        return report
+
+    # -- individual sweeps -------------------------------------------------------
+
+    @staticmethod
+    def _interval_ok(interval: Interval) -> bool:
+        if not isinstance(interval, Interval):
+            return False
+        if isinstance(interval.end, NowType):
+            return isinstance(interval.start, int)
+        return isinstance(interval.start, int) and interval.start <= interval.end
+
+    def _check_intervals(self, report: IntegrityReport) -> None:
+        for did, dim in self.schema.dimensions.items():
+            for mv in dim.members.values():
+                if not self._interval_ok(mv.valid_time):
+                    report.violations.append(
+                        Violation(
+                            "interval",
+                            f"{did}/{mv.mvid}",
+                            f"member valid time {mv.valid_time!r} is ill-formed",
+                        )
+                    )
+            for rel in dim.relationships:
+                if not self._interval_ok(rel.valid_time):
+                    report.violations.append(
+                        Violation(
+                            "interval",
+                            f"{did}/{rel.child}->{rel.parent}",
+                            f"relationship valid time {rel.valid_time!r} is "
+                            f"ill-formed",
+                        )
+                    )
+
+    def _check_relationships(self, report: IntegrityReport) -> None:
+        for did, dim in self.schema.dimensions.items():
+            for rel in dim.relationships:
+                subject = f"{did}/{rel.child}->{rel.parent}"
+                if rel.child not in dim or rel.parent not in dim:
+                    report.violations.append(
+                        Violation(
+                            "relationship",
+                            subject,
+                            "relationship references a missing member version",
+                        )
+                    )
+                    continue
+                child, parent = dim.member(rel.child), dim.member(rel.parent)
+                if not (
+                    self._interval_ok(rel.valid_time)
+                    and self._interval_ok(child.valid_time)
+                    and self._interval_ok(parent.valid_time)
+                ):
+                    continue  # already reported by the interval sweep
+                common = child.valid_time.intersect(parent.valid_time)
+                if common is None or not common.covers(rel.valid_time):
+                    report.violations.append(
+                        Violation(
+                            "relationship",
+                            subject,
+                            f"valid time {rel.valid_time!r} escapes the "
+                            f"endpoints' intersection (Definition 2)",
+                        )
+                    )
+
+    def _check_acyclicity(self, report: IntegrityReport) -> None:
+        for did, dim in self.schema.dimensions.items():
+            try:
+                instants = dim.critical_instants()
+            except Exception:
+                # ill-formed valid times (reported by the interval sweep)
+                # make the critical instants themselves uncomputable
+                continue
+            for t in instants:
+                try:
+                    dim.at(t)
+                except CyclicHierarchyError as exc:
+                    report.violations.append(
+                        Violation("acyclicity", f"{did}@t={t}", str(exc))
+                    )
+                except Exception as exc:  # defensive: corrupt states may
+                    # break snapshot construction in arbitrary ways; the
+                    # sweep must survive to report the rest of the schema
+                    report.violations.append(
+                        Violation("acyclicity", f"{did}@t={t}", str(exc))
+                    )
+
+    def _check_facts(self, report: IntegrityReport) -> None:
+        for i, row in enumerate(self.schema.facts):
+            for did in self.schema.dimension_ids:
+                dim = self.schema.dimension(did)
+                try:
+                    mvid = row.coordinate(did)
+                except ReproError as exc:
+                    report.violations.append(
+                        Violation("fact", f"row#{i}", str(exc))
+                    )
+                    continue
+                subject = f"row#{i}({did}={mvid},t={row.t})"
+                if mvid not in dim:
+                    report.violations.append(
+                        Violation(
+                            "fact", subject, "coordinate names an unknown member"
+                        )
+                    )
+                    continue
+                mv = dim.member(mvid)
+                if not mv.valid_at(row.t):
+                    report.violations.append(
+                        Violation(
+                            "fact",
+                            subject,
+                            f"member not valid at t={row.t} "
+                            f"(valid {mv.valid_time!r})",
+                        )
+                    )
+                elif not dim.is_leaf_at(mvid, row.t):
+                    report.violations.append(
+                        Violation(
+                            "fact",
+                            subject,
+                            f"member is not a leaf at t={row.t} (Definition 5)",
+                        )
+                    )
+
+    def _check_mappings(self, report: IntegrityReport) -> None:
+        measures = set(self.schema.measure_names)
+        for rel in self.schema.mappings:
+            subject = f"{rel.source}=>{rel.target}"
+            dims = []
+            for endpoint in (rel.source, rel.target):
+                try:
+                    dim, _ = self.schema.find_member(endpoint)
+                    dims.append(dim.did)
+                except ReproError:
+                    report.violations.append(
+                        Violation(
+                            "mapping",
+                            subject,
+                            f"endpoint {endpoint!r} is not a member version of "
+                            f"any dimension",
+                        )
+                    )
+            if len(dims) == 2 and dims[0] != dims[1]:
+                report.violations.append(
+                    Violation(
+                        "mapping",
+                        subject,
+                        f"endpoints live in different dimensions "
+                        f"({dims[0]!r} vs {dims[1]!r})",
+                    )
+                )
+            for direction_name, direction in (
+                ("forward", rel.forward),
+                ("reverse", rel.reverse),
+            ):
+                missing = measures - set(direction)
+                if missing:
+                    report.violations.append(
+                        Violation(
+                            "mapping",
+                            subject,
+                            f"{direction_name} maps miss measures "
+                            f"{sorted(missing)} (confidence totality)",
+                        )
+                    )
+                for measure, mm in direction.items():
+                    if mm.confidence.symbol not in _CANONICAL_SYMBOLS:
+                        report.violations.append(
+                            Violation(
+                                "mapping",
+                                subject,
+                                f"{direction_name}[{measure}] carries "
+                                f"non-canonical confidence "
+                                f"{mm.confidence.symbol!r}",
+                            )
+                        )
+
+    def _check_mvid_uniqueness(self, report: IntegrityReport) -> None:
+        seen: dict[str, str] = {}
+        for did, dim in self.schema.dimensions.items():
+            for mvid in dim.members:
+                if mvid in seen and seen[mvid] != did:
+                    report.violations.append(
+                        Violation(
+                            "mvid",
+                            mvid,
+                            f"appears in dimensions {seen[mvid]!r} and {did!r}; "
+                            f"MVids must be globally unique",
+                        )
+                    )
+                else:
+                    seen.setdefault(mvid, did)

@@ -1,0 +1,110 @@
+"""Retry with exponential backoff.
+
+Operational sources are the flaky edge of the Figure-1 architecture —
+legacy systems, network shares, spreadsheets.  :class:`RetryPolicy`
+wraps any callable with bounded, exponentially backed-off retries; the
+jitter (when enabled) is drawn from a seeded generator so test runs are
+reproducible, and the sleep function is injectable so tests never
+actually wait.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .errors import RetryExhaustedError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay * multiplier**k`` seconds
+    before retrying, capped at ``max_delay``, plus a uniform jitter of up
+    to ``jitter`` fraction of the delay drawn from ``Random(seed)``.
+
+    ``retry_on`` restricts which exceptions are retried; anything else
+    propagates immediately.  When attempts are exhausted a
+    :class:`RetryExhaustedError` is raised chaining the last failure.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.0
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+    sleep: Callable[[float], None] = time.sleep
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter is a fraction in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def backoff_schedule(self) -> list[float]:
+        """The deterministic (jitter-free) delays between attempts."""
+        return [
+            min(self.base_delay * self.multiplier**k, self.max_delay)
+            for k in range(self.max_attempts - 1)
+        ]
+
+    def _delay(self, attempt: int) -> float:
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            delay += delay * self.jitter * self._rng.random()
+        return delay
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``fn`` under this policy and return its result."""
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt + 1 >= self.max_attempts:
+                    break
+                self.sleep(self._delay(attempt))
+        assert last is not None
+        raise RetryExhaustedError(self.max_attempts, last) from last
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """A callable that applies this policy to every invocation."""
+
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
+            return self.call(fn, *args, **kwargs)
+
+        wrapped.__name__ = getattr(fn, "__name__", "wrapped")
+        return wrapped
+
+    @staticmethod
+    def no_sleep(
+        max_attempts: int = 3,
+        *,
+        retry_on: Sequence[type[BaseException]] = (Exception,),
+        seed: int = 0,
+        jitter: float = 0.0,
+    ) -> "RetryPolicy":
+        """A policy that never actually waits — for tests and benchmarks."""
+        return RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=0.0,
+            max_delay=0.0,
+            jitter=jitter,
+            seed=seed,
+            retry_on=tuple(retry_on),
+            sleep=lambda _s: None,
+        )

@@ -1,0 +1,238 @@
+"""The persistent write-ahead journal (JSONL on disk).
+
+Every transaction the :class:`~repro.robustness.transactions.TransactionManager`
+runs is journaled as a sequence of records, one JSON object per line:
+
+* ``checkpoint`` — a full schema snapshot (:func:`schema_to_dict`); recovery
+  starts from the most recent one;
+* ``begin`` / ``commit`` / ``abort`` — transaction boundaries;
+* ``op`` — one basic operator (Insert/Exclude/Associate/Reclassify) with
+  JSON-serialized arguments, appended *after* the operator succeeded in
+  memory but strictly *before* the transaction's commit record — a logical
+  redo journal: replaying the committed records reproduces the schema;
+* ``fact`` — one fact row loaded inside a transaction.
+
+Torn tails are expected: a crash mid-append leaves a final line that is not
+valid JSON.  :meth:`WriteAheadJournal.records` silently drops a torn *final*
+line (the record was never durable) but raises :class:`WALError` on garbage
+anywhere else — that is corruption, not a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.chronology import NOW
+from repro.core.mapping import MappingRelationship
+from repro.core.schema import TemporalMultidimensionalSchema
+from repro.core.serialization import (
+    measure_map_from_json,
+    measure_map_to_json,
+    schema_to_dict,
+)
+
+from .errors import WALError
+
+__all__ = [
+    "WAL_FORMAT",
+    "RECORD_KINDS",
+    "WriteAheadJournal",
+    "operator_payload",
+    "mapping_relationship_to_json",
+    "mapping_relationship_from_json",
+]
+
+WAL_FORMAT = 1
+
+RECORD_KINDS = ("checkpoint", "begin", "op", "fact", "commit", "abort")
+
+
+def mapping_relationship_to_json(rel: MappingRelationship) -> dict[str, Any]:
+    """Serialize one mapping relationship (for ``Associate`` records)."""
+    return {
+        "source": rel.source,
+        "target": rel.target,
+        "forward": {m: measure_map_to_json(mm) for m, mm in rel.forward.items()},
+        "reverse": {m: measure_map_to_json(mm) for m, mm in rel.reverse.items()},
+    }
+
+
+def mapping_relationship_from_json(payload: dict[str, Any]) -> MappingRelationship:
+    """Rebuild a mapping relationship from :func:`mapping_relationship_to_json`."""
+    return MappingRelationship(
+        source=payload["source"],
+        target=payload["target"],
+        forward={
+            m: measure_map_from_json(spec) for m, spec in payload["forward"].items()
+        },
+        reverse={
+            m: measure_map_from_json(spec) for m, spec in payload["reverse"].items()
+        },
+    )
+
+
+def operator_payload(operator: str, arguments: dict[str, Any]) -> dict[str, Any]:
+    """JSON-encode one basic operator call (``NOW`` becomes ``null``)."""
+    encoded: dict[str, Any] = {}
+    for key, value in arguments.items():
+        if value is NOW:
+            encoded[key] = None
+        elif isinstance(value, MappingRelationship):
+            encoded[key] = mapping_relationship_to_json(value)
+        elif isinstance(value, tuple):
+            encoded[key] = list(value)
+        else:
+            encoded[key] = value
+    return {"op": operator, "args": encoded}
+
+
+class WriteAheadJournal:
+    """An append-only JSONL journal with monotonically increasing LSNs.
+
+    ``durable=True`` fsyncs after every append (the crash-safe setting);
+    the default flushes only, which is what the benchmarks measure as the
+    baseline journaling tax.  Opening an existing journal scans it once to
+    continue the LSN and transaction-id sequences.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        durable: bool = False,
+        fault_injector: Any = None,
+    ) -> None:
+        self.path = Path(path)
+        self.durable = durable
+        self.fault_injector = fault_injector
+        self._next_lsn = 1
+        self._next_txid = 1
+        if self.path.exists():
+            for record in self.records():
+                self._next_lsn = record["lsn"] + 1
+                txid = record.get("txid")
+                if isinstance(txid, int) and txid >= self._next_txid:
+                    self._next_txid = txid + 1
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # -- low-level append -------------------------------------------------------
+
+    def append(self, kind: str, **fields: Any) -> int:
+        """Append one record; returns its LSN."""
+        if kind not in RECORD_KINDS:
+            raise WALError(f"unknown WAL record kind {kind!r}")
+        if self.fault_injector is not None:
+            self.fault_injector.fire("wal.append")
+        record = {"lsn": self._next_lsn, "format": WAL_FORMAT, "kind": kind}
+        record.update(fields)
+        try:
+            line = json.dumps(record, separators=(",", ":"))
+        except TypeError as exc:
+            raise WALError(f"WAL record is not JSON-serializable: {exc}") from exc
+        self._file.write(line + "\n")
+        self._file.flush()
+        if self.durable:
+            os.fsync(self._file.fileno())
+        self._next_lsn += 1
+        return record["lsn"]
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- record helpers ---------------------------------------------------------
+
+    def next_txid(self) -> int:
+        """Allocate the next transaction id."""
+        txid = self._next_txid
+        self._next_txid += 1
+        return txid
+
+    def checkpoint(self, schema: TemporalMultidimensionalSchema) -> int:
+        """Write a full schema snapshot; recovery replays from here."""
+        return self.append("checkpoint", schema=schema_to_dict(schema))
+
+    def begin(self, txid: int) -> int:
+        """Journal a transaction start."""
+        return self.append("begin", txid=txid)
+
+    def operator(self, txid: int, payload: dict[str, Any]) -> int:
+        """Journal one applied basic operator (see :func:`operator_payload`)."""
+        return self.append("op", txid=txid, **payload)
+
+    def fact(
+        self,
+        txid: int,
+        coordinates: dict[str, str],
+        t: int,
+        values: dict[str, float | None],
+    ) -> int:
+        """Journal one fact row loaded inside a transaction."""
+        return self.append("fact", txid=txid, coordinates=coordinates, t=t, values=values)
+
+    def commit(self, txid: int) -> int:
+        """Journal a commit — the durability point of the transaction."""
+        return self.append("commit", txid=txid)
+
+    def abort(self, txid: int) -> int:
+        """Journal an explicit rollback (advisory: recovery also discards
+        transactions that simply lack a commit record)."""
+        return self.append("abort", txid=txid)
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every durable record, in LSN order.
+
+        A torn final line (crash mid-append) is dropped; a malformed line
+        elsewhere, an unknown kind, a bad format version or a non-monotonic
+        LSN raises :class:`WALError`.
+        """
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        last_lsn = 0
+        for i, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn tail: the record never became durable
+                raise WALError(
+                    f"{self.path}:{i + 1}: corrupt WAL record (not valid JSON)"
+                ) from None
+            if record.get("format") != WAL_FORMAT:
+                raise WALError(
+                    f"{self.path}:{i + 1}: unsupported WAL format "
+                    f"{record.get('format')!r}"
+                )
+            if record.get("kind") not in RECORD_KINDS:
+                raise WALError(
+                    f"{self.path}:{i + 1}: unknown record kind {record.get('kind')!r}"
+                )
+            if record.get("lsn", 0) <= last_lsn:
+                raise WALError(
+                    f"{self.path}:{i + 1}: non-monotonic LSN {record.get('lsn')!r}"
+                )
+            last_lsn = record["lsn"]
+            out.append(record)
+        return out
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadJournal({str(self.path)!r}, next_lsn={self._next_lsn})"

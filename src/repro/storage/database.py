@@ -18,11 +18,24 @@ __all__ = ["Database"]
 
 
 class Database:
-    """An in-memory catalog of relational tables."""
+    """An in-memory catalog of relational tables.
 
-    def __init__(self, name: str = "warehouse") -> None:
+    ``fault_injector`` is an optional duck-typed hook (any object with a
+    ``fire(point: str)`` method, e.g.
+    :class:`repro.robustness.faults.FaultInjector`); the database fires the
+    named fault points ``db.insert`` (before each checked insert) and
+    ``db.insert_many.row`` (before each batch row) so robustness tests can
+    provoke mid-write failures deterministically.
+    """
+
+    def __init__(self, name: str = "warehouse", *, fault_injector: Any = None) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
+        self.fault_injector = fault_injector
+
+    def _fire(self, point: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.fire(point)
 
     # -- catalog -----------------------------------------------------------------
 
@@ -81,6 +94,7 @@ class Database:
         current rows; ``None`` components opt out (SQL semantics).
         """
         table = self.table(table_name)
+        self._fire("db.insert")
         if check_fk:
             coerced = table.schema.coerce_row(row)
             for fk in table.schema.foreign_keys:
@@ -105,11 +119,25 @@ class Database:
         *,
         check_fk: bool = True,
     ) -> int:
-        """Bulk insert with optional FK enforcement."""
+        """Bulk insert with optional FK enforcement — all-or-nothing.
+
+        Rows are applied in order (so a later row may satisfy its foreign
+        key through an earlier row of the same batch), but any failure —
+        FK violation, duplicate key, coercion error — rolls the whole batch
+        back before re-raising: the table is left exactly as it was.
+        """
+        table = self.table(table_name)
+        inserted: list[int] = []
         count = 0
-        for row in rows:
-            self.insert(table_name, row, check_fk=check_fk)
-            count += 1
+        try:
+            for row in rows:
+                self._fire("db.insert_many.row")
+                inserted.append(self.insert(table_name, row, check_fk=check_fk))
+                count += 1
+        except Exception:
+            for rid in reversed(inserted):
+                table.remove_row(rid)
+            raise
         return count
 
     # -- introspection -------------------------------------------------------------------

@@ -97,6 +97,49 @@ class Table:
             if row is not None:
                 yield dict(row)
 
+    def items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(row id, row copy)`` pairs for live rows.
+
+        Row ids are stable slot positions — the handle transactional undo
+        (:mod:`repro.robustness.transactions`) uses to capture pre-images.
+        """
+        for rid, row in enumerate(self._slots):
+            if row is not None:
+                yield rid, dict(row)
+
+    def remove_row(self, rid: int) -> dict[str, Any]:
+        """Remove one row by row id, returning its content.
+
+        Used to compensate an insert during a rollback; the slot stays
+        allocated (as after :meth:`delete`) so other row ids are unaffected.
+        """
+        if rid < 0 or rid >= len(self._slots) or self._slots[rid] is None:
+            raise StorageError(f"table {self.name!r} has no live row {rid}")
+        row = self._slots[rid]
+        assert row is not None
+        for index in self._indexes.values():
+            index.remove(rid, row)
+        self._slots[rid] = None
+        return dict(row)
+
+    def restore_row(self, rid: int, row: Mapping[str, Any]) -> None:
+        """Put a previously captured row back into slot ``rid``.
+
+        Compensates an update (overwriting the current content) or a delete
+        (refilling the emptied slot) during a rollback.  The row is coerced
+        against the schema and re-indexed.
+        """
+        if rid < 0 or rid >= len(self._slots):
+            raise StorageError(f"table {self.name!r} has no slot {rid}")
+        coerced = self.schema.coerce_row(row)
+        current = self._slots[rid]
+        if current is not None:
+            for index in self._indexes.values():
+                index.remove(rid, current)
+        self._slots[rid] = coerced
+        for index in self._indexes.values():
+            index.add(rid, coerced)
+
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return self.rows()
 

@@ -78,21 +78,38 @@ class FactMapping:
 
 @dataclass
 class LoadReport:
-    """Outcome of one pipeline run."""
+    """Outcome of one pipeline run.
+
+    ``failed_sources`` lists ``(source name, reason)`` for sources whose
+    extraction failed outright (after any configured retries); the pipeline
+    degrades gracefully and keeps loading the remaining sources.
+    """
 
     extracted: int = 0
     loaded: int = 0
     rejected: list[tuple[RawRecord, str]] = field(default_factory=list)
+    failed_sources: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def rejected_count(self) -> int:
         """Number of rejected records."""
         return len(self.rejected)
 
+    @property
+    def failed_source_count(self) -> int:
+        """Number of sources whose extraction failed."""
+        return len(self.failed_sources)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every source was extracted successfully."""
+        return not self.failed_sources
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"LoadReport(extracted={self.extracted}, loaded={self.loaded}, "
-            f"rejected={self.rejected_count})"
+            f"rejected={self.rejected_count}, "
+            f"failed_sources={self.failed_source_count})"
         )
 
 
@@ -105,10 +122,28 @@ class ETLPipeline:
         *,
         rules: Sequence[CleaningRule] = (),
         mapping: FactMapping,
+        retry: Any = None,
+        fault_injector: Any = None,
     ) -> None:
+        """``retry`` is an optional policy (any object with a
+        ``call(fn) -> result`` method, e.g.
+        :class:`repro.robustness.retry.RetryPolicy`) applied to each
+        ``source.extract()`` — operational sources are the flaky edge of
+        the architecture.  ``fault_injector`` is a duck-typed hook (an
+        object with ``fire(point)``) firing the ``etl.extract`` fault point
+        before each extraction."""
         self.schema = schema
         self.rules = list(rules)
         self.mapping = mapping
+        self.retry = retry
+        self.fault_injector = fault_injector
+
+    def _extract(self, source: OperationalSource) -> list[RawRecord]:
+        if self.fault_injector is not None:
+            self.fault_injector.fire("etl.extract")
+        if self.retry is not None:
+            return self.retry.call(source.extract)
+        return source.extract()
 
     def run(self, sources: Iterable[OperationalSource]) -> LoadReport:
         """Run the pipeline over all sources and return the load report.
@@ -116,10 +151,20 @@ class ETLPipeline:
         Records failing a cleaning rule, the fact mapping, or the schema's
         Definition 5 validation are collected in ``report.rejected`` with a
         reason string — the warehouse only ever receives consistent data.
+        A source whose extraction raises (after any configured retries) is
+        recorded in ``report.failed_sources`` and the load continues with
+        the remaining sources instead of aborting wholesale.
         """
         report = LoadReport()
         for source in sources:
-            for record in source.extract():
+            try:
+                records = self._extract(source)
+            except Exception as exc:
+                report.failed_sources.append(
+                    (source.name, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            for record in records:
                 report.extracted += 1
                 cleaned: RawRecord | None = record
                 rejected_by: str | None = None

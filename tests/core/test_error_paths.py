@@ -1,0 +1,187 @@
+"""Error paths of the §3.2 operators: exact exception types, and the
+schema is left byte-identical after every rejected call."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    DuplicateMemberVersionError,
+    Interval,
+    MappingError,
+    Measure,
+    MemberVersion,
+    OperatorError,
+    SchemaEditor,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+    UnknownDimensionError,
+    UnknownMemberVersionError,
+)
+from repro.core.mapping import MappingRelationship, identity_maps
+from repro.core.serialization import schema_to_dict
+
+
+def build_schema():
+    d = TemporalDimension("Org")
+    d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+    d.add_member(MemberVersion("idV", "V", Interval(0), level="Department"))
+    d.add_member(
+        MemberVersion("idOld", "Old", Interval(0, 5), level="Department")
+    )
+    d.add_relationship(TemporalRelationship("idV", "idP1", Interval(0)))
+    d.add_relationship(TemporalRelationship("idOld", "idP1", Interval(0, 5)))
+    return TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+
+
+def fingerprint(schema):
+    return json.dumps(schema_to_dict(schema), sort_keys=True)
+
+
+@pytest.fixture()
+def schema():
+    return build_schema()
+
+
+@pytest.fixture()
+def editor(schema):
+    return SchemaEditor(schema)
+
+
+@pytest.fixture()
+def before(schema):
+    return fingerprint(schema)
+
+
+class TestInsertErrors:
+    def test_duplicate_mvid_is_rejected(self, schema, editor, before):
+        with pytest.raises(DuplicateMemberVersionError):
+            editor.insert("Org", "idV", "V again", 3)
+        assert fingerprint(schema) == before
+        assert editor.journal == []
+
+    def test_unknown_dimension_is_rejected(self, schema, editor, before):
+        with pytest.raises(UnknownDimensionError):
+            editor.insert("Geo", "idX", "X", 3)
+        assert fingerprint(schema) == before
+
+    def test_unknown_parent_cleans_up_the_half_created_member(
+        self, schema, editor, before
+    ):
+        with pytest.raises(UnknownMemberVersionError):
+            editor.insert("Org", "idX", "X", 3, parents=["idNOPE"])
+        # the member added before the parent lookup failed must be gone
+        assert "idX" not in schema.dimension("Org")
+        assert fingerprint(schema) == before
+        assert editor.journal == []
+
+    def test_disjoint_parent_validity_cleans_up(self, schema, editor, before):
+        # idOld ends at 5; relating a member starting at 10 to it is empty
+        with pytest.raises(OperatorError):
+            editor.insert("Org", "idX", "X", 10, parents=["idOld"])
+        assert "idX" not in schema.dimension("Org")
+        assert fingerprint(schema) == before
+
+    def test_failure_on_second_parent_also_unwinds_the_first_edge(
+        self, schema, editor, before
+    ):
+        with pytest.raises(UnknownMemberVersionError):
+            editor.insert("Org", "idX", "X", 3, parents=["idP1", "idNOPE"])
+        assert fingerprint(schema) == before
+
+
+class TestExcludeErrors:
+    def test_unknown_member_is_rejected(self, schema, editor, before):
+        with pytest.raises(UnknownMemberVersionError):
+            editor.exclude("Org", "idNOPE", 5)
+        assert fingerprint(schema) == before
+        assert editor.journal == []
+
+    def test_exclusion_before_the_member_exists_is_rejected(
+        self, schema, editor, before
+    ):
+        with pytest.raises(OperatorError):
+            editor.exclude("Org", "idV", 0)
+        assert fingerprint(schema) == before
+
+
+class TestReclassifyErrors:
+    def test_unknown_member_is_rejected(self, schema, editor, before):
+        with pytest.raises(UnknownMemberVersionError):
+            editor.reclassify("Org", "idNOPE", 3, old_parents=["idP1"])
+        assert fingerprint(schema) == before
+
+    def test_stale_old_parents_are_rejected(self, schema, editor, before):
+        # idOld's edge to idP1 ended at 5 — at t=8 it is no longer a parent
+        with pytest.raises(OperatorError):
+            editor.reclassify(
+                "Org", "idOld", 8, old_parents=["idP1"], new_parents=[]
+            )
+        assert fingerprint(schema) == before
+        assert editor.journal == []
+
+    def test_non_parent_old_set_is_rejected(self, schema, editor, before):
+        with pytest.raises(OperatorError):
+            editor.reclassify("Org", "idV", 3, old_parents=["idOld"])
+        assert fingerprint(schema) == before
+
+
+class TestAssociateErrors:
+    def test_unknown_endpoint_is_rejected(self, schema, editor, before):
+        with pytest.raises(UnknownMemberVersionError):
+            editor.associate(
+                MappingRelationship(
+                    source="idV",
+                    target="idNOPE",
+                    forward=identity_maps(["m"]),
+                    reverse=identity_maps(["m"]),
+                )
+            )
+        assert fingerprint(schema) == before
+        assert len(schema.mappings) == 0
+
+    def test_self_mapping_is_rejected_at_construction(self):
+        with pytest.raises(MappingError):
+            MappingRelationship(source="idV", target="idV")
+
+    def test_unknown_measure_is_rejected(self, schema, editor, before):
+        with pytest.raises(MappingError):
+            editor.associate(
+                MappingRelationship(
+                    source="idV",
+                    target="idOld",
+                    forward=identity_maps(["profit"]),
+                    reverse=identity_maps(["profit"]),
+                )
+            )
+        assert fingerprint(schema) == before
+
+    def test_non_leaf_endpoint_is_rejected(self, schema, editor, before):
+        with pytest.raises(MappingError):
+            editor.associate(
+                MappingRelationship(
+                    source="idP1",
+                    target="idV",
+                    forward=identity_maps(["m"]),
+                    reverse=identity_maps(["m"]),
+                )
+            )
+        assert fingerprint(schema) == before
+
+
+class TestFactErrors:
+    def test_fact_against_non_leaf_is_rejected(self, schema, before):
+        from repro.core import FactValidityError
+
+        with pytest.raises(FactValidityError):
+            schema.add_fact({"Org": "idP1"}, 3, {"m": 1.0})
+        assert fingerprint(schema) == before
+
+    def test_fact_outside_member_validity_is_rejected(self, schema, before):
+        from repro.core import FactValidityError
+
+        with pytest.raises(FactValidityError):
+            schema.add_fact({"Org": "idOld"}, 10, {"m": 1.0})
+        assert fingerprint(schema) == before

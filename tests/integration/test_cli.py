@@ -85,3 +85,55 @@ class TestParser:
         )
         assert proc.returncode == 0
         assert "tcm:" in proc.stdout
+
+
+class TestIntegrityCommand:
+    def test_case_study_passes(self):
+        status, out = run_cli("integrity")
+        assert status == 0
+        assert "integrity: OK" in out
+
+
+class TestRecoverCommand:
+    def make_wal(self, tmp_path):
+        from repro.core import Interval, Measure, MemberVersion, SUM
+        from repro.core import TemporalDimension, TemporalMultidimensionalSchema
+        from repro.core import TemporalRelationship
+        from repro.robustness import TransactionManager
+
+        d = TemporalDimension("Org")
+        d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+        d.add_member(MemberVersion("idV", "V", Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship("idV", "idP1", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        txm = TransactionManager(schema, wal=tmp_path / "demo.wal")
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idW", "W", 5, parents=["idP1"])
+        # a crash leaves an uncommitted transaction in the journal
+        txm.begin()
+        txm.evolution.create_member("Org", "idLost", "Lost", 6, parents=["idP1"])
+        return tmp_path / "demo.wal"
+
+    def test_recover_replays_committed_work(self, tmp_path):
+        wal = self.make_wal(tmp_path)
+        status, out = run_cli("recover", str(wal))
+        assert status == 0
+        assert "transactions replayed: 1" in out
+        assert "discarded" in out
+        assert "integrity: OK" in out
+
+    def test_recover_reports_failure_on_empty_journal(self, tmp_path):
+        empty = tmp_path / "empty.wal"
+        empty.write_text("")
+        status, out = run_cli("recover", str(empty))
+        assert status == 2
+        assert "recovery failed" in out
+
+    def test_recover_reports_corruption_without_traceback(self, tmp_path):
+        wal = self.make_wal(tmp_path)
+        lines = wal.read_text().splitlines()
+        lines[2] = "GARBAGE-NOT-JSON"
+        wal.write_text("\n".join(lines) + "\n")
+        status, out = run_cli("recover", str(wal))
+        assert status == 2
+        assert "recovery failed" in out and "not valid JSON" in out

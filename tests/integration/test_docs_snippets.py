@@ -83,3 +83,40 @@ class TestDocsExtending:
             "Audit checks",
         ):
             assert topic in text
+
+
+class TestDocsRobustness:
+    def test_robustness_snippets_run(self, tmp_path, monkeypatch, capsys):
+        # the snippets journal to relative paths — run them in a sandbox
+        monkeypatch.chdir(tmp_path)
+        from repro.core import (
+            Interval,
+            Measure,
+            MemberVersion,
+            SUM,
+            TemporalDimension,
+            TemporalMultidimensionalSchema,
+            TemporalRelationship,
+        )
+
+        d = TemporalDimension("Org")
+        d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+        for mvid in ("idV1", "idV2"):
+            d.add_member(
+                MemberVersion(mvid, mvid[2:], Interval(0), level="Department")
+            )
+            d.add_relationship(TemporalRelationship(mvid, "idP1", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        namespace: dict = {"schema": schema, "tf": 10}
+        path = ROOT / "docs" / "robustness.md"
+        for block in python_blocks(path):
+            exec(compile(block, str(path), "exec"), namespace)
+        out = capsys.readouterr().out
+        assert "transactions replayed" in out  # report.to_text() was printed
+
+    def test_robustness_doc_covers_the_catalog(self):
+        text = (ROOT / "docs" / "robustness.md").read_text()
+        from repro.robustness import FAULT_POINTS
+
+        for point in FAULT_POINTS:
+            assert point in text

@@ -97,7 +97,7 @@ class TestMvqlAnalysis:
 class TestWarehousePipeline:
     def test_runs_full_architecture(self):
         out = run_example("warehouse_pipeline")
-        assert "LoadReport(extracted=12, loaded=10, rejected=2)" in out
+        assert "LoadReport(extracted=12, loaded=10, rejected=2, failed_sources=0)" in out
         assert "mv_fact" in out
         assert "matches the conceptual query engine" in out
         assert "Persisted and reloaded" in out

@@ -1,0 +1,1 @@
+"""Tests for the robustness subsystem (transactions, WAL, recovery, faults)."""

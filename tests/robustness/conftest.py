@@ -1,0 +1,36 @@
+"""Shared fixtures for the robustness tests."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.core.serialization import schema_to_dict
+
+
+def build_schema():
+    """A small Table-11-style schema: one division, three departments."""
+    d = TemporalDimension("Org")
+    d.add_member(MemberVersion("idP1", "P1", Interval(0), level="Division"))
+    for mvid in ("idV", "idV1", "idV2"):
+        d.add_member(MemberVersion(mvid, mvid[2:], Interval(0), level="Department"))
+        d.add_relationship(TemporalRelationship(mvid, "idP1", Interval(0)))
+    return TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+
+
+def fingerprint(schema):
+    """A canonical serialization — byte-identity is compared on this."""
+    return json.dumps(schema_to_dict(schema), sort_keys=True)
+
+
+@pytest.fixture()
+def schema():
+    return build_schema()

@@ -1,0 +1,217 @@
+"""FaultInjector determinism, retry backoff, and ETL graceful degradation."""
+
+import pytest
+
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+from repro.warehouse import ETLPipeline, FactMapping, OperationalSource
+
+from .conftest import build_schema
+
+
+class TestFaultInjector:
+    def test_at_call_trips_exactly_once(self):
+        inj = FaultInjector()
+        inj.arm("db.insert", at_call=3)
+        inj.fire("db.insert")
+        inj.fire("db.insert")
+        with pytest.raises(InjectedFault) as e:
+            inj.fire("db.insert")
+        assert e.value.point == "db.insert" and e.value.count == 3
+        inj.fire("db.insert")  # plan exhausted, passes again
+        assert inj.calls("db.insert") == 4
+        assert inj.trip_log == [("db.insert", 3)]
+
+    def test_times_bounds_probability_plans(self):
+        inj = FaultInjector(seed=42)
+        inj.arm("etl.extract", probability=1.0, times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                inj.fire("etl.extract")
+        inj.fire("etl.extract")  # third call: plan exhausted
+
+    def test_same_seed_same_trips(self):
+        def trace(seed):
+            inj = FaultInjector(seed=seed)
+            inj.arm("wal.append", probability=0.3, times=100)
+            hits = []
+            for i in range(50):
+                try:
+                    inj.fire("wal.append")
+                except InjectedFault:
+                    hits.append(i)
+            return hits
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_rearming_resets_the_call_counter(self):
+        inj = FaultInjector()
+        inj.arm("db.insert", at_call=1)
+        with pytest.raises(InjectedFault):
+            inj.fire("db.insert")
+        inj.arm("db.insert", at_call=1)
+        with pytest.raises(InjectedFault):
+            inj.fire("db.insert")
+
+    def test_custom_exception_type(self):
+        inj = FaultInjector()
+        inj.arm("etl.extract", at_call=1, exception=ConnectionError)
+        with pytest.raises(ConnectionError):
+            inj.fire("etl.extract")
+
+    def test_disarm_and_arm_validation(self):
+        inj = FaultInjector()
+        inj.arm("db.insert", at_call=1)
+        inj.disarm("db.insert")
+        inj.fire("db.insert")  # no longer armed
+        with pytest.raises(ValueError):
+            inj.arm("db.insert")  # neither at_call nor probability
+        with pytest.raises(ValueError):
+            inj.arm("db.insert", at_call=1, probability=0.5)  # both
+        with pytest.raises(ValueError):
+            inj.arm("db.insert", at_call=0)
+        with pytest.raises(ValueError):
+            inj.arm("db.insert", probability=1.5)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, max_delay=5.0,
+            sleep=lambda _s: None,
+        )
+        assert policy.backoff_schedule() == [1.0, 2.0, 4.0, 5.0]
+
+    def test_succeeds_after_transient_failures(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, multiplier=2.0, sleep=sleeps.append
+        )
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise ConnectionError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert attempts["n"] == 3
+        assert sleeps == [0.1, 0.2]
+
+    def test_exhaustion_chains_the_last_error(self):
+        policy = RetryPolicy.no_sleep(max_attempts=3)
+
+        def always_fails():
+            raise ConnectionError("down")
+
+        with pytest.raises(RetryExhaustedError) as e:
+            policy.call(always_fails)
+        assert e.value.attempts == 3
+        assert isinstance(e.value.__cause__, ConnectionError)
+
+    def test_non_retryable_exceptions_propagate_immediately(self):
+        policy = RetryPolicy.no_sleep(max_attempts=5, retry_on=(ConnectionError,))
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(fails)
+        assert calls["n"] == 1
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def delays(seed):
+            out = []
+            policy = RetryPolicy(
+                max_attempts=4, base_delay=1.0, jitter=0.5, seed=seed,
+                sleep=out.append,
+            )
+            with pytest.raises(RetryExhaustedError):
+                policy.call(lambda: (_ for _ in ()).throw(OSError("x")))
+            return out
+
+        a, b = delays(5), delays(5)
+        assert a == b
+        assert all(base <= d for base, d in zip([1.0, 2.0, 4.0], a))
+
+    def test_wrap_preserves_behaviour(self):
+        policy = RetryPolicy.no_sleep(max_attempts=2)
+        wrapped = policy.wrap(lambda x: x * 2)
+        assert wrapped(21) == 42
+
+
+class FlakySource(OperationalSource):
+    """Extraction fails ``failures`` times, then succeeds."""
+
+    def __init__(self, name, records, failures):
+        super().__init__(name, records)
+        self.failures = failures
+        self.attempts = 0
+
+    def extract(self):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise ConnectionError(f"{self.name} unreachable")
+        return super().extract()
+
+
+def make_pipeline(schema, **kwargs):
+    mapping = FactMapping(
+        lambda r: ({"Org": r["dept"]}, r["t"], {"m": r["m"]})
+    )
+    return ETLPipeline(schema, mapping=mapping, **kwargs)
+
+
+class TestETLDegradation:
+    def test_failed_source_is_reported_and_load_continues(self, schema):
+        pipeline = make_pipeline(schema)
+        report = pipeline.run(
+            [
+                FlakySource("legacy", [{"dept": "idV", "t": 3, "m": 1.0}], 99),
+                OperationalSource("good", [{"dept": "idV1", "t": 3, "m": 2.0}]),
+            ]
+        )
+        assert report.loaded == 1
+        assert not report.complete
+        assert report.failed_source_count == 1
+        assert report.failed_sources[0][0] == "legacy"
+        assert "ConnectionError" in report.failed_sources[0][1]
+
+    def test_retry_recovers_a_flaky_source(self, schema):
+        source = FlakySource("legacy", [{"dept": "idV", "t": 3, "m": 1.0}], 2)
+        pipeline = make_pipeline(schema, retry=RetryPolicy.no_sleep(max_attempts=3))
+        report = pipeline.run([source])
+        assert report.complete
+        assert report.loaded == 1
+        assert source.attempts == 3
+
+    def test_retry_exhaustion_degrades_gracefully(self, schema):
+        source = FlakySource("legacy", [{"dept": "idV", "t": 3, "m": 1.0}], 5)
+        pipeline = make_pipeline(schema, retry=RetryPolicy.no_sleep(max_attempts=3))
+        report = pipeline.run([source])
+        assert not report.complete
+        assert "RetryExhaustedError" in report.failed_sources[0][1]
+        assert source.attempts == 3
+
+    def test_injected_extraction_fault_hits_one_source(self, schema):
+        inj = FaultInjector()
+        inj.arm("etl.extract", at_call=2)
+        pipeline = make_pipeline(schema, fault_injector=inj)
+        report = pipeline.run(
+            [
+                OperationalSource("s1", [{"dept": "idV", "t": 3, "m": 1.0}]),
+                OperationalSource("s2", [{"dept": "idV1", "t": 3, "m": 2.0}]),
+                OperationalSource("s3", [{"dept": "idV2", "t": 3, "m": 3.0}]),
+            ]
+        )
+        assert report.loaded == 2
+        assert [name for name, _ in report.failed_sources] == ["s2"]
+        assert "InjectedFault" in report.failed_sources[0][1]

@@ -1,0 +1,232 @@
+"""IntegrityChecker: every invariant violation is detected, none invented.
+
+The corruptions below are built through internals on purpose — the public
+operator surface refuses to create them, which is exactly why recovery and
+monitoring need a sweep-everything checker.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.core.confidence import ConfidenceFactor, EM
+from repro.core.facts import FactRow
+from repro.core.mapping import IdentityMapping, MappingRelationship, MeasureMap
+from repro.robustness import IntegrityChecker
+
+from .conftest import build_schema
+
+
+def check(schema):
+    return IntegrityChecker(schema).run()
+
+
+class TestCleanSchemas:
+    def test_fixture_schema_is_clean(self, schema):
+        report = check(schema)
+        assert report.ok
+        assert report.by_code() == {}
+        assert report.to_text() == "integrity: OK (0 violations)"
+
+    def test_case_study_is_clean(self):
+        from repro.workloads.case_study import build_case_study
+
+        report = check(build_case_study().schema)
+        assert report.ok
+
+    def test_schema_stays_clean_after_evolution(self, schema):
+        from repro.robustness import TransactionManager
+
+        txm = TransactionManager(schema)
+        with txm.transaction():
+            txm.evolution.merge_members(
+                "Org", ["idV1", "idV2"], "idV12", "V12", 10,
+                reverse_shares={"idV1": 0.5, "idV2": None},
+            )
+        assert check(schema).ok
+
+
+class TestIntervalAndRelationship:
+    def test_non_interval_valid_time_is_flagged(self, schema):
+        dim = schema.dimension("Org")
+        object.__setattr__(dim.member("idV"), "valid_time", (5, 2))
+        report = check(schema)
+        assert not report.ok
+        assert report.by_code()["interval"] >= 1
+        assert any(v.subject == "Org/idV" for v in report.violations)
+
+    def test_relationship_with_bad_interval_is_flagged(self, schema):
+        dim = schema.dimension("Org")
+        object.__setattr__(dim._relationships[0], "valid_time", "not-an-interval")
+        report = check(schema)
+        assert "interval" in report.by_code()
+
+    def test_relationship_to_missing_member_is_flagged(self, schema):
+        dim = schema.dimension("Org")
+        dim._relationships.append(
+            TemporalRelationship("idV", "ghost", Interval(0))
+        )
+        report = check(schema)
+        assert any(
+            v.code == "relationship" and "missing member" in v.message
+            for v in report.violations
+        )
+
+    def test_definition_2_escape_is_flagged(self, schema):
+        dim = schema.dimension("Org")
+        dim.add_member(
+            MemberVersion("idLate", "Late", Interval(5), level="Department")
+        )
+        # relationship valid from 0, but the child only exists from 5
+        dim._relationships.append(
+            TemporalRelationship("idLate", "idP1", Interval(0))
+        )
+        report = check(schema)
+        assert any(
+            v.code == "relationship" and "Definition 2" in v.message
+            for v in report.violations
+        )
+
+
+class TestAcyclicity:
+    def test_cycle_in_some_structure_version_is_flagged(self, schema):
+        dim = schema.dimension("Org")
+        # idV -> idP1 already exists; closing the loop breaks every D(t)
+        dim._relationships.append(
+            TemporalRelationship("idP1", "idV", Interval(0))
+        )
+        report = check(schema)
+        assert report.by_code().get("acyclicity", 0) >= 1
+
+
+class TestFacts:
+    def _smuggle(self, schema, coordinates, t, values=None):
+        schema.facts._rows.append(
+            FactRow(coordinates=coordinates, t=t, values=values or {"m": 1.0})
+        )
+
+    def test_unknown_member_coordinate(self, schema):
+        self._smuggle(schema, {"Org": "ghost"}, 3)
+        report = check(schema)
+        assert any(
+            v.code == "fact" and "unknown member" in v.message
+            for v in report.violations
+        )
+
+    def test_member_not_valid_at_t(self, schema):
+        dim = schema.dimension("Org")
+        dim.add_member(
+            MemberVersion("idOld", "Old", Interval(0, 5), level="Department")
+        )
+        self._smuggle(schema, {"Org": "idOld"}, 10)
+        report = check(schema)
+        assert any(
+            v.code == "fact" and "not valid at t=10" in v.message
+            for v in report.violations
+        )
+
+    def test_non_leaf_member_violates_definition_5(self, schema):
+        self._smuggle(schema, {"Org": "idP1"}, 3)  # idP1 has children at 3
+        report = check(schema)
+        assert any(
+            v.code == "fact" and "Definition 5" in v.message
+            for v in report.violations
+        )
+
+    def test_missing_coordinate_is_flagged(self, schema):
+        self._smuggle(schema, {}, 3)
+        report = check(schema)
+        assert any(v.code == "fact" for v in report.violations)
+
+
+class TestMappings:
+    def test_measure_totality_is_enforced(self, schema):
+        schema.mappings.add(MappingRelationship(source="idV1", target="idV2"))
+        report = check(schema)
+        totality = [
+            v for v in report.violations
+            if v.code == "mapping" and "confidence totality" in v.message
+        ]
+        assert len(totality) == 2  # forward and reverse both miss "m"
+
+    def test_non_canonical_confidence_is_flagged(self, schema):
+        bogus = MeasureMap(IdentityMapping(), ConfidenceFactor("zz", 9, 9))
+        schema.mappings.add(
+            MappingRelationship(
+                source="idV1", target="idV2",
+                forward={"m": bogus},
+                reverse={"m": MeasureMap(IdentityMapping(), EM)},
+            )
+        )
+        report = check(schema)
+        assert any(
+            v.code == "mapping" and "non-canonical" in v.message
+            for v in report.violations
+        )
+
+    def test_unknown_endpoint_is_flagged(self, schema):
+        schema.mappings.add(
+            MappingRelationship(
+                source="idV1", target="ghost",
+                forward={"m": MeasureMap(IdentityMapping(), EM)},
+                reverse={"m": MeasureMap(IdentityMapping(), EM)},
+            )
+        )
+        report = check(schema)
+        assert any(
+            v.code == "mapping" and "not a member version" in v.message
+            for v in report.violations
+        )
+
+    def test_cross_dimension_mapping_is_flagged(self):
+        d1 = TemporalDimension("Org")
+        d1.add_member(MemberVersion("idA", "A", Interval(0), level="L"))
+        d2 = TemporalDimension("Geo")
+        d2.add_member(MemberVersion("idB", "B", Interval(0), level="L"))
+        schema = TemporalMultidimensionalSchema([d1, d2], [Measure("m", SUM)])
+        schema.mappings.add(
+            MappingRelationship(
+                source="idA", target="idB",
+                forward={"m": MeasureMap(IdentityMapping(), EM)},
+                reverse={"m": MeasureMap(IdentityMapping(), EM)},
+            )
+        )
+        report = check(schema)
+        assert any(
+            v.code == "mapping" and "different dimensions" in v.message
+            for v in report.violations
+        )
+
+
+class TestMVidUniqueness:
+    def test_duplicate_mvid_across_dimensions_is_flagged(self):
+        d1 = TemporalDimension("Org")
+        d1.add_member(MemberVersion("idA", "A", Interval(0), level="L"))
+        d2 = TemporalDimension("Geo")
+        d2.add_member(MemberVersion("idB", "B", Interval(0), level="L"))
+        schema = TemporalMultidimensionalSchema([d1, d2], [Measure("m", SUM)])
+        d2.add_member(MemberVersion("idA", "A again", Interval(0), level="L"))
+        report = check(schema)
+        assert any(v.code == "mvid" for v in report.violations)
+
+
+class TestReport:
+    def test_to_text_lists_every_violation(self, schema):
+        dim = schema.dimension("Org")
+        dim._relationships.append(
+            TemporalRelationship("idV", "ghost", Interval(0))
+        )
+        schema.facts._rows.append(
+            FactRow(coordinates={"Org": "ghost"}, t=3, values={"m": 1.0})
+        )
+        report = check(schema)
+        text = report.to_text()
+        assert "violation(s)" in text
+        assert text.count("\n") == len(report.violations)

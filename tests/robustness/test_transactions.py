@@ -1,0 +1,235 @@
+"""Transactional evolution: all-or-nothing compound operations."""
+
+import pytest
+
+from repro.core import EvolutionManager, OperatorError, UnknownMemberVersionError
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    TransactionError,
+    TransactionManager,
+)
+
+from .conftest import build_schema, fingerprint
+
+
+def merge(ev: EvolutionManager):
+    return ev.merge_members(
+        "Org",
+        ["idV1", "idV2"],
+        "idV12",
+        "V12",
+        10,
+        reverse_shares={"idV1": 0.5, "idV2": None},
+    )
+
+
+class TestLifecycle:
+    def test_commit_applies_compound_operation(self, schema):
+        txm = TransactionManager(schema)
+        with txm.transaction():
+            result = merge(txm.evolution)
+        assert [r.operator for r in result.records] == [
+            "Exclude", "Exclude", "Insert", "Associate", "Associate",
+        ]
+        assert "idV12" in schema.dimension("Org")
+        assert txm.committed == 1 and txm.rolled_back == 0
+
+    def test_operator_outside_transaction_is_rejected(self, schema):
+        txm = TransactionManager(schema)
+        with pytest.raises(TransactionError):
+            txm.evolution.create_member("Org", "idX", "X", 5, parents=["idP1"])
+        assert "idX" not in schema.dimension("Org")
+
+    def test_nested_begin_is_rejected(self, schema):
+        txm = TransactionManager(schema)
+        txm.begin()
+        with pytest.raises(TransactionError):
+            txm.begin()
+        txm.rollback()
+
+    def test_commit_without_transaction_is_rejected(self, schema):
+        txm = TransactionManager(schema)
+        with pytest.raises(TransactionError):
+            txm.commit()
+        with pytest.raises(TransactionError):
+            txm.rollback()
+
+    def test_execute_helper_commits(self, schema):
+        txm = TransactionManager(schema)
+        result = txm.execute(merge)
+        assert result.operation == "merge"
+        assert "idV12" in schema.dimension("Org")
+
+
+class TestRollback:
+    def test_explicit_rollback_restores_fingerprint(self, schema):
+        before = fingerprint(schema)
+        txm = TransactionManager(schema)
+        txm.begin()
+        merge(txm.evolution)
+        assert fingerprint(schema) != before
+        txm.rollback()
+        assert fingerprint(schema) == before
+
+    def test_rollback_truncates_operator_journal(self, schema):
+        txm = TransactionManager(schema)
+        txm.begin()
+        merge(txm.evolution)
+        assert len(txm.editor.journal) == 5
+        txm.rollback()
+        assert txm.editor.journal == []
+
+    def test_domain_error_mid_sequence_rolls_back_everything(self, schema):
+        before = fingerprint(schema)
+        txm = TransactionManager(schema)
+        with pytest.raises(UnknownMemberVersionError):
+            with txm.transaction():
+                # The merge succeeds, then the next operation references a
+                # member that does not exist — everything must unwind.
+                merge(txm.evolution)
+                txm.evolution.create_member(
+                    "Org", "idZ", "Z", 11, parents=["idNOPE"]
+                )
+        assert fingerprint(schema) == before
+        assert txm.rolled_back == 1
+
+    def test_rolled_back_facts_are_removed(self, schema):
+        before = fingerprint(schema)
+        txm = TransactionManager(schema)
+        txm.begin()
+        txm.add_fact({"Org": "idV"}, 3, {"m": 7.0})
+        assert len(schema.facts) == 1
+        txm.rollback()
+        assert len(schema.facts) == 0
+        assert fingerprint(schema) == before
+
+    def test_committed_facts_survive(self, schema):
+        txm = TransactionManager(schema)
+        with txm.transaction():
+            txm.add_fact({"Org": "idV"}, 3, {"m": 7.0})
+        assert len(schema.facts) == 1
+
+    def test_statement_failure_keeps_transaction_usable(self, schema):
+        """A rejected operator leaves no trace and the txn stays open."""
+        txm = TransactionManager(schema)
+        txm.begin()
+        with pytest.raises(OperatorError):
+            txm.evolution.merge_members("Org", ["idV1"], "idX", "X", 10)
+        # the transaction is still active and can do real work
+        merge(txm.evolution)
+        txm.commit()
+        assert "idV12" in schema.dimension("Org")
+
+
+FAULT_SCHEDULE = [
+    ("txn.op.pre", 1),
+    ("txn.op.pre", 2),
+    ("txn.op.pre", 3),
+    ("txn.op.pre", 4),
+    ("txn.op.pre", 5),
+    ("txn.op.post", 1),
+    ("txn.op.post", 3),
+    ("txn.op.post", 5),
+    ("txn.commit", 1),
+]
+
+
+class TestFaultAtEveryPoint:
+    """Acceptance: a compound operation aborted at *any* injected fault
+    point leaves the schema byte-identical to its pre-transaction state."""
+
+    @pytest.mark.parametrize("point,at_call", FAULT_SCHEDULE)
+    def test_merge_aborted_at_fault_point_is_invisible(self, point, at_call):
+        schema = build_schema()
+        before = fingerprint(schema)
+        injector = FaultInjector(seed=1234)
+        injector.arm(point, at_call=at_call)
+        txm = TransactionManager(schema, fault_injector=injector)
+        with pytest.raises(InjectedFault):
+            with txm.transaction():
+                merge(txm.evolution)
+        assert injector.trip_log == [(point, at_call)]
+        assert fingerprint(schema) == before
+        assert txm.editor.journal == []
+
+    def test_seeded_probability_faults_are_deterministic(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed)
+            injector.arm("txn.op.pre", probability=0.5, times=100)
+            schema = build_schema()
+            txm = TransactionManager(schema, fault_injector=injector)
+            outcomes = []
+            for i in range(6):
+                try:
+                    with txm.transaction():
+                        txm.evolution.create_member(
+                            "Org", f"id{i}", f"M{i}", 5, parents=["idP1"]
+                        )
+                    outcomes.append("ok")
+                except InjectedFault:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert "fault" in run(7) and "ok" in run(7)
+
+
+class TestTransactionalDatabase:
+    def make(self, schema):
+        from repro.storage import Column, Database, ForeignKey, INTEGER, TEXT
+
+        db = Database("wh")
+        db.create_table(
+            "dim", [Column("id", TEXT)], primary_key=["id"]
+        )
+        db.create_table(
+            "fact",
+            [Column("id", TEXT), Column("t", INTEGER)],
+            foreign_keys=[ForeignKey(("id",), "dim", ("id",))],
+        )
+        return TransactionManager(schema, database=db), db
+
+    def test_inserts_roll_back(self, schema):
+        txm, db = self.make(schema)
+        txm.begin()
+        txm.database.insert("dim", {"id": "a"})
+        txm.database.insert("fact", {"id": "a", "t": 1})
+        assert db.total_rows() == 2
+        txm.rollback()
+        assert db.total_rows() == 0
+
+    def test_updates_restore_pre_images(self, schema):
+        txm, db = self.make(schema)
+        db.insert("dim", {"id": "a"})
+        txm.begin()
+        txm.database.update("dim", lambda r: r["id"] == "a", {"id": "b"})
+        assert db.table("dim").find(id="b")
+        txm.rollback()
+        assert db.table("dim").find(id="a")
+        assert not db.table("dim").find(id="b")
+
+    def test_deletes_restore_rows(self, schema):
+        txm, db = self.make(schema)
+        db.insert("dim", {"id": "a"})
+        txm.begin()
+        assert txm.database.delete("dim", lambda r: True) == 1
+        assert db.total_rows() == 0
+        txm.rollback()
+        assert db.table("dim").find(id="a")
+
+    def test_commit_keeps_rows(self, schema):
+        txm, db = self.make(schema)
+        with txm.transaction():
+            txm.database.insert("dim", {"id": "a"})
+        assert db.total_rows() == 1
+
+    def test_mixed_schema_and_db_rollback(self, schema):
+        txm, db = self.make(schema)
+        before = fingerprint(schema)
+        txm.begin()
+        merge(txm.evolution)
+        txm.database.insert("dim", {"id": "idV12"})
+        txm.rollback()
+        assert fingerprint(schema) == before
+        assert db.total_rows() == 0

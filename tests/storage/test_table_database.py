@@ -197,3 +197,112 @@ class TestDatabase:
         db.table("dim").insert({"member_id": "a", "name": "A"})
         assert db.row_counts() == {"dim": 1, "fact": 0}
         assert db.total_rows() == 1
+
+
+class TestRowLevelUndo:
+    """remove_row / restore_row / items — the hooks transactions use."""
+
+    def test_items_yields_live_rows_with_stable_rids(self):
+        db = make_db()
+        r1 = db.insert("dim", {"member_id": "a", "name": "A"})
+        r2 = db.insert("dim", {"member_id": "b", "name": "B"})
+        table = db.table("dim")
+        assert dict(table.items()) == {
+            r1: {"member_id": "a", "name": "A"},
+            r2: {"member_id": "b", "name": "B"},
+        }
+        table.remove_row(r1)
+        assert [rid for rid, _ in table.items()] == [r2]
+
+    def test_remove_row_returns_copy_and_clears_indexes(self):
+        db = make_db()
+        rid = db.insert("dim", {"member_id": "a", "name": "A"})
+        table = db.table("dim")
+        row = table.remove_row(rid)
+        assert row == {"member_id": "a", "name": "A"}
+        assert len(table) == 0
+        # the primary key is free again
+        db.insert("dim", {"member_id": "a", "name": "A2"})
+
+    def test_remove_row_rejects_dead_slots(self):
+        db = make_db()
+        rid = db.insert("dim", {"member_id": "a", "name": "A"})
+        table = db.table("dim")
+        table.remove_row(rid)
+        with pytest.raises(StorageError):
+            table.remove_row(rid)
+        with pytest.raises(StorageError):
+            table.remove_row(999)
+
+    def test_restore_row_round_trips(self):
+        db = make_db()
+        rid = db.insert("dim", {"member_id": "a", "name": "A"})
+        table = db.table("dim")
+        row = table.remove_row(rid)
+        table.restore_row(rid, row)
+        assert table.find(member_id="a")
+        assert len(table) == 1
+
+
+class TestInsertManyAtomicity:
+    """Regression: a failing row used to leave all prior rows behind."""
+
+    def test_fk_violation_mid_batch_inserts_nothing(self):
+        db = make_db()
+        db.insert("dim", {"member_id": "a", "name": "A"})
+        with pytest.raises(ForeignKeyViolation):
+            db.insert_many(
+                "fact",
+                [
+                    {"member_id": "a", "t": 1, "amount": 1.0},
+                    {"member_id": "a", "t": 2, "amount": 2.0},
+                    {"member_id": "ghost", "t": 3, "amount": 3.0},
+                ],
+            )
+        assert db.row_counts()["fact"] == 0
+
+    def test_duplicate_key_mid_batch_inserts_nothing(self):
+        db = make_db()
+        with pytest.raises(DuplicateKeyError):
+            db.insert_many(
+                "dim",
+                [
+                    {"member_id": "a", "name": "A"},
+                    {"member_id": "a", "name": "A again"},
+                ],
+            )
+        assert db.row_counts()["dim"] == 0
+        # and the key is still usable afterwards
+        db.insert("dim", {"member_id": "a", "name": "A"})
+
+    def test_successful_batch_reports_count(self):
+        db = make_db()
+        n = db.insert_many(
+            "dim",
+            [
+                {"member_id": "a", "name": "A"},
+                {"member_id": "b", "name": "B"},
+            ],
+        )
+        assert n == 2 and db.row_counts()["dim"] == 2
+
+    def test_injected_fault_mid_batch_inserts_nothing(self):
+        from repro.robustness import FaultInjector, InjectedFault
+
+        inj = FaultInjector()
+        inj.arm("db.insert_many.row", at_call=2)
+        db = Database("test", fault_injector=inj)
+        db.create_table(
+            "dim",
+            [Column("member_id", TEXT), Column("name", TEXT)],
+            primary_key=["member_id"],
+        )
+        with pytest.raises(InjectedFault):
+            db.insert_many(
+                "dim",
+                [
+                    {"member_id": "a", "name": "A"},
+                    {"member_id": "b", "name": "B"},
+                ],
+            )
+        assert db.row_counts()["dim"] == 0

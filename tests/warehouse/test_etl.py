@@ -105,3 +105,55 @@ class TestLoadValidation:
         assert report.loaded == 2
         assert report.rejected_count == 1
         assert schema.facts.total("amount") == 4.0
+
+
+class TestGracefulDegradation:
+    """Regression: one failing source used to abort the whole load."""
+
+    class BrokenSource(OperationalSource):
+        def extract(self):
+            raise ConnectionError("source offline")
+
+    def test_failing_source_is_reported_and_skipped(self, schema):
+        report = pipeline_for(schema).run(
+            [
+                OperationalSource("s1", [{"dept": "a", "t": 1, "amount": 1.0}]),
+                self.BrokenSource("s2"),
+                OperationalSource("s3", [{"dept": "a", "t": 2, "amount": 2.0}]),
+            ]
+        )
+        assert report.loaded == 2
+        assert not report.complete
+        assert report.failed_source_count == 1
+        name, reason = report.failed_sources[0]
+        assert name == "s2" and "ConnectionError" in reason
+
+    def test_clean_run_is_complete(self, schema):
+        report = pipeline_for(schema).run(
+            [OperationalSource("s1", [{"dept": "a", "t": 1, "amount": 1.0}])]
+        )
+        assert report.complete and report.failed_source_count == 0
+
+    def test_retry_policy_is_applied_to_extraction(self, schema):
+        from repro.robustness import RetryPolicy
+
+        class FlakyOnce(OperationalSource):
+            attempts = 0
+
+            def extract(self):
+                type(self).attempts += 1
+                if type(self).attempts == 1:
+                    raise ConnectionError("blip")
+                return super().extract()
+
+        mapping = FactMapping(
+            lambda rec: ({"org": rec["dept"]}, rec["t"], {"amount": rec["amount"]})
+        )
+        pipeline = ETLPipeline(
+            schema, mapping=mapping, retry=RetryPolicy.no_sleep(max_attempts=2)
+        )
+        report = pipeline.run(
+            [FlakyOnce("s1", [{"dept": "a", "t": 1, "amount": 1.0}])]
+        )
+        assert report.complete and report.loaded == 1
+        assert FlakyOnce.attempts == 2
