@@ -1,0 +1,124 @@
+"""Concurrency-layer benchmarks: snapshot readers and sharded aggregation.
+
+Two claims to quantify:
+
+* a pinned :class:`SnapshotCursor` lets readers run at full speed while a
+  writer commits evolutions — reader results never drift, and reader
+  latency does not include any write-side locking;
+* :class:`ShardedExecutor` partitions the fact scan across worker
+  threads with a deterministic merge.  Correctness (sharded == serial,
+  byte for byte) is asserted unconditionally; the speedup is recorded
+  honestly and only asserted when the host actually has multiple cores
+  (on a single-CPU box the GIL makes thread sharding a wash).
+"""
+
+import os
+import time
+
+from repro.concurrency import ShardedExecutor, SnapshotManager
+from repro.core import LevelGroup, Query, QueryEngine, TimeGroup, YEAR
+from repro.core.chronology import ym
+from repro.robustness import TransactionManager
+from repro.workloads.case_study import build_case_study
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+Q_DIVISION = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+
+
+def large_mvft():
+    """A workload big enough that sharding has something to chew on."""
+    workload = generate_workload(
+        WorkloadConfig(seed=7, n_years=6, n_departments=24)
+    )
+    return workload.schema.multiversion_facts()
+
+
+class TestSmokeSnapshotReaders:
+    """Reader throughput while a writer churns (smoke-safe)."""
+
+    def test_smoke_reader_throughput_during_writer_churn(self, benchmark):
+        study = build_case_study()
+        txm = TransactionManager(study.schema)
+        manager = SnapshotManager(txm)
+        cursor = manager.open_cursor()
+        engine = QueryEngine(cursor.mvft)
+        baseline = engine.execute(Q_DIVISION).to_text()
+        counter = iter(range(10_000))
+
+        def read_during_commit():
+            with manager.transaction():
+                txm.editor.insert(
+                    "org",
+                    f"bench_{next(counter)}",
+                    "Bench",
+                    ym(2003, 6),
+                    level="Department",
+                    parents=["sales"],
+                )
+            return engine.execute(Q_DIVISION).to_text()
+
+        result = benchmark(read_during_commit)
+        # the pinned cursor never sees the writer's commits
+        assert result == baseline
+
+    def test_smoke_open_cursor_cost(self, benchmark):
+        study = build_case_study()
+        manager = SnapshotManager(TransactionManager(study.schema))
+
+        def open_and_close():
+            with manager.open_cursor() as cursor:
+                return cursor.version
+
+        benchmark(open_and_close)
+        assert manager.open_snapshot_count == 0
+
+
+class TestSmokeShardedAggregation:
+    """Sharded vs serial aggregation over a generated workload."""
+
+    def test_smoke_sharded_equals_serial(self, benchmark):
+        mvft = large_mvft()
+        executor = ShardedExecutor(mvft, shards=4)
+        mode = mvft.modes.labels[0]
+        query = Q_DIVISION.with_mode(mode)
+        serial = executor.execute_serial(query).to_text()
+        sharded = benchmark(lambda: executor.execute(query).to_text())
+        assert sharded == serial
+
+    def test_smoke_serial_baseline(self, benchmark):
+        mvft = large_mvft()
+        executor = ShardedExecutor(mvft, shards=4)
+        mode = mvft.modes.labels[0]
+        query = Q_DIVISION.with_mode(mode)
+        benchmark(lambda: executor.execute_serial(query).to_text())
+
+    def test_sharded_speedup_recorded_honestly(self):
+        mvft = large_mvft()
+        executor = ShardedExecutor(mvft, shards=4)
+        mode = mvft.modes.labels[0]
+        query = Q_DIVISION.with_mode(mode)
+        assert (
+            executor.execute(query).to_text()
+            == executor.execute_serial(query).to_text()
+        )
+
+        rounds = 3
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            executor.execute_serial(query)
+        serial_s = (time.perf_counter() - t0) / rounds
+
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            executor.execute(query)
+        sharded_s = (time.perf_counter() - t0) / rounds
+
+        speedup = serial_s / sharded_s if sharded_s else float("inf")
+        print(
+            f"\nsharded aggregation: serial {serial_s * 1e3:.2f} ms, "
+            f"sharded {sharded_s * 1e3:.2f} ms, speedup {speedup:.2f}x "
+            f"({os.cpu_count()} cpu)"
+        )
+        if (os.cpu_count() or 1) >= 4:
+            # with real parallelism available the shards must help
+            assert speedup > 1.0

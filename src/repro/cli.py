@@ -12,7 +12,10 @@ Commands:
 * ``integrity`` — run the structural invariant checker on the case-study
   schema (exits non-zero on violations);
 * ``recover <wal>`` — replay a write-ahead journal and report what crash
-  recovery restored.
+  recovery restored;
+* ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
+  case study and print the current snapshot version, open-snapshot count
+  and last checkpoint LSN.
 
 The CLI is intentionally bound to the built-in case study: it is a
 demonstration surface, not a server.  Applications embed the library
@@ -71,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         "recover", help="replay a write-ahead journal (crash recovery)"
     )
     recover.add_argument("wal", help="path to the JSONL write-ahead journal")
+    snapshot = sub.add_parser(
+        "snapshot", help="report the MVCC snapshot state of the case study"
+    )
+    snapshot.add_argument(
+        "--wal",
+        default=None,
+        help="attach a write-ahead journal (the version clock uses its "
+        "LSNs; without one a local counter stands in)",
+    )
     return parser
 
 
@@ -165,6 +177,30 @@ def _cmd_recover(wal: str, out) -> int:
     return 0
 
 
+def _cmd_snapshot(wal: str | None, out) -> int:
+    from repro.concurrency import SnapshotManager
+    from repro.olap import snapshot_caption
+    from repro.robustness import TransactionManager
+
+    study = build_case_study()
+    txm = TransactionManager(study.schema, wal=wal)
+    manager = SnapshotManager(txm)
+    with manager.open_cursor() as cursor:
+        print(snapshot_caption(cursor), file=out)
+        print(f"snapshot version: {manager.version}", file=out)
+        print(
+            f"open snapshots: {manager.open_snapshot_count} "
+            f"(versions: {manager.open_versions()})",
+            file=out,
+        )
+        checkpoint = manager.last_checkpoint_lsn
+        if checkpoint is None:
+            print("last checkpoint LSN: none (no journal attached)", file=out)
+        else:
+            print(f"last checkpoint LSN: {checkpoint}", file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -183,4 +219,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_integrity(out)
     if args.command == "recover":
         return _cmd_recover(args.wal, out)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args.wal, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,41 @@
+"""MVCC snapshot isolation for the evolving multidimensional schema.
+
+The paper's premise is that analysis continues *while* the structure
+evolves; this package makes that literal.  On top of the transactional
+engine (:mod:`repro.robustness.transactions`) it provides:
+
+* :mod:`~repro.concurrency.snapshot` — copy-on-write
+  :class:`SchemaSnapshot` versions, cloned in O(containers) because all
+  leaf objects are immutable;
+* :mod:`~repro.concurrency.manager` — :class:`SnapshotManager`, which
+  stamps commits with WAL LSNs (the version clock), publishes a fresh
+  snapshot per commit and enforces first-committer-wins validation per
+  touched dimension (:class:`WriteConflictError` on loss);
+* :mod:`~repro.concurrency.cursor` — read-only :class:`SnapshotCursor`
+  objects through which MVQL sessions, OLAP cubes and warehouses read a
+  pinned version instead of the live schema;
+* :mod:`~repro.concurrency.sharding` — :class:`ShardedExecutor`, which
+  partitions a snapshot's fact rows across a worker pool and merges
+  partial aggregations deterministically (sharded == serial, byte for
+  byte).
+
+See ``docs/concurrency.md`` for an executable walkthrough.
+"""
+
+from .cursor import SnapshotCursor
+from .errors import ConcurrencyError, SnapshotError, WriteConflictError
+from .manager import SnapshotManager
+from .sharding import ShardedExecutor, shard_rows
+from .snapshot import SchemaSnapshot, clone_schema
+
+__all__ = [
+    "ConcurrencyError",
+    "SnapshotError",
+    "WriteConflictError",
+    "SchemaSnapshot",
+    "clone_schema",
+    "SnapshotCursor",
+    "SnapshotManager",
+    "ShardedExecutor",
+    "shard_rows",
+]

@@ -1,0 +1,131 @@
+"""Read-only cursors over a published schema snapshot.
+
+A :class:`SnapshotCursor` is what analysis sessions open instead of
+touching the live schema: it pins one :class:`SchemaSnapshot`, derives
+the MultiVersion fact table lazily (and caches it — Definition 11
+inference is the expensive part of opening a reader) and hands out the
+familiar read surfaces — a :class:`~repro.core.query.QueryEngine`, an
+:class:`~repro.mvql.session.MVQLSession`, an :class:`~repro.olap.cube.Cube`
+or a :class:`~repro.warehouse.multiversion_dw.MultiVersionDataWarehouse` —
+all built over the pinned version.  Because the snapshot is immutable, a
+cursor's query results are identical before, during and after any
+concurrent writer's transaction.
+
+Cursors are registered with their :class:`SnapshotManager` so operators
+can see how many readers hold which versions (``repro snapshot`` on the
+CLI); :meth:`close` (or the ``with`` form) deregisters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.query import QueryEngine
+
+from .errors import SnapshotError
+from .snapshot import SchemaSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import SnapshotManager
+
+__all__ = ["SnapshotCursor"]
+
+
+class SnapshotCursor:
+    """A pinned, read-only view of one committed schema version."""
+
+    def __init__(
+        self, manager: "SnapshotManager", snapshot: SchemaSnapshot
+    ) -> None:
+        self._manager = manager
+        self._snapshot = snapshot
+        self._mvft: Any = None
+        self._engine: QueryEngine | None = None
+        self.closed = False
+
+    # -- identity ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The commit stamp of the pinned version."""
+        return self._snapshot.version
+
+    @property
+    def snapshot(self) -> SchemaSnapshot:
+        """The pinned snapshot object."""
+        self._check_open()
+        return self._snapshot
+
+    @property
+    def schema(self):
+        """The pinned (cloned, immutable-by-convention) schema."""
+        self._check_open()
+        return self._snapshot.schema
+
+    def fingerprint(self) -> str:
+        """Fingerprint of the pinned version (see
+        :meth:`SchemaSnapshot.fingerprint`)."""
+        self._check_open()
+        return self._snapshot.fingerprint()
+
+    # -- derived read surfaces ---------------------------------------------------
+
+    @property
+    def mvft(self):
+        """The MultiVersion fact table of the pinned version (cached)."""
+        self._check_open()
+        if self._mvft is None:
+            self._mvft = self._snapshot.schema.multiversion_facts()
+        return self._mvft
+
+    def query_engine(self) -> QueryEngine:
+        """A query engine over the pinned MVFT (cached)."""
+        self._check_open()
+        if self._engine is None:
+            self._engine = QueryEngine(self.mvft)
+        return self._engine
+
+    def mvql_session(self):
+        """An MVQL session bound to the pinned version."""
+        from repro.mvql.session import MVQLSession
+
+        self._check_open()
+        return MVQLSession(self.mvft)
+
+    def cube(self, *, materialize: bool = False):
+        """An OLAP cube bound to the pinned version."""
+        from repro.olap.cube import Cube
+
+        self._check_open()
+        return Cube(self.mvft, materialize=materialize)
+
+    def warehouse(self, **build_kwargs: Any):
+        """A relational multiversion warehouse built from the pinned version."""
+        from repro.warehouse.multiversion_dw import MultiVersionDataWarehouse
+
+        self._check_open()
+        return MultiVersionDataWarehouse.build(self.mvft, **build_kwargs)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SnapshotError(
+                f"cursor over version {self._snapshot.version} is closed"
+            )
+
+    def close(self) -> None:
+        """Release the cursor (idempotent); the manager's open count drops."""
+        if not self.closed:
+            self.closed = True
+            self._manager._release_cursor(self)
+
+    def __enter__(self) -> "SnapshotCursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return f"SnapshotCursor(version={self._snapshot.version}, {state})"

@@ -1,0 +1,52 @@
+"""Exception types of the concurrency subsystem.
+
+Everything derives from :class:`ConcurrencyError`, itself a
+:class:`~repro.robustness.errors.RobustnessError`, so the library keeps a
+single catch-all root (:class:`~repro.core.errors.ReproError`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.robustness.errors import RobustnessError
+
+__all__ = ["ConcurrencyError", "SnapshotError", "WriteConflictError"]
+
+
+class ConcurrencyError(RobustnessError):
+    """Base class of every concurrency-subsystem error."""
+
+
+class SnapshotError(ConcurrencyError):
+    """Raised on snapshot protocol misuse — reading through a closed
+    cursor, publishing from a schema the manager does not own."""
+
+
+class WriteConflictError(ConcurrencyError):
+    """First-committer-wins validation failed.
+
+    A writer whose decisions were based on snapshot ``base_version``
+    tried to commit changes to dimensions that another transaction has
+    already re-versioned at ``committed_version > base_version``.  The
+    loser's transaction is rolled back by the surrounding
+    ``transaction()`` context; retrying against a fresh snapshot (e.g.
+    through :class:`~repro.robustness.retry.RetryPolicy` with
+    ``retry_on=(WriteConflictError,)``) is the intended recovery.
+    """
+
+    def __init__(
+        self,
+        dimensions: Iterable[str],
+        base_version: int,
+        committed_version: int,
+    ) -> None:
+        dims = sorted(dimensions)
+        super().__init__(
+            f"write-write conflict on dimension(s) {dims}: transaction read "
+            f"version {base_version} but version {committed_version} has "
+            f"already committed (first committer wins)"
+        )
+        self.dimensions = tuple(dims)
+        self.base_version = base_version
+        self.committed_version = committed_version

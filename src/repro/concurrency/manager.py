@@ -1,0 +1,214 @@
+"""The MVCC snapshot manager: one writer, many isolated readers.
+
+:class:`SnapshotManager` wraps a
+:class:`~repro.robustness.transactions.TransactionManager` and turns its
+single-writer transactions into snapshot-isolated ones:
+
+* **version clock** — every commit is stamped with the WAL LSN of its
+  commit record (a local counter stands in when no journal is attached),
+  so versions are monotonic and crash-recoverable for free;
+* **publication** — a post-commit hook clones the schema
+  (:func:`~repro.concurrency.snapshot.clone_schema`, copy-on-write) and
+  publishes it as the new current :class:`SchemaSnapshot`; readers that
+  opened a :class:`~repro.concurrency.cursor.SnapshotCursor` earlier
+  keep their version untouched;
+* **first-committer-wins** — a pre-commit hook compares, per dimension
+  the transaction touched, the last committed version against the
+  transaction's ``base_version`` (the snapshot its decisions were based
+  on); a newer committed version raises
+  :class:`~repro.concurrency.errors.WriteConflictError`, the surrounding
+  ``transaction()`` context rolls back, and the loser retries against a
+  fresh snapshot — the optimistic protocol of Kung & Robinson, scoped to
+  the paper's evolution granularity (dimensions);
+* **optional commit-time integrity** — ``verify_commits=True`` runs the
+  :class:`~repro.robustness.integrity.IntegrityChecker` scoped to the
+  touched dimensions before the commit record is written.
+
+Writers serialize on an internal lock (the underlying engine mutates in
+place and forbids nesting); readers never take it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.core.operations import EvolutionManager
+from repro.robustness.integrity import IntegrityChecker
+from repro.robustness.retry import RetryPolicy
+from repro.robustness.transactions import Transaction, TransactionManager
+
+from .cursor import SnapshotCursor
+from .errors import SnapshotError, WriteConflictError
+from .snapshot import SchemaSnapshot, clone_schema
+
+__all__ = ["SnapshotManager"]
+
+
+class SnapshotManager:
+    """Snapshot isolation over one :class:`TransactionManager`."""
+
+    def __init__(
+        self, txm: TransactionManager, *, verify_commits: bool = False
+    ) -> None:
+        self.txm = txm
+        self.schema = txm.schema
+        self.verify_commits = verify_commits
+        self._write_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._dim_versions: dict[str, int] = {}
+        self._cursors: list[SnapshotCursor] = []
+        initial = txm.wal.last_lsn if txm.wal is not None else 0
+        self._version = initial
+        self._current = SchemaSnapshot(clone_schema(self.schema), initial)
+        txm.precommit_hooks.append(self._validate_first_committer)
+        txm.postcommit_hooks.append(self._publish)
+
+    # -- read side -----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The version stamp of the current published snapshot."""
+        return self._current.version
+
+    def snapshot(self) -> SchemaSnapshot:
+        """The current published snapshot (never the live schema)."""
+        return self._current
+
+    def open_cursor(self) -> SnapshotCursor:
+        """Open a read-only cursor pinned to the current snapshot."""
+        with self._state_lock:
+            cursor = SnapshotCursor(self, self._current)
+            self._cursors.append(cursor)
+        return cursor
+
+    def _release_cursor(self, cursor: SnapshotCursor) -> None:
+        with self._state_lock:
+            try:
+                self._cursors.remove(cursor)
+            except ValueError:  # pragma: no cover - double close is idempotent
+                pass
+
+    @property
+    def open_snapshot_count(self) -> int:
+        """How many cursors are currently open."""
+        return len(self._cursors)
+
+    def open_versions(self) -> list[int]:
+        """The versions pinned by open cursors, ascending (with repeats)."""
+        with self._state_lock:
+            return sorted(c.version for c in self._cursors)
+
+    @property
+    def last_checkpoint_lsn(self) -> int | None:
+        """LSN of the journal's most recent checkpoint (``None`` without
+        a WAL or before the first checkpoint)."""
+        if self.txm.wal is None:
+            return None
+        return self.txm.wal.last_checkpoint_lsn
+
+    # -- write side ----------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_base(base: Any) -> int | None:
+        if base is None:
+            return None
+        if isinstance(base, int):
+            return base
+        if isinstance(base, SchemaSnapshot):
+            return base.version
+        if isinstance(base, SnapshotCursor):
+            return base.version
+        raise SnapshotError(
+            f"cannot interpret {base!r} as a base version; pass a version "
+            f"number, a SchemaSnapshot or a SnapshotCursor"
+        )
+
+    @contextmanager
+    def transaction(self, *, base: Any = None) -> Iterator[Transaction]:
+        """``with manager.transaction():`` — a snapshot-validated write.
+
+        ``base`` declares which snapshot the writer's decisions were read
+        from (a version number, :class:`SchemaSnapshot` or
+        :class:`SnapshotCursor`); it defaults to the version current at
+        entry.  If, by commit time, another transaction has committed a
+        newer version of any dimension this one touched, the commit fails
+        with :class:`WriteConflictError` and everything rolls back.
+        """
+        base_version = self._resolve_base(base)
+        with self._write_lock:
+            if base_version is None:
+                base_version = self.version
+            with self.txm.transaction() as txn:
+                txn.base_version = base_version
+                yield txn
+
+    def run_write(
+        self,
+        fn: Callable[[EvolutionManager], Any],
+        *,
+        base: Any = None,
+        retry: RetryPolicy | None = None,
+    ) -> Any:
+        """Run ``fn(evolution_manager)`` in one snapshot-validated transaction.
+
+        With a ``retry`` policy (typically
+        ``RetryPolicy(retry_on=(WriteConflictError,))``), a conflicted
+        attempt is re-run against a *fresh* base — the canonical
+        optimistic-concurrency loop.
+        """
+        first = True
+
+        def attempt() -> Any:
+            nonlocal first
+            attempt_base = base if first else None
+            first = False
+            with self.transaction(base=attempt_base):
+                return fn(self.txm.evolution)
+
+        if retry is None:
+            return attempt()
+        return retry.call(attempt)
+
+    # -- hooks (installed on the TransactionManager) ---------------------------------
+
+    def _validate_first_committer(self, txn: Transaction) -> None:
+        base = getattr(txn, "base_version", None)
+        if base is not None and txn.touched:
+            newest = max(
+                (self._dim_versions.get(did, 0) for did in txn.touched),
+                default=0,
+            )
+            if newest > base:
+                losers = {
+                    did
+                    for did in txn.touched
+                    if self._dim_versions.get(did, 0) > base
+                }
+                raise WriteConflictError(losers, base, newest)
+        if self.verify_commits:
+            scope = set(txn.touched) or None
+            report = IntegrityChecker(self.schema).run(scope=scope)
+            if not report.ok:
+                raise SnapshotError(
+                    "commit rejected by integrity check:\n" + report.to_text()
+                )
+
+    def _publish(self, txn: Transaction) -> None:
+        with self._state_lock:
+            version = (
+                txn.commit_lsn
+                if txn.commit_lsn is not None
+                else self._version + 1
+            )
+            self._version = version
+            for did in txn.touched:
+                self._dim_versions[did] = version
+            self._current = SchemaSnapshot(clone_schema(self.schema), version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SnapshotManager(version={self.version}, "
+            f"open_cursors={self.open_snapshot_count})"
+        )

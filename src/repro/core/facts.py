@@ -288,6 +288,20 @@ class TemporallyConsistentFactTable:
         """Iterate all fact rows in insertion order."""
         return iter(self._rows)
 
+    def adopt(self, rows: Iterable[FactRow]) -> int:
+        """Append already-validated :class:`FactRow` objects, sharing them.
+
+        Rows are immutable, so a snapshot/clone of a fact table can share
+        the row objects of its source and only copy the container — the
+        copy-on-write trick behind
+        :mod:`repro.concurrency.snapshot`.  No shape re-validation happens;
+        callers must hand over rows that came out of a compatible table.
+        Returns the number of rows adopted.
+        """
+        count = len(self._rows)
+        self._rows.extend(rows)
+        return len(self._rows) - count
+
     def truncate(self, length: int) -> int:
         """Drop every row appended after position ``length``.
 

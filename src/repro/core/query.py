@@ -44,6 +44,7 @@ __all__ = [
     "ResultRow",
     "ResultTable",
     "QueryEngine",
+    "merge_contributions",
 ]
 
 
@@ -365,17 +366,34 @@ class QueryEngine:
 
     # -- execution -----------------------------------------------------------------
 
-    def execute(self, query: Query) -> ResultTable:
-        """Run a query and return its grouped, confidence-tagged result."""
+    def resolve(self, query: Query) -> tuple[PresentationMode, list[str]]:
+        """Validate a query's mode and measures, raising early on unknowns."""
         mode = self._mvft.modes.mode(query.mode)
         measures = list(query.measures) or self._schema.measure_names
         for m in measures:
             self._schema.measure(m)
         if not query.group_by:
             raise QueryError("a query needs at least one group_by term")
+        return mode, measures
 
+    def collect_contributions(
+        self,
+        query: Query,
+        rows: Iterable[MVFactRow] | None = None,
+    ) -> dict[tuple[object, ...], dict[str, list]]:
+        """Phase one of execution: group raw ``(value, confidence)`` pairs.
+
+        ``rows`` defaults to the whole slice of the query's mode; passing an
+        explicit subset is how :class:`~repro.concurrency.sharding.ShardedExecutor`
+        runs this phase shard-parallel — partial group maps from disjoint
+        row ranges merge by list concatenation (:func:`merge_contributions`)
+        and finalize exactly like the serial path.
+        """
+        mode, measures = self.resolve(query)
+        if rows is None:
+            rows = self._mvft.slice(mode.label)
         groups: dict[tuple[object, ...], dict[str, list]] = {}
-        for row in self._mvft.slice(mode.label):
+        for row in rows:
             if query.time_range is not None and not query.time_range.contains(row.t):
                 continue
             if query.coordinate_filter is not None and not query.coordinate_filter(row):
@@ -411,7 +429,15 @@ class QueryEngine:
                 acc = groups.setdefault(combo, {m: [] for m in measures})
                 for m in measures:
                     acc[m].append((row.value(m), row.confidence(m)))
+        return groups
 
+    def finalize(
+        self,
+        query: Query,
+        groups: dict[tuple[object, ...], dict[str, list]],
+    ) -> ResultTable:
+        """Phase two of execution: fold each group with ``⊕`` and ``⊗cf``."""
+        mode, measures = self.resolve(query)
         result_rows: list[ResultRow] = []
         for group, acc in groups.items():
             cells: list[ResultCell] = []
@@ -426,9 +452,12 @@ class QueryEngine:
                 )
                 cells.append(ResultCell(m, value, confidence))
             result_rows.append(ResultRow(group=group, cells=tuple(cells)))
-
         columns = [term.column for term in query.group_by]
         return ResultTable(columns, measures, result_rows, mode.label)
+
+    def execute(self, query: Query) -> ResultTable:
+        """Run a query and return its grouped, confidence-tagged result."""
+        return self.finalize(query, self.collect_contributions(query))
 
     def execute_all_modes(self, query: Query) -> dict[str, ResultTable]:
         """Run the same query in every presentation mode — the §2.1 drill
@@ -443,3 +472,26 @@ def _product(label_sets: Sequence[tuple[object, ...]]) -> Iterable[tuple[object,
     if not label_sets:
         return [()]
     return itertools.product(*label_sets)
+
+
+def merge_contributions(
+    partials: Sequence[dict[tuple[object, ...], dict[str, list]]],
+) -> dict[tuple[object, ...], dict[str, list]]:
+    """Merge partial group maps from disjoint row ranges.
+
+    Contribution lists concatenate in partial order, so merging shard
+    partials produced from contiguous row ranges (in shard index order)
+    reproduces the exact fold order of a serial
+    :meth:`QueryEngine.collect_contributions` over the whole slice — the
+    invariant that makes sharded execution byte-deterministic.
+    """
+    merged: dict[tuple[object, ...], dict[str, list]] = {}
+    for partial in partials:
+        for group, acc in partial.items():
+            target = merged.get(group)
+            if target is None:
+                merged[group] = {m: list(contribs) for m, contribs in acc.items()}
+                continue
+            for m, contribs in acc.items():
+                target.setdefault(m, []).extend(contribs)
+    return merged

@@ -49,6 +49,16 @@ class MVQLSession:
         self.schema = mvft.schema
         self.engine = QueryEngine(mvft)
 
+    @classmethod
+    def from_cursor(cls, cursor) -> "MVQLSession":
+        """A session over a pinned snapshot version.
+
+        ``cursor`` is a :class:`~repro.concurrency.cursor.SnapshotCursor`;
+        the session reads the cursor's (cached) MultiVersion fact table,
+        so its results are immune to concurrent evolution transactions.
+        """
+        return cls(cursor.mvft)
+
     # -- compilation -----------------------------------------------------------
 
     def compile_select(self, statement: SelectStatement) -> Query:

@@ -20,6 +20,7 @@ from .frontend import (
     render_dimension_graph,
     render_view,
     render_view_html,
+    snapshot_caption,
 )
 from .operators import (
     dice,
@@ -52,5 +53,6 @@ __all__ = [
     "grid_quality",
     "quality_report",
     "render_dimension_graph",
+    "snapshot_caption",
     "ANSI_COLOURS",
 ]

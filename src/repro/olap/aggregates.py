@@ -28,10 +28,15 @@ class AggregateLattice:
         mvft: MultiVersionFactTable,
         *,
         granularities: tuple[Granularity, ...] = (YEAR,),
+        executor=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
         self.engine = QueryEngine(mvft)
+        # An optional ShardedExecutor (repro.concurrency.sharding) runs the
+        # materialization queries shard-parallel; results are identical to
+        # the serial engine by construction.
+        self.executor = executor
         self.granularities = granularities
         self._nodes: dict[
             tuple[str, str, str, str, str],
@@ -54,6 +59,7 @@ class AggregateLattice:
 
     def _materialize(self) -> None:
         levels_by_dim = self._level_names()
+        runner = self.executor if self.executor is not None else self.engine
         for mode in self.mvft.modes.labels:
             for gran in self.granularities:
                 for did, levels in levels_by_dim.items():
@@ -63,7 +69,7 @@ class AggregateLattice:
                             group_by=(TimeGroup(gran), LevelGroup(did, level)),
                         )
                         try:
-                            result = self.engine.execute(query)
+                            result = runner.execute(query)
                         except Exception:
                             continue  # a level absent from this mode's structure
                         for measure in self.schema.measure_names:

@@ -146,15 +146,32 @@ class Cube:
         *,
         materialize: bool = False,
         lattice=None,
+        executor=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
         self.engine = QueryEngine(mvft)
+        self.executor = executor
         if lattice is None and materialize:
             from .aggregates import AggregateLattice
 
-            lattice = AggregateLattice(mvft)
+            lattice = AggregateLattice(mvft, executor=executor)
         self.lattice = lattice
+
+    @classmethod
+    def from_cursor(
+        cls, cursor, *, materialize: bool = False, executor=None
+    ) -> "Cube":
+        """A cube over a pinned snapshot version.
+
+        ``cursor`` is a :class:`~repro.concurrency.cursor.SnapshotCursor`;
+        pivots read the cursor's MultiVersion fact table, so concurrent
+        evolution transactions never show through mid-analysis.  An
+        optional ``executor``
+        (:class:`~repro.concurrency.sharding.ShardedExecutor` over the
+        same MVFT) runs engine-path pivots shard-parallel.
+        """
+        return cls(cursor.mvft, materialize=materialize, executor=executor)
 
     @property
     def modes(self) -> list[str]:
@@ -252,7 +269,8 @@ class Cube:
             time_range=time_range,
             level_filters=tuple(filters),
         )
-        result = self.engine.execute(query)
+        runner = self.executor if self.executor is not None else self.engine
+        result = runner.execute(query)
         rows: list[object] = []
         cols: list[object] = []
         cells: dict[tuple[object, object], CubeCell] = {}

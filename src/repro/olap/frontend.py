@@ -27,7 +27,26 @@ __all__ = [
     "grid_quality",
     "quality_report",
     "render_dimension_graph",
+    "snapshot_caption",
 ]
+
+
+def snapshot_caption(cursor) -> str:
+    """A one-line banner identifying the snapshot a view was read from.
+
+    ``cursor`` is a :class:`~repro.concurrency.cursor.SnapshotCursor`.
+    Interactive fronts print this above a rendered grid so an analyst
+    always knows *which committed version* of the evolving structure the
+    numbers describe — the paper's temporal-mode caption, extended with
+    the MVCC commit stamp.
+    """
+    schema = cursor.schema
+    return (
+        f"[snapshot v{cursor.version}] "
+        f"{len(schema.dimension_ids)} dimension(s), "
+        f"{len(schema.facts)} fact(s), "
+        f"{len(schema.mappings)} mapping(s)"
+    )
 
 ANSI_COLOURS: dict[str, str] = {
     SD.symbol: "\x1b[37m",   # white  — source data

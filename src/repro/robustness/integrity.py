@@ -28,6 +28,7 @@ here is about hard invariants, not modelling style.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.chronology import Interval, NowType
 from repro.core.confidence import CANONICAL_FACTORS
@@ -85,21 +86,46 @@ class IntegrityReport:
 
 
 class IntegrityChecker:
-    """Sweeps a schema and reports every invariant violation."""
+    """Sweeps a schema and reports every invariant violation.
 
-    def __init__(self, schema: TemporalMultidimensionalSchema) -> None:
+    ``scope`` (on the constructor or per :meth:`run` call) restricts the
+    sweep to a set of subjects: dimension ids limit the structural checks
+    to those dimensions (and the fact/mapping checks to the parts that
+    reference them); the sentinel ``"facts"`` forces the full fact sweep.
+    ``None`` means everything — the default, and the behaviour of every
+    pre-existing caller.  Scoped sweeps are what commit-time validation
+    uses: a transaction that touched two dimensions only pays for
+    re-checking those two.
+    """
+
+    def __init__(
+        self,
+        schema: TemporalMultidimensionalSchema,
+        *,
+        scope: Iterable[str] | None = None,
+    ) -> None:
         self.schema = schema
+        self.scope = None if scope is None else set(scope)
 
-    def run(self) -> IntegrityReport:
-        """Run every check and return the consolidated report."""
+    def run(self, scope: Iterable[str] | None = None) -> IntegrityReport:
+        """Run every check and return the consolidated report.
+
+        ``scope`` overrides the constructor's scope for this sweep.
+        """
+        active = self.scope if scope is None else set(scope)
         report = IntegrityReport()
-        self._check_intervals(report)
-        self._check_relationships(report)
-        self._check_acyclicity(report)
-        self._check_facts(report)
-        self._check_mappings(report)
-        self._check_mvid_uniqueness(report)
+        self._check_intervals(report, active)
+        self._check_relationships(report, active)
+        self._check_acyclicity(report, active)
+        self._check_facts(report, active)
+        self._check_mappings(report, active)
+        self._check_mvid_uniqueness(report, active)
         return report
+
+    def _dims(self, scope: set[str] | None):
+        for did, dim in self.schema.dimensions.items():
+            if scope is None or did in scope:
+                yield did, dim
 
     # -- individual sweeps -------------------------------------------------------
 
@@ -111,8 +137,10 @@ class IntegrityChecker:
             return isinstance(interval.start, int)
         return isinstance(interval.start, int) and interval.start <= interval.end
 
-    def _check_intervals(self, report: IntegrityReport) -> None:
-        for did, dim in self.schema.dimensions.items():
+    def _check_intervals(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
+        for did, dim in self._dims(scope):
             for mv in dim.members.values():
                 if not self._interval_ok(mv.valid_time):
                     report.violations.append(
@@ -133,8 +161,10 @@ class IntegrityChecker:
                         )
                     )
 
-    def _check_relationships(self, report: IntegrityReport) -> None:
-        for did, dim in self.schema.dimensions.items():
+    def _check_relationships(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
+        for did, dim in self._dims(scope):
             for rel in dim.relationships:
                 subject = f"{did}/{rel.child}->{rel.parent}"
                 if rel.child not in dim or rel.parent not in dim:
@@ -164,8 +194,10 @@ class IntegrityChecker:
                         )
                     )
 
-    def _check_acyclicity(self, report: IntegrityReport) -> None:
-        for did, dim in self.schema.dimensions.items():
+    def _check_acyclicity(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
+        for did, dim in self._dims(scope):
             try:
                 instants = dim.critical_instants()
             except Exception:
@@ -186,9 +218,20 @@ class IntegrityChecker:
                         Violation("acyclicity", f"{did}@t={t}", str(exc))
                     )
 
-    def _check_facts(self, report: IntegrityReport) -> None:
+    def _check_facts(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
+        if scope is None or "facts" in scope:
+            check_dims = list(self.schema.dimension_ids)
+        else:
+            # A touched dimension can invalidate facts only along its own
+            # coordinate; the other coordinates were checked when their
+            # dimensions last changed.
+            check_dims = [d for d in self.schema.dimension_ids if d in scope]
+            if not check_dims:
+                return
         for i, row in enumerate(self.schema.facts):
-            for did in self.schema.dimension_ids:
+            for did in check_dims:
                 dim = self.schema.dimension(did)
                 try:
                     mvid = row.coordinate(did)
@@ -224,9 +267,24 @@ class IntegrityChecker:
                         )
                     )
 
-    def _check_mappings(self, report: IntegrityReport) -> None:
+    def _check_mappings(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
         measures = set(self.schema.measure_names)
         for rel in self.schema.mappings:
+            if scope is not None:
+                endpoint_dims = set()
+                for endpoint in (rel.source, rel.target):
+                    try:
+                        dim, _ = self.schema.find_member(endpoint)
+                        endpoint_dims.add(dim.did)
+                    except ReproError:
+                        # A dangling endpoint cannot be attributed to a
+                        # dimension; any scoped sweep must still surface it
+                        # (removing members is exactly what breaks mappings).
+                        endpoint_dims.add("__dangling__")
+                if not endpoint_dims & (scope | {"__dangling__"}):
+                    continue
             subject = f"{rel.source}=>{rel.target}"
             dims = []
             for endpoint in (rel.source, rel.target):
@@ -277,11 +335,18 @@ class IntegrityChecker:
                             )
                         )
 
-    def _check_mvid_uniqueness(self, report: IntegrityReport) -> None:
+    def _check_mvid_uniqueness(
+        self, report: IntegrityReport, scope: set[str] | None = None
+    ) -> None:
+        # Uniqueness is a cross-dimension property: the full catalog is
+        # always indexed, but only collisions involving a scoped dimension
+        # are reported.
         seen: dict[str, str] = {}
         for did, dim in self.schema.dimensions.items():
             for mvid in dim.members:
                 if mvid in seen and seen[mvid] != did:
+                    if scope is not None and not {seen[mvid], did} & scope:
+                        continue
                     report.violations.append(
                         Violation(
                             "mvid",

@@ -78,6 +78,15 @@ class Transaction:
 
     ``journal_mark`` / ``facts_mark`` record where the operator journal and
     the fact table stood at ``begin`` so rollback can truncate both.
+
+    ``touched`` accumulates the ids of every dimension the transaction's
+    operators and fact loads reached — the conflict-detection granularity
+    of :mod:`repro.concurrency` and the scope of incremental integrity
+    checks.  ``base_version`` is the snapshot version the writer's
+    decisions were based on (``None`` when the transaction was not opened
+    through a :class:`~repro.concurrency.manager.SnapshotManager`);
+    ``commit_lsn`` is the WAL LSN of the commit record, set by
+    :meth:`TransactionManager.commit` — the MVCC version clock.
     """
 
     txid: int
@@ -86,6 +95,9 @@ class Transaction:
     undo: list[UndoRecord] = field(default_factory=list)
     status: str = "active"
     operators: int = 0
+    touched: set[str] = field(default_factory=set)
+    base_version: int | None = None
+    commit_lsn: int | None = None
 
     @property
     def active(self) -> bool:
@@ -219,6 +231,20 @@ class TransactionManager:
         Optional :class:`~repro.robustness.faults.FaultInjector` fired at
         the ``txn.*`` fault points (and handed to the WAL for
         ``wal.append``).
+    checkpoint_every:
+        With a WAL attached, automatically write a schema checkpoint
+        after every N commits and truncate the journal prefix before it
+        (WAL compaction) — recovery replays from the checkpoint, so the
+        dropped prefix is dead weight.  ``None`` (the default) disables
+        auto-checkpointing.
+
+    Commit-time extension hooks (used by
+    :class:`~repro.concurrency.manager.SnapshotManager`):
+    ``precommit_hooks`` run after the ``txn.commit`` fault point but
+    *before* the WAL commit record — a hook that raises (e.g. a
+    write-conflict validator) aborts the commit and, under
+    ``transaction()``, rolls the transaction back; ``postcommit_hooks``
+    run once the transaction is durably committed (snapshot publication).
 
     Usage::
 
@@ -236,9 +262,15 @@ class TransactionManager:
         wal: WriteAheadJournal | str | Path | None = None,
         database: Database | None = None,
         fault_injector: Any = None,
+        checkpoint_every: int | None = None,
     ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise TransactionError("checkpoint_every must be a positive count")
         self.schema = schema
         self.fault_injector = fault_injector
+        self.checkpoint_every = checkpoint_every
+        self.precommit_hooks: list[Callable[[Transaction], None]] = []
+        self.postcommit_hooks: list[Callable[[Transaction], None]] = []
         if wal is None or isinstance(wal, WriteAheadJournal):
             self.wal = wal
         else:
@@ -287,16 +319,34 @@ class TransactionManager:
         return txn
 
     def commit(self) -> Transaction:
-        """Make the open transaction durable and permanent."""
+        """Make the open transaction durable and permanent.
+
+        Pre-commit hooks run before the WAL commit record: a raising hook
+        (write-conflict validation, scoped integrity) aborts the commit
+        while rollback is still possible.  Post-commit hooks run once the
+        transaction is durable; after them, ``checkpoint_every`` may
+        trigger an automatic checkpoint + journal truncation.
+        """
         txn = self._require_txn()
         self._fire("txn.commit")
+        for hook in self.precommit_hooks:
+            hook(txn)
         if self.wal is not None:
-            self.wal.commit(txn.txid)
+            txn.commit_lsn = self.wal.commit(txn.txid)
         self._fire("txn.commit.durable")
         txn.status = "committed"
         txn.undo.clear()
         self.current = None
         self.committed += 1
+        for hook in self.postcommit_hooks:
+            hook(txn)
+        if (
+            self.checkpoint_every is not None
+            and self.wal is not None
+            and self.committed % self.checkpoint_every == 0
+        ):
+            lsn = self.wal.checkpoint(self.schema)
+            self.wal.truncate_before(lsn)
         return txn
 
     def rollback(self) -> Transaction:
@@ -416,6 +466,13 @@ class TransactionManager:
         # anywhere downstream must still be able to unwind it.
         txn.undo.append(UndoRecord(description=operator, action=compensate))
         txn.operators += 1
+        txn.touched.update(dims)
+        if mapping_rel is not None:
+            # Associate names no dimension explicitly; both endpoints live
+            # in the same dimension (checked by add_mapping), so resolve
+            # the touched dimension from the source member version.
+            dim, _ = self.schema.find_member(mapping_rel.source)
+            txn.touched.add(dim.did)
         self._fire("txn.op.post")
         if self.wal is not None:
             self.wal.operator(txn.txid, operator_payload(operator, wal_args))
@@ -441,6 +498,7 @@ class TransactionManager:
                 action=lambda: self.schema.facts.truncate(mark),
             )
         )
+        txn.touched.update(coordinates)
         self._fire("txn.op.post")
         if self.wal is not None:
             self.wal.fact(txn.txid, dict(coordinates), t, dict(row.values))

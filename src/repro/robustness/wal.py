@@ -110,13 +110,22 @@ class WriteAheadJournal:
         self.fault_injector = fault_injector
         self._next_lsn = 1
         self._next_txid = 1
+        self.last_checkpoint_lsn: int | None = None
         if self.path.exists():
             for record in self.records():
                 self._next_lsn = record["lsn"] + 1
                 txid = record.get("txid")
                 if isinstance(txid, int) and txid >= self._next_txid:
                     self._next_txid = txid + 1
+                if record["kind"] == "checkpoint":
+                    self.last_checkpoint_lsn = record["lsn"]
         self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended record (0 when empty) —
+        the version clock of :mod:`repro.concurrency`."""
+        return self._next_lsn - 1
 
     # -- low-level append -------------------------------------------------------
 
@@ -160,7 +169,36 @@ class WriteAheadJournal:
 
     def checkpoint(self, schema: TemporalMultidimensionalSchema) -> int:
         """Write a full schema snapshot; recovery replays from here."""
-        return self.append("checkpoint", schema=schema_to_dict(schema))
+        lsn = self.append("checkpoint", schema=schema_to_dict(schema))
+        self.last_checkpoint_lsn = lsn
+        return lsn
+
+    def truncate_before(self, lsn: int) -> int:
+        """Compact the journal: drop every record with an LSN below ``lsn``.
+
+        ``lsn`` should be a checkpoint's LSN — everything before it is
+        dead weight for recovery, which replays from the most recent
+        checkpoint.  The surviving suffix is rewritten atomically
+        (write-temp-then-rename); LSNs are preserved, so the sequence
+        stays monotonic and :meth:`records` keeps validating.  Returns
+        the number of records dropped.
+        """
+        records = self.records()
+        keep = [record for record in records if record["lsn"] >= lsn]
+        dropped = len(records) - len(keep)
+        if dropped == 0:
+            return 0
+        self._file.close()
+        tmp = self.path.with_name(self.path.name + ".compact")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in keep:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        return dropped
 
     def begin(self, txid: int) -> int:
         """Journal a transaction start."""

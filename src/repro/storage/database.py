@@ -12,9 +12,9 @@ from typing import Any, Iterable, Mapping
 
 from .errors import ForeignKeyViolation, TableExistsError, UnknownTableError
 from .schema import Column, ForeignKey, TableSchema
-from .table import Table
+from .table import Table, TableSnapshot
 
-__all__ = ["Database"]
+__all__ = ["Database", "DatabaseSnapshot"]
 
 
 class Database:
@@ -82,6 +82,14 @@ class Database:
     def table_names(self) -> list[str]:
         """Registered table names, in creation order."""
         return list(self._tables)
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """A copy-on-write read view over every table (see
+        :meth:`Table.snapshot`): one container copy per table, no row
+        duplication, immune to later writes on the live database."""
+        return DatabaseSnapshot(
+            self.name, {name: table.snapshot() for name, table in self._tables.items()}
+        )
 
     # -- integrity-checked writes -----------------------------------------------------
 
@@ -152,3 +160,39 @@ class Database:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Database({self.name!r}, tables={self.table_names})"
+
+
+class DatabaseSnapshot:
+    """A point-in-time read view over a :class:`Database`'s tables."""
+
+    def __init__(self, name: str, tables: dict[str, "TableSnapshot"]) -> None:
+        self.name = name
+        self._tables = tables
+
+    def table(self, name: str) -> "TableSnapshot":
+        """Look up a table snapshot by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(
+                f"database snapshot {self.name!r} has no table {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """Captured table names, in creation order."""
+        return list(self._tables)
+
+    def row_counts(self) -> dict[str, int]:
+        """``{table: row count}`` at capture time."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def total_rows(self) -> int:
+        """Total live rows across captured tables."""
+        return sum(self.row_counts().values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DatabaseSnapshot({self.name!r}, tables={self.table_names})"

@@ -13,7 +13,7 @@ from .errors import DuplicateKeyError, StorageError
 from .index import HashIndex
 from .schema import TableSchema
 
-__all__ = ["Table"]
+__all__ = ["Table", "TableSnapshot"]
 
 Predicate = Callable[[Mapping[str, Any]], bool]
 
@@ -216,6 +216,20 @@ class Table:
             removed += 1
         return removed
 
+    # -- snapshots ---------------------------------------------------------------------
+
+    def snapshot(self) -> "TableSnapshot":
+        """A copy-on-write read view of the table's current rows.
+
+        Every mutation of :class:`Table` *replaces* slot entries (``insert``
+        appends, ``update``/``restore_row`` install fresh dicts, ``delete``
+        nulls the slot) and never mutates a stored row dict in place, so a
+        shallow copy of the slot list is a stable version: later writes to
+        the live table are invisible to the snapshot, at the cost of one
+        list copy — no row data is duplicated.
+        """
+        return TableSnapshot(self.schema.name, list(self._slots))
+
     # -- projections -------------------------------------------------------------------
 
     def column_values(self, column: str) -> list[Any]:
@@ -232,3 +246,50 @@ class Table:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Table({self.name!r}, {len(self)} rows)"
+
+
+class TableSnapshot:
+    """An immutable, point-in-time read view over a table's rows.
+
+    Shares the row dicts of the source table (copy-on-write: the live table
+    replaces rather than mutates them) and offers the read-side surface of
+    :class:`Table` — iteration, :meth:`scan`, :meth:`find` (scan-based) —
+    without any mutation entry point.
+    """
+
+    def __init__(self, name: str, slots: list[dict[str, Any] | None]) -> None:
+        self.name = name
+        self._slots = slots
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate live rows in insertion order (copies)."""
+        for row in self._slots:
+            if row is not None:
+                yield dict(row)
+
+    def items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(row id, row copy)`` pairs for live rows."""
+        for rid, row in enumerate(self._slots):
+            if row is not None:
+                yield rid, dict(row)
+
+    def scan(self, predicate: Predicate | None = None) -> list[dict[str, Any]]:
+        """Filtered scan (copies)."""
+        if predicate is None:
+            return list(self.rows())
+        return [row for row in self.rows() if predicate(row)]
+
+    def find(self, **equalities: Any) -> list[dict[str, Any]]:
+        """Equality lookup by full scan (snapshots carry no indexes)."""
+        return self.scan(
+            lambda row: all(row.get(c) == v for c, v in equalities.items())
+        )
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def __len__(self) -> int:
+        return sum(1 for row in self._slots if row is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableSnapshot({self.name!r}, {len(self)} rows)"

@@ -106,6 +106,19 @@ class MultiVersionDataWarehouse:
         fact.create_index(["mode"])
         return cls(mvft, db)
 
+    @classmethod
+    def from_cursor(
+        cls, cursor, *, layouts: tuple[str, ...] = ("star",)
+    ) -> "MultiVersionDataWarehouse":
+        """Materialize the warehouse from a pinned snapshot version.
+
+        ``cursor`` is a :class:`~repro.concurrency.cursor.SnapshotCursor`;
+        the relational build reads the cursor's MultiVersion fact table,
+        so an evolution transaction committing mid-build cannot produce a
+        warehouse that mixes structure versions.
+        """
+        return cls.build(cursor.mvft, layouts=layouts)
+
     # -- relational querying -----------------------------------------------------------
 
     def _vsid_for(self, mode: str, t: int) -> str | None:

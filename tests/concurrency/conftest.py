@@ -1,0 +1,39 @@
+"""Shared fixtures for the concurrency tests.
+
+Two schema scales: the paper's §5 case study (realistic, three structure
+versions, 20 facts) for end-to-end isolation and sharding checks, and the
+robustness suite's small Table-11 schema for surgical conflict and
+integrity scenarios.
+"""
+
+import pytest
+
+from repro.concurrency import SnapshotManager
+from repro.core.chronology import ym
+from repro.robustness import TransactionManager
+from repro.workloads.case_study import build_case_study
+
+T_EVOLVE = ym(2003, 6)
+"""An instant after every case-study evolution — new members go live here."""
+
+
+def insert_department(txm, mvid, name, *, parent="sales", t=T_EVOLVE):
+    """One-operator evolution used as the canonical concurrent write."""
+    return txm.editor.insert(
+        "org", mvid, name, t, level="Department", parents=[parent]
+    )
+
+
+@pytest.fixture()
+def study():
+    return build_case_study()
+
+
+@pytest.fixture()
+def txm(study):
+    return TransactionManager(study.schema)
+
+
+@pytest.fixture()
+def manager(txm):
+    return SnapshotManager(txm)

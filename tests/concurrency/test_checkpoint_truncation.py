@@ -1,0 +1,100 @@
+"""Auto-checkpointing and WAL compaction (ROADMAP item "WAL compaction").
+
+``TransactionManager(checkpoint_every=N)`` writes a schema checkpoint
+after every N commits and truncates the journal prefix before it;
+recovery from the compacted journal must reproduce the schema
+byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.core.serialization import schema_to_dict
+from repro.robustness import (
+    TransactionError,
+    TransactionManager,
+    WriteAheadJournal,
+    recover_schema,
+)
+from repro.workloads.case_study import build_case_study
+
+from .conftest import insert_department
+
+
+def fingerprint(schema):
+    return json.dumps(schema_to_dict(schema), sort_keys=True)
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "evolutions.wal"
+
+
+class TestAutoCheckpoint:
+    def test_checkpoint_written_every_n_commits(self, wal_path):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal_path, checkpoint_every=2)
+        first_checkpoint = txm.wal.last_checkpoint_lsn  # the initial one
+        for i in range(4):
+            with txm.transaction():
+                insert_department(txm, f"ckpt{i}", f"Ckpt{i}")
+        checkpoints = [
+            r["lsn"] for r in txm.wal.records() if r["kind"] == "checkpoint"
+        ]
+        # prefix truncation keeps only the newest checkpoint in the file
+        assert len(checkpoints) == 1
+        assert txm.wal.last_checkpoint_lsn == checkpoints[0]
+        assert checkpoints[0] > first_checkpoint
+
+    def test_truncation_drops_the_prefix(self, wal_path):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal_path, checkpoint_every=1)
+        with txm.transaction():
+            insert_department(txm, "trc_a", "TrcA")
+        records = txm.wal.records()
+        assert records[0]["kind"] == "checkpoint"
+        assert records[0]["lsn"] == txm.wal.last_checkpoint_lsn
+        # nothing from before the checkpoint survives
+        assert all(r["lsn"] >= txm.wal.last_checkpoint_lsn for r in records)
+
+    def test_recovery_after_truncation_reproduces_schema(self, wal_path):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal_path, checkpoint_every=2)
+        for i in range(5):
+            with txm.transaction():
+                insert_department(txm, f"rcv{i}", f"Rcv{i}")
+        live = fingerprint(study.schema)
+
+        recovered, report = recover_schema(wal_path)
+        assert fingerprint(recovered) == live
+        # commits 2 and 4 checkpointed; commit 5 replays from the last one
+        assert report.transactions_replayed == 1
+
+    def test_lsn_sequence_survives_reopen_after_truncation(self, wal_path):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal_path, checkpoint_every=1)
+        with txm.transaction():
+            insert_department(txm, "seq_a", "SeqA")
+        last = txm.wal.last_lsn
+        txm.wal.close()
+        reopened = WriteAheadJournal(wal_path)
+        assert reopened.last_lsn == last
+        assert reopened.last_checkpoint_lsn == txm.wal.last_checkpoint_lsn
+
+    def test_truncate_before_noop_when_nothing_precedes(self, wal_path):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal_path)
+        assert txm.wal.truncate_before(1) == 0
+
+    def test_checkpoint_every_must_be_positive(self):
+        study = build_case_study()
+        with pytest.raises(TransactionError):
+            TransactionManager(study.schema, checkpoint_every=0)
+
+    def test_no_wal_means_no_auto_checkpoint(self):
+        study = build_case_study()
+        txm = TransactionManager(study.schema, checkpoint_every=1)
+        with txm.transaction():
+            insert_department(txm, "nw_a", "NwA")  # must not raise
+        assert txm.committed == 1

@@ -1,0 +1,127 @@
+"""Deterministic shard-merge: sharded == serial, byte for byte (§5 case study).
+
+The executor partitions the mode's row slice into contiguous shards and
+merges partial group maps in shard order, so the merged contribution
+lists reproduce the serial fold order exactly — the results must be
+*identical*, not merely numerically close.
+"""
+
+import pytest
+
+from repro.concurrency import ShardedExecutor, SnapshotManager, shard_rows
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR
+from repro.core.chronology import ym
+from repro.core.query import merge_contributions
+from repro.robustness import TransactionManager
+
+QUERIES = [
+    Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division"))),
+    Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Department"))),
+    Query(
+        group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")),
+        time_range=Interval(ym(2001, 1), ym(2002, 12)),
+    ),
+]
+
+
+@pytest.fixture()
+def mvft(study):
+    return study.schema.multiversion_facts()
+
+
+class TestShardRows:
+    def test_partitions_cover_in_order(self):
+        rows = list(range(10))
+        parts = shard_rows(rows, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert [x for part in parts for x in part] == rows
+
+    def test_more_shards_than_rows(self):
+        assert [list(p) for p in shard_rows([1, 2], 8)] == [[1], [2]]
+
+    def test_empty_input(self):
+        assert shard_rows([], 4) == []
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_rows([1], 0)
+
+
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    def test_identical_results_across_modes(self, mvft, shards, query_index):
+        executor = ShardedExecutor(mvft, shards=shards)
+        base = QUERIES[query_index]
+        for mode in mvft.modes.labels:
+            query = base.with_mode(mode)
+            serial = executor.execute_serial(query)
+            sharded = executor.execute(query)
+            assert sharded.to_text() == serial.to_text()
+            assert [
+                (r.group, [(c.measure, c.value, c.confidence) for c in r.cells])
+                for r in sharded
+            ] == [
+                (r.group, [(c.measure, c.value, c.confidence) for c in r.cells])
+                for r in serial
+            ]
+
+    def test_merge_preserves_serial_fold_order(self, mvft):
+        executor = ShardedExecutor(mvft, shards=4)
+        query = QUERIES[1]
+        engine = executor.engine
+        mode, _ = engine.resolve(query)
+        rows = mvft.slice(mode.label)
+        serial_groups = engine.collect_contributions(query, rows)
+        partials = [
+            engine.collect_contributions(query, part)
+            for part in shard_rows(rows, 4)
+        ]
+        assert merge_contributions(partials) == serial_groups
+
+    def test_single_shard_falls_back_to_serial(self, mvft):
+        executor = ShardedExecutor(mvft, shards=1)
+        query = QUERIES[0]
+        assert (
+            executor.execute(query).to_text()
+            == executor.execute_serial(query).to_text()
+        )
+
+
+class TestExecutorIntegration:
+    def test_cube_pivots_through_the_executor(self, study, mvft):
+        from repro.olap import Cube, LevelAxis, TimeAxis
+
+        executor = ShardedExecutor(mvft, shards=3)
+        plain = Cube(mvft)
+        sharded = Cube(mvft, executor=executor)
+        view_a = plain.pivot(
+            "tcm", TimeAxis(YEAR), LevelAxis("org", "Division"), "amount"
+        )
+        view_b = sharded.pivot(
+            "tcm", TimeAxis(YEAR), LevelAxis("org", "Division"), "amount"
+        )
+        from repro.olap import render_view
+
+        assert render_view(view_b) == render_view(view_a)
+
+    def test_lattice_materializes_through_the_executor(self, mvft):
+        from repro.olap import AggregateLattice
+
+        executor = ShardedExecutor(mvft, shards=3)
+        serial = AggregateLattice(mvft)
+        sharded = AggregateLattice(mvft, executor=executor)
+        assert sharded.node_count == serial.node_count
+        assert sharded._nodes == serial._nodes
+
+    def test_snapshot_cursor_feeds_the_executor(self, study, txm):
+        manager = SnapshotManager(txm)
+        cursor = manager.open_cursor()
+        executor = ShardedExecutor(cursor.mvft, shards=3)
+        query = QUERIES[0]
+        before = executor.execute(query).to_text()
+        from .conftest import insert_department
+
+        with manager.transaction():
+            insert_department(txm, "shx_a", "ShxA")
+        assert executor.execute(query).to_text() == before

@@ -1,0 +1,202 @@
+"""Reader-during-writer isolation: the ISSUE's headline acceptance test.
+
+A cursor opened before ``begin()`` must return identical query results
+before, during and after a concurrent compound evolution commits — and a
+cursor opened afterwards must see the new version.
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency import SnapshotManager, SnapshotError, clone_schema
+from repro.core import LevelGroup, Query, QueryEngine, TimeGroup, YEAR
+from repro.core.serialization import schema_to_dict
+from repro.robustness import FaultInjector, InjectedFault, TransactionManager
+
+from .conftest import T_EVOLVE, insert_department
+
+Q_DIVISION = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
+
+
+class TestCloneSchema:
+    def test_clone_serializes_byte_identically(self, study):
+        clone = clone_schema(study.schema)
+        assert schema_to_dict(clone) == schema_to_dict(study.schema)
+
+    def test_clone_is_independent_of_source_mutation(self, study, txm):
+        clone = clone_schema(study.schema)
+        before = schema_to_dict(clone)
+        with txm.transaction():
+            insert_department(txm, "clone_x", "CloneX")
+        assert schema_to_dict(clone) == before
+        assert "clone_x" in study.schema.dimension("org").members
+
+    def test_clone_shares_immutable_rows(self, study):
+        clone = clone_schema(study.schema)
+        assert list(clone.facts.rows())[0] is list(study.schema.facts.rows())[0]
+
+
+class TestReaderIsolation:
+    def test_reader_sees_same_results_before_during_after_commit(
+        self, study, txm, manager
+    ):
+        cursor = manager.open_cursor()
+        baseline = QueryEngine(cursor.mvft).execute(Q_DIVISION).to_text()
+        fingerprint = cursor.fingerprint()
+
+        txn = txm.begin()
+        txn.base_version = manager.version
+        # compound evolution in flight: Table 11 split of 'jones' was the
+        # case study's; here a smaller compound touches 'org' twice
+        insert_department(txm, "iso_a", "IsoA")
+        insert_department(txm, "iso_b", "IsoB")
+        during = QueryEngine(cursor.mvft).execute(Q_DIVISION).to_text()
+        assert during == baseline
+        assert cursor.fingerprint() == fingerprint
+        txm.commit()
+
+        after = QueryEngine(cursor.mvft).execute(Q_DIVISION).to_text()
+        assert after == baseline
+        assert cursor.fingerprint() == fingerprint
+
+        fresh = manager.open_cursor()
+        assert fresh.version > cursor.version
+        assert fresh.fingerprint() != fingerprint
+        assert "iso_a" in fresh.schema.dimension("org").members
+
+    def test_mvql_and_cube_read_the_pinned_version(self, manager, txm):
+        from repro.mvql import MVQLSession
+        from repro.olap import Cube
+
+        cursor = manager.open_cursor()
+        session = MVQLSession.from_cursor(cursor)
+        cube = Cube.from_cursor(cursor)
+        text_before = session.execute_to_text(
+            "SELECT amount BY year, org.Division"
+        )
+        axes = {a.name for a in cube.level_axes()}
+        with manager.transaction():
+            insert_department(txm, "iso_c", "IsoC")
+        assert (
+            session.execute_to_text("SELECT amount BY year, org.Division")
+            == text_before
+        )
+        assert {a.name for a in cube.level_axes()} == axes
+
+    def test_warehouse_builds_from_pinned_version(self, manager, txm):
+        from repro.warehouse.multiversion_dw import MultiVersionDataWarehouse
+
+        cursor = manager.open_cursor()
+        with manager.transaction():
+            insert_department(txm, "iso_d", "IsoD")
+        dw = MultiVersionDataWarehouse.from_cursor(cursor)
+        # the star lowering of the pinned version knows nothing of iso_d
+        star_rows = dw.db.table("star_org").scan()
+        assert not any(r["member"] == "iso_d" for r in star_rows)
+
+    def test_snapshot_caption_names_the_version(self, manager):
+        from repro.olap import snapshot_caption
+
+        cursor = manager.open_cursor()
+        caption = snapshot_caption(cursor)
+        assert f"v{cursor.version}" in caption
+        assert "dimension" in caption
+
+
+class TestCursorLifecycle:
+    def test_open_count_and_versions(self, manager, txm):
+        a = manager.open_cursor()
+        with manager.transaction():
+            insert_department(txm, "lc_a", "LcA")
+        b = manager.open_cursor()
+        assert manager.open_snapshot_count == 2
+        assert manager.open_versions() == sorted([a.version, b.version])
+        a.close()
+        assert manager.open_snapshot_count == 1
+        b.close()
+        assert manager.open_snapshot_count == 0
+
+    def test_closed_cursor_refuses_reads(self, manager):
+        cursor = manager.open_cursor()
+        cursor.close()
+        cursor.close()  # idempotent
+        with pytest.raises(SnapshotError):
+            _ = cursor.schema
+
+    def test_context_manager_closes(self, manager):
+        with manager.open_cursor() as cursor:
+            assert manager.open_snapshot_count == 1
+            _ = cursor.version
+        assert manager.open_snapshot_count == 0
+
+
+class TestSnapshotImmutabilityUnderFaults:
+    def test_reader_unaffected_by_faulted_commit(self, study):
+        injector = FaultInjector(seed=3)
+        txm = TransactionManager(study.schema, fault_injector=injector)
+        manager = SnapshotManager(txm)
+        cursor = manager.open_cursor()
+        fingerprint = cursor.fingerprint()
+        version = manager.version
+
+        injector.arm("txn.commit", at_call=1)
+        with pytest.raises(InjectedFault):
+            with manager.transaction():
+                insert_department(txm, "flt_a", "FltA")
+        # the failed commit rolled back: no new version was published and
+        # neither the reader's pinned snapshot nor the live schema moved
+        assert manager.version == version
+        assert cursor.fingerprint() == fingerprint
+        assert "flt_a" not in study.schema.dimension("org").members
+
+        injector.disarm_all()
+        with manager.transaction():
+            insert_department(txm, "flt_b", "FltB")
+        assert manager.version > version
+        assert cursor.fingerprint() == fingerprint
+
+    def test_fault_between_operators_leaves_snapshot_clean(self, study):
+        injector = FaultInjector(seed=5)
+        txm = TransactionManager(study.schema, fault_injector=injector)
+        manager = SnapshotManager(txm)
+        cursor = manager.open_cursor()
+        fingerprint = cursor.fingerprint()
+
+        injector.arm("txn.op.post", at_call=2)
+        with pytest.raises(InjectedFault):
+            with manager.transaction():
+                insert_department(txm, "flt_c", "FltC")
+                insert_department(txm, "flt_d", "FltD")
+        assert cursor.fingerprint() == fingerprint
+        assert manager.snapshot().fingerprint() == fingerprint
+
+
+class TestThreadedReaderDuringWriterChurn:
+    def test_reader_thread_sees_one_stable_version_while_writer_commits(
+        self, study, txm, manager
+    ):
+        cursor = manager.open_cursor()
+        engine = QueryEngine(cursor.mvft)
+        baseline = engine.execute(Q_DIVISION).to_text()
+        mismatches = []
+        stop = threading.Event()
+
+        def read_loop():
+            while not stop.is_set():
+                if engine.execute(Q_DIVISION).to_text() != baseline:
+                    mismatches.append("drift")
+                    return
+
+        reader = threading.Thread(target=read_loop)
+        reader.start()
+        try:
+            for i in range(5):
+                with manager.transaction():
+                    insert_department(txm, f"churn{i}", f"Churn{i}")
+        finally:
+            stop.set()
+            reader.join(timeout=30)
+        assert not reader.is_alive()
+        assert mismatches == []
+        assert manager.open_cursor().version == manager.version

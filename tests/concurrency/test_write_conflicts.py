@@ -1,0 +1,171 @@
+"""First-committer-wins validation and the retry-based recovery loop."""
+
+import pytest
+
+from repro.concurrency import (
+    SnapshotError,
+    SnapshotManager,
+    WriteConflictError,
+)
+from repro.core import (
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+    TemporalRelationship,
+)
+from repro.core.confidence import EM
+from repro.core.mapping import IdentityMapping, MappingRelationship, MeasureMap
+from repro.robustness import RetryPolicy, TransactionManager
+
+from .conftest import T_EVOLVE, insert_department
+
+
+def build_two_dimensional_schema():
+    """Org × Geo, one leaf each under one root — for disjoint-write tests."""
+    dims = []
+    for did, leaf in (("Org", "v_org"), ("Geo", "v_geo")):
+        d = TemporalDimension(did)
+        d.add_member(MemberVersion(f"root_{did}", did, Interval(0), level="All"))
+        d.add_member(MemberVersion(leaf, leaf, Interval(0), level="Leaf"))
+        d.add_relationship(TemporalRelationship(leaf, f"root_{did}", Interval(0)))
+        dims.append(d)
+    return TemporalMultidimensionalSchema(dims, [Measure("m", SUM)])
+
+
+def no_sleep_policy(attempts=3):
+    return RetryPolicy(
+        max_attempts=attempts,
+        base_delay=0.0,
+        retry_on=(WriteConflictError,),
+        sleep=lambda _s: None,
+    )
+
+
+class TestFirstCommitterWins:
+    def test_loser_raises_and_rolls_back(self, study, txm, manager):
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            insert_department(txm, "wcw_a", "WcwA")
+        winner_version = manager.version
+
+        with pytest.raises(WriteConflictError) as err:
+            with manager.transaction(base=base):
+                insert_department(txm, "wcw_b", "WcwB")
+        assert err.value.dimensions == ("org",)
+        assert err.value.base_version == base.version
+        assert err.value.committed_version == winner_version
+        # the loser left no trace: rollback restored the winner's state
+        assert "wcw_b" not in study.schema.dimension("org").members
+        assert manager.version == winner_version
+        assert txm.rolled_back == 1
+
+    def test_disjoint_dimensions_do_not_conflict(self):
+        schema = build_two_dimensional_schema()
+        txm = TransactionManager(schema)
+        manager = SnapshotManager(txm)
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            txm.editor.insert("Org", "o2", "O2", 1, level="Leaf", parents=["root_Org"])
+        # same stale base, but this writer only touches Geo — no conflict
+        with manager.transaction(base=base):
+            txm.editor.insert("Geo", "g2", "G2", 1, level="Leaf", parents=["root_Geo"])
+        assert "g2" in schema.dimension("Geo").members
+
+    def test_fact_loads_conflict_along_their_coordinates(self):
+        schema = build_two_dimensional_schema()
+        txm = TransactionManager(schema)
+        manager = SnapshotManager(txm)
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            txm.editor.insert("Org", "o3", "O3", 1, level="Leaf", parents=["root_Org"])
+        with pytest.raises(WriteConflictError):
+            with manager.transaction(base=base):
+                txm.add_fact({"Org": "v_org", "Geo": "v_geo"}, 2, m=1.0)
+
+    def test_associate_resolves_its_touched_dimension(self, study, txm, manager):
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            insert_department(txm, "wcw_e", "WcwE")
+        identity = MeasureMap(IdentityMapping(), EM)
+        rel = MappingRelationship(
+            source="jones",
+            target="wcw_e",
+            forward={"amount": identity},
+            reverse={"amount": identity},
+        )
+        with pytest.raises(WriteConflictError):
+            with manager.transaction(base=base):
+                txm.editor.associate(rel)
+        assert len(study.schema.mappings) == len(
+            manager.snapshot().schema.mappings
+        )
+
+    def test_default_base_is_current_version(self, txm, manager):
+        with manager.transaction():
+            insert_department(txm, "wcw_f", "WcwF")
+        with manager.transaction():  # fresh base: no conflict
+            insert_department(txm, "wcw_g", "WcwG")
+
+    def test_unusable_base_is_rejected(self, manager):
+        with pytest.raises(SnapshotError):
+            with manager.transaction(base=object()):
+                pass  # pragma: no cover - transaction never opens
+
+
+class TestRetryIntegration:
+    def test_retry_policy_wins_on_fresh_base(self, study, txm, manager):
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            insert_department(txm, "rty_a", "RtyA")
+
+        attempts = []
+
+        def write(evolution):
+            attempts.append(1)
+            return insert_department(txm, "rty_b", "RtyB")
+
+        result = manager.run_write(
+            write, base=base, retry=no_sleep_policy()
+        )
+        assert result.mvid == "rty_b"
+        assert len(attempts) == 2  # conflicted once, then won
+        assert "rty_b" in study.schema.dimension("org").members
+
+    def test_without_retry_the_conflict_propagates(self, txm, manager):
+        base = manager.snapshot()
+        with manager.transaction(base=base):
+            insert_department(txm, "rty_c", "RtyC")
+        with pytest.raises(WriteConflictError):
+            manager.run_write(
+                lambda ev: insert_department(txm, "rty_d", "RtyD"),
+                base=base,
+            )
+
+
+class TestCommitTimeIntegrity:
+    def test_verify_commits_accepts_clean_transactions(self, study, txm):
+        manager = SnapshotManager(txm, verify_commits=True)
+        with manager.transaction():
+            insert_department(txm, "vfy_a", "VfyA")
+        assert "vfy_a" in study.schema.dimension("org").members
+
+    def test_verify_commits_scopes_to_touched_dimensions(
+        self, study, txm, monkeypatch
+    ):
+        manager = SnapshotManager(txm, verify_commits=True)
+        seen = {}
+        from repro.robustness.integrity import IntegrityChecker
+
+        original = IntegrityChecker.run
+
+        def spy(self, scope=None):
+            seen["scope"] = scope
+            return original(self, scope)
+
+        monkeypatch.setattr(IntegrityChecker, "run", spy)
+        with manager.transaction():
+            insert_department(txm, "vfy_b", "VfyB")
+        assert seen["scope"] == {"org"}

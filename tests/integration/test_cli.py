@@ -137,3 +137,20 @@ class TestRecoverCommand:
         status, out = run_cli("recover", str(wal))
         assert status == 2
         assert "recovery failed" in out and "not valid JSON" in out
+
+
+class TestSnapshotCommand:
+    def test_snapshot_reports_version_and_open_count(self):
+        status, out = run_cli("snapshot")
+        assert status == 0
+        assert "snapshot version: 0" in out     # in-memory: no journal clock
+        assert "open snapshots: 1" in out
+        assert "last checkpoint LSN: none" in out
+
+    def test_snapshot_with_journal_reports_checkpoint_lsn(self, tmp_path):
+        wal = tmp_path / "snap.wal"
+        status, out = run_cli("snapshot", "--wal", str(wal))
+        assert status == 0
+        assert "snapshot version: 1" in out     # the initial checkpoint LSN
+        assert "last checkpoint LSN: 1" in out
+        assert "[snapshot v1]" in out           # the olap caption line
