@@ -43,3 +43,47 @@ def medium_workload():
     return generate_workload(
         WorkloadConfig(seed=42, n_years=5, n_departments=20)
     )
+
+
+# -- benchmark collector ---------------------------------------------------------
+#
+# Every benchmark's wall time is collected by a hookwrapper and written to
+# BENCH_observability.json at the repo root when the session ends, together
+# with a snapshot of the process-default metrics registry (empty unless a
+# benchmark opted in via repro.observability.runtime — the collector itself
+# never enables instrumentation, so timings stay unperturbed).
+
+import json
+import pathlib
+import time
+
+_BENCH_RESULTS = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    outcome = yield
+    seconds = time.perf_counter() - start
+    _BENCH_RESULTS.append(
+        {
+            "name": item.nodeid,
+            "seconds": seconds,
+            "passed": outcome.excinfo is None,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RESULTS:
+        return
+    from repro.observability import runtime
+
+    payload = {
+        "benchmarks": _BENCH_RESULTS,
+        "metrics": (
+            runtime.current_metrics().snapshot() if runtime.enabled() else {}
+        ),
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")

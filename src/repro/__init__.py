@@ -33,7 +33,7 @@ Quick start::
     engine = QueryEngine(study.schema.multiversion_facts())
     q1 = Query(group_by=(TimeGroup(YEAR), LevelGroup("org", "Division")))
     for mode, table in engine.execute_all_modes(q1).items():
-        print(mode, table.to_text(), sep="\\n")
+        report = mode + "\\n" + table.to_text()  # render however you like
 """
 
 from . import core

@@ -15,7 +15,16 @@ Commands:
   recovery restored;
 * ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
   case study and print the current snapshot version, open-snapshot count
-  and last checkpoint LSN.
+  and last checkpoint LSN;
+* ``stats [--json]`` — run the demo workload fully instrumented and dump
+  the collected metrics (Prometheus text, or a JSON snapshot);
+* ``profile "<mvql select>" [--shards N] [--trace-out FILE]`` — profile
+  one MVQL SELECT: per-phase timings, per-shard row counts, and
+  per-structure-version scan/emit counts.
+
+``mvql`` and ``profile`` accept ``--trace-out FILE`` to export the spans
+recorded during execution as JSON Lines (one span per line, each naming
+its parent, so the tree reconstructs offline).
 
 The CLI is intentionally bound to the built-in case study: it is a
 demonstration surface, not a server.  Applications embed the library
@@ -64,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="MVQL statements (default: read one per line from stdin)",
     )
+    mvql.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the recorded span tree to FILE as JSON Lines",
+    )
     sub.add_parser("audit", help="audit the case-study schema")
     sub.add_parser("graph", help="print the Figure-2 dimension graph")
     sub.add_parser("modes", help="list the temporal modes of presentation")
@@ -82,6 +96,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="attach a write-ahead journal (the version clock uses its "
         "LSNs; without one a local counter stands in)",
+    )
+    stats = sub.add_parser(
+        "stats", help="run the demo workload instrumented and dump metrics"
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="dump a JSON metrics snapshot instead of Prometheus text",
+    )
+    profile = sub.add_parser(
+        "profile", help="profile one MVQL SELECT (EXPLAIN-ANALYZE style)"
+    )
+    profile.add_argument("statement", help="an MVQL SELECT statement")
+    profile.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="row shards for the sharded pass (default 4; 1 disables it)",
+    )
+    profile.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the recorded span tree to FILE as JSON Lines",
     )
     return parser
 
@@ -112,9 +149,12 @@ def _cmd_demo(out) -> int:
     return 0
 
 
-def _cmd_mvql(statements: list[str], out) -> int:
+def _cmd_mvql(statements: list[str], out, trace_out: str | None = None) -> int:
+    from repro.observability import Tracer
+
+    tracer = Tracer() if trace_out else None
     study = build_case_study()
-    session = MVQLSession(study.schema.multiversion_facts())
+    session = MVQLSession(study.schema.multiversion_facts(), tracer=tracer)
     if not statements:
         statements = [line.strip() for line in sys.stdin if line.strip()]
     status = 0
@@ -126,6 +166,9 @@ def _cmd_mvql(statements: list[str], out) -> int:
             print(f"error: {exc}", file=out)
             status = 1
         print(file=out)
+    if tracer is not None and trace_out is not None:
+        count = tracer.write_jsonl(trace_out)
+        print(f"wrote {count} spans to {trace_out}", file=out)
     return status
 
 
@@ -201,6 +244,69 @@ def _cmd_snapshot(wal: str | None, out) -> int:
     return 0
 
 
+def _cmd_stats(json_dump: bool, out) -> int:
+    import json
+
+    from repro.observability import MetricsRegistry, Tracer
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    study = build_case_study()
+    mvft = study.schema.multiversion_facts()
+    engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+    session = MVQLSession(mvft, tracer=tracer, metrics=metrics)
+    q1 = Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+        time_range=Interval(ym(2001, 1), ym(2002, 12)),
+    )
+    q2 = Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+        time_range=Interval(ym(2002, 1), ym(2003, 12)),
+    )
+    for query in (q1, q2):
+        for mode in mvft.modes.labels:
+            engine.execute(query.with_mode(mode))
+    session.execute("SELECT amount BY year, org.Division")
+    if json_dump:
+        print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True), file=out)
+    else:
+        print(metrics.render_prometheus(), file=out)
+    return 0
+
+
+def _cmd_profile(
+    statement: str, shards: int, trace_out: str | None, out
+) -> int:
+    from repro.mvql.ast import SelectStatement
+    from repro.mvql.parser import parse
+    from repro.observability import profile_query
+
+    study = build_case_study()
+    mvft = study.schema.multiversion_facts()
+    session = MVQLSession(mvft)
+    try:
+        parsed = parse(statement)
+        if not isinstance(parsed, SelectStatement):
+            print(
+                f"error: profile needs a SELECT statement, got "
+                f"{type(parsed).__name__}",
+                file=out,
+            )
+            return 1
+        query = session.compile_select(parsed)
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    profile = profile_query(
+        mvft, query, shards=shards, statement=" ".join(statement.split())
+    )
+    print(profile.to_text(), file=out)
+    if trace_out is not None and profile.tracer is not None:
+        count = profile.tracer.write_jsonl(trace_out)
+        print(f"wrote {count} spans to {trace_out}", file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -208,7 +314,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(out)
     if args.command == "mvql":
-        return _cmd_mvql(list(args.statement), out)
+        return _cmd_mvql(list(args.statement), out, trace_out=args.trace_out)
     if args.command == "audit":
         return _cmd_audit(out)
     if args.command == "graph":
@@ -221,4 +327,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_recover(args.wal, out)
     if args.command == "snapshot":
         return _cmd_snapshot(args.wal, out)
+    if args.command == "stats":
+        return _cmd_stats(args.json, out)
+    if args.command == "profile":
+        return _cmd_profile(args.statement, args.shards, args.trace_out, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

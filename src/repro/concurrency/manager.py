@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from repro.core.operations import EvolutionManager
+from repro.observability import runtime as _obs
 from repro.robustness.integrity import IntegrityChecker
 from repro.robustness.retry import RetryPolicy
 from repro.robustness.transactions import Transaction, TransactionManager
@@ -50,11 +51,16 @@ class SnapshotManager:
     """Snapshot isolation over one :class:`TransactionManager`."""
 
     def __init__(
-        self, txm: TransactionManager, *, verify_commits: bool = False
+        self,
+        txm: TransactionManager,
+        *,
+        verify_commits: bool = False,
+        metrics: Any = None,
     ) -> None:
         self.txm = txm
         self.schema = txm.schema
         self.verify_commits = verify_commits
+        self._metrics = metrics
         self._write_lock = threading.RLock()
         self._state_lock = threading.Lock()
         self._dim_versions: dict[str, int] = {}
@@ -64,6 +70,9 @@ class SnapshotManager:
         self._current = SchemaSnapshot(clone_schema(self.schema), initial)
         txm.precommit_hooks.append(self._validate_first_committer)
         txm.postcommit_hooks.append(self._publish)
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
 
     # -- read side -----------------------------------------------------------------
 
@@ -81,6 +90,11 @@ class SnapshotManager:
         with self._state_lock:
             cursor = SnapshotCursor(self, self._current)
             self._cursors.append(cursor)
+            open_count = len(self._cursors)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("mvcc.cursors_opened").inc()
+            metrics.gauge("mvcc.open_cursors").set(open_count)
         return cursor
 
     def _release_cursor(self, cursor: SnapshotCursor) -> None:
@@ -89,6 +103,10 @@ class SnapshotManager:
                 self._cursors.remove(cursor)
             except ValueError:  # pragma: no cover - double close is idempotent
                 pass
+            open_count = len(self._cursors)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.gauge("mvcc.open_cursors").set(open_count)
 
     @property
     def open_snapshot_count(self) -> int:
@@ -162,6 +180,10 @@ class SnapshotManager:
 
         def attempt() -> Any:
             nonlocal first
+            if not first:
+                metrics = self._metrics_now()
+                if metrics.enabled:
+                    metrics.counter("mvcc.retries").inc()
             attempt_base = base if first else None
             first = False
             with self.transaction(base=attempt_base):
@@ -186,6 +208,9 @@ class SnapshotManager:
                     for did in txn.touched
                     if self._dim_versions.get(did, 0) > base
                 }
+                metrics = self._metrics_now()
+                if metrics.enabled:
+                    metrics.counter("mvcc.conflicts").inc()
                 raise WriteConflictError(losers, base, newest)
         if self.verify_commits:
             scope = set(txn.touched) or None
@@ -206,6 +231,10 @@ class SnapshotManager:
             for did in txn.touched:
                 self._dim_versions[did] = version
             self._current = SchemaSnapshot(clone_schema(self.schema), version)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("mvcc.commits").inc()
+            metrics.gauge("mvcc.version").set(version)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

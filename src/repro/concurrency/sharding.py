@@ -34,6 +34,7 @@ count).  Process pools are deliberately not used: fact rows expose
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
@@ -87,9 +88,11 @@ class ShardedExecutor:
         *,
         max_workers: int | None = None,
         shards: int | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.mvft = mvft
-        self.engine = QueryEngine(mvft)
+        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
         self.max_workers = max_workers or max(2, os.cpu_count() or 1)
         self.shards = shards or self.max_workers
 
@@ -100,6 +103,48 @@ class ShardedExecutor:
         parts = shard_rows(rows, self.shards)
         if len(parts) <= 1:
             return self.engine.execute(query)
+        tracer, metrics = self.engine._observability()
+        if not (tracer.enabled or metrics.enabled):
+            return self._execute_sharded(query, parts)
+        with tracer.span(
+            "shard.execute",
+            attributes={
+                "mode": mode.label,
+                "shards": len(parts),
+                "rows": len(rows),
+            },
+        ) as root:
+            # Workers run on pool threads, so the shard spans name their
+            # parent explicitly instead of relying on thread-local nesting.
+            def collect(indexed):
+                index, part = indexed
+                with tracer.span(
+                    "shard.collect",
+                    parent=root,
+                    attributes={"shard": index, "rows": len(part)},
+                ):
+                    return self.engine.collect_contributions(query, part)
+
+            partials = [collect((0, parts[0]))]
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                partials.extend(pool.map(collect, enumerate(parts[1:], start=1)))
+            merge_start = time.perf_counter()
+            with tracer.span("shard.merge", parent=root) as merge_span:
+                merged = merge_contributions(partials)
+                merge_span.set("groups", len(merged))
+            metrics.histogram("shard.merge_seconds").observe(
+                time.perf_counter() - merge_start
+            )
+            with tracer.span("shard.finalize", parent=root):
+                table = self.engine.finalize(query, merged)
+        metrics.counter("shard.queries").inc()
+        metrics.counter("shard.shards_run").inc(len(parts))
+        return table
+
+    def _execute_sharded(
+        self, query: Query, parts: list[Sequence[MVFactRow]]
+    ) -> ResultTable:
+        """The uninstrumented fan-out (identical work, zero tracing cost)."""
         # Warm the engine's structure caches serially on the first shard:
         # the per-(mode, dimension, t) snapshot cache is shared across
         # workers and dict writes are atomic, so concurrent misses are

@@ -27,6 +27,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.observability import runtime as _obs
+
 from .chronology import Granularity, Instant, Interval, YEAR
 from .confidence import ConfidenceFactor
 from .dimension import DimensionSnapshot
@@ -289,13 +291,35 @@ def _render_label(value: object) -> str:
 
 
 class QueryEngine:
-    """Executes :class:`Query` objects against a MultiVersion fact table."""
+    """Executes :class:`Query` objects against a MultiVersion fact table.
 
-    def __init__(self, mvft: MultiVersionFactTable) -> None:
+    ``tracer`` / ``metrics`` inject observability instruments for tests
+    and profiling; left as ``None`` they resolve to the process-wide
+    defaults of :mod:`repro.observability` at call time, which are
+    no-op-cheap until explicitly enabled.
+    """
+
+    def __init__(
+        self,
+        mvft: MultiVersionFactTable,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         self._mvft = mvft
         self._schema = mvft.schema
+        self._tracer = tracer
+        self._metrics = metrics
         self._snapshot_cache: dict[tuple[str, str, Instant], DimensionSnapshot] = {}
         self._level_cache: dict[tuple[str, str, Instant, str, str], tuple[object, ...]] = {}
+
+    def _observability(self):
+        """The effective ``(tracer, metrics)`` pair (injected or default)."""
+        tracer = self._tracer if self._tracer is not None else _obs.current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else _obs.current_metrics()
+        )
+        return tracer, metrics
 
     # -- structure resolution ---------------------------------------------------
 
@@ -393,7 +417,10 @@ class QueryEngine:
         if rows is None:
             rows = self._mvft.slice(mode.label)
         groups: dict[tuple[object, ...], dict[str, list]] = {}
+        scanned = 0
+        matched = 0
         for row in rows:
+            scanned += 1
             if query.time_range is not None and not query.time_range.contains(row.t):
                 continue
             if query.coordinate_filter is not None and not query.coordinate_filter(row):
@@ -425,10 +452,19 @@ class QueryEngine:
                     label_sets.append((value,))
                 else:
                     label_sets.append(self._labels_at_level(mode, term, leaf, row.t))
+            matched += 1
             for combo in _product(label_sets):
                 acc = groups.setdefault(combo, {m: [] for m in measures})
                 for m in measures:
                     acc[m].append((row.value(m), row.confidence(m)))
+        _, metrics = self._observability()
+        if metrics.enabled:
+            # Row totals accumulate locally above; the registry is touched
+            # once per phase, keyed by mode so per-structure-version scan
+            # cost stays visible.
+            labels = {"mode": mode.label}
+            metrics.counter("query.rows_scanned", labels).inc(scanned)
+            metrics.counter("query.rows_matched", labels).inc(matched)
         return groups
 
     def finalize(
@@ -453,11 +489,29 @@ class QueryEngine:
                 cells.append(ResultCell(m, value, confidence))
             result_rows.append(ResultRow(group=group, cells=tuple(cells)))
         columns = [term.column for term in query.group_by]
+        _, metrics = self._observability()
+        if metrics.enabled:
+            metrics.counter("query.cells_emitted", {"mode": mode.label}).inc(
+                len(result_rows) * len(measures)
+            )
         return ResultTable(columns, measures, result_rows, mode.label)
 
     def execute(self, query: Query) -> ResultTable:
         """Run a query and return its grouped, confidence-tagged result."""
-        return self.finalize(query, self.collect_contributions(query))
+        tracer, metrics = self._observability()
+        if not (tracer.enabled or metrics.enabled):
+            return self.finalize(query, self.collect_contributions(query))
+        with tracer.span("query.execute", attributes={"mode": query.mode}):
+            with tracer.span("query.resolve"):
+                self.resolve(query)
+            with tracer.span("query.collect_contributions") as collect_span:
+                groups = self.collect_contributions(query)
+                collect_span.set("groups", len(groups))
+            with tracer.span("query.finalize") as finalize_span:
+                table = self.finalize(query, groups)
+                finalize_span.set("rows", len(table))
+        metrics.counter("query.executed", {"mode": query.mode}).inc()
+        return table
 
     def execute_all_modes(self, query: Query) -> dict[str, ResultTable]:
         """Run the same query in every presentation mode — the §2.1 drill

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core.chronology import Interval, MONTH, QUARTER, YEAR, ym
 from repro.core.multiversion import MultiVersionFactTable
 from repro.core.quality import rank_modes
+from repro.observability import runtime as _obs
 from repro.core.query import (
     AttributeGroup,
     LevelFilter,
@@ -44,10 +45,18 @@ _GRANULARITY = {"year": YEAR, "quarter": QUARTER, "month": MONTH}
 class MVQLSession:
     """An interactive-style MVQL session over one MultiVersion fact table."""
 
-    def __init__(self, mvft: MultiVersionFactTable) -> None:
+    def __init__(
+        self,
+        mvft: MultiVersionFactTable,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
-        self.engine = QueryEngine(mvft)
+        self._tracer = tracer
+        self._metrics = metrics
+        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
 
     @classmethod
     def from_cursor(cls, cursor) -> "MVQLSession":
@@ -145,9 +154,28 @@ class MVQLSession:
 
         Returns a :class:`ResultTable` for ``SELECT``, a list of
         ``(mode, quality, table)`` triples for ``RANK MODES``, and a list
-        of descriptive strings for ``SHOW`` statements.
+        of descriptive strings for ``SHOW`` statements.  With tracing
+        enabled every statement gets a ``mvql.statement`` span wrapping
+        its compilation and execution.
         """
-        statement = parse(text)
+        tracer = self._tracer if self._tracer is not None else _obs.current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else _obs.current_metrics()
+        )
+        if not (tracer.enabled or metrics.enabled):
+            return self._dispatch(parse(text))
+        with tracer.span(
+            "mvql.statement", attributes={"statement": " ".join(text.split())}
+        ) as span:
+            statement = parse(text)
+            kind = type(statement).__name__
+            span.set("kind", kind)
+            result = self._dispatch(statement)
+        metrics.counter("mvql.statements", {"kind": kind}).inc()
+        return result
+
+    def _dispatch(self, statement):
+        """Execute one parsed statement (the uninstrumented core)."""
         if isinstance(statement, SelectStatement):
             return self.engine.execute(self.compile_select(statement))
         if isinstance(statement, RankModesStatement):

@@ -1,0 +1,76 @@
+"""repro.observability — tracing, metrics and query profiling.
+
+The ROADMAP's production north-star needs one thing before any further
+perf work can be judged: knowing *where time goes*.  This package
+provides the three primitives and the process-wide wiring:
+
+* :class:`~repro.observability.tracing.Tracer` — context-manager spans
+  forming a tree (thread-local nesting, explicit ``parent=`` for worker
+  threads), monotonic-clock timings, JSONL export;
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters,
+  gauges and fixed-bucket histograms with a Prometheus-style text dump
+  and a plain-dict ``snapshot()``;
+* :class:`~repro.observability.profile.QueryProfile` — an EXPLAIN-style
+  per-phase / per-shard / per-structure-version breakdown of one query
+  (:func:`~repro.observability.profile.profile_query`).
+
+Instrumented classes (:class:`~repro.core.query.QueryEngine`,
+:class:`~repro.concurrency.sharding.ShardedExecutor`,
+:class:`~repro.robustness.transactions.TransactionManager`,
+:class:`~repro.warehouse.etl.ETLPipeline`, …) accept explicit
+``tracer=`` / ``metrics=`` parameters; without them they route through
+the process-wide defaults here, which are no-op-cheap until
+:func:`enable` (or the scoped :func:`instrumented`) is called.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from .runtime import (
+    current_metrics,
+    current_tracer,
+    disable,
+    enable,
+    enabled,
+    instrumented,
+)
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_jsonl",
+    "enable",
+    "disable",
+    "enabled",
+    "current_tracer",
+    "current_metrics",
+    "instrumented",
+    "QueryProfile",
+    "profile_query",
+]
+
+
+def __getattr__(name: str):
+    # profile.py imports the query engine, which imports this package —
+    # resolving the profiling surface lazily keeps the import acyclic.
+    if name in ("QueryProfile", "profile_query"):
+        from . import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

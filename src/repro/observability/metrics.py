@@ -1,0 +1,355 @@
+"""Counters, gauges and fixed-bucket histograms with a Prometheus dump.
+
+A :class:`MetricsRegistry` hands out named instruments, optionally
+carrying a small label set (``counter("query.rows_scanned",
+{"mode": "tcm"})``) — the label that makes per-structure-version query
+cost visible, the key operational signal for evolution-heavy workloads.
+``snapshot()`` returns a plain dict for assertions and JSON dumps;
+``render_prometheus()`` emits the text exposition format ``repro stats``
+prints.
+
+Instruments share one registry lock on mutation, so counts from
+shard/ETL worker threads never lose increments.  Instrumented hot loops
+are expected to accumulate *local* integers and push them into a counter
+once per phase — never to call ``counter()`` (a dict lookup) per row.
+
+:data:`NULL_METRICS` is the disabled counterpart: every instrument it
+returns is a shared no-op singleton, and its ``enabled`` flag is the
+single guard hot paths check before doing any metrics work at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+Labels = Mapping[str, str] | None
+
+#: Default latency buckets (seconds): 100µs .. 5s, roughly ×2.5 apart.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], lock: threading.Lock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+        self._lock = lock
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (sizes, open-cursor counts)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...], lock: threading.Lock) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self.inc(-amount)
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds; +Inf is implicit)."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...],
+        lock: threading.Lock,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(buckets) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum: float = 0.0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """``(upper-bound label, cumulative count)`` pairs, ending at +Inf."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((_format_bound(bound), running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+def _format_bound(bound: float) -> str:
+    text = f"{bound:.10f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def _label_key(labels: Labels) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+class MetricsRegistry:
+    """A process- or test-scoped set of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, tuple], Counter] = {}
+        self._gauges: dict[tuple[str, tuple], Gauge] = {}
+        self._histograms: dict[tuple[str, tuple], Histogram] = {}
+
+    # -- instrument access -------------------------------------------------------
+
+    def counter(self, name: str, labels: Labels = None) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(
+                    key, Counter(name, key[1], self._lock)
+                )
+        return instrument
+
+    def gauge(self, name: str, labels: Labels = None) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(
+                    key, Gauge(name, key[1], self._lock)
+                )
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: Labels = None,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, key[1], self._lock, buckets)
+                )
+        return instrument
+
+    # -- reading -----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with labels rendered into the key."""
+        with self._lock:
+            counters = {
+                _series_key(c.name, c.labels): c.value
+                for c in self._counters.values()
+            }
+            gauges = {
+                _series_key(g.name, g.labels): g.value
+                for g in self._gauges.values()
+            }
+            histograms = {
+                _series_key(h.name, h.labels): {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                }
+                for h in self._histograms.values()
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render_prometheus(self) -> str:
+        """The text exposition format, one ``# TYPE`` block per metric name."""
+        lines: list[str] = []
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+        ):
+            seen: set[str] = set()
+            for (name, _labels), instrument in sorted(table.items()):
+                pname = _prom_name(name)
+                if pname not in seen:
+                    lines.append(f"# TYPE {pname} {kind}")
+                    seen.add(pname)
+                value = instrument.value
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(
+                    f"{pname}{_render_labels(instrument.labels)} {rendered}"
+                )
+        seen_h: set[str] = set()
+        for (name, _labels), hist in sorted(self._histograms.items()):
+            pname = _prom_name(name)
+            if pname not in seen_h:
+                lines.append(f"# TYPE {pname} histogram")
+                seen_h.add(pname)
+            for bound, cumulative in hist.cumulative():
+                le = 'le="%s"' % bound
+                lines.append(
+                    f"{pname}_bucket{_render_labels(hist.labels, le)} {cumulative}"
+                )
+            lines.append(
+                f"{pname}_sum{_render_labels(hist.labels)} {hist.sum:g}"
+            )
+            lines.append(
+                f"{pname}_count{_render_labels(hist.labels)} {hist.count}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+def _series_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    return name + _render_labels(labels)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        return None
+
+    def dec(self, amount: float = 1) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every instrument is one shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, labels: Labels = None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, labels: Labels = None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, labels: Labels = None, **_kw: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullMetrics()"
+
+
+NULL_METRICS = NullMetrics()

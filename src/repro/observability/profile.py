@@ -1,0 +1,250 @@
+"""Query profiling: an EXPLAIN-ANALYZE-style report over one query.
+
+:func:`profile_query` runs a query three ways under a *fresh* tracer and
+metrics registry (the process-wide defaults are untouched):
+
+1. **serial** — one :class:`~repro.core.query.QueryEngine` pass, yielding
+   the per-phase timings (resolve / collect_contributions / finalize);
+2. **sharded** (when ``shards > 1``) — a
+   :class:`~repro.concurrency.sharding.ShardedExecutor` pass, yielding
+   per-shard row counts and timings plus the merge time;
+3. **per structure version** — the same query in every presentation mode,
+   each against its own registry, yielding rows scanned / matched and
+   cells emitted per mode (the §4.1 modes are exactly the structure
+   versions plus ``tcm``, so this is the per-version cost breakdown).
+
+The result is a :class:`QueryProfile`; ``to_text()`` renders the report
+the ``repro profile`` CLI command prints, and ``tracer`` keeps every span
+recorded along the way for ``--trace-out`` export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.multiversion import MultiVersionFactTable
+from repro.core.query import Query, QueryEngine
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "PhaseTiming",
+    "ShardTiming",
+    "ModeStats",
+    "QueryProfile",
+    "profile_query",
+]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """One serial execution phase and its wall time."""
+
+    name: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """One shard's phase-one pass: rows scanned and wall time."""
+
+    index: int
+    rows: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ModeStats:
+    """Scan/emit counts for one presentation mode (structure version)."""
+
+    mode: str
+    rows_scanned: int
+    rows_matched: int
+    cells_emitted: int
+    result_rows: int
+
+
+@dataclass
+class QueryProfile:
+    """The assembled profile report for one query."""
+
+    mode: str
+    statement: str | None = None
+    total_seconds: float = 0.0
+    result_rows: int = 0
+    phases: list[PhaseTiming] = field(default_factory=list)
+    shards: list[ShardTiming] = field(default_factory=list)
+    merge_seconds: float | None = None
+    modes: list[ModeStats] = field(default_factory=list)
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly rendering of the report."""
+        return {
+            "mode": self.mode,
+            "statement": self.statement,
+            "total_seconds": self.total_seconds,
+            "result_rows": self.result_rows,
+            "phases": [
+                {"name": p.name, "seconds": p.seconds, "detail": p.detail}
+                for p in self.phases
+            ],
+            "shards": [
+                {"shard": s.index, "rows": s.rows, "seconds": s.seconds}
+                for s in self.shards
+            ],
+            "merge_seconds": self.merge_seconds,
+            "modes": [
+                {
+                    "mode": m.mode,
+                    "rows_scanned": m.rows_scanned,
+                    "rows_matched": m.rows_matched,
+                    "cells_emitted": m.cells_emitted,
+                    "result_rows": m.result_rows,
+                }
+                for m in self.modes
+            ],
+        }
+
+    def to_text(self) -> str:
+        """The EXPLAIN-style report ``repro profile`` prints."""
+        lines: list[str] = []
+        header = f"QUERY PROFILE  mode={self.mode}"
+        if self.statement:
+            header += f"  [{self.statement}]"
+        lines.append(header)
+        lines.append(
+            f"  total {self.total_seconds * 1000:.3f} ms"
+            f" -> {self.result_rows} result rows"
+        )
+        lines.append("  phases:")
+        for phase in self.phases:
+            suffix = f"  ({phase.detail})" if phase.detail else ""
+            lines.append(
+                f"    {phase.name:<24} {phase.seconds * 1000:>9.3f} ms{suffix}"
+            )
+        if self.shards:
+            lines.append(f"  shards ({len(self.shards)}):")
+            for shard in self.shards:
+                lines.append(
+                    f"    shard {shard.index:<3} rows={shard.rows:<8}"
+                    f" {shard.seconds * 1000:>9.3f} ms"
+                )
+            if self.merge_seconds is not None:
+                lines.append(
+                    f"    merge      {'':<13}{self.merge_seconds * 1000:>9.3f} ms"
+                )
+        if self.modes:
+            lines.append("  per structure version:")
+            lines.append(
+                "    mode    rows_scanned  rows_matched  cells_emitted  result_rows"
+            )
+            for stats in self.modes:
+                lines.append(
+                    f"    {stats.mode:<7} {stats.rows_scanned:>12}"
+                    f"  {stats.rows_matched:>12}  {stats.cells_emitted:>13}"
+                    f"  {stats.result_rows:>11}"
+                )
+        return "\n".join(lines)
+
+
+def _span_seconds(span: Span | None) -> float:
+    return span.duration_s if span is not None and span.finished else 0.0
+
+
+def _first(tracer: Tracer, name: str) -> Span | None:
+    found = tracer.find(name)
+    return found[0] if found else None
+
+
+def profile_query(
+    mvft: MultiVersionFactTable,
+    query: Query,
+    *,
+    shards: int | None = None,
+    statement: str | None = None,
+    all_modes: bool = True,
+) -> QueryProfile:
+    """Profile ``query`` against ``mvft`` and return the report.
+
+    ``shards > 1`` adds a sharded pass (per-shard row counts and merge
+    time); ``all_modes=False`` skips the per-structure-version sweep.
+    The run uses private instruments only — the process-wide defaults of
+    :mod:`repro.observability.runtime` are neither read nor written.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+    table = engine.execute(query)
+
+    profile = QueryProfile(
+        mode=table.mode,
+        statement=statement,
+        tracer=tracer,
+        metrics=metrics,
+        result_rows=len(table),
+        total_seconds=_span_seconds(_first(tracer, "query.execute")),
+    )
+    collect_span = _first(tracer, "query.collect_contributions")
+    finalize_span = _first(tracer, "query.finalize")
+    for name, span in (
+        ("resolve", _first(tracer, "query.resolve")),
+        ("collect_contributions", collect_span),
+        ("finalize", finalize_span),
+    ):
+        if span is None:
+            continue
+        detail_bits = [
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        ]
+        profile.phases.append(
+            PhaseTiming(name, span.duration_s, ", ".join(detail_bits))
+        )
+
+    if shards is not None and shards > 1:
+        from repro.concurrency.sharding import ShardedExecutor
+
+        executor = ShardedExecutor(
+            mvft, shards=shards, tracer=tracer, metrics=metrics
+        )
+        executor.execute(query)
+        for span in tracer.find("shard.collect"):
+            profile.shards.append(
+                ShardTiming(
+                    index=int(span.attributes.get("shard", 0)),
+                    rows=int(span.attributes.get("rows", 0)),
+                    seconds=span.duration_s,
+                )
+            )
+        profile.shards.sort(key=lambda s: s.index)
+        merge_span = _first(tracer, "shard.merge")
+        if merge_span is not None:
+            profile.merge_seconds = merge_span.duration_s
+
+    if all_modes:
+        for label in mvft.modes.labels:
+            mode_metrics = MetricsRegistry()
+            mode_engine = QueryEngine(mvft, metrics=mode_metrics)
+            mode_table = mode_engine.execute(query.with_mode(label))
+            snap = mode_metrics.snapshot()["counters"]
+            labels = f'{{mode="{label}"}}'
+            profile.modes.append(
+                ModeStats(
+                    mode=label,
+                    rows_scanned=int(
+                        snap.get(f"query.rows_scanned{labels}", 0)
+                    ),
+                    rows_matched=int(
+                        snap.get(f"query.rows_matched{labels}", 0)
+                    ),
+                    cells_emitted=int(
+                        snap.get(f"query.cells_emitted{labels}", 0)
+                    ),
+                    result_rows=len(mode_table),
+                )
+            )
+    return profile

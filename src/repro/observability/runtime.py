@@ -1,0 +1,90 @@
+"""The process-wide default tracer and metrics registry.
+
+Every instrumented class takes explicit ``tracer=`` / ``metrics=``
+parameters for tests; when those are ``None`` (the default everywhere),
+the hot path falls back to the process-wide pair held here.  That pair
+starts as the null objects (:data:`~repro.observability.tracing.NULL_TRACER`,
+:data:`~repro.observability.metrics.NULL_METRICS`), whose ``enabled``
+flags are ``False`` — so until :func:`enable` is called, instrumentation
+costs one attribute load and one bool check per *phase*, never per row.
+
+:func:`instrumented` is the scoped form the CLI and tests use::
+
+    with instrumented() as (tracer, metrics):
+        engine.execute(query)          # uninjected code records here
+    report = metrics.render_prometheus()   # dump after the scope closes
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry, NULL_METRICS
+from .tracing import NULL_TRACER, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "current_tracer",
+    "current_metrics",
+    "instrumented",
+]
+
+_tracer = NULL_TRACER
+_metrics = NULL_METRICS
+
+
+def enable(
+    *, tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> tuple[Tracer, MetricsRegistry]:
+    """Install a process-wide tracer and metrics registry.
+
+    Missing arguments get fresh instances.  Returns the installed pair so
+    the caller can read them back later.
+    """
+    global _tracer, _metrics
+    _tracer = tracer if tracer is not None else Tracer()
+    _metrics = metrics if metrics is not None else MetricsRegistry()
+    return _tracer, _metrics
+
+
+def disable() -> None:
+    """Restore the null (no-op-cheap) defaults."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+
+
+def enabled() -> bool:
+    """Whether process-wide instrumentation is currently on."""
+    return _tracer.enabled or _metrics.enabled
+
+
+def current_tracer():
+    """The process-wide tracer (the null tracer unless enabled)."""
+    return _tracer
+
+
+def current_metrics():
+    """The process-wide registry (the null registry unless enabled)."""
+    return _metrics
+
+
+@contextmanager
+def instrumented(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Enable instrumentation for a scope, restoring the previous pair after.
+
+    Yields the active ``(tracer, metrics)`` so the caller can inspect
+    spans and dump metrics once the scope closes.
+    """
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    pair = enable(tracer=tracer, metrics=metrics)
+    try:
+        yield pair
+    finally:
+        _tracer, _metrics = previous

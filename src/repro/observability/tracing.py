@@ -1,0 +1,311 @@
+"""Context-manager tracing: spans forming a tree, exported as JSONL.
+
+A :class:`Span` is one timed region of work — a query phase, a shard
+scan, a WAL append burst, one ETL source.  Spans are opened with
+``with tracer.span("query.execute"):`` and nest through a *thread-local*
+stack, so a span opened inside another becomes its child automatically;
+work fanned out to worker threads passes ``parent=`` explicitly instead
+(the worker's own stack then chains any deeper spans under it).
+
+Timings use the monotonic clock (``time.perf_counter_ns``) — wall-clock
+adjustments can never produce a negative duration.  Finished spans
+accumulate on the tracer (thread-safe) and export as one JSON object per
+line (:meth:`Tracer.write_jsonl`), the shape ``repro profile
+--trace-out`` emits and the CLI tests parse back.
+
+:data:`NULL_TRACER` is the disabled counterpart: ``span()`` hands back a
+single shared no-op context manager — no object allocation, no clock
+read — which is what every instrumented hot path sees until
+:func:`repro.observability.enable` is called.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+
+
+class Span:
+    """One timed region; a node of the trace tree."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "end_ns",
+        "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attributes: Mapping[str, Any] | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = 0
+        self.end_ns = 0
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+
+    # -- lifecycle (context manager) -------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        self._tracer._record(self)
+
+    # -- accessors --------------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute (chainable)."""
+        self.attributes[key] = value
+        return self
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has exited."""
+        return self.end_ns != 0
+
+    @property
+    def duration_ns(self) -> int:
+        """Monotonic duration in nanoseconds (0 while still open)."""
+        return self.end_ns - self.start_ns if self.finished else 0
+
+    @property
+    def duration_s(self) -> float:
+        """Monotonic duration in seconds."""
+        return self.duration_ns / 1e9
+
+    def to_dict(self, origin_ns: int = 0) -> dict[str, Any]:
+        """The JSONL record (start offset relative to ``origin_ns``)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_us": (self.start_ns - origin_ns) // 1000,
+            "duration_us": self.duration_ns // 1000,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_ns / 1e6:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Collects spans into a tree; thread-safe; exports JSONL.
+
+    The active-span stack is thread-local: spans opened on the same
+    thread nest; spans opened on worker threads take ``parent=``
+    explicitly (see :class:`~repro.concurrency.sharding.ShardedExecutor`
+    and the ETL fan-out).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._origin_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._finished: list[Span] = []
+        self._local = threading.local()
+
+    # -- span creation -----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Span | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> Span:
+        """A new span; use as a context manager.
+
+        ``parent`` overrides the thread-local nesting (for work handed to
+        another thread); by default the innermost open span of the
+        current thread is the parent.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        if parent is not None:
+            parent_id: int | None = parent.span_id
+        else:
+            stack = getattr(self._local, "stack", None)
+            parent_id = stack[-1].span_id if stack else None
+        return Span(self, name, span_id, parent_id, attributes)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every finished span, in completion order."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def roots(self) -> list[Span]:
+        """Finished spans with no parent, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id is None),
+            key=lambda s: s.start_ns,
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        """Finished children of ``span``, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.span_id),
+            key=lambda s: s.start_ns,
+        )
+
+    def clear(self) -> None:
+        """Drop every finished span (open spans keep recording)."""
+        with self._lock:
+            self._finished.clear()
+
+    # -- rendering / export -------------------------------------------------------
+
+    def tree_text(self) -> str:
+        """The span tree rendered with indentation and millisecond timings."""
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            attrs = ""
+            if span.attributes:
+                attrs = " " + " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attributes.items())
+                )
+            lines.append(
+                f"{'  ' * depth}{span.name}  "
+                f"{span.duration_ns / 1e6:.3f}ms{attrs}"
+            )
+            for child in self.children(span):
+                walk(child, depth + 1)
+
+        for root in self.roots():
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Every finished span as a JSON-ready dict, in completion order."""
+        origin = self._origin_ns
+        return [span.to_dict(origin) for span in self.spans]
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per span; returns the span count."""
+        records = self.to_dicts()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        return len(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(spans={len(self.spans)})"
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a span JSONL file back into dicts (the CLI round-trip)."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    attributes: dict[str, Any] = {}
+    duration_ns = 0
+    duration_s = 0.0
+    finished = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: ``span()`` returns one shared no-op object."""
+
+    enabled = False
+
+    def span(self, name: str, **_kwargs: Any) -> _NullSpan:
+        """A shared no-op context manager — no allocation, no clock read."""
+        return _NULL_SPAN
+
+    spans: tuple[Span, ...] = ()
+
+    def find(self, name: str) -> list[Span]:
+        return []
+
+    def roots(self) -> list[Span]:
+        return []
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return []
+
+    def tree_text(self) -> str:
+        return ""
+
+    def clear(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()

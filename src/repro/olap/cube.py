@@ -23,6 +23,7 @@ from repro.core.confidence import ConfidenceFactor
 from repro.core.errors import QueryError
 from repro.core.multiversion import MultiVersionFactTable
 from repro.core.query import LevelGroup, Query, QueryEngine, TimeGroup
+from repro.observability import runtime as _obs
 
 __all__ = ["Axis", "TimeAxis", "LevelAxis", "CubeView", "Cube"]
 
@@ -147,10 +148,14 @@ class Cube:
         materialize: bool = False,
         lattice=None,
         executor=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
-        self.engine = QueryEngine(mvft)
+        self._tracer = tracer
+        self._metrics = metrics
+        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
         self.executor = executor
         if lattice is None and materialize:
             from .aggregates import AggregateLattice
@@ -256,12 +261,48 @@ class Cube:
         """
         if row_axis == col_axis:
             raise QueryError("row and column axes must differ")
-        if not filters:
-            served = self._pivot_from_lattice(
-                mode, row_axis, col_axis, measure, time_range
+        tracer = self._tracer if self._tracer is not None else _obs.current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else _obs.current_metrics()
+        )
+        with tracer.span(
+            "olap.pivot",
+            attributes={
+                "mode": mode,
+                "rows": row_axis.name,
+                "cols": col_axis.name,
+                "measure": measure,
+            },
+        ) as span:
+            if not filters:
+                served = self._pivot_from_lattice(
+                    mode, row_axis, col_axis, measure, time_range
+                )
+                if served is not None:
+                    span.set("served_by", "lattice")
+                    if metrics.enabled:
+                        metrics.counter("olap.pivots").inc()
+                        metrics.counter("olap.lattice_hits").inc()
+                    return served
+            span.set("served_by", "engine")
+            if metrics.enabled:
+                metrics.counter("olap.pivots").inc()
+                if self.lattice is not None:
+                    metrics.counter("olap.lattice_misses").inc()
+            return self._pivot_engine(
+                mode, row_axis, col_axis, measure, time_range, filters
             )
-            if served is not None:
-                return served
+
+    def _pivot_engine(
+        self,
+        mode: str,
+        row_axis: Axis,
+        col_axis: Axis,
+        measure: str,
+        time_range,
+        filters,
+    ) -> CubeView:
+        """The engine-path pivot (runs sharded when an executor is set)."""
         query = Query(
             mode=mode,
             group_by=(row_axis.group_term(), col_axis.group_term()),

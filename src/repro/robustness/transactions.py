@@ -30,6 +30,7 @@ same transaction.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -42,6 +43,7 @@ from repro.core.member import MemberVersion
 from repro.core.operations import EvolutionManager
 from repro.core.operators import SchemaEditor
 from repro.core.schema import TemporalMultidimensionalSchema
+from repro.observability import runtime as _obs
 from repro.storage.database import Database
 
 from .errors import TransactionError
@@ -263,18 +265,22 @@ class TransactionManager:
         database: Database | None = None,
         fault_injector: Any = None,
         checkpoint_every: int | None = None,
+        metrics: Any = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise TransactionError("checkpoint_every must be a positive count")
         self.schema = schema
         self.fault_injector = fault_injector
         self.checkpoint_every = checkpoint_every
+        self._metrics = metrics
         self.precommit_hooks: list[Callable[[Transaction], None]] = []
         self.postcommit_hooks: list[Callable[[Transaction], None]] = []
         if wal is None or isinstance(wal, WriteAheadJournal):
             self.wal = wal
         else:
-            self.wal = WriteAheadJournal(wal, fault_injector=fault_injector)
+            self.wal = WriteAheadJournal(
+                wal, fault_injector=fault_injector, metrics=metrics
+            )
         if self.wal is not None and not self.wal.records():
             self.wal.checkpoint(schema)
         self.editor = TransactionalEditor(schema, self)
@@ -292,6 +298,9 @@ class TransactionManager:
     def _fire(self, point: str) -> None:
         if self.fault_injector is not None:
             self.fault_injector.fire(point)
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -328,6 +337,8 @@ class TransactionManager:
         trigger an automatic checkpoint + journal truncation.
         """
         txn = self._require_txn()
+        metrics = self._metrics_now()
+        commit_start = time.perf_counter() if metrics.enabled else 0.0
         self._fire("txn.commit")
         for hook in self.precommit_hooks:
             hook(txn)
@@ -347,6 +358,12 @@ class TransactionManager:
         ):
             lsn = self.wal.checkpoint(self.schema)
             self.wal.truncate_before(lsn)
+        if metrics.enabled:
+            metrics.histogram("txn.commit_seconds").observe(
+                time.perf_counter() - commit_start
+            )
+            metrics.counter("txn.committed").inc()
+            metrics.counter("txn.operators_applied").inc(txn.operators)
         return txn
 
     def rollback(self) -> Transaction:
@@ -375,6 +392,9 @@ class TransactionManager:
         txn.status = "rolled-back"
         self.current = None
         self.rolled_back += 1
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("txn.rolled_back").inc()
         return txn
 
     @contextmanager

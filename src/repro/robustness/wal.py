@@ -33,6 +33,7 @@ from repro.core.serialization import (
     measure_map_to_json,
     schema_to_dict,
 )
+from repro.observability import runtime as _obs
 
 from .errors import WALError
 
@@ -104,10 +105,12 @@ class WriteAheadJournal:
         *,
         durable: bool = False,
         fault_injector: Any = None,
+        metrics: Any = None,
     ) -> None:
         self.path = Path(path)
         self.durable = durable
         self.fault_injector = fault_injector
+        self._metrics = metrics
         self._next_lsn = 1
         self._next_txid = 1
         self.last_checkpoint_lsn: int | None = None
@@ -119,7 +122,16 @@ class WriteAheadJournal:
                     self._next_txid = txid + 1
                 if record["kind"] == "checkpoint":
                     self.last_checkpoint_lsn = record["lsn"]
+        self._bytes = self.path.stat().st_size if self.path.exists() else 0
         self._file = open(self.path, "a", encoding="utf-8")
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes appended to (minus truncated from) the journal file."""
+        return self._bytes
 
     @property
     def last_lsn(self) -> int:
@@ -146,6 +158,14 @@ class WriteAheadJournal:
         if self.durable:
             os.fsync(self._file.fileno())
         self._next_lsn += 1
+        self._bytes += len(line) + 1
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.appends", {"kind": kind}).inc()
+            metrics.counter("wal.bytes_written").inc(len(line) + 1)
+            metrics.gauge("wal.size_bytes").set(self._bytes)
+            if self.durable:
+                metrics.counter("wal.fsyncs").inc()
         return record["lsn"]
 
     def close(self) -> None:
@@ -171,6 +191,9 @@ class WriteAheadJournal:
         """Write a full schema snapshot; recovery replays from here."""
         lsn = self.append("checkpoint", schema=schema_to_dict(schema))
         self.last_checkpoint_lsn = lsn
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.checkpoints").inc()
         return lsn
 
     def truncate_before(self, lsn: int) -> int:
@@ -198,6 +221,12 @@ class WriteAheadJournal:
                 os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         self._file = open(self.path, "a", encoding="utf-8")
+        self._bytes = self.path.stat().st_size
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.truncations").inc()
+            metrics.counter("wal.truncated_records").inc(dropped)
+            metrics.gauge("wal.size_bytes").set(self._bytes)
         return dropped
 
     def begin(self, txid: int) -> int:

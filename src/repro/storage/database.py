@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+from repro.observability import runtime as _obs
+
 from .errors import ForeignKeyViolation, TableExistsError, UnknownTableError
 from .schema import Column, ForeignKey, TableSchema
 from .table import Table, TableSnapshot
@@ -28,14 +30,24 @@ class Database:
     provoke mid-write failures deterministically.
     """
 
-    def __init__(self, name: str = "warehouse", *, fault_injector: Any = None) -> None:
+    def __init__(
+        self,
+        name: str = "warehouse",
+        *,
+        fault_injector: Any = None,
+        metrics: Any = None,
+    ) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
         self.fault_injector = fault_injector
+        self._metrics = metrics
 
     def _fire(self, point: str) -> None:
         if self.fault_injector is not None:
             self.fault_injector.fire(point)
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
 
     # -- catalog -----------------------------------------------------------------
 
@@ -118,7 +130,11 @@ class Database:
                         f"{table_name}.{fk.columns} = {values!r} has no parent in "
                         f"{fk.parent_table}.{fk.parent_columns}"
                     )
-        return table.insert(row)
+        rid = table.insert(row)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("storage.rows_inserted", {"table": table_name}).inc()
+        return rid
 
     def insert_many(
         self,

@@ -11,12 +11,14 @@ reject inconsistent records rather than corrupting the warehouse).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.chronology import Instant
 from repro.core.errors import ReproError
 from repro.core.schema import TemporalMultidimensionalSchema
+from repro.observability import runtime as _obs
 
 __all__ = [
     "RawRecord",
@@ -105,6 +107,20 @@ class LoadReport:
         """Whether every source was extracted successfully."""
         return not self.failed_sources
 
+    def merge(self, other: "LoadReport") -> "LoadReport":
+        """Fold another (per-source) report into this one, in call order.
+
+        The parallel pipeline produces one report per source and merges
+        them *in source order*, so a fan-out run's report is identical to
+        the sequential run's — counts, reject order and failed-source
+        order included.
+        """
+        self.extracted += other.extracted
+        self.loaded += other.loaded
+        self.rejected.extend(other.rejected)
+        self.failed_sources.extend(other.failed_sources)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"LoadReport(extracted={self.extracted}, loaded={self.loaded}, "
@@ -124,6 +140,8 @@ class ETLPipeline:
         mapping: FactMapping,
         retry: Any = None,
         fault_injector: Any = None,
+        tracer: Any = None,
+        metrics: Any = None,
     ) -> None:
         """``retry`` is an optional policy (any object with a
         ``call(fn) -> result`` method, e.g.
@@ -131,12 +149,23 @@ class ETLPipeline:
         ``source.extract()`` — operational sources are the flaky edge of
         the architecture.  ``fault_injector`` is a duck-typed hook (an
         object with ``fire(point)``) firing the ``etl.extract`` fault point
-        before each extraction."""
+        before each extraction.  ``tracer`` / ``metrics`` inject
+        observability instruments; ``None`` routes through the process-wide
+        defaults of :mod:`repro.observability`."""
         self.schema = schema
         self.rules = list(rules)
         self.mapping = mapping
         self.retry = retry
         self.fault_injector = fault_injector
+        self._tracer = tracer
+        self._metrics = metrics
+
+    def _observability(self) -> tuple[Any, Any]:
+        tracer = self._tracer if self._tracer is not None else _obs.current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else _obs.current_metrics()
+        )
+        return tracer, metrics
 
     def _extract(self, source: OperationalSource) -> list[RawRecord]:
         if self.fault_injector is not None:
@@ -145,47 +174,150 @@ class ETLPipeline:
             return self.retry.call(source.extract)
         return source.extract()
 
-    def run(self, sources: Iterable[OperationalSource]) -> LoadReport:
+    @staticmethod
+    def _failure_detail(exc: BaseException) -> str:
+        """The failed-source reason: the *underlying* class and message.
+
+        A retry policy wraps the last failure in a ``RetryExhaustedError``;
+        reporting that wrapper alone would hide what actually went wrong,
+        so the detail unwraps to the root exception and keeps the attempt
+        count — degraded loads stay diagnosable from the report alone.
+        """
+        last = getattr(exc, "last", None)
+        attempts = getattr(exc, "attempts", None)
+        if last is not None:
+            detail = f"{type(last).__name__}: {last}"
+            if attempts is not None:
+                detail += f" (after {attempts} attempts)"
+            return detail
+        return f"{type(exc).__name__}: {exc}"
+
+    def run(
+        self,
+        sources: Iterable[OperationalSource],
+        *,
+        max_workers: int | None = None,
+    ) -> LoadReport:
         """Run the pipeline over all sources and return the load report.
 
         Records failing a cleaning rule, the fact mapping, or the schema's
         Definition 5 validation are collected in ``report.rejected`` with a
         reason string — the warehouse only ever receives consistent data.
         A source whose extraction raises (after any configured retries) is
-        recorded in ``report.failed_sources`` and the load continues with
-        the remaining sources instead of aborting wholesale.
+        recorded in ``report.failed_sources`` (with the underlying
+        exception class and message) and the load continues with the
+        remaining sources instead of aborting wholesale.
+
+        With ``max_workers > 1`` the *extraction* phase fans the sources
+        out on a thread pool — extraction is the slow, I/O-bound edge of
+        the Figure-1 architecture, and each source's state is already
+        isolated.  Cleaning and loading (which mutate the shared schema)
+        then run sequentially in source order, and the per-source reports
+        merge in source order, so the parallel report is identical to the
+        sequential one; per-source failure isolation is preserved.
         """
-        report = LoadReport()
-        for source in sources:
-            try:
-                records = self._extract(source)
-            except Exception as exc:
-                report.failed_sources.append(
-                    (source.name, f"{type(exc).__name__}: {exc}")
+        sources = list(sources)
+        tracer, metrics = self._observability()
+        with tracer.span(
+            "etl.run",
+            attributes={"sources": len(sources), "workers": max_workers or 1},
+        ) as run_span:
+            extractions = self._extract_all(sources, max_workers, tracer, run_span)
+            report = LoadReport()
+            for source, (records, failure) in zip(sources, extractions):
+                if failure is not None:
+                    report.failed_sources.append((source.name, failure))
+                    continue
+                report.merge(
+                    self._load_source(source, records, tracer, run_span)
                 )
-                continue
-            for record in records:
-                report.extracted += 1
-                cleaned: RawRecord | None = record
-                rejected_by: str | None = None
-                for rule in self.rules:
-                    assert cleaned is not None
-                    cleaned = rule.apply(cleaned)
+        if metrics.enabled:
+            metrics.counter("etl.runs").inc()
+            metrics.counter("etl.records_extracted").inc(report.extracted)
+            metrics.counter("etl.records_loaded").inc(report.loaded)
+            metrics.counter("etl.records_rejected").inc(report.rejected_count)
+            metrics.counter("etl.sources_failed").inc(report.failed_source_count)
+        return report
+
+    def _extract_all(
+        self,
+        sources: list[OperationalSource],
+        max_workers: int | None,
+        tracer: Any,
+        parent: Any,
+    ) -> list[tuple[list[RawRecord], str | None]]:
+        """Extract every source, serially or on a pool; outcomes keep
+        source order: ``(records, None)`` or ``([], failure detail)``."""
+
+        def extract_one(
+            source: OperationalSource,
+        ) -> tuple[list[RawRecord], str | None]:
+            with tracer.span(
+                "etl.extract", parent=parent, attributes={"source": source.name}
+            ) as span:
+                try:
+                    records = self._extract(source)
+                except Exception as exc:
+                    detail = self._failure_detail(exc)
+                    span.set("failed", detail)
+                    return [], detail
+                span.set("records", len(records))
+                return records, None
+
+        if max_workers is not None and max_workers > 1 and len(sources) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(max_workers, len(sources))
+            ) as pool:
+                return list(pool.map(extract_one, sources))
+        return [extract_one(source) for source in sources]
+
+    def _load_source(
+        self,
+        source: OperationalSource,
+        records: list[RawRecord],
+        tracer: Any,
+        parent: Any,
+    ) -> LoadReport:
+        """Clean and load one extracted source into its own report."""
+        report = LoadReport()
+        with tracer.span(
+            "etl.source", parent=parent, attributes={"source": source.name}
+        ):
+            survivors: list[tuple[RawRecord, RawRecord]] = []
+            with tracer.span(
+                "etl.clean", attributes={"source": source.name}
+            ) as clean_span:
+                for record in records:
+                    report.extracted += 1
+                    cleaned: RawRecord | None = record
+                    rejected_by: str | None = None
+                    for rule in self.rules:
+                        assert cleaned is not None
+                        cleaned = rule.apply(cleaned)
+                        if cleaned is None:
+                            rejected_by = f"cleaning rule {rule.name!r}"
+                            break
                     if cleaned is None:
-                        rejected_by = f"cleaning rule {rule.name!r}"
-                        break
-                if cleaned is None:
-                    report.rejected.append((record, rejected_by or "cleaning"))
-                    continue
-                try:
-                    coordinates, t, values = self.mapping.apply(cleaned)
-                except Exception as exc:  # mapper bugs must not kill the load
-                    report.rejected.append((record, f"mapping error: {exc}"))
-                    continue
-                try:
-                    self.schema.add_fact(coordinates, t, values)
-                except ReproError as exc:
-                    report.rejected.append((record, f"schema rejection: {exc}"))
-                    continue
-                report.loaded += 1
+                        report.rejected.append((record, rejected_by or "cleaning"))
+                        continue
+                    survivors.append((record, cleaned))
+                clean_span.set("rejected", report.rejected_count)
+            with tracer.span(
+                "etl.load", attributes={"source": source.name}
+            ) as load_span:
+                for record, cleaned in survivors:
+                    try:
+                        coordinates, t, values = self.mapping.apply(cleaned)
+                    except Exception as exc:  # mapper bugs must not kill the load
+                        report.rejected.append((record, f"mapping error: {exc}"))
+                        continue
+                    try:
+                        self.schema.add_fact(coordinates, t, values)
+                    except ReproError as exc:
+                        report.rejected.append(
+                            (record, f"schema rejection: {exc}")
+                        )
+                        continue
+                    report.loaded += 1
+                load_span.set("loaded", report.loaded)
         return report

@@ -154,3 +154,105 @@ class TestSnapshotCommand:
         assert "snapshot version: 1" in out     # the initial checkpoint LSN
         assert "last checkpoint LSN: 1" in out
         assert "[snapshot v1]" in out           # the olap caption line
+
+
+class TestStatsCommand:
+    def test_prometheus_dump(self):
+        status, out = run_cli("stats")
+        assert status == 0
+        assert "# TYPE query_rows_scanned counter" in out
+        assert 'query_rows_scanned{mode="tcm"}' in out
+        assert 'mvql_statements{kind="SelectStatement"} 1' in out
+
+    def test_json_dump(self):
+        import json
+
+        status, out = run_cli("stats", "--json")
+        assert status == 0
+        snapshot = json.loads(out)
+        assert snapshot["counters"]['query.executed{mode="tcm"}'] >= 1
+
+
+class TestProfileCommand:
+    STATEMENT = "SELECT amount BY year, org.Division DURING 2001..2002"
+
+    def test_report_sections(self):
+        status, out = run_cli("profile", self.STATEMENT)
+        assert status == 0
+        assert "QUERY PROFILE" in out
+        assert "collect_contributions" in out      # per-phase timings
+        assert "shard 0" in out                    # per-shard row counts
+        assert "per structure version:" in out     # per-version cell counts
+        for mode in ("tcm", "V1", "V2", "V3"):
+            assert mode in out
+
+    def test_single_shard_skips_shard_section(self):
+        status, out = run_cli("profile", self.STATEMENT, "--shards", "1")
+        assert status == 0
+        assert "shard 0" not in out
+
+    def test_non_select_rejected(self):
+        status, out = run_cli("profile", "SHOW MODES")
+        assert status == 1
+        assert "error:" in out and "SELECT" in out
+
+    def test_compile_error_rejected(self):
+        status, out = run_cli("profile", "SELECT zzz BY year")
+        assert status == 1
+        assert "error:" in out
+
+
+class TestTraceOut:
+    def load_spans(self, path):
+        from repro.observability import read_jsonl
+
+        return read_jsonl(path)
+
+    def test_mvql_trace_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        status, out = run_cli(
+            "mvql",
+            "SELECT amount BY year, org.Division",
+            "--trace-out",
+            str(trace),
+        )
+        assert status == 0
+        assert f"wrote" in out and str(trace) in out
+        spans = self.load_spans(trace)
+        by_id = {s["span_id"]: s for s in spans}
+        statements = [s for s in spans if s["name"] == "mvql.statement"]
+        assert len(statements) == 1
+        root = statements[0]
+        assert root["parent_id"] is None
+        # the engine phases nest under query.execute under the statement
+        execute = next(s for s in spans if s["name"] == "query.execute")
+        assert execute["parent_id"] == root["span_id"]
+        phases = [s for s in spans if s["parent_id"] == execute["span_id"]]
+        assert [s["name"] for s in phases] == [
+            "query.resolve",
+            "query.collect_contributions",
+            "query.finalize",
+        ]
+        for span in spans:
+            assert span["duration_us"] >= 0
+            assert span["start_us"] >= 0
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in by_id
+
+    def test_profile_trace_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        status, out = run_cli(
+            "profile",
+            "SELECT amount BY year, org.Division",
+            "--trace-out",
+            str(trace),
+        )
+        assert status == 0
+        spans = self.load_spans(trace)
+        names = {s["name"] for s in spans}
+        assert "query.execute" in names
+        assert "shard.execute" in names
+        root = next(s for s in spans if s["name"] == "shard.execute")
+        collects = [s for s in spans if s["name"] == "shard.collect"]
+        assert collects
+        assert all(s["parent_id"] == root["span_id"] for s in collects)

@@ -142,3 +142,28 @@ class TestDocsConcurrency:
             "repro snapshot",
         ):
             assert topic in text
+
+
+class TestDocsObservability:
+    def test_observability_snippets_run(self, capsys):
+        namespace = run_blocks(ROOT / "docs" / "observability.md")
+        out = capsys.readouterr().out
+        assert "etl.nightly" in out                  # tree_text printed
+        assert "# TYPE query_rows_scanned" in out    # prometheus dump
+        assert "rows scanned: 10" in out    # the tcm slice of the case study
+        assert "QUERY PROFILE" in out                # profiler report
+        assert "per structure version:" in out
+        profile = namespace["profile"]
+        assert profile.shards and profile.modes
+
+    def test_observability_doc_covers_the_surface(self):
+        text = (ROOT / "docs" / "observability.md").read_text()
+        for topic in (
+            "Tracer",
+            "MetricsRegistry",
+            "profile_query",
+            "--trace-out",
+            "NULL_TRACER",
+            "runtime.instrumented",
+        ):
+            assert topic in text

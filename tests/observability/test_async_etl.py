@@ -1,0 +1,176 @@
+"""The parallel-extraction ETL fan-out: determinism, isolation, detail."""
+
+import threading
+
+import pytest
+
+from repro.core import Interval, Measure, MemberVersion, SUM
+from repro.core import TemporalDimension, TemporalMultidimensionalSchema
+from repro.core import TemporalRelationship
+from repro.observability import MetricsRegistry, Tracer
+from repro.robustness import RetryPolicy
+from repro.warehouse import (
+    CleaningRule,
+    ETLPipeline,
+    FactMapping,
+    OperationalSource,
+)
+
+
+def build_schema():
+    d = TemporalDimension("org")
+    d.add_member(MemberVersion("div", "Division", Interval(0), level="Division"))
+    d.add_member(MemberVersion("a", "Dept-A", Interval(0), level="Department"))
+    d.add_relationship(TemporalRelationship("a", "div", Interval(0)))
+    return TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+
+
+def pipeline_for(schema, rules=(), **kwargs):
+    mapping = FactMapping(
+        lambda rec: ({"org": rec["dept"]}, rec["t"], {"amount": rec["amount"]})
+    )
+    return ETLPipeline(schema, rules=rules, mapping=mapping, **kwargs)
+
+
+def make_sources(n=4, per_source=5):
+    return [
+        OperationalSource(
+            f"s{i}",
+            [
+                {"dept": "a", "t": j + 1, "amount": float(i * per_source + j)}
+                for j in range(per_source)
+            ],
+        )
+        for i in range(n)
+    ]
+
+
+class FlakySource(OperationalSource):
+    """Fails ``failures`` times before extracting successfully."""
+
+    def __init__(self, name, records, failures):
+        super().__init__(name, records)
+        self.failures = failures
+        self.calls = 0
+
+    def extract(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError(f"{self.name} unreachable")
+        return super().extract()
+
+
+class TestParallelExtraction:
+    def test_parallel_report_identical_to_sequential(self):
+        reject_odd = CleaningRule(
+            "drop-odd", lambda r: r if int(r["amount"]) % 2 == 0 else None
+        )
+        sequential = pipeline_for(build_schema(), [reject_odd]).run(
+            make_sources()
+        )
+        parallel = pipeline_for(build_schema(), [reject_odd]).run(
+            make_sources(), max_workers=4
+        )
+        assert parallel.extracted == sequential.extracted
+        assert parallel.loaded == sequential.loaded
+        assert parallel.rejected == sequential.rejected
+        assert parallel.failed_sources == sequential.failed_sources
+
+    def test_parallel_load_matches_sequential_facts(self):
+        seq_schema = build_schema()
+        par_schema = build_schema()
+        pipeline_for(seq_schema).run(make_sources())
+        pipeline_for(par_schema).run(make_sources(), max_workers=3)
+        assert [
+            (dict(f.coordinates), f.t, f.values["amount"])
+            for f in seq_schema.facts
+        ] == [
+            (dict(f.coordinates), f.t, f.values["amount"])
+            for f in par_schema.facts
+        ]
+
+    def test_extraction_actually_overlaps(self):
+        """With enough workers, extractions run concurrently: each source
+        blocks until every other one has started."""
+        n = 3
+        barrier = threading.Barrier(n, timeout=5)
+
+        class BarrierSource(OperationalSource):
+            def extract(self):
+                barrier.wait()
+                return super().extract()
+
+        sources = [
+            BarrierSource(f"s{i}", [{"dept": "a", "t": 1, "amount": 1.0}])
+            for i in range(n)
+        ]
+        report = pipeline_for(build_schema()).run(sources, max_workers=n)
+        assert report.loaded == n
+
+    def test_failure_isolation_in_parallel_mode(self):
+        good = OperationalSource("good", [{"dept": "a", "t": 1, "amount": 1.0}])
+        bad = FlakySource("bad", [], failures=99)
+        report = pipeline_for(build_schema()).run([bad, good], max_workers=2)
+        assert report.loaded == 1
+        assert report.failed_source_count == 1
+        assert report.failed_sources[0][0] == "bad"
+
+    def test_failed_sources_keep_source_order(self):
+        sources = [
+            FlakySource("f1", [], failures=99),
+            OperationalSource("ok", [{"dept": "a", "t": 1, "amount": 1.0}]),
+            FlakySource("f2", [], failures=99),
+        ]
+        report = pipeline_for(build_schema()).run(sources, max_workers=3)
+        assert [name for name, _ in report.failed_sources] == ["f1", "f2"]
+
+
+class TestFailureDetail:
+    def test_detail_names_exception_class_and_message(self):
+        bad = FlakySource("bad", [], failures=99)
+        report = pipeline_for(build_schema()).run([bad])
+        _, reason = report.failed_sources[0]
+        assert "ConnectionError" in reason
+        assert "bad unreachable" in reason
+
+    def test_detail_unwraps_retry_exhaustion(self):
+        bad = FlakySource("bad", [], failures=99)
+        policy = RetryPolicy.no_sleep(max_attempts=3, retry_on=(ConnectionError,))
+        report = pipeline_for(build_schema(), retry=policy).run([bad])
+        _, reason = report.failed_sources[0]
+        assert "ConnectionError" in reason
+        assert "after 3 attempts" in reason
+
+    def test_retry_recovers_flaky_source(self):
+        flaky = FlakySource(
+            "flaky", [{"dept": "a", "t": 1, "amount": 1.0}], failures=2
+        )
+        policy = RetryPolicy.no_sleep(max_attempts=3, retry_on=(ConnectionError,))
+        report = pipeline_for(build_schema(), retry=policy).run(
+            [flaky], max_workers=2
+        )
+        assert report.complete and report.loaded == 1
+
+
+class TestEtlInstrumentation:
+    def test_run_span_tree_and_counters(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        reject_odd = CleaningRule(
+            "drop-odd", lambda r: r if int(r["amount"]) % 2 == 0 else None
+        )
+        pipeline = pipeline_for(
+            build_schema(), [reject_odd], tracer=tracer, metrics=metrics
+        )
+        pipeline.run(make_sources(n=2, per_source=4), max_workers=2)
+        run = tracer.find("etl.run")[0]
+        extracts = tracer.find("etl.extract")
+        assert len(extracts) == 2
+        assert all(s.parent_id == run.span_id for s in extracts)
+        loads = tracer.find("etl.load")
+        assert len(loads) == 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["etl.runs"] == 1
+        assert counters["etl.records_extracted"] == 8
+        assert counters["etl.records_loaded"] == 4
+        assert counters["etl.records_rejected"] == 4

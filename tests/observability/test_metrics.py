@@ -1,0 +1,91 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.observability import NULL_METRICS, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_and_labels_share_a_series(self):
+        m = MetricsRegistry()
+        m.counter("hits", {"mode": "tcm"}).inc()
+        m.counter("hits", {"mode": "tcm"}).inc()
+        m.counter("hits", {"mode": "V1"}).inc()
+        snap = m.snapshot()["counters"]
+        assert snap['hits{mode="tcm"}'] == 2
+        assert snap['hits{mode="V1"}'] == 1
+
+    def test_negative_increment_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.counter("hits").inc(-1)
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        m = MetricsRegistry()
+        g = m.gauge("open")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5.555)
+        assert h.mean == pytest.approx(5.555 / 4)
+        cumulative = h.cumulative()
+        assert cumulative[-1][0] == "+Inf"
+        assert cumulative[-1][1] == 4
+        # each observation fell into a distinct bucket
+        assert [c for _, c in cumulative] == [1, 2, 3, 4]
+
+
+class TestRegistry:
+    def test_snapshot_covers_all_instrument_kinds(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.gauge("g").set(3)
+        m.histogram("h").observe(0.2)
+        snap = m.snapshot()
+        assert snap["counters"]["c"] == 1
+        assert snap["gauges"]["g"] == 3
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_render_prometheus_format(self):
+        m = MetricsRegistry()
+        m.counter("query.rows_scanned", {"mode": "tcm"}).inc(7)
+        m.histogram("txn.commit_seconds").observe(0.02)
+        text = m.render_prometheus()
+        assert '# TYPE query_rows_scanned counter' in text
+        assert 'query_rows_scanned{mode="tcm"} 7' in text
+        assert 'txn_commit_seconds_count 1' in text
+        assert 'le="+Inf"' in text
+
+    def test_reset_clears_everything(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestNullMetrics:
+    def test_disabled_and_noops(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").inc()
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h").observe(0.5)
+        assert NULL_METRICS.counter("c").value == 0

@@ -1,0 +1,76 @@
+"""Tests for the EXPLAIN-ANALYZE-style query profiler."""
+
+import pytest
+
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+from repro.observability import profile_query
+from repro.workloads.case_study import ORG
+
+
+@pytest.fixture()
+def q1():
+    return Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+        time_range=Interval(ym(2001, 1), ym(2002, 12)),
+        measures=("amount",),
+    )
+
+
+class TestProfileQuery:
+    def test_phases_cover_serial_execution(self, mvft, q1):
+        profile = profile_query(mvft, q1, shards=1, all_modes=False)
+        assert [p.name for p in profile.phases] == [
+            "resolve",
+            "collect_contributions",
+            "finalize",
+        ]
+        assert all(p.seconds >= 0 for p in profile.phases)
+        assert profile.total_seconds >= max(p.seconds for p in profile.phases)
+        assert profile.result_rows > 0
+        assert profile.mode == "tcm"
+
+    def test_sharded_pass_reports_per_shard_rows(self, mvft, q1):
+        profile = profile_query(mvft, q1, shards=4, all_modes=False)
+        assert profile.shards, "expected a sharded pass"
+        assert [s.index for s in profile.shards] == list(
+            range(len(profile.shards))
+        )
+        total_rows = sum(s.rows for s in profile.shards)
+        assert total_rows == len(mvft.slice("tcm"))
+        assert profile.merge_seconds is not None
+
+    def test_per_mode_stats_cover_every_structure_version(self, mvft, q1):
+        profile = profile_query(mvft, q1, shards=1)
+        assert [m.mode for m in profile.modes] == mvft.modes.labels
+        for stats in profile.modes:
+            assert stats.rows_scanned > 0
+            assert stats.rows_scanned >= stats.rows_matched
+            assert stats.cells_emitted == stats.result_rows  # one measure
+
+    def test_defaults_leave_runtime_untouched(self, mvft, q1):
+        from repro.observability import runtime
+
+        profile_query(mvft, q1, shards=2, all_modes=False)
+        assert runtime.enabled() is False
+
+    def test_to_text_report_sections(self, mvft, q1):
+        profile = profile_query(
+            mvft, q1, shards=4, statement="SELECT amount BY year"
+        )
+        text = profile.to_text()
+        assert "QUERY PROFILE" in text
+        assert "SELECT amount BY year" in text
+        assert "collect_contributions" in text
+        assert "shard 0" in text
+        assert "per structure version:" in text
+        for label in mvft.modes.labels:
+            assert label in text
+
+    def test_to_dict_round_trips_through_json(self, mvft, q1):
+        import json
+
+        profile = profile_query(mvft, q1, shards=2)
+        data = json.loads(json.dumps(profile.to_dict()))
+        assert data["mode"] == "tcm"
+        assert len(data["phases"]) == 3
+        assert len(data["modes"]) == len(mvft.modes.labels)

@@ -1,0 +1,54 @@
+"""Tests for the process-wide instrumentation switch."""
+
+from repro.observability import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    runtime,
+)
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default(self):
+        assert runtime.enabled() is False
+        assert runtime.current_tracer() is NULL_TRACER
+        assert runtime.current_metrics() is NULL_METRICS
+
+    def test_enable_installs_fresh_instruments(self):
+        try:
+            tracer, metrics = runtime.enable()
+            assert runtime.enabled()
+            assert runtime.current_tracer() is tracer
+            assert runtime.current_metrics() is metrics
+            assert isinstance(tracer, Tracer)
+            assert isinstance(metrics, MetricsRegistry)
+        finally:
+            runtime.disable()
+        assert runtime.enabled() is False
+
+    def test_enable_accepts_explicit_instruments(self):
+        mine = Tracer()
+        try:
+            tracer, _ = runtime.enable(tracer=mine)
+            assert tracer is mine
+        finally:
+            runtime.disable()
+
+    def test_instrumented_context_restores_previous_state(self):
+        assert runtime.enabled() is False
+        with runtime.instrumented() as (tracer, metrics):
+            assert runtime.current_tracer() is tracer
+            with tracer.span("inside"):
+                pass
+            metrics.counter("c").inc()
+        assert runtime.enabled() is False
+        assert runtime.current_tracer() is NULL_TRACER
+        assert tracer.find("inside")
+
+    def test_instrumented_contexts_nest(self):
+        with runtime.instrumented() as (outer, _):
+            with runtime.instrumented() as (inner, _):
+                assert runtime.current_tracer() is inner
+            assert runtime.current_tracer() is outer
+        assert runtime.current_tracer() is NULL_TRACER

@@ -1,0 +1,114 @@
+"""Tests for the span tracer."""
+
+import threading
+
+import pytest
+
+from repro.observability import NULL_TRACER, Tracer, read_jsonl
+
+
+class TestSpans:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        root = tracer.find("root")[0]
+        assert root.parent_id is None
+        children = tracer.children(root)
+        assert [s.name for s in children] == ["child", "sibling"]
+        grandchild = tracer.find("grandchild")[0]
+        assert grandchild.parent_id == tracer.find("child")[0].span_id
+
+    def test_durations_are_monotonic_and_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.find("outer")[0]
+        inner = tracer.find("inner")[0]
+        assert outer.finished and inner.finished
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_attributes_and_set_chaining(self):
+        tracer = Tracer()
+        with tracer.span("s", attributes={"a": 1}) as span:
+            span.set("b", 2).set("c", "x")
+        assert tracer.find("s")[0].attributes == {"a": 1, "b": 2, "c": "x"}
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.find("boom")[0]
+        assert span.finished
+        assert "ValueError" in span.attributes["error"]
+
+    def test_explicit_parent_overrides_thread_local_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        with tracer.span("adopted", parent=root):
+            pass
+        assert tracer.find("adopted")[0].parent_id == root.span_id
+
+    def test_worker_thread_spans_attach_via_explicit_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            def work():
+                with tracer.span("worker", parent=root):
+                    pass
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        worker = tracer.find("worker")[0]
+        assert worker.parent_id == root.span_id
+
+    def test_tree_text_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = tracer.tree_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+
+    def test_clear_resets_recorded_spans(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert not tracer.spans
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", attributes={"k": "v"}):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = tracer.write_jsonl(path)
+        assert count == 2
+        records = read_jsonl(path)
+        assert len(records) == 2
+        by_name = {r["name"]: r for r in records}
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["root"]["attributes"] == {"k": "v"}
+        for r in records:
+            assert r["duration_us"] >= 0
+            assert r["start_us"] >= 0
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_noop_span(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", attributes={"x": 1}) as span:
+            span.set("y", 2)
+        # the null tracer records nothing
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -198,7 +198,10 @@ class TestETLDegradation:
         pipeline = make_pipeline(schema, retry=RetryPolicy.no_sleep(max_attempts=3))
         report = pipeline.run([source])
         assert not report.complete
-        assert "RetryExhaustedError" in report.failed_sources[0][1]
+        # the detail names the *root* failure, not the retry wrapper,
+        # plus how many attempts were burned before giving up
+        assert "ConnectionError" in report.failed_sources[0][1]
+        assert "after 3 attempts" in report.failed_sources[0][1]
         assert source.attempts == 3
 
     def test_injected_extraction_fault_hits_one_source(self, schema):
