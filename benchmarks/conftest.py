@@ -79,11 +79,22 @@ def pytest_sessionfinish(session, exitstatus):
         return
     from repro.observability import runtime
 
+    root = pathlib.Path(__file__).resolve().parent.parent
     payload = {
         "benchmarks": _BENCH_RESULTS,
         "metrics": (
             runtime.current_metrics().snapshot() if runtime.enabled() else {}
         ),
     }
-    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_observability.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    (root / "BENCH_observability.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # The storage-recovery module gets its own artifact: the row-journaling
+    # tax and recover_warehouse replay numbers, tracked release over release.
+    storage = [
+        r for r in _BENCH_RESULTS if "test_bench_storage_recovery" in r["name"]
+    ]
+    if storage:
+        (root / "BENCH_storage_recovery.json").write_text(
+            json.dumps({"benchmarks": storage}, indent=2) + "\n"
+        )

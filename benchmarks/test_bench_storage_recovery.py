@@ -1,0 +1,119 @@
+"""Row-journaling tax and warehouse recovery throughput.
+
+The relational twin of ``test_bench_fault_recovery``: what does
+journaling every warehouse row write (``dml`` records) cost over the
+bare in-memory engine, and how fast does ``recover_warehouse`` replay a
+long row-level journal?  The session collector writes this module's
+timings to ``BENCH_storage_recovery.json``.
+"""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    Measure,
+    MemberVersion,
+    SUM,
+    TemporalDimension,
+    TemporalMultidimensionalSchema,
+)
+from repro.robustness import TransactionManager, recover_warehouse
+from repro.storage import Column, Database, ForeignKey, INTEGER, TEXT
+
+N_ROWS = 400
+
+
+def tiny_schema():
+    d = TemporalDimension("Org")
+    d.add_member(MemberVersion("idP1", "P1", Interval(0)))
+    return TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+
+
+def fresh_warehouse():
+    db = Database("wh")
+    db.create_table(
+        "dept",
+        [Column("id", INTEGER), Column("name", TEXT)],
+        primary_key=["id"],
+    )
+    db.create_table(
+        "sales",
+        [Column("id", INTEGER), Column("dept_id", INTEGER), Column("amount", INTEGER)],
+        primary_key=["id"],
+        foreign_keys=[ForeignKey(("dept_id",), "dept", ("id",))],
+    )
+    return db
+
+
+def load_rows(txm, rows=N_ROWS):
+    with txm.transaction():
+        txm.database.insert("dept", {"id": 1, "name": "sales"})
+        txm.database.insert_many(
+            "sales",
+            [{"id": i, "dept_id": 1, "amount": i % 97} for i in range(rows)],
+        )
+    with txm.transaction():
+        txm.database.update(
+            "sales", lambda r: r["id"] % 10 == 0, {"amount": 0}
+        )
+        txm.database.delete("sales", lambda r: r["id"] % 25 == 0)
+
+
+class TestRowJournalingTax:
+    def test_bulk_load_baseline_no_wal(self, benchmark):
+        """Undo capture only — no journal on disk."""
+
+        def run():
+            txm = TransactionManager(tiny_schema(), database=fresh_warehouse())
+            load_rows(txm)
+
+        benchmark(run)
+
+    def test_bulk_load_with_row_journaling(self, benchmark, tmp_path):
+        """The tax: every row write also appends a ``dml`` record."""
+        counter = {"n": 0}
+
+        def run():
+            counter["n"] += 1
+            txm = TransactionManager(
+                tiny_schema(),
+                wal=tmp_path / f"bench-{counter['n']}.wal",
+                database=fresh_warehouse(),
+            )
+            load_rows(txm)
+            txm.wal.close()
+
+        benchmark(run)
+
+
+class TestWarehouseRecoveryThroughput:
+    @pytest.fixture(scope="class")
+    def long_wal(self, tmp_path_factory):
+        """A journal of ~440 committed ``dml`` records plus one update and
+        one delete wave."""
+        path = tmp_path_factory.mktemp("wal") / "warehouse.wal"
+        txm = TransactionManager(
+            tiny_schema(), wal=path, database=fresh_warehouse()
+        )
+        load_rows(txm)
+        txm.wal.close()
+        return path
+
+    def test_replay_long_row_journal(self, benchmark, long_wal):
+        def run():
+            db, report = recover_warehouse(long_wal)
+            assert report.rows_inserted == N_ROWS + 1
+            return report
+
+        report = benchmark(run)
+        assert report.transactions_replayed == 2
+        assert report.rows_deleted == N_ROWS // 25
+
+    def test_replay_without_verification(self, benchmark, long_wal):
+        """Foreign-key audit excluded — the replay loop alone."""
+
+        def run():
+            return recover_warehouse(long_wal, verify=False)
+
+        db, report = benchmark(run)
+        assert len(db.table("sales")) == N_ROWS - N_ROWS // 25

@@ -11,8 +11,9 @@ Commands:
 * ``modes`` — list the temporal modes of presentation;
 * ``integrity`` — run the structural invariant checker on the case-study
   schema (exits non-zero on violations);
-* ``recover <wal>`` — replay a write-ahead journal and report what crash
-  recovery restored;
+* ``recover <wal> [--warehouse]`` — replay a write-ahead journal and
+  report what crash recovery restored (``--warehouse`` replays the
+  relational catalog/dml records instead of the schema operators);
 * ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
   case study and print the current snapshot version, open-snapshot count
   and last checkpoint LSN;
@@ -88,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         "recover", help="replay a write-ahead journal (crash recovery)"
     )
     recover.add_argument("wal", help="path to the JSONL write-ahead journal")
+    recover.add_argument(
+        "--warehouse",
+        action="store_true",
+        help="replay the relational catalog/dml records instead of the "
+        "schema operators (row-level warehouse recovery)",
+    )
     snapshot = sub.add_parser(
         "snapshot", help="report the MVCC snapshot state of the case study"
     )
@@ -201,14 +208,26 @@ def _cmd_integrity(out) -> int:
     return 0 if report.ok else 2
 
 
-def _cmd_recover(wal: str, out) -> int:
+def _cmd_recover(wal: str, out, *, warehouse: bool = False) -> int:
     from repro.robustness import (
         IntegrityChecker,
         RecoveryError,
         WALError,
         recover_schema,
+        recover_warehouse,
     )
 
+    if warehouse:
+        try:
+            db, wh_report = recover_warehouse(wal)
+        except (RecoveryError, WALError) as exc:
+            print(f"recovery failed: {exc}", file=out)
+            return 2
+        print(wh_report.to_text(), file=out)
+        for name in db.table_names:
+            print(f"table {name}: {len(db.table(name))} rows", file=out)
+        print(f"recovered: {db!r}", file=out)
+        return 0
     try:
         schema, report = recover_schema(wal)
     except (RecoveryError, WALError) as exc:
@@ -324,7 +343,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "integrity":
         return _cmd_integrity(out)
     if args.command == "recover":
-        return _cmd_recover(args.wal, out)
+        return _cmd_recover(args.wal, out, warehouse=args.warehouse)
     if args.command == "snapshot":
         return _cmd_snapshot(args.wal, out)
     if args.command == "stats":

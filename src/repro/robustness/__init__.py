@@ -31,7 +31,13 @@ from .errors import (
 )
 from .faults import FAULT_POINTS, FaultInjector, FaultPlan
 from .integrity import IntegrityChecker, IntegrityReport, Violation
-from .recovery import RecoveryReport, recover_schema, replay_operator
+from .recovery import (
+    RecoveryReport,
+    WarehouseRecoveryReport,
+    recover_schema,
+    recover_warehouse,
+    replay_operator,
+)
 from .retry import RetryPolicy
 from .transactions import (
     Transaction,
@@ -40,7 +46,7 @@ from .transactions import (
     TransactionManager,
     UndoRecord,
 )
-from .wal import WAL_FORMAT, WriteAheadJournal, operator_payload
+from .wal import DML_ACTIONS, WAL_FORMAT, WriteAheadJournal, operator_payload
 
 __all__ = [
     "RobustnessError",
@@ -56,7 +62,9 @@ __all__ = [
     "IntegrityReport",
     "Violation",
     "RecoveryReport",
+    "WarehouseRecoveryReport",
     "recover_schema",
+    "recover_warehouse",
     "replay_operator",
     "RetryPolicy",
     "Transaction",
@@ -64,6 +72,7 @@ __all__ = [
     "TransactionalDatabase",
     "TransactionalEditor",
     "UndoRecord",
+    "DML_ACTIONS",
     "WAL_FORMAT",
     "WriteAheadJournal",
     "operator_payload",

@@ -23,6 +23,9 @@ point                     fired
 ``txn.commit``            at commit, before the WAL commit record
 ``txn.commit.durable``    after the WAL commit record is on disk
 ``wal.append``            before each WAL record is written
+``wal.dml``               before each relational ``dml`` record is written
+``wal.truncate``          mid-compaction, after the temp file is written
+                          but before it replaces the journal
 ``db.insert``             before each checked :class:`Database` insert
 ``db.insert_many.row``    before each row of a :meth:`Database.insert_many`
 ``etl.extract``           before each operational-source extraction
@@ -45,6 +48,8 @@ FAULT_POINTS: tuple[str, ...] = (
     "txn.commit",
     "txn.commit.durable",
     "wal.append",
+    "wal.dml",
+    "wal.truncate",
     "db.insert",
     "db.insert_many.row",
     "etl.extract",

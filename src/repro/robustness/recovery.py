@@ -1,19 +1,22 @@
 """Replay-based crash recovery.
 
-Recovery rebuilds a schema from the write-ahead journal alone:
+Recovery rebuilds state from the write-ahead journal alone:
 
-1. find the most recent ``checkpoint`` record and rebuild the schema
-   snapshot it embeds;
+1. find the most recent ``checkpoint`` record and rebuild the snapshot it
+   embeds (the schema, and — for :func:`recover_warehouse` — the embedded
+   relational database dump);
 2. scan the records after it, noting which transaction ids reached a
    ``commit`` record — those are the durable transactions;
-3. replay the ``op`` / ``fact`` records of the committed transactions, in
-   journal order, through a fresh :class:`SchemaEditor`;
-4. (by default) run the :class:`~repro.robustness.integrity.IntegrityChecker`
-   on the result and refuse to hand back a schema that violates the
-   paper's invariants.
+3. replay the committed transactions' records in journal order:
+   ``op`` / ``fact`` through a fresh :class:`SchemaEditor`
+   (:func:`recover_schema`), ``catalog`` / ``dml`` onto a rebuilt
+   :class:`~repro.storage.database.Database` (:func:`recover_warehouse`);
+4. (by default) validate the result — the paper's invariants for the
+   schema, foreign-key consistency for the warehouse — and refuse to hand
+   back broken state.
 
 Records of transactions that never committed — a crash mid-transaction, an
-explicit abort, a torn tail — are discarded: the recovered schema sits
+explicit abort, a torn tail — are discarded: the recovered state sits
 exactly at the last committed transaction boundary.
 """
 
@@ -28,12 +31,21 @@ from repro.core.errors import ReproError
 from repro.core.operators import SchemaEditor
 from repro.core.schema import TemporalMultidimensionalSchema
 from repro.core.serialization import schema_from_dict
+from repro.storage.database import Database, database_from_dict
+from repro.storage.errors import StorageError
+from repro.storage.schema import table_schema_from_dict, table_schema_to_dict
 
 from .errors import RecoveryError
 from .integrity import IntegrityChecker
 from .wal import WriteAheadJournal, mapping_relationship_from_json
 
-__all__ = ["RecoveryReport", "recover_schema", "replay_operator"]
+__all__ = [
+    "RecoveryReport",
+    "WarehouseRecoveryReport",
+    "recover_schema",
+    "recover_warehouse",
+    "replay_operator",
+]
 
 
 @dataclass
@@ -47,6 +59,7 @@ class RecoveryReport:
     operators_replayed: int = 0
     facts_replayed: int = 0
     integrity_violations: int = 0
+    warehouse_records_skipped: int = 0
 
     def to_text(self) -> str:
         """A human-readable summary (the CLI prints this)."""
@@ -57,6 +70,42 @@ class RecoveryReport:
             f"operators replayed: {self.operators_replayed}",
             f"facts replayed: {self.facts_replayed}",
             f"integrity violations: {self.integrity_violations}",
+        ]
+        if self.warehouse_records_skipped:
+            lines.append(
+                f"warehouse records skipped (use recover_warehouse): "
+                f"{self.warehouse_records_skipped}"
+            )
+        if self.last_committed_txid is not None:
+            lines.insert(1, f"last committed transaction: {self.last_committed_txid}")
+        return "\n".join(lines)
+
+
+@dataclass
+class WarehouseRecoveryReport:
+    """What one warehouse (row-level) recovery run did."""
+
+    checkpoint_lsn: int = 0
+    last_committed_txid: int | None = None
+    transactions_replayed: int = 0
+    transactions_discarded: int = 0
+    tables_restored: int = 0
+    tables_created: int = 0
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+
+    def to_text(self) -> str:
+        """A human-readable summary (the CLI prints this)."""
+        lines = [
+            f"checkpoint: lsn {self.checkpoint_lsn}",
+            f"transactions replayed: {self.transactions_replayed}",
+            f"transactions discarded (uncommitted): {self.transactions_discarded}",
+            f"tables restored from checkpoint: {self.tables_restored}",
+            f"tables created from catalog records: {self.tables_created}",
+            f"rows inserted: {self.rows_inserted}",
+            f"rows updated: {self.rows_updated}",
+            f"rows deleted: {self.rows_deleted}",
         ]
         if self.last_committed_txid is not None:
             lines.insert(1, f"last committed transaction: {self.last_committed_txid}")
@@ -99,6 +148,33 @@ def replay_operator(editor: SchemaEditor, record: dict[str, Any]) -> None:
         raise RecoveryError(f"cannot replay unknown operator {op!r}")
 
 
+def _journal_records(
+    wal: WriteAheadJournal | str | Path,
+) -> tuple[list[dict[str, Any]], Path]:
+    """Read every durable record of a journal (plus its path, for errors)."""
+    if isinstance(wal, WriteAheadJournal):
+        return wal.records(), wal.path
+    # Recovery is read-only: never create (or hold open for append) a
+    # journal that is merely being inspected.
+    if not Path(wal).exists():
+        raise RecoveryError(f"{wal}: journal holds no checkpoint to recover from")
+    with WriteAheadJournal(wal) as journal:
+        return journal.records(), journal.path
+
+
+def _last_checkpoint(
+    records: list[dict[str, Any]], path: Path
+) -> tuple[dict[str, Any], int]:
+    """The most recent ``checkpoint`` record and its index."""
+    checkpoint_idx: int | None = None
+    for i, record in enumerate(records):
+        if record["kind"] == "checkpoint":
+            checkpoint_idx = i
+    if checkpoint_idx is None:
+        raise RecoveryError(f"{path}: journal holds no checkpoint to recover from")
+    return records[checkpoint_idx], checkpoint_idx
+
+
 def recover_schema(
     wal: WriteAheadJournal | str | Path, *, verify: bool = True
 ) -> tuple[TemporalMultidimensionalSchema, RecoveryReport]:
@@ -107,29 +183,12 @@ def recover_schema(
     ``verify=True`` (the default) runs the integrity checker on the
     recovered schema and raises :class:`RecoveryError` when any paper
     invariant is violated — a recovery that would hand back a broken
-    schema is treated as failed.
+    schema is treated as failed.  Relational ``catalog`` / ``dml`` records
+    belong to the warehouse tier; they are counted (``report.
+    warehouse_records_skipped``) and left to :func:`recover_warehouse`.
     """
-    if isinstance(wal, WriteAheadJournal):
-        journal = wal
-        records = journal.records()
-    else:
-        # Recovery is read-only: never create (or hold open for append) a
-        # journal that is merely being inspected.
-        if not Path(wal).exists():
-            raise RecoveryError(
-                f"{wal}: journal holds no checkpoint to recover from"
-            )
-        with WriteAheadJournal(wal) as journal:
-            records = journal.records()
-    checkpoint_idx: int | None = None
-    for i, record in enumerate(records):
-        if record["kind"] == "checkpoint":
-            checkpoint_idx = i
-    if checkpoint_idx is None:
-        raise RecoveryError(
-            f"{journal.path}: journal holds no checkpoint to recover from"
-        )
-    checkpoint = records[checkpoint_idx]
+    records, path = _journal_records(wal)
+    checkpoint, checkpoint_idx = _last_checkpoint(records, path)
     try:
         schema = schema_from_dict(checkpoint["schema"])
     except ReproError as exc:
@@ -167,6 +226,8 @@ def recover_schema(
                     f"replay of committed fact at lsn {record['lsn']} failed: {exc}"
                 ) from exc
             report.facts_replayed += 1
+        elif record["kind"] in ("catalog", "dml"):
+            report.warehouse_records_skipped += 1
 
     if verify:
         integrity = IntegrityChecker(schema).run()
@@ -176,3 +237,138 @@ def recover_schema(
                 "recovered schema violates invariants:\n" + integrity.to_text()
             )
     return schema, report
+
+
+def _replay_catalog(
+    db: Database, record: dict[str, Any], report: WarehouseRecoveryReport
+) -> None:
+    """Re-apply one committed ``catalog`` record (idempotently)."""
+    payload = record["table"]
+    name = payload["name"]
+    if name in db.table_names:
+        existing = table_schema_to_dict(db.table(name).schema)
+        if existing != payload:
+            raise RecoveryError(
+                f"catalog record at lsn {record['lsn']} disagrees with the "
+                f"recovered schema of table {name!r}"
+            )
+        return
+    schema = table_schema_from_dict(payload)
+    table = db.create_table(
+        name,
+        schema.columns,
+        primary_key=schema.primary_key,
+        foreign_keys=schema.foreign_keys,
+    )
+    for spec in record.get("indexes", ()):
+        table.create_index(tuple(spec["columns"]), unique=bool(spec.get("unique")))
+    report.tables_created += 1
+
+
+def _replay_dml(
+    db: Database, record: dict[str, Any], report: WarehouseRecoveryReport
+) -> None:
+    """Re-apply one committed ``dml`` record at its journaled row id."""
+    action = record["action"]
+    try:
+        table = db.table(record["table"])
+        if action == "row.insert":
+            table.restore_row(record["rid"], record["row"])
+            report.rows_inserted += 1
+        elif action == "row.update":
+            table.restore_row(record["rid"], record["row"])
+            report.rows_updated += 1
+        elif action == "row.delete":
+            table.remove_row(record["rid"])
+            report.rows_deleted += 1
+        else:
+            raise RecoveryError(
+                f"cannot replay unknown dml action {action!r} "
+                f"at lsn {record['lsn']}"
+            )
+    except StorageError as exc:
+        raise RecoveryError(
+            f"replay of committed dml at lsn {record['lsn']} failed: {exc}"
+        ) from exc
+
+
+def recover_warehouse(
+    wal: WriteAheadJournal | str | Path, *, verify: bool = True
+) -> tuple[Database, WarehouseRecoveryReport]:
+    """Rebuild the relational database a journal describes, up to the last
+    commit.
+
+    The checkpoint's embedded database dump seeds the state; committed
+    ``catalog`` records recreate tables the dump predates, and committed
+    ``dml`` records replay row writes at their journaled row ids (so the
+    recovered tables are slot-for-slot identical to the pre-crash ones).
+    ``verify=True`` re-audits every foreign key over the replayed rows and
+    raises :class:`RecoveryError` when a reference dangles.
+    """
+    records, path = _journal_records(wal)
+    checkpoint, checkpoint_idx = _last_checkpoint(records, path)
+    dumped = checkpoint.get("database")
+    try:
+        db = database_from_dict(dumped) if dumped is not None else Database()
+    except (StorageError, KeyError, TypeError, ValueError) as exc:
+        raise RecoveryError(
+            f"checkpoint database dump does not rebuild: {exc}"
+        ) from exc
+
+    tail = records[checkpoint_idx + 1:]
+    committed = {r["txid"] for r in tail if r["kind"] == "commit"}
+    seen = {r["txid"] for r in tail if r["kind"] == "begin"}
+
+    report = WarehouseRecoveryReport(
+        checkpoint_lsn=checkpoint["lsn"],
+        last_committed_txid=max(committed) if committed else None,
+        transactions_replayed=len(committed & seen),
+        transactions_discarded=len(seen - committed),
+        tables_restored=len(db.table_names),
+    )
+
+    for record in tail:
+        if record.get("txid") not in committed:
+            continue
+        if record["kind"] == "catalog":
+            _replay_catalog(db, record, report)
+        elif record["kind"] == "dml":
+            _replay_dml(db, record, report)
+
+    if verify:
+        violations = _foreign_key_violations(db)
+        if violations:
+            raise RecoveryError(
+                "recovered warehouse violates foreign keys:\n"
+                + "\n".join(violations)
+            )
+    return db, report
+
+
+def _foreign_key_violations(db: Database) -> list[str]:
+    """Dangling foreign-key references across every row of ``db``."""
+    violations: list[str] = []
+    for name in db.table_names:
+        table = db.table(name)
+        for fk in table.schema.foreign_keys:
+            try:
+                parent = db.table(fk.parent_table)
+            except StorageError:
+                violations.append(
+                    f"{name}: foreign key references missing table "
+                    f"{fk.parent_table!r}"
+                )
+                continue
+            parent_keys = {
+                tuple(row[c] for c in fk.parent_columns) for row in parent.rows()
+            }
+            for row in table.rows():
+                key = tuple(row[c] for c in fk.columns)
+                if any(v is None for v in key):
+                    continue
+                if key not in parent_keys:
+                    violations.append(
+                        f"{name}: {dict(zip(fk.columns, key))} has no match "
+                        f"in {fk.parent_table!r}"
+                    )
+    return violations

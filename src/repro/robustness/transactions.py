@@ -25,7 +25,10 @@ operation of :class:`~repro.core.operations.EvolutionManager` all-or-nothing:
 Row-level undo for the relational substrate is provided by
 :class:`TransactionalDatabase`, which wraps a
 :class:`~repro.storage.database.Database` and enlists its writes in the
-same transaction.
+same transaction.  With a WAL attached, those writes are journaled as
+``dml`` records (and ``catalog`` records for table schemas), so
+:func:`repro.robustness.recovery.recover_warehouse` rebuilds the
+warehouse tier together with the schema after a crash.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ from repro.core.operators import SchemaEditor
 from repro.core.schema import TemporalMultidimensionalSchema
 from repro.observability import runtime as _obs
 from repro.storage.database import Database
+from repro.storage.schema import table_schema_to_dict
 
 from .errors import TransactionError
 from .wal import WriteAheadJournal, operator_payload
@@ -84,7 +88,10 @@ class Transaction:
     ``touched`` accumulates the ids of every dimension the transaction's
     operators and fact loads reached — the conflict-detection granularity
     of :mod:`repro.concurrency` and the scope of incremental integrity
-    checks.  ``base_version`` is the snapshot version the writer's
+    checks.  ``cataloged`` names the relational tables whose ``catalog``
+    WAL record this transaction emitted — rollback un-registers them so a
+    later transaction re-catalogs the table under a txid that commits.
+    ``base_version`` is the snapshot version the writer's
     decisions were based on (``None`` when the transaction was not opened
     through a :class:`~repro.concurrency.manager.SnapshotManager`);
     ``commit_lsn`` is the WAL LSN of the commit record, set by
@@ -98,6 +105,7 @@ class Transaction:
     status: str = "active"
     operators: int = 0
     touched: set[str] = field(default_factory=set)
+    cataloged: set[str] = field(default_factory=set)
     base_version: int | None = None
     commit_lsn: int | None = None
 
@@ -281,13 +289,17 @@ class TransactionManager:
             self.wal = WriteAheadJournal(
                 wal, fault_injector=fault_injector, metrics=metrics
             )
-        if self.wal is not None and not self.wal.records():
-            self.wal.checkpoint(schema)
-        self.editor = TransactionalEditor(schema, self)
-        self.evolution = EvolutionManager(schema, editor=self.editor)
         self.database = (
             TransactionalDatabase(database, self) if database is not None else None
         )
+        # Tables whose schema the journal currently describes (checkpoint
+        # dump or a catalog record).  A reopened journal starts empty and
+        # re-catalogs lazily — catalog replay is idempotent.
+        self._cataloged: set[str] = set()
+        if self.wal is not None and not self.wal.records():
+            self._write_checkpoint()
+        self.editor = TransactionalEditor(schema, self)
+        self.evolution = EvolutionManager(schema, editor=self.editor)
         self.current: Transaction | None = None
         self.committed = 0
         self.rolled_back = 0
@@ -356,7 +368,7 @@ class TransactionManager:
             and self.wal is not None
             and self.committed % self.checkpoint_every == 0
         ):
-            lsn = self.wal.checkpoint(self.schema)
+            lsn = self._write_checkpoint()
             self.wal.truncate_before(lsn)
         if metrics.enabled:
             metrics.histogram("txn.commit_seconds").observe(
@@ -379,6 +391,10 @@ class TransactionManager:
         for record in reversed(txn.undo):
             record.undo()
         txn.undo.clear()
+        # Catalog records this transaction emitted die with it at recovery
+        # (no commit record), so the tables must be re-cataloged by the
+        # next transaction that touches them.
+        self._cataloged -= txn.cataloged
         del self.editor.journal[txn.journal_mark:]
         self.schema.facts.truncate(txn.facts_mark)
         if self.wal is not None:
@@ -425,12 +441,28 @@ class TransactionManager:
             return fn(self.evolution)
 
     def checkpoint(self) -> int:
-        """Write a schema snapshot to the WAL (no open transaction allowed)."""
+        """Write a schema snapshot to the WAL (no open transaction allowed).
+
+        With a database attached, the checkpoint embeds its full dump —
+        the row-level recovery baseline that keeps journal compaction
+        (:meth:`WriteAheadJournal.truncate_before`) correct for the
+        warehouse tier.
+        """
         if self.wal is None:
             raise TransactionError("no write-ahead journal attached")
         if self.current is not None and self.current.active:
             raise TransactionError("cannot checkpoint inside an open transaction")
-        return self.wal.checkpoint(self.schema)
+        return self._write_checkpoint()
+
+    def _write_checkpoint(self) -> int:
+        """Checkpoint schema (and database, when attached) to the WAL."""
+        db = self.database.db if self.database is not None else None
+        lsn = self.wal.checkpoint(self.schema, database=db)
+        if db is not None:
+            # The dump describes every current table; nothing needs a
+            # catalog record until a new table appears.
+            self._cataloged = set(db.table_names)
+        return lsn
 
     def _require_txn(self) -> Transaction:
         if self.current is None or not self.current.active:
@@ -526,14 +558,18 @@ class TransactionManager:
 
 
 class TransactionalDatabase:
-    """Row-level undo for :class:`~repro.storage.database.Database` writes.
+    """Row-level undo *and* journaling for
+    :class:`~repro.storage.database.Database` writes.
 
     Writes performed through this wrapper while a transaction is open are
     compensated row by row on rollback: inserts are removed, updates and
     deletes restore the captured pre-image rows.  Reads pass through to the
-    wrapped database.  These writes are *not* journaled to the WAL — the
-    relational substrate is derived state, rebuilt from the schema by the
-    warehouse builders — so recovery replays schema evolutions, not rows.
+    wrapped database.  With a WAL attached to the owning manager, every
+    write is also journaled as a ``dml`` record (post-image for inserts and
+    updates, pre-image for updates and deletes), preceded by a ``catalog``
+    record the first time a transaction touches a table the journal does
+    not yet describe — so the warehouse tier recovers together with the
+    schema (:func:`repro.robustness.recovery.recover_warehouse`).
     """
 
     def __init__(self, db: Database, manager: TransactionManager) -> None:
@@ -547,6 +583,40 @@ class TransactionalDatabase:
     def _txn(self) -> Transaction:
         return self._manager._require_txn()
 
+    # -- journaling --------------------------------------------------------------
+
+    def _journal_catalog(self, txn: Transaction, table: Any) -> None:
+        """Emit a ``catalog`` record unless the journal already describes
+        the table (checkpoint dump or an earlier committed catalog record)."""
+        manager = self._manager
+        if manager.wal is None or table.name in manager._cataloged:
+            return
+        manager.wal.catalog(
+            txn.txid,
+            table=table_schema_to_dict(table.schema),
+            indexes=table.index_specs(),
+        )
+        manager._cataloged.add(table.name)
+        txn.cataloged.add(table.name)
+
+    def _journal_dml(
+        self,
+        txn: Transaction,
+        action: str,
+        table: Any,
+        rid: int,
+        *,
+        row: dict[str, Any] | None = None,
+        pre: dict[str, Any] | None = None,
+    ) -> None:
+        manager = self._manager
+        if manager.wal is None:
+            return
+        self._journal_catalog(txn, table)
+        manager.wal.dml(txn.txid, action, table.name, rid, row=row, pre=pre)
+
+    # -- writes ------------------------------------------------------------------
+
     def insert(
         self, table_name: str, row: Mapping[str, Any], *, check_fk: bool = True
     ) -> int:
@@ -554,12 +624,16 @@ class TransactionalDatabase:
         txn = self._txn()
         rid = self.db.insert(table_name, row, check_fk=check_fk)
         table = self.db.table(table_name)
+        # The inverse joins the undo log *before* the WAL append: once the
+        # row is in the table, a failure downstream (a journaling fault)
+        # must still be able to unwind it at rollback.
         txn.undo.append(
             UndoRecord(
                 description=f"db.insert:{table_name}",
                 action=lambda: table.remove_row(rid),
             )
         )
+        self._journal_dml(txn, "row.insert", table, rid, row=table.row(rid))
         return rid
 
     def insert_many(
@@ -569,22 +643,40 @@ class TransactionalDatabase:
         *,
         check_fk: bool = True,
     ) -> int:
-        """Bulk insert: atomic within the statement *and* undone on rollback."""
+        """Bulk insert: atomic within the statement *and* undone on rollback.
+
+        The batch is journaled only after every row is in — a statement
+        that fails halfway peels its rows off the undo log and leaves no
+        ``dml`` records behind, so a transaction that catches the error
+        and commits does not replay rows the statement rolled back.
+        """
         txn = self._txn()
         table = self.db.table(table_name)
         start = len(txn.undo)
+        inserted: list[int] = []
         try:
-            count = 0
             for row in rows:
-                self.insert(table_name, row, check_fk=check_fk)
-                count += 1
-            return count
+                # Mirror Database.insert_many's per-row fault point: the
+                # crash matrix must reach mid-batch failures through the
+                # transactional wrapper too.
+                self.db._fire("db.insert_many.row")
+                rid = self.db.insert(table_name, row, check_fk=check_fk)
+                inserted.append(rid)
+                txn.undo.append(
+                    UndoRecord(
+                        description=f"db.insert:{table_name}",
+                        action=lambda rid=rid: table.remove_row(rid),
+                    )
+                )
         except Exception:
             # Statement-level atomicity: peel off this statement's rows now
             # so a caught error leaves the table batch-free.
             while len(txn.undo) > start:
                 txn.undo.pop().undo()
             raise
+        for rid in inserted:
+            self._journal_dml(txn, "row.insert", table, rid, row=table.row(rid))
+        return len(inserted)
 
     def update(
         self,
@@ -596,13 +688,20 @@ class TransactionalDatabase:
         txn = self._txn()
         table = self.db.table(table_name)
         pre = [(rid, row) for rid, row in table.items() if predicate(row)]
-        updated = table.update(predicate, changes)
+        # Register the inverse before applying: a mid-update failure (e.g.
+        # a duplicate key on a later row) leaves earlier rows changed, and
+        # restoring the pre-images is safe whether or not any row changed.
         txn.undo.append(
             UndoRecord(
                 description=f"db.update:{table_name}",
                 action=lambda: [table.restore_row(rid, row) for rid, row in pre],
             )
         )
+        updated = table.update(predicate, changes)
+        for rid, row in pre:
+            self._journal_dml(
+                txn, "row.update", table, rid, pre=row, row=table.row(rid)
+            )
         return updated
 
     def delete(
@@ -612,11 +711,13 @@ class TransactionalDatabase:
         txn = self._txn()
         table = self.db.table(table_name)
         pre = [(rid, row) for rid, row in table.items() if predicate(row)]
-        removed = table.delete(predicate)
         txn.undo.append(
             UndoRecord(
                 description=f"db.delete:{table_name}",
                 action=lambda: [table.restore_row(rid, row) for rid, row in pre],
             )
         )
+        removed = table.delete(predicate)
+        for rid, row in pre:
+            self._journal_dml(txn, "row.delete", table, rid, pre=row)
         return removed

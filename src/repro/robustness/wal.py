@@ -10,12 +10,21 @@ runs is journaled as a sequence of records, one JSON object per line:
   JSON-serialized arguments, appended *after* the operator succeeded in
   memory but strictly *before* the transaction's commit record — a logical
   redo journal: replaying the committed records reproduces the schema;
-* ``fact`` — one fact row loaded inside a transaction.
+* ``fact`` — one fact row loaded inside a transaction;
+* ``catalog`` — one relational table schema (columns, keys, secondary
+  indexes), emitted before the first DML record touching a table the
+  journal does not yet describe;
+* ``dml`` — one relational write (``row.insert`` / ``row.update`` /
+  ``row.delete``) with the row id, the post-image and — for updates and
+  deletes — the pre-image, so the warehouse tier recovers together with
+  the schema (:func:`repro.robustness.recovery.recover_warehouse`).
 
 Torn tails are expected: a crash mid-append leaves a final line that is not
 valid JSON.  :meth:`WriteAheadJournal.records` silently drops a torn *final*
 line (the record was never durable) but raises :class:`WALError` on garbage
-anywhere else — that is corruption, not a crash.
+anywhere else — that is corruption, not a crash.  Opening a journal repairs
+the torn tail on disk (truncating the fragment) so the next append starts on
+a fresh line instead of concatenating onto it.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from .errors import WALError
 __all__ = [
     "WAL_FORMAT",
     "RECORD_KINDS",
+    "DML_ACTIONS",
     "WriteAheadJournal",
     "operator_payload",
     "mapping_relationship_to_json",
@@ -48,7 +58,18 @@ __all__ = [
 
 WAL_FORMAT = 1
 
-RECORD_KINDS = ("checkpoint", "begin", "op", "fact", "commit", "abort")
+RECORD_KINDS = (
+    "checkpoint",
+    "begin",
+    "op",
+    "fact",
+    "catalog",
+    "dml",
+    "commit",
+    "abort",
+)
+
+DML_ACTIONS = ("row.insert", "row.update", "row.delete")
 
 
 def mapping_relationship_to_json(rel: MappingRelationship) -> dict[str, Any]:
@@ -115,6 +136,11 @@ class WriteAheadJournal:
         self._next_txid = 1
         self.last_checkpoint_lsn: int | None = None
         if self.path.exists():
+            # Repair the tail *before* reopening in append mode: a torn
+            # final line (crash mid-append) must be truncated away, or the
+            # next append would concatenate onto the fragment and turn a
+            # recoverable crash into mid-file corruption.
+            self._repair_tail()
             for record in self.records():
                 self._next_lsn = record["lsn"] + 1
                 txid = record.get("txid")
@@ -122,8 +148,41 @@ class WriteAheadJournal:
                     self._next_txid = txid + 1
                 if record["kind"] == "checkpoint":
                     self.last_checkpoint_lsn = record["lsn"]
+        # After the repair, st_size is the durable size — never the raw
+        # pre-truncation size that would double-count the torn fragment.
         self._bytes = self.path.stat().st_size if self.path.exists() else 0
         self._file = open(self.path, "a", encoding="utf-8")
+
+    def _repair_tail(self) -> None:
+        """Make the on-disk journal end in a complete, newline-terminated line.
+
+        A torn final line — invalid JSON after a crash mid-append — is
+        truncated away (it is exactly what :meth:`records` drops, so the
+        file and the record view stay consistent).  A final line that *is*
+        valid JSON but lost its newline (crash between the payload and the
+        terminator reaching the disk) is durable, so it is terminated
+        instead of dropped.
+        """
+        raw = self.path.read_bytes()
+        if not raw:
+            return
+        body, sep, tail = raw.rpartition(b"\n")
+        if tail == b"":
+            return  # newline-terminated: nothing to repair
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(len(body) + len(sep))
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+        else:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
 
     def _metrics_now(self) -> Any:
         return self._metrics if self._metrics is not None else _obs.current_metrics()
@@ -145,6 +204,8 @@ class WriteAheadJournal:
         """Append one record; returns its LSN."""
         if kind not in RECORD_KINDS:
             raise WALError(f"unknown WAL record kind {kind!r}")
+        if self._file.closed:
+            raise WALError(f"{self.path}: journal is closed")
         if self.fault_injector is not None:
             self.fault_injector.fire("wal.append")
         record = {"lsn": self._next_lsn, "format": WAL_FORMAT, "kind": kind}
@@ -187,9 +248,24 @@ class WriteAheadJournal:
         self._next_txid += 1
         return txid
 
-    def checkpoint(self, schema: TemporalMultidimensionalSchema) -> int:
-        """Write a full schema snapshot; recovery replays from here."""
-        lsn = self.append("checkpoint", schema=schema_to_dict(schema))
+    def checkpoint(
+        self,
+        schema: TemporalMultidimensionalSchema,
+        *,
+        database: Any = None,
+    ) -> int:
+        """Write a full schema snapshot; recovery replays from here.
+
+        ``database`` is an optional relational catalog (any object with a
+        ``dump()`` method, i.e. :class:`~repro.storage.database.Database`
+        or its snapshot); its dump is embedded in the record so warehouse
+        recovery — and journal compaction via :meth:`truncate_before` —
+        has a row-level baseline to replay from.
+        """
+        fields: dict[str, Any] = {"schema": schema_to_dict(schema)}
+        if database is not None:
+            fields["database"] = database.dump()
+        lsn = self.append("checkpoint", **fields)
         self.last_checkpoint_lsn = lsn
         metrics = self._metrics_now()
         if metrics.enabled:
@@ -213,15 +289,29 @@ class WriteAheadJournal:
             return 0
         self._file.close()
         tmp = self.path.with_name(self.path.name + ".compact")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for record in keep:
-                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-            handle.flush()
-            if self.durable:
-                os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        self._file = open(self.path, "a", encoding="utf-8")
-        self._bytes = self.path.stat().st_size
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in keep:
+                    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+            if self.fault_injector is not None:
+                self.fault_injector.fire("wal.truncate")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        finally:
+            # Whatever happened above — temp-file write error, a fault
+            # tripping mid-compaction, or the replace going through — the
+            # journal must come back usable: reopen the (old or new) file
+            # for append and track its true size.
+            self._file = open(self.path, "a", encoding="utf-8")
+            self._bytes = self.path.stat().st_size
         metrics = self._metrics_now()
         if metrics.enabled:
             metrics.counter("wal.truncations").inc()
@@ -246,6 +336,50 @@ class WriteAheadJournal:
     ) -> int:
         """Journal one fact row loaded inside a transaction."""
         return self.append("fact", txid=txid, coordinates=coordinates, t=t, values=values)
+
+    def catalog(
+        self, txid: int, *, table: dict[str, Any], indexes: list[dict[str, Any]]
+    ) -> int:
+        """Journal one relational table schema (plus its secondary-index
+        specs) so warehouse recovery can rebuild tables created after the
+        last checkpoint.  ``table`` is a
+        :func:`~repro.storage.schema.table_schema_to_dict` payload."""
+        lsn = self.append("catalog", txid=txid, table=table, indexes=indexes)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.catalog_records").inc()
+        return lsn
+
+    def dml(
+        self,
+        txid: int,
+        action: str,
+        table: str,
+        rid: int,
+        *,
+        row: dict[str, Any] | None = None,
+        pre: dict[str, Any] | None = None,
+    ) -> int:
+        """Journal one relational write.
+
+        ``row`` is the post-image (inserts and updates), ``pre`` the
+        pre-image (updates and deletes) — recovery replays post-images and
+        compaction keeps the pre-images auditable.
+        """
+        if action not in DML_ACTIONS:
+            raise WALError(f"unknown DML action {action!r}")
+        if self.fault_injector is not None:
+            self.fault_injector.fire("wal.dml")
+        fields: dict[str, Any] = {"action": action, "table": table, "rid": rid}
+        if row is not None:
+            fields["row"] = row
+        if pre is not None:
+            fields["pre"] = pre
+        lsn = self.append("dml", txid=txid, **fields)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.dml_records", {"action": action}).inc()
+        return lsn
 
     def commit(self, txid: int) -> int:
         """Journal a commit — the durability point of the transaction."""

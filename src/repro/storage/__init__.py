@@ -9,7 +9,7 @@ lowerings (:mod:`repro.logical`) and the §5 warehouse builders
 """
 
 from .csvio import dump_database, dump_table, load_database, load_table
-from .database import Database
+from .database import Database, DatabaseSnapshot, database_from_dict
 from .errors import (
     ConstraintViolation,
     DuplicateKeyError,
@@ -23,14 +23,25 @@ from .errors import (
 )
 from .index import HashIndex
 from .query import Q
-from .schema import Column, ForeignKey, TableSchema
-from .table import Table
+from .schema import (
+    Column,
+    ForeignKey,
+    TableSchema,
+    table_schema_from_dict,
+    table_schema_to_dict,
+)
+from .table import Table, TableSnapshot
 from .types import BOOLEAN, FLOAT, INTEGER, TEXT, ColumnType
 
 __all__ = [
     "Database",
+    "DatabaseSnapshot",
+    "database_from_dict",
     "Table",
+    "TableSnapshot",
     "TableSchema",
+    "table_schema_to_dict",
+    "table_schema_from_dict",
     "Column",
     "ForeignKey",
     "HashIndex",

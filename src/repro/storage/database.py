@@ -13,10 +13,10 @@ from typing import Any, Iterable, Mapping
 from repro.observability import runtime as _obs
 
 from .errors import ForeignKeyViolation, TableExistsError, UnknownTableError
-from .schema import Column, ForeignKey, TableSchema
+from .schema import Column, ForeignKey, TableSchema, table_schema_from_dict
 from .table import Table, TableSnapshot
 
-__all__ = ["Database", "DatabaseSnapshot"]
+__all__ = ["Database", "DatabaseSnapshot", "database_from_dict"]
 
 
 class Database:
@@ -82,9 +82,24 @@ class Database:
             ) from None
 
     def drop_table(self, name: str) -> None:
-        """Remove a table from the catalog."""
+        """Remove a table from the catalog.
+
+        A table that other tables' foreign keys reference cannot be
+        dropped: a dangling parent would make every later child insert fail
+        deep inside FK checking with :class:`UnknownTableError`, so the
+        dependency is refused up front with a clear error instead.
+        """
         if name not in self._tables:
             raise UnknownTableError(f"database {self.name!r} has no table {name!r}")
+        for other_name, other in self._tables.items():
+            if other_name == name:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.parent_table == name:
+                    raise ForeignKeyViolation(
+                        f"cannot drop table {name!r}: {other_name!r} still "
+                        f"references it via foreign key {fk.columns}"
+                    )
         del self._tables[name]
 
     def __contains__(self, name: str) -> bool:
@@ -102,6 +117,16 @@ class Database:
         return DatabaseSnapshot(
             self.name, {name: table.snapshot() for name, table in self._tables.items()}
         )
+
+    def dump(self) -> dict[str, Any]:
+        """The whole catalog as a JSON-ready dict.
+
+        Each table carries its schema, secondary-index specs and raw slot
+        list (holes included), so :func:`database_from_dict` rebuilds a
+        byte-identical database — the payload WAL checkpoints embed for
+        warehouse recovery.
+        """
+        return self.snapshot().dump()
 
     # -- integrity-checked writes -----------------------------------------------------
 
@@ -210,5 +235,37 @@ class DatabaseSnapshot:
         """Total live rows across captured tables."""
         return sum(self.row_counts().values())
 
+    def dump(self) -> dict[str, Any]:
+        """The captured catalog as a JSON-ready dict (see
+        :meth:`Database.dump`)."""
+        return {
+            "name": self.name,
+            "tables": [table.dump() for table in self._tables.values()],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DatabaseSnapshot({self.name!r}, tables={self.table_names})"
+
+
+def database_from_dict(payload: Mapping[str, Any]) -> Database:
+    """Rebuild a :class:`Database` from a :meth:`Database.dump` payload.
+
+    Tables are recreated in dump order with their schemas and secondary
+    indexes, then their slot lists are installed verbatim — row ids (slot
+    positions, holes included) survive the round trip, which is what lets
+    warehouse recovery replay journaled DML records against the rebuilt
+    database.
+    """
+    db = Database(payload.get("name", "warehouse"))
+    for table_dump in payload.get("tables", ()):
+        schema = table_schema_from_dict(table_dump["schema"])
+        table = db.create_table(
+            schema.name,
+            schema.columns,
+            primary_key=schema.primary_key,
+            foreign_keys=schema.foreign_keys,
+        )
+        for spec in table_dump.get("indexes", ()):
+            table.create_index(spec["columns"], unique=bool(spec.get("unique")))
+        table.load_slots(table_dump.get("slots", ()))
+    return db

@@ -8,7 +8,13 @@ from typing import Any, Mapping
 from .errors import StorageError, TypeCoercionError, UnknownColumnError
 from .types import ColumnType
 
-__all__ = ["Column", "ForeignKey", "TableSchema"]
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "table_schema_to_dict",
+    "table_schema_from_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -124,3 +130,44 @@ class TableSchema:
         if not self.primary_key:
             return None
         return tuple(row[c] for c in self.primary_key)
+
+
+def table_schema_to_dict(schema: TableSchema) -> dict[str, Any]:
+    """Serialize a table schema to a JSON-ready dict (WAL ``catalog``
+    records and checkpoint database dumps)."""
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "type": c.type.name, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "foreign_keys": [
+            {
+                "columns": list(fk.columns),
+                "parent_table": fk.parent_table,
+                "parent_columns": list(fk.parent_columns),
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def table_schema_from_dict(payload: Mapping[str, Any]) -> TableSchema:
+    """Rebuild a table schema from :func:`table_schema_to_dict`."""
+    return TableSchema(
+        name=payload["name"],
+        columns=tuple(
+            Column(c["name"], ColumnType(c["type"]), bool(c.get("nullable", False)))
+            for c in payload["columns"]
+        ),
+        primary_key=tuple(payload.get("primary_key", ())),
+        foreign_keys=tuple(
+            ForeignKey(
+                tuple(fk["columns"]),
+                fk["parent_table"],
+                tuple(fk["parent_columns"]),
+            )
+            for fk in payload.get("foreign_keys", ())
+        ),
+    )

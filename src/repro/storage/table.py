@@ -11,7 +11,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from .errors import DuplicateKeyError, StorageError
 from .index import HashIndex
-from .schema import TableSchema
+from .schema import TableSchema, table_schema_to_dict
 
 __all__ = ["Table", "TableSnapshot"]
 
@@ -47,6 +47,18 @@ class Table:
 
     def _index_for(self, columns: tuple[str, ...]) -> HashIndex | None:
         return self._indexes.get(columns)
+
+    def index_specs(self) -> list[dict[str, Any]]:
+        """Declared secondary indexes as JSON-ready specs.
+
+        The primary-key index is excluded — it is derived from the schema
+        and rebuilt automatically, so serializing it would be redundant.
+        """
+        return [
+            {"columns": list(cols), "unique": index.unique}
+            for cols, index in self._indexes.items()
+            if cols != self.schema.primary_key
+        ]
 
     # -- CRUD -----------------------------------------------------------------------
 
@@ -107,6 +119,14 @@ class Table:
             if row is not None:
                 yield rid, dict(row)
 
+    def row(self, rid: int) -> dict[str, Any]:
+        """One live row by row id (copy)."""
+        if rid < 0 or rid >= len(self._slots) or self._slots[rid] is None:
+            raise StorageError(f"table {self.name!r} has no live row {rid}")
+        row = self._slots[rid]
+        assert row is not None
+        return dict(row)
+
     def remove_row(self, rid: int) -> dict[str, Any]:
         """Remove one row by row id, returning its content.
 
@@ -126,12 +146,28 @@ class Table:
         """Put a previously captured row back into slot ``rid``.
 
         Compensates an update (overwriting the current content) or a delete
-        (refilling the emptied slot) during a rollback.  The row is coerced
-        against the schema and re-indexed.
+        (refilling the emptied slot) during a rollback, and replays
+        journaled DML during warehouse recovery — the slot list grows (with
+        ``None`` holes) when ``rid`` lies beyond it, so replayed inserts
+        land at their recorded row ids.  The row is coerced against the
+        schema and re-indexed; before any index is touched, every unique
+        index is audited so a restore that would duplicate a key fails
+        without corrupting the index.
         """
-        if rid < 0 or rid >= len(self._slots):
+        if rid < 0:
             raise StorageError(f"table {self.name!r} has no slot {rid}")
         coerced = self.schema.coerce_row(row)
+        for index in self._indexes.values():
+            if index.unique:
+                key = index.key_of(coerced)
+                holders = [r for r in index.lookup(key) if r != rid]
+                if holders:
+                    raise DuplicateKeyError(
+                        f"restoring row {rid} would duplicate key {key!r} "
+                        f"in {self.name!r} (held by row {holders[0]})"
+                    )
+        while rid >= len(self._slots):
+            self._slots.append(None)
         current = self._slots[rid]
         if current is not None:
             for index in self._indexes.values():
@@ -139,6 +175,24 @@ class Table:
         self._slots[rid] = coerced
         for index in self._indexes.values():
             index.add(rid, coerced)
+
+    def load_slots(self, slots: Iterable[Mapping[str, Any] | None]) -> None:
+        """Install a dumped slot list (holes included) into an empty table.
+
+        The restore path of warehouse recovery: rebuilds the exact slot
+        layout a :meth:`dump` captured, trailing holes included, so row ids
+        recorded in the journal stay valid for the DML replay that follows.
+        """
+        if self._slots:
+            raise StorageError(
+                f"load_slots needs an empty table; {self.name!r} has slots"
+            )
+        materialized = list(slots)
+        for rid, row in enumerate(materialized):
+            if row is not None:
+                self.restore_row(rid, row)
+        while len(self._slots) < len(materialized):
+            self._slots.append(None)
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return self.rows()
@@ -228,7 +282,18 @@ class Table:
         the live table are invisible to the snapshot, at the cost of one
         list copy — no row data is duplicated.
         """
-        return TableSnapshot(self.schema.name, list(self._slots))
+        return TableSnapshot(
+            self.schema.name,
+            list(self._slots),
+            schema=self.schema,
+            indexes=self.index_specs(),
+        )
+
+    def dump(self) -> dict[str, Any]:
+        """The table as a JSON-ready dict: schema, secondary-index specs
+        and the raw slot list (holes as ``None``, so row ids survive a
+        round trip through :meth:`load_slots`)."""
+        return self.snapshot().dump()
 
     # -- projections -------------------------------------------------------------------
 
@@ -257,9 +322,32 @@ class TableSnapshot:
     without any mutation entry point.
     """
 
-    def __init__(self, name: str, slots: list[dict[str, Any] | None]) -> None:
+    def __init__(
+        self,
+        name: str,
+        slots: list[dict[str, Any] | None],
+        *,
+        schema: TableSchema | None = None,
+        indexes: list[dict[str, Any]] | None = None,
+    ) -> None:
         self.name = name
         self._slots = slots
+        self.schema = schema
+        self.indexes = list(indexes) if indexes is not None else []
+
+    def dump(self) -> dict[str, Any]:
+        """The snapshot as a JSON-ready dict (see :meth:`Table.dump`)."""
+        if self.schema is None:
+            raise StorageError(
+                f"snapshot of {self.name!r} carries no schema to dump"
+            )
+        return {
+            "schema": table_schema_to_dict(self.schema),
+            "indexes": list(self.indexes),
+            "slots": [
+                dict(row) if row is not None else None for row in self._slots
+            ],
+        }
 
     def rows(self) -> Iterator[dict[str, Any]]:
         """Iterate live rows in insertion order (copies)."""

@@ -19,6 +19,7 @@ from repro.core.chronology import Instant
 from repro.core.errors import ReproError
 from repro.core.schema import TemporalMultidimensionalSchema
 from repro.observability import runtime as _obs
+from repro.robustness.errors import RobustnessError
 
 __all__ = [
     "RawRecord",
@@ -142,6 +143,7 @@ class ETLPipeline:
         fault_injector: Any = None,
         tracer: Any = None,
         metrics: Any = None,
+        transactions: Any = None,
     ) -> None:
         """``retry`` is an optional policy (any object with a
         ``call(fn) -> result`` method, e.g.
@@ -151,12 +153,26 @@ class ETLPipeline:
         object with ``fire(point)``) firing the ``etl.extract`` fault point
         before each extraction.  ``tracer`` / ``metrics`` inject
         observability instruments; ``None`` routes through the process-wide
-        defaults of :mod:`repro.observability`."""
+        defaults of :mod:`repro.observability`.
+
+        ``transactions`` is an optional
+        :class:`~repro.robustness.transactions.TransactionManager` over the
+        same ``schema``.  When given, each source loads inside its own
+        transaction — its facts are journaled to the manager's WAL and
+        survive crash recovery, and a failure mid-load (a tripped fault
+        point, a full journal) rolls the whole source back instead of
+        leaving a half-loaded source in the warehouse."""
+        if transactions is not None and transactions.schema is not schema:
+            raise ReproError(
+                "transactions= manages a different schema than this "
+                "pipeline loads into"
+            )
         self.schema = schema
         self.rules = list(rules)
         self.mapping = mapping
         self.retry = retry
         self.fault_injector = fault_injector
+        self.transactions = transactions
         self._tracer = tracer
         self._metrics = metrics
 
@@ -305,19 +321,50 @@ class ETLPipeline:
             with tracer.span(
                 "etl.load", attributes={"source": source.name}
             ) as load_span:
-                for record, cleaned in survivors:
+                if self.transactions is not None:
                     try:
-                        coordinates, t, values = self.mapping.apply(cleaned)
-                    except Exception as exc:  # mapper bugs must not kill the load
-                        report.rejected.append((record, f"mapping error: {exc}"))
-                        continue
-                    try:
-                        self.schema.add_fact(coordinates, t, values)
-                    except ReproError as exc:
-                        report.rejected.append(
-                            (record, f"schema rejection: {exc}")
+                        with self.transactions.transaction():
+                            self._load_records(survivors, report)
+                    except Exception as exc:
+                        # The transaction rolled back: whatever this source
+                        # loaded is gone as a unit, and the source joins the
+                        # failed list like an extraction failure would.
+                        detail = self._failure_detail(exc)
+                        load_span.set("rolled_back", detail)
+                        report.loaded = 0
+                        report.failed_sources.append(
+                            (source.name, f"load rolled back: {detail}")
                         )
-                        continue
-                    report.loaded += 1
+                else:
+                    self._load_records(survivors, report)
                 load_span.set("loaded", report.loaded)
         return report
+
+    def _load_records(
+        self, survivors: list[tuple[RawRecord, RawRecord]], report: LoadReport
+    ) -> None:
+        """Map and load cleaned records, collecting per-record rejections.
+
+        With a transaction manager attached the facts go through
+        :meth:`~repro.robustness.transactions.TransactionManager.add_fact`
+        (undo + WAL ``fact`` record); schema rejections stay per-record,
+        but a robustness-layer failure (journal, fault point) propagates so
+        the surrounding transaction aborts the source as a whole.
+        """
+        for record, cleaned in survivors:
+            try:
+                coordinates, t, values = self.mapping.apply(cleaned)
+            except Exception as exc:  # mapper bugs must not kill the load
+                report.rejected.append((record, f"mapping error: {exc}"))
+                continue
+            try:
+                if self.transactions is not None:
+                    self.transactions.add_fact(coordinates, t, values)
+                else:
+                    self.schema.add_fact(coordinates, t, values)
+            except RobustnessError:
+                raise
+            except ReproError as exc:
+                report.rejected.append((record, f"schema rejection: {exc}"))
+                continue
+            report.loaded += 1

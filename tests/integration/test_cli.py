@@ -138,6 +138,45 @@ class TestRecoverCommand:
         assert status == 2
         assert "recovery failed" in out and "not valid JSON" in out
 
+    def make_warehouse_wal(self, tmp_path):
+        from repro.core import Interval, Measure, MemberVersion, SUM
+        from repro.core import TemporalDimension, TemporalMultidimensionalSchema
+        from repro.robustness import TransactionManager
+        from repro.storage import Column, Database, INTEGER, TEXT
+
+        d = TemporalDimension("Org")
+        d.add_member(MemberVersion("idP1", "P1", Interval(0)))
+        schema = TemporalMultidimensionalSchema([d], [Measure("m", SUM)])
+        db = Database("wh")
+        db.create_table(
+            "dept",
+            [Column("id", INTEGER), Column("name", TEXT)],
+            primary_key=["id"],
+        )
+        txm = TransactionManager(schema, wal=tmp_path / "wh.wal", database=db)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+            txm.database.insert("dept", {"id": 2, "name": "hr"})
+        # a crash leaves an uncommitted row write in the journal
+        txm.begin()
+        txm.database.insert("dept", {"id": 3, "name": "lost"})
+        return tmp_path / "wh.wal"
+
+    def test_recover_warehouse_replays_committed_rows(self, tmp_path):
+        wal = self.make_warehouse_wal(tmp_path)
+        status, out = run_cli("recover", str(wal), "--warehouse")
+        assert status == 0
+        assert "transactions replayed: 1" in out
+        assert "rows inserted: 2" in out
+        assert "table dept: 2 rows" in out
+
+    def test_recover_warehouse_reports_failure_on_empty_journal(self, tmp_path):
+        empty = tmp_path / "empty.wal"
+        empty.write_text("")
+        status, out = run_cli("recover", str(empty), "--warehouse")
+        assert status == 2
+        assert "recovery failed" in out
+
 
 class TestSnapshotCommand:
     def test_snapshot_reports_version_and_open_count(self):

@@ -1,0 +1,449 @@
+"""Relational journaling, warehouse recovery, and the crash matrix."""
+
+import json
+
+import pytest
+
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    RecoveryError,
+    TransactionManager,
+    WALError,
+    WriteAheadJournal,
+    recover_schema,
+    recover_warehouse,
+)
+from repro.storage import (
+    INTEGER,
+    TEXT,
+    Column,
+    Database,
+    ForeignKey,
+    database_from_dict,
+    table_schema_from_dict,
+    table_schema_to_dict,
+)
+
+from .conftest import build_schema, fingerprint
+
+
+def db_fingerprint(db):
+    """Canonical serialization — byte-identity is compared on this."""
+    return json.dumps(db.dump(), sort_keys=True)
+
+
+def make_warehouse(fault_injector=None):
+    """A two-table star fragment: emp.dept_id → dept.id, one secondary index."""
+    db = Database("wh", fault_injector=fault_injector)
+    db.create_table(
+        "dept",
+        [Column("id", INTEGER), Column("name", TEXT)],
+        primary_key=["id"],
+    )
+    db.create_table(
+        "emp",
+        [
+            Column("id", INTEGER),
+            Column("dept_id", INTEGER),
+            Column("name", TEXT, nullable=True),
+        ],
+        primary_key=["id"],
+        foreign_keys=[ForeignKey(("dept_id",), "dept", ("id",))],
+    )
+    db.table("emp").create_index(("dept_id",))
+    return db
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "warehouse.wal"
+
+
+class TestSerializationRoundTrips:
+    def test_table_schema_round_trip(self):
+        schema = make_warehouse().table("emp").schema
+        payload = table_schema_to_dict(schema)
+        json.dumps(payload)  # must be JSON-serializable as-is
+        assert table_schema_from_dict(payload) == schema
+        assert table_schema_to_dict(table_schema_from_dict(payload)) == payload
+
+    def test_database_dump_round_trip_preserves_rids(self):
+        db = make_warehouse()
+        db.insert("dept", {"id": 1, "name": "sales"})
+        db.insert("dept", {"id": 2, "name": "hr"})
+        db.insert("emp", {"id": 10, "dept_id": 1, "name": None})
+        db.table("dept").delete(lambda r: r["id"] == 1)  # leaves a hole
+        rebuilt = database_from_dict(db.dump())
+        assert db_fingerprint(rebuilt) == db_fingerprint(db)
+        # rid stability: the surviving dept row kept its slot
+        assert rebuilt.table("dept").row(1) == {"id": 2, "name": "hr"}
+        # secondary indexes came back too
+        assert rebuilt.table("emp").index_specs() == db.table("emp").index_specs()
+
+
+class TestTornTailRepair:
+    def _journal_with_commit(self, wal_path):
+        wal = WriteAheadJournal(wal_path)
+        txid = wal.next_txid()
+        wal.begin(txid)
+        wal.dml(txid, "row.insert", "dept", 0, row={"id": 1, "name": "sales"})
+        wal.commit(txid)
+        wal.close()
+        return wal
+
+    def test_append_after_torn_tail_does_not_corrupt(self, wal_path):
+        self._journal_with_commit(wal_path)
+        with open(wal_path, "a", encoding="utf-8") as f:
+            f.write('{"lsn": 99, "format": 1, "kind": "com')  # crash mid-append
+        # The regression: reopening for append used to concatenate the next
+        # record onto the torn fragment, turning a recoverable torn tail
+        # into mid-file corruption that records() rejects wholesale.
+        reopened = WriteAheadJournal(wal_path)
+        txid = reopened.next_txid()
+        reopened.begin(txid)
+        reopened.commit(txid)
+        records = reopened.records()
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["begin", "dml", "commit", "begin", "commit"]
+        lsns = [r["lsn"] for r in records]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        reopened.close()
+
+    def test_bytes_reflect_truncated_size_not_raw_size(self, wal_path):
+        self._journal_with_commit(wal_path)
+        durable_size = wal_path.stat().st_size
+        with open(wal_path, "a", encoding="utf-8") as f:
+            f.write('{"torn')
+        reopened = WriteAheadJournal(wal_path)
+        assert reopened.size_bytes == durable_size
+        assert wal_path.stat().st_size == durable_size
+        reopened.close()
+
+    def test_valid_final_line_missing_newline_is_kept(self, wal_path):
+        self._journal_with_commit(wal_path)
+        with open(wal_path, "rb+") as f:
+            f.seek(-1, 2)
+            f.truncate()  # drop just the trailing newline
+        reopened = WriteAheadJournal(wal_path)
+        assert [r["kind"] for r in reopened.records()] == ["begin", "dml", "commit"]
+        reopened.close()
+
+    def test_terminated_garbage_mid_file_still_raises(self, wal_path):
+        wal = self._journal_with_commit(wal_path)
+        valid = json.dumps(
+            {"lsn": wal.last_lsn + 1, "format": 1, "kind": "abort", "txid": 9}
+        )
+        with open(wal_path, "a", encoding="utf-8") as f:
+            f.write("this is not json\n" + valid + "\n")
+        # garbage *mid-file* (a terminated line followed by a valid record)
+        # is corruption, not a torn tail — tail repair must not mask it
+        with pytest.raises(WALError):
+            WriteAheadJournal(wal_path).records()
+
+
+class TestTruncateResilience:
+    def test_truncate_fault_leaves_journal_usable(self, schema, wal_path):
+        injector = FaultInjector(seed=5)
+        txm = TransactionManager(schema, wal=wal_path, fault_injector=injector)
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idX", "X", 5, parents=["idP1"])
+        lsn = txm.checkpoint()
+        before = txm.wal.records()
+        injector.arm("wal.truncate", at_call=1)
+        with pytest.raises(InjectedFault):
+            txm.wal.truncate_before(lsn)
+        # the handle was reopened: the journal accepts appends and still
+        # reads back the untruncated record sequence
+        assert txm.wal.records() == before
+        txm.wal.append("commit", txid=999)
+        assert txm.wal.records()[-1]["kind"] == "commit"
+        assert not list(wal_path.parent.glob("*.compact"))
+        # disarmed, compaction goes through
+        assert txm.wal.truncate_before(lsn) > 0
+        assert txm.wal.records()[0]["lsn"] == lsn
+        txm.wal.close()
+
+    def test_append_after_close_raises_walerror(self, wal_path):
+        wal = WriteAheadJournal(wal_path)
+        wal.close()
+        with pytest.raises(WALError):
+            wal.append("begin", txid=1)
+
+
+def managed(schema, wal_path, *, durable=False, injector=None):
+    """A TransactionManager over a fresh warehouse, like production wiring."""
+    db = make_warehouse(fault_injector=injector)
+    wal = WriteAheadJournal(wal_path, durable=durable, fault_injector=injector)
+    txm = TransactionManager(
+        schema, wal=wal, database=db, fault_injector=injector
+    )
+    return txm
+
+
+class TestWarehouseJournaling:
+    def test_checkpointed_tables_need_no_catalog_record(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+            txm.database.insert("dept", {"id": 2, "name": "hr"})
+        kinds = [r["kind"] for r in txm.wal.records()]
+        assert kinds == ["checkpoint", "begin", "dml", "dml", "commit"]
+        txm.wal.close()
+
+    def test_catalog_precedes_first_dml_of_a_new_table(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        # created after the checkpoint: the dump does not describe it
+        txm.database.db.create_table(
+            "region", [Column("id", INTEGER)], primary_key=["id"]
+        )
+        with txm.transaction():
+            txm.database.insert("region", {"id": 1})
+            txm.database.insert("region", {"id": 2})
+        kinds = [r["kind"] for r in txm.wal.records()]
+        assert kinds == ["checkpoint", "begin", "catalog", "dml", "dml", "commit"]
+        catalog = next(r for r in txm.wal.records() if r["kind"] == "catalog")
+        assert catalog["table"]["name"] == "region"
+        txm.wal.close()
+        recovered, report = recover_warehouse(wal_path)
+        assert report.tables_created == 1
+        assert len(recovered.table("region")) == 2
+
+    def test_checkpoint_embeds_database_dump(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        checkpoint = txm.wal.records()[0]
+        assert checkpoint["database"]["name"] == "wh"
+        assert {t["schema"]["name"] for t in checkpoint["database"]["tables"]} == {
+            "dept",
+            "emp",
+        }
+        txm.wal.close()
+
+    def test_dml_records_carry_pre_and_post_images(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        with txm.transaction():
+            txm.database.update("dept", lambda r: r["id"] == 1, {"name": "Sales"})
+            txm.database.delete("dept", lambda r: r["id"] == 1)
+        dml = [r for r in txm.wal.records() if r["kind"] == "dml"]
+        assert [r["action"] for r in dml] == [
+            "row.insert",
+            "row.update",
+            "row.delete",
+        ]
+        assert dml[0]["row"] == {"id": 1, "name": "sales"}
+        assert dml[1]["pre"] == {"id": 1, "name": "sales"}
+        assert dml[1]["row"] == {"id": 1, "name": "Sales"}
+        assert dml[2]["pre"] == {"id": 1, "name": "Sales"}
+        assert "row" not in dml[2]
+        txm.wal.close()
+
+    def test_failed_insert_many_leaves_no_dml_records(self, schema, wal_path):
+        injector = FaultInjector(seed=7)
+        txm = managed(schema, wal_path, injector=injector)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+            injector.arm("db.insert_many.row", at_call=2)
+            with pytest.raises(InjectedFault):
+                txm.database.insert_many(
+                    "emp",
+                    [{"id": 10, "dept_id": 1}, {"id": 11, "dept_id": 1}],
+                )
+        # the statement rolled back before journaling: no emp dml records,
+        # so recovery cannot replay rows the statement peeled off
+        tables = [r["table"] for r in txm.wal.records() if r["kind"] == "dml"]
+        assert tables == ["dept"]
+        txm.wal.close()
+        recovered, _ = recover_warehouse(wal_path)
+        assert len(recovered.table("emp")) == 0
+        assert len(recovered.table("dept")) == 1
+
+    def test_rolled_back_catalog_is_reemitted_by_next_transaction(
+        self, schema, wal_path
+    ):
+        txm = managed(schema, wal_path)
+        txm.database.db.create_table(
+            "region", [Column("id", INTEGER)], primary_key=["id"]
+        )
+        try:
+            with txm.transaction():
+                txm.database.insert("region", {"id": 1})
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+        with txm.transaction():
+            txm.database.insert("region", {"id": 1})
+        catalogs = [r for r in txm.wal.records() if r["kind"] == "catalog"]
+        assert len(catalogs) == 2  # once under the aborted txid, once again
+        txm.wal.close()
+        recovered, report = recover_warehouse(wal_path)
+        assert report.transactions_discarded == 1
+        assert len(recovered.table("region")) == 1
+
+
+class TestRecoverWarehouse:
+    def test_recovers_committed_state_byte_identically(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        db = txm.database
+        with txm.transaction():
+            db.insert("dept", {"id": 1, "name": "sales"})
+            db.insert_many(
+                "emp",
+                [{"id": 10, "dept_id": 1}, {"id": 11, "dept_id": 1}],
+            )
+        with txm.transaction():
+            db.update("emp", lambda r: r["id"] == 10, {"name": "Ada"})
+            db.delete("emp", lambda r: r["id"] == 11)
+        expected = db_fingerprint(db.db)
+        txm.wal.close()
+        recovered, report = recover_warehouse(wal_path)
+        assert db_fingerprint(recovered) == expected
+        assert report.transactions_replayed == 2
+        assert report.rows_inserted == 3
+        assert report.rows_updated == 1
+        assert report.rows_deleted == 1
+
+    def test_uncommitted_transaction_is_discarded(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        expected = db_fingerprint(txm.database.db)
+        txm.begin()
+        txm.database.insert("dept", {"id": 2, "name": "hr"})
+        txm.wal.close()  # crash: no commit, no rollback
+        recovered, report = recover_warehouse(wal_path)
+        assert db_fingerprint(recovered) == expected
+        assert report.transactions_discarded == 1
+
+    def test_recovery_replays_from_compacted_checkpoint(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        lsn = txm.checkpoint()
+        txm.wal.truncate_before(lsn)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 2, "name": "hr"})
+        expected = db_fingerprint(txm.database.db)
+        txm.wal.close()
+        recovered, report = recover_warehouse(wal_path)
+        assert db_fingerprint(recovered) == expected
+        assert report.tables_restored == 2  # from the checkpoint dump
+        assert report.rows_inserted == 1  # only the post-checkpoint insert
+
+    def test_schema_recovery_counts_skipped_warehouse_records(
+        self, schema, wal_path
+    ):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+            txm.database.insert("dept", {"id": 2, "name": "hr"})
+        txm.wal.close()
+        _, report = recover_schema(wal_path)
+        assert report.warehouse_records_skipped == 2  # the two dml records
+        assert "recover_warehouse" in report.to_text()
+
+    def test_verify_rejects_dangling_foreign_keys(self, schema, wal_path):
+        txm = managed(schema, wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+            txm.database.insert("emp", {"id": 10, "dept_id": 1, "name": None})
+        # hand-journal a committed delete of the parent row: the journal is
+        # now self-inconsistent and verification must refuse it
+        txid = txm.wal.next_txid()
+        txm.wal.begin(txid)
+        txm.wal.dml(txid, "row.delete", "dept", 0)
+        txm.wal.commit(txid)
+        txm.wal.close()
+        with pytest.raises(RecoveryError, match="foreign key"):
+            recover_warehouse(wal_path)
+        recovered, _ = recover_warehouse(wal_path, verify=False)
+        assert len(recovered.table("dept")) == 0
+
+    def test_journal_without_checkpoint_is_rejected(self, wal_path):
+        wal = WriteAheadJournal(wal_path)
+        txid = wal.next_txid()
+        wal.begin(txid)
+        wal.commit(txid)
+        wal.close()
+        with pytest.raises(RecoveryError, match="checkpoint"):
+            recover_warehouse(wal_path)
+
+    def test_missing_journal_is_rejected(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            recover_warehouse(tmp_path / "absent.wal")
+
+
+class TestCrashMatrix:
+    """One fault per run, at every relational fault point, durable and not.
+
+    The property under test: whatever single fault interrupts transaction
+    2, recovery lands byte-identically on the state transaction 1
+    committed — for the schema *and* the warehouse together.
+    """
+
+    POINTS = [
+        "wal.append",
+        "wal.dml",
+        "txn.commit",
+        "db.insert",
+        "db.insert_many.row",
+    ]
+
+    @pytest.mark.parametrize("durable", [False, True], ids=["buffered", "durable"])
+    @pytest.mark.parametrize("point", POINTS)
+    def test_single_fault_recovers_to_last_commit(self, wal_path, point, durable):
+        schema = build_schema()
+        injector = FaultInjector(seed=13)
+        txm = managed(schema, wal_path, durable=durable, injector=injector)
+        db = txm.database
+
+        # transaction 1: schema evolution and relational writes commit
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idX", "X", 5, parents=["idP1"])
+            db.insert("dept", {"id": 1, "name": "sales"})
+            db.insert_many(
+                "emp",
+                [{"id": 10, "dept_id": 1}, {"id": 11, "dept_id": 1}],
+            )
+        committed_schema = fingerprint(schema)
+        committed_db = db_fingerprint(db.db)
+
+        # transaction 2: same workload shape, with one armed fault
+        injector.arm(point, at_call=1)
+        with pytest.raises(InjectedFault):
+            txm.begin()
+            txm.evolution.create_member("Org", "idY", "Y", 6, parents=["idP1"])
+            db.insert("dept", {"id": 2, "name": "hr"})
+            db.insert_many(
+                "emp",
+                [{"id": 12, "dept_id": 2}, {"id": 13, "dept_id": 2}],
+            )
+            db.update("emp", lambda r: r["id"] == 12, {"name": "Bo"})
+            db.delete("emp", lambda r: r["id"] == 13)
+            txm.commit()
+        txm.wal.close()  # hard crash: no rollback, no abort record
+
+        recovered_schema, schema_report = recover_schema(wal_path)
+        recovered_db, db_report = recover_warehouse(wal_path)
+        assert fingerprint(recovered_schema) == committed_schema
+        assert db_fingerprint(recovered_db) == committed_db
+        assert schema_report.transactions_replayed == 1
+        assert db_report.transactions_replayed == 1
+
+    def test_fault_after_durability_point_keeps_the_transaction(self, wal_path):
+        # txn.commit.durable fires after the commit record: the transaction
+        # IS durable, so recovery must include it.
+        schema = build_schema()
+        injector = FaultInjector(seed=13)
+        txm = managed(schema, wal_path, injector=injector)
+        db = txm.database
+        injector.arm("txn.commit.durable", at_call=1)
+        with pytest.raises(InjectedFault):
+            txm.begin()
+            db.insert("dept", {"id": 1, "name": "sales"})
+            txm.commit()
+        txm.wal.close()
+        recovered, report = recover_warehouse(wal_path)
+        assert report.transactions_replayed == 1
+        assert len(recovered.table("dept")) == 1

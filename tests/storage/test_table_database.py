@@ -168,6 +168,14 @@ class TestDatabase:
         with pytest.raises(UnknownTableError):
             db.drop_table("fact")
 
+    def test_drop_table_refuses_fk_referenced_parent(self):
+        db = make_db()
+        with pytest.raises(ForeignKeyViolation, match="'fact'"):
+            db.drop_table("dim")  # fact.member_id still references it
+        assert "dim" in db
+        db.drop_table("fact")
+        db.drop_table("dim")  # no dependents left: allowed
+
     def test_foreign_key_enforced(self):
         db = make_db()
         with pytest.raises(ForeignKeyViolation):
@@ -242,6 +250,32 @@ class TestRowLevelUndo:
         table.restore_row(rid, row)
         assert table.find(member_id="a")
         assert len(table) == 1
+
+    def test_restore_row_grows_slots_with_holes(self):
+        # recovery replays journaled rids onto a fresh table: slots below
+        # the target rid must appear as dead holes, not shift other rows
+        db = make_db()
+        table = db.table("dim")
+        table.restore_row(3, {"member_id": "d", "name": "D"})
+        assert len(table) == 1
+        assert table.row(3) == {"member_id": "d", "name": "D"}
+        with pytest.raises(StorageError):
+            table.row(0)  # a hole, not a row
+        db.insert("dim", {"member_id": "e", "name": "E"})  # fills slot 4
+        assert table.row(4) == {"member_id": "e", "name": "E"}
+
+    def test_restore_row_audits_unique_indexes(self):
+        db = make_db()
+        db.insert("dim", {"member_id": "a", "name": "A"})
+        table = db.table("dim")
+        with pytest.raises(DuplicateKeyError, match="would duplicate key"):
+            table.restore_row(5, {"member_id": "a", "name": "imposter"})
+        assert len(table) == 1  # the audit fired before any mutation
+
+    def test_restore_row_rejects_negative_rid(self):
+        table = make_db().table("dim")
+        with pytest.raises(StorageError):
+            table.restore_row(-1, {"member_id": "a", "name": "A"})
 
 
 class TestInsertManyAtomicity:

@@ -157,3 +157,102 @@ class TestGracefulDegradation:
         )
         assert report.complete and report.loaded == 1
         assert FlakyOnce.attempts == 2
+
+
+class TestTransactionalLoads:
+    """``transactions=`` — per-source atomicity and journaled fact loads."""
+
+    def _pipeline(self, schema, txm):
+        mapping = FactMapping(
+            lambda rec: ({"org": rec["dept"]}, rec["t"], {"amount": rec["amount"]})
+        )
+        return ETLPipeline(schema, mapping=mapping, transactions=txm)
+
+    def test_mismatched_schema_is_rejected(self, schema):
+        from repro.core.errors import ReproError
+        from repro.robustness import TransactionManager
+
+        d = TemporalDimension("other")
+        other = TemporalMultidimensionalSchema([d], [Measure("amount", SUM)])
+        mapping = FactMapping(lambda rec: ({}, 0, {}))
+        with pytest.raises(ReproError, match="different schema"):
+            ETLPipeline(
+                schema, mapping=mapping, transactions=TransactionManager(other)
+            )
+
+    def test_facts_are_journaled_per_source(self, schema, tmp_path):
+        from repro.robustness import TransactionManager
+
+        txm = TransactionManager(schema, wal=tmp_path / "etl.wal")
+        report = self._pipeline(schema, txm).run(
+            [
+                OperationalSource("s1", [{"dept": "a", "t": 1, "amount": 1.0}]),
+                OperationalSource("s2", [{"dept": "a", "t": 2, "amount": 2.0}]),
+            ]
+        )
+        assert report.complete and report.loaded == 2
+        kinds = [r["kind"] for r in txm.wal.records()]
+        # one transaction per source, each with its fact record
+        assert kinds == ["checkpoint", "begin", "fact", "commit", "begin", "fact", "commit"]
+        txm.wal.close()
+
+    def test_journaled_facts_survive_recovery(self, schema, tmp_path):
+        from repro.robustness import TransactionManager, recover_schema
+
+        wal_path = tmp_path / "etl.wal"
+        txm = TransactionManager(schema, wal=wal_path)
+        self._pipeline(schema, txm).run(
+            [OperationalSource("s1", [{"dept": "a", "t": 1, "amount": 1.0}])]
+        )
+        txm.wal.close()
+        recovered, report = recover_schema(wal_path)
+        assert report.facts_replayed == 1
+        assert len(recovered.facts) == len(schema.facts) == 1
+
+    def test_fault_mid_load_rolls_the_source_back(self, schema, tmp_path):
+        from repro.robustness import FaultInjector, TransactionManager
+
+        injector = FaultInjector(seed=3)
+        txm = TransactionManager(
+            schema, wal=tmp_path / "etl.wal", fault_injector=injector
+        )
+        injector.arm("txn.op.pre", at_call=2)  # second fact of the source
+        report = self._pipeline(schema, txm).run(
+            [
+                OperationalSource(
+                    "flaky",
+                    [
+                        {"dept": "a", "t": 1, "amount": 1.0},
+                        {"dept": "a", "t": 2, "amount": 2.0},
+                    ],
+                ),
+                OperationalSource("ok", [{"dept": "a", "t": 3, "amount": 3.0}]),
+            ]
+        )
+        # the flaky source rolled back as a unit; the ok source loaded
+        assert report.loaded == 1
+        assert report.failed_source_count == 1
+        name, reason = report.failed_sources[0]
+        assert name == "flaky" and "rolled back" in reason
+        assert [f.t for f in schema.facts] == [3]
+        txm.wal.close()
+
+    def test_schema_rejections_stay_per_record(self, schema, tmp_path):
+        from repro.robustness import TransactionManager
+
+        txm = TransactionManager(schema, wal=tmp_path / "etl.wal")
+        report = self._pipeline(schema, txm).run(
+            [
+                OperationalSource(
+                    "mixed",
+                    [
+                        {"dept": "ghost", "t": 1, "amount": 1.0},
+                        {"dept": "a", "t": 1, "amount": 1.0},
+                    ],
+                )
+            ]
+        )
+        # an invalid record rejects without aborting the source's txn
+        assert report.loaded == 1 and report.rejected_count == 1
+        assert report.complete
+        txm.wal.close()
