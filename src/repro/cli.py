@@ -17,15 +17,25 @@ Commands:
 * ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
   case study and print the current snapshot version, open-snapshot count
   and last checkpoint LSN;
-* ``stats [--json]`` — run the demo workload fully instrumented and dump
-  the collected metrics (Prometheus text, or a JSON snapshot);
+* ``stats [--format prometheus|json]`` — run the demo workload fully
+  instrumented and dump the collected metrics;
 * ``profile "<mvql select>" [--shards N] [--trace-out FILE]`` — profile
   one MVQL SELECT: per-phase timings, per-shard row counts, and
-  per-structure-version scan/emit counts.
+  per-structure-version scan/emit counts;
+* ``lineage "<mvql select>" [--cell "y,label" --measure m]`` — execute
+  one SELECT with lineage capture and print each result cell's
+  derivation: contributing member versions, mapping functions, and the
+  ``⊗cf`` confidence reduction;
+* ``doctor [--rules FILE] [--wal PATH]`` — one health sweep: alert rules
+  over the instrumented demo workload's metrics, an integrity check of
+  the case-study schema, and WAL stats; exits 0 (pass), 1 (warn) or 2
+  (fail).
 
 ``mvql`` and ``profile`` accept ``--trace-out FILE`` to export the spans
-recorded during execution as JSON Lines (one span per line, each naming
-its parent, so the tree reconstructs offline).
+recorded during execution — as JSON Lines by default, or as one
+OTLP-JSON document with ``--trace-format otlp`` (what real collectors
+ingest); ``--trace-sample R`` keeps roughly a fraction ``R`` of traces
+(errors always record).
 
 The CLI is intentionally bound to the built-in case study: it is a
 demonstration surface, not a server.  Applications embed the library
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core import (
@@ -74,11 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="MVQL statements (default: read one per line from stdin)",
     )
-    mvql.add_argument(
-        "--trace-out",
-        default=None,
-        help="write the recorded span tree to FILE as JSON Lines",
-    )
+    _add_trace_options(mvql)
     sub.add_parser("audit", help="audit the case-study schema")
     sub.add_parser("graph", help="print the Figure-2 dimension graph")
     sub.add_parser("modes", help="list the temporal modes of presentation")
@@ -108,9 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="run the demo workload instrumented and dump metrics"
     )
     stats.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default=None,
+        help="output shape (default: prometheus)",
+    )
+    stats.add_argument(
         "--json",
         action="store_true",
-        help="dump a JSON metrics snapshot instead of Prometheus text",
+        help="alias for --format json (kept for compatibility)",
     )
     profile = sub.add_parser(
         "profile", help="profile one MVQL SELECT (EXPLAIN-ANALYZE style)"
@@ -122,12 +135,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="row shards for the sharded pass (default 4; 1 disables it)",
     )
-    profile.add_argument(
-        "--trace-out",
+    _add_trace_options(profile)
+    lineage = sub.add_parser(
+        "lineage", help="explain how each cell of one SELECT was derived"
+    )
+    lineage.add_argument("statement", help="an MVQL SELECT statement")
+    lineage.add_argument(
+        "--cell",
         default=None,
-        help="write the recorded span tree to FILE as JSON Lines",
+        help='restrict the explanation to one cell, as the comma-separated '
+        'group labels of its result row (e.g. "2002,Sales")',
+    )
+    lineage.add_argument(
+        "--measure",
+        default=None,
+        help="restrict the explanation to one measure",
+    )
+    doctor = sub.add_parser(
+        "doctor", help="health sweep: alerts + integrity + WAL stats"
+    )
+    doctor.add_argument(
+        "--rules",
+        default=None,
+        help="JSON file with a list of alert-rule objects "
+        '({"name", "metric", "op", "threshold"[, "stat", "severity"]}); '
+        "default: the built-in rules",
+    )
+    doctor.add_argument(
+        "--wal",
+        default=None,
+        help="also inspect this write-ahead journal (record counts, "
+        "open transactions)",
     )
     return parser
+
+
+def _add_trace_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the recorded spans to FILE",
+    )
+    command.add_argument(
+        "--trace-format",
+        choices=("jsonl", "otlp"),
+        default="jsonl",
+        help="span export shape: JSON Lines (default) or one OTLP-JSON "
+        "document",
+    )
+    command.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help="record roughly this fraction of traces (errored spans always "
+        "record); default 1.0",
+    )
 
 
 def _cmd_demo(out) -> int:
@@ -156,10 +219,35 @@ def _cmd_demo(out) -> int:
     return 0
 
 
-def _cmd_mvql(statements: list[str], out, trace_out: str | None = None) -> int:
-    from repro.observability import Tracer
+def _make_tracer(trace_out: str | None, trace_sample: float):
+    """A tracer for ``--trace-out`` (sampler-equipped when R < 1)."""
+    from repro.observability import TraceSampler, Tracer
 
-    tracer = Tracer() if trace_out else None
+    if not trace_out:
+        return None
+    sampler = TraceSampler(trace_sample) if trace_sample < 1.0 else None
+    return Tracer(sampler=sampler)
+
+
+def _write_trace(tracer, trace_out: str, trace_format: str, out) -> None:
+    if trace_format == "otlp":
+        from repro.observability import write_otlp_json
+
+        count = write_otlp_json(tracer, trace_out)
+        print(f"wrote {count} spans to {trace_out} (OTLP-JSON)", file=out)
+    else:
+        count = tracer.write_jsonl(trace_out)
+        print(f"wrote {count} spans to {trace_out}", file=out)
+
+
+def _cmd_mvql(
+    statements: list[str],
+    out,
+    trace_out: str | None = None,
+    trace_format: str = "jsonl",
+    trace_sample: float = 1.0,
+) -> int:
+    tracer = _make_tracer(trace_out, trace_sample)
     study = build_case_study()
     session = MVQLSession(study.schema.multiversion_facts(), tracer=tracer)
     if not statements:
@@ -174,8 +262,7 @@ def _cmd_mvql(statements: list[str], out, trace_out: str | None = None) -> int:
             status = 1
         print(file=out)
     if tracer is not None and trace_out is not None:
-        count = tracer.write_jsonl(trace_out)
-        print(f"wrote {count} spans to {trace_out}", file=out)
+        _write_trace(tracer, trace_out, trace_format, out)
     return status
 
 
@@ -263,7 +350,7 @@ def _cmd_snapshot(wal: str | None, out) -> int:
     return 0
 
 
-def _cmd_stats(json_dump: bool, out) -> int:
+def _cmd_stats(fmt: str, out) -> int:
     import json
 
     from repro.observability import MetricsRegistry, Tracer
@@ -286,7 +373,7 @@ def _cmd_stats(json_dump: bool, out) -> int:
         for mode in mvft.modes.labels:
             engine.execute(query.with_mode(mode))
     session.execute("SELECT amount BY year, org.Division")
-    if json_dump:
+    if fmt == "json":
         print(json.dumps(metrics.snapshot(), indent=2, sort_keys=True), file=out)
     else:
         print(metrics.render_prometheus(), file=out)
@@ -294,7 +381,12 @@ def _cmd_stats(json_dump: bool, out) -> int:
 
 
 def _cmd_profile(
-    statement: str, shards: int, trace_out: str | None, out
+    statement: str,
+    shards: int,
+    trace_out: str | None,
+    out,
+    trace_format: str = "jsonl",
+    trace_sample: float = 1.0,
 ) -> int:
     from repro.mvql.ast import SelectStatement
     from repro.mvql.parser import parse
@@ -317,13 +409,97 @@ def _cmd_profile(
         print(f"error: {exc}", file=out)
         return 1
     profile = profile_query(
-        mvft, query, shards=shards, statement=" ".join(statement.split())
+        mvft,
+        query,
+        shards=shards,
+        statement=" ".join(statement.split()),
+        tracer=_make_tracer(trace_out, trace_sample),
     )
     print(profile.to_text(), file=out)
     if trace_out is not None and profile.tracer is not None:
-        count = profile.tracer.write_jsonl(trace_out)
-        print(f"wrote {count} spans to {trace_out}", file=out)
+        _write_trace(profile.tracer, trace_out, trace_format, out)
     return 0
+
+
+def _cmd_lineage(
+    statement: str, cell: str | None, measure: str | None, out
+) -> int:
+    from repro.mvql.ast import SelectStatement
+    from repro.mvql.parser import parse
+
+    study = build_case_study()
+    session = MVQLSession(study.schema.multiversion_facts(), explain=True)
+    try:
+        parsed = parse(statement)
+        if not isinstance(parsed, SelectStatement):
+            print(
+                f"error: lineage needs a SELECT statement, got "
+                f"{type(parsed).__name__}",
+                file=out,
+            )
+            return 1
+        table = session.engine.execute(session.compile_select(parsed))
+    except ReproError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    print(table.to_text(), file=out)
+    print(file=out)
+    if cell is not None:
+        group = tuple(part.strip() for part in cell.split(","))
+        try:
+            explained = session.explain_cell(group, measure)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=out)
+            return 1
+        cells = explained if isinstance(explained, list) else [explained]
+        print("\n\n".join(c.to_text() for c in cells), file=out)
+        return 0
+    print(session.lineage.to_text(), file=out)
+    return 0
+
+
+def _cmd_doctor(rules_path: str | None, wal: str | None, out) -> int:
+    import json
+
+    from repro.observability import (
+        AlertRule,
+        MetricsRegistry,
+        SlowQueryLog,
+        run_doctor,
+    )
+
+    rules = None
+    if rules_path is not None:
+        try:
+            payload = json.loads(Path(rules_path).read_text(encoding="utf-8"))
+            if not isinstance(payload, list):
+                raise ValueError("rules file must hold a JSON list")
+            rules = [AlertRule.from_dict(item) for item in payload]
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load rules from {rules_path}: {exc}", file=out)
+            return 2
+    # Exercise the demo workload instrumented so the alert rules have
+    # real metrics to look at (mirrors `repro stats`).
+    metrics = MetricsRegistry()
+    slow_log = SlowQueryLog(threshold=1.0)
+    study = build_case_study()
+    mvft = study.schema.multiversion_facts()
+    engine = QueryEngine(mvft, metrics=metrics, slow_log=slow_log)
+    q1 = Query(
+        group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+        time_range=Interval(ym(2001, 1), ym(2002, 12)),
+    )
+    for mode in mvft.modes.labels:
+        engine.execute(q1.with_mode(mode))
+    report = run_doctor(
+        study.schema,
+        metrics=metrics,
+        rules=rules,
+        wal_path=wal,
+        slow_log=slow_log,
+    )
+    print(report.to_text(), file=out)
+    return report.exit_code
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -333,7 +509,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "demo":
         return _cmd_demo(out)
     if args.command == "mvql":
-        return _cmd_mvql(list(args.statement), out, trace_out=args.trace_out)
+        return _cmd_mvql(
+            list(args.statement),
+            out,
+            trace_out=args.trace_out,
+            trace_format=args.trace_format,
+            trace_sample=args.trace_sample,
+        )
     if args.command == "audit":
         return _cmd_audit(out)
     if args.command == "graph":
@@ -347,7 +529,19 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "snapshot":
         return _cmd_snapshot(args.wal, out)
     if args.command == "stats":
-        return _cmd_stats(args.json, out)
+        fmt = args.format or ("json" if args.json else "prometheus")
+        return _cmd_stats(fmt, out)
     if args.command == "profile":
-        return _cmd_profile(args.statement, args.shards, args.trace_out, out)
+        return _cmd_profile(
+            args.statement,
+            args.shards,
+            args.trace_out,
+            out,
+            trace_format=args.trace_format,
+            trace_sample=args.trace_sample,
+        )
+    if args.command == "lineage":
+        return _cmd_lineage(args.statement, args.cell, args.measure, out)
+    if args.command == "doctor":
+        return _cmd_doctor(args.rules, args.wal, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -90,9 +90,13 @@ class ShardedExecutor:
         shards: int | None = None,
         tracer=None,
         metrics=None,
+        lineage=None,
+        slow_log=None,
     ) -> None:
         self.mvft = mvft
-        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+        self.engine = QueryEngine(
+            mvft, tracer=tracer, metrics=metrics, lineage=lineage, slow_log=slow_log
+        )
         self.max_workers = max_workers or max(2, os.cpu_count() or 1)
         self.shards = shards or self.max_workers
 
@@ -103,8 +107,15 @@ class ShardedExecutor:
         parts = shard_rows(rows, self.shards)
         if len(parts) <= 1:
             return self.engine.execute(query)
+        # Shard workers record through the shared engine (thread-safe);
+        # finalize folds the merged lists, so the recorded ⊗cf steps match
+        # the serial fold order exactly.
+        if self.engine.lineage.enabled:
+            self.engine.lineage.begin(mode.label)
+        slow = self.engine.slow_log
+        slow_on = slow is not None and slow.enabled
         tracer, metrics = self.engine._observability()
-        if not (tracer.enabled or metrics.enabled):
+        if not (tracer.enabled or metrics.enabled or slow_on):
             return self._execute_sharded(query, parts)
         with tracer.span(
             "shard.execute",
@@ -125,6 +136,7 @@ class ShardedExecutor:
                 ):
                     return self.engine.collect_contributions(query, part)
 
+            started = time.perf_counter()
             partials = [collect((0, parts[0]))]
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 partials.extend(pool.map(collect, enumerate(parts[1:], start=1)))
@@ -132,13 +144,24 @@ class ShardedExecutor:
             with tracer.span("shard.merge", parent=root) as merge_span:
                 merged = merge_contributions(partials)
                 merge_span.set("groups", len(merged))
-            metrics.histogram("shard.merge_seconds").observe(
-                time.perf_counter() - merge_start
-            )
+            merged_at = time.perf_counter()
+            metrics.histogram("shard.merge_seconds").observe(merged_at - merge_start)
             with tracer.span("shard.finalize", parent=root):
                 table = self.engine.finalize(query, merged)
+            finished = time.perf_counter()
         metrics.counter("shard.queries").inc()
         metrics.counter("shard.shards_run").inc(len(parts))
+        if slow_on:
+            slow.record(
+                mode=mode.label,
+                seconds=finished - started,
+                phases={
+                    "collect": merge_start - started,
+                    "merge": merged_at - merge_start,
+                    "finalize": finished - merged_at,
+                },
+                query=query,
+            )
         return table
 
     def _execute_sharded(

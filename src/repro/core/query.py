@@ -24,10 +24,12 @@ result cell carries the reliability tag the §5.2 front end colours by.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.observability import runtime as _obs
+from repro.observability.lineage import NULL_LINEAGE
 
 from .chronology import Granularity, Instant, Interval, YEAR
 from .confidence import ConfidenceFactor
@@ -297,6 +299,16 @@ class QueryEngine:
     and profiling; left as ``None`` they resolve to the process-wide
     defaults of :mod:`repro.observability` at call time, which are
     no-op-cheap until explicitly enabled.
+
+    ``lineage`` attaches a
+    :class:`~repro.observability.lineage.LineageRecorder`: the collect
+    phase then remembers which MultiVersion rows fed each group and the
+    finalize phase records every cell's ``⊗cf`` fold — the
+    ``explain_cell`` surface.  Lineage is explicit-injection only (no
+    process-wide default): provenance capture retains row references, so
+    opting in is a per-engine decision.  ``slow_log`` attaches a
+    :class:`~repro.observability.health.SlowQueryLog`; over-threshold
+    queries land in it with their phase breakdown.
     """
 
     def __init__(
@@ -305,13 +317,31 @@ class QueryEngine:
         *,
         tracer=None,
         metrics=None,
+        lineage=None,
+        slow_log=None,
     ) -> None:
         self._mvft = mvft
         self._schema = mvft.schema
         self._tracer = tracer
         self._metrics = metrics
+        self._lineage = lineage if lineage is not None else NULL_LINEAGE
+        self._slow_log = slow_log
         self._snapshot_cache: dict[tuple[str, str, Instant], DimensionSnapshot] = {}
         self._level_cache: dict[tuple[str, str, Instant, str, str], tuple[object, ...]] = {}
+
+    @property
+    def lineage(self):
+        """The attached lineage recorder (``NULL_LINEAGE`` when none)."""
+        return self._lineage
+
+    def set_lineage(self, lineage) -> None:
+        """Attach (or with ``None`` detach) a lineage recorder."""
+        self._lineage = lineage if lineage is not None else NULL_LINEAGE
+
+    @property
+    def slow_log(self):
+        """The attached slow-query log, if any."""
+        return self._slow_log
 
     def _observability(self):
         """The effective ``(tracer, metrics)`` pair (injected or default)."""
@@ -417,6 +447,10 @@ class QueryEngine:
         if rows is None:
             rows = self._mvft.slice(mode.label)
         groups: dict[tuple[object, ...], dict[str, list]] = {}
+        # Hoisted once per phase: the disabled path pays one bool test per
+        # matched row, never an attribute chain.
+        lineage = self._lineage
+        record_lineage = lineage.enabled
         scanned = 0
         matched = 0
         for row in rows:
@@ -457,6 +491,8 @@ class QueryEngine:
                 acc = groups.setdefault(combo, {m: [] for m in measures})
                 for m in measures:
                     acc[m].append((row.value(m), row.confidence(m)))
+                if record_lineage:
+                    lineage.add_contribution(mode.label, combo, row)
         _, metrics = self._observability()
         if metrics.enabled:
             # Row totals accumulate locally above; the registry is touched
@@ -474,6 +510,8 @@ class QueryEngine:
     ) -> ResultTable:
         """Phase two of execution: fold each group with ``⊕`` and ``⊗cf``."""
         mode, measures = self.resolve(query)
+        lineage = self._lineage
+        record_lineage = lineage.enabled
         result_rows: list[ResultRow] = []
         for group, acc in groups.items():
             cells: list[ResultCell] = []
@@ -487,6 +525,16 @@ class QueryEngine:
                     else None
                 )
                 cells.append(ResultCell(m, value, confidence))
+                if record_lineage:
+                    lineage.record_cell(
+                        mode.label,
+                        group,
+                        m,
+                        value,
+                        confidence,
+                        contribs,
+                        self._schema.cf_aggregator,
+                    )
             result_rows.append(ResultRow(group=group, cells=tuple(cells)))
         columns = [term.column for term in query.group_by]
         _, metrics = self._observability()
@@ -499,18 +547,37 @@ class QueryEngine:
     def execute(self, query: Query) -> ResultTable:
         """Run a query and return its grouped, confidence-tagged result."""
         tracer, metrics = self._observability()
-        if not (tracer.enabled or metrics.enabled):
+        if self._lineage.enabled:
+            self._lineage.begin(query.mode)
+        slow = self._slow_log
+        slow_on = slow is not None and slow.enabled
+        if not (tracer.enabled or metrics.enabled or slow_on):
             return self.finalize(query, self.collect_contributions(query))
         with tracer.span("query.execute", attributes={"mode": query.mode}):
+            started = time.perf_counter()
             with tracer.span("query.resolve"):
                 self.resolve(query)
+            resolved = time.perf_counter()
             with tracer.span("query.collect_contributions") as collect_span:
                 groups = self.collect_contributions(query)
                 collect_span.set("groups", len(groups))
+            collected = time.perf_counter()
             with tracer.span("query.finalize") as finalize_span:
                 table = self.finalize(query, groups)
                 finalize_span.set("rows", len(table))
+            finished = time.perf_counter()
         metrics.counter("query.executed", {"mode": query.mode}).inc()
+        if slow_on:
+            slow.record(
+                mode=query.mode,
+                seconds=finished - started,
+                phases={
+                    "resolve": resolved - started,
+                    "collect_contributions": collected - resolved,
+                    "finalize": finished - collected,
+                },
+                query=query,
+            )
         return table
 
     def execute_all_modes(self, query: Query) -> dict[str, ResultTable]:

@@ -43,7 +43,16 @@ _GRANULARITY = {"year": YEAR, "quarter": QUARTER, "month": MONTH}
 
 
 class MVQLSession:
-    """An interactive-style MVQL session over one MultiVersion fact table."""
+    """An interactive-style MVQL session over one MultiVersion fact table.
+
+    ``explain=True`` attaches a
+    :class:`~repro.observability.lineage.LineageRecorder` so every
+    executed SELECT records per-cell provenance, readable afterwards via
+    :meth:`explain_cell`.  ``slow_log`` attaches a
+    :class:`~repro.observability.health.SlowQueryLog`; the session
+    publishes each statement's text to it so engine-level slow records
+    carry the MVQL that caused them.
+    """
 
     def __init__(
         self,
@@ -51,12 +60,24 @@ class MVQLSession:
         *,
         tracer=None,
         metrics=None,
+        explain: bool = False,
+        lineage=None,
+        slow_log=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
         self._tracer = tracer
         self._metrics = metrics
-        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+        if lineage is None and explain:
+            from repro.observability.lineage import LineageRecorder
+
+            lineage = LineageRecorder()
+        self.lineage = lineage
+        self.slow_log = slow_log
+        self.engine = QueryEngine(
+            mvft, tracer=tracer, metrics=metrics, lineage=lineage,
+            slow_log=slow_log,
+        )
 
     @classmethod
     def from_cursor(cls, cursor) -> "MVQLSession":
@@ -162,6 +183,15 @@ class MVQLSession:
         metrics = (
             self._metrics if self._metrics is not None else _obs.current_metrics()
         )
+        slow = self.slow_log
+        if slow is not None and slow.enabled:
+            # Publish the statement text thread-locally so the engine's
+            # slow-query record names the MVQL that caused it.
+            with slow.statement(text):
+                return self._execute_instrumented(text, tracer, metrics)
+        return self._execute_instrumented(text, tracer, metrics)
+
+    def _execute_instrumented(self, text: str, tracer, metrics):
         if not (tracer.enabled or metrics.enabled):
             return self._dispatch(parse(text))
         with tracer.span(
@@ -173,6 +203,20 @@ class MVQLSession:
             result = self._dispatch(statement)
         metrics.counter("mvql.statements", {"kind": kind}).inc()
         return result
+
+    def explain_cell(self, group, measure: str | None = None, *, mode=None):
+        """The lineage of a cell from the last explained SELECT.
+
+        ``group`` is the result row's group tuple (e.g. ``("2002",
+        "Sales")``); see
+        :meth:`~repro.observability.lineage.LineageRecorder.explain_cell`.
+        """
+        if self.lineage is None:
+            raise MVQLCompileError(
+                "this session records no lineage — build it with "
+                "explain=True (or pass lineage=LineageRecorder())"
+            )
+        return self.lineage.explain_cell(group, measure, mode=mode)
 
     def _dispatch(self, statement):
         """Execute one parsed statement (the uninstrumented core)."""

@@ -12,7 +12,18 @@ provides the three primitives and the process-wide wiring:
   and a plain-dict ``snapshot()``;
 * :class:`~repro.observability.profile.QueryProfile` — an EXPLAIN-style
   per-phase / per-shard / per-structure-version breakdown of one query
-  (:func:`~repro.observability.profile.profile_query`).
+  (:func:`~repro.observability.profile.profile_query`);
+* :class:`~repro.observability.lineage.LineageRecorder` — per-cell
+  provenance for comparison-mode queries (contributing member versions,
+  mapping functions, ``⊗cf`` reduction steps), the ``explain_cell``
+  surface;
+* :mod:`~repro.observability.export` — OTLP-JSON span export for real
+  collectors plus :class:`~repro.observability.export.TraceSampler`
+  (deterministic ratio sampling, always-on-error);
+* :mod:`~repro.observability.health` — the slow-query log, declarative
+  :class:`~repro.observability.health.AlertRule` thresholds over metric
+  snapshots, and :func:`~repro.observability.health.run_doctor` behind
+  ``repro doctor``.
 
 Instrumented classes (:class:`~repro.core.query.QueryEngine`,
 :class:`~repro.concurrency.sharding.ShardedExecutor`,
@@ -23,6 +34,32 @@ the process-wide defaults here, which are no-op-cheap until
 :func:`enable` (or the scoped :func:`instrumented`) is called.
 """
 
+from .export import (
+    TraceSampler,
+    read_otlp_json,
+    spans_to_otlp,
+    tracer_to_otlp,
+    write_otlp_json,
+)
+from .health import (
+    AlertResult,
+    AlertRule,
+    DEFAULT_RULES,
+    DoctorReport,
+    SlowQueryLog,
+    SlowQueryRecord,
+    evaluate_rules,
+    histogram_quantile,
+    run_doctor,
+    statement_digest,
+)
+from .lineage import (
+    CellLineage,
+    LineageContribution,
+    LineageRecorder,
+    NULL_LINEAGE,
+    NullLineage,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -55,6 +92,26 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "read_jsonl",
+    "TraceSampler",
+    "spans_to_otlp",
+    "tracer_to_otlp",
+    "write_otlp_json",
+    "read_otlp_json",
+    "LineageContribution",
+    "CellLineage",
+    "LineageRecorder",
+    "NullLineage",
+    "NULL_LINEAGE",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "statement_digest",
+    "histogram_quantile",
+    "AlertRule",
+    "AlertResult",
+    "evaluate_rules",
+    "DEFAULT_RULES",
+    "DoctorReport",
+    "run_doctor",
     "enable",
     "disable",
     "enabled",

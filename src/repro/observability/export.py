@@ -1,0 +1,238 @@
+"""OTLP-JSON span export and trace sampling.
+
+The tracer's native export is JSONL (one flat span dict per line, an
+internal shape).  Real collectors — an OpenTelemetry Collector, Jaeger,
+Tempo — ingest OTLP; this module converts finished :class:`Span` trees
+into the OTLP/JSON ``ExportTraceServiceRequest`` dict shape:
+
+``resourceSpans[].scopeSpans[].spans[]`` with 32-hex-char trace ids,
+16-hex-char span ids, ``parentSpanId`` links, and nanosecond Unix
+timestamps (64-bit values encoded as strings, per the proto3 JSON
+mapping).  Each *root* span and its descendants share one trace id
+(derived from the root's span id), so one tracer export may carry many
+traces.
+
+Span timings are monotonic (``perf_counter_ns``); the exporter rebases
+them onto the wall clock with one ``time.time_ns()`` anchor taken at
+export time, so ordering and durations are exact and absolute times are
+as accurate as one clock read.
+
+:class:`TraceSampler` makes production tracing affordable: a
+deterministic ratio sampler (every ``1/ratio``-th root span starts a
+recorded trace) with an *always-on-error* escape hatch — a span that
+exits with an error is recorded even when its trace was not sampled, so
+failures are never invisible.  Wire it with ``Tracer(sampler=...)`` or
+the CLI's ``--trace-sample R``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "SPAN_KIND_INTERNAL",
+    "STATUS_CODE_ERROR",
+    "TraceSampler",
+    "span_id_hex",
+    "trace_id_hex",
+    "spans_to_otlp",
+    "tracer_to_otlp",
+    "write_otlp_json",
+    "read_otlp_json",
+]
+
+#: OTLP ``SpanKind.SPAN_KIND_INTERNAL`` — all library spans are internal.
+SPAN_KIND_INTERNAL = 1
+
+#: OTLP ``StatusCode.STATUS_CODE_ERROR``.
+STATUS_CODE_ERROR = 2
+
+
+def span_id_hex(span_id: int) -> str:
+    """An 8-byte span id as 16 lowercase hex characters."""
+    return format(span_id & (2**64 - 1), "016x")
+
+
+def trace_id_hex(root_span_id: int) -> str:
+    """A 16-byte trace id as 32 lowercase hex characters.
+
+    Derived deterministically from the trace's root span id, so repeated
+    conversions of the same span tree agree.
+    """
+    return format(root_span_id & (2**128 - 1), "032x")
+
+
+def _any_value(value: Any) -> dict[str, Any]:
+    """One attribute value in OTLP ``AnyValue`` JSON shape."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}  # 64-bit ints are strings in proto3 JSON
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(attrs: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return [{"key": k, "value": _any_value(v)} for k, v in sorted(attrs.items())]
+
+
+def spans_to_otlp(
+    spans: Iterable,
+    *,
+    origin_ns: int = 0,
+    base_unix_nano: int | None = None,
+    service_name: str = "repro",
+    scope_name: str = "repro.observability",
+    scope_version: str = "1",
+) -> dict[str, Any]:
+    """Convert finished spans into one OTLP/JSON export request dict.
+
+    ``origin_ns`` is the tracer's monotonic origin (span start offsets are
+    relative to it); ``base_unix_nano`` anchors that origin on the wall
+    clock and defaults to "now minus elapsed-since-origin", computed once.
+    """
+    span_list = list(spans)
+    if base_unix_nano is None:
+        base_unix_nano = time.time_ns() - (time.perf_counter_ns() - origin_ns)
+    by_id = {s.span_id: s for s in span_list}
+    root_cache: dict[int, int] = {}
+
+    def root_of(span) -> int:
+        chain: list[int] = []
+        cur = span
+        while True:
+            cached = root_cache.get(cur.span_id)
+            if cached is not None:
+                root = cached
+                break
+            chain.append(cur.span_id)
+            parent = (
+                by_id.get(cur.parent_id) if cur.parent_id is not None else None
+            )
+            if parent is None or parent.span_id in chain:
+                root = cur.span_id
+                break
+            cur = parent
+        for sid in chain:
+            root_cache[sid] = root
+        return root
+
+    otlp_spans: list[dict[str, Any]] = []
+    for span in span_list:
+        start = base_unix_nano + (span.start_ns - origin_ns)
+        end = base_unix_nano + (span.end_ns - origin_ns)
+        record: dict[str, Any] = {
+            "traceId": trace_id_hex(root_of(span)),
+            "spanId": span_id_hex(span.span_id),
+            "parentSpanId": (
+                span_id_hex(span.parent_id) if span.parent_id is not None else ""
+            ),
+            "name": span.name,
+            "kind": SPAN_KIND_INTERNAL,
+            "startTimeUnixNano": str(start),
+            "endTimeUnixNano": str(end),
+            "attributes": _attributes(span.attributes),
+        }
+        if "error" in span.attributes:
+            record["status"] = {
+                "code": STATUS_CODE_ERROR,
+                "message": str(span.attributes["error"]),
+            }
+        else:
+            record["status"] = {}
+        otlp_spans.append(record)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": service_name},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": scope_name, "version": scope_version},
+                        "spans": otlp_spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def tracer_to_otlp(tracer, **kwargs: Any) -> dict[str, Any]:
+    """Convert every finished span of a tracer (uses its monotonic origin)."""
+    return spans_to_otlp(tracer.spans, origin_ns=tracer.origin_ns, **kwargs)
+
+
+def write_otlp_json(tracer, path: str | Path, **kwargs: Any) -> int:
+    """Write one OTLP/JSON document for the tracer; returns the span count."""
+    document = tracer_to_otlp(tracer, **kwargs)
+    Path(path).write_text(
+        json.dumps(document, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    return len(document["resourceSpans"][0]["scopeSpans"][0]["spans"])
+
+
+def read_otlp_json(path: str | Path) -> list[dict[str, Any]]:
+    """Parse an OTLP/JSON file back into its flat span dicts (round-trip)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    spans: list[dict[str, Any]] = []
+    for resource_spans in document.get("resourceSpans", ()):
+        for scope_spans in resource_spans.get("scopeSpans", ()):
+            spans.extend(scope_spans.get("spans", ()))
+    return spans
+
+
+class TraceSampler:
+    """Deterministic ratio sampling with an always-on-error escape hatch.
+
+    ``ratio`` is the fraction of traces to record.  The decision is
+    counter-based — trace ``n`` is kept when ``floor(n·ratio)`` advances —
+    so a 0.25 ratio records exactly every fourth trace, reproducibly,
+    with no randomness (and therefore no seed to manage).
+
+    ``always_on_error=True`` records any span that exits with an error
+    even inside an unsampled trace: the trace's context is lost but the
+    failure itself is never dropped.
+    """
+
+    def __init__(self, ratio: float = 1.0, *, always_on_error: bool = True) -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError(f"sampling ratio must be in [0, 1], got {ratio!r}")
+        self.ratio = ratio
+        self.always_on_error = always_on_error
+        self._lock = threading.Lock()
+        self.traces_started = 0
+        self.traces_sampled = 0
+        self.spans_rescued = 0
+
+    def sample(self) -> bool:
+        """Decide whether the next root span starts a recorded trace."""
+        with self._lock:
+            self.traces_started += 1
+            n = self.traces_started
+            keep = math.floor(n * self.ratio) > math.floor((n - 1) * self.ratio)
+            if keep:
+                self.traces_sampled += 1
+            return keep
+
+    def rescue(self) -> None:
+        """Count one error span recorded from an unsampled trace."""
+        with self._lock:
+            self.spans_rescued += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceSampler(ratio={self.ratio}, "
+            f"sampled={self.traces_sampled}/{self.traces_started})"
+        )

@@ -1,0 +1,350 @@
+"""Per-cell query lineage: *why* does a cell hold this value and confidence?
+
+The paper's whole point is that a cell of a comparison-mode result is
+*derived*: produced by routing facts along mapping relationships, applying
+per-measure mapping functions, and folding confidences with the ``⊗cf``
+algebra (§3.1, Definition 12).  The §5.2 prototype promises the user
+"direct access to very precise information on the way the data were
+calculated" — this module delivers that promise for the query layer.
+
+A :class:`LineageRecorder` attached to a
+:class:`~repro.core.query.QueryEngine` (or reached through the
+``explain=`` surface of :class:`~repro.mvql.session.MVQLSession` and
+:class:`~repro.olap.cube.Cube`) captures, per result cell:
+
+* the **contributing MultiVersion rows** — member-version coordinates,
+  fact time, per-measure value and confidence, and the provenance strings
+  the fact-table builder recorded (naming the exact mapping relationship
+  endpoints and the mapping function applied per measure);
+* the **⊗cf reduction steps** — the fold ``sd ⊗cf am -> am; am ⊗cf sd ->
+  am`` that produced the cell's confidence, in the engine's exact fold
+  order (shard merges included, since finalize folds the merged lists).
+
+:meth:`LineageRecorder.explain_cell` returns a :class:`CellLineage` whose
+``to_text()`` renders a readable tree; ``repro lineage "<mvql select>"``
+is the CLI surface.
+
+:data:`NULL_LINEAGE` is the disabled counterpart (the same null-object
+pattern as :data:`~repro.observability.tracing.NULL_TRACER`): every hook
+is a no-op and ``enabled`` is ``False``, so the engine's hot loop pays one
+hoisted boolean test per matched row and nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "LineageContribution",
+    "CellLineage",
+    "LineageRecorder",
+    "NullLineage",
+    "NULL_LINEAGE",
+]
+
+
+@dataclass(frozen=True)
+class LineageContribution:
+    """One MultiVersion row's contribution to a result cell.
+
+    ``coordinates`` are the (dimension, member-version id) pairs of the
+    contributing row — the *exact member versions* behind the cell;
+    ``provenance`` carries the fact-table builder's route descriptions
+    (mapping relationship endpoints and the applied mapping function per
+    measure, e.g. ``"idE -> idB via {'amount': 'x -> 0.4*x'}"``).
+    """
+
+    coordinates: tuple[tuple[str, str], ...]
+    t: Any
+    value: float | None
+    confidence: str | None
+    provenance: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly rendering."""
+        return {
+            "coordinates": dict(self.coordinates),
+            "t": str(self.t),
+            "value": self.value,
+            "confidence": self.confidence,
+            "provenance": list(self.provenance),
+        }
+
+
+@dataclass(frozen=True)
+class CellLineage:
+    """The full derivation of one result cell.
+
+    ``value``/``confidence`` are exactly what the query returned for the
+    cell (finalize records them as it folds); ``fold_steps`` spell the
+    ``⊗cf`` reduction one combine at a time.
+    """
+
+    mode: str
+    group: tuple[object, ...]
+    measure: str
+    value: float | None
+    confidence: str | None
+    contributions: tuple[LineageContribution, ...]
+    fold_steps: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly rendering."""
+        return {
+            "mode": self.mode,
+            "group": [None if g is None else str(g) for g in self.group],
+            "measure": self.measure,
+            "value": self.value,
+            "confidence": self.confidence,
+            "contributions": [c.to_dict() for c in self.contributions],
+            "fold_steps": list(self.fold_steps),
+        }
+
+    def to_text(self) -> str:
+        """The readable derivation tree ``repro lineage`` prints."""
+        label = ", ".join("(none)" if g is None else str(g) for g in self.group)
+        value = "?" if self.value is None else f"{self.value:g}"
+        cf = self.confidence if self.confidence else "-"
+        lines = [f"cell ({label}) · {self.measure} = {value} ({cf})  [mode {self.mode}]"]
+        lines.append(f"  contributions ({len(self.contributions)}):")
+        for i, contribution in enumerate(self.contributions, start=1):
+            coords = ", ".join(f"{d}={m}" for d, m in contribution.coordinates)
+            cvalue = "?" if contribution.value is None else f"{contribution.value:g}"
+            ccf = contribution.confidence if contribution.confidence else "-"
+            lines.append(
+                f"    {i}. {coords}  t={contribution.t}  "
+                f"{self.measure}={cvalue} ({ccf})"
+            )
+            for step in contribution.provenance:
+                lines.append(f"       via {step}")
+        if self.fold_steps:
+            lines.append("  ⊗cf reduction:")
+            for step in self.fold_steps:
+                lines.append(f"    {step}")
+        elif self.contributions:
+            lines.append("  ⊗cf reduction: single contribution (no fold)")
+        return "\n".join(lines)
+
+
+def _coordinate_key(contribution: LineageContribution) -> tuple:
+    return (str(contribution.t), contribution.coordinates)
+
+
+class LineageRecorder:
+    """Captures per-cell provenance while a query executes.
+
+    Attach one to a :class:`~repro.core.query.QueryEngine` (``lineage=``)
+    or build a session/cube with ``explain=True``.  Thread-safe: shard
+    workers of a :class:`~repro.concurrency.sharding.ShardedExecutor`
+    record through the same instance; contributions are sorted by
+    ``(t, coordinates)`` at explain time so the rendered tree is
+    deterministic regardless of shard completion order.
+
+    Set :attr:`enabled` to ``False`` to pause capture without detaching
+    the recorder (the benchmark's "disabled" configuration).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._lock = threading.Lock()
+        # (mode, group) -> contributing MV rows, appended during collect.
+        self._contributions: dict[tuple[str, tuple], list] = {}
+        # (mode, group, measure) -> CellLineage, written during finalize.
+        self._cells: dict[tuple[str, tuple, str], CellLineage] = {}
+
+    # -- capture hooks (called by the query engine) ------------------------------
+
+    def begin(self, mode: str) -> None:
+        """Forget the given mode's previous capture (one query's worth)."""
+        with self._lock:
+            for key in [k for k in self._contributions if k[0] == mode]:
+                del self._contributions[key]
+            for key in [k for k in self._cells if k[0] == mode]:
+                del self._cells[key]
+
+    def add_contribution(self, mode: str, group: tuple, row) -> None:
+        """Record one MV row contributing to ``group`` (collect phase)."""
+        with self._lock:
+            self._contributions.setdefault((mode, group), []).append(row)
+
+    def record_cell(
+        self,
+        mode: str,
+        group: tuple,
+        measure: str,
+        value: float | None,
+        confidence,
+        contributions: Sequence[tuple],
+        aggregator,
+    ) -> None:
+        """Record one folded cell (finalize phase).
+
+        ``contributions`` is the engine's merged ``(value, confidence)``
+        list in exact fold order; the ``⊗cf`` steps are re-derived with
+        the schema's own ``aggregator`` so the recorded reduction is the
+        one the engine actually performed.
+        """
+        steps: list[str] = []
+        pairs = list(contributions)
+        if len(pairs) > 1:
+            acc = pairs[0][1]
+            for _value, cf in pairs[1:]:
+                nxt = aggregator.combine(acc, cf)
+                steps.append(f"{acc.symbol} ⊗cf {cf.symbol} -> {nxt.symbol}")
+                acc = nxt
+        with self._lock:
+            rows = list(self._contributions.get((mode, group), ()))
+        entries = tuple(
+            sorted(
+                (
+                    LineageContribution(
+                        coordinates=tuple(sorted(row.coordinates.items())),
+                        t=row.t,
+                        value=row.value(measure),
+                        confidence=row.confidence(measure).symbol,
+                        provenance=tuple(row.provenance),
+                    )
+                    for row in rows
+                ),
+                key=_coordinate_key,
+            )
+        )
+        cell = CellLineage(
+            mode=mode,
+            group=group,
+            measure=measure,
+            value=value,
+            confidence=confidence.symbol if confidence is not None else None,
+            contributions=entries,
+            fold_steps=tuple(steps),
+        )
+        with self._lock:
+            self._cells[(mode, group, measure)] = cell
+
+    # -- reading -----------------------------------------------------------------
+
+    def cells(self) -> list[tuple[str, tuple, str]]:
+        """Every recorded ``(mode, group, measure)`` key, sorted."""
+        with self._lock:
+            keys = list(self._cells)
+        return sorted(keys, key=lambda k: (k[0], tuple(str(g) for g in k[1]), k[2]))
+
+    def explain_cell(
+        self,
+        group: Sequence[object] | object,
+        measure: str | None = None,
+        *,
+        mode: str | None = None,
+    ) -> CellLineage | list[CellLineage]:
+        """The derivation of the cell(s) at a group key.
+
+        ``group`` is the result row's group tuple (a bare scalar is
+        wrapped); labels match either exactly or by string rendering, so
+        ``("2002", "Sales")`` finds the cell however the engine typed its
+        labels.  With ``measure`` the single :class:`CellLineage` is
+        returned; without it, one per recorded measure.  ``mode``
+        disambiguates when several modes were captured.
+        """
+        if isinstance(group, (list, tuple)):
+            wanted = tuple(group)
+        else:
+            wanted = (group,)
+        with self._lock:
+            items = list(self._cells.items())
+
+        def group_matches(recorded: tuple) -> bool:
+            if recorded == wanted:
+                return True
+            if len(recorded) != len(wanted):
+                return False
+            return all(
+                str(r) == str(w) for r, w in zip(recorded, wanted)
+            )
+
+        hits = [
+            cell
+            for (cell_mode, cell_group, cell_measure), cell in items
+            if group_matches(cell_group)
+            and (measure is None or cell_measure == measure)
+            and (mode is None or cell_mode == mode)
+        ]
+        if not hits:
+            known = ", ".join(
+                f"{m}:{tuple(str(g) for g in grp)}/{meas}"
+                for m, grp, meas in self.cells()[:8]
+            )
+            raise KeyError(
+                f"no lineage recorded for cell {wanted!r}"
+                + (f" measure {measure!r}" if measure else "")
+                + (f" mode {mode!r}" if mode else "")
+                + (f" (recorded: {known} ...)" if known else " (nothing recorded)")
+            )
+        if measure is not None and len(hits) == 1:
+            return hits[0]
+        if measure is not None:
+            if mode is None and len({h.mode for h in hits}) > 1:
+                raise KeyError(
+                    f"cell {wanted!r} recorded in several modes "
+                    f"({sorted({h.mode for h in hits})}); pass mode="
+                )
+            return hits[0]
+        return hits
+
+    def to_text(self) -> str:
+        """Every recorded cell's derivation tree, concatenated."""
+        blocks = []
+        for key in self.cells():
+            with self._lock:
+                cell = self._cells[key]
+            blocks.append(cell.to_text())
+        return "\n\n".join(blocks)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        with self._lock:
+            self._contributions.clear()
+            self._cells.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LineageRecorder(cells={len(self._cells)}, "
+            f"enabled={self.enabled})"
+        )
+
+
+class NullLineage:
+    """The disabled recorder: every hook is a shared no-op."""
+
+    enabled = False
+
+    def begin(self, mode: str) -> None:
+        return None
+
+    def add_contribution(self, mode: str, group: tuple, row) -> None:
+        return None
+
+    def record_cell(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def cells(self) -> list:
+        return []
+
+    def explain_cell(self, *args: Any, **kwargs: Any):
+        raise KeyError(
+            "lineage capture is disabled — attach a LineageRecorder "
+            "(lineage=...) or build the session/cube with explain=True"
+        )
+
+    def to_text(self) -> str:
+        return ""
+
+    def clear(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullLineage()"
+
+
+NULL_LINEAGE = NullLineage()

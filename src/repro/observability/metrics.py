@@ -20,6 +20,7 @@ single guard hot paths check before doing any metrics work at all.
 
 from __future__ import annotations
 
+import re
 import threading
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping
@@ -158,8 +159,36 @@ def _label_key(labels: Labels) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+# Dotted/dashed names are accepted (``_prom_name`` maps them to underscores
+# at exposition time); anything else would render as invalid exposition.
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:.\-]*\Z")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _validate_series(name: str, labels: tuple[tuple[str, str], ...]) -> None:
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:.-]* (dots/dashes become underscores "
+            "in the Prometheus exposition)"
+        )
+    for key, _value in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(
+                f"invalid label name {key!r} on metric {name!r}: must "
+                "match [a-zA-Z_][a-zA-Z0-9_]*"
+            )
+
+
+def _escape_label_value(value: str) -> str:
+    # Exposition-format escaping: backslash, double quote, newline.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -187,6 +216,7 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
+            _validate_series(name, key[1])
             with self._lock:
                 instrument = self._counters.setdefault(
                     key, Counter(name, key[1], self._lock)
@@ -198,6 +228,7 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
+            _validate_series(name, key[1])
             with self._lock:
                 instrument = self._gauges.setdefault(
                     key, Gauge(name, key[1], self._lock)
@@ -215,6 +246,7 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
+            _validate_series(name, key[1])
             with self._lock:
                 instrument = self._histograms.setdefault(
                     key, Histogram(name, key[1], self._lock, buckets)
@@ -240,6 +272,7 @@ class MetricsRegistry:
                     "count": h.count,
                     "sum": h.sum,
                     "mean": h.mean,
+                    "buckets": h.cumulative(),
                 }
                 for h in self._histograms.values()
             }

@@ -168,16 +168,20 @@ def profile_query(
     shards: int | None = None,
     statement: str | None = None,
     all_modes: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> QueryProfile:
     """Profile ``query`` against ``mvft`` and return the report.
 
     ``shards > 1`` adds a sharded pass (per-shard row counts and merge
     time); ``all_modes=False`` skips the per-structure-version sweep.
-    The run uses private instruments only — the process-wide defaults of
+    ``tracer``/``metrics`` inject pre-configured instruments (the CLI
+    passes a sampler-equipped tracer for ``--trace-sample``); by default
+    the run uses private instruments only — the process-wide defaults of
     :mod:`repro.observability.runtime` are neither read nor written.
     """
-    tracer = Tracer()
-    metrics = MetricsRegistry()
+    tracer = tracer if tracer is not None else Tracer()
+    metrics = metrics if metrics is not None else MetricsRegistry()
     engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
     table = engine.execute(query)
 

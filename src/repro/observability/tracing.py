@@ -40,6 +40,7 @@ class Span:
         "start_ns",
         "end_ns",
         "attributes",
+        "sampled",
         "_tracer",
     )
 
@@ -50,6 +51,7 @@ class Span:
         span_id: int,
         parent_id: int | None,
         attributes: Mapping[str, Any] | None,
+        sampled: bool = True,
     ) -> None:
         self._tracer = tracer
         self.name = name
@@ -57,6 +59,7 @@ class Span:
         self.parent_id = parent_id
         self.start_ns = 0
         self.end_ns = 0
+        self.sampled = sampled
         self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
 
     # -- lifecycle (context manager) -------------------------------------------
@@ -120,16 +123,28 @@ class Tracer:
     thread nest; spans opened on worker threads take ``parent=``
     explicitly (see :class:`~repro.concurrency.sharding.ShardedExecutor`
     and the ETL fan-out).
+
+    ``sampler`` (a :class:`~repro.observability.export.TraceSampler`)
+    makes tracing cheap under volume: each *root* span asks the sampler
+    whether its trace records, children inherit the decision, and
+    unsampled spans are dropped at exit — unless they errored and the
+    sampler is ``always_on_error`` (failures always record).
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, *, sampler: Any = None) -> None:
         self._origin_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
         self._next_id = 1
         self._finished: list[Span] = []
         self._local = threading.local()
+        self.sampler = sampler
+
+    @property
+    def origin_ns(self) -> int:
+        """The tracer's monotonic origin (span offsets are relative to it)."""
+        return self._origin_ns
 
     # -- span creation -----------------------------------------------------------
 
@@ -151,10 +166,16 @@ class Tracer:
             self._next_id += 1
         if parent is not None:
             parent_id: int | None = parent.span_id
+            sampled = getattr(parent, "sampled", True)
         else:
             stack = getattr(self._local, "stack", None)
-            parent_id = stack[-1].span_id if stack else None
-        return Span(self, name, span_id, parent_id, attributes)
+            if stack:
+                parent_id = stack[-1].span_id
+                sampled = stack[-1].sampled
+            else:
+                parent_id = None
+                sampled = self.sampler.sample() if self.sampler else True
+        return Span(self, name, span_id, parent_id, attributes, sampled)
 
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -170,6 +191,15 @@ class Tracer:
             stack.remove(span)
 
     def _record(self, span: Span) -> None:
+        if not span.sampled:
+            sampler = self.sampler
+            if (
+                sampler is None
+                or not sampler.always_on_error
+                or "error" not in span.attributes
+            ):
+                return
+            sampler.rescue()
         with self._lock:
             self._finished.append(span)
 
@@ -282,6 +312,8 @@ class NullTracer:
     """The disabled tracer: ``span()`` returns one shared no-op object."""
 
     enabled = False
+    origin_ns = 0
+    sampler = None
 
     def span(self, name: str, **_kwargs: Any) -> _NullSpan:
         """A shared no-op context manager — no allocation, no clock read."""

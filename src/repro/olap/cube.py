@@ -150,13 +150,25 @@ class Cube:
         executor=None,
         tracer=None,
         metrics=None,
+        explain: bool = False,
+        lineage=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
         self._tracer = tracer
         self._metrics = metrics
-        self.engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+        if lineage is None and explain:
+            from repro.observability.lineage import LineageRecorder
+
+            lineage = LineageRecorder()
+        self.lineage = lineage
+        self.engine = QueryEngine(
+            mvft, tracer=tracer, metrics=metrics, lineage=lineage
+        )
         self.executor = executor
+        if executor is not None and lineage is not None:
+            # Executor-path pivots run on the executor's own engine.
+            executor.engine.set_lineage(lineage)
         if lattice is None and materialize:
             from .aggregates import AggregateLattice
 
@@ -165,7 +177,8 @@ class Cube:
 
     @classmethod
     def from_cursor(
-        cls, cursor, *, materialize: bool = False, executor=None
+        cls, cursor, *, materialize: bool = False, executor=None,
+        explain: bool = False,
     ) -> "Cube":
         """A cube over a pinned snapshot version.
 
@@ -176,7 +189,10 @@ class Cube:
         (:class:`~repro.concurrency.sharding.ShardedExecutor` over the
         same MVFT) runs engine-path pivots shard-parallel.
         """
-        return cls(cursor.mvft, materialize=materialize, executor=executor)
+        return cls(
+            cursor.mvft, materialize=materialize, executor=executor,
+            explain=explain,
+        )
 
     @property
     def modes(self) -> list[str]:
@@ -274,7 +290,11 @@ class Cube:
                 "measure": measure,
             },
         ) as span:
-            if not filters:
+            # Lattice-served pivots bypass the engine entirely, so an
+            # explaining cube always takes the engine path — lineage would
+            # otherwise be silently empty.
+            lineage_on = self.lineage is not None and self.lineage.enabled
+            if not filters and not lineage_on:
                 served = self._pivot_from_lattice(
                     mode, row_axis, col_axis, measure, time_range
                 )
@@ -292,6 +312,23 @@ class Cube:
             return self._pivot_engine(
                 mode, row_axis, col_axis, measure, time_range, filters
             )
+
+    def explain_cell(
+        self, row: object, col: object, measure: str, *, mode: str | None = None
+    ):
+        """The lineage of the cell at (row label, column label).
+
+        Requires the cube to have been built with ``explain=True`` (or a
+        ``lineage=`` recorder) and a pivot to have run; returns the
+        :class:`~repro.observability.lineage.CellLineage` recorded for
+        that cell's group.
+        """
+        if self.lineage is None:
+            raise QueryError(
+                "this cube records no lineage — build it with explain=True "
+                "(or pass lineage=LineageRecorder())"
+            )
+        return self.lineage.explain_cell((row, col), measure, mode=mode)
 
     def _pivot_engine(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -214,13 +215,20 @@ class WriteAheadJournal:
             line = json.dumps(record, separators=(",", ":"))
         except TypeError as exc:
             raise WALError(f"WAL record is not JSON-serializable: {exc}") from exc
+        metrics = self._metrics_now()
         self._file.write(line + "\n")
         self._file.flush()
         if self.durable:
-            os.fsync(self._file.fileno())
+            if metrics.enabled:
+                fsync_start = time.perf_counter()
+                os.fsync(self._file.fileno())
+                metrics.histogram("wal.fsync_seconds").observe(
+                    time.perf_counter() - fsync_start
+                )
+            else:
+                os.fsync(self._file.fileno())
         self._next_lsn += 1
         self._bytes += len(line) + 1
-        metrics = self._metrics_now()
         if metrics.enabled:
             metrics.counter("wal.appends", {"kind": kind}).inc()
             metrics.counter("wal.bytes_written").inc(len(line) + 1)

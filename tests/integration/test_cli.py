@@ -295,3 +295,158 @@ class TestTraceOut:
         collects = [s for s in spans if s["name"] == "shard.collect"]
         assert collects
         assert all(s["parent_id"] == root["span_id"] for s in collects)
+
+
+class TestStatsFormat:
+    def test_format_json_matches_the_json_alias(self):
+        import json
+
+        status, out = run_cli("stats", "--format", "json")
+        assert status == 0
+        snapshot = json.loads(out)
+        assert snapshot["counters"]['query.executed{mode="tcm"}'] >= 1
+
+    def test_format_prometheus_round_trips_label_values(self):
+        status, out = run_cli("stats", "--format", "prometheus")
+        assert status == 0
+        assert 'query_executed{mode="tcm"}' in out
+        # Every sample line is parseable: NAME{...} VALUE or NAME VALUE.
+        import re
+
+        sample = re.compile(
+            r"[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? [0-9.+eE-]+(\.[0-9]+)?\Z"
+        )
+        for line in out.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert sample.match(line), line
+
+
+class TestLineageCommand:
+    STATEMENT = "SELECT amount BY year, org.Division IN MODE V1 DURING 2001..2002"
+
+    def test_full_lineage_dump(self):
+        status, out = run_cli("lineage", self.STATEMENT)
+        assert status == 0
+        assert "cell (2002, Sales)" in out
+        assert "⊗cf" in out
+
+    def test_single_cell_explanation(self):
+        status, out = run_cli(
+            "lineage", self.STATEMENT, "--cell", "2002,Sales"
+        )
+        assert status == 0
+        assert "amount = 200 (sd)" in out
+        assert "jones" in out and "smith" in out
+        assert "sd ⊗cf sd -> sd" in out
+
+    def test_unknown_cell_reports_error(self):
+        status, out = run_cli(
+            "lineage", self.STATEMENT, "--cell", "1999,Nowhere"
+        )
+        assert status == 1
+        assert "error:" in out and "no lineage recorded" in out
+
+    def test_compile_error_rejected(self):
+        status, out = run_cli("lineage", "SELECT zzz BY year")
+        assert status == 1
+        assert "error:" in out
+
+
+class TestDoctorCommand:
+    def test_clean_run_passes(self):
+        status, out = run_cli("doctor")
+        assert status == 0
+        assert "doctor: PASS" in out
+        assert "integrity: OK" in out
+
+    def test_firing_rule_exits_nonzero(self, tmp_path):
+        import json
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "too many queries", "metric": "query.executed",
+             "op": ">", "threshold": 0},
+        ]))
+        status, out = run_cli("doctor", "--rules", str(rules))
+        assert status == 1
+        assert "doctor: WARN" in out
+        assert "too many queries" in out
+
+    def test_fail_severity_rule_exits_two(self, tmp_path):
+        import json
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "any query is fatal", "metric": "query.executed",
+             "op": ">", "threshold": 0, "severity": "fail"},
+        ]))
+        status, out = run_cli("doctor", "--rules", str(rules))
+        assert status == 2
+        assert "doctor: FAIL" in out
+
+    def test_invalid_rules_file_exits_two(self, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text("{not json")
+        status, out = run_cli("doctor", "--rules", str(rules))
+        assert status == 2
+        assert "error:" in out
+
+    def test_wal_stats_reported(self, tmp_path):
+        from repro.robustness import TransactionManager
+        from repro.workloads.case_study import build_case_study
+
+        wal = tmp_path / "doctor.wal"
+        txm = TransactionManager(build_case_study().schema, wal=str(wal))
+        with txm.transaction():
+            pass
+        status, out = run_cli("doctor", "--wal", str(wal))
+        assert status == 0
+        assert "wal:" in out and "open_transactions: 0" in out
+
+
+class TestTraceFormats:
+    STATEMENT = "SELECT amount BY year, org.Division"
+
+    def test_mvql_otlp_round_trip(self, tmp_path):
+        from repro.observability import read_otlp_json
+
+        trace = tmp_path / "trace.otlp.json"
+        status, out = run_cli(
+            "mvql", self.STATEMENT,
+            "--trace-out", str(trace), "--trace-format", "otlp",
+        )
+        assert status == 0
+        assert "OTLP" in out
+        spans = read_otlp_json(trace)
+        ids = {s["spanId"] for s in spans}
+        root = next(s for s in spans if s["name"] == "mvql.statement")
+        assert root["parentSpanId"] == ""
+        for span in spans:
+            if span["parentSpanId"]:
+                assert span["parentSpanId"] in ids
+            assert span["traceId"] == root["traceId"]
+
+    def test_profile_otlp_round_trip(self, tmp_path):
+        from repro.observability import read_otlp_json
+
+        trace = tmp_path / "trace.otlp.json"
+        status, out = run_cli(
+            "profile", self.STATEMENT,
+            "--trace-out", str(trace), "--trace-format", "otlp",
+        )
+        assert status == 0
+        spans = read_otlp_json(trace)
+        names = {s["name"] for s in spans}
+        assert "query.execute" in names and "shard.execute" in names
+
+    def test_trace_sample_zero_writes_no_spans(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        status, out = run_cli(
+            "mvql", self.STATEMENT,
+            "--trace-out", str(trace), "--trace-sample", "0.0",
+        )
+        assert status == 0
+        from repro.observability import read_jsonl
+
+        assert read_jsonl(trace) == []

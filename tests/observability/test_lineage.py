@@ -1,0 +1,202 @@
+"""Tests for per-cell query lineage (explain_cell)."""
+
+import pytest
+
+from repro.concurrency import ShardedExecutor
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.core.errors import QueryError
+from repro.mvql import MVQLSession
+from repro.mvql.errors import MVQLCompileError
+from repro.observability import NULL_LINEAGE, CellLineage, LineageRecorder
+from repro.olap import Cube, LevelAxis, TimeAxis
+from repro.workloads.case_study import ORG
+
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+Q2 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+    time_range=Interval(ym(2002, 1), ym(2003, 12)),
+)
+
+
+class TestRecorderCapture:
+    def test_explained_cell_matches_the_returned_value_and_confidence(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        for mode in mvft.modes.labels:
+            table = engine.execute(Q1.with_mode(mode))
+            for row in table:
+                cell = lineage.explain_cell(row.group, "amount", mode=mode)
+                assert cell.value == row.value("amount")
+                expected_cf = row.confidence("amount")
+                assert cell.confidence == (
+                    expected_cf.symbol if expected_cf is not None else None
+                )
+
+    def test_contributions_name_exact_member_versions(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        cell = lineage.explain_cell(("2002", "Sales"), "amount")
+        coords = [dict(c.coordinates)["org"] for c in cell.contributions]
+        # Table 5: 2002 Sales in V1 aggregates the jones and smith leaves.
+        assert coords == ["jones", "smith"]
+        for contribution in cell.contributions:
+            assert contribution.confidence is not None
+            assert contribution.provenance
+
+    def test_mapped_mode_lineage_names_the_mapping_function(self, mvft):
+        # Q2 in V2 routes 2003 facts of the V3 structure back through the
+        # mapping relationship — provenance must name endpoints + function.
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q2.with_mode("V2"))
+        cell = lineage.explain_cell(("2003", "Dpt.Jones"), "amount")
+        provenance = [p for c in cell.contributions for p in c.provenance]
+        assert any("->" in p and "amount" in p for p in provenance), provenance
+
+    def test_fold_steps_record_the_cf_reduction(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        cell = lineage.explain_cell(("2002", "Sales"), "amount")
+        assert len(cell.contributions) == 2
+        assert cell.fold_steps == ("sd ⊗cf sd -> sd",)
+
+    def test_multi_step_fold_matches_the_aggregator(self, mvft, case_study):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        # Whole-history tcm query: group with >2 contributions exercises
+        # a chained fold.
+        query = Query(group_by=(LevelGroup(ORG, "Division"),))
+        table = engine.execute(query)
+        agg = case_study.schema.cf_aggregator
+        for row in table:
+            cell = lineage.explain_cell(row.group, "amount")
+            if len(cell.contributions) < 2:
+                continue
+            assert len(cell.fold_steps) == len(cell.contributions) - 1
+            # The last step's result is the cell's confidence.
+            assert cell.fold_steps[-1].endswith(f"-> {cell.confidence}")
+
+    def test_begin_clears_previous_capture_of_the_same_mode(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        first = len(lineage.cells())
+        engine.execute(Q1.with_mode("V1"))
+        assert len(lineage.cells()) == first
+
+    def test_group_labels_match_by_string_rendering(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        exact = lineage.explain_cell(("2002", "Sales"), "amount")
+        assert isinstance(exact, CellLineage)
+        assert exact.measure == "amount"
+
+    def test_missing_cell_raises_with_recorded_listing(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        with pytest.raises(KeyError, match="no lineage recorded"):
+            lineage.explain_cell(("1999", "Nothing"), "amount")
+
+    def test_disabled_recorder_captures_nothing(self, mvft):
+        lineage = LineageRecorder()
+        lineage.enabled = False
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        assert lineage.cells() == []
+
+    def test_null_lineage_explain_raises(self, mvft):
+        engine = QueryEngine(mvft)
+        assert engine.lineage is NULL_LINEAGE
+        with pytest.raises(KeyError, match="disabled"):
+            engine.lineage.explain_cell(("2002", "Sales"), "amount")
+
+    def test_to_text_renders_the_derivation_tree(self, mvft):
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        text = lineage.explain_cell(("2002", "Sales"), "amount").to_text()
+        assert "cell (2002, Sales)" in text
+        assert "⊗cf" in text
+        assert "via " in text
+
+    def test_to_dict_round_trips_through_json(self, mvft):
+        import json
+
+        lineage = LineageRecorder()
+        engine = QueryEngine(mvft, lineage=lineage)
+        engine.execute(Q1.with_mode("V1"))
+        cell = lineage.explain_cell(("2002", "Sales"), "amount")
+        payload = json.loads(json.dumps(cell.to_dict()))
+        assert payload["measure"] == "amount"
+        assert payload["group"] == ["2002", "Sales"]
+        assert len(payload["contributions"]) == 2
+
+
+class TestShardedLineage:
+    def test_sharded_lineage_matches_serial(self, mvft):
+        serial = LineageRecorder()
+        QueryEngine(mvft, lineage=serial).execute(Q1.with_mode("V2"))
+        sharded = LineageRecorder()
+        executor = ShardedExecutor(
+            mvft, shards=4, max_workers=4, lineage=sharded
+        )
+        executor.execute(Q1.with_mode("V2"))
+        assert serial.cells() == sharded.cells()
+        for key in serial.cells():
+            a = serial.explain_cell(key[1], key[2], mode=key[0])
+            b = sharded.explain_cell(key[1], key[2], mode=key[0])
+            assert a.contributions == b.contributions
+            assert a.fold_steps == b.fold_steps
+            assert a.value == b.value and a.confidence == b.confidence
+
+
+class TestSessionAndCubeSurfaces:
+    def test_session_explain_true_records_and_explains(self, mvft):
+        session = MVQLSession(mvft, explain=True)
+        table = session.execute(
+            "SELECT amount BY year, org.Division IN MODE V1 DURING 2001..2002"
+        )
+        row = next(iter(table))
+        cell = session.explain_cell(row.group, "amount")
+        assert cell.value == row.value("amount")
+
+    def test_session_without_explain_raises(self, mvft):
+        session = MVQLSession(mvft)
+        with pytest.raises(MVQLCompileError, match="explain=True"):
+            session.explain_cell(("2002", "Sales"), "amount")
+
+    def test_cube_explain_cell(self, mvft):
+        cube = Cube(mvft, explain=True)
+        view = cube.pivot(
+            "V1", TimeAxis(YEAR), LevelAxis(ORG, "Division"), "amount"
+        )
+        cell = cube.explain_cell("2002", "Sales", "amount")
+        assert cell.value == view.cell("2002", "Sales").value
+
+    def test_explaining_cube_bypasses_the_lattice(self, mvft):
+        cube = Cube(mvft, materialize=True, explain=True)
+        cube.pivot("V1", TimeAxis(YEAR), LevelAxis(ORG, "Division"), "amount")
+        # Lattice-served pivots record no lineage; the explain surface
+        # must therefore have gone through the engine.
+        assert cube.explain_cell("2002", "Sales", "amount").contributions
+
+    def test_cube_without_lineage_raises(self, mvft):
+        cube = Cube(mvft)
+        with pytest.raises(QueryError, match="explain=True"):
+            cube.explain_cell("2002", "Sales", "amount")

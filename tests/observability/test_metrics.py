@@ -89,3 +89,42 @@ class TestNullMetrics:
         NULL_METRICS.gauge("g").set(1)
         NULL_METRICS.histogram("h").observe(0.5)
         assert NULL_METRICS.counter("c").value == 0
+
+
+class TestSeriesValidation:
+    def test_label_values_are_escaped_in_prometheus_output(self):
+        m = MetricsRegistry()
+        m.counter("c", {"q": 'say "hi"\\now\nplease'}).inc()
+        text = m.render_prometheus()
+        assert r'q="say \"hi\"\\now\nplease"' in text
+        # The exposition stays one line per sample.
+        sample_lines = [l for l in text.splitlines() if l.startswith("c{")]
+        assert len(sample_lines) == 1
+
+    def test_invalid_metric_names_are_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            m.counter("1starts-with-digit")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            m.gauge("has space")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            m.histogram("")
+
+    def test_invalid_label_names_are_rejected(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid label name"):
+            m.counter("ok", {"bad-label": "x"})
+
+    def test_validation_happens_once_per_series(self):
+        # The cached-lookup fast path must still return the instrument.
+        m = MetricsRegistry()
+        first = m.counter("ok", {"mode": "tcm"})
+        assert m.counter("ok", {"mode": "tcm"}) is first
+
+    def test_snapshot_histograms_include_cumulative_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        entry = m.snapshot()["histograms"]["lat"]
+        assert entry["buckets"] == [("0.1", 1), ("1", 1), ("+Inf", 2)]
