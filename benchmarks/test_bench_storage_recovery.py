@@ -117,3 +117,93 @@ class TestWarehouseRecoveryThroughput:
 
         db, report = benchmark(run)
         assert len(db.table("sales")) == N_ROWS - N_ROWS // 25
+
+
+class TestChecksumTax:
+    """What the per-record CRC32 costs on the append path."""
+
+    def _bulk_load(self, benchmark, tmp_path, *, checksum):
+        from repro.robustness import WriteAheadJournal
+
+        counter = {"n": 0}
+
+        def run():
+            counter["n"] += 1
+            wal = WriteAheadJournal(
+                tmp_path / f"crc-{checksum}-{counter['n']}.wal",
+                checksum=checksum,
+            )
+            txm = TransactionManager(
+                tiny_schema(), wal=wal, database=fresh_warehouse()
+            )
+            load_rows(txm)
+            txm.wal.close()
+
+        benchmark(run)
+
+    def test_append_with_checksums(self, benchmark, tmp_path):
+        self._bulk_load(benchmark, tmp_path, checksum=True)
+
+    def test_append_without_checksums(self, benchmark, tmp_path):
+        self._bulk_load(benchmark, tmp_path, checksum=False)
+
+
+class TestAsOfMaterializationCost:
+    """Undo replay cost as a function of LSN distance from the head.
+
+    A near target undoes almost everything forward replay would have
+    skipped; a far target undoes almost nothing — the interesting curve
+    is how the backwards walk scales with the records between target and
+    head.
+    """
+
+    TXNS = 40
+    ROWS_PER_TXN = 10
+
+    @pytest.fixture(scope="class")
+    def history(self, tmp_path_factory):
+        """``(path, commit LSNs)`` for a 40-transaction insert history."""
+        path = tmp_path_factory.mktemp("asof") / "history.wal"
+        txm = TransactionManager(
+            tiny_schema(), wal=path, database=fresh_warehouse()
+        )
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        commits = []
+        for t in range(self.TXNS):
+            with txm.transaction() as txn:
+                txm.database.insert_many(
+                    "sales",
+                    [
+                        {"id": t * self.ROWS_PER_TXN + i, "dept_id": 1, "amount": i}
+                        for i in range(self.ROWS_PER_TXN)
+                    ],
+                )
+            commits.append(txn.commit_lsn)
+        txm.wal.close()
+        return path, commits
+
+    def _materialize(self, benchmark, history, pick):
+        from repro.robustness import materialize_as_of
+
+        path, commits = history
+        target = pick(commits)
+
+        def run():
+            return materialize_as_of(path, target, verify=False)
+
+        db, report = benchmark(run)
+        assert report.target_lsn == target
+
+    def test_target_near_head(self, benchmark, history):
+        """Last commit: nothing to undo."""
+        self._materialize(benchmark, history, lambda commits: commits[-1])
+
+    def test_target_mid_history(self, benchmark, history):
+        self._materialize(
+            benchmark, history, lambda commits: commits[len(commits) // 2]
+        )
+
+    def test_target_far_from_head(self, benchmark, history):
+        """First commit: the whole history is undone record by record."""
+        self._materialize(benchmark, history, lambda commits: commits[0])

@@ -11,9 +11,17 @@ Commands:
 * ``modes`` — list the temporal modes of presentation;
 * ``integrity`` — run the structural invariant checker on the case-study
   schema (exits non-zero on violations);
-* ``recover <wal> [--warehouse]`` — replay a write-ahead journal and
-  report what crash recovery restored (``--warehouse`` replays the
-  relational catalog/dml records instead of the schema operators);
+* ``recover <wal> [--warehouse] [--to LSN|NAME]`` — replay a write-ahead
+  journal and report what crash recovery restored (``--warehouse``
+  replays the relational catalog/dml records instead of the schema
+  operators; ``--to`` rewinds the journal to an LSN or restore point —
+  point-in-time recovery);
+* ``backup <wal> <dir>`` / ``restore <dir> <wal>`` — copy a journal plus
+  its archive segments into a checksummed backup directory, and rebuild
+  a journal from one;
+* ``asof <wal> "<statement>" [--at LSN|NAME]`` — execute MVQL against
+  the historical state the journal described at a past LSN or restore
+  point (AS-OF time travel);
 * ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
   case study and print the current snapshot version, open-snapshot count
   and last checkpoint LSN;
@@ -101,6 +109,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the relational catalog/dml records instead of the "
         "schema operators (row-level warehouse recovery)",
+    )
+    recover.add_argument(
+        "--to",
+        default=None,
+        metavar="LSN|NAME",
+        help="rewind the journal to this LSN or restore-point name "
+        "(point-in-time recovery: forward history is dropped)",
+    )
+    backup = sub.add_parser(
+        "backup", help="copy a journal and its archive segments to a backup"
+    )
+    backup.add_argument("wal", help="path to the JSONL write-ahead journal")
+    backup.add_argument("destination", help="backup directory to create")
+    restore = sub.add_parser(
+        "restore", help="restore a journal from a backup directory"
+    )
+    restore.add_argument("backup", help="backup directory (from `repro backup`)")
+    restore.add_argument("wal", help="journal path to create")
+    asof = sub.add_parser(
+        "asof", help="execute MVQL against a historical journal state"
+    )
+    asof.add_argument("wal", help="path to the JSONL write-ahead journal")
+    asof.add_argument(
+        "statement",
+        nargs="*",
+        help="MVQL statements (default: read one per line from stdin)",
+    )
+    asof.add_argument(
+        "--at",
+        default=None,
+        metavar="LSN|NAME",
+        help="the target LSN or restore-point name (default: journal head)",
     )
     snapshot = sub.add_parser(
         "snapshot", help="report the MVCC snapshot state of the case study"
@@ -295,7 +335,15 @@ def _cmd_integrity(out) -> int:
     return 0 if report.ok else 2
 
 
-def _cmd_recover(wal: str, out, *, warehouse: bool = False) -> int:
+def _parse_target(text: str) -> int | str:
+    """``--to``/``--at`` values: digits mean an LSN, anything else a name."""
+    stripped = text.strip()
+    return int(stripped) if stripped.isdigit() else stripped
+
+
+def _cmd_recover(
+    wal: str, out, *, warehouse: bool = False, to: str | None = None
+) -> int:
     from repro.robustness import (
         IntegrityChecker,
         RecoveryError,
@@ -304,6 +352,20 @@ def _cmd_recover(wal: str, out, *, warehouse: bool = False) -> int:
         recover_warehouse,
     )
 
+    if to is not None:
+        from repro.robustness import recover_to
+
+        try:
+            report = recover_to(wal, _parse_target(to))
+        except (RecoveryError, WALError) as exc:
+            print(f"recovery failed: {exc}", file=out)
+            return 2
+        print(report.to_text(), file=out)
+        db = report.database
+        for name in db.table_names:
+            print(f"table {name}: {len(db.table(name))} rows", file=out)
+        print(f"recovered: {report.schema!r}", file=out)
+        return 0
     if warehouse:
         try:
             db, wh_report = recover_warehouse(wal)
@@ -324,6 +386,55 @@ def _cmd_recover(wal: str, out, *, warehouse: bool = False) -> int:
     print(IntegrityChecker(schema).run().to_text(), file=out)
     print(f"recovered: {schema!r}", file=out)
     return 0
+
+
+def _cmd_backup(wal: str, destination: str, out) -> int:
+    from repro.robustness import WALError, backup_journal
+
+    try:
+        report = backup_journal(wal, destination)
+    except WALError as exc:
+        print(f"backup failed: {exc}", file=out)
+        return 2
+    print(report.to_text(), file=out)
+    return 0
+
+
+def _cmd_restore(backup: str, wal: str, out) -> int:
+    from repro.robustness import WALError, restore_backup
+
+    try:
+        report = restore_backup(backup, wal)
+    except WALError as exc:
+        print(f"restore failed: {exc}", file=out)
+        return 2
+    print(report.to_text(), file=out)
+    return 0
+
+
+def _cmd_asof(wal: str, statements: list[str], at: str | None, out) -> int:
+    from repro.robustness import RecoveryError, WALError, open_as_of
+
+    target = _parse_target(at) if at is not None else None
+    try:
+        snapshot = open_as_of(wal, target)
+    except (RecoveryError, WALError) as exc:
+        print(f"as-of failed: {exc}", file=out)
+        return 2
+    print(f"as of: lsn {snapshot.lsn}", file=out)
+    session = snapshot.mvql_session()
+    if not statements:
+        statements = [line.strip() for line in sys.stdin if line.strip()]
+    status = 0
+    for statement in statements:
+        print(f"mvql> {statement}", file=out)
+        try:
+            print(session.execute_to_text(statement), file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            status = 1
+        print(file=out)
+    return status
 
 
 def _cmd_snapshot(wal: str | None, out) -> int:
@@ -525,7 +636,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "integrity":
         return _cmd_integrity(out)
     if args.command == "recover":
-        return _cmd_recover(args.wal, out, warehouse=args.warehouse)
+        return _cmd_recover(args.wal, out, warehouse=args.warehouse, to=args.to)
+    if args.command == "backup":
+        return _cmd_backup(args.wal, args.destination, out)
+    if args.command == "restore":
+        return _cmd_restore(args.backup, args.wal, out)
+    if args.command == "asof":
+        return _cmd_asof(args.wal, list(args.statement), args.at, out)
     if args.command == "snapshot":
         return _cmd_snapshot(args.wal, out)
     if args.command == "stats":

@@ -118,6 +118,32 @@ class SnapshotManager:
         with self._state_lock:
             return sorted(c.version for c in self._cursors)
 
+    def open_as_of_cursor(self, target: Any = None):
+        """Open a read-only view pinned to a *historical* journal state.
+
+        ``target`` is an LSN, a restore-point name, or ``None`` for the
+        journal head.  Unlike :meth:`open_cursor` (which pins the current
+        in-memory snapshot), this materializes the schema the journal
+        described at ``target`` via
+        :func:`repro.robustness.pitr.open_as_of` and returns the
+        resulting :class:`~repro.robustness.pitr.AsOfSnapshot` — it
+        mirrors the cursor's query surface (``mvft``, ``query_engine``,
+        ``mvql_session``, ``cube``, ``warehouse``) but is a detached
+        copy, so it needs no release and never blocks the writer.
+        """
+        if self.txm.wal is None:
+            raise SnapshotError(
+                "AS-OF cursors need a journaled manager; this "
+                "TransactionManager has no write-ahead journal attached"
+            )
+        from repro.robustness.pitr import open_as_of
+
+        snapshot = open_as_of(self.txm.wal, target)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("mvcc.asof_cursors_opened").inc()
+        return snapshot
+
     @property
     def last_checkpoint_lsn(self) -> int | None:
         """LSN of the journal's most recent checkpoint (``None`` without

@@ -89,6 +89,21 @@ class MVQLSession:
         """
         return cls(cursor.mvft)
 
+    @classmethod
+    def as_of(cls, wal, target=None, **kwargs) -> "MVQLSession":
+        """A session over a point-in-time snapshot of a journaled schema.
+
+        ``wal`` is a write-ahead journal (or its path) and ``target`` an
+        LSN, a restore-point name, or ``None`` for the journal head; the
+        snapshot is materialized once via
+        :func:`repro.robustness.pitr.open_as_of` and the session queries
+        it — "what did this cube look like before Tuesday's reorg?".
+        Remaining keyword arguments go to the constructor.
+        """
+        from repro.robustness.pitr import open_as_of
+
+        return cls(open_as_of(wal, target).mvft, **kwargs)
+
     # -- compilation -----------------------------------------------------------
 
     def compile_select(self, statement: SelectStatement) -> Query:

@@ -512,6 +512,44 @@ def run_doctor(
     else:
         report.notes.append("schema: none given (integrity sweep skipped)")
     if wal_path is not None:
+        from repro.robustness.wal import sweep_journal
+
+        sweep = sweep_journal(wal_path)
+        for severity, message in sweep["problems"]:
+            report.alerts.append(
+                AlertResult(
+                    rule=AlertRule(
+                        name=f"wal sweep: {message}",
+                        metric="wal",
+                        op=">",
+                        threshold=0,
+                        severity=severity,
+                    ),
+                    fired=True,
+                    observed=1.0,
+                )
+            )
+        if metrics is not None and getattr(metrics, "enabled", False):
+            if sweep["checksum_failures"]:
+                metrics.counter("wal.checksum_failures").inc(
+                    sweep["checksum_failures"]
+                )
+            metrics.gauge("wal.archive_segments").set(sweep["archive_segments"])
+    if wal_path is not None and any(
+        severity == "fail" for severity, _ in sweep["problems"]
+    ):
+        # The sweep found unreadable or checksum-mismatched records: a
+        # strict open would either raise or (policy-dependent) rewrite the
+        # journal, and the doctor must never mutate what it diagnoses.
+        report.wal_stats = {
+            "path": str(wal_path),
+            "records": sweep["records"],
+            "checksum_failures": sweep["checksum_failures"],
+            "archive_segments": sweep["archive_segments"],
+            "archived_records": sweep["archived_records"],
+            "error": "; ".join(msg for _, msg in sweep["problems"]),
+        }
+    elif wal_path is not None:
         try:
             with WriteAheadJournal(wal_path) as journal:
                 records = journal.records()
@@ -533,6 +571,9 @@ def run_doctor(
                     "records": len(records),
                     "kinds": dict(sorted(kinds.items())),
                     "open_transactions": len(open_txids),
+                    "checksum_failures": sweep["checksum_failures"],
+                    "archive_segments": sweep["archive_segments"],
+                    "archived_records": sweep["archived_records"],
                 }
                 if open_txids:
                     # A begin without commit/abort means a crash tore the

@@ -194,6 +194,26 @@ class Cube:
             explain=explain,
         )
 
+    @classmethod
+    def from_warehouse(
+        cls, wal, *, as_of=None, materialize: bool = False,
+        explain: bool = False,
+    ) -> "Cube":
+        """A cube over a journaled warehouse, optionally back in time.
+
+        ``wal`` is a write-ahead journal (or its path); ``as_of`` is an
+        LSN, a restore-point name, or ``None`` for the journal head.  The
+        historical schema is materialized once via
+        :func:`repro.robustness.pitr.open_as_of` and the cube pivots it —
+        AS-OF time travel for the analyst's view.
+        """
+        from repro.robustness.pitr import open_as_of
+
+        return cls(
+            open_as_of(wal, as_of).mvft, materialize=materialize,
+            explain=explain,
+        )
+
     @property
     def modes(self) -> list[str]:
         """Available presentation modes (the TMP axis)."""

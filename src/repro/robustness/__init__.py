@@ -31,6 +31,20 @@ from .errors import (
 )
 from .faults import FAULT_POINTS, FaultInjector, FaultPlan
 from .integrity import IntegrityChecker, IntegrityReport, Violation
+from .pitr import (
+    AsOfReport,
+    AsOfSnapshot,
+    BackupReport,
+    RecoverToReport,
+    backup_journal,
+    materialize_as_of,
+    materialize_schema_as_of,
+    open_as_of,
+    recover_to,
+    resolve_target,
+    restore_backup,
+    restore_points,
+)
 from .recovery import (
     RecoveryReport,
     WarehouseRecoveryReport,
@@ -66,6 +80,18 @@ __all__ = [
     "recover_schema",
     "recover_warehouse",
     "replay_operator",
+    "AsOfReport",
+    "AsOfSnapshot",
+    "BackupReport",
+    "RecoverToReport",
+    "backup_journal",
+    "materialize_as_of",
+    "materialize_schema_as_of",
+    "open_as_of",
+    "recover_to",
+    "resolve_target",
+    "restore_backup",
+    "restore_points",
     "RetryPolicy",
     "Transaction",
     "TransactionManager",

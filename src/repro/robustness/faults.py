@@ -26,6 +26,13 @@ point                     fired
 ``wal.dml``               before each relational ``dml`` record is written
 ``wal.truncate``          mid-compaction, after the temp file is written
                           but before it replaces the journal
+``wal.archive``           mid-archive-rotation, after the segment temp file
+                          is written but before it is renamed into place
+``pitr.undo``             before each pre-image is applied during
+                          :func:`~repro.robustness.pitr.materialize_as_of`
+``backup.copy``           before each file is copied by
+                          :func:`~repro.robustness.pitr.backup_journal` /
+                          :func:`~repro.robustness.pitr.restore_backup`
 ``db.insert``             before each checked :class:`Database` insert
 ``db.insert_many.row``    before each row of a :meth:`Database.insert_many`
 ``etl.extract``           before each operational-source extraction
@@ -50,6 +57,9 @@ FAULT_POINTS: tuple[str, ...] = (
     "wal.append",
     "wal.dml",
     "wal.truncate",
+    "wal.archive",
+    "pitr.undo",
+    "backup.copy",
     "db.insert",
     "db.insert_many.row",
     "etl.extract",

@@ -37,7 +37,7 @@ from repro.storage.schema import table_schema_from_dict, table_schema_to_dict
 
 from .errors import RecoveryError
 from .integrity import IntegrityChecker
-from .wal import WriteAheadJournal, mapping_relationship_from_json
+from .wal import WriteAheadJournal, mapping_relationship_from_json, read_chain
 
 __all__ = [
     "RecoveryReport",
@@ -149,17 +149,74 @@ def replay_operator(editor: SchemaEditor, record: dict[str, Any]) -> None:
 
 
 def _journal_records(
-    wal: WriteAheadJournal | str | Path,
+    wal: WriteAheadJournal | str | Path, *, use_archives: bool = False
 ) -> tuple[list[dict[str, Any]], Path]:
-    """Read every durable record of a journal (plus its path, for errors)."""
+    """Read every durable record of a journal (plus its path, for errors).
+
+    ``use_archives=True`` reads the full chain — compacted archive
+    segments first, then the live journal — so replay can reach LSNs the
+    live journal no longer holds (point-in-time recovery).
+    """
     if isinstance(wal, WriteAheadJournal):
-        return wal.records(), wal.path
+        records = wal.chain_records() if use_archives else wal.records()
+        return records, wal.path
     # Recovery is read-only: never create (or hold open for append) a
     # journal that is merely being inspected.
     if not Path(wal).exists():
         raise RecoveryError(f"{wal}: journal holds no checkpoint to recover from")
+    if use_archives:
+        return read_chain(wal), Path(wal)
     with WriteAheadJournal(wal) as journal:
         return journal.records(), journal.path
+
+
+def _resolve_commits(
+    tail: list[dict[str, Any]],
+) -> tuple[set[int], int, int, int | None]:
+    """Decide positionally which tail records belong to committed
+    transactions.
+
+    Journal generations separated by compaction can reuse transaction
+    ids (the id counter restarts from what the live journal still shows),
+    so membership cannot be a global txid set over an archive chain: a
+    ``commit`` record commits exactly the records its transaction
+    accumulated since its most recent ``begin`` — never the records of an
+    earlier same-id instance.  Returns ``(committed tail indices,
+    transactions replayed, transactions discarded, last committed txid)``.
+    """
+    committed_idx: set[int] = set()
+    open_records: dict[int, list[int]] = {}
+    begun: set[int] = set()
+    replayed = discarded = 0
+    last_committed_txid: int | None = None
+    for i, record in enumerate(tail):
+        txid = record.get("txid")
+        if not isinstance(txid, int):
+            continue  # checkpoints and restore points carry no txid
+        kind = record["kind"]
+        if kind == "begin":
+            if txid in begun:
+                discarded += 1  # a same-id instance that never committed
+            open_records[txid] = []
+            begun.add(txid)
+        elif kind == "commit":
+            committed_idx.update(open_records.pop(txid, ()))
+            if txid in begun:
+                begun.discard(txid)
+                replayed += 1
+            last_committed_txid = txid
+        elif kind == "abort":
+            open_records.pop(txid, None)
+            if txid in begun:
+                begun.discard(txid)
+                discarded += 1
+        else:
+            # A payload record: tentatively owned by the open instance of
+            # its transaction (one may exist without a tail ``begin`` when
+            # the checkpoint landed mid-transaction).
+            open_records.setdefault(txid, []).append(i)
+    discarded += len(begun)
+    return committed_idx, replayed, discarded, last_committed_txid
 
 
 def _last_checkpoint(
@@ -176,7 +233,11 @@ def _last_checkpoint(
 
 
 def recover_schema(
-    wal: WriteAheadJournal | str | Path, *, verify: bool = True
+    wal: WriteAheadJournal | str | Path,
+    *,
+    verify: bool = True,
+    up_to_lsn: int | None = None,
+    use_archives: bool = False,
 ) -> tuple[TemporalMultidimensionalSchema, RecoveryReport]:
     """Rebuild the schema a journal describes, up to the last commit.
 
@@ -186,8 +247,16 @@ def recover_schema(
     schema is treated as failed.  Relational ``catalog`` / ``dml`` records
     belong to the warehouse tier; they are counted (``report.
     warehouse_records_skipped``) and left to :func:`recover_warehouse`.
+
+    ``up_to_lsn`` stops replay at a historical LSN (only transactions
+    whose commit record lies at or below it count as committed) and
+    ``use_archives`` replays across compacted archive segments — together
+    they are the forward half of point-in-time recovery
+    (:mod:`repro.robustness.pitr`).
     """
-    records, path = _journal_records(wal)
+    records, path = _journal_records(wal, use_archives=use_archives)
+    if up_to_lsn is not None:
+        records = [r for r in records if r["lsn"] <= up_to_lsn]
     checkpoint, checkpoint_idx = _last_checkpoint(records, path)
     try:
         schema = schema_from_dict(checkpoint["schema"])
@@ -195,19 +264,18 @@ def recover_schema(
         raise RecoveryError(f"checkpoint snapshot does not rebuild: {exc}") from exc
 
     tail = records[checkpoint_idx + 1:]
-    committed = {r["txid"] for r in tail if r["kind"] == "commit"}
-    seen = {r["txid"] for r in tail if r["kind"] == "begin"}
+    committed_idx, replayed, discarded, last_txid = _resolve_commits(tail)
 
     report = RecoveryReport(
         checkpoint_lsn=checkpoint["lsn"],
-        last_committed_txid=max(committed) if committed else None,
-        transactions_replayed=len(committed & seen),
-        transactions_discarded=len(seen - committed),
+        last_committed_txid=last_txid,
+        transactions_replayed=replayed,
+        transactions_discarded=discarded,
     )
 
     editor = SchemaEditor(schema)
-    for record in tail:
-        if record.get("txid") not in committed:
+    for i, record in enumerate(tail):
+        if i not in committed_idx:
             continue
         if record["kind"] == "op":
             try:
@@ -293,7 +361,11 @@ def _replay_dml(
 
 
 def recover_warehouse(
-    wal: WriteAheadJournal | str | Path, *, verify: bool = True
+    wal: WriteAheadJournal | str | Path,
+    *,
+    verify: bool = True,
+    up_to_lsn: int | None = None,
+    use_archives: bool = False,
 ) -> tuple[Database, WarehouseRecoveryReport]:
     """Rebuild the relational database a journal describes, up to the last
     commit.
@@ -304,8 +376,13 @@ def recover_warehouse(
     recovered tables are slot-for-slot identical to the pre-crash ones).
     ``verify=True`` re-audits every foreign key over the replayed rows and
     raises :class:`RecoveryError` when a reference dangles.
+
+    ``up_to_lsn`` / ``use_archives`` replay to a historical LSN across
+    archive segments — see :func:`recover_schema`.
     """
-    records, path = _journal_records(wal)
+    records, path = _journal_records(wal, use_archives=use_archives)
+    if up_to_lsn is not None:
+        records = [r for r in records if r["lsn"] <= up_to_lsn]
     checkpoint, checkpoint_idx = _last_checkpoint(records, path)
     dumped = checkpoint.get("database")
     try:
@@ -316,19 +393,18 @@ def recover_warehouse(
         ) from exc
 
     tail = records[checkpoint_idx + 1:]
-    committed = {r["txid"] for r in tail if r["kind"] == "commit"}
-    seen = {r["txid"] for r in tail if r["kind"] == "begin"}
+    committed_idx, replayed, discarded, last_txid = _resolve_commits(tail)
 
     report = WarehouseRecoveryReport(
         checkpoint_lsn=checkpoint["lsn"],
-        last_committed_txid=max(committed) if committed else None,
-        transactions_replayed=len(committed & seen),
-        transactions_discarded=len(seen - committed),
+        last_committed_txid=last_txid,
+        transactions_replayed=replayed,
+        transactions_discarded=discarded,
         tables_restored=len(db.table_names),
     )
 
-    for record in tail:
-        if record.get("txid") not in committed:
+    for i, record in enumerate(tail):
+        if i not in committed_idx:
             continue
         if record["kind"] == "catalog":
             _replay_catalog(db, record, report)

@@ -440,6 +440,23 @@ class TransactionManager:
         with self.transaction():
             return fn(self.evolution)
 
+    def create_restore_point(self, name: str) -> int:
+        """Journal a named restore point and return its LSN.
+
+        The tag marks a committed boundary point-in-time recovery can
+        rewind to by name (:func:`repro.robustness.pitr.recover_to`,
+        ``repro recover --to <name>``), so it refuses to land inside an
+        open transaction — a mid-transaction tag would name a state that
+        never existed at any commit boundary.
+        """
+        if self.wal is None:
+            raise TransactionError("no write-ahead journal attached")
+        if self.current is not None and self.current.active:
+            raise TransactionError(
+                "cannot create a restore point inside an open transaction"
+            )
+        return self.wal.restore_point(name)
+
     def checkpoint(self) -> int:
         """Write a schema snapshot to the WAL (no open transaction allowed).
 

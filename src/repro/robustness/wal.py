@@ -17,14 +17,29 @@ runs is journaled as a sequence of records, one JSON object per line:
 * ``dml`` — one relational write (``row.insert`` / ``row.update`` /
   ``row.delete``) with the row id, the post-image and — for updates and
   deletes — the pre-image, so the warehouse tier recovers together with
-  the schema (:func:`repro.robustness.recovery.recover_warehouse`).
+  the schema (:func:`repro.robustness.recovery.recover_warehouse`);
+* ``restore_point`` — a named LSN tag; point-in-time recovery
+  (:mod:`repro.robustness.pitr`) rewinds to it by name.
+
+Every record carries a per-record CRC32 over its serialized body
+(``checksum=False`` disables writing them; verification always happens when
+the field is present, so journals written by older versions stay readable).
 
 Torn tails are expected: a crash mid-append leaves a final line that is not
 valid JSON.  :meth:`WriteAheadJournal.records` silently drops a torn *final*
 line (the record was never durable) but raises :class:`WALError` on garbage
 anywhere else — that is corruption, not a crash.  Opening a journal repairs
 the torn tail on disk (truncating the fragment) so the next append starts on
-a fresh line instead of concatenating onto it.
+a fresh line instead of concatenating onto it.  Mid-file damage is governed
+by the ``corruption_policy``: ``"fail"`` (default) refuses the journal,
+``"quarantine"`` moves everything from the first damaged line onwards into
+``<journal>.quarantine`` and recovers to the last valid record.
+
+Compaction (:meth:`WriteAheadJournal.truncate_before`) archives instead of
+destroys: the dropped prefix moves to numbered segment files
+(``<journal>.0001.seg``, …) listed in ``<journal>.manifest.json``, and
+:func:`read_chain` re-reads the full history (archives + live journal) for
+time travel.
 """
 
 from __future__ import annotations
@@ -32,6 +47,8 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
+import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -51,10 +68,16 @@ __all__ = [
     "WAL_FORMAT",
     "RECORD_KINDS",
     "DML_ACTIONS",
+    "CORRUPTION_POLICIES",
     "WriteAheadJournal",
     "operator_payload",
     "mapping_relationship_to_json",
     "mapping_relationship_from_json",
+    "record_crc",
+    "manifest_path",
+    "read_manifest",
+    "read_chain",
+    "sweep_journal",
 ]
 
 WAL_FORMAT = 1
@@ -68,9 +91,12 @@ RECORD_KINDS = (
     "dml",
     "commit",
     "abort",
+    "restore_point",
 )
 
 DML_ACTIONS = ("row.insert", "row.update", "row.delete")
+
+CORRUPTION_POLICIES = ("fail", "quarantine")
 
 
 def mapping_relationship_to_json(rel: MappingRelationship) -> dict[str, Any]:
@@ -112,6 +138,82 @@ def operator_payload(operator: str, arguments: dict[str, Any]) -> dict[str, Any]
     return {"op": operator, "args": encoded}
 
 
+def record_crc(record: dict[str, Any]) -> int:
+    """CRC32 of a record's serialized body, ``crc`` field excluded.
+
+    The checksum covers exactly the bytes :meth:`WriteAheadJournal.append`
+    would have written without the field (JSON objects preserve insertion
+    order, so stripping ``crc`` from a parsed record reproduces them)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return zlib.crc32(json.dumps(body, separators=(",", ":")).encode("utf-8"))
+
+
+def _scan_lines(
+    lines: list[str],
+    origin: str,
+    *,
+    strict: bool = True,
+    stop_at_problem: bool = False,
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """Validate journal lines; the one scanner every read path shares.
+
+    Returns ``(records, problems)``.  A torn final line (invalid JSON) is
+    dropped silently — that is a crash, not corruption.  Any other defect
+    — garbage mid-file, bad format, unknown kind, non-monotonic LSN, a CRC
+    mismatch — raises :class:`WALError` when ``strict`` (the error carries
+    ``lineno`` and ``checksum_mismatch`` attributes), else is collected as
+    ``{"line", "reason", "checksum"}`` dicts.
+    """
+    records: list[dict[str, Any]] = []
+    problems: list[dict[str, Any]] = []
+    last_lsn = 0
+    for i, line in enumerate(lines):
+        reason: str | None = None
+        is_crc = False
+        record: Any = None
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail: the record never became durable
+            reason = "corrupt WAL record (not valid JSON)"
+        if reason is None:
+            if not isinstance(record, dict):
+                reason = "corrupt WAL record (not a JSON object)"
+            elif record.get("format") != WAL_FORMAT:
+                reason = f"unsupported WAL format {record.get('format')!r}"
+            elif record.get("kind") not in RECORD_KINDS:
+                reason = f"unknown record kind {record.get('kind')!r}"
+            elif not isinstance(record.get("lsn"), int) or record["lsn"] <= last_lsn:
+                reason = f"non-monotonic LSN {record.get('lsn')!r}"
+            elif "crc" in record and record["crc"] != record_crc(record):
+                reason = (
+                    f"checksum mismatch (stored {record['crc']!r}, "
+                    f"computed {record_crc(record)})"
+                )
+                is_crc = True
+        if reason is None:
+            last_lsn = record["lsn"]
+            records.append(record)
+            continue
+        if strict:
+            error = WALError(f"{origin}:{i + 1}: {reason}")
+            error.lineno = i + 1
+            error.checksum_mismatch = is_crc
+            raise error
+        problems.append({"line": i + 1, "reason": reason, "checksum": is_crc})
+        if stop_at_problem:
+            break
+    return records, problems
+
+
+def _journal_lines(path: Path) -> list[str]:
+    lines = path.read_text(encoding="utf-8").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    return lines
+
+
 class WriteAheadJournal:
     """An append-only JSONL journal with monotonically increasing LSNs.
 
@@ -119,6 +221,14 @@ class WriteAheadJournal:
     the default flushes only, which is what the benchmarks measure as the
     baseline journaling tax.  Opening an existing journal scans it once to
     continue the LSN and transaction-id sequences.
+
+    ``checksum`` controls whether appends carry a per-record CRC32 (reads
+    verify the field whenever present, regardless of this setting);
+    ``corruption_policy`` decides what opening a damaged journal does —
+    ``"fail"`` raises, ``"quarantine"`` moves the damaged suffix to
+    ``<journal>.quarantine`` and keeps the valid prefix; ``archive``
+    controls whether :meth:`truncate_before` moves the compacted prefix to
+    numbered segment files instead of destroying it.
     """
 
     def __init__(
@@ -128,11 +238,23 @@ class WriteAheadJournal:
         durable: bool = False,
         fault_injector: Any = None,
         metrics: Any = None,
+        checksum: bool = True,
+        corruption_policy: str = "fail",
+        archive: bool = True,
     ) -> None:
+        if corruption_policy not in CORRUPTION_POLICIES:
+            raise WALError(
+                f"unknown corruption policy {corruption_policy!r} "
+                f"(choose from {', '.join(CORRUPTION_POLICIES)})"
+            )
         self.path = Path(path)
         self.durable = durable
         self.fault_injector = fault_injector
         self._metrics = metrics
+        self.checksum = checksum
+        self.corruption_policy = corruption_policy
+        self.archive = archive
+        self.quarantined_records = 0
         self._next_lsn = 1
         self._next_txid = 1
         self.last_checkpoint_lsn: int | None = None
@@ -142,6 +264,8 @@ class WriteAheadJournal:
             # next append would concatenate onto the fragment and turn a
             # recoverable crash into mid-file corruption.
             self._repair_tail()
+            if corruption_policy == "quarantine":
+                self._quarantine_damage()
             for record in self.records():
                 self._next_lsn = record["lsn"] + 1
                 txid = record.get("txid")
@@ -185,6 +309,46 @@ class WriteAheadJournal:
                 if self.durable:
                     os.fsync(handle.fileno())
 
+    def _quarantine_damage(self) -> None:
+        """Apply the ``quarantine`` corruption policy on open.
+
+        Everything from the first damaged line onwards moves into
+        ``<journal>.quarantine`` (appended, so repeated incidents stack up
+        for the operator to inspect) and the journal keeps only the valid
+        prefix — recovery then stops at the last valid record instead of
+        refusing the whole journal.  Records *after* the damage are
+        sacrificed deliberately: with an unreadable line between them and
+        the prefix there is no trustworthy LSN chain to splice them onto.
+        """
+        lines = _journal_lines(self.path)
+        _, problems = _scan_lines(
+            lines, str(self.path), strict=False, stop_at_problem=True
+        )
+        if not problems:
+            return
+        first_bad = problems[0]["line"]  # 1-based
+        quarantine = self.path.with_name(self.path.name + ".quarantine")
+        with open(quarantine, "a", encoding="utf-8") as handle:
+            for line in lines[first_bad - 1:]:
+                handle.write(line + "\n")
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        tmp = self.path.with_name(self.path.name + ".repair")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for line in lines[: first_bad - 1]:
+                handle.write(line + "\n")
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.quarantined_records = len(lines) - first_bad + 1
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.quarantined_records").inc(self.quarantined_records)
+            if problems[0]["checksum"]:
+                metrics.counter("wal.checksum_failures").inc()
+
     def _metrics_now(self) -> Any:
         return self._metrics if self._metrics is not None else _obs.current_metrics()
 
@@ -215,6 +379,9 @@ class WriteAheadJournal:
             line = json.dumps(record, separators=(",", ":"))
         except TypeError as exc:
             raise WALError(f"WAL record is not JSON-serializable: {exc}") from exc
+        if self.checksum:
+            record["crc"] = zlib.crc32(line.encode("utf-8"))
+            line = json.dumps(record, separators=(",", ":"))
         metrics = self._metrics_now()
         self._file.write(line + "\n")
         self._file.flush()
@@ -280,7 +447,7 @@ class WriteAheadJournal:
             metrics.counter("wal.checkpoints").inc()
         return lsn
 
-    def truncate_before(self, lsn: int) -> int:
+    def truncate_before(self, lsn: int, *, archive: bool | None = None) -> int:
         """Compact the journal: drop every record with an LSN below ``lsn``.
 
         ``lsn`` should be a checkpoint's LSN — everything before it is
@@ -288,13 +455,42 @@ class WriteAheadJournal:
         checkpoint.  The surviving suffix is rewritten atomically
         (write-temp-then-rename); LSNs are preserved, so the sequence
         stays monotonic and :meth:`records` keeps validating.  Returns
-        the number of records dropped.
+        the number of records dropped from the live journal.
+
+        With archiving on (the constructor default, overridable per call),
+        the dropped prefix first moves to a numbered segment file — the
+        history point-in-time recovery rewinds through.  Without it,
+        compaction that would destroy a restore point raises
+        :class:`WALError`, and destroying ``dml`` pre-image history is
+        loudly warned about: both make the journal unable to answer
+        rewinds it promised.
         """
         records = self.records()
         keep = [record for record in records if record["lsn"] >= lsn]
-        dropped = len(records) - len(keep)
+        dropping = [record for record in records if record["lsn"] < lsn]
+        dropped = len(dropping)
         if dropped == 0:
             return 0
+        archive = self.archive if archive is None else archive
+        if not archive:
+            points = sorted(
+                {r["name"] for r in dropping if r["kind"] == "restore_point"}
+            )
+            if points:
+                raise WALError(
+                    f"{self.path}: compaction would destroy restore point(s) "
+                    f"{', '.join(points)}; keep archiving enabled or remove "
+                    f"the restore points first"
+                )
+            if any(r["kind"] == "dml" for r in dropping):
+                warnings.warn(
+                    f"{self.path}: compaction is destroying dml pre-image "
+                    f"history; point-in-time recovery cannot rewind below "
+                    f"lsn {lsn} (keep archiving enabled to preserve it)",
+                    stacklevel=2,
+                )
+        else:
+            self._archive_records(dropping)
         self._file.close()
         tmp = self.path.with_name(self.path.name + ".compact")
         try:
@@ -326,6 +522,68 @@ class WriteAheadJournal:
             metrics.counter("wal.truncated_records").inc(dropped)
             metrics.gauge("wal.size_bytes").set(self._bytes)
         return dropped
+
+    def _archive_records(self, dropping: list[dict[str, Any]]) -> int:
+        """Move records compaction is about to drop into a new archive
+        segment (``<journal>.NNNN.seg``) and list it in the manifest.
+
+        Idempotent across crash retries: records at or below the
+        manifest's high-water LSN are already archived and skipped, so a
+        compaction that died between archiving and truncating re-archives
+        nothing on the retry.  The segment is written temp-then-rename
+        (the ``wal.archive`` fault point sits between the two), and only
+        after the rename does the manifest advertise it.
+        """
+        manifest = read_manifest(self.path)
+        segments = manifest["segments"]
+        archived_high = segments[-1]["last_lsn"] if segments else 0
+        to_archive = [r for r in dropping if r["lsn"] > archived_high]
+        if not to_archive:
+            return 0
+        seq = len(segments) + 1
+        name = f"{self.path.name}.{seq:04d}.seg"
+        segment_path = self.path.with_name(name)
+        data = "".join(
+            json.dumps(record, separators=(",", ":")) + "\n"
+            for record in to_archive
+        ).encode("utf-8")
+        tmp = self.path.with_name(name + ".tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                if self.durable:
+                    os.fsync(handle.fileno())
+            if self.fault_injector is not None:
+                self.fault_injector.fire("wal.archive")
+            os.replace(tmp, segment_path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        segments.append(
+            {
+                "seq": seq,
+                "name": name,
+                "first_lsn": to_archive[0]["lsn"],
+                "last_lsn": to_archive[-1]["lsn"],
+                "records": len(to_archive),
+                "crc": zlib.crc32(data),
+            }
+        )
+        _write_manifest(self.path, manifest, durable=self.durable)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.archived_records").inc(len(to_archive))
+            metrics.gauge("wal.archive_segments").set(len(segments))
+        return len(to_archive)
+
+    def chain_records(self) -> list[dict[str, Any]]:
+        """The full history: archived segments plus the live journal
+        (see :func:`read_chain`)."""
+        return read_chain(self.path)
 
     def begin(self, txid: int) -> int:
         """Journal a transaction start."""
@@ -389,6 +647,18 @@ class WriteAheadJournal:
             metrics.counter("wal.dml_records", {"action": action}).inc()
         return lsn
 
+    def restore_point(self, name: str) -> int:
+        """Journal a named restore point — an LSN tag point-in-time
+        recovery (:func:`repro.robustness.pitr.recover_to`) rewinds to by
+        name.  Re-using a name moves the tag (the newest wins)."""
+        if not isinstance(name, str) or not name:
+            raise WALError("a restore point needs a non-empty name")
+        lsn = self.append("restore_point", name=name)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("wal.restore_points").inc()
+        return lsn
+
     def commit(self, txid: int) -> int:
         """Journal a commit — the durability point of the transaction."""
         return self.append("commit", txid=txid)
@@ -404,40 +674,19 @@ class WriteAheadJournal:
         """Every durable record, in LSN order.
 
         A torn final line (crash mid-append) is dropped; a malformed line
-        elsewhere, an unknown kind, a bad format version or a non-monotonic
-        LSN raises :class:`WALError`.
+        elsewhere, an unknown kind, a bad format version, a non-monotonic
+        LSN or a CRC mismatch raises :class:`WALError`.
         """
         if not self.path.exists():
             return []
-        out: list[dict[str, Any]] = []
-        lines = self.path.read_text(encoding="utf-8").split("\n")
-        if lines and lines[-1] == "":
-            lines.pop()
-        last_lsn = 0
-        for i, line in enumerate(lines):
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                if i == len(lines) - 1:
-                    break  # torn tail: the record never became durable
-                raise WALError(
-                    f"{self.path}:{i + 1}: corrupt WAL record (not valid JSON)"
-                ) from None
-            if record.get("format") != WAL_FORMAT:
-                raise WALError(
-                    f"{self.path}:{i + 1}: unsupported WAL format "
-                    f"{record.get('format')!r}"
-                )
-            if record.get("kind") not in RECORD_KINDS:
-                raise WALError(
-                    f"{self.path}:{i + 1}: unknown record kind {record.get('kind')!r}"
-                )
-            if record.get("lsn", 0) <= last_lsn:
-                raise WALError(
-                    f"{self.path}:{i + 1}: non-monotonic LSN {record.get('lsn')!r}"
-                )
-            last_lsn = record["lsn"]
-            out.append(record)
+        try:
+            out, _ = _scan_lines(_journal_lines(self.path), str(self.path))
+        except WALError as exc:
+            if getattr(exc, "checksum_mismatch", False):
+                metrics = self._metrics_now()
+                if metrics.enabled:
+                    metrics.counter("wal.checksum_failures").inc()
+            raise
         return out
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
@@ -445,3 +694,177 @@ class WriteAheadJournal:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WriteAheadJournal({str(self.path)!r}, next_lsn={self._next_lsn})"
+
+
+# -- archive manifest and full-history reading -----------------------------------
+
+
+def manifest_path(path: str | Path) -> Path:
+    """Where a journal's archive manifest lives (``<journal>.manifest.json``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def read_manifest(path: str | Path) -> dict[str, Any]:
+    """The archive manifest of a journal (an empty one when none exists)."""
+    target = manifest_path(path)
+    if not target.exists():
+        return {"format": WAL_FORMAT, "journal": Path(path).name, "segments": []}
+    try:
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+    except ValueError:
+        raise WALError(f"{target}: archive manifest is not valid JSON") from None
+    if not isinstance(manifest, dict) or not isinstance(
+        manifest.get("segments"), list
+    ):
+        raise WALError(f"{target}: archive manifest has no segment list")
+    return manifest
+
+
+def _write_manifest(
+    path: str | Path, manifest: dict[str, Any], *, durable: bool = False
+) -> None:
+    """Atomically (re)write a journal's archive manifest."""
+    target = manifest_path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, separators=(",", ":"))
+        handle.flush()
+        if durable:
+            os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def _segment_records(
+    path: Path, segment: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Read and validate one archive segment named by the manifest."""
+    segment_path = path.with_name(segment["name"])
+    if not segment_path.exists():
+        raise WALError(
+            f"{segment_path}: archive segment named by the manifest is missing"
+        )
+    data = segment_path.read_bytes()
+    if "crc" in segment and zlib.crc32(data) != segment["crc"]:
+        raise WALError(
+            f"{segment_path}: archive segment does not match its manifest "
+            f"checksum"
+        )
+    lines = data.decode("utf-8").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records, _ = _scan_lines(lines, str(segment_path))
+    return records
+
+
+def read_chain(path: str | Path) -> list[dict[str, Any]]:
+    """The journal's full history: archived segments, then the live file.
+
+    A compaction that crashed between archiving and truncating leaves the
+    live journal still holding records the newest segment also holds; the
+    archived copies are pruned (the live journal wins), so the chain is
+    always LSN-monotonic — anything else raises :class:`WALError`.
+    """
+    path = Path(path)
+    chain: list[dict[str, Any]] = []
+    for segment in read_manifest(path)["segments"]:
+        chain.extend(_segment_records(path, segment))
+    live: list[dict[str, Any]] = []
+    if path.exists():
+        live, _ = _scan_lines(_journal_lines(path), str(path))
+    if live:
+        chain = [record for record in chain if record["lsn"] < live[0]["lsn"]]
+        chain.extend(live)
+    last_lsn = 0
+    for record in chain:
+        if record["lsn"] <= last_lsn:
+            raise WALError(
+                f"{path}: archive chain is not LSN-monotonic at "
+                f"lsn {record['lsn']}"
+            )
+        last_lsn = record["lsn"]
+    return chain
+
+
+def sweep_journal(path: str | Path) -> dict[str, Any]:
+    """A lenient integrity sweep over a journal and its archives.
+
+    Unlike :meth:`WriteAheadJournal.records` this never raises on damage:
+    it walks every line of the live journal and every manifest segment,
+    collecting ``(severity, message)`` problems — ``"fail"`` for
+    unreadable records and checksum mismatches, ``"warn"`` for
+    missing/misnumbered/stray archive segments — alongside counters.
+    ``repro doctor`` turns the result into alerts and metrics.
+    """
+    path = Path(path)
+    out: dict[str, Any] = {
+        "records": 0,
+        "checksum_failures": 0,
+        "archive_segments": 0,
+        "archived_records": 0,
+        "problems": [],
+    }
+    problems: list[tuple[str, str]] = out["problems"]
+    if path.exists():
+        records, damage = _scan_lines(
+            _journal_lines(path), str(path), strict=False
+        )
+        out["records"] = len(records)
+        for problem in damage:
+            if problem["checksum"]:
+                out["checksum_failures"] += 1
+            problems.append(
+                ("fail", f"{path.name}:{problem['line']}: {problem['reason']}")
+            )
+    try:
+        manifest = read_manifest(path)
+    except WALError as exc:
+        problems.append(("fail", str(exc)))
+        return out
+    segments = manifest["segments"]
+    out["archive_segments"] = len(segments)
+    listed: set[str] = set()
+    for expected_seq, segment in enumerate(segments, start=1):
+        name = segment.get("name", f"segment #{expected_seq}")
+        listed.add(name)
+        if segment.get("seq") != expected_seq:
+            problems.append(
+                (
+                    "warn",
+                    f"{name}: misnumbered archive segment "
+                    f"(seq {segment.get('seq')!r}, expected {expected_seq})",
+                )
+            )
+        segment_path = path.with_name(name)
+        if not segment_path.exists():
+            problems.append(
+                ("warn", f"{name}: archive segment named by the manifest is missing")
+            )
+            continue
+        data = segment_path.read_bytes()
+        if "crc" in segment and zlib.crc32(data) != segment["crc"]:
+            out["checksum_failures"] += 1
+            problems.append(
+                (
+                    "fail",
+                    f"{name}: archive segment does not match its manifest checksum",
+                )
+            )
+            continue
+        lines = data.decode("utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records, damage = _scan_lines(lines, name, strict=False)
+        out["archived_records"] += len(records)
+        for problem in damage:
+            if problem["checksum"]:
+                out["checksum_failures"] += 1
+            problems.append(
+                ("fail", f"{name}:{problem['line']}: {problem['reason']}")
+            )
+    for stray in sorted(path.parent.glob(path.name + ".*.seg")):
+        if stray.name not in listed:
+            problems.append(
+                ("warn", f"{stray.name}: archive segment not named by the manifest")
+            )
+    return out

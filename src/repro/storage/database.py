@@ -81,25 +81,29 @@ class Database:
                 f"database {self.name!r} has no table {name!r}"
             ) from None
 
-    def drop_table(self, name: str) -> None:
+    def drop_table(self, name: str, *, check_references: bool = True) -> None:
         """Remove a table from the catalog.
 
         A table that other tables' foreign keys reference cannot be
         dropped: a dangling parent would make every later child insert fail
         deep inside FK checking with :class:`UnknownTableError`, so the
         dependency is refused up front with a clear error instead.
+        ``check_references=False`` skips that guard — the point-in-time
+        undo path drops tables in reverse journal order, where a parent
+        may legitimately go before its (also doomed) children.
         """
         if name not in self._tables:
             raise UnknownTableError(f"database {self.name!r} has no table {name!r}")
-        for other_name, other in self._tables.items():
-            if other_name == name:
-                continue
-            for fk in other.schema.foreign_keys:
-                if fk.parent_table == name:
-                    raise ForeignKeyViolation(
-                        f"cannot drop table {name!r}: {other_name!r} still "
-                        f"references it via foreign key {fk.columns}"
-                    )
+        if check_references:
+            for other_name, other in self._tables.items():
+                if other_name == name:
+                    continue
+                for fk in other.schema.foreign_keys:
+                    if fk.parent_table == name:
+                        raise ForeignKeyViolation(
+                            f"cannot drop table {name!r}: {other_name!r} still "
+                            f"references it via foreign key {fk.columns}"
+                        )
         del self._tables[name]
 
     def __contains__(self, name: str) -> bool:

@@ -176,6 +176,34 @@ class Table:
         for index in self._indexes.values():
             index.add(rid, coerced)
 
+    @property
+    def slot_count(self) -> int:
+        """Allocated slots, live rows and holes included — the quantity
+        byte-identical recovery compares, where :meth:`__len__` counts
+        only live rows."""
+        return len(self._slots)
+
+    def truncate_slots(self, length: int) -> None:
+        """Drop trailing slots so exactly ``length`` remain.
+
+        Only holes may be trimmed — the point-in-time undo path uses this
+        to un-allocate slots whose inserts it reversed, restoring the slot
+        list a forward replay would have produced.  A live row in the
+        trimmed range is refused: that would be data loss, not cleanup.
+        """
+        if length < 0 or length > len(self._slots):
+            raise StorageError(
+                f"cannot truncate {self.name!r} to {length} slots "
+                f"(has {len(self._slots)})"
+            )
+        for rid in range(length, len(self._slots)):
+            if self._slots[rid] is not None:
+                raise StorageError(
+                    f"cannot truncate {self.name!r} to {length} slots: "
+                    f"row {rid} is live"
+                )
+        del self._slots[length:]
+
     def load_slots(self, slots: Iterable[Mapping[str, Any] | None]) -> None:
         """Install a dumped slot list (holes included) into an empty table.
 

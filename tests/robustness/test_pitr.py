@@ -1,0 +1,669 @@
+"""Point-in-time recovery: checksums, archives, AS-OF undo replay, backups."""
+
+import io
+import json
+import random
+import re
+import warnings
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.robustness import (
+    FaultInjector,
+    InjectedFault,
+    RecoveryError,
+    TransactionError,
+    TransactionManager,
+    WALError,
+    WriteAheadJournal,
+    backup_journal,
+    materialize_as_of,
+    materialize_schema_as_of,
+    open_as_of,
+    recover_schema,
+    recover_to,
+    recover_warehouse,
+    restore_backup,
+    restore_points,
+)
+from repro.robustness.wal import manifest_path, read_chain, sweep_journal
+from repro.storage import Column, Database, INTEGER, TEXT
+
+from .conftest import build_schema, fingerprint
+
+
+def db_fingerprint(db):
+    """Canonical serialization — byte-identity is compared on this."""
+    return json.dumps(db.dump(), sort_keys=True)
+
+
+def make_db(fault_injector=None):
+    db = Database("wh", fault_injector=fault_injector)
+    db.create_table(
+        "dept",
+        [Column("id", INTEGER), Column("name", TEXT)],
+        primary_key=["id"],
+    )
+    return db
+
+
+def managed(wal_path, *, durable=False, injector=None, **wal_kwargs):
+    """A TransactionManager over a fresh one-table warehouse."""
+    wal = WriteAheadJournal(
+        wal_path, durable=durable, fault_injector=injector, **wal_kwargs
+    )
+    return TransactionManager(
+        build_schema(), wal=wal, database=make_db(injector), fault_injector=injector
+    )
+
+
+def grow_history(txm, *, txns=6, seed=3, compact_after=None, rng=None, base=100):
+    """Commit ``txns`` insert/update/delete transactions; returns commit LSNs.
+
+    ``compact_after`` (a transaction index) checkpoints and compacts the
+    journal right after that commit, so later targets sit across an
+    archive boundary.
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    commits = []
+    for i in range(txns):
+        with txm.transaction() as txn:
+            txm.database.insert("dept", {"id": base + i, "name": f"d{i}"})
+            if i >= 2 and rng.random() < 0.5:
+                victim = base + rng.randrange(i)
+                txm.database.update(
+                    "dept", lambda r, v=victim: r["id"] == v, {"name": f"u{i}"}
+                )
+            if i >= 3 and rng.random() < 0.3:
+                victim = base + rng.randrange(i)
+                txm.database.delete("dept", lambda r, v=victim: r["id"] == v)
+        commits.append(txn.commit_lsn)
+        if compact_after is not None and i == compact_after:
+            txm.wal.truncate_before(txm.checkpoint())
+    return commits
+
+
+def flip_crc_digit(path):
+    """Flip one digit of the first stored record checksum in ``path``."""
+    data = bytearray(path.read_bytes())
+    match = re.search(rb'"crc":(\d)', bytes(data))
+    offset = match.start(1)
+    data[offset] = ord("1") if data[offset : offset + 1] != b"1" else ord("2")
+    path.write_bytes(bytes(data))
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "warehouse.wal"
+
+
+class TestRestorePoints:
+    def test_restore_point_is_journaled_and_resolvable(self, wal_path):
+        txm = managed(wal_path)
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        lsn = txm.create_restore_point("before-reorg")
+        assert txm.wal.records()[-1]["kind"] == "restore_point"
+        assert restore_points(txm.wal) == {"before-reorg": lsn}
+        txm.wal.close()
+        assert restore_points(wal_path) == {"before-reorg": lsn}
+
+    def test_same_name_resolves_to_latest(self, wal_path):
+        txm = managed(wal_path)
+        first = txm.create_restore_point("nightly")
+        second = txm.create_restore_point("nightly")
+        assert first < second
+        assert restore_points(txm.wal)["nightly"] == second
+        txm.wal.close()
+
+    def test_restore_point_name_must_be_a_nonempty_string(self, wal_path):
+        txm = managed(wal_path)
+        with pytest.raises(WALError):
+            txm.wal.restore_point("")
+        with pytest.raises(WALError):
+            txm.wal.restore_point(42)
+        txm.wal.close()
+
+    def test_restore_point_refused_inside_a_transaction(self, wal_path):
+        txm = managed(wal_path)
+        with pytest.raises(TransactionError):
+            with txm.transaction():
+                txm.create_restore_point("mid-txn")
+        txm.wal.close()
+
+    def test_restore_point_needs_a_journal(self):
+        txm = TransactionManager(build_schema())
+        with pytest.raises(TransactionError, match="journal"):
+            txm.create_restore_point("nope")
+
+
+class TestChecksums:
+    def test_every_record_carries_a_crc(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=2)
+        assert all("crc" in r for r in txm.wal.records())
+        txm.wal.close()
+
+    def test_flipped_byte_is_detected_on_replay(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=2)
+        txm.wal.close()
+        flip_crc_digit(wal_path)
+        with pytest.raises(WALError, match="checksum"):
+            WriteAheadJournal(wal_path).records()
+        with pytest.raises(WALError, match="checksum"):
+            recover_warehouse(wal_path)
+
+    def test_quarantine_policy_keeps_the_valid_prefix(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=3)
+        total = len(txm.wal.records())
+        txm.wal.close()
+        # damage a record in the second half of the journal
+        lines = wal_path.read_text(encoding="utf-8").splitlines()
+        bad_index = total - 4
+        lines[bad_index] = lines[bad_index].replace('"crc":', '"crc":9', 1)
+        wal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        reopened = WriteAheadJournal(wal_path, corruption_policy="quarantine")
+        kept = reopened.records()
+        assert len(kept) == bad_index
+        assert reopened.quarantined_records == total - bad_index
+        quarantine = wal_path.with_name(wal_path.name + ".quarantine")
+        assert quarantine.exists()
+        assert len(quarantine.read_text(encoding="utf-8").splitlines()) == (
+            total - bad_index
+        )
+        # the surviving prefix stays appendable and replayable
+        reopened.append("restore_point", name="after-quarantine")
+        assert reopened.records()[-1]["kind"] == "restore_point"
+        reopened.close()
+
+    def test_checksum_false_writes_legacy_records(self, wal_path):
+        wal = WriteAheadJournal(wal_path, checksum=False)
+        txid = wal.next_txid()
+        wal.begin(txid)
+        wal.commit(txid)
+        wal.close()
+        lines = wal_path.read_text(encoding="utf-8").splitlines()
+        assert all('"crc"' not in line for line in lines)
+        # crc-less records verify fine under the default strict reader
+        assert [r["kind"] for r in WriteAheadJournal(wal_path).records()] == [
+            "begin",
+            "commit",
+        ]
+
+    def test_bad_corruption_policy_is_rejected(self, wal_path):
+        with pytest.raises(WALError, match="corruption policy"):
+            WriteAheadJournal(wal_path, corruption_policy="ignore")
+
+
+class TestArchiving:
+    def test_compaction_archives_instead_of_destroying(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=5, compact_after=2)
+        live_first = txm.wal.records()[0]["lsn"]
+        segs = sorted(wal_path.parent.glob(wal_path.name + ".*.seg"))
+        assert len(segs) == 1
+        manifest = json.loads(manifest_path(wal_path).read_text(encoding="utf-8"))
+        assert [s["name"] for s in manifest["segments"]] == [segs[0].name]
+        chain = read_chain(wal_path)
+        lsns = [r["lsn"] for r in chain]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        assert lsns[0] == 1  # history starts at the very first record
+        assert any(r["lsn"] < live_first for r in chain)
+        txm.wal.close()
+
+    def test_second_compaction_appends_a_numbered_segment(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=3, compact_after=0)
+        txm.wal.truncate_before(txm.checkpoint())
+        names = [s.name for s in sorted(wal_path.parent.glob("*.seg"))]
+        assert names == [f"{wal_path.name}.0001.seg", f"{wal_path.name}.0002.seg"]
+        lsns = [r["lsn"] for r in read_chain(wal_path)]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        txm.wal.close()
+
+    def test_unarchived_compaction_refuses_to_destroy_restore_points(
+        self, wal_path
+    ):
+        txm = managed(wal_path, archive=False)
+        txm.create_restore_point("keep-me")
+        grow_history(txm, txns=2)
+        lsn = txm.checkpoint()
+        with pytest.raises(WALError, match="keep-me"):
+            txm.wal.truncate_before(lsn)
+        txm.wal.close()
+
+    def test_unarchived_compaction_warns_when_dml_history_is_lost(self, wal_path):
+        txm = managed(wal_path, archive=False)
+        grow_history(txm, txns=2)
+        lsn = txm.checkpoint()
+        with pytest.warns(UserWarning, match="point-in-time"):
+            txm.wal.truncate_before(lsn)
+        assert not list(wal_path.parent.glob("*.seg"))
+        txm.wal.close()
+
+    def test_crash_during_rotation_is_retryable_without_duplicates(self, wal_path):
+        injector = FaultInjector(seed=11)
+        txm = managed(wal_path, injector=injector)
+        grow_history(txm, txns=3)
+        before = txm.wal.records()
+        lsn = txm.checkpoint()
+        injector.arm("wal.archive", at_call=1)
+        with pytest.raises(InjectedFault):
+            txm.wal.truncate_before(lsn)
+        # the live journal is untouched by the failed rotation
+        assert [r["lsn"] for r in txm.wal.records()][: len(before)] == [
+            r["lsn"] for r in before
+        ]
+        assert txm.wal.truncate_before(lsn) > 0
+        lsns = [r["lsn"] for r in read_chain(wal_path)]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+        assert lsns[0] == 1
+        txm.wal.close()
+
+
+class TestMaterializeAsOf:
+    def test_undo_matches_forward_replay_at_every_commit(self, wal_path):
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=6, compact_after=2)
+        for lsn in commits:
+            forward, _ = recover_warehouse(
+                txm.wal, up_to_lsn=lsn, use_archives=True
+            )
+            undone, report = materialize_as_of(txm.wal, lsn)
+            assert db_fingerprint(undone) == db_fingerprint(forward), lsn
+            assert report.target_lsn == lsn
+        txm.wal.close()
+
+    def test_report_counts_what_was_undone(self, wal_path):
+        txm = managed(wal_path)
+        with txm.transaction() as txn:
+            txm.database.insert("dept", {"id": 1, "name": "sales"})
+        target = txn.commit_lsn
+        with txm.transaction():
+            txm.database.insert("dept", {"id": 2, "name": "hr"})
+            txm.database.update("dept", lambda r: r["id"] == 1, {"name": "S"})
+            txm.database.delete("dept", lambda r: r["id"] == 2)
+        _, report = materialize_as_of(txm.wal, target)
+        assert report.inserts_undone == 1
+        assert report.updates_undone == 1
+        assert report.deletes_undone == 1
+        assert "undone" in report.to_text()
+        txm.wal.close()
+
+    def test_tables_created_after_target_are_dropped(self, wal_path):
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=2)
+        txm.database.db.create_table(
+            "late", [Column("id", INTEGER)], primary_key=["id"]
+        )
+        with txm.transaction():
+            txm.database.insert("late", {"id": 1})
+        historical, report = materialize_as_of(txm.wal, commits[-1])
+        assert "late" not in historical.table_names
+        assert report.tables_dropped == 1
+        txm.wal.close()
+
+    def test_schema_as_of_matches_forward_replay(self, wal_path):
+        txm = managed(wal_path)
+        with txm.transaction() as txn:
+            txm.evolution.create_member("Org", "idX", "X", 5, parents=["idP1"])
+        target = txn.commit_lsn
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idY", "Y", 6, parents=["idP1"])
+        historical, _ = materialize_schema_as_of(txm.wal, target)
+        forward, _ = recover_schema(txm.wal, up_to_lsn=target, use_archives=True)
+        assert fingerprint(historical) == fingerprint(forward)
+        member_ids = set(historical.dimensions["Org"].members)
+        assert "idX" in member_ids and "idY" not in member_ids
+        txm.wal.close()
+
+    def test_unknown_targets_are_rejected(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=2)
+        head = txm.wal.last_lsn
+        with pytest.raises(RecoveryError, match="restore point"):
+            materialize_as_of(txm.wal, "no-such-point")
+        with pytest.raises(RecoveryError):
+            materialize_as_of(txm.wal, head + 10)
+        with pytest.raises(RecoveryError):
+            materialize_as_of(txm.wal, True)
+        txm.wal.close()
+
+
+class TestForwardUndoProperty:
+    """Randomised histories: undo replay must equal forward replay, always."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_history_round_trips_at_every_commit(self, tmp_path, seed):
+        wal_path = tmp_path / f"prop-{seed}.wal"
+        rng = random.Random(seed)
+        txm = managed(wal_path)
+        commits = grow_history(
+            txm, txns=8, compact_after=rng.randrange(1, 6), rng=rng
+        )
+        if rng.random() < 0.5:
+            txm.create_restore_point("prop")
+        for lsn in commits:
+            forward, _ = recover_warehouse(
+                txm.wal, up_to_lsn=lsn, use_archives=True
+            )
+            undone, _ = materialize_as_of(txm.wal, lsn)
+            assert db_fingerprint(undone) == db_fingerprint(forward), (seed, lsn)
+        txm.wal.close()
+
+
+class TestRecoverTo:
+    def test_rewind_truncates_forward_history(self, wal_path):
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=5)
+        expected, _ = materialize_as_of(txm.wal, commits[2])
+        txm.wal.close()
+        report = recover_to(wal_path, commits[2])
+        assert report.target_lsn == commits[2]
+        assert report.records_dropped > 0
+        assert db_fingerprint(report.database) == db_fingerprint(expected)
+        # the journal itself was rewound: plain recovery lands there too
+        recovered, _ = recover_warehouse(wal_path)
+        assert db_fingerprint(recovered) == db_fingerprint(expected)
+        assert WriteAheadJournal(wal_path).last_lsn <= commits[2]
+
+    def test_rewind_to_a_restore_point_by_name(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=2)
+        point = txm.create_restore_point("golden")
+        grow_history(txm, txns=2, base=200)
+        txm.wal.close()
+        report = recover_to(wal_path, "golden")
+        assert report.restore_point == "golden"
+        assert report.target_lsn == point
+        assert "golden" in report.to_text()
+
+    def test_rewind_across_a_compaction_boundary_prunes_archives(self, wal_path):
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=6, compact_after=3)
+        expected, _ = materialize_as_of(txm.wal, commits[1])
+        txm.wal.close()
+        report = recover_to(wal_path, commits[1])
+        assert db_fingerprint(report.database) == db_fingerprint(expected)
+        # every surviving archived record predates the rewound live journal
+        live_first = read_chain(wal_path)[0]["lsn"]
+        chain_lsns = [r["lsn"] for r in read_chain(wal_path)]
+        assert chain_lsns == sorted(chain_lsns)
+        assert all(lsn <= commits[1] for lsn in chain_lsns)
+        assert report.segments_dropped + report.segments_trimmed >= 1
+        assert live_first == 1 or live_first <= commits[1]
+
+    def test_open_journal_is_refused(self, wal_path):
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=2)
+        with pytest.raises(WALError, match="close"):
+            recover_to(txm.wal, commits[0])
+        txm.wal.close()
+
+    def test_crash_during_rewind_leaves_the_journal_intact(self, wal_path):
+        injector = FaultInjector(seed=3)
+        txm = managed(wal_path)
+        commits = grow_history(txm, txns=4)
+        txm.wal.close()
+        before = wal_path.read_bytes()
+        injector.arm("wal.truncate", at_call=1)
+        with pytest.raises(InjectedFault):
+            recover_to(wal_path, commits[1], fault_injector=injector)
+        assert wal_path.read_bytes() == before
+        # disarmed, the retry goes through
+        report = recover_to(wal_path, commits[1], fault_injector=injector)
+        assert report.target_lsn == commits[1]
+
+
+class TestBackupRestore:
+    def test_round_trip_recovers_byte_identically(self, wal_path, tmp_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=5, compact_after=2)
+        expected = db_fingerprint(txm.database.db)
+        report = backup_journal(txm.wal, tmp_path / "bk")
+        assert report.files >= 3  # journal + manifest + segment
+        txm.wal.close()
+        restore_backup(tmp_path / "bk", tmp_path / "restored.wal")
+        recovered, _ = recover_warehouse(tmp_path / "restored.wal")
+        assert db_fingerprint(recovered) == expected
+        # archives travelled with the journal: full-history AS-OF works
+        chain = read_chain(tmp_path / "restored.wal")
+        assert chain[0]["lsn"] == 1
+
+    def test_backup_refuses_an_existing_destination(self, wal_path, tmp_path):
+        txm = managed(wal_path)
+        (tmp_path / "bk").mkdir()
+        with pytest.raises(WALError, match="exists"):
+            backup_journal(txm.wal, tmp_path / "bk")
+        txm.wal.close()
+
+    def test_restore_refuses_an_existing_journal(self, wal_path, tmp_path):
+        txm = managed(wal_path)
+        backup_journal(txm.wal, tmp_path / "bk")
+        txm.wal.close()
+        with pytest.raises(WALError):
+            restore_backup(tmp_path / "bk", wal_path)
+
+    def test_tampered_backup_is_detected_before_any_write(self, wal_path, tmp_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=3)
+        backup_journal(txm.wal, tmp_path / "bk")
+        txm.wal.close()
+        flip_crc_digit(tmp_path / "bk" / wal_path.name)
+        with pytest.raises(WALError, match="checksum"):
+            restore_backup(tmp_path / "bk", tmp_path / "restored.wal")
+        assert not (tmp_path / "restored.wal").exists()
+
+    def test_crash_during_copy_leaves_no_destination(self, wal_path, tmp_path):
+        injector = FaultInjector(seed=9)
+        txm = managed(wal_path)
+        grow_history(txm, txns=3)
+        injector.arm("backup.copy", at_call=1)
+        with pytest.raises(InjectedFault):
+            backup_journal(txm.wal, tmp_path / "bk", fault_injector=injector)
+        assert not (tmp_path / "bk").exists()
+        # disarmed, the retry succeeds from scratch
+        report = backup_journal(txm.wal, tmp_path / "bk", fault_injector=injector)
+        assert (tmp_path / "bk" / "backup.json").exists()
+        assert report.files >= 1
+        txm.wal.close()
+
+
+class TestPitrCrashMatrix:
+    """One fault per run at every PITR fault point, buffered and durable.
+
+    Whatever single fault interrupts archiving, undo replay or a backup
+    copy, recovery of the journal must still land byte-identically on the
+    last committed state — the fault never corrupts durable history.
+    """
+
+    POINTS = ["wal.archive", "pitr.undo", "backup.copy"]
+
+    @pytest.mark.parametrize("durable", [False, True], ids=["buffered", "durable"])
+    @pytest.mark.parametrize("point", POINTS)
+    def test_single_fault_preserves_committed_history(
+        self, wal_path, tmp_path, point, durable
+    ):
+        injector = FaultInjector(seed=17)
+        txm = managed(wal_path, durable=durable, injector=injector)
+        commits = grow_history(txm, txns=4)
+        committed = db_fingerprint(txm.database.db)
+        target = commits[1]
+        expected_asof = db_fingerprint(materialize_as_of(txm.wal, target)[0])
+
+        injector.arm(point, at_call=1)
+        with pytest.raises(InjectedFault):
+            if point == "wal.archive":
+                txm.wal.truncate_before(txm.checkpoint())
+            elif point == "pitr.undo":
+                materialize_as_of(txm.wal, target, fault_injector=injector)
+            else:
+                backup_journal(txm.wal, tmp_path / "bk", fault_injector=injector)
+        txm.wal.close()  # hard crash right after the fault
+
+        recovered, _ = recover_warehouse(wal_path)
+        assert db_fingerprint(recovered) == committed
+        # AS-OF still materializes the same historical state after the crash
+        undone, _ = materialize_as_of(wal_path, target)
+        assert db_fingerprint(undone) == expected_asof
+
+
+class TestDoctorSweep:
+    def _history(self, wal_path, *, compact=True):
+        txm = managed(wal_path)
+        grow_history(txm, txns=4, compact_after=1 if compact else None)
+        txm.wal.close()
+
+    def test_clean_journal_sweeps_clean(self, wal_path):
+        self._history(wal_path)
+        sweep = sweep_journal(wal_path)
+        assert sweep["problems"] == []
+        assert sweep["checksum_failures"] == 0
+        assert sweep["archive_segments"] == 1
+        assert sweep["archived_records"] > 0
+
+    def test_checksum_tamper_fails_the_doctor(self, wal_path):
+        self._history(wal_path, compact=False)
+        flip_crc_digit(wal_path)
+        sweep = sweep_journal(wal_path)
+        assert sweep["checksum_failures"] == 1
+        assert any(sev == "fail" for sev, _ in sweep["problems"])
+        out = io.StringIO()
+        assert cli_main(["doctor", "--wal", str(wal_path)], out=out) == 2
+        assert "checksum mismatch" in out.getvalue()
+
+    def test_missing_segment_warns(self, wal_path):
+        self._history(wal_path)
+        next(wal_path.parent.glob("*.seg")).unlink()
+        sweep = sweep_journal(wal_path)
+        assert [sev for sev, _ in sweep["problems"]] == ["warn"]
+        out = io.StringIO()
+        assert cli_main(["doctor", "--wal", str(wal_path)], out=out) == 1
+        assert "missing" in out.getvalue()
+
+    def test_stray_segment_warns(self, wal_path):
+        self._history(wal_path, compact=False)
+        stray = wal_path.with_name(wal_path.name + ".0009.seg")
+        stray.write_text("", encoding="utf-8")
+        sweep = sweep_journal(wal_path)
+        assert [sev for sev, _ in sweep["problems"]] == ["warn"]
+        assert "not named by the manifest" in sweep["problems"][0][1]
+
+    def test_doctor_publishes_sweep_metrics(self, wal_path):
+        from repro.observability import MetricsRegistry, run_doctor
+
+        self._history(wal_path)
+        flip_crc_digit(wal_path)
+        metrics = MetricsRegistry()
+        report = run_doctor(metrics=metrics, wal_path=wal_path)
+        assert report.exit_code == 2
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["wal.checksum_failures"] == 1
+        assert snapshot["gauges"]["wal.archive_segments"] == 1
+        assert report.wal_stats["checksum_failures"] == 1
+
+
+class TestAsOfQuerySurface:
+    def _history_with_point(self, wal_path):
+        txm = managed(wal_path)
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idX", "X", 5, parents=["idP1"])
+        point = txm.create_restore_point("before-y")
+        with txm.transaction():
+            txm.evolution.create_member("Org", "idY", "Y", 6, parents=["idP1"])
+        return txm, point
+
+    def test_snapshot_mirrors_the_cursor_surface(self, wal_path):
+        txm, point = self._history_with_point(wal_path)
+        snapshot = open_as_of(txm.wal, "before-y")
+        assert snapshot.lsn == point
+        assert snapshot.version == point
+        member_ids = set(snapshot.schema.dimensions["Org"].members)
+        assert "idX" in member_ids and "idY" not in member_ids
+        assert snapshot.mvft is snapshot.mvft  # cached
+        text = snapshot.mvql_session().execute_to_text("SHOW MODES")
+        assert "tcm" in text
+        assert snapshot.cube().modes
+        txm.wal.close()
+
+    def test_mvql_session_as_of_classmethod(self, wal_path):
+        from repro.mvql import MVQLSession
+
+        txm, _ = self._history_with_point(wal_path)
+        txm.wal.close()
+        session = MVQLSession.as_of(wal_path, "before-y")
+        assert "tcm" in session.execute_to_text("SHOW MODES")
+
+    def test_cube_from_warehouse_as_of(self, wal_path):
+        from repro.olap import Cube
+
+        txm, _ = self._history_with_point(wal_path)
+        txm.wal.close()
+        cube = Cube.from_warehouse(wal_path, as_of="before-y")
+        assert "tcm" in cube.modes
+        member_ids = set(cube.schema.dimensions["Org"].members)
+        assert "idX" in member_ids and "idY" not in member_ids
+
+    def test_snapshot_manager_opens_as_of_cursors(self, wal_path):
+        from repro.concurrency import SnapshotManager
+
+        txm, point = self._history_with_point(wal_path)
+        manager = SnapshotManager(txm)
+        snapshot = manager.open_as_of_cursor("before-y")
+        assert snapshot.version == point < manager.version
+        txm.wal.close()
+
+    def test_snapshot_manager_without_wal_refuses(self):
+        from repro.concurrency import SnapshotManager
+        from repro.concurrency.errors import SnapshotError
+
+        manager = SnapshotManager(TransactionManager(build_schema()))
+        with pytest.raises(SnapshotError, match="journal"):
+            manager.open_as_of_cursor()
+
+
+class TestCli:
+    def _history(self, wal_path):
+        txm = managed(wal_path)
+        grow_history(txm, txns=3)
+        txm.create_restore_point("golden")
+        grow_history(txm, txns=2, base=200)
+        txm.wal.close()
+
+    def test_recover_to_flag(self, wal_path):
+        self._history(wal_path)
+        out = io.StringIO()
+        assert cli_main(["recover", str(wal_path), "--to", "golden"], out=out) == 0
+        assert "restore point 'golden'" in out.getvalue()
+        assert "table dept" in out.getvalue()
+
+    def test_recover_to_unknown_target_exits_2(self, wal_path):
+        self._history(wal_path)
+        out = io.StringIO()
+        assert cli_main(["recover", str(wal_path), "--to", "nope"], out=out) == 2
+        assert "failed" in out.getvalue()
+
+    def test_backup_restore_asof_round_trip(self, wal_path, tmp_path):
+        self._history(wal_path)
+        out = io.StringIO()
+        assert (
+            cli_main(["backup", str(wal_path), str(tmp_path / "bk")], out=out) == 0
+        )
+        assert "backup:" in out.getvalue()
+        out = io.StringIO()
+        restored = tmp_path / "restored.wal"
+        assert (
+            cli_main(["restore", str(tmp_path / "bk"), str(restored)], out=out)
+            == 0
+        )
+        out = io.StringIO()
+        assert (
+            cli_main(
+                ["asof", str(restored), "SHOW MODES", "--at", "golden"], out=out
+            )
+            == 0
+        )
+        assert "tcm" in out.getvalue()
