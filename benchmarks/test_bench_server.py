@@ -1,0 +1,187 @@
+"""Server-tier benchmark: sustained QPS and latency under writer churn.
+
+The scenario the server exists for: several tenants' sessions issuing
+MVQL and pivots over the wire while a writer commits evolutions.  The
+numbers recorded to ``BENCH_server.json`` are the ones a capacity plan
+needs — sustained statements/second through the full stack (socket →
+admission → snapshot-pinned execution → paged response) and the p50/p99
+statement latency, measured with the writer running.
+
+Correctness is asserted unconditionally: every session's reads are
+repeatable (the pinned snapshot never drifts under churn) and the RLS
+slice holds for the scoped tenant.  Throughput itself is recorded, not
+asserted — CI boxes vary too much for a hard QPS floor.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+from repro.concurrency import SnapshotManager
+from repro.concurrency.errors import WriteConflictError
+from repro.core.chronology import ym
+from repro.observability import MetricsRegistry
+from repro.robustness import TransactionManager
+from repro.server import (
+    RLSRule,
+    ServerConfig,
+    TenantConfig,
+    WarehouseClient,
+    serve_background,
+)
+from repro.workloads.case_study import build_case_study
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+N_CLIENTS = 4
+STATEMENTS_PER_CLIENT = 40
+CHURN_COMMITS = 20
+
+STATEMENTS = (
+    "SELECT amount BY year, org.Division",
+    "SHOW MODES",
+    "SELECT amount BY year IN MODE V2",
+)
+
+
+def bench_config() -> ServerConfig:
+    """A roster shaped for load, not for demos: no rate limits."""
+    return ServerConfig(
+        [
+            TenantConfig(
+                tenant="acme",
+                api_key="acme-key",
+                rls=(
+                    RLSRule(
+                        dimension="org", level="Division", values=("Sales",)
+                    ),
+                ),
+                max_concurrent=16,
+            ),
+            TenantConfig(
+                tenant="ops",
+                api_key="ops-key",
+                max_concurrent=16,
+                can_write=True,
+            ),
+        ]
+    )
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+class TestSmokeServerUnderChurn:
+    def test_smoke_sustained_qps_and_latency_under_writer_churn(self):
+        study = build_case_study()
+        txm = TransactionManager(study.schema)
+        manager = SnapshotManager(txm)
+        latencies: list[float] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+        stop_churn = threading.Event()
+        conflicts = 0
+
+        def churn() -> None:
+            nonlocal conflicts
+            committed = 0
+            while not stop_churn.is_set() and committed < CHURN_COMMITS:
+                def insert(_editor, n=committed):
+                    return txm.editor.insert(
+                        "org",
+                        f"bench-{n}",
+                        f"Bench{n}",
+                        ym(2003, 6),
+                        level="Department",
+                        parents=["sales"],
+                    )
+
+                try:
+                    manager.run_write(insert)
+                except WriteConflictError:
+                    with lock:
+                        conflicts += 1
+                    continue
+                committed += 1
+                time.sleep(0.002)
+
+        def client_loop(i: int, host: str, port: int) -> None:
+            key = "acme-key" if i % 2 == 0 else "ops-key"
+            scoped = key == "acme-key"
+            try:
+                with WarehouseClient(host, port, api_key=key) as client:
+                    baseline = client.query(STATEMENTS[0]).as_dict()
+                    for n in range(STATEMENTS_PER_CLIENT):
+                        statement = STATEMENTS[n % len(STATEMENTS)]
+                        started = time.perf_counter()
+                        result = client.query(statement)
+                        elapsed = time.perf_counter() - started
+                        with lock:
+                            latencies.append(elapsed)
+                        if statement == STATEMENTS[0]:
+                            totals = result.as_dict()
+                            if totals != baseline:
+                                failures.append(
+                                    f"client {i}: snapshot drifted"
+                                )
+                            if scoped and any(
+                                k[1] != "Sales" for k in totals
+                            ):
+                                failures.append(f"client {i}: RLS leak")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    failures.append(
+                        f"client {i}: {type(exc).__name__}: {exc}"
+                    )
+
+        with serve_background(
+            manager, bench_config(), metrics=MetricsRegistry()
+        ) as handle:
+            writer = threading.Thread(target=churn)
+            clients = [
+                threading.Thread(
+                    target=client_loop, args=(i, handle.host, handle.port)
+                )
+                for i in range(N_CLIENTS)
+            ]
+            bench_start = time.perf_counter()
+            writer.start()
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join(timeout=120.0)
+            wall = time.perf_counter() - bench_start
+            stop_churn.set()
+            writer.join(timeout=120.0)
+
+        assert not failures, "\n".join(failures)
+        total = len(latencies)
+        assert total == N_CLIENTS * STATEMENTS_PER_CLIENT
+        ordered = sorted(latencies)
+        payload = {
+            "scenario": {
+                "clients": N_CLIENTS,
+                "statements_per_client": STATEMENTS_PER_CLIENT,
+                "statement_mix": list(STATEMENTS),
+                "writer_commits": CHURN_COMMITS,
+                "writer_conflicts_retried": conflicts,
+                "final_version": manager.version,
+            },
+            "sustained_qps": round(total / wall, 2),
+            "wall_seconds": round(wall, 4),
+            "latency_seconds": {
+                "p50": round(percentile(ordered, 0.50), 6),
+                "p90": round(percentile(ordered, 0.90), 6),
+                "p99": round(percentile(ordered, 0.99), 6),
+                "max": round(ordered[-1], 6),
+            },
+        }
+        (ROOT / "BENCH_server.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        assert payload["sustained_qps"] > 0

@@ -34,10 +34,20 @@ Commands:
   one SELECT with lineage capture and print each result cell's
   derivation: contributing member versions, mapping functions, and the
   ``⊗cf`` confidence reduction;
-* ``doctor [--rules FILE] [--wal PATH]`` — one health sweep: alert rules
-  over the instrumented demo workload's metrics, an integrity check of
-  the case-study schema, and WAL stats; exits 0 (pass), 1 (warn) or 2
-  (fail).
+* ``doctor [--rules FILE] [--wal PATH] [--format text|json]`` — one
+  health sweep: alert rules over the instrumented demo workload's
+  metrics, an integrity check of the case-study schema, and WAL stats;
+  exits 0 (pass), 1 (warn) or 2 (fail); ``--format json`` prints the
+  machine-readable :meth:`DoctorReport.to_dict` shape external probes
+  consume;
+* ``serve --config FILE [--host H] [--port P] [--wal PATH]`` — run the
+  warehouse server over the case study: authenticated multi-tenant
+  sessions, MVQL/pivot statements pinned to MVCC snapshots, row-level
+  security, admission control; SIGTERM/SIGINT drains in-flight
+  statements before exiting (``--write-demo-config FILE`` writes the
+  two-tenant demo roster and exits);
+* ``query --host H --port P --api-key KEY "<statement>" [--asof T]`` —
+  execute MVQL against a running server through the client library.
 
 ``mvql`` and ``profile`` accept ``--trace-out FILE`` to export the spans
 recorded during execution — as JSON Lines by default, or as one
@@ -206,6 +216,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also inspect this write-ahead journal (record counts, "
         "open transactions)",
+    )
+    doctor.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report shape: readable text (default) or the DoctorReport "
+        "JSON external probes consume",
+    )
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant warehouse server (case study)"
+    )
+    serve.add_argument(
+        "--config",
+        default=None,
+        help="tenant roster JSON ({'tenants': [...]}); required unless "
+        "--write-demo-config",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        help="journal evolutions to this write-ahead journal (also feeds "
+        "the readiness sweep)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        default=None,
+        help="write 'host port' to this file once the socket is bound "
+        "(lets scripts wait for startup)",
+    )
+    serve.add_argument(
+        "--write-demo-config",
+        default=None,
+        metavar="FILE",
+        help="write the two-tenant demo roster to FILE and exit",
+    )
+    query = sub.add_parser(
+        "query", help="execute MVQL against a running warehouse server"
+    )
+    query.add_argument(
+        "statement",
+        nargs="*",
+        help="MVQL statements (default: read one per line from stdin)",
+    )
+    query.add_argument("--host", default="127.0.0.1", help="server address")
+    query.add_argument("--port", type=int, required=True, help="server port")
+    query.add_argument("--api-key", required=True, help="tenant API key")
+    query.add_argument(
+        "--asof",
+        default=None,
+        metavar="LSN|NAME",
+        help="execute against the historical state at this LSN or "
+        "restore point (server-side AS-OF)",
+    )
+    query.add_argument(
+        "--page-size", type=int, default=None, help="result page size"
     )
     return parser
 
@@ -569,7 +638,141 @@ def _cmd_lineage(
     return 0
 
 
-def _cmd_doctor(rules_path: str | None, wal: str | None, out) -> int:
+def _cmd_serve(
+    config_path: str | None,
+    host: str,
+    port: int,
+    wal: str | None,
+    ready_file: str | None,
+    write_demo_config: str | None,
+    out,
+) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.concurrency import SnapshotManager
+    from repro.robustness import TransactionManager
+    from repro.server import ConfigError, ServerConfig, WarehouseServer, demo_config
+
+    if write_demo_config is not None:
+        demo_config().dump(write_demo_config)
+        print(f"wrote demo tenant roster to {write_demo_config}", file=out)
+        return 0
+    if config_path is None:
+        print("error: serve needs --config (or --write-demo-config)", file=out)
+        return 2
+    try:
+        config = ServerConfig.load(config_path)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    study = build_case_study()
+    txm = TransactionManager(study.schema, wal=wal)
+    manager = SnapshotManager(txm)
+    server = WarehouseServer(
+        manager, config, host=host, port=port, wal_path=wal
+    )
+
+    async def run() -> int:
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"({len(config.tenants)} tenants)",
+            file=out,
+        )
+        out.flush()
+        if ready_file is not None:
+            Path(ready_file).write_text(
+                f"{server.host} {server.port}\n", encoding="utf-8"
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        drained = await server.shutdown()
+        print(
+            "shutdown: drained" if drained else "shutdown: drain timed out",
+            file=out,
+        )
+        return 0 if drained else 1
+
+    return asyncio.run(run())
+
+
+def _cmd_query(
+    statements: list[str],
+    host: str,
+    port: int,
+    api_key: str,
+    asof: str | None,
+    page_size: int | None,
+    out,
+) -> int:
+    from repro.server import RemoteError, RemoteTable, WarehouseClient
+
+    target = _parse_target(asof) if asof is not None else None
+    try:
+        client = WarehouseClient(host, port, api_key=api_key)
+    except OSError as exc:
+        print(f"error: cannot connect to {host}:{port}: {exc}", file=out)
+        return 2
+    except RemoteError as exc:
+        print(f"error: {exc} [{exc.code}]", file=out)
+        return 2
+    if not statements:
+        statements = [line.strip() for line in sys.stdin if line.strip()]
+    status = 0
+    with client:
+        session = client.session
+        assert session is not None
+        print(
+            f"tenant {session['tenant']} @ version {session['version']}",
+            file=out,
+        )
+        for statement in statements:
+            print(f"mvql> {statement}", file=out)
+            try:
+                result = client.query(
+                    statement, as_of=target, page_size=page_size
+                )
+            except RemoteError as exc:
+                print(f"error: {exc} [{exc.code}]", file=out)
+                status = 1
+                continue
+            if isinstance(result, RemoteTable):
+                headers = [*result.columns, *result.measures]
+                print("  ".join(headers), file=out)
+                for row in result.rows:
+                    labels = [
+                        "(none)" if g is None else str(g) for g in row["group"]
+                    ]
+                    for cell in row["cells"]:
+                        value = "?" if cell["value"] is None else f"{cell['value']:g}"
+                        if cell["confidence"] is not None:
+                            value += f" ({cell['confidence']})"
+                        labels.append(value)
+                    print("  ".join(labels), file=out)
+            elif result and isinstance(result, list) and isinstance(
+                result[0], dict
+            ):
+                for entry in result:
+                    print(
+                        f"{entry['mode']:<6} Q = {entry['quality']:.3f}",
+                        file=out,
+                    )
+            else:
+                for line in result:
+                    print(line, file=out)
+            print(file=out)
+    return status
+
+
+def _cmd_doctor(
+    rules_path: str | None, wal: str | None, out, *, fmt: str = "text"
+) -> int:
     import json
 
     from repro.observability import (
@@ -609,7 +812,10 @@ def _cmd_doctor(rules_path: str | None, wal: str | None, out) -> int:
         wal_path=wal,
         slow_log=slow_log,
     )
-    print(report.to_text(), file=out)
+    if fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.to_text(), file=out)
     return report.exit_code
 
 
@@ -660,5 +866,25 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "lineage":
         return _cmd_lineage(args.statement, args.cell, args.measure, out)
     if args.command == "doctor":
-        return _cmd_doctor(args.rules, args.wal, out)
+        return _cmd_doctor(args.rules, args.wal, out, fmt=args.format)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.config,
+            args.host,
+            args.port,
+            args.wal,
+            args.ready_file,
+            args.write_demo_config,
+            out,
+        )
+    if args.command == "query":
+        return _cmd_query(
+            list(args.statement),
+            args.host,
+            args.port,
+            args.api_key,
+            args.asof,
+            args.page_size,
+            out,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -27,6 +27,7 @@ Three layers that turn the PR-3 telemetry into *decisions*:
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import re
 import threading
@@ -117,9 +118,12 @@ class SlowQueryLog:
 
     ``threshold`` is in seconds; ``capacity`` bounds memory (oldest
     records fall off).  The MVQL layer publishes the statement text for
-    the engine-level record through :meth:`statement` — a thread-local
-    context manager, so concurrent sessions sharing one log never
-    mislabel each other's queries.
+    the engine-level record through :meth:`statement` — a
+    *context-local* (:mod:`contextvars`) context manager, so concurrent
+    sessions sharing one log never mislabel each other's queries: worker
+    threads are isolated exactly as with a thread-local, and concurrent
+    asyncio statements on one event-loop thread (the server's shape) are
+    isolated per task instead of cross-contaminating.
     """
 
     def __init__(self, threshold: float = 0.1, capacity: int = 128) -> None:
@@ -131,7 +135,9 @@ class SlowQueryLog:
         self.threshold = threshold
         self._records: deque[SlowQueryRecord] = deque(maxlen=capacity)
         self._lock = threading.Lock()
-        self._local = threading.local()
+        self._statement_var: contextvars.ContextVar[str | None] = (
+            contextvars.ContextVar("repro-slow-query-statement", default=None)
+        )
         self.total_queries = 0
         self.total_slow = 0
 
@@ -140,17 +146,16 @@ class SlowQueryLog:
     @contextmanager
     def statement(self, text: str) -> Iterator[None]:
         """Label engine-level records inside the block with this MVQL text."""
-        previous = getattr(self._local, "statement", None)
-        self._local.statement = " ".join(text.split())
+        token = self._statement_var.set(" ".join(text.split()))
         try:
             yield
         finally:
-            self._local.statement = previous
+            self._statement_var.reset(token)
 
     @property
     def current_statement(self) -> str | None:
-        """The MVQL text published on this thread, if any."""
-        return getattr(self._local, "statement", None)
+        """The MVQL text published in this context, if any."""
+        return self._statement_var.get()
 
     # -- recording (called by the query engine) ----------------------------------
 
@@ -460,6 +465,45 @@ class DoctorReport:
     def exit_code(self) -> int:
         """0 pass, 1 warn, 2 fail — what ``repro doctor`` returns."""
         return {"pass": 0, "warn": 1, "fail": 2}[self.status]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The machine-readable report — what ``repro doctor --format
+        json`` prints and the server's readiness op embeds, so external
+        probes consume structure instead of scraping text."""
+        integrity = None
+        if self.integrity is not None:
+            integrity = {
+                "ok": self.integrity.ok,
+                "violations": [
+                    {
+                        "code": v.code,
+                        "subject": v.subject,
+                        "message": v.message,
+                    }
+                    for v in self.integrity.violations
+                ],
+            }
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "alerts": [
+                {
+                    "name": result.rule.name,
+                    "metric": result.rule.metric,
+                    "stat": result.rule.stat,
+                    "op": result.rule.op,
+                    "threshold": result.rule.threshold,
+                    "severity": result.rule.severity,
+                    "fired": result.fired,
+                    "observed": result.observed,
+                }
+                for result in self.alerts
+            ],
+            "integrity": integrity,
+            "wal": self.wal_stats,
+            "slow_queries": [r.to_dict() for r in self.slow_queries],
+            "notes": list(self.notes),
+        }
 
     def to_text(self) -> str:
         """The full readable report."""

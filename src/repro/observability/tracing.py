@@ -2,10 +2,18 @@
 
 A :class:`Span` is one timed region of work — a query phase, a shard
 scan, a WAL append burst, one ETL source.  Spans are opened with
-``with tracer.span("query.execute"):`` and nest through a *thread-local*
-stack, so a span opened inside another becomes its child automatically;
-work fanned out to worker threads passes ``parent=`` explicitly instead
-(the worker's own stack then chains any deeper spans under it).
+``with tracer.span("query.execute"):`` and nest through a *context-local*
+stack (:mod:`contextvars`), so a span opened inside another becomes its
+child automatically; work fanned out to worker threads passes
+``parent=`` explicitly instead (the worker's own stack then chains any
+deeper spans under it).
+
+The stack being a context variable (holding an immutable tuple, replaced
+on push/pop) makes nesting correct under **asyncio concurrency** too:
+each task runs in its own copied context, so two statements interleaving
+on one event-loop thread never adopt each other's spans as parents — the
+failure mode a plain thread-local stack has on a server.  Threads behave
+exactly as before: a fresh thread starts from the default (empty) stack.
 
 Timings use the monotonic clock (``time.perf_counter_ns``) — wall-clock
 adjustments can never produce a negative duration.  Finished spans
@@ -21,6 +29,7 @@ read — which is what every instrumented hot path sees until
 
 from __future__ import annotations
 
+import contextvars
 import json
 import threading
 import time
@@ -119,10 +128,12 @@ class Span:
 class Tracer:
     """Collects spans into a tree; thread-safe; exports JSONL.
 
-    The active-span stack is thread-local: spans opened on the same
-    thread nest; spans opened on worker threads take ``parent=``
-    explicitly (see :class:`~repro.concurrency.sharding.ShardedExecutor`
-    and the ETL fan-out).
+    The active-span stack is context-local (a :class:`contextvars.ContextVar`
+    holding an immutable tuple): spans opened in the same context nest;
+    concurrent asyncio tasks each nest within their own copied context;
+    spans opened on worker threads take ``parent=`` explicitly (see
+    :class:`~repro.concurrency.sharding.ShardedExecutor` and the ETL
+    fan-out).
 
     ``sampler`` (a :class:`~repro.observability.export.TraceSampler`)
     makes tracing cheap under volume: each *root* span asks the sampler
@@ -138,7 +149,12 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 1
         self._finished: list[Span] = []
-        self._local = threading.local()
+        # The stack holds an immutable tuple and is *replaced* on
+        # push/pop: tasks sharing a copied context therefore never see
+        # each other's mutations (a shared mutable list would leak).
+        self._stack: contextvars.ContextVar[tuple[Span, ...]] = (
+            contextvars.ContextVar("repro-tracer-stack", default=())
+        )
         self.sampler = sampler
 
     @property
@@ -157,9 +173,9 @@ class Tracer:
     ) -> Span:
         """A new span; use as a context manager.
 
-        ``parent`` overrides the thread-local nesting (for work handed to
-        another thread); by default the innermost open span of the
-        current thread is the parent.
+        ``parent`` overrides the context-local nesting (for work handed
+        to another thread); by default the innermost open span of the
+        current context is the parent.
         """
         with self._lock:
             span_id = self._next_id
@@ -168,7 +184,7 @@ class Tracer:
             parent_id: int | None = parent.span_id
             sampled = getattr(parent, "sampled", True)
         else:
-            stack = getattr(self._local, "stack", None)
+            stack = self._stack.get()
             if stack:
                 parent_id = stack[-1].span_id
                 sampled = stack[-1].sampled
@@ -178,17 +194,14 @@ class Tracer:
         return Span(self, name, span_id, parent_id, attributes, sampled)
 
     def _push(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        stack.append(span)
+        self._stack.set(self._stack.get() + (span,))
 
     def _pop(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
+        stack = self._stack.get()
         if stack and stack[-1] is span:
-            stack.pop()
-        elif stack and span in stack:  # pragma: no cover - defensive
-            stack.remove(span)
+            self._stack.set(stack[:-1])
+        elif span in stack:  # pragma: no cover - defensive
+            self._stack.set(tuple(s for s in stack if s is not span))
 
     def _record(self, span: Span) -> None:
         if not span.sampled:

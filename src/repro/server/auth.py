@@ -1,0 +1,259 @@
+"""Tenant configuration and API-key authentication.
+
+The server is configured from one JSON document (usually a file next to
+the deployment) listing its tenants::
+
+    {"tenants": [
+        {"tenant": "acme",
+         "api_key": "acme-key-1",
+         "rls": [{"dimension": "org", "level": "Division",
+                  "values": ["Sales"]}],
+         "max_concurrent": 2,
+         "rate_limit": {"capacity": 20, "refill_per_sec": 10},
+         "can_write": false},
+        {"tenant": "ops", "api_key": "ops-key-1", "can_write": true}
+    ]}
+
+Authentication compares the presented key against every tenant's with
+:func:`hmac.compare_digest`, so the comparison cost does not depend on
+how many prefix bytes match — no timing side channel on key bytes.
+Failures never say whether the key was close.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .protocol import AuthFailedError
+from .rls import RLSPolicy, RLSRule
+
+__all__ = [
+    "RateLimit",
+    "TenantConfig",
+    "ServerConfig",
+    "ConfigError",
+    "demo_config",
+]
+
+
+class ConfigError(ValueError):
+    """A server configuration document that cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class RateLimit:
+    """A token bucket shape: sustained rate plus burst headroom."""
+
+    capacity: float
+    refill_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigError("rate limit capacity must be >= 1")
+        if self.refill_per_sec < 0:
+            raise ConfigError("rate limit refill_per_sec must be >= 0")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RateLimit":
+        """Build from the JSON config shape."""
+        unknown = set(payload) - {"capacity", "refill_per_sec"}
+        if unknown:
+            raise ConfigError(f"unknown rate-limit fields: {sorted(unknown)}")
+        missing = {"capacity", "refill_per_sec"} - set(payload)
+        if missing:
+            raise ConfigError(f"rate limit missing fields: {sorted(missing)}")
+        return cls(
+            capacity=float(payload["capacity"]),
+            refill_per_sec=float(payload["refill_per_sec"]),
+        )
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant: identity, credentials, visibility, and limits."""
+
+    tenant: str
+    api_key: str
+    rls: tuple[RLSRule, ...] = ()
+    max_concurrent: int = 4
+    rate_limit: RateLimit | None = None
+    can_write: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigError("a tenant needs a non-empty name")
+        if not self.api_key:
+            raise ConfigError(f"tenant {self.tenant!r} needs an api_key")
+        if self.max_concurrent < 1:
+            raise ConfigError(
+                f"tenant {self.tenant!r}: max_concurrent must be >= 1"
+            )
+        if self.can_write and self.rls:
+            raise ConfigError(
+                f"tenant {self.tenant!r} cannot combine can_write with RLS "
+                f"rules — writers see (and move) every member"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TenantConfig":
+        """Build one tenant from its JSON config shape."""
+        known = {
+            "tenant",
+            "api_key",
+            "rls",
+            "max_concurrent",
+            "rate_limit",
+            "can_write",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown tenant fields: {sorted(unknown)}")
+        missing = {"tenant", "api_key"} - set(payload)
+        if missing:
+            raise ConfigError(f"tenant missing fields: {sorted(missing)}")
+        rls_payload = payload.get("rls", ())
+        if isinstance(rls_payload, Mapping):
+            raise ConfigError("tenant 'rls' must be a list of rule objects")
+        rate_payload = payload.get("rate_limit")
+        return cls(
+            tenant=str(payload["tenant"]),
+            api_key=str(payload["api_key"]),
+            rls=tuple(RLSRule.from_dict(item) for item in rls_payload),
+            max_concurrent=int(payload.get("max_concurrent", 4)),
+            rate_limit=(
+                RateLimit.from_dict(rate_payload)
+                if rate_payload is not None
+                else None
+            ),
+            can_write=bool(payload.get("can_write", False)),
+        )
+
+    def policy(self) -> RLSPolicy:
+        """This tenant's compiled RLS policy."""
+        return RLSPolicy(self.rls)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON config shape (includes the api_key — handle with care)."""
+        out: dict[str, Any] = {"tenant": self.tenant, "api_key": self.api_key}
+        if self.rls:
+            out["rls"] = [rule.to_dict() for rule in self.rls]
+        out["max_concurrent"] = self.max_concurrent
+        if self.rate_limit is not None:
+            out["rate_limit"] = {
+                "capacity": self.rate_limit.capacity,
+                "refill_per_sec": self.rate_limit.refill_per_sec,
+            }
+        out["can_write"] = self.can_write
+        return out
+
+
+@dataclass
+class ServerConfig:
+    """The full tenant roster the server authenticates against."""
+
+    tenants: list[TenantConfig] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [t.tenant for t in self.tenants]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigError(f"duplicate tenant names: {dupes}")
+        keys = [t.api_key for t in self.tenants]
+        if len(keys) != len(set(keys)):
+            raise ConfigError("two tenants share an api_key")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServerConfig":
+        """Build from the JSON document shape ``{"tenants": [...]}``."""
+        unknown = set(payload) - {"tenants"}
+        if unknown:
+            raise ConfigError(f"unknown config fields: {sorted(unknown)}")
+        tenants = payload.get("tenants")
+        if not isinstance(tenants, list) or not tenants:
+            raise ConfigError("config needs a non-empty 'tenants' list")
+        return cls([TenantConfig.from_dict(item) for item in tenants])
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ServerConfig":
+        """Load and validate a JSON config file."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigError(f"cannot read config {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"config {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise ConfigError(f"config {path} must hold a JSON object")
+        return cls.from_dict(payload)
+
+    def dump(self, path: str | Path) -> None:
+        """Write the config back out as JSON (for templates and tests)."""
+        Path(path).write_text(
+            json.dumps(
+                {"tenants": [t.to_dict() for t in self.tenants]}, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def tenant(self, name: str) -> TenantConfig:
+        """Look a tenant up by name."""
+        for tenant in self.tenants:
+            if tenant.tenant == name:
+                return tenant
+        raise KeyError(f"no tenant named {name!r}")
+
+    def authenticate(self, api_key: Any) -> TenantConfig:
+        """The tenant owning ``api_key``, or :class:`AuthFailedError`.
+
+        Every configured key is compared (constant-time per comparison)
+        even after a match, so response timing does not reveal roster
+        position either.
+        """
+        if not isinstance(api_key, str) or not api_key:
+            raise AuthFailedError("authentication failed")
+        presented = api_key.encode("utf-8")
+        matched: TenantConfig | None = None
+        for tenant in self.tenants:
+            if hmac.compare_digest(presented, tenant.api_key.encode("utf-8")):
+                matched = tenant
+        if matched is None:
+            raise AuthFailedError("authentication failed")
+        return matched
+
+    def validate_rls(self, mvft: Any) -> None:
+        """Validate every tenant's RLS rules against the served schema."""
+        for tenant in self.tenants:
+            tenant.policy().validate(mvft)
+
+
+def demo_config() -> ServerConfig:
+    """The two-tenant roster the docs, CLI smoke and benchmarks share:
+    an RLS-scoped analyst tenant and an unrestricted operator tenant."""
+    return ServerConfig(
+        [
+            TenantConfig(
+                tenant="acme",
+                api_key="acme-key",
+                rls=(
+                    RLSRule(
+                        dimension="org",
+                        level="Division",
+                        values=("Sales",),
+                    ),
+                ),
+                max_concurrent=2,
+                rate_limit=RateLimit(capacity=50, refill_per_sec=25),
+            ),
+            TenantConfig(
+                tenant="ops",
+                api_key="ops-key",
+                max_concurrent=8,
+                can_write=True,
+            ),
+        ]
+    )

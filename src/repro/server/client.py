@@ -1,0 +1,379 @@
+"""The blocking client library for the warehouse server.
+
+:class:`WarehouseClient` speaks the NDJSON protocol over one TCP
+connection and turns typed wire errors back into exceptions::
+
+    with WarehouseClient(host, port, api_key="acme-key") as client:
+        result = client.query("SELECT amount BY year, org.Division")
+        for row in result.rows:
+            ...
+
+Every protocol error code maps to a :class:`RemoteError` subclass
+(:data:`ERROR_CLASSES`), so a statement that lost first-committer-wins
+validation on the server raises :class:`RemoteConflictError` here — the
+same control flow an in-process caller gets from
+:class:`~repro.concurrency.errors.WriteConflictError`, across the wire.
+
+``query``/``pivot`` transparently drain the server's page stream by
+default (``fetch_all=False`` returns the first page plus the cursor for
+manual paging).  The client is deliberately synchronous: analyst tools
+and tests want straight-line code; concurrency comes from opening more
+connections.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator, Mapping
+
+from repro.core.errors import ReproError
+
+from .protocol import MAX_LINE_BYTES, encode_message
+
+__all__ = [
+    "RemoteError",
+    "RemoteAuthError",
+    "RemoteForbiddenError",
+    "RemoteBadRequestError",
+    "RemoteStatementError",
+    "RemoteConflictError",
+    "RemoteQuotaError",
+    "RemoteRateLimitError",
+    "RemoteShuttingDownError",
+    "RemoteInternalError",
+    "ERROR_CLASSES",
+    "RemoteTable",
+    "RemotePivot",
+    "WarehouseClient",
+]
+
+
+class RemoteError(ReproError):
+    """A typed error response from the server."""
+
+    def __init__(
+        self, code: str, message: str, details: Mapping[str, Any] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.details = dict(details or {})
+
+
+class RemoteAuthError(RemoteError):
+    """``auth_required`` / ``auth_failed``."""
+
+
+class RemoteForbiddenError(RemoteError):
+    """``forbidden`` — authenticated but not allowed."""
+
+
+class RemoteBadRequestError(RemoteError):
+    """``bad_request`` — malformed request."""
+
+
+class RemoteStatementError(RemoteError):
+    """``parse_error`` / ``compile_error`` / ``query_error``."""
+
+
+class RemoteConflictError(RemoteError):
+    """``conflict`` — a write lost first-committer-wins validation."""
+
+
+class RemoteQuotaError(RemoteError):
+    """``quota_exceeded`` — concurrency quota hit."""
+
+
+class RemoteRateLimitError(RemoteError):
+    """``rate_limited`` — sustained rate exceeded."""
+
+
+class RemoteShuttingDownError(RemoteError):
+    """``shutting_down`` — the server is draining."""
+
+
+class RemoteInternalError(RemoteError):
+    """``internal`` — unexpected server-side failure."""
+
+
+#: code → exception class; unknown codes fall back to :class:`RemoteError`.
+ERROR_CLASSES: dict[str, type[RemoteError]] = {
+    "auth_required": RemoteAuthError,
+    "auth_failed": RemoteAuthError,
+    "forbidden": RemoteForbiddenError,
+    "bad_request": RemoteBadRequestError,
+    "parse_error": RemoteStatementError,
+    "compile_error": RemoteStatementError,
+    "query_error": RemoteStatementError,
+    "conflict": RemoteConflictError,
+    "quota_exceeded": RemoteQuotaError,
+    "rate_limited": RemoteRateLimitError,
+    "shutting_down": RemoteShuttingDownError,
+    "internal": RemoteInternalError,
+}
+
+
+class RemoteTable:
+    """A SELECT result re-assembled from the page stream."""
+
+    def __init__(self, payload: Mapping[str, Any], rows: list[dict]) -> None:
+        self.columns: list[str] = list(payload["columns"])
+        self.measures: list[str] = list(payload["measures"])
+        self.mode: str = payload["mode"]
+        self.total_rows: int = payload["total_rows"]
+        self.rows = rows
+        self.cursor = payload.get("cursor")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.rows)
+
+    def as_dict(self) -> dict[tuple, dict[str, float | None]]:
+        """``{group key: {measure: value}}`` — mirrors
+        :meth:`~repro.core.query.ResultTable.as_dict` for assertions."""
+        return {
+            tuple(row["group"]): {
+                cell["measure"]: cell["value"] for cell in row["cells"]
+            }
+            for row in self.rows
+        }
+
+    def confidences(self) -> dict[tuple, dict[str, str | None]]:
+        """``{group key: {measure: confidence symbol}}``."""
+        return {
+            tuple(row["group"]): {
+                cell["measure"]: cell["confidence"] for cell in row["cells"]
+            }
+            for row in self.rows
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemoteTable(mode={self.mode!r}, rows={len(self.rows)}/"
+            f"{self.total_rows})"
+        )
+
+
+class RemotePivot:
+    """A cube pivot re-assembled from the page stream."""
+
+    def __init__(self, payload: Mapping[str, Any], grid: list[dict]) -> None:
+        self.mode: str = payload["mode"]
+        self.measure: str = payload["measure"]
+        self.row_axis: str = payload["row_axis"]
+        self.col_axis: str = payload["col_axis"]
+        self.rows: list[Any] = [entry["row"] for entry in grid]
+        self.cols: list[Any] = list(payload["cols"])
+        self._cells: dict[tuple[Any, Any], dict | None] = {}
+        for entry in grid:
+            for col, cell in zip(self.cols, entry["cells"]):
+                self._cells[(entry["row"], col)] = cell
+
+    def cell(self, row: Any, col: Any) -> dict | None:
+        """``{"value", "confidence"}`` or ``None`` for an empty cell."""
+        return self._cells.get((row, col))
+
+    def value(self, row: Any, col: Any) -> float | None:
+        """The cell's value (``None`` when empty)."""
+        cell = self.cell(row, col)
+        return None if cell is None else cell["value"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RemotePivot(mode={self.mode!r}, measure={self.measure!r}, "
+            f"{len(self.rows)}x{len(self.cols)})"
+        )
+
+
+class WarehouseClient:
+    """A blocking NDJSON client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        api_key: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 1
+        self.session: dict[str, Any] | None = None
+        if api_key is not None:
+            self.auth(api_key)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and return the success payload, raising the
+        mapped :class:`RemoteError` subclass on a typed failure."""
+        import json
+
+        request_id = self._next_id
+        self._next_id += 1
+        self._file.write(encode_message({"id": request_id, "op": op, **fields}))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise RemoteError(
+                "connection_closed", "server closed the connection"
+            )
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") != request_id:
+            raise RemoteError(
+                "protocol_desync",
+                f"response id {response.get('id')!r} does not match request "
+                f"{request_id}",
+            )
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        code = error.get("code", "internal")
+        raise ERROR_CLASSES.get(code, RemoteError)(
+            code, error.get("message", "unknown error"), error.get("details")
+        )
+
+    # -- session -----------------------------------------------------------------
+
+    def hello(self) -> dict[str, Any]:
+        """Server identity and supported ops (no auth required)."""
+        return self.call("hello")
+
+    def auth(self, api_key: str) -> dict[str, Any]:
+        """Authenticate; pins the session to the current MVCC version."""
+        self.session = self.call("auth", api_key=api_key)
+        return self.session
+
+    @property
+    def version(self) -> int | None:
+        """The pinned snapshot version (``None`` before auth)."""
+        return None if self.session is None else self.session["version"]
+
+    def refresh(self) -> dict[str, Any]:
+        """Re-pin the session to the latest committed version."""
+        payload = self.call("refresh")
+        if self.session is not None:
+            self.session["version"] = payload["version"]
+        return payload
+
+    # -- statements --------------------------------------------------------------
+
+    def _drain_pages(
+        self, first: list[dict], cursor: Any
+    ) -> list[dict]:
+        rows = list(first)
+        while cursor is not None:
+            page = self.call("fetch", cursor=cursor)
+            rows.extend(page["rows"])
+            cursor = page["cursor"]
+        return rows
+
+    def query(
+        self,
+        statement: str,
+        *,
+        page_size: int | None = None,
+        as_of: int | str | None = None,
+        fetch_all: bool = True,
+    ) -> Any:
+        """Execute one MVQL statement.
+
+        SELECT returns a :class:`RemoteTable` (fully paged unless
+        ``fetch_all=False``), RANK MODES the ranking list, SHOW the
+        descriptive lines.
+        """
+        fields: dict[str, Any] = {"statement": statement}
+        if page_size is not None:
+            fields["page_size"] = page_size
+        if as_of is not None:
+            fields["as_of"] = as_of
+        payload = self.call("query", **fields)
+        kind = payload.get("kind")
+        if kind == "table":
+            rows = payload["page"]
+            if fetch_all:
+                rows = self._drain_pages(rows, payload["cursor"])
+            return RemoteTable(payload, rows)
+        if kind == "ranking":
+            return payload["modes"]
+        return payload["lines"]
+
+    def pivot(
+        self,
+        mode: str,
+        rows: str,
+        cols: str,
+        measure: str,
+        *,
+        page_size: int | None = None,
+        fetch_all: bool = True,
+    ) -> RemotePivot:
+        """A 2-D cube pivot (axes as ``"year"`` or ``"dim.Level"``)."""
+        fields: dict[str, Any] = {
+            "mode": mode,
+            "rows": rows,
+            "cols": cols,
+            "measure": measure,
+        }
+        if page_size is not None:
+            fields["page_size"] = page_size
+        payload = self.call("pivot", **fields)
+        grid = payload["page"]
+        if fetch_all:
+            grid = self._drain_pages(grid, payload["cursor"])
+        return RemotePivot(payload, grid)
+
+    def fetch(self, cursor: int) -> dict[str, Any]:
+        """One page of a paged result (manual paging)."""
+        return self.call("fetch", cursor=cursor)
+
+    def evolve(self, member: Mapping[str, Any]) -> dict[str, Any]:
+        """Run one member-insert evolution (write-capable tenants only).
+
+        Raises :class:`RemoteConflictError` when the write lost
+        first-committer-wins validation against this session's pinned
+        base — ``refresh()`` and retry, the optimistic loop.
+        """
+        return self.call("evolve", member=dict(member))
+
+    # -- operations --------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness: cheap, no auth needed, answers while draining."""
+        return self.call("health")
+
+    def ready(self) -> dict[str, Any]:
+        """Readiness: the server's full doctor sweep."""
+        return self.call("ready")
+
+    def stats(self) -> dict[str, Any]:
+        """The server's metrics snapshot."""
+        return self.call("stats")["metrics"]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Say goodbye and close the socket (idempotent)."""
+        if self._sock is None:
+            return
+        try:
+            self.call("close")
+        except (OSError, RemoteError):  # pragma: no cover - best effort
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+            self._sock = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "WarehouseClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tenant = None if self.session is None else self.session["tenant"]
+        return f"WarehouseClient(tenant={tenant!r}, version={self.version})"

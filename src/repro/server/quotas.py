@@ -1,0 +1,234 @@
+"""Admission control: per-tenant quotas, rate limits, and overload shed.
+
+Every statement (query, pivot, AS-OF, evolve) passes through the
+:class:`AdmissionController` before any engine work starts.  Three gates,
+checked in order, each shedding load as a *typed protocol error* the
+client can dispatch on — an overloaded server answers fast instead of
+queueing into a hang:
+
+1. **global concurrency** — a server-wide cap on in-flight statements
+   (the executor pool's backlog guard); over it → ``shutting_down``-class
+   pressure is reported as :class:`~.protocol.QuotaExceededError` with
+   ``scope="server"``;
+2. **tenant concurrency** — each tenant's ``max_concurrent`` from its
+   :class:`~.auth.TenantConfig`; over it → ``quota_exceeded``;
+3. **tenant rate** — a token bucket (``capacity`` burst, sustained
+   ``refill_per_sec``); empty → ``rate_limited``.
+
+Admissions and rejections feed the shared
+:class:`~repro.observability.metrics.MetricsRegistry`
+(``server.statements``, ``server.rejected{reason=}``,
+``server.active_statements``), so the doctor's alert rules — and the
+``stats`` protocol op — see admission pressure with no extra plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.observability import runtime as _obs
+
+from .auth import TenantConfig
+from .protocol import QuotaExceededError, RateLimitedError
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A monotonic-clock token bucket; ``clock`` injectable for tests."""
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_sec: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("token bucket capacity must be >= 1")
+        if refill_per_sec < 0:
+            raise ValueError("token bucket refill rate must be >= 0")
+        self.capacity = float(capacity)
+        self.refill_per_sec = float(refill_per_sec)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(
+                self.capacity, self._tokens + elapsed * self.refill_per_sec
+            )
+            self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class _TenantState:
+    """Mutable per-tenant admission state."""
+
+    __slots__ = ("config", "active", "bucket")
+
+    def __init__(
+        self, config: TenantConfig, clock: Callable[[], float]
+    ) -> None:
+        self.config = config
+        self.active = 0
+        self.bucket = (
+            TokenBucket(
+                config.rate_limit.capacity,
+                config.rate_limit.refill_per_sec,
+                clock=clock,
+            )
+            if config.rate_limit is not None
+            else None
+        )
+
+
+class AdmissionController:
+    """The statement gate: global cap, tenant quota, tenant rate."""
+
+    def __init__(
+        self,
+        *,
+        max_global_concurrent: int = 64,
+        metrics: Any = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_global_concurrent < 1:
+            raise ValueError("max_global_concurrent must be >= 1")
+        self.max_global_concurrent = max_global_concurrent
+        self._metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+        self._active_total = 0
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
+
+    def register(self, config: TenantConfig) -> None:
+        """Create (or refresh) one tenant's admission state."""
+        with self._lock:
+            self._tenants[config.tenant] = _TenantState(config, self._clock)
+
+    def _state(self, tenant: str) -> _TenantState:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has no admission state registered"
+            ) from None
+
+    # -- the gate ----------------------------------------------------------------
+
+    def try_admit(self, tenant: str) -> None:
+        """Pass the three gates or raise the matching typed error.
+
+        On success the statement is counted active until
+        :meth:`release` — use :meth:`admit` for the paired form.
+        """
+        metrics = self._metrics_now()
+        with self._lock:
+            state = self._state(tenant)
+            if self._active_total >= self.max_global_concurrent:
+                if metrics.enabled:
+                    metrics.counter(
+                        "server.rejected",
+                        {"tenant": tenant, "reason": "server_capacity"},
+                    ).inc()
+                raise QuotaExceededError(
+                    f"server at capacity "
+                    f"({self.max_global_concurrent} concurrent statements)",
+                )
+            if state.active >= state.config.max_concurrent:
+                if metrics.enabled:
+                    metrics.counter(
+                        "server.rejected",
+                        {"tenant": tenant, "reason": "concurrency"},
+                    ).inc()
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} at its concurrent-statement quota "
+                    f"({state.config.max_concurrent})"
+                )
+            if state.bucket is not None and not state.bucket.try_acquire():
+                if metrics.enabled:
+                    metrics.counter(
+                        "server.rejected",
+                        {"tenant": tenant, "reason": "rate"},
+                    ).inc()
+                raise RateLimitedError(
+                    f"tenant {tenant!r} over its statement rate "
+                    f"({state.bucket.refill_per_sec:g}/s sustained, "
+                    f"burst {state.bucket.capacity:g})"
+                )
+            state.active += 1
+            self._active_total += 1
+            active, total = state.active, self._active_total
+        if metrics.enabled:
+            metrics.counter("server.statements", {"tenant": tenant}).inc()
+            metrics.gauge(
+                "server.active_statements", {"tenant": tenant}
+            ).set(active)
+            metrics.gauge("server.active_statements_total").set(total)
+
+    def release(self, tenant: str) -> None:
+        """Return one admitted statement's slot."""
+        with self._lock:
+            state = self._state(tenant)
+            state.active = max(0, state.active - 1)
+            self._active_total = max(0, self._active_total - 1)
+            active, total = state.active, self._active_total
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.gauge(
+                "server.active_statements", {"tenant": tenant}
+            ).set(active)
+            metrics.gauge("server.active_statements_total").set(total)
+
+    @contextmanager
+    def admit(self, tenant: str) -> Iterator[None]:
+        """``with controller.admit(tenant):`` — gate then auto-release."""
+        self.try_admit(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def active_total(self) -> int:
+        """Statements currently in flight, server-wide."""
+        return self._active_total
+
+    def active_for(self, tenant: str) -> int:
+        """Statements currently in flight for one tenant."""
+        with self._lock:
+            return self._state(tenant).active
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdmissionController(active={self._active_total}/"
+            f"{self.max_global_concurrent}, tenants={len(self._tenants)})"
+        )

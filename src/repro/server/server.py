@@ -1,0 +1,504 @@
+"""The asyncio warehouse server: MVQL over the wire.
+
+:class:`WarehouseServer` listens on a TCP socket and speaks the NDJSON
+protocol of :mod:`repro.server.protocol`.  The architecture is the
+classic asyncio-plus-pool split:
+
+* the **event loop** owns connections: it reads request lines, runs
+  authentication and admission control (both cheap and lock-light), and
+  writes responses — thousands of idle sessions cost almost nothing;
+* a bounded **worker-thread pool** owns engine work: statement
+  execution, pivots, readiness sweeps.  Every statement runs against the
+  session's *pinned MVCC snapshot*, so worker threads never contend with
+  the writer and two tenants' statements share no mutable state;
+* statements pass the :class:`~repro.server.quotas.AdmissionController`
+  *before* reaching the pool — an overloaded server sheds typed errors
+  instead of queueing into a hang.
+
+**Graceful shutdown** (:meth:`WarehouseServer.shutdown`, also wired to
+SIGTERM/SIGINT by the CLI) stops accepting connections, rejects new
+statements with ``shutting_down``, waits for in-flight statements to
+drain (bounded by ``drain_timeout``), flushes their responses, then
+closes the transports — a client never loses the answer to a statement
+the server already admitted.
+
+:func:`serve_background` runs a server on a dedicated daemon-thread
+event loop and returns a :class:`ServerHandle` — what embedding tests,
+docs and benchmarks use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.observability import runtime as _obs
+
+from .auth import ServerConfig
+from .protocol import (
+    PROTOCOL_VERSION,
+    AuthRequiredError,
+    BadRequestError,
+    ProtocolError,
+    ShuttingDownError,
+    decode_line,
+    encode_message,
+    error_code_for,
+    error_response,
+    ok_response,
+)
+from .session import ServerSession
+
+__all__ = ["WarehouseServer", "ServerHandle", "serve_background"]
+
+#: Ops a connection may issue before authenticating.
+_UNAUTHENTICATED_OPS = frozenset({"hello", "auth", "health"})
+
+#: Ops that count as statements for admission control and draining.
+_STATEMENT_OPS = frozenset({"query", "pivot", "evolve"})
+
+_ALL_OPS = (
+    "hello",
+    "auth",
+    "query",
+    "fetch",
+    "pivot",
+    "evolve",
+    "refresh",
+    "health",
+    "ready",
+    "stats",
+    "close",
+)
+
+
+class _Connection:
+    """Per-connection state: a session once authenticated."""
+
+    __slots__ = ("session", "peer")
+
+    def __init__(self, peer: str) -> None:
+        self.session: ServerSession | None = None
+        self.peer = peer
+
+
+class WarehouseServer:
+    """One warehouse process boundary: sessions, RLS, admission, health."""
+
+    def __init__(
+        self,
+        manager: Any,
+        config: ServerConfig,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        wal_path: Any = None,
+        admission: Any = None,
+        max_global_concurrent: int = 64,
+        executor_threads: int = 8,
+        metrics: Any = None,
+        tracer: Any = None,
+        slow_log: Any = None,
+        statement_delay: float = 0.0,
+    ) -> None:
+        from .quotas import AdmissionController
+
+        self.manager = manager
+        self.config = config
+        self.host = host
+        self.port = port
+        self.wal_path = wal_path
+        self._metrics = metrics
+        self._tracer = tracer
+        self.slow_log = slow_log
+        # Test/bench seam: an artificial per-statement delay to make
+        # drain and saturation behaviour observable deterministically.
+        self.statement_delay = statement_delay
+        self.admission = admission or AdmissionController(
+            max_global_concurrent=max_global_concurrent, metrics=metrics
+        )
+        for tenant in config.tenants:
+            self.admission.register(tenant)
+        # Fail fast on a config whose RLS rules don't fit the served
+        # schema — better at startup than at the first tenant statement.
+        with manager.open_cursor() as cursor:
+            config.validate_rls(cursor.mvft)
+        self._pool = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="repro-server"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._inflight = 0
+        self._drained: asyncio.Event | None = None
+        self._started_at = time.monotonic()
+        self._sessions = 0
+
+    # -- observability helpers ---------------------------------------------------
+
+    def _metrics_now(self) -> Any:
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
+
+    def _tracer_now(self) -> Any:
+        return self._tracer if self._tracer is not None else _obs.current_tracer()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (port 0 picks a free one)."""
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def serving(self) -> bool:
+        """Whether the listening socket is open."""
+        return self._server is not None and self._server.is_serving()
+
+    @property
+    def draining(self) -> bool:
+        """Whether shutdown has begun (new statements are rejected)."""
+        return self._draining
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI couples this with signals)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, *, drain_timeout: float = 10.0) -> bool:
+        """Drain and stop; returns whether the drain completed in time."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        drained = True
+        assert self._drained is not None
+        try:
+            await asyncio.wait_for(self._drained.wait(), drain_timeout)
+        except asyncio.TimeoutError:
+            drained = False
+        # Reap connections that never said goodbye (their sessions close
+        # in the handler's ``finally``); responses already written have
+        # been flushed by the per-request ``drain()``.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=drained)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter(
+                "server.shutdowns",
+                {"drained": "true" if drained else "false"},
+            ).inc()
+        return drained
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        conn = _Connection(str(peer))
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter("server.connections").inc()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(conn, line)
+                writer.write(encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+                if response.get("bye"):
+                    break
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            if conn.session is not None:
+                conn.session.close()
+                conn.session = None
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown race
+                pass
+
+    async def _respond(
+        self, conn: _Connection, line: bytes
+    ) -> dict[str, Any]:
+        """Decode, dispatch, and map failures to typed error responses."""
+        request_id: Any = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            return await self._dispatch(conn, message)
+        except Exception as exc:  # noqa: BLE001 - the wire must answer
+            code = error_code_for(exc)
+            metrics = self._metrics_now()
+            if metrics.enabled:
+                metrics.counter("server.errors", {"code": code}).inc()
+            return error_response(request_id, code, str(exc))
+
+    async def _dispatch(
+        self, conn: _Connection, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        op = message.get("op")
+        request_id = message.get("id")
+        if not isinstance(op, str) or op not in _ALL_OPS:
+            raise BadRequestError(
+                f"unknown op {op!r} (available: {list(_ALL_OPS)})"
+            )
+        if op not in _UNAUTHENTICATED_OPS and conn.session is None:
+            raise AuthRequiredError(f"op {op!r} requires authentication")
+
+        if op == "hello":
+            return ok_response(
+                request_id,
+                server="repro-warehouse",
+                protocol=PROTOCOL_VERSION,
+                ops=list(_ALL_OPS),
+            )
+        if op == "auth":
+            return self._op_auth(conn, message)
+        if op == "health":
+            return self._op_health(request_id)
+        if op == "close":
+            response = ok_response(request_id, bye=True)
+            return response
+
+        session = conn.session
+        assert session is not None
+        if op == "fetch":
+            return ok_response(request_id, **session.fetch(message.get("cursor")))
+        if op == "refresh":
+            return ok_response(request_id, **session.refresh())
+        if op == "stats":
+            return ok_response(
+                request_id, metrics=self._metrics_now().snapshot()
+            )
+        if op == "ready":
+            return await self._op_ready(request_id)
+        # The statement ops: gate, then hand the engine work to the pool.
+        if self._draining:
+            raise ShuttingDownError("server is draining; no new statements")
+        with self.admission.admit(session.tenant.tenant):
+            return await self._run_statement(conn, op, message)
+
+    async def _run_statement(
+        self, conn: _Connection, op: str, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        session = conn.session
+        assert session is not None
+        request_id = message.get("id")
+        tracer = self._tracer_now()
+        metrics = self._metrics_now()
+        loop = asyncio.get_running_loop()
+
+        def work() -> dict[str, Any]:
+            if self.statement_delay:
+                time.sleep(self.statement_delay)
+            if op == "query":
+                return session.execute(
+                    message.get("statement"),
+                    page_size=message.get("page_size"),
+                    as_of=message.get("as_of"),
+                )
+            if op == "pivot":
+                return session.pivot(
+                    mode=message.get("mode"),
+                    rows=message.get("rows"),
+                    cols=message.get("cols"),
+                    measure=message.get("measure"),
+                    page_size=message.get("page_size"),
+                )
+            assert op == "evolve"
+            return session.evolve(message.get("member"))
+
+        self._inflight += 1
+        assert self._drained is not None
+        self._drained.clear()
+        started = time.perf_counter()
+        try:
+            with tracer.span(
+                "server.statement",
+                attributes={"op": op, "tenant": session.tenant.tenant},
+            ):
+                payload = await loop.run_in_executor(self._pool, work)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+            if metrics.enabled:
+                metrics.histogram(
+                    "server.statement_seconds",
+                    {"op": op, "tenant": session.tenant.tenant},
+                ).observe(time.perf_counter() - started)
+        return ok_response(request_id, **payload)
+
+    # -- simple ops --------------------------------------------------------------
+
+    def _op_auth(
+        self, conn: _Connection, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        if conn.session is not None:
+            conn.session.close()
+            conn.session = None
+        tenant = self.config.authenticate(message.get("api_key"))
+        session = ServerSession(
+            tenant,
+            self.manager,
+            slow_log=self.slow_log,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        conn.session = session
+        self._sessions += 1
+        metrics = self._metrics_now()
+        if metrics.enabled:
+            metrics.counter(
+                "server.sessions", {"tenant": tenant.tenant}
+            ).inc()
+        return ok_response(message.get("id"), **session.describe())
+
+    def _op_health(self, request_id: Any) -> dict[str, Any]:
+        """Liveness: cheap, lock-free, answers even while draining."""
+        return ok_response(
+            request_id,
+            status="draining" if self._draining else "ok",
+            uptime_s=round(time.monotonic() - self._started_at, 3),
+            version=self.manager.version,
+            active_statements=self.admission.active_total,
+            sessions=self._sessions,
+        )
+
+    async def _op_ready(self, request_id: Any) -> dict[str, Any]:
+        """Readiness: the full doctor sweep, off the event loop."""
+        from repro.observability.health import run_doctor
+
+        loop = asyncio.get_running_loop()
+        schema = self.manager.snapshot().schema
+        metrics = self._metrics_now()
+
+        def sweep() -> Any:
+            return run_doctor(
+                schema,
+                metrics=metrics if metrics.enabled else None,
+                wal_path=self.wal_path,
+                slow_log=self.slow_log,
+            )
+
+        report = await loop.run_in_executor(self._pool, sweep)
+        ready = report.status != "fail" and not self._draining
+        return ok_response(
+            request_id,
+            ready=ready,
+            status=report.status,
+            draining=self._draining,
+            doctor=report.to_dict(),
+        )
+
+
+# -- background serving ------------------------------------------------------------
+
+
+class ServerHandle:
+    """A running server on its own daemon-thread event loop."""
+
+    def __init__(
+        self,
+        server: WarehouseServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        """The bound (possibly OS-assigned) port."""
+        return self.server.port
+
+    def stop(self, *, drain_timeout: float = 10.0) -> bool:
+        """Drain, stop the loop, join the thread; True if fully drained."""
+        if not self._thread.is_alive():
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain_timeout=drain_timeout), self._loop
+        )
+        drained = future.result(timeout=drain_timeout + 5.0)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        return drained
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve_background(
+    manager: Any, config: ServerConfig, **server_kwargs: Any
+) -> ServerHandle:
+    """Start a :class:`WarehouseServer` on a daemon thread and return a
+    handle once the socket is bound — the embedding surface for tests,
+    docs and benchmarks (and mirrors what ``repro serve`` does in the
+    foreground)."""
+    server = WarehouseServer(manager, config, **server_kwargs)
+    loop = asyncio.new_event_loop()
+    bound = threading.Event()
+    failure: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # pragma: no cover - startup failure
+            failure.append(exc)
+            bound.set()
+            return
+        bound.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="repro-server-loop", daemon=True
+    )
+    thread.start()
+    bound.wait(timeout=10.0)
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

@@ -167,3 +167,34 @@ class TestDocsObservability:
             "runtime.instrumented",
         ):
             assert topic in text
+
+
+class TestDocsServer:
+    def test_server_walkthrough_runs(self, capsys):
+        run_blocks(ROOT / "docs" / "server.md")
+        out = capsys.readouterr().out
+        assert "serving on port" in out
+        assert "pinned to version 0" in out
+        assert "('2001', 'Sales') {'amount': 150.0}" in out
+        assert "2002 x Sales = 100.0" in out
+        assert "next page at offset 2" in out
+        assert "shed with code 'rate_limited'" in out    # quota hit
+        assert "ops sees divisions: ['R&D', 'Sales']" in out  # no RLS leak-over
+        assert "status=ok" in out
+        assert "ready=True doctor=pass integrity_ok=True" in out
+        assert "drained cleanly: True" in out
+
+    def test_server_doc_covers_the_surface(self):
+        text = (ROOT / "docs" / "server.md").read_text()
+        for topic in (
+            "WarehouseClient",
+            "serve_background",
+            "repro serve",
+            "repro query",
+            "rate_limited",
+            "shutting_down",
+            "first-committer-wins",
+            "AS-OF",
+            "--format json",
+        ):
+            assert topic in text

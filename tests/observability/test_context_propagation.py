@@ -1,0 +1,150 @@
+"""Regression tests for context-local observability state.
+
+The tracer's active-span stack and the slow-query log's statement label
+used to be *thread*-local.  That is correct for thread-per-statement
+execution but silently wrong on an asyncio server: every statement
+interleaves on one event-loop thread, so task B's spans would nest under
+task A's open span and task B's slow queries would be labelled with task
+A's MVQL text.  Both now live in :mod:`contextvars`, which asyncio
+copies per task — these tests pin the task-isolation behaviour (and the
+unchanged thread behaviour) down.
+"""
+
+import asyncio
+import threading
+
+from repro.observability import SlowQueryLog, Tracer
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestTracerTaskIsolation:
+    def test_interleaved_tasks_get_their_own_parents(self):
+        """Two tasks ping-ponging on one thread must not adopt each
+        other's spans as parents."""
+        tracer = Tracer()
+
+        async def statement(name: str, barrier_in: asyncio.Event, barrier_out: asyncio.Event):
+            with tracer.span(f"{name}.outer"):
+                # Yield to the other task while our span is open — with a
+                # thread-local stack the other task would now see
+                # ``{name}.outer`` as its parent.
+                barrier_out.set()
+                await barrier_in.wait()
+                with tracer.span(f"{name}.inner"):
+                    await asyncio.sleep(0)
+
+        async def main():
+            a_ready, b_ready = asyncio.Event(), asyncio.Event()
+            await asyncio.gather(
+                statement("a", b_ready, a_ready),
+                statement("b", a_ready, b_ready),
+            )
+
+        _run(main())
+        for name in ("a", "b"):
+            outer = tracer.find(f"{name}.outer")[0]
+            inner = tracer.find(f"{name}.inner")[0]
+            assert outer.parent_id is None
+            assert inner.parent_id == outer.span_id
+
+    def test_many_concurrent_tasks_nest_independently(self):
+        tracer = Tracer()
+
+        async def statement(i: int):
+            with tracer.span("stmt", attributes={"i": i}):
+                await asyncio.sleep(0)
+                with tracer.span("phase", attributes={"i": i}):
+                    await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(*(statement(i) for i in range(16)))
+
+        _run(main())
+        roots = {s.attributes["i"]: s for s in tracer.find("stmt")}
+        assert len(roots) == 16
+        for child in tracer.find("phase"):
+            assert child.parent_id == roots[child.attributes["i"]].span_id
+
+    def test_fresh_thread_starts_with_empty_stack(self):
+        """Thread behaviour is unchanged: a worker thread does not
+        inherit the spawning context's open span."""
+        tracer = Tracer()
+        seen: list[int | None] = []
+
+        def worker():
+            with tracer.span("worker") as span:
+                seen.append(span.parent_id)
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_explicit_parent_still_crosses_threads(self):
+        tracer = Tracer()
+        with tracer.span("fanout") as parent:
+            results: list[int | None] = []
+
+            def worker():
+                with tracer.span("shard", parent=parent) as span:
+                    results.append(span.parent_id)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert results == [parent.span_id]
+
+
+class TestSlowQueryLogTaskIsolation:
+    def test_interleaved_statements_keep_their_own_labels(self):
+        """Each task's engine-level record must carry *that* task's MVQL
+        text even while both statement contexts are open."""
+        log = SlowQueryLog(threshold=0.0)
+        labels: dict[str, str | None] = {}
+
+        async def statement(text: str, barrier_in: asyncio.Event, barrier_out: asyncio.Event):
+            with log.statement(text):
+                barrier_out.set()
+                await barrier_in.wait()
+                labels[text] = log.current_statement
+                log.record(mode="tcm", seconds=1.0)
+
+        async def main():
+            a_ready, b_ready = asyncio.Event(), asyncio.Event()
+            await asyncio.gather(
+                statement("SELECT amount BY year", b_ready, a_ready),
+                statement("SHOW MODES", a_ready, b_ready),
+            )
+
+        _run(main())
+        assert labels == {
+            "SELECT amount BY year": "SELECT amount BY year",
+            "SHOW MODES": "SHOW MODES",
+        }
+        recorded = {r.statement for r in log.records()}
+        assert recorded == {"SELECT amount BY year", "SHOW MODES"}
+
+    def test_fresh_thread_sees_no_statement(self):
+        log = SlowQueryLog(threshold=0.0)
+        seen: list[str | None] = []
+
+        def worker():
+            seen.append(log.current_statement)
+
+        with log.statement("SELECT amount BY year"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_nested_statement_restores_outer_label(self):
+        log = SlowQueryLog(threshold=0.0)
+        with log.statement("outer"):
+            with log.statement("inner"):
+                assert log.current_statement == "inner"
+            assert log.current_statement == "outer"
+        assert log.current_statement is None

@@ -1,0 +1,69 @@
+"""Shared fixtures for the warehouse-server tests.
+
+One case-study warehouse behind a background server, with the demo
+tenant roster: ``acme`` is RLS-scoped to the Sales division (read-only,
+tight limits), ``ops`` can write.  ``server_handle`` is a running server
+on its own event-loop thread; ``client`` / ``ops_client`` are connected,
+authenticated blocking clients.
+"""
+
+import pytest
+
+from repro.concurrency import SnapshotManager
+from repro.core.chronology import ym
+from repro.observability import MetricsRegistry
+from repro.robustness import TransactionManager
+from repro.server import demo_config, serve_background, WarehouseClient
+from repro.workloads.case_study import build_case_study
+
+T_EVOLVE = ym(2003, 6)
+"""An instant after every case-study evolution — new members go live here."""
+
+
+def insert_department(txm, mvid, name, *, parent="sales", t=T_EVOLVE):
+    """One-operator evolution used as the canonical concurrent write."""
+    return txm.editor.insert(
+        "org", mvid, name, t, level="Department", parents=[parent]
+    )
+
+
+@pytest.fixture()
+def study():
+    return build_case_study()
+
+
+@pytest.fixture()
+def txm(study):
+    return TransactionManager(study.schema)
+
+
+@pytest.fixture()
+def manager(txm):
+    return SnapshotManager(txm)
+
+
+@pytest.fixture()
+def config():
+    return demo_config()
+
+
+@pytest.fixture()
+def server_handle(manager, config):
+    with serve_background(manager, config, metrics=MetricsRegistry()) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server_handle):
+    with WarehouseClient(
+        server_handle.host, server_handle.port, api_key="acme-key"
+    ) as c:
+        yield c
+
+
+@pytest.fixture()
+def ops_client(server_handle):
+    with WarehouseClient(
+        server_handle.host, server_handle.port, api_key="ops-key"
+    ) as c:
+        yield c

@@ -1,0 +1,165 @@
+"""Unit tests for tenant config, authentication, and RLS compilation."""
+
+import pytest
+
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+from repro.core.query import LevelFilter
+from repro.server import (
+    AuthFailedError,
+    ConfigError,
+    ForbiddenError,
+    RLSConfigError,
+    RLSPolicy,
+    RLSRule,
+    RateLimit,
+    ServerConfig,
+    TenantConfig,
+    demo_config,
+)
+from repro.workloads.case_study import ORG
+
+
+class TestTenantConfig:
+    def test_defaults(self):
+        tenant = TenantConfig(tenant="t", api_key="k")
+        assert tenant.max_concurrent == 4
+        assert tenant.rate_limit is None
+        assert not tenant.can_write
+        assert tenant.policy().unrestricted
+
+    def test_rejects_empty_identity(self):
+        with pytest.raises(ConfigError):
+            TenantConfig(tenant="", api_key="k")
+        with pytest.raises(ConfigError):
+            TenantConfig(tenant="t", api_key="")
+
+    def test_writer_cannot_be_rls_scoped(self):
+        rule = RLSRule(dimension="org", level="Division", values=("Sales",))
+        with pytest.raises(ConfigError):
+            TenantConfig(tenant="t", api_key="k", rls=(rule,), can_write=True)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError):
+            TenantConfig.from_dict(
+                {"tenant": "t", "api_key": "k", "admin": True}
+            )
+
+    def test_round_trips_through_dict(self):
+        tenant = TenantConfig(
+            tenant="t",
+            api_key="k",
+            rls=(RLSRule(dimension="org", level="Division", values=("Sales",)),),
+            max_concurrent=3,
+            rate_limit=RateLimit(capacity=10, refill_per_sec=5),
+        )
+        assert TenantConfig.from_dict(tenant.to_dict()) == tenant
+
+
+class TestServerConfig:
+    def test_rejects_duplicate_names_and_keys(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(
+                [
+                    TenantConfig(tenant="t", api_key="a"),
+                    TenantConfig(tenant="t", api_key="b"),
+                ]
+            )
+        with pytest.raises(ConfigError):
+            ServerConfig(
+                [
+                    TenantConfig(tenant="t1", api_key="same"),
+                    TenantConfig(tenant="t2", api_key="same"),
+                ]
+            )
+
+    def test_load_dump_round_trip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        config = demo_config()
+        config.dump(path)
+        loaded = ServerConfig.load(path)
+        assert [t.tenant for t in loaded.tenants] == ["acme", "ops"]
+        assert loaded.tenant("acme").rls == config.tenant("acme").rls
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            ServerConfig.load(path)
+        with pytest.raises(ConfigError):
+            ServerConfig.load(tmp_path / "missing.json")
+
+    def test_authenticate_matches_exact_key_only(self):
+        config = demo_config()
+        assert config.authenticate("acme-key").tenant == "acme"
+        assert config.authenticate("ops-key").tenant == "ops"
+        for bad in ("acme-key ", "acme-ke", "", None, 42, "other"):
+            with pytest.raises(AuthFailedError):
+                config.authenticate(bad)
+
+    def test_auth_failure_does_not_name_tenants(self):
+        with pytest.raises(AuthFailedError) as info:
+            demo_config().authenticate("wrong")
+        assert "acme" not in str(info.value)
+        assert "ops" not in str(info.value)
+
+
+class TestRLSRules:
+    def test_rule_needs_values(self):
+        with pytest.raises(RLSConfigError):
+            RLSRule(dimension="org", level="Division", values=())
+
+    def test_from_dict_rejects_string_values(self):
+        with pytest.raises(RLSConfigError):
+            RLSRule.from_dict(
+                {"dimension": "org", "level": "Division", "values": "Sales"}
+            )
+
+    def test_rule_compiles_to_level_filter(self):
+        rule = RLSRule(dimension="org", level="Division", values=("Sales",))
+        assert rule.to_filter() == LevelFilter("org", "Division", ("Sales",))
+
+
+class TestRLSPolicy:
+    def _query(self, **kwargs):
+        return Query(
+            group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+            time_range=Interval(ym(2001, 1), ym(2003, 12)),
+            **kwargs,
+        )
+
+    def test_apply_appends_filters_conjunctively(self):
+        policy = RLSPolicy(
+            [RLSRule(dimension="org", level="Division", values=("Sales",))]
+        )
+        own = LevelFilter("org", "Department", ("Dpt.Jones",))
+        secured = policy.apply(self._query(level_filters=(own,)))
+        assert secured.level_filters == (
+            own,
+            LevelFilter("org", "Division", ("Sales",)),
+        )
+
+    def test_unrestricted_policy_is_identity(self):
+        query = self._query()
+        assert RLSPolicy().apply(query) is query
+
+    def test_validate_against_case_study_schema(self, study):
+        mvft = study.schema.multiversion_facts()
+        RLSPolicy(
+            [RLSRule(dimension="org", level="Division", values=("Sales",))]
+        ).validate(mvft)
+        with pytest.raises(RLSConfigError):
+            RLSPolicy(
+                [RLSRule(dimension="geo", level="Region", values=("EU",))]
+            ).validate(mvft)
+        with pytest.raises(RLSConfigError):
+            RLSPolicy(
+                [RLSRule(dimension="org", level="Region", values=("EU",))]
+            ).validate(mvft)
+
+    def test_guard_writes(self):
+        scoped = RLSPolicy(
+            [RLSRule(dimension="org", level="Division", values=("Sales",))]
+        )
+        with pytest.raises(ForbiddenError):
+            scoped.guard_writes("acme")
+        RLSPolicy().guard_writes("ops")  # no-op

@@ -1,0 +1,185 @@
+"""Concurrent sessions under writer churn — the integration scenario.
+
+N client sessions (threads driving blocking clients, multiplexed onto
+the server's one event loop) issue MVQL statements, pivots and AS-OF
+reads while a writer keeps committing evolutions.  The assertions are
+the server tier's contract:
+
+* **snapshot consistency** — every session's repeated reads return the
+  version pinned at authentication, bit-for-bit, no matter how many
+  commits land mid-flight;
+* **RLS isolation** — the scoped tenant never observes a member outside
+  its slice in any interleaving;
+* **typed conflicts** — a write racing the churn loses first-committer-
+  wins validation and surfaces as a clean ``conflict`` over the wire,
+  recoverable with ``refresh``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency.errors import WriteConflictError
+from repro.observability import MetricsRegistry
+from repro.robustness import TransactionManager
+from repro.server import (
+    RemoteConflictError,
+    WarehouseClient,
+    serve_background,
+)
+
+from .conftest import insert_department
+
+N_READERS = 4
+STATEMENTS_PER_READER = 6
+N_CHURN_COMMITS = 8
+
+
+@pytest.fixture()
+def churn_handle(manager, config):
+    with serve_background(manager, config, metrics=MetricsRegistry()) as handle:
+        yield handle
+
+
+def _churn_writer(manager, txm: TransactionManager, stop: threading.Event):
+    """Commit evolutions back-to-back until told to stop."""
+    committed = 0
+    while not stop.is_set() and committed < N_CHURN_COMMITS:
+        mvid = f"dpt-churn-{committed}"
+
+        def insert(_editor, mvid=mvid, n=committed):
+            return insert_department(txm, mvid, f"Dpt.Churn{n}")
+
+        try:
+            manager.run_write(insert)
+        except WriteConflictError:
+            continue  # another writer won this round; retry
+        committed += 1
+        time.sleep(0.005)
+    return committed
+
+
+class TestConcurrentSessionsUnderChurn:
+    def test_sessions_stay_consistent_rls_holds_and_conflicts_are_clean(
+        self, churn_handle, manager, txm
+    ):
+        stop = threading.Event()
+        writer = threading.Thread(
+            target=_churn_writer, args=(manager, txm, stop)
+        )
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def fail(message: str) -> None:
+            with lock:
+                failures.append(message)
+
+        def reader(i: int) -> None:
+            tenant_key = "acme-key" if i % 2 == 0 else "ops-key"
+            scoped = tenant_key == "acme-key"
+            try:
+                with WarehouseClient(
+                    churn_handle.host, churn_handle.port, api_key=tenant_key
+                ) as client:
+                    baseline_versions = client.query("SHOW VERSIONS")
+                    baseline_totals = client.query(
+                        "SELECT amount BY year, org.Division"
+                    ).as_dict()
+                    for _ in range(STATEMENTS_PER_READER):
+                        # Repeatability: the pinned snapshot never moves.
+                        if client.query("SHOW VERSIONS") != baseline_versions:
+                            fail(f"reader {i}: SHOW VERSIONS drifted")
+                        totals = client.query(
+                            "SELECT amount BY year, org.Division"
+                        ).as_dict()
+                        if totals != baseline_totals:
+                            fail(f"reader {i}: SELECT drifted")
+                        pivot = client.pivot(
+                            "tcm", "year", "org.Division", "amount"
+                        )
+                        if scoped:
+                            # RLS: the slice boundary holds mid-churn.
+                            if set(key[1] for key in totals) - {"Sales"}:
+                                fail(f"reader {i}: RLS leak in SELECT")
+                            if pivot.cols != ["Sales"]:
+                                fail(f"reader {i}: RLS leak in pivot")
+                        elif pivot.cols == ["Sales"]:
+                            fail(f"reader {i}: ops tenant lost R&D")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                fail(f"reader {i}: {type(exc).__name__}: {exc}")
+
+        readers = [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(N_READERS)
+        ]
+        writer.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=60.0)
+        # Let the writer land all of its commits; the stop event is only
+        # a failsafe against a hung join, not the normal exit path.
+        writer.join(timeout=60.0)
+        stop.set()
+        assert not failures, "\n".join(failures)
+        assert manager.version >= N_CHURN_COMMITS
+
+    def test_write_racing_churn_conflicts_cleanly_over_the_wire(
+        self, churn_handle, manager, txm
+    ):
+        with WarehouseClient(
+            churn_handle.host, churn_handle.port, api_key="ops-key"
+        ) as client:
+            # Make the session's pinned base stale.
+            manager.run_write(
+                lambda _e: insert_department(txm, "dpt-race", "Dpt.Race")
+            )
+            member = {
+                "dimension": "org",
+                "mvid": "dpt-late",
+                "name": "Dpt.Late",
+                "level": "Department",
+                "t": [2003, 6],
+                "parents": ["sales"],
+            }
+            with pytest.raises(RemoteConflictError):
+                client.evolve(member)
+            # The session itself survives the conflict: reads still work
+            # on the pinned snapshot, and refresh + retry commits.
+            assert client.query("SHOW MODES")
+            client.refresh()
+            payload = client.evolve(member)
+            assert payload["committed_version"] == manager.version
+
+    def test_asof_reads_stay_stable_while_writers_commit(
+        self, manager, txm, config, tmp_path
+    ):
+        # AS-OF needs a journal: rebuild the warehouse with a WAL.
+        wal = tmp_path / "server.wal"
+        from repro.concurrency import SnapshotManager
+        from repro.workloads.case_study import build_case_study
+
+        study = build_case_study()
+        txm = TransactionManager(study.schema, wal=wal)
+        manager = SnapshotManager(txm)
+        manager.run_write(
+            lambda _e: insert_department(txm, "dpt-first", "Dpt.First")
+        )
+        with serve_background(manager, config, wal_path=wal) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as client:
+                historical = client.query("SHOW VERSIONS", as_of=1)
+                for n in range(3):
+                    manager.run_write(
+                        lambda _e, n=n: insert_department(
+                            txm, f"dpt-more-{n}", f"Dpt.More{n}"
+                        )
+                    )
+                    # The historical answer is immutable by definition.
+                    assert (
+                        client.query("SHOW VERSIONS", as_of=1) == historical
+                    )
+                client.refresh()
+                assert client.query("SHOW VERSIONS") != historical

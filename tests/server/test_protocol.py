@@ -1,0 +1,105 @@
+"""Unit tests for the NDJSON wire protocol layer."""
+
+import json
+
+import pytest
+
+from repro.concurrency.errors import WriteConflictError
+from repro.core.errors import QueryError
+from repro.mvql.errors import MVQLCompileError, MVQLSyntaxError
+from repro.server import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    BadRequestError,
+    ProtocolError,
+    QuotaExceededError,
+    RateLimitedError,
+    ShuttingDownError,
+    decode_line,
+    encode_message,
+    error_code_for,
+    error_response,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 3, "op": "query", "statement": "SHOW MODES"}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == message
+
+    def test_encoded_message_is_one_line(self):
+        line = encode_message({"text": "a\nb", "n": 1})
+        assert line.count(b"\n") == 1
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(BadRequestError):
+            decode_line(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(BadRequestError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_oversized_line(self):
+        with pytest.raises(BadRequestError):
+            decode_line(b" " * (MAX_LINE_BYTES + 1))
+
+
+class TestResponses:
+    def test_ok_response_echoes_id(self):
+        response = ok_response(7, rows=3)
+        assert response == {"id": 7, "ok": True, "rows": 3}
+
+    def test_error_response_shape(self):
+        response = error_response(9, "rate_limited", "slow down", retry_s=1)
+        assert response["id"] == 9
+        assert response["ok"] is False
+        assert response["error"]["code"] == "rate_limited"
+        assert response["error"]["details"] == {"retry_s": 1}
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            error_response(1, "not_a_code", "boom")
+
+    def test_responses_are_json_safe(self):
+        for response in (
+            ok_response(None, value=1.5),
+            error_response("abc", "internal", "boom"),
+        ):
+            json.loads(encode_message(response))
+
+
+class TestErrorCodes:
+    def test_typed_protocol_errors_carry_their_codes(self):
+        assert QuotaExceededError("x").code == "quota_exceeded"
+        assert RateLimitedError("x").code == "rate_limited"
+        assert ShuttingDownError("x").code == "shutting_down"
+        for cls in (QuotaExceededError, RateLimitedError, ShuttingDownError):
+            assert cls("x").code in ERROR_CODES
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("boom", code="nope")
+
+    def test_engine_exceptions_map_to_codes(self):
+        assert (
+            error_code_for(WriteConflictError(["org"], 0, 1))
+            == "conflict"
+        )
+        assert error_code_for(MVQLSyntaxError("s")) == "parse_error"
+        assert error_code_for(MVQLCompileError("c")) == "compile_error"
+        assert error_code_for(QueryError("q")) == "query_error"
+        assert error_code_for(RuntimeError("anything")) == "internal"
+
+    def test_every_mapped_code_is_declared(self):
+        for exc in (
+            WriteConflictError(["org"], 0, 1),
+            MVQLSyntaxError("s"),
+            MVQLCompileError("c"),
+            QueryError("q"),
+            RuntimeError("r"),
+            BadRequestError("b"),
+        ):
+            assert error_code_for(exc) in ERROR_CODES

@@ -1,0 +1,148 @@
+"""Unit tests for admission control: buckets, quotas, and metrics."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.server import (
+    AdmissionController,
+    QuotaExceededError,
+    RateLimitedError,
+    RateLimit,
+    TenantConfig,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(3, 1.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 0.5, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(2.0)  # 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2, 10.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == 2.0
+
+    def test_zero_refill_never_recovers(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1, 0.0, clock=clock)
+        assert bucket.try_acquire()
+        clock.advance(3600.0)
+        assert not bucket.try_acquire()
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1, -1.0)
+
+
+class TestAdmissionController:
+    def _controller(self, **kwargs):
+        clock = FakeClock()
+        controller = AdmissionController(clock=clock, **kwargs)
+        return controller, clock
+
+    def test_tenant_concurrency_quota(self):
+        controller, _ = self._controller(metrics=MetricsRegistry())
+        controller.register(TenantConfig(tenant="t", api_key="k", max_concurrent=2))
+        controller.try_admit("t")
+        controller.try_admit("t")
+        with pytest.raises(QuotaExceededError):
+            controller.try_admit("t")
+        controller.release("t")
+        controller.try_admit("t")  # slot freed
+
+    def test_global_capacity_gate(self):
+        controller, _ = self._controller(
+            max_global_concurrent=2, metrics=MetricsRegistry()
+        )
+        for name in ("a", "b", "c"):
+            controller.register(
+                TenantConfig(tenant=name, api_key=f"{name}-key")
+            )
+        controller.try_admit("a")
+        controller.try_admit("b")
+        with pytest.raises(QuotaExceededError):
+            controller.try_admit("c")
+
+    def test_rate_limit_gate_and_recovery(self):
+        controller, clock = self._controller(metrics=MetricsRegistry())
+        controller.register(
+            TenantConfig(
+                tenant="t",
+                api_key="k",
+                max_concurrent=10,
+                rate_limit=RateLimit(capacity=2, refill_per_sec=1),
+            )
+        )
+        with controller.admit("t"):
+            pass
+        with controller.admit("t"):
+            pass
+        with pytest.raises(RateLimitedError):
+            controller.try_admit("t")
+        clock.advance(1.0)
+        with controller.admit("t"):
+            pass
+
+    def test_unregistered_tenant_is_rejected(self):
+        controller, _ = self._controller()
+        with pytest.raises(QuotaExceededError):
+            controller.try_admit("ghost")
+
+    def test_admit_context_releases_on_error(self):
+        controller, _ = self._controller()
+        controller.register(TenantConfig(tenant="t", api_key="k", max_concurrent=1))
+        with pytest.raises(RuntimeError):
+            with controller.admit("t"):
+                raise RuntimeError("statement failed")
+        assert controller.active_for("t") == 0
+        controller.try_admit("t")  # slot was returned
+
+    def test_rejections_feed_metrics(self):
+        metrics = MetricsRegistry()
+        controller, _ = self._controller(metrics=metrics)
+        controller.register(
+            TenantConfig(
+                tenant="t",
+                api_key="k",
+                max_concurrent=1,
+                rate_limit=RateLimit(capacity=1, refill_per_sec=0),
+            )
+        )
+        with pytest.raises(QuotaExceededError):
+            with controller.admit("t"):
+                controller.try_admit("t")
+        with pytest.raises(RateLimitedError):
+            controller.try_admit("t")
+        counters = metrics.snapshot()["counters"]
+        assert counters['server.rejected{reason="concurrency",tenant="t"}'] == 1
+        assert counters['server.rejected{reason="rate",tenant="t"}'] == 1

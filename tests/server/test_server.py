@@ -1,0 +1,289 @@
+"""End-to-end tests: the asyncio server through the blocking client."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server import (
+    RemoteAuthError,
+    RemoteBadRequestError,
+    RemoteConflictError,
+    RemoteForbiddenError,
+    RemoteQuotaError,
+    RemoteRateLimitError,
+    RemoteShuttingDownError,
+    RemoteStatementError,
+    WarehouseClient,
+    serve_background,
+)
+
+from .conftest import insert_department
+
+
+class TestHandshake:
+    def test_hello_needs_no_auth(self, server_handle):
+        with WarehouseClient(server_handle.host, server_handle.port) as c:
+            payload = c.hello()
+            assert payload["server"] == "repro-warehouse"
+            assert "query" in payload["ops"]
+
+    def test_statements_require_auth(self, server_handle):
+        with WarehouseClient(server_handle.host, server_handle.port) as c:
+            with pytest.raises(RemoteAuthError):
+                c.query("SHOW MODES")
+
+    def test_bad_api_key_is_rejected(self, server_handle):
+        with pytest.raises(RemoteAuthError):
+            WarehouseClient(
+                server_handle.host, server_handle.port, api_key="wrong"
+            ).close()
+
+    def test_auth_pins_a_version_and_reports_rls(self, client):
+        assert client.session["tenant"] == "acme"
+        assert client.version == 0
+        assert client.session["rls"][0]["values"] == ["Sales"]
+
+    def test_unknown_op_is_bad_request(self, client):
+        with pytest.raises(RemoteBadRequestError):
+            client.call("explode")
+
+
+class TestStatements:
+    def test_select_over_the_wire(self, ops_client):
+        table = ops_client.query("SELECT amount BY year, org.Division")
+        assert table.mode == "tcm"
+        totals = table.as_dict()
+        assert totals[("2001", "Sales")] == {"amount": 150.0}
+        assert ("2001", "R&D") in totals
+
+    def test_rls_restricts_select(self, client):
+        totals = client.query("SELECT amount BY year, org.Division").as_dict()
+        assert set(key[1] for key in totals) == {"Sales"}
+
+    def test_rls_out_of_slice_is_empty_not_error(self, client):
+        table = client.query(
+            "SELECT amount BY year, org.Division WHERE org.Division = 'R&D'"
+        )
+        assert table.total_rows == 0
+
+    def test_show_and_rank(self, client):
+        modes = client.query("SHOW MODES")
+        assert any(line.startswith("tcm") for line in modes)
+        ranking = client.query("RANK MODES FOR SELECT amount BY year")
+        assert {entry["mode"] for entry in ranking} >= {"tcm"}
+        for entry in ranking:
+            assert 0.0 <= entry["quality"] <= 1.0
+
+    def test_paged_select(self, client):
+        table = client.query(
+            "SELECT amount BY month", page_size=2, fetch_all=False
+        )
+        assert len(table.rows) == 2
+        assert table.cursor is not None
+        page = client.fetch(table.cursor)
+        assert page["offset"] == 2
+        full = client.query("SELECT amount BY month", page_size=2)
+        assert len(full.rows) == full.total_rows > 2
+
+    def test_syntax_error_is_typed(self, client):
+        with pytest.raises(RemoteStatementError) as info:
+            client.query("SELEKT amount")
+        assert info.value.code == "parse_error"
+
+    def test_compile_error_is_typed(self, client):
+        with pytest.raises(RemoteStatementError) as info:
+            client.query("SELECT turnover BY year")
+        assert info.value.code == "compile_error"
+
+
+class TestPivot:
+    def test_pivot_grid(self, ops_client):
+        pivot = ops_client.pivot("tcm", "year", "org.Division", "amount")
+        assert pivot.value("2001", "Sales") == 150.0
+        assert pivot.value("2001", "R&D") is not None
+
+    def test_pivot_is_rls_filtered(self, client):
+        pivot = client.pivot("tcm", "year", "org.Division", "amount")
+        assert pivot.cols == ["Sales"]
+
+    def test_bad_axis_is_bad_request(self, client):
+        with pytest.raises(RemoteBadRequestError):
+            client.pivot("tcm", "decade", "org.Division", "amount")
+
+
+class TestWrites:
+    def test_evolve_commits_and_bumps_version(self, ops_client, txm):
+        before = ops_client.version
+        payload = ops_client.evolve(
+            {
+                "dimension": "org",
+                "mvid": "dpt-wire",
+                "name": "Dpt.Wire",
+                "level": "Department",
+                "t": [2003, 6],
+                "parents": ["sales"],
+            }
+        )
+        assert payload["committed_version"] > before
+
+    def test_stale_base_conflicts_then_refresh_retries(
+        self, ops_client, manager, txm
+    ):
+        # A competing writer commits after the session pinned its base.
+        manager.run_write(lambda _e: insert_department(txm, "dpt-x", "Dpt.X"))
+        member = {
+            "dimension": "org",
+            "mvid": "dpt-y",
+            "name": "Dpt.Y",
+            "level": "Department",
+            "t": [2003, 6],
+            "parents": ["sales"],
+        }
+        with pytest.raises(RemoteConflictError):
+            ops_client.evolve(member)
+        ops_client.refresh()
+        payload = ops_client.evolve(member)
+        assert payload["base_version"] == manager.version - 1
+
+    def test_rls_scoped_tenant_cannot_write(self, client):
+        with pytest.raises(RemoteForbiddenError):
+            client.evolve(
+                {
+                    "dimension": "org",
+                    "mvid": "dpt-z",
+                    "name": "Dpt.Z",
+                    "level": "Department",
+                    "t": [2003, 6],
+                    "parents": ["sales"],
+                }
+            )
+
+
+class TestSnapshotPinning:
+    def test_session_does_not_see_later_commits_until_refresh(
+        self, ops_client, manager, txm
+    ):
+        before = ops_client.query("SHOW VERSIONS")
+        manager.run_write(lambda _e: insert_department(txm, "dpt-n", "Dpt.N"))
+        assert ops_client.query("SHOW VERSIONS") == before
+        ops_client.refresh()
+        after = ops_client.query("SHOW VERSIONS")
+        assert after != before
+
+    def test_two_sessions_pin_independently(self, server_handle, manager, txm):
+        first = WarehouseClient(
+            server_handle.host, server_handle.port, api_key="ops-key"
+        )
+        baseline = first.query("SHOW VERSIONS")
+        manager.run_write(lambda _e: insert_department(txm, "dpt-m", "Dpt.M"))
+        second = WarehouseClient(
+            server_handle.host, server_handle.port, api_key="ops-key"
+        )
+        try:
+            assert second.version > first.version
+            assert first.query("SHOW VERSIONS") == baseline
+            assert second.query("SHOW VERSIONS") != baseline
+        finally:
+            first.close()
+            second.close()
+
+
+class TestOperations:
+    def test_health_and_stats(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["sessions"] >= 1
+        client.query("SHOW MODES")  # one admitted statement for the counters
+        stats = client.stats()
+        assert any(
+            key.startswith("server.statements") for key in stats["counters"]
+        )
+
+    def test_ready_runs_the_doctor(self, client):
+        payload = client.ready()
+        assert payload["ready"] is True
+        assert payload["doctor"]["status"] in ("pass", "warn")
+        assert payload["doctor"]["integrity"]["ok"] is True
+
+
+class TestQuotasOverTheWire:
+    def test_concurrency_quota_sheds_typed_error(self, manager, config):
+        # acme's quota is 2; slow statements keep slots busy while a
+        # third connection tries to enter.
+        with serve_background(manager, config, statement_delay=0.4) as handle:
+            clients = [
+                WarehouseClient(handle.host, handle.port, api_key="acme-key")
+                for _ in range(3)
+            ]
+            errors: list[Exception] = []
+
+            def run(c: WarehouseClient) -> None:
+                try:
+                    c.query("SHOW MODES")
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(c,)) for c in clients[:2]
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.15)  # both slow statements are now in flight
+            run(clients[2])
+            for t in threads:
+                t.join()
+            for c in clients:
+                c.close()
+            assert len(errors) == 1
+            assert isinstance(errors[0], RemoteQuotaError)
+
+    def test_rate_limit_sheds_typed_error(self, manager, config):
+        with serve_background(manager, config) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="acme-key"
+            ) as c:
+                with pytest.raises(RemoteRateLimitError):
+                    for _ in range(60):  # burst capacity is 50
+                        c.query("SHOW MODES")
+
+
+class TestGracefulShutdown:
+    def test_drain_completes_inflight_statement(self, manager, config):
+        handle = serve_background(manager, config, statement_delay=0.5)
+        client = WarehouseClient(
+            handle.host, handle.port, api_key="ops-key"
+        )
+        result: dict = {}
+
+        def slow_statement() -> None:
+            result["modes"] = client.query("SHOW MODES")
+
+        thread = threading.Thread(target=slow_statement)
+        thread.start()
+        time.sleep(0.15)  # the statement is in the worker pool
+        drained = handle.stop(drain_timeout=5.0)
+        thread.join(timeout=5.0)
+        assert drained is True
+        assert result["modes"]  # the admitted statement got its answer
+
+    def test_draining_server_rejects_new_statements(self, manager, config):
+        handle = serve_background(manager, config, statement_delay=1.0)
+        busy = WarehouseClient(handle.host, handle.port, api_key="ops-key")
+        probe = WarehouseClient(handle.host, handle.port, api_key="ops-key")
+        try:
+            thread = threading.Thread(
+                target=lambda: busy.query("SHOW MODES")
+            )
+            thread.start()
+            time.sleep(0.15)
+            stopper = threading.Thread(target=handle.stop)
+            stopper.start()
+            time.sleep(0.15)  # shutdown has set draining
+            with pytest.raises(RemoteShuttingDownError):
+                probe.query("SHOW MODES")
+            thread.join(timeout=5.0)
+            stopper.join(timeout=10.0)
+        finally:
+            busy.close()
+            probe.close()
