@@ -59,6 +59,15 @@ import time
 
 _BENCH_RESULTS = []
 
+# Named sections benchmarks fill with honest numbers (throughput, overhead
+# ratios) that land next to the per-test timings in the JSON artifact.
+BENCH_SECTIONS: dict = {}
+
+
+@pytest.fixture(scope="session")
+def bench_sections():
+    return BENCH_SECTIONS
+
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
@@ -85,6 +94,7 @@ def pytest_sessionfinish(session, exitstatus):
         "metrics": (
             runtime.current_metrics().snapshot() if runtime.enabled() else {}
         ),
+        **BENCH_SECTIONS,
     }
     (root / "BENCH_observability.json").write_text(
         json.dumps(payload, indent=2) + "\n"

@@ -6,7 +6,8 @@ Commands:
 * ``mvql "<statement>"`` — execute one (or more) MVQL statements against
   the case study; with no statement, read them from stdin (one per line);
 * ``audit`` — audit the case-study schema (a template for auditing your
-  own; exits non-zero when the audit finds errors);
+  own; exits non-zero when the audit finds errors); with ``--log FILE``
+  print a server's JSONL audit trail instead (``--tenant`` filters);
 * ``graph`` — print the Figure-2 dimension graph;
 * ``modes`` — list the temporal modes of presentation;
 * ``integrity`` — run the structural invariant checker on the case-study
@@ -22,6 +23,9 @@ Commands:
 * ``asof <wal> "<statement>" [--at LSN|NAME]`` — execute MVQL against
   the historical state the journal described at a past LSN or restore
   point (AS-OF time travel);
+* ``tail <wal> [--from-lsn N] [--kinds K1,K2] [--follow]`` — stream the
+  committed change events of a journal in commit-LSN order (change data
+  capture; ``--follow`` keeps polling for new commits);
 * ``snapshot [--wal PATH]`` — open an MVCC snapshot manager over the
   case study and print the current snapshot version, open-snapshot count
   and last checkpoint LSN;
@@ -34,16 +38,19 @@ Commands:
   one SELECT with lineage capture and print each result cell's
   derivation: contributing member versions, mapping functions, and the
   ``⊗cf`` confidence reduction;
-* ``doctor [--rules FILE] [--wal PATH] [--format text|json]`` — one
-  health sweep: alert rules over the instrumented demo workload's
-  metrics, an integrity check of the case-study schema, and WAL stats;
-  exits 0 (pass), 1 (warn) or 2 (fail); ``--format json`` prints the
-  machine-readable :meth:`DoctorReport.to_dict` shape external probes
-  consume;
-* ``serve --config FILE [--host H] [--port P] [--wal PATH]`` — run the
-  warehouse server over the case study: authenticated multi-tenant
-  sessions, MVQL/pivot statements pinned to MVCC snapshots, row-level
-  security, admission control; SIGTERM/SIGINT drains in-flight
+* ``doctor [--rules FILE] [--wal PATH] [--audit-log FILE]
+  [--format text|json]`` — one health sweep: alert rules over the
+  instrumented demo workload's metrics, an integrity check of the
+  case-study schema, WAL stats, and (with both ``--wal`` and
+  ``--audit-log``) a cross-check that the audit trail agrees with the
+  journal on the last committed LSN; exits 0 (pass), 1 (warn) or 2
+  (fail); ``--format json`` prints the machine-readable
+  :meth:`DoctorReport.to_dict` shape external probes consume;
+* ``serve --config FILE [--host H] [--port P] [--wal PATH]
+  [--audit-log FILE]`` — run the warehouse server over the case study:
+  authenticated multi-tenant sessions, MVQL/pivot statements pinned to
+  MVCC snapshots, row-level security, admission control, and an
+  append-only per-tenant audit trail; SIGTERM/SIGINT drains in-flight
   statements before exiting (``--write-demo-config FILE`` writes the
   two-tenant demo roster and exits);
 * ``query --host H --port P --api-key KEY "<statement>" [--asof T]`` —
@@ -104,7 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="MVQL statements (default: read one per line from stdin)",
     )
     _add_trace_options(mvql)
-    sub.add_parser("audit", help="audit the case-study schema")
+    audit = sub.add_parser(
+        "audit",
+        help="audit the case-study schema, or show a server audit trail "
+        "with --log",
+    )
+    audit.add_argument(
+        "--log",
+        default=None,
+        metavar="FILE",
+        help="print the JSONL server audit trail at FILE instead of "
+        "auditing the schema",
+    )
+    audit.add_argument(
+        "--tenant",
+        default=None,
+        help="with --log: only show this tenant's entries",
+    )
     sub.add_parser("graph", help="print the Figure-2 dimension graph")
     sub.add_parser("modes", help="list the temporal modes of presentation")
     sub.add_parser(
@@ -151,6 +174,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="LSN|NAME",
         help="the target LSN or restore-point name (default: journal head)",
+    )
+    tail = sub.add_parser(
+        "tail", help="stream committed change events from a journal (CDC)"
+    )
+    tail.add_argument("wal", help="path to the JSONL write-ahead journal")
+    tail.add_argument(
+        "--from-lsn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="resume after this commit LSN (default 0: full history)",
+    )
+    tail.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated record kinds to keep "
+        "(op, fact, catalog, dml, restore_point)",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling the journal for new commits (Ctrl-C to stop)",
     )
     snapshot = sub.add_parser(
         "snapshot", help="report the MVCC snapshot state of the case study"
@@ -218,6 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
         "open transactions)",
     )
     doctor.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="FILE",
+        help="cross-check this server audit trail against the journal "
+        "(warns when their last committed LSNs disagree; needs --wal)",
+    )
+    doctor.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -242,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="journal evolutions to this write-ahead journal (also feeds "
         "the readiness sweep)",
+    )
+    serve.add_argument(
+        "--audit-log",
+        default=None,
+        metavar="FILE",
+        help="append per-tenant audit events (auth, statements, evolves, "
+        "rejections, drain) to this JSONL file",
     )
     serve.add_argument(
         "--ready-file",
@@ -375,11 +435,97 @@ def _cmd_mvql(
     return status
 
 
-def _cmd_audit(out) -> int:
+def _cmd_audit(out, *, log: str | None = None, tenant: str | None = None) -> int:
+    if log is not None:
+        import os
+
+        from repro.observability import read_audit_log
+
+        if not os.path.exists(log):
+            print(f"error: no audit log at {log}", file=out)
+            return 2
+        try:
+            entries = read_audit_log(log, tenant=tenant)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read audit log {log}: {exc}", file=out)
+            return 2
+        for entry in entries:
+            status = "ok" if entry.get("ok", True) else "FAILED"
+            parts = [
+                f"{entry.get('at', 0):.3f}",
+                f"{entry.get('action', '?'):<10}",
+                f"tenant={entry.get('tenant') or '-'}",
+                f"session={entry.get('session') or '-'}",
+                status,
+            ]
+            if "lsn" in entry:
+                parts.append(f"lsn={entry['lsn']}")
+            detail = entry.get("detail")
+            if detail:
+                parts.append(
+                    " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+                )
+            print("  ".join(parts), file=out)
+        print(f"{len(entries)} audit entries", file=out)
+        return 0
     study = build_case_study()
     report = audit_schema(study.schema)
     print(report.to_text(), file=out)
     return 0 if report.ok else 2
+
+
+def _cmd_tail(
+    wal: str, from_lsn: int, kinds: str | None, follow: bool, out
+) -> int:
+    import os
+
+    from repro.observability import ChangeStream
+    from repro.robustness import WALError
+
+    if not follow and not os.path.exists(wal):
+        # --follow legitimately waits for a journal that does not exist
+        # yet; a one-shot tail of a missing path is a typo.
+        print(f"error: no journal at {wal}", file=out)
+        return 2
+    kind_list = (
+        [k.strip() for k in kinds.split(",") if k.strip()] if kinds else None
+    )
+    try:
+        stream = ChangeStream(wal, from_lsn=from_lsn, kinds=kind_list)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    def emit(event) -> None:
+        record = {
+            k: v
+            for k, v in event.record.items()
+            if k not in ("lsn", "kind", "crc32")
+        }
+        print(
+            f"lsn={event.lsn} commit={event.commit_lsn} txid={event.txid} "
+            f"{event.kind} {record}",
+            file=out,
+        )
+
+    count = 0
+    try:
+        if follow:
+            for event in stream.follow():
+                emit(event)
+                count += 1
+                out.flush()
+        else:
+            for event in stream.poll():
+                emit(event)
+                count += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    except WALError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(f"{count} events (cursor lsn {stream.cursor})", file=out)
+    return 0
 
 
 def _cmd_graph(out) -> int:
@@ -646,6 +792,7 @@ def _cmd_serve(
     ready_file: str | None,
     write_demo_config: str | None,
     out,
+    audit_log: str | None = None,
 ) -> int:
     import asyncio
     import contextlib
@@ -671,7 +818,8 @@ def _cmd_serve(
     txm = TransactionManager(study.schema, wal=wal)
     manager = SnapshotManager(txm)
     server = WarehouseServer(
-        manager, config, host=host, port=port, wal_path=wal
+        manager, config, host=host, port=port, wal_path=wal,
+        audit_log=audit_log,
     )
 
     async def run() -> int:
@@ -771,7 +919,12 @@ def _cmd_query(
 
 
 def _cmd_doctor(
-    rules_path: str | None, wal: str | None, out, *, fmt: str = "text"
+    rules_path: str | None,
+    wal: str | None,
+    out,
+    *,
+    fmt: str = "text",
+    audit_log: str | None = None,
 ) -> int:
     import json
 
@@ -811,6 +964,7 @@ def _cmd_doctor(
         rules=rules,
         wal_path=wal,
         slow_log=slow_log,
+        audit_log=audit_log,
     )
     if fmt == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
@@ -834,7 +988,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             trace_sample=args.trace_sample,
         )
     if args.command == "audit":
-        return _cmd_audit(out)
+        return _cmd_audit(out, log=args.log, tenant=args.tenant)
+    if args.command == "tail":
+        return _cmd_tail(args.wal, args.from_lsn, args.kinds, args.follow, out)
     if args.command == "graph":
         return _cmd_graph(out)
     if args.command == "modes":
@@ -866,7 +1022,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.command == "lineage":
         return _cmd_lineage(args.statement, args.cell, args.measure, out)
     if args.command == "doctor":
-        return _cmd_doctor(args.rules, args.wal, out, fmt=args.format)
+        return _cmd_doctor(
+            args.rules, args.wal, out, fmt=args.format,
+            audit_log=args.audit_log,
+        )
     if args.command == "serve":
         return _cmd_serve(
             args.config,
@@ -876,6 +1035,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             args.ready_file,
             args.write_demo_config,
             out,
+            audit_log=args.audit_log,
         )
     if args.command == "query":
         return _cmd_query(

@@ -168,12 +168,15 @@ class FactRow:
 
     ``coordinates`` maps each dimension name to the *leaf* member version id
     the fact is recorded against; ``t`` is the time coordinate; ``values``
-    maps measure names to values.
+    maps measure names to values.  ``source`` optionally names the ETL
+    origin of the row (``"<source>#<row-index>"``) so lineage can point
+    back at the operational record that produced it.
     """
 
     coordinates: Mapping[str, str]
     t: Instant
     values: Mapping[str, float | None]
+    source: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "coordinates", MappingProxyType(dict(self.coordinates)))
@@ -258,13 +261,16 @@ class TemporallyConsistentFactTable:
         coordinates: Mapping[str, str],
         t: Instant,
         values: Mapping[str, float | None] | None = None,
+        *,
+        source: str | None = None,
         **value_kwargs: float | None,
     ) -> FactRow:
         """Append a fact row.
 
         ``values`` and keyword arguments are merged; every declared measure
         must be present and every coordinate must name a declared dimension.
-        Returns the stored :class:`FactRow`.
+        ``source`` tags the row with its ETL origin.  Returns the stored
+        :class:`FactRow`.
         """
         merged: dict[str, float | None] = dict(values or {})
         merged.update(value_kwargs)
@@ -280,7 +286,7 @@ class TemporallyConsistentFactTable:
         extra_measures = set(merged) - set(self._measure_index)
         if extra_measures:
             raise FactError(f"fact row names unknown measures {sorted(extra_measures)}")
-        row = FactRow(coordinates=coordinates, t=t, values=merged)
+        row = FactRow(coordinates=coordinates, t=t, values=merged, source=source)
         self._rows.append(row)
         return row
 

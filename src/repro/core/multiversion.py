@@ -180,7 +180,11 @@ class MultiVersionFactTable:
                     mode=TCM_LABEL,
                     values={m: row.value(m) for m in measures},
                     confidences={m: SD for m in measures},
-                    provenance=("source data",),
+                    provenance=(
+                        ("source data",)
+                        if row.source is None
+                        else (f"source data [from {row.source}]",)
+                    ),
                 )
                 for row in schema.facts
             ]
@@ -270,9 +274,12 @@ class MultiVersionFactTable:
                         steps.append(
                             f"{route.source} -> {route.target} via {described}"
                         )
-                acc.provenance.append(
+                entry = (
                     "; ".join(steps) if steps else "valid in version (source data)"
                 )
+                if fact.source is not None:
+                    entry += f" [from {fact.source}]"
+                acc.provenance.append(entry)
 
         rows: list[MVFactRow] = []
         for (coord_items, t), acc in cells.items():

@@ -125,13 +125,16 @@ class TemporalMultidimensionalSchema:
         coordinates: Mapping[str, str],
         t: Instant,
         values: Mapping[str, float | None] | None = None,
+        *,
+        source: str | None = None,
         **value_kwargs: float | None,
     ) -> FactRow:
         """Record a temporally consistent fact (Definition 5).
 
         Every coordinate must reference a member version that is a *leaf at
         t* in its dimension and valid at ``t``; violations raise
-        :class:`FactValidityError`.
+        :class:`FactValidityError`.  ``source`` tags the row with its ETL
+        origin (source name + row index) for lineage.
         """
         for did, mvid in coordinates.items():
             dim = self.dimension(did)
@@ -146,7 +149,7 @@ class TemporalMultidimensionalSchema:
                     f"member version {mvid!r} of dimension {did!r} is not a leaf "
                     f"at t={t}; facts are recorded at leaf grain (Definition 5)"
                 )
-        return self.facts.add(coordinates, t, values, **value_kwargs)
+        return self.facts.add(coordinates, t, values, source=source, **value_kwargs)
 
     # -- mappings ----------------------------------------------------------------
 

@@ -171,13 +171,16 @@ def schema_to_dict(schema: TemporalMultidimensionalSchema) -> dict[str, Any]:
 
     facts = []
     for row in schema.facts:
-        facts.append(
-            {
-                "coordinates": dict(row.coordinates),
-                "t": row.t,
-                "values": dict(row.values),
-            }
-        )
+        fact_payload = {
+            "coordinates": dict(row.coordinates),
+            "t": row.t,
+            "values": dict(row.values),
+        }
+        # The key appears only on tagged rows, so pre-lineage dumps stay
+        # byte-identical.
+        if row.source is not None:
+            fact_payload["source"] = row.source
+        facts.append(fact_payload)
 
     return {
         "format": FORMAT_VERSION,
@@ -251,7 +254,12 @@ def schema_from_dict(payload: dict[str, Any]) -> TemporalMultidimensionalSchema:
         )
 
     for fact in payload["facts"]:
-        schema.add_fact(fact["coordinates"], fact["t"], fact["values"])
+        schema.add_fact(
+            fact["coordinates"],
+            fact["t"],
+            fact["values"],
+            source=fact.get("source"),
+        )
 
     schema.validate()
     return schema

@@ -19,7 +19,18 @@ provides the three primitives and the process-wide wiring:
   surface;
 * :mod:`~repro.observability.export` — OTLP-JSON span export for real
   collectors plus :class:`~repro.observability.export.TraceSampler`
-  (deterministic ratio sampling, always-on-error);
+  (deterministic ratio sampling, always-on-error), and the *push* side:
+  :class:`~repro.observability.export.PushExporter` background flushers
+  (:class:`~repro.observability.export.SpanPusher` /
+  :class:`~repro.observability.export.MetricsPusher`) draining into
+  file or ``http.client`` sinks under retry backoff;
+* :mod:`~repro.observability.events` — change-data-capture over the
+  WAL: :class:`~repro.observability.events.ChangeStream` tails
+  committed records in commit-LSN order across compaction boundaries,
+  :class:`~repro.observability.events.EventBus` fans change and audit
+  events to bounded subscriber queues, and
+  :class:`~repro.observability.events.AuditLog` is the server tier's
+  JSONL audit trail (``repro tail`` / ``repro audit --log``);
 * :mod:`~repro.observability.health` — the slow-query log, declarative
   :class:`~repro.observability.health.AlertRule` thresholds over metric
   snapshots, and :func:`~repro.observability.health.run_doctor` behind
@@ -34,9 +45,30 @@ the process-wide defaults here, which are no-op-cheap until
 :func:`enable` (or the scoped :func:`instrumented`) is called.
 """
 
+from .events import (
+    AUDIT_ACTIONS,
+    AuditEvent,
+    AuditLog,
+    CDC_KINDS,
+    ChangeEvent,
+    ChangeStream,
+    EventBus,
+    Subscription,
+    committed_events,
+    last_committed_lsn,
+    publish_commits,
+    read_audit_log,
+)
 from .export import (
+    ExportError,
+    FileSink,
+    HTTPSink,
+    MetricsPusher,
+    PushExporter,
+    SpanPusher,
     TraceSampler,
     read_otlp_json,
+    read_push_file,
     spans_to_otlp,
     tracer_to_otlp,
     write_otlp_json,
@@ -97,6 +129,25 @@ __all__ = [
     "tracer_to_otlp",
     "write_otlp_json",
     "read_otlp_json",
+    "ExportError",
+    "FileSink",
+    "HTTPSink",
+    "PushExporter",
+    "SpanPusher",
+    "MetricsPusher",
+    "read_push_file",
+    "CDC_KINDS",
+    "AUDIT_ACTIONS",
+    "ChangeEvent",
+    "ChangeStream",
+    "committed_events",
+    "last_committed_lsn",
+    "EventBus",
+    "Subscription",
+    "publish_commits",
+    "AuditEvent",
+    "AuditLog",
+    "read_audit_log",
     "LineageContribution",
     "CellLineage",
     "LineageRecorder",

@@ -23,14 +23,28 @@ recorded trace) with an *always-on-error* escape hatch — a span that
 exits with an error is recorded even when its trace was not sampled, so
 failures are never invisible.  Wire it with ``Tracer(sampler=...)`` or
 the CLI's ``--trace-sample R``.
+
+Everything above is *pull*: something asks for the document.  The push
+half lives at the bottom — :class:`PushExporter` runs a background
+flusher thread draining a bounded queue into a sink
+(:class:`FileSink` appends JSON lines; :class:`HTTPSink` POSTs over
+stdlib ``http.client``) under
+:class:`~repro.robustness.retry.RetryPolicy` backoff, and the two
+concrete pushers sit on top: :class:`SpanPusher` ships each tick's new
+spans as one OTLP-JSON document, :class:`MetricsPusher` ships
+timestamped registry snapshots.  Overflow and delivery failure are shed
+into counters (``export.push.dropped`` / ``export.push.failures``) —
+telemetry never blocks, and never takes the workload down with it.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import math
 import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
@@ -44,6 +58,13 @@ __all__ = [
     "tracer_to_otlp",
     "write_otlp_json",
     "read_otlp_json",
+    "ExportError",
+    "FileSink",
+    "HTTPSink",
+    "PushExporter",
+    "SpanPusher",
+    "MetricsPusher",
+    "read_push_file",
 ]
 
 #: OTLP ``SpanKind.SPAN_KIND_INTERNAL`` — all library spans are internal.
@@ -235,4 +256,297 @@ class TraceSampler:
         return (
             f"TraceSampler(ratio={self.ratio}, "
             f"sampled={self.traces_sampled}/{self.traces_started})"
+        )
+
+
+# -- push-based export ------------------------------------------------------------
+
+
+class ExportError(RuntimeError):
+    """A sink refused (or failed to deliver) one pushed payload."""
+
+
+class FileSink:
+    """Appends each pushed payload as one JSON line — the durable sink
+    tests and the CI smoke read back with :func:`read_push_file`."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.emitted = 0
+
+    def emit(self, payload: Mapping[str, Any]) -> None:
+        line = json.dumps(payload, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self.emitted += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FileSink({str(self.path)!r}, emitted={self.emitted})"
+
+
+def read_push_file(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a :class:`FileSink` file back into payload dicts."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out
+
+
+class HTTPSink:
+    """POSTs each payload as JSON over stdlib :mod:`http.client`.
+
+    One connection per emit keeps the sink state-free (a collector
+    restart between pushes costs nothing); a non-2xx answer or a socket
+    error raises :class:`ExportError`, which the
+    :class:`PushExporter`'s retry policy backs off on.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int = 4318,
+        path: str = "/v1/traces",
+        *,
+        timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.path = path
+        self.timeout = timeout
+        self.emitted = 0
+
+    def emit(self, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "POST",
+                self.path,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            if not 200 <= response.status < 300:
+                raise ExportError(
+                    f"http://{self.host}:{self.port}{self.path} answered "
+                    f"{response.status} {response.reason}"
+                )
+        except OSError as exc:
+            raise ExportError(
+                f"push to http://{self.host}:{self.port}{self.path} failed: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        self.emitted += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HTTPSink(http://{self.host}:{self.port}{self.path})"
+
+
+class PushExporter:
+    """A bounded queue drained into a sink by a background flusher.
+
+    ``submit`` never blocks: a full queue sheds the incoming payload
+    into :attr:`dropped`.  The flusher wakes every ``interval`` seconds
+    (or on :meth:`flush`) and pushes each payload through ``retry``
+    (a :class:`~repro.robustness.retry.RetryPolicy`; exhausted retries
+    count into :attr:`failures` and the payload is abandoned — push
+    telemetry is lossy-by-design under a dead collector).  Use as a
+    context manager: ``with SpanPusher(tracer, sink):`` starts the
+    thread and drains on exit.
+    """
+
+    def __init__(
+        self,
+        sink: Any,
+        *,
+        interval: float = 0.25,
+        max_queue: int = 1024,
+        retry: Any = None,
+        metrics: Any = None,
+        name: str = "push",
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("push queue needs room for at least one payload")
+        if interval <= 0:
+            raise ValueError("flush interval must be positive")
+        if retry is None:
+            from repro.robustness.retry import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=3, base_delay=0.05)
+        self.sink = sink
+        self.interval = interval
+        self.max_queue = max_queue
+        self.retry = retry
+        self.name = name
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._queue: deque[Mapping[str, Any]] = deque()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.pushed = 0
+        self.dropped = 0
+        self.failures = 0
+
+    def _metrics_now(self) -> Any:
+        from . import runtime as _obs
+
+        return self._metrics if self._metrics is not None else _obs.current_metrics()
+
+    # -- producing ---------------------------------------------------------------
+
+    def submit(self, payload: Mapping[str, Any]) -> bool:
+        """Queue one payload; ``False`` (plus a drop counter) when full."""
+        with self._lock:
+            if len(self._queue) >= self.max_queue:
+                self.dropped += 1
+                full = True
+            else:
+                self._queue.append(payload)
+                full = False
+        if full:
+            metrics = self._metrics_now()
+            if metrics.enabled:
+                metrics.counter(
+                    "export.push.dropped", {"exporter": self.name}
+                ).inc()
+        return not full
+
+    def collect(self) -> None:
+        """Gather fresh telemetry into the queue (subclass hook); the
+        flusher calls it before every drain."""
+
+    # -- flushing ----------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Collect, then drain the queue synchronously; returns how many
+        payloads the sink accepted."""
+        self.collect()
+        with self._lock:
+            batch = list(self._queue)
+            self._queue.clear()
+        delivered = 0
+        failed = 0
+        for payload in batch:
+            try:
+                self.retry.call(self.sink.emit, payload)
+            except Exception:
+                failed += 1
+            else:
+                delivered += 1
+        if delivered or failed:
+            with self._lock:
+                self.pushed += delivered
+                self.failures += failed
+            metrics = self._metrics_now()
+            if metrics.enabled:
+                if delivered:
+                    metrics.counter(
+                        "export.push.pushed", {"exporter": self.name}
+                    ).inc(delivered)
+                if failed:
+                    metrics.counter(
+                        "export.push.failures", {"exporter": self.name}
+                    ).inc(failed)
+        return delivered
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.flush()
+
+    def start(self) -> "PushExporter":
+        """Start the background flusher (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name=f"repro-{self.name}-flusher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, flush: bool = True) -> None:
+        """Stop the flusher; by default drain what is still queued."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if flush:
+            self.flush()
+
+    def __enter__(self) -> "PushExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def stats(self) -> dict[str, Any]:
+        """Queue depth plus lifetime pushed/dropped/failed counts."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "queued": len(self._queue),
+                "pushed": self.pushed,
+                "dropped": self.dropped,
+                "failures": self.failures,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.sink!r}, queued={len(self._queue)}, "
+            f"pushed={self.pushed}, dropped={self.dropped})"
+        )
+
+
+class SpanPusher(PushExporter):
+    """Pushes each tick's *new* finished spans as one OTLP-JSON document.
+
+    The pusher remembers how many spans it has shipped; a tick with no
+    new spans pushes nothing.  ``tracer.clear()`` resets the tracer's
+    list, so the cursor clamps to it rather than skipping ahead.
+    """
+
+    def __init__(self, tracer: Any, sink: Any, **kwargs: Any) -> None:
+        kwargs.setdefault("name", "otlp")
+        super().__init__(sink, **kwargs)
+        self.tracer = tracer
+        self._seen = 0
+        self._anchor: int | None = None
+
+    def collect(self) -> None:
+        spans = self.tracer.spans
+        if self._seen and (
+            len(spans) < self._seen
+            # A truncation to the *same* length would fool a bare count
+            # cursor; the last shipped span's id anchors the position.
+            or spans[self._seen - 1].span_id != self._anchor
+        ):
+            self._seen = 0  # the tracer was cleared under us
+        new = spans[self._seen:]
+        self._seen = len(spans)
+        if new:
+            self._anchor = new[-1].span_id
+            self.submit(
+                spans_to_otlp(new, origin_ns=self.tracer.origin_ns)
+            )
+
+
+class MetricsPusher(PushExporter):
+    """Pushes a timestamped metrics snapshot every tick."""
+
+    def __init__(self, metrics_source: Any, sink: Any, **kwargs: Any) -> None:
+        kwargs.setdefault("name", "metrics")
+        super().__init__(sink, **kwargs)
+        self.metrics_source = metrics_source
+
+    def collect(self) -> None:
+        self.submit(
+            {
+                "type": "metrics",
+                "at": round(time.time(), 6),
+                "snapshot": self.metrics_source.snapshot(),
+            }
         )

@@ -447,6 +447,7 @@ class DoctorReport:
     alerts: list[AlertResult] = field(default_factory=list)
     integrity: Any = None
     wal_stats: dict[str, Any] | None = None
+    audit_stats: dict[str, Any] | None = None
     slow_queries: list[SlowQueryRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
@@ -501,6 +502,7 @@ class DoctorReport:
             ],
             "integrity": integrity,
             "wal": self.wal_stats,
+            "audit": self.audit_stats,
             "slow_queries": [r.to_dict() for r in self.slow_queries],
             "notes": list(self.notes),
         }
@@ -518,6 +520,10 @@ class DoctorReport:
             lines.append("wal:")
             for key, value in self.wal_stats.items():
                 lines.append(f"  {key}: {value}")
+        if self.audit_stats is not None:
+            lines.append("audit:")
+            for key, value in self.audit_stats.items():
+                lines.append(f"  {key}: {value}")
         if self.slow_queries:
             lines.append(f"slow queries ({len(self.slow_queries)}):")
             for record in self.slow_queries:
@@ -534,12 +540,26 @@ def run_doctor(
     rules: Iterable[AlertRule] | None = None,
     wal_path: Any = None,
     slow_log: SlowQueryLog | None = None,
+    audit_log: Any = None,
+    exporters: Iterable[Any] = (),
+    bus: Any = None,
 ) -> DoctorReport:
     """One health sweep: alerts + integrity + WAL stats + slow queries.
 
     Every input is optional; absent subsystems are skipped with a note,
     so the doctor runs identically on a bare schema and on a fully wired
     deployment.
+
+    The events sweep covers the CDC/audit layer: ``audit_log`` (a path)
+    is cross-checked against ``wal_path`` — an audit trail that names a
+    commit LSN the journal does not know about, or that never saw the
+    journal's last commit, means the two diverged (wrong file, truncated
+    journal, or a crash between the WAL append and the audit append) and
+    warns.  ``exporters`` (objects with ``.stats()``, e.g.
+    :class:`~repro.observability.export.PushExporter`) and ``bus`` (an
+    :class:`~repro.observability.events.EventBus`) warn when they have
+    dropped events or exhausted push retries — the telemetry pipeline is
+    lossy by design, and the doctor is where the loss becomes visible.
     """
     # Imported lazily: repro.robustness.wal imports the observability
     # runtime, so a module-level import here would be a cycle.
@@ -649,6 +669,97 @@ def run_doctor(
                     observed=1.0,
                 )
             )
+    if audit_log is not None:
+        _sweep_audit(report, audit_log, wal_path)
+    for exporter in exporters:
+        stats = exporter.stats()
+        for counter in ("dropped", "failures"):
+            if stats.get(counter, 0) > 0:
+                report.alerts.append(
+                    AlertResult(
+                        rule=AlertRule(
+                            name=(
+                                f"push exporter "
+                                f"{stats.get('name', '?')} {counter}"
+                            ),
+                            metric="export.push",
+                            op=">",
+                            threshold=0,
+                        ),
+                        fired=True,
+                        observed=float(stats[counter]),
+                    )
+                )
+    if bus is not None:
+        for name, stats in bus.stats()["subscribers"].items():
+            if stats.get("dropped", 0) > 0:
+                report.alerts.append(
+                    AlertResult(
+                        rule=AlertRule(
+                            name=f"event bus subscriber {name} dropped",
+                            metric="events.bus",
+                            op=">",
+                            threshold=0,
+                        ),
+                        fired=True,
+                        observed=float(stats["dropped"]),
+                    )
+                )
     if slow_log is not None:
         report.slow_queries = slow_log.slowest(5)
     return report
+
+
+def _sweep_audit(report: DoctorReport, audit_log: Any, wal_path: Any) -> None:
+    """Cross-check the audit trail against the journal's commit history."""
+    from repro.observability.events import last_committed_lsn, read_audit_log
+
+    try:
+        entries = read_audit_log(audit_log)
+    except (OSError, ValueError) as exc:
+        report.audit_stats = {"path": str(audit_log), "error": str(exc)}
+        report.alerts.append(
+            AlertResult(
+                rule=AlertRule(
+                    name="audit log readable",
+                    metric="audit",
+                    op=">",
+                    threshold=0,
+                    severity="fail",
+                ),
+                fired=True,
+                observed=1.0,
+            )
+        )
+        return
+    audit_lsn = max(
+        (entry["lsn"] for entry in entries if "lsn" in entry), default=None
+    )
+    report.audit_stats = {
+        "path": str(audit_log),
+        "entries": len(entries),
+        "last_lsn": audit_lsn,
+    }
+    if wal_path is None:
+        report.notes.append("audit: no journal given (LSN cross-check skipped)")
+        return
+    wal_lsn = last_committed_lsn(wal_path)
+    report.audit_stats["wal_last_committed_lsn"] = wal_lsn
+    if audit_lsn is None:
+        return
+    if wal_lsn is None or audit_lsn != wal_lsn:
+        report.alerts.append(
+            AlertResult(
+                rule=AlertRule(
+                    name=(
+                        f"audit/journal LSN divergence (audit {audit_lsn}, "
+                        f"journal {wal_lsn})"
+                    ),
+                    metric="audit",
+                    op=">",
+                    threshold=0,
+                ),
+                fired=True,
+                observed=float(audit_lsn),
+            )
+        )

@@ -288,7 +288,12 @@ def recover_schema(
             report.operators_replayed += 1
         elif record["kind"] == "fact":
             try:
-                schema.add_fact(record["coordinates"], record["t"], record["values"])
+                schema.add_fact(
+                    record["coordinates"],
+                    record["t"],
+                    record["values"],
+                    source=record.get("source"),
+                )
             except ReproError as exc:
                 raise RecoveryError(
                     f"replay of committed fact at lsn {record['lsn']} failed: {exc}"

@@ -554,13 +554,21 @@ class TransactionManager:
         coordinates: Mapping[str, str],
         t: Instant,
         values: Mapping[str, float | None] | None = None,
+        *,
+        source: str | None = None,
         **value_kwargs: float | None,
     ) -> FactRow:
-        """Record a fact inside the open transaction (undo = truncate)."""
+        """Record a fact inside the open transaction (undo = truncate).
+
+        ``source`` tags the row — and its WAL record — with the ETL
+        origin, so lineage and the change stream can name the source row.
+        """
         txn = self._require_txn()
         self._fire("txn.op.pre")
         mark = len(self.schema.facts)
-        row = self.schema.add_fact(coordinates, t, values, **value_kwargs)
+        row = self.schema.add_fact(
+            coordinates, t, values, source=source, **value_kwargs
+        )
         txn.undo.append(
             UndoRecord(
                 description="Fact",
@@ -570,7 +578,9 @@ class TransactionManager:
         txn.touched.update(coordinates)
         self._fire("txn.op.post")
         if self.wal is not None:
-            self.wal.fact(txn.txid, dict(coordinates), t, dict(row.values))
+            self.wal.fact(
+                txn.txid, dict(coordinates), t, dict(row.values), source=row.source
+            )
         return row
 
 

@@ -599,9 +599,19 @@ class WriteAheadJournal:
         coordinates: dict[str, str],
         t: int,
         values: dict[str, float | None],
+        *,
+        source: str | None = None,
     ) -> int:
-        """Journal one fact row loaded inside a transaction."""
-        return self.append("fact", txid=txid, coordinates=coordinates, t=t, values=values)
+        """Journal one fact row loaded inside a transaction.
+
+        ``source`` names the ETL origin (``"<source>#<row-index>"``); the
+        field is written only when set, so untagged journals keep their
+        exact byte shape.
+        """
+        fields: dict[str, Any] = {"coordinates": coordinates, "t": t, "values": values}
+        if source is not None:
+            fields["source"] = source
+        return self.append("fact", txid=txid, **fields)
 
     def catalog(
         self, txid: int, *, table: dict[str, Any], indexes: list[dict[str, Any]]

@@ -329,6 +329,35 @@ class WarehouseClient:
         """One page of a paged result (manual paging)."""
         return self.call("fetch", cursor=cursor)
 
+    def tail(
+        self,
+        *,
+        from_lsn: int = 0,
+        kinds: list[str] | None = None,
+        page_size: int | None = None,
+        fetch_all: bool = True,
+    ) -> dict[str, Any]:
+        """Tail committed WAL change events (write-capable tenants only).
+
+        Returns ``{"events", "cursor_lsn", "total"}``; ``cursor_lsn`` is
+        the commit LSN of the last delivered transaction — pass it back as
+        ``from_lsn`` to resume exactly where this call left off.
+        """
+        fields: dict[str, Any] = {"from_lsn": from_lsn}
+        if kinds is not None:
+            fields["kinds"] = list(kinds)
+        if page_size is not None:
+            fields["page_size"] = page_size
+        payload = self.call("tail", **fields)
+        events = payload["page"]
+        if fetch_all:
+            events = self._drain_pages(events, payload["cursor"])
+        return {
+            "events": events,
+            "cursor_lsn": payload["cursor_lsn"],
+            "total": payload["total"],
+        }
+
     def evolve(self, member: Mapping[str, Any]) -> dict[str, Any]:
         """Run one member-insert evolution (write-capable tenants only).
 

@@ -22,6 +22,11 @@ write surfaces at the remote caller as a typed conflict, not a string.
 The module also owns the JSON shapes of query results
 (:func:`result_table_to_dict`, :func:`cube_view_to_dict`) so server and
 client agree on one serialization.
+
+Change-data-capture rides the same protocol: the ``tail`` op streams
+committed WAL change events (``{"op": "tail", "from_lsn": 0}``) through
+the ordinary page-cursor machinery, and its ``cursor_lsn`` payload field
+is the resume token for the next call.
 """
 
 from __future__ import annotations

@@ -58,7 +58,7 @@ __all__ = ["WarehouseServer", "ServerHandle", "serve_background"]
 _UNAUTHENTICATED_OPS = frozenset({"hello", "auth", "health"})
 
 #: Ops that count as statements for admission control and draining.
-_STATEMENT_OPS = frozenset({"query", "pivot", "evolve"})
+_STATEMENT_OPS = frozenset({"query", "pivot", "evolve", "tail"})
 
 _ALL_OPS = (
     "hello",
@@ -71,8 +71,13 @@ _ALL_OPS = (
     "health",
     "ready",
     "stats",
+    "tail",
     "close",
 )
+
+#: Error codes that mean admission control shed the statement — the
+#: audit trail records these as ``rejected`` events.
+_REJECTION_CODES = frozenset({"quota_exceeded", "rate_limited"})
 
 
 class _Connection:
@@ -102,8 +107,12 @@ class WarehouseServer:
         metrics: Any = None,
         tracer: Any = None,
         slow_log: Any = None,
+        audit_log: Any = None,
+        event_bus: Any = None,
         statement_delay: float = 0.0,
     ) -> None:
+        from repro.observability.events import AuditLog, publish_commits
+
         from .quotas import AdmissionController
 
         self.manager = manager
@@ -114,6 +123,16 @@ class WarehouseServer:
         self._metrics = metrics
         self._tracer = tracer
         self.slow_log = slow_log
+        self.event_bus = event_bus
+        # ``audit_log`` accepts a path (an AuditLog is built over it,
+        # republishing onto the event bus) or a ready AuditLog.
+        if audit_log is not None and not isinstance(audit_log, AuditLog):
+            audit_log = AuditLog(audit_log, bus=event_bus)
+        self.audit_log = audit_log
+        if event_bus is not None:
+            txm = getattr(manager, "txm", None)
+            if txm is not None:
+                publish_commits(txm, event_bus)
         # Test/bench seam: an artificial per-statement delay to make
         # drain and saturation behaviour observable deterministically.
         self.statement_delay = statement_delay
@@ -144,6 +163,36 @@ class WarehouseServer:
 
     def _tracer_now(self) -> Any:
         return self._tracer if self._tracer is not None else _obs.current_tracer()
+
+    def _audit(
+        self,
+        action: str,
+        *,
+        tenant: str | None = None,
+        session: str | None = None,
+        ok: bool = True,
+        lsn: int | None = None,
+        **detail: Any,
+    ) -> None:
+        """Append one audit-trail entry; auditing never takes a request
+        down (a full disk degrades the trail, not the service)."""
+        if self.audit_log is None:
+            return
+        from repro.observability.events import AuditEvent
+
+        try:
+            self.audit_log.record(
+                AuditEvent(
+                    action=action,
+                    tenant=tenant,
+                    session=session,
+                    ok=ok,
+                    lsn=lsn,
+                    detail=detail,
+                )
+            )
+        except OSError:  # pragma: no cover - disk-full degradation
+            pass
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -199,6 +248,9 @@ class WarehouseServer:
                 "server.shutdowns",
                 {"drained": "true" if drained else "false"},
             ).inc()
+        self._audit("drain", ok=drained, drained=drained)
+        if self.event_bus is not None:
+            self.event_bus.publish("server", {"event": "drain", "drained": drained})
         return drained
 
     # -- connection handling -----------------------------------------------------
@@ -259,9 +311,25 @@ class WarehouseServer:
             return await self._dispatch(conn, message)
         except Exception as exc:  # noqa: BLE001 - the wire must answer
             code = error_code_for(exc)
+            session = conn.session
             metrics = self._metrics_now()
             if metrics.enabled:
-                metrics.counter("server.errors", {"code": code}).inc()
+                # Error counters carry the tenant once a session exists,
+                # so per-tenant failure rates are visible — the same
+                # labelling the admission counters get.
+                labels = {"code": code}
+                if session is not None:
+                    labels["tenant"] = session.tenant.tenant
+                metrics.counter("server.errors", labels).inc()
+            if session is not None and code in _REJECTION_CODES:
+                self._audit(
+                    "rejected",
+                    tenant=session.tenant.tenant,
+                    session=session.session_id,
+                    ok=False,
+                    code=code,
+                    reason=str(exc),
+                )
             return error_response(request_id, code, str(exc))
 
     async def _dispatch(
@@ -336,6 +404,13 @@ class WarehouseServer:
                     measure=message.get("measure"),
                     page_size=message.get("page_size"),
                 )
+            if op == "tail":
+                return session.tail(
+                    self.wal_path,
+                    from_lsn=message.get("from_lsn"),
+                    kinds=message.get("kinds"),
+                    page_size=message.get("page_size"),
+                )
             assert op == "evolve"
             return session.evolve(message.get("member"))
 
@@ -358,6 +433,25 @@ class WarehouseServer:
                     "server.statement_seconds",
                     {"op": op, "tenant": session.tenant.tenant},
                 ).observe(time.perf_counter() - started)
+        if op == "evolve":
+            self._audit(
+                "evolve",
+                tenant=session.tenant.tenant,
+                session=session.session_id,
+                lsn=payload.get("committed_version"),
+                base_version=payload.get("base_version"),
+            )
+        else:
+            detail: dict[str, Any] = {"op": op}
+            statement = message.get("statement")
+            if isinstance(statement, str):
+                detail["statement"] = statement[:200]
+            self._audit(
+                "statement",
+                tenant=session.tenant.tenant,
+                session=session.session_id,
+                **detail,
+            )
         return ok_response(request_id, **payload)
 
     # -- simple ops --------------------------------------------------------------
@@ -368,21 +462,32 @@ class WarehouseServer:
         if conn.session is not None:
             conn.session.close()
             conn.session = None
-        tenant = self.config.authenticate(message.get("api_key"))
+        try:
+            tenant = self.config.authenticate(message.get("api_key"))
+        except Exception as exc:
+            self._audit("auth_failed", ok=False, peer=conn.peer, reason=str(exc))
+            raise
+        self._sessions += 1
         session = ServerSession(
             tenant,
             self.manager,
+            session_id=f"{tenant.tenant}-{self._sessions}",
             slow_log=self.slow_log,
             tracer=self._tracer,
             metrics=self._metrics,
         )
         conn.session = session
-        self._sessions += 1
         metrics = self._metrics_now()
         if metrics.enabled:
             metrics.counter(
                 "server.sessions", {"tenant": tenant.tenant}
             ).inc()
+        self._audit(
+            "auth",
+            tenant=tenant.tenant,
+            session=session.session_id,
+            peer=conn.peer,
+        )
         return ok_response(message.get("id"), **session.describe())
 
     def _op_health(self, request_id: Any) -> dict[str, Any]:

@@ -107,12 +107,14 @@ class ServerSession:
         tenant: TenantConfig,
         manager: Any,
         *,
+        session_id: str | None = None,
         slow_log: Any = None,
         tracer: Any = None,
         metrics: Any = None,
     ) -> None:
         self.tenant = tenant
         self.manager = manager
+        self.session_id = session_id
         self.policy = tenant.policy()
         self._slow_log = slow_log
         self._tracer = tracer
@@ -350,6 +352,63 @@ class ServerSession:
             "base_version": base,
         }
 
+    def tail(
+        self,
+        wal_path: Any,
+        *,
+        from_lsn: Any = None,
+        kinds: Any = None,
+        page_size: Any = None,
+    ) -> dict[str, Any]:
+        """Stream committed change events from the server's WAL.
+
+        Tailing exposes the *whole* committed history — every tenant's
+        writes — so it takes the same authorization evolve does: a
+        ``can_write`` tenant with no RLS slice.  Events page through the
+        session's cursor registry exactly like query rows; ``cursor_lsn``
+        in the response is the resume token for the next ``tail`` call.
+        """
+        from repro.observability.events import ChangeStream
+
+        from .protocol import ForbiddenError
+
+        if not self.tenant.can_write:
+            raise ForbiddenError(
+                f"tenant {self.tenant.tenant!r} is not allowed to tail "
+                f"changes (write scope required)"
+            )
+        self.policy.guard_writes(self.tenant.tenant)
+        if wal_path is None:
+            raise BadRequestError(
+                "the server has no WAL attached; nothing to tail"
+            )
+        if from_lsn is None:
+            from_lsn = 0
+        if not isinstance(from_lsn, int) or isinstance(from_lsn, bool) or from_lsn < 0:
+            raise BadRequestError(
+                f"'from_lsn' must be a non-negative integer: {from_lsn!r}"
+            )
+        if kinds is not None and (
+            not isinstance(kinds, (list, tuple))
+            or not all(isinstance(kind, str) for kind in kinds)
+        ):
+            raise BadRequestError("'kinds' must be a list of record kinds")
+        size = self._normalize_page_size(page_size)
+        try:
+            stream = ChangeStream(wal_path, from_lsn=from_lsn, kinds=kinds)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from None
+        events = [event.to_dict() for event in stream.poll()]
+        first, cursor_id = self._register_pages(events, size)
+        return {
+            "kind": "tail",
+            "from_lsn": from_lsn,
+            "cursor_lsn": stream.cursor,
+            "total": len(events),
+            "page": first,
+            "cursor": cursor_id,
+        }
+
     def refresh(self) -> dict[str, Any]:
         """Re-pin the session to the latest committed version."""
         old = self.version
@@ -364,6 +423,7 @@ class ServerSession:
         """Session metadata for the ``auth`` response and introspection."""
         return {
             "tenant": self.tenant.tenant,
+            "session": self.session_id,
             "version": self.version,
             "rls": self.policy.to_dicts(),
             "can_write": self.tenant.can_write,

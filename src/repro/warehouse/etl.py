@@ -299,11 +299,14 @@ class ETLPipeline:
         with tracer.span(
             "etl.source", parent=parent, attributes={"source": source.name}
         ):
-            survivors: list[tuple[RawRecord, RawRecord]] = []
+            # Survivors keep their extraction row index: the loaded fact is
+            # tagged "<source>#<index>", so lineage can name the exact
+            # operational row a contribution came from.
+            survivors: list[tuple[int, RawRecord, RawRecord]] = []
             with tracer.span(
                 "etl.clean", attributes={"source": source.name}
             ) as clean_span:
-                for record in records:
+                for index, record in enumerate(records):
                     report.extracted += 1
                     cleaned: RawRecord | None = record
                     rejected_by: str | None = None
@@ -316,7 +319,7 @@ class ETLPipeline:
                     if cleaned is None:
                         report.rejected.append((record, rejected_by or "cleaning"))
                         continue
-                    survivors.append((record, cleaned))
+                    survivors.append((index, record, cleaned))
                 clean_span.set("rejected", report.rejected_count)
             with tracer.span(
                 "etl.load", attributes={"source": source.name}
@@ -324,7 +327,7 @@ class ETLPipeline:
                 if self.transactions is not None:
                     try:
                         with self.transactions.transaction():
-                            self._load_records(survivors, report)
+                            self._load_records(source.name, survivors, report)
                     except Exception as exc:
                         # The transaction rolled back: whatever this source
                         # loaded is gone as a unit, and the source joins the
@@ -336,12 +339,15 @@ class ETLPipeline:
                             (source.name, f"load rolled back: {detail}")
                         )
                 else:
-                    self._load_records(survivors, report)
+                    self._load_records(source.name, survivors, report)
                 load_span.set("loaded", report.loaded)
         return report
 
     def _load_records(
-        self, survivors: list[tuple[RawRecord, RawRecord]], report: LoadReport
+        self,
+        source_name: str,
+        survivors: list[tuple[int, RawRecord, RawRecord]],
+        report: LoadReport,
     ) -> None:
         """Map and load cleaned records, collecting per-record rejections.
 
@@ -349,19 +355,23 @@ class ETLPipeline:
         :meth:`~repro.robustness.transactions.TransactionManager.add_fact`
         (undo + WAL ``fact`` record); schema rejections stay per-record,
         but a robustness-layer failure (journal, fault point) propagates so
-        the surrounding transaction aborts the source as a whole.
+        the surrounding transaction aborts the source as a whole.  Each
+        loaded fact carries ``source="<source>#<extraction-index>"``.
         """
-        for record, cleaned in survivors:
+        for index, record, cleaned in survivors:
             try:
                 coordinates, t, values = self.mapping.apply(cleaned)
             except Exception as exc:  # mapper bugs must not kill the load
                 report.rejected.append((record, f"mapping error: {exc}"))
                 continue
+            origin = f"{source_name}#{index}"
             try:
                 if self.transactions is not None:
-                    self.transactions.add_fact(coordinates, t, values)
+                    self.transactions.add_fact(
+                        coordinates, t, values, source=origin
+                    )
                 else:
-                    self.schema.add_fact(coordinates, t, values)
+                    self.schema.add_fact(coordinates, t, values, source=origin)
             except RobustnessError:
                 raise
             except ReproError as exc:

@@ -405,6 +405,121 @@ class TestDoctorCommand:
         assert "wal:" in out and "open_transactions: 0" in out
 
 
+class TestTailCommand:
+    def make_wal(self, tmp_path):
+        from repro.core import ym
+        from repro.robustness import TransactionManager
+        from repro.workloads.case_study import build_case_study
+
+        wal = tmp_path / "tail.wal"
+        txm = TransactionManager(build_case_study().schema, wal=wal)
+        for n in range(2):
+            with txm.transaction():
+                txm.editor.insert(
+                    "org", f"idT{n}", f"T{n}", ym(2003, 6),
+                    level="Department", parents=["sales"],
+                )
+        # a torn transaction must stay invisible to the tailer
+        txm.begin()
+        txm.editor.insert(
+            "org", "idLost", "Lost", ym(2003, 7),
+            level="Department", parents=["sales"],
+        )
+        return wal
+
+    def test_tail_prints_committed_events_only(self, tmp_path):
+        wal = self.make_wal(tmp_path)
+        status, out = run_cli("tail", str(wal))
+        assert status == 0
+        assert "Insert" in out and "idT0" in out and "idT1" in out
+        assert "idLost" not in out
+        assert "events (cursor lsn" in out
+
+    def test_from_lsn_resumes_without_replay(self, tmp_path):
+        wal = self.make_wal(tmp_path)
+        status, out = run_cli("tail", str(wal))
+        cursor = int(out.rsplit("cursor lsn ", 1)[1].rstrip(")\n"))
+        status, resumed = run_cli("tail", str(wal), "--from-lsn", str(cursor))
+        assert status == 0
+        assert resumed.startswith("0 events")
+
+    def test_kind_filter(self, tmp_path):
+        wal = self.make_wal(tmp_path)
+        status, out = run_cli("tail", str(wal), "--kinds", "fact")
+        assert status == 0
+        assert "Insert" not in out
+        status, out = run_cli("tail", str(wal), "--kinds", "bogus")
+        assert status == 2
+        assert "error:" in out and "bogus" in out
+
+    def test_missing_journal_fails(self, tmp_path):
+        status, out = run_cli("tail", str(tmp_path / "nope.wal"))
+        assert status == 2
+        assert "error:" in out and "no journal" in out
+
+
+class TestAuditLogCommand:
+    def write_trail(self, tmp_path):
+        from repro.observability import AuditEvent, AuditLog
+
+        trail = tmp_path / "audit.jsonl"
+        log = AuditLog(trail)
+        log.record(AuditEvent("auth", tenant="acme", session="acme-1"))
+        log.record(AuditEvent("evolve", tenant="ops", session="ops-1", lsn=7))
+        log.record(
+            AuditEvent("rejected", tenant="acme", session="acme-1", ok=False)
+        )
+        return trail
+
+    def test_reads_back_the_trail(self, tmp_path):
+        trail = self.write_trail(tmp_path)
+        status, out = run_cli("audit", "--log", str(trail))
+        assert status == 0
+        assert "3 audit entries" in out
+        assert "tenant=acme" in out and "lsn=7" in out and "FAILED" in out
+
+    def test_tenant_filter(self, tmp_path):
+        trail = self.write_trail(tmp_path)
+        status, out = run_cli("audit", "--log", str(trail), "--tenant", "ops")
+        assert status == 0
+        assert "1 audit entries" in out and "tenant=ops" in out
+
+    def test_missing_trail_fails(self, tmp_path):
+        status, out = run_cli("audit", "--log", str(tmp_path / "nope.jsonl"))
+        assert status == 2
+        assert "error:" in out
+
+    def test_corrupt_trail_fails(self, tmp_path):
+        trail = self.write_trail(tmp_path)
+        lines = trail.read_text().splitlines()
+        lines[0] = "NOT-JSON"
+        trail.write_text("\n".join(lines) + "\n")
+        status, out = run_cli("audit", "--log", str(trail))
+        assert status == 2
+        assert "error:" in out
+
+    def test_doctor_cross_checks_the_trail(self, tmp_path):
+        from repro.observability import AuditLog
+        from repro.robustness import TransactionManager
+        from repro.workloads.case_study import build_case_study
+
+        wal = tmp_path / "doctor.wal"
+        txm = TransactionManager(build_case_study().schema, wal=wal)
+        with txm.transaction():
+            pass
+        from repro.observability import AuditEvent
+
+        trail = tmp_path / "audit.jsonl"
+        AuditLog(trail).record(
+            AuditEvent("evolve", tenant="ops", session="s", lsn=999)
+        )
+        status, out = run_cli(
+            "doctor", "--wal", str(wal), "--audit-log", str(trail)
+        )
+        assert status == 1
+        assert "LSN divergence" in out
+
+
 class TestTraceFormats:
     STATEMENT = "SELECT amount BY year, org.Division"
 

@@ -165,6 +165,12 @@ class TestDocsObservability:
             "--trace-out",
             "NULL_TRACER",
             "runtime.instrumented",
+            "ChangeStream",
+            "EventBus",
+            "publish_commits",
+            "SpanPusher",
+            "read_push_file",
+            "repro tail",
         ):
             assert topic in text
 
@@ -183,6 +189,8 @@ class TestDocsServer:
         assert "status=ok" in out
         assert "ready=True doctor=pass integrity_ok=True" in out
         assert "drained cleanly: True" in out
+        assert "auth ops True" in out                   # audit trail read back
+        assert "drain None True" in out
 
     def test_server_doc_covers_the_surface(self):
         text = (ROOT / "docs" / "server.md").read_text()
@@ -196,5 +204,9 @@ class TestDocsServer:
             "first-committer-wins",
             "AS-OF",
             "--format json",
+            "audit_log",
+            "repro audit --log",
+            "repro tail",
+            "--audit-log",
         ):
             assert topic in text

@@ -1,0 +1,323 @@
+"""Tests for WAL change-data-capture and the in-process event bus.
+
+The two load-bearing guarantees:
+
+* a :class:`ChangeStream` resumed from any cursor — including across a
+  compaction boundary — delivers a byte-identical event sequence to a
+  cold replay over the journal's full chain;
+* a slow :class:`EventBus` subscriber sheds into its own drop counter
+  and never blocks the committing writer.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ym
+from repro.observability import (
+    AuditEvent,
+    AuditLog,
+    ChangeStream,
+    EventBus,
+    MetricsRegistry,
+    committed_events,
+    last_committed_lsn,
+    publish_commits,
+    read_audit_log,
+)
+from repro.robustness import TransactionManager
+from repro.robustness.wal import read_chain
+
+from tests.robustness.conftest import build_schema
+
+T0 = ym(2003, 6)
+
+
+def managed(wal_path):
+    return TransactionManager(build_schema(), wal=wal_path)
+
+
+def grow(txm, n, *, base=0):
+    """Commit ``n`` one-insert evolutions; returns their commit LSNs."""
+    commits = []
+    for i in range(base, base + n):
+        with txm.transaction() as txn:
+            txm.editor.insert(
+                "Org", f"idN{i}", f"N{i}", T0, level="Department",
+                parents=["idP1"],
+            )
+        commits.append(txn.commit_lsn)
+    return commits
+
+
+def event_bytes(events):
+    """Canonical bytes of an event sequence — identity is compared on this."""
+    return json.dumps([e.to_dict() for e in events], sort_keys=True)
+
+
+class TestCommittedEvents:
+    def test_strict_commit_lsn_order(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 3)
+        events = committed_events(read_chain(txm.wal.path))
+        assert events, "expected committed op events"
+        ordered = [e.commit_lsn for e in events]
+        assert ordered == sorted(ordered)
+        # within one commit, payload records keep journal order
+        lsns = [e.lsn for e in events]
+        assert lsns == sorted(lsns)
+        for e in events:
+            assert e.lsn < e.commit_lsn
+
+    def test_aborted_and_open_transactions_invisible(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 1)
+        with pytest.raises(RuntimeError):
+            with txm.transaction():
+                txm.editor.insert(
+                    "Org", "idBad", "Bad", T0, level="Department",
+                    parents=["idP1"],
+                )
+                raise RuntimeError("boom")
+        txm.begin()  # left open: no commit record
+        txm.editor.insert(
+            "Org", "idOpen", "Open", T0, level="Department", parents=["idP1"]
+        )
+        events = committed_events(read_chain(txm.wal.path))
+        names = [e.record.get("kwargs", {}).get("name") for e in events]
+        assert "Bad" not in names and "Open" not in names
+
+    def test_restore_point_is_its_own_commit(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 1)
+        lsn = txm.create_restore_point("before-load")
+        (rp,) = [
+            e
+            for e in committed_events(read_chain(txm.wal.path))
+            if e.kind == "restore_point"
+        ]
+        assert rp.lsn == rp.commit_lsn == lsn
+        assert rp.txid is None
+
+    def test_kind_filter_and_unknown_kind(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 2)
+        txm.create_restore_point("rp")
+        only_ops = committed_events(read_chain(txm.wal.path), kinds=["op"])
+        assert only_ops and all(e.kind == "op" for e in only_ops)
+        with pytest.raises(ValueError, match="unknown change-stream kind"):
+            committed_events([], kinds=["commit"])
+
+    def test_last_committed_lsn(self, tmp_path):
+        path = tmp_path / "j.wal"
+        assert last_committed_lsn(path) == 0
+        txm = managed(path)
+        commits = grow(txm, 3)
+        assert last_committed_lsn(path) == commits[-1]
+
+
+class TestChangeStream:
+    def test_poll_advances_cursor_and_drains(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        commits = grow(txm, 2)
+        stream = ChangeStream(txm.wal.path)
+        first = stream.poll()
+        assert first
+        assert stream.cursor == commits[-1]
+        assert stream.poll() == []
+        grow(txm, 1, base=2)
+        assert stream.poll()
+
+    def test_resume_from_cursor_equals_cold_replay(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 2)
+        stream = ChangeStream(txm.wal.path)
+        head = stream.poll()
+        grow(txm, 2, base=2)
+        # a brand-new stream resumed from the persisted cursor
+        resumed = ChangeStream(txm.wal.path, from_lsn=stream.cursor)
+        tail = resumed.poll()
+        cold = committed_events(read_chain(txm.wal.path))
+        assert event_bytes(head + tail) == event_bytes(cold)
+
+    def test_resume_across_compaction_byte_identical(self, tmp_path):
+        """The acceptance proof: tail, compact underneath, keep tailing —
+        the concatenation is byte-identical to a cold full-chain replay."""
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 3)
+        stream = ChangeStream(txm.wal.path)
+        head = stream.poll()
+        cursor = stream.cursor
+        # compact: everything before the checkpoint moves to an archive
+        # segment; the live journal no longer holds the polled records
+        dropped = txm.wal.truncate_before(txm.checkpoint())
+        assert dropped > 0
+        grow(txm, 3, base=3)
+        tail = stream.poll()
+        assert tail, "events after the compaction boundary"
+        resumed = ChangeStream(txm.wal.path, from_lsn=cursor)
+        assert event_bytes(resumed.poll()) == event_bytes(tail)
+        cold = committed_events(read_chain(txm.wal.path))
+        assert event_bytes(head + tail) == event_bytes(cold)
+
+    def test_kind_filtered_cursor_never_rescans(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 1)
+        txm.create_restore_point("rp")
+        stream = ChangeStream(txm.wal.path, kinds=["op"])
+        assert [e.kind for e in stream.poll()] == ["op"]
+        # the restore point's commit was consumed by the filter: the
+        # cursor moved past it, so nothing is re-delivered
+        assert stream.cursor == last_committed_lsn(txm.wal.path) + 1
+        assert stream.poll() == []
+
+    def test_follow_yields_until_stopped(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 2)
+        stream = ChangeStream(txm.wal.path)
+        polls = []
+
+        def stop():
+            return len(polls) >= 1
+
+        def sleep(_):
+            polls.append(True)
+
+        events = list(stream.follow(stop=stop, sleep=sleep))
+        assert event_bytes(events) == event_bytes(
+            committed_events(read_chain(txm.wal.path))
+        )
+
+    def test_delivery_metric(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        grow(txm, 2)
+        metrics = MetricsRegistry()
+        stream = ChangeStream(txm.wal.path, metrics=metrics)
+        n = len(stream.poll())
+        assert metrics.snapshot()["counters"]["events.stream.delivered"] == n
+
+
+class TestEventBus:
+    def test_bounded_queue_drops_incoming_keeps_backlog(self):
+        bus = EventBus()
+        sub = bus.subscribe("slow", max_queue=2)
+        for i in range(5):
+            bus.publish("t", i)
+        assert sub.dropped == 3
+        assert sub.delivered == 2
+        # the backlog (oldest events) survived; the incoming ones dropped
+        assert [event for _, event in sub.drain()] == [0, 1]
+        bus.publish("t", 99)
+        assert [event for _, event in sub.drain()] == [99]
+
+    def test_topic_filtering(self):
+        bus = EventBus()
+        commits = bus.subscribe("commits", topics=["commit"])
+        everything = bus.subscribe("all")
+        assert bus.publish("commit", {"n": 1}) == 2
+        assert bus.publish("audit", {"n": 2}) == 1
+        assert len(commits) == 1
+        assert len(everything) == 2
+
+    def test_drop_counters_reach_metrics(self):
+        metrics = MetricsRegistry()
+        bus = EventBus(metrics=metrics)
+        bus.subscribe("tiny", max_queue=1)
+        bus.publish("t", 1)
+        bus.publish("t", 2)
+        counters = metrics.snapshot()["counters"]
+        assert counters['events.bus.dropped{subscriber="tiny"}'] == 1
+        assert counters['events.bus.published{topic="t"}'] == 2
+
+    def test_stats_and_unsubscribe(self):
+        bus = EventBus()
+        sub = bus.subscribe("a", topics=["x"])
+        bus.publish("x", 1)
+        stats = bus.stats()
+        assert stats["published"] == 1
+        assert stats["subscribers"]["a"]["topics"] == ["x"]
+        sub.close()
+        assert bus.subscribers == ()
+        sub.close()  # idempotent
+
+    def test_slow_subscriber_never_blocks_commits(self, tmp_path):
+        """Deterministic satellite check: a full subscriber queue sheds
+        into drop counters while every WAL commit still succeeds."""
+        txm = managed(tmp_path / "j.wal")
+        bus = EventBus()
+        slow = bus.subscribe("slow", max_queue=1)
+        publish_commits(txm, bus)
+        commits = grow(txm, 5)
+        assert len(commits) == 5 and all(isinstance(c, int) for c in commits)
+        assert txm.committed == 5
+        assert slow.delivered == 1
+        assert slow.dropped == 4
+        # the one delivered event is the first commit, verbatim
+        ((topic, event),) = slow.drain()
+        assert topic == "commit"
+        assert event == {"txid": event["txid"], "commit_lsn": commits[0]}
+
+
+class TestPublishCommits:
+    def test_commit_hook_payload_matches_wal(self, tmp_path):
+        txm = managed(tmp_path / "j.wal")
+        bus = EventBus()
+        sub = bus.subscribe()
+        hook = publish_commits(txm, bus)
+        commits = grow(txm, 2)
+        assert [e["commit_lsn"] for _, e in sub.drain()] == commits
+        txm.postcommit_hooks.remove(hook)
+        grow(txm, 1, base=2)
+        assert sub.drain() == []
+
+
+class TestAuditTrail:
+    def test_record_roundtrip_filters_and_last_lsn(self, tmp_path):
+        log = AuditLog(tmp_path / "audit.jsonl", clock=lambda: 1.5)
+        log.record(AuditEvent("auth", tenant="acme", session="acme-1"))
+        log.record(
+            AuditEvent(
+                "evolve", tenant="ops", session="ops-1", lsn=42,
+                detail={"base_version": 40},
+            )
+        )
+        log.record(AuditEvent("auth_failed", ok=False, detail={"peer": "p"}))
+        entries = log.entries()
+        assert [e["action"] for e in entries] == [
+            "auth", "evolve", "auth_failed",
+        ]
+        assert entries[0]["at"] == 1.5
+        assert "lsn" not in entries[0]
+        assert entries[1]["lsn"] == 42
+        assert entries[1]["detail"] == {"base_version": 40}
+        assert entries[2]["ok"] is False
+        assert log.last_lsn() == 42
+        assert [e["action"] for e in log.entries(tenant="ops")] == ["evolve"]
+        assert log.entries(action="auth")[0]["tenant"] == "acme"
+
+    def test_torn_final_line_dropped_mid_corruption_raises(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path)
+        log.record(AuditEvent("auth", tenant="t"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"action": "drain", "ok":')  # crash mid-append
+        assert [e["action"] for e in read_audit_log(path)] == ["auth"]
+        path.write_text('not json\n{"action": "auth"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt audit entry"):
+            read_audit_log(path)
+
+    def test_missing_file_is_empty_trail(self, tmp_path):
+        assert read_audit_log(tmp_path / "nope.jsonl") == []
+        assert AuditLog(tmp_path / "nope.jsonl").last_lsn() == 0
+
+    def test_bus_republish_and_metrics(self, tmp_path):
+        bus = EventBus()
+        sub = bus.subscribe(topics=["audit"])
+        log = AuditLog(tmp_path / "audit.jsonl", bus=bus)
+        log.record(AuditEvent("statement", tenant="acme", session="acme-1"))
+        ((topic, entry),) = sub.drain()
+        assert topic == "audit" and entry["action"] == "statement"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit action"):
+            AuditEvent("login")

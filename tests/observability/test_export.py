@@ -267,3 +267,152 @@ class TestTraceSampler:
             with tracer.span("root"):
                 pass
         assert len(_otlp_spans(tracer_to_otlp(tracer))) == 2
+
+
+class TestPushExporters:
+    """The push half: bounded queue, retrying sinks, span/metrics pushers."""
+
+    def test_file_sink_roundtrip(self, tmp_path):
+        from repro.observability import FileSink, read_push_file
+
+        sink = FileSink(tmp_path / "push.jsonl")
+        sink.emit({"a": 1})
+        sink.emit({"b": [2, 3]})
+        assert sink.emitted == 2
+        assert read_push_file(sink.path) == [{"a": 1}, {"b": [2, 3]}]
+
+    def test_submit_flush_and_stats(self, tmp_path):
+        from repro.observability import FileSink, PushExporter
+
+        exporter = PushExporter(FileSink(tmp_path / "p.jsonl"), name="t")
+        assert exporter.submit({"n": 1}) and exporter.submit({"n": 2})
+        assert exporter.flush() == 2
+        stats = exporter.stats()
+        assert stats["pushed"] == 2 and stats["queued"] == 0
+        assert stats["name"] == "t"
+
+    def test_full_queue_drops_incoming(self, tmp_path):
+        from repro.observability import FileSink, MetricsRegistry, PushExporter
+
+        metrics = MetricsRegistry()
+        exporter = PushExporter(
+            FileSink(tmp_path / "p.jsonl"), max_queue=1, metrics=metrics,
+            name="tiny",
+        )
+        assert exporter.submit({"n": 1})
+        assert not exporter.submit({"n": 2})
+        assert exporter.stats()["dropped"] == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters['export.push.dropped{exporter="tiny"}'] == 1
+
+    def test_dead_sink_exhausts_retries_and_abandons(self, tmp_path):
+        from repro.observability import PushExporter
+        from repro.robustness.retry import RetryPolicy
+
+        class DeadSink:
+            attempts = 0
+
+            def emit(self, payload):
+                self.attempts += 1
+                raise OSError("collector down")
+
+        sink = DeadSink()
+        exporter = PushExporter(
+            sink,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0, sleep=lambda s: None),
+        )
+        exporter.submit({"n": 1})
+        assert exporter.flush() == 0
+        assert sink.attempts == 3
+        stats = exporter.stats()
+        assert stats["failures"] == 1 and stats["queued"] == 0
+
+    def test_flaky_sink_recovers_through_retry(self, tmp_path):
+        from repro.observability import ExportError, PushExporter
+        from repro.robustness.retry import RetryPolicy
+
+        class FlakyOnce:
+            calls = 0
+            delivered = []
+
+            def emit(self, payload):
+                self.calls += 1
+                if self.calls == 1:
+                    raise ExportError("hiccup")
+                self.delivered.append(payload)
+
+        sink = FlakyOnce()
+        exporter = PushExporter(
+            sink,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda s: None),
+        )
+        exporter.submit({"n": 1})
+        assert exporter.flush() == 1
+        assert sink.delivered == [{"n": 1}]
+
+    def test_span_pusher_ships_new_spans_as_otlp(self, tmp_path):
+        from repro.observability import FileSink, SpanPusher, read_push_file
+
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        sink = FileSink(tmp_path / "otlp.jsonl")
+        pusher = SpanPusher(tracer, sink)
+        pusher.flush()
+        with tracer.span("second"):
+            pass
+        pusher.flush()
+        pusher.flush()  # no new spans: nothing pushed
+        docs = read_push_file(sink.path)
+        assert len(docs) == 2
+        names = [s["name"] for doc in docs for s in _otlp_spans(doc)]
+        assert names == ["first", "second"]
+        for doc in docs:
+            for span in _otlp_spans(doc):
+                assert HEX32.match(span["traceId"])
+
+    def test_span_pusher_survives_tracer_clear(self, tmp_path):
+        from repro.observability import FileSink, SpanPusher, read_push_file
+
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        sink = FileSink(tmp_path / "otlp.jsonl")
+        pusher = SpanPusher(tracer, sink)
+        pusher.flush()
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        pusher.flush()
+        names = [
+            s["name"]
+            for doc in read_push_file(sink.path)
+            for s in _otlp_spans(doc)
+        ]
+        assert names == ["a", "b"]
+
+    def test_metrics_pusher_context_manager(self, tmp_path):
+        from repro.observability import (
+            FileSink,
+            MetricsPusher,
+            MetricsRegistry,
+            read_push_file,
+        )
+
+        metrics = MetricsRegistry()
+        metrics.counter("demo").inc(3)
+        sink = FileSink(tmp_path / "m.jsonl")
+        with MetricsPusher(metrics, sink, interval=0.01):
+            pass  # exit stops the flusher and drains one final snapshot
+        docs = read_push_file(sink.path)
+        assert docs
+        assert docs[-1]["type"] == "metrics"
+        assert docs[-1]["snapshot"]["counters"]["demo"] == 3
+
+    def test_validation(self, tmp_path):
+        from repro.observability import FileSink, PushExporter
+
+        with pytest.raises(ValueError, match="at least one payload"):
+            PushExporter(FileSink(tmp_path / "p"), max_queue=0)
+        with pytest.raises(ValueError, match="interval"):
+            PushExporter(FileSink(tmp_path / "p"), interval=0)

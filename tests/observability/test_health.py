@@ -318,3 +318,78 @@ class TestDoctor:
         text = report.to_text()
         assert "metrics: none attached" in text
         assert "schema: none given" in text
+
+
+class TestDoctorEventsSweep:
+    """The events sweep: audit/journal LSN cross-check, push-loss alerts."""
+
+    def _journal_with_commit(self, case_study, tmp_path):
+        from repro.robustness import TransactionManager
+        from repro.workloads.case_study import build_case_study
+
+        wal = tmp_path / "events.wal"
+        # a private schema: the shared case-study fixture must stay pristine
+        txm = TransactionManager(build_case_study().schema, wal=str(wal))
+        with txm.transaction():
+            txm.editor.insert(
+                "org", "idDoc", "Doc", ym(2003, 6), level="Department",
+                parents=["sales"],
+            )
+        return wal, txm
+
+    def test_agreeing_audit_trail_passes(self, case_study, tmp_path):
+        from repro.observability import (
+            AuditEvent,
+            AuditLog,
+            last_committed_lsn,
+        )
+
+        wal, txm = self._journal_with_commit(case_study, tmp_path)
+        audit = tmp_path / "audit.jsonl"
+        AuditLog(audit).record(
+            AuditEvent("evolve", tenant="ops", lsn=last_committed_lsn(wal))
+        )
+        report = run_doctor(wal_path=str(wal), audit_log=str(audit))
+        assert report.status == "pass"
+        assert report.audit_stats["last_lsn"] == report.audit_stats[
+            "wal_last_committed_lsn"
+        ]
+
+    def test_lsn_divergence_warns(self, case_study, tmp_path):
+        from repro.observability import AuditEvent, AuditLog
+
+        wal, txm = self._journal_with_commit(case_study, tmp_path)
+        audit = tmp_path / "audit.jsonl"
+        AuditLog(audit).record(AuditEvent("evolve", tenant="ops", lsn=9999))
+        report = run_doctor(wal_path=str(wal), audit_log=str(audit))
+        assert report.status == "warn"
+        assert "LSN divergence" in report.to_text()
+        assert "audit" in report.to_dict() and report.to_dict()["audit"]
+
+    def test_unreadable_audit_log_fails(self, tmp_path):
+        bad = tmp_path / "audit.jsonl"
+        bad.write_text('broken\n{"action": "auth"}\n', encoding="utf-8")
+        report = run_doctor(audit_log=str(bad))
+        assert report.status == "fail"
+        assert "audit log readable" in report.to_text()
+
+    def test_empty_or_lsn_free_trail_skips_cross_check(self, tmp_path):
+        report = run_doctor(audit_log=str(tmp_path / "missing.jsonl"))
+        assert report.status == "pass"
+        assert "LSN cross-check skipped" in report.to_text()
+
+    def test_push_and_bus_losses_warn(self, tmp_path):
+        from repro.observability import EventBus, FileSink, PushExporter
+
+        exporter = PushExporter(FileSink(tmp_path / "push.jsonl"))
+        exporter.submit({"n": 1})
+        exporter.dropped = 3  # simulate queue overflow
+        bus = EventBus()
+        bus.subscribe("slow", max_queue=1)
+        bus.publish("t", 1)
+        bus.publish("t", 2)
+        report = run_doctor(exporters=[exporter], bus=bus)
+        assert report.status == "warn"
+        text = report.to_text()
+        assert "push exporter" in text and "dropped" in text
+        assert "event bus subscriber slow dropped" in text

@@ -1,0 +1,250 @@
+"""Server-tier CDC and audit-trail tests.
+
+The ``tail`` op streams the journal's committed change events over the
+wire (write-capable tenants only), and every auditable action — auth
+success and failure, statements, evolves, admission rejections, drain —
+lands in the JSONL audit trail keyed by tenant and session.
+"""
+
+import json
+
+import pytest
+
+from repro.concurrency import SnapshotManager
+from repro.observability import (
+    ChangeStream,
+    EventBus,
+    MetricsRegistry,
+    read_audit_log,
+)
+from repro.robustness import TransactionManager
+from repro.server import (
+    RemoteAuthError,
+    RemoteBadRequestError,
+    RemoteForbiddenError,
+    WarehouseClient,
+    demo_config,
+    serve_background,
+)
+from repro.workloads.case_study import build_case_study
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "server.wal"
+
+
+@pytest.fixture()
+def audit_path(tmp_path):
+    return tmp_path / "audit.jsonl"
+
+
+@pytest.fixture()
+def walled_manager(wal_path):
+    txm = TransactionManager(build_case_study().schema, wal=wal_path)
+    return SnapshotManager(txm)
+
+
+def member(n):
+    return {
+        "dimension": "org",
+        "mvid": f"idCdc{n}",
+        "name": f"CDC{n}",
+        "t": [2003, 6],
+        "level": "Department",
+        "parents": ["sales"],
+    }
+
+
+class TestTailOp:
+    def test_churning_writer_live_tailer_roundtrip(
+        self, walled_manager, wal_path, tmp_path
+    ):
+        """The acceptance loop: a writer keeps evolving while a tailer
+        follows with cursor resume; the stitched event sequence is
+        byte-identical to one cold tail over the full journal."""
+        with serve_background(
+            walled_manager, demo_config(), wal_path=wal_path
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as ops:
+                collected = []
+                cursor = 0
+                for round_no in range(3):
+                    ops.evolve(member(round_no))
+                    ops.refresh()
+                    batch = ops.tail(from_lsn=cursor)
+                    collected.extend(batch["events"])
+                    cursor = batch["cursor_lsn"]
+                cold = ops.tail(from_lsn=0)
+        assert len(collected) == len(cold["events"]) > 0
+        assert json.dumps(collected, sort_keys=True) == json.dumps(
+            cold["events"], sort_keys=True
+        )
+        # and the wire view matches an in-process stream over the journal
+        local = [e.to_dict() for e in ChangeStream(wal_path).poll()]
+        assert json.dumps(cold["events"], sort_keys=True) == json.dumps(
+            local, sort_keys=True
+        )
+
+    def test_tail_pages_and_kind_filter(self, walled_manager, wal_path):
+        with serve_background(
+            walled_manager, demo_config(), wal_path=wal_path
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as ops:
+                for n in range(3):
+                    ops.evolve(member(n))
+                    ops.refresh()
+                paged = ops.tail(from_lsn=0, page_size=1)
+                assert len(paged["events"]) == paged["total"] >= 3
+                ops_only = ops.tail(from_lsn=0, kinds=["op"])
+                assert ops_only["events"]
+                assert all(e["kind"] == "op" for e in ops_only["events"])
+
+    def test_read_only_tenant_forbidden(self, walled_manager, wal_path):
+        with serve_background(
+            walled_manager, demo_config(), wal_path=wal_path
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="acme-key"
+            ) as acme:
+                with pytest.raises(RemoteForbiddenError, match="tail"):
+                    acme.tail()
+
+    def test_no_wal_and_bad_arguments(self, manager, walled_manager, wal_path):
+        with serve_background(manager, demo_config()) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as ops:
+                with pytest.raises(RemoteBadRequestError, match="no WAL"):
+                    ops.tail()
+        with serve_background(
+            walled_manager, demo_config(), wal_path=wal_path
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as ops:
+                with pytest.raises(RemoteBadRequestError, match="from_lsn"):
+                    ops.call("tail", from_lsn=-1)
+                with pytest.raises(RemoteBadRequestError, match="kind"):
+                    ops.call("tail", kinds=["commit"])
+
+    def test_tail_listed_in_hello(self, manager):
+        with serve_background(manager, demo_config()) as handle:
+            with WarehouseClient(handle.host, handle.port) as anon:
+                assert "tail" in anon.hello()["ops"]
+
+
+class TestAuditTrail:
+    def test_full_session_lifecycle_is_audited(
+        self, walled_manager, wal_path, audit_path
+    ):
+        handle = serve_background(
+            walled_manager,
+            demo_config(),
+            wal_path=wal_path,
+            audit_log=audit_path,
+        )
+        try:
+            with pytest.raises(RemoteAuthError):
+                WarehouseClient(handle.host, handle.port, api_key="wrong")
+            with WarehouseClient(
+                handle.host, handle.port, api_key="ops-key"
+            ) as ops:
+                ops.query("SELECT amount BY year")
+                payload = ops.evolve(member(0))
+        finally:
+            assert handle.stop()
+        entries = read_audit_log(audit_path)
+        by_action = {}
+        for entry in entries:
+            by_action.setdefault(entry["action"], []).append(entry)
+        (failed,) = by_action["auth_failed"]
+        assert failed["ok"] is False and failed["tenant"] is None
+        (auth,) = by_action["auth"]
+        assert auth["tenant"] == "ops"
+        assert auth["session"].startswith("ops-")
+        (statement,) = by_action["statement"]
+        assert statement["session"] == auth["session"]
+        assert statement["detail"]["op"] == "query"
+        assert "SELECT amount" in statement["detail"]["statement"]
+        (evolve,) = by_action["evolve"]
+        assert evolve["lsn"] == payload["committed_version"]
+        assert evolve["tenant"] == "ops"
+        (drain,) = by_action["drain"]
+        assert drain["ok"] is True
+        # the audit trail and the journal agree on the last committed LSN
+        from repro.observability import last_committed_lsn
+
+        assert max(
+            e["lsn"] for e in entries if "lsn" in e
+        ) == last_committed_lsn(wal_path)
+
+    def test_rejections_are_audited_with_tenant(self, manager, audit_path):
+        # acme's demo quota: 2 concurrent statements; saturate with slow
+        # ones, the third is rejected and audited
+        with serve_background(
+            manager,
+            demo_config(),
+            audit_log=audit_path,
+            statement_delay=0.5,
+        ) as handle:
+            import threading
+
+            from repro.server import RemoteQuotaError
+
+            def slow_query():
+                with WarehouseClient(
+                    handle.host, handle.port, api_key="acme-key"
+                ) as c:
+                    try:
+                        c.query("SELECT amount BY year")
+                    except RemoteQuotaError:
+                        pass  # the rejection under test
+
+            threads = [
+                threading.Thread(target=slow_query) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        rejected = read_audit_log(audit_path, action="rejected")
+        assert rejected, "expected at least one audited admission rejection"
+        assert all(e["tenant"] == "acme" for e in rejected)
+        assert all(e["ok"] is False for e in rejected)
+
+    def test_audit_events_republished_on_bus(self, manager, audit_path):
+        bus = EventBus()
+        sub = bus.subscribe(topics=["audit"])
+        with serve_background(
+            manager, demo_config(), audit_log=audit_path, event_bus=bus
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="acme-key"
+            ):
+                pass
+        actions = [entry["action"] for _, entry in sub.drain()]
+        assert "auth" in actions and "drain" in actions
+
+
+class TestTenantErrorLabels:
+    def test_server_errors_counter_carries_tenant(self, manager):
+        metrics = MetricsRegistry()
+        with serve_background(
+            manager, demo_config(), metrics=metrics
+        ) as handle:
+            with WarehouseClient(
+                handle.host, handle.port, api_key="acme-key"
+            ) as acme:
+                with pytest.raises(Exception):
+                    acme.query("NOT VALID MVQL")
+        counters = metrics.snapshot()["counters"]
+        labelled = [
+            key
+            for key in counters
+            if key.startswith("server.errors") and 'tenant="acme"' in key
+        ]
+        assert labelled, f"no tenant-labelled error counter in {counters}"
