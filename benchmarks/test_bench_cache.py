@@ -1,0 +1,150 @@
+"""Versioned-result-cache benchmark: hot-path speedup and churn hit rate.
+
+Two numbers justify the cache's existence, and both land in
+``BENCH_cache.json``:
+
+* **Hot-cache speedup** — the same pivot-shaped query served from the
+  cache versus recomputed through the two-phase engine scan.  The issue
+  sets a hard floor: a hot hit must be at least 5x faster than the
+  engine path, and the served result must be *byte-identical* to the
+  recomputation (``to_text()`` equality covers ordering, values and
+  confidence annotations).
+
+* **Hit rate under churn** — a writer evolving the schema between query
+  bursts.  Every write bumps the structure version, so the first burst
+  after each write misses by design (staleness is structurally
+  impossible); the repeat burst must hit.  The steady-state hit rate
+  and eviction counts are recorded, and correctness is asserted
+  unconditionally against a fresh uncached engine each epoch.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.cache import VersionedResultCache
+from repro.core.chronology import YEAR, ym
+from repro.core.query import LevelGroup, Query, QueryEngine, TimeGroup
+from repro.olap.cube import Cube, LevelAxis, TimeAxis
+from repro.workloads.case_study import ORG
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+HOT_REPS = 200
+CHURN_EPOCHS = 8
+
+
+def timed(fn, reps: int) -> float:
+    """Mean seconds per call over ``reps`` calls."""
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def render(view) -> tuple:
+    """A comparable full rendering of a pivot view (labels + cells)."""
+    return (
+        view.rows,
+        view.cols,
+        [
+            (view.cell(r, c).value, view.cell(r, c).confidence)
+            for r in view.rows
+            for c in view.cols
+        ],
+    )
+
+
+class TestSmokeCache:
+    def test_smoke_hot_cache_speedup_and_churn_hit_rate(self, bench_sections):
+        workload = generate_workload(
+            WorkloadConfig(seed=42, n_years=5, n_departments=20)
+        )
+        schema = workload.schema
+        mvft = schema.multiversion_facts()
+        query = Query(
+            mode="tcm",
+            group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Department")),
+        )
+
+        # -- hot hit vs the two-phase engine scan -------------------------
+        uncached = QueryEngine(mvft)
+        cache = VersionedResultCache()
+        hot = QueryEngine(mvft, cache=cache)
+        expected = uncached.execute(query).to_text()
+        assert hot.execute(query).to_text() == expected  # populates
+        assert hot.execute(query).to_text() == expected  # byte-identical hit
+        engine_mean = timed(lambda: uncached.execute(query), HOT_REPS)
+        hot_mean = timed(lambda: hot.execute(query), HOT_REPS)
+        speedup = engine_mean / hot_mean
+        assert speedup >= 5.0, (
+            f"hot cache only {speedup:.1f}x over the engine path "
+            f"({engine_mean * 1e6:.0f}us vs {hot_mean * 1e6:.0f}us)"
+        )
+
+        # -- the pivot surface rides the same cache -----------------------
+        cube = Cube(mvft, materialize=True, cache=cache)
+        axes = ("tcm", TimeAxis(YEAR), LevelAxis(ORG, "Department"), "amount")
+        baseline_view = render(cube.pivot(*axes))  # populates the lattice
+        pivot_mean = timed(lambda: cube.pivot(*axes), HOT_REPS)
+        assert render(cube.pivot(*axes)) == baseline_view
+        pivot_speedup = engine_mean / pivot_mean
+        assert pivot_speedup >= 5.0, (
+            f"hot pivot only {pivot_speedup:.1f}x over the engine path"
+        )
+
+        # -- hit rate under writer churn ----------------------------------
+        shared = VersionedResultCache()
+        burst = [
+            Query(mode=mode, group_by=(TimeGroup(YEAR), LevelGroup(ORG, lvl)))
+            for mode in mvft.modes.labels
+            for lvl in ("Division", "Department")
+        ]
+        for epoch in range(CHURN_EPOCHS):
+            workload.manager.create_member(
+                ORG,
+                f"churn{epoch}",
+                f"Churn{epoch}",
+                ym(2004, 1 + epoch),
+                parents=["div0"],
+                level="Department",
+            )
+            fresh_mvft = schema.multiversion_facts()
+            engine = QueryEngine(fresh_mvft, cache=shared)
+            fresh = QueryEngine(fresh_mvft)  # correctness oracle, no cache
+            for q in burst:
+                assert engine.execute(q).to_text() == fresh.execute(q).to_text()
+            for q in burst:  # repeat burst: same versions, must hit
+                engine.execute(q)
+        stats = shared.stats()
+        assert stats["hits"] >= CHURN_EPOCHS * len(burst)
+        assert 0.0 < stats["hit_rate"] <= 1.0
+
+        bench_sections["cache"] = payload = {
+            "scenario": {
+                "workload": "seed=42 n_years=5 n_departments=20",
+                "hot_reps": HOT_REPS,
+                "churn_epochs": CHURN_EPOCHS,
+                "burst_queries": len(burst),
+            },
+            "hot_cache": {
+                "engine_mean_seconds": round(engine_mean, 9),
+                "hit_mean_seconds": round(hot_mean, 9),
+                "speedup": round(speedup, 2),
+                "pivot_mean_seconds": round(pivot_mean, 9),
+                "pivot_speedup": round(pivot_speedup, 2),
+                "byte_identical": True,
+            },
+            "churn": {
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "hit_rate": round(stats["hit_rate"], 4),
+                "evictions": stats["evictions"],
+                "entries": stats["entries"],
+                "bytes": stats["bytes"],
+            },
+        }
+        (ROOT / "BENCH_cache.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

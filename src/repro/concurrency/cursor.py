@@ -72,17 +72,29 @@ class SnapshotCursor:
 
     @property
     def mvft(self):
-        """The MultiVersion fact table of the pinned version (cached)."""
+        """The MultiVersion fact table of the pinned version.
+
+        Built (and version-stamped) once per *snapshot*, not per cursor —
+        every cursor pinned to the same version shares one table, so
+        their result-cache keys coincide and one session's computed
+        results serve the others.
+        """
         self._check_open()
         if self._mvft is None:
-            self._mvft = self._snapshot.schema.multiversion_facts()
+            self._mvft = self._snapshot.mvft()
         return self._mvft
+
+    @property
+    def result_cache(self):
+        """The manager-wide versioned result cache (``None`` when the
+        owning manager predates result caching)."""
+        return getattr(self._manager, "result_cache", None)
 
     def query_engine(self) -> QueryEngine:
         """A query engine over the pinned MVFT (cached)."""
         self._check_open()
         if self._engine is None:
-            self._engine = QueryEngine(self.mvft)
+            self._engine = QueryEngine(self.mvft, cache=self.result_cache)
         return self._engine
 
     def mvql_session(self):
@@ -90,14 +102,14 @@ class SnapshotCursor:
         from repro.mvql.session import MVQLSession
 
         self._check_open()
-        return MVQLSession(self.mvft)
+        return MVQLSession(self.mvft, cache=self.result_cache)
 
     def cube(self, *, materialize: bool = False):
         """An OLAP cube bound to the pinned version."""
         from repro.olap.cube import Cube
 
         self._check_open()
-        return Cube(self.mvft, materialize=materialize)
+        return Cube(self.mvft, materialize=materialize, cache=self.result_cache)
 
     def warehouse(self, **build_kwargs: Any):
         """A relational multiversion warehouse built from the pinned version."""

@@ -56,11 +56,21 @@ class SnapshotManager:
         *,
         verify_commits: bool = False,
         metrics: Any = None,
+        result_cache: Any = None,
     ) -> None:
         self.txm = txm
         self.schema = txm.schema
         self.verify_commits = verify_commits
         self._metrics = metrics
+        # One versioned result cache per warehouse: every cursor, MVQL
+        # session, cube and server session opened through this manager
+        # shares it (keys bind snapshot + structure versions, so sharing
+        # is always sound; RLS-scoped sessions add their policy digest).
+        if result_cache is None:
+            from repro.cache import VersionedResultCache
+
+            result_cache = VersionedResultCache(metrics=metrics)
+        self.result_cache = result_cache
         self._write_lock = threading.RLock()
         self._state_lock = threading.Lock()
         self._dim_versions: dict[str, int] = {}

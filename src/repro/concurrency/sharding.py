@@ -92,16 +92,44 @@ class ShardedExecutor:
         metrics=None,
         lineage=None,
         slow_log=None,
+        cache=None,
+        cache_policy_digest=None,
     ) -> None:
         self.mvft = mvft
         self.engine = QueryEngine(
-            mvft, tracer=tracer, metrics=metrics, lineage=lineage, slow_log=slow_log
+            mvft,
+            tracer=tracer,
+            metrics=metrics,
+            lineage=lineage,
+            slow_log=slow_log,
+            cache=cache,
+            cache_policy_digest=cache_policy_digest,
         )
         self.max_workers = max_workers or max(2, os.cpu_count() or 1)
         self.shards = shards or self.max_workers
 
     def execute(self, query: Query) -> ResultTable:
-        """Execute ``query`` shard-parallel; byte-equal to the serial path."""
+        """Execute ``query`` shard-parallel; byte-equal to the serial path.
+
+        With a cache attached to the shared engine the sharded path
+        consults it under the same keys the serial path uses — a result
+        computed serially serves sharded readers and vice versa.
+        """
+        cache = self.engine.cache
+        key = None
+        if cache is not None and not self.engine.lineage.enabled:
+            key = cache.key_for(
+                self.mvft, query, self.engine._cache_policy_digest
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        table = self._execute(query)
+        if key is not None:
+            cache.put(key, table)
+        return table
+
+    def _execute(self, query: Query) -> ResultTable:
         mode, _ = self.engine.resolve(query)
         rows = self.mvft.slice(mode.label)
         parts = shard_rows(rows, self.shards)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from typing import Any
 
 from repro.core.dimension import TemporalDimension
@@ -73,6 +74,24 @@ class SchemaSnapshot:
     def __init__(self, schema: TemporalMultidimensionalSchema, version: int) -> None:
         self.schema = schema
         self.version = version
+        self._mvft: Any = None
+        self._mvft_lock = threading.Lock()
+
+    def mvft(self):
+        """The snapshot's MultiVersion fact table, inferred once.
+
+        The snapshot is immutable, so the (expensive) Definition 11
+        inference can run once and be shared by every cursor pinned to
+        this version — and, because the table is stamped with the
+        snapshot's commit version, result-cache entries computed by one
+        session serve every other session on the same snapshot.
+        """
+        with self._mvft_lock:
+            if self._mvft is None:
+                mvft = self.schema.multiversion_facts()
+                mvft.snapshot_version = self.version
+                self._mvft = mvft
+            return self._mvft
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical serialization of this version.

@@ -27,6 +27,7 @@ from .errors import (
 )
 from .member import MemberVersion
 from .relationship import TemporalRelationship, validate_relationship
+from .tokens import next_token
 
 __all__ = ["TemporalDimension", "DimensionSnapshot"]
 
@@ -215,6 +216,16 @@ class TemporalDimension:
         self._relationships: list[TemporalRelationship] = []
         self._rels_by_child: dict[str, list[int]] = {}
         self._rels_by_parent: dict[str, list[int]] = {}
+        self._token = next_token()
+
+    @property
+    def version_token(self) -> int:
+        """The structure-version stamp of this dimension's current state.
+
+        Bumped to a fresh process-global value by every mutator; see
+        :mod:`repro.core.tokens`.  Not serialized.
+        """
+        return self._token
 
     # -- inspection ---------------------------------------------------------
 
@@ -264,6 +275,7 @@ class TemporalDimension:
                 f"dimension {self.did!r} already has a member version {mv.mvid!r}"
             )
         self._members[mv.mvid] = mv
+        self._token = next_token()
         return mv
 
     def add_relationship(
@@ -283,6 +295,7 @@ class TemporalDimension:
         self._relationships.append(rel)
         self._rels_by_child.setdefault(rel.child, []).append(index)
         self._rels_by_parent.setdefault(rel.parent, []).append(index)
+        self._token = next_token()
         if check_acyclic:
             try:
                 for t in self._critical_instants_within(rel.valid_time):
@@ -292,6 +305,7 @@ class TemporalDimension:
                 self._relationships.pop()
                 self._rels_by_child[rel.child].pop()
                 self._rels_by_parent[rel.parent].pop()
+                self._token = next_token()
                 raise
         return rel
 
@@ -309,6 +323,7 @@ class TemporalDimension:
                 f"relationships still reference it"
             )
         del self._members[mvid]
+        self._token = next_token()
         return mv
 
     def replace_member(self, mv: MemberVersion) -> None:
@@ -318,6 +333,7 @@ class TemporalDimension:
                 f"dimension {self.did!r} has no member version {mv.mvid!r}"
             )
         self._members[mv.mvid] = mv
+        self._token = next_token()
 
     def replace_relationship(
         self, old: TemporalRelationship, new: TemporalRelationship
@@ -330,6 +346,7 @@ class TemporalDimension:
         for i, rel in enumerate(self._relationships):
             if rel == old:
                 self._relationships[i] = new
+                self._token = next_token()
                 return
         raise InvalidRelationshipError(f"relationship {old!r} not found")
 
@@ -339,6 +356,7 @@ class TemporalDimension:
             if existing == rel:
                 del self._relationships[i]
                 self._reindex()
+                self._token = next_token()
                 return
         raise InvalidRelationshipError(f"relationship {rel!r} not found")
 
@@ -368,6 +386,10 @@ class TemporalDimension:
         self._members = dict(members)
         self._relationships = list(relationships)
         self._reindex()
+        # Conservative: the restored state may be byte-identical to the
+        # captured one, but a stale token risks serving wrong cached
+        # results while a fresh one only costs a cache miss.
+        self._token = next_token()
 
     # -- time slicing ---------------------------------------------------------
 

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from .chronology import Instant
 from .errors import FactError
+from .tokens import next_token
 
 __all__ = [
     "AggregateFunction",
@@ -229,6 +230,13 @@ class TemporallyConsistentFactTable:
         self._measures = tuple(measures)
         self._measure_index = {m.name: m for m in measures}
         self._rows: list[FactRow] = []
+        self._token = next_token()
+
+    @property
+    def version_token(self) -> int:
+        """The version stamp of the table's current contents (bumped by
+        every mutator; see :mod:`repro.core.tokens`)."""
+        return self._token
 
     # -- schema -------------------------------------------------------------
 
@@ -288,6 +296,7 @@ class TemporallyConsistentFactTable:
             raise FactError(f"fact row names unknown measures {sorted(extra_measures)}")
         row = FactRow(coordinates=coordinates, t=t, values=merged, source=source)
         self._rows.append(row)
+        self._token = next_token()
         return row
 
     def rows(self) -> Iterator[FactRow]:
@@ -306,6 +315,7 @@ class TemporallyConsistentFactTable:
         """
         count = len(self._rows)
         self._rows.extend(rows)
+        self._token = next_token()
         return len(self._rows) - count
 
     def truncate(self, length: int) -> int:
@@ -321,6 +331,7 @@ class TemporallyConsistentFactTable:
             )
         dropped = len(self._rows) - length
         del self._rows[length:]
+        self._token = next_token()
         return dropped
 
     def __len__(self) -> int:

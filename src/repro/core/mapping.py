@@ -37,6 +37,7 @@ from .confidence import (
     DEFAULT_AGGREGATOR,
 )
 from .errors import MappingError
+from .tokens import next_token
 
 __all__ = [
     "MappingFunction",
@@ -298,8 +299,15 @@ class MappingCatalog:
         self._by_source: dict[str, list[MappingRelationship]] = {}
         self._by_target: dict[str, list[MappingRelationship]] = {}
         self._relationships: list[MappingRelationship] = []
+        self._token = next_token()
         for rel in relationships:
             self.add(rel)
+
+    @property
+    def version_token(self) -> int:
+        """The version stamp of the catalog's current contents (bumped by
+        every mutator; see :mod:`repro.core.tokens`)."""
+        return self._token
 
     # -- maintenance --------------------------------------------------------
 
@@ -320,6 +328,7 @@ class MappingCatalog:
             for measure in direction:
                 if measure not in self._measures:
                     self._measures.append(measure)
+        self._token = next_token()
 
     def remove(self, rel: MappingRelationship) -> None:
         """Unregister a mapping relationship.
@@ -343,6 +352,7 @@ class MappingCatalog:
         self._by_target[rel.target] = [
             r for r in self._by_target.get(rel.target, []) if r.source != rel.source
         ]
+        self._token = next_token()
 
     def __iter__(self) -> Iterator[MappingRelationship]:
         return iter(self._relationships)

@@ -140,6 +140,14 @@ class MultiVersionFactTable:
         self._modes = modes
         self._rows_by_mode = rows_by_mode
         self._unmapped = unmapped
+        # The schema state this table was inferred from — the *structure
+        # version* component of versioned result-cache keys.  The table is
+        # frozen after build, so the stamp describes its contents forever;
+        # ``is_stale`` compares it against the live schema's current token.
+        self.schema_token: int = schema.version_token()
+        # The MVCC commit version this table was pinned from, when it was
+        # derived through a snapshot cursor (0 for ad-hoc live builds).
+        self.snapshot_version: int = 0
         self._index: dict[tuple[tuple[tuple[str, str], ...], Instant, str], MVFactRow] = {}
         for mode_rows in rows_by_mode.values():
             for row in mode_rows:
@@ -314,6 +322,19 @@ class MultiVersionFactTable:
     def modes(self) -> ModeSet:
         """The presentation modes (Definition 10)."""
         return self._modes
+
+    def is_stale(self) -> bool:
+        """Whether the source schema mutated after this table was built.
+
+        Inference is eager and the table is frozen afterwards, so any
+        later ``add_fact`` / evolution on the live schema leaves this
+        table describing an older state.  Version-aware readers
+        (:class:`~repro.olap.cube.Cube`, the lazy aggregate lattice) call
+        this before serving and re-infer when it answers ``True``;
+        snapshot-pinned tables are built from immutable clones and are
+        never stale.
+        """
+        return self._schema.version_token() != self.schema_token
 
     @property
     def unmapped(self) -> list[UnmappedFact]:

@@ -309,6 +309,12 @@ class QueryEngine:
     opting in is a per-engine decision.  ``slow_log`` attaches a
     :class:`~repro.observability.health.SlowQueryLog`; over-threshold
     queries land in it with their phase breakdown.
+
+    ``cache`` attaches a :class:`~repro.cache.VersionedResultCache`;
+    :meth:`execute` then memoizes results under version-stable keys (see
+    :mod:`repro.cache`).  ``cache_policy_digest`` scopes this engine's
+    entries to an RLS policy so secured sessions never share entries
+    across tenants.
     """
 
     def __init__(
@@ -319,6 +325,8 @@ class QueryEngine:
         metrics=None,
         lineage=None,
         slow_log=None,
+        cache=None,
+        cache_policy_digest=None,
     ) -> None:
         self._mvft = mvft
         self._schema = mvft.schema
@@ -326,6 +334,8 @@ class QueryEngine:
         self._metrics = metrics
         self._lineage = lineage if lineage is not None else NULL_LINEAGE
         self._slow_log = slow_log
+        self._cache = cache
+        self._cache_policy_digest = cache_policy_digest
         self._snapshot_cache: dict[tuple[str, str, Instant], DimensionSnapshot] = {}
         self._level_cache: dict[tuple[str, str, Instant, str, str], tuple[object, ...]] = {}
 
@@ -545,7 +555,36 @@ class QueryEngine:
         return ResultTable(columns, measures, result_rows, mode.label)
 
     def execute(self, query: Query) -> ResultTable:
-        """Run a query and return its grouped, confidence-tagged result."""
+        """Run a query and return its grouped, confidence-tagged result.
+
+        With an attached :class:`~repro.cache.VersionedResultCache` the
+        engine consults it first: the key binds the table's snapshot
+        version and build-time structure token, so a hit is exactly the
+        table this engine would recompute.  Lineage-recording engines
+        bypass the cache — a hit would skip provenance capture and
+        silently leave ``explain_cell`` empty.  Cached
+        :class:`ResultTable` objects are shared across callers and
+        treated as immutable.
+        """
+        cache = self._cache
+        key = None
+        if cache is not None and not self._lineage.enabled:
+            key = cache.key_for(self._mvft, query, self._cache_policy_digest)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
+        table = self._execute_uncached(query)
+        if key is not None:
+            cache.put(key, table)
+        return table
+
+    @property
+    def cache(self):
+        """The attached result cache, if any."""
+        return self._cache
+
+    def _execute_uncached(self, query: Query) -> ResultTable:
         tracer, metrics = self._observability()
         if self._lineage.enabled:
             self._lineage.begin(query.mode)

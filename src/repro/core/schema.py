@@ -190,6 +190,29 @@ class TemporalMultidimensionalSchema:
         self.mappings.add(rel)
         return rel
 
+    # -- versioning ----------------------------------------------------------------
+
+    def version_token(self) -> int:
+        """A process-unique stamp of the schema's current observable state.
+
+        The maximum of the component containers' mutation stamps (see
+        :mod:`repro.core.tokens`): every mutation to any dimension, the
+        fact table or the mapping catalog replaces one stamp with a fresh
+        process-global maximum, so the schema token strictly increases on
+        each write and two different states never share it.  This is the
+        *structure version* component of versioned result-cache keys —
+        an inferred :class:`~repro.core.multiversion.MultiVersionFactTable`
+        records it at build time and can later tell whether it went stale.
+        """
+        token = self.facts.version_token
+        mappings_token = self.mappings.version_token
+        if mappings_token > token:
+            token = mappings_token
+        for dim in self._dimensions.values():
+            if dim.version_token > token:
+                token = dim.version_token
+        return token
+
     # -- temporal extent -----------------------------------------------------------
 
     def critical_instants(self) -> list[Instant]:

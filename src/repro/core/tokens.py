@@ -1,0 +1,41 @@
+"""Structure-version tokens — the mutation clock behind result caching.
+
+MVCC snapshots already stamp *committed* states with WAL LSNs, but the
+live schema mutates between commits and several schema clones coexist in
+one process.  To key cached query results safely we need an identifier
+with one property: **two observably different schema states never share
+it**.  A process-global monotonic counter delivers exactly that:
+
+* every mutator of a :class:`~repro.core.dimension.TemporalDimension`,
+  :class:`~repro.core.facts.TemporallyConsistentFactTable` or
+  :class:`~repro.core.mapping.MappingCatalog` stamps its container with a
+  fresh :func:`next_token` — a value never issued before anywhere in the
+  process;
+* a schema's :meth:`~repro.core.schema.TemporalMultidimensionalSchema.version_token`
+  is the maximum of its containers' stamps.  Any mutation replaces one
+  stamp with a new global maximum, so the schema token strictly increases
+  on every write and is unique across clones (copy-on-write clones
+  restore state through mutators, so they get their own stamps).
+
+Tokens are process-local bookkeeping, deliberately **excluded from
+serialization**: a restored or cloned schema is byte-identical to its
+source on disk while carrying distinct tokens in memory.  Conservative
+over-invalidation (a rollback bumps the token even though the state is
+byte-identical) costs one cache miss, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+__all__ = ["next_token"]
+
+_counter = itertools.count(1)
+_lock = threading.Lock()
+
+
+def next_token() -> int:
+    """A process-globally unique, strictly increasing token."""
+    with _lock:
+        return next(_counter)

@@ -51,7 +51,11 @@ class MVQLSession:
     :meth:`explain_cell`.  ``slow_log`` attaches a
     :class:`~repro.observability.health.SlowQueryLog`; the session
     publishes each statement's text to it so engine-level slow records
-    carry the MVQL that caused them.
+    carry the MVQL that caused them.  ``cache`` attaches a
+    :class:`~repro.cache.VersionedResultCache` (shared per warehouse when
+    the session comes from a cursor) so repeated SELECTs over the same
+    versions are served memoized; ``cache_policy_digest`` scopes entries
+    to an RLS policy.
     """
 
     def __init__(
@@ -63,6 +67,8 @@ class MVQLSession:
         explain: bool = False,
         lineage=None,
         slow_log=None,
+        cache=None,
+        cache_policy_digest=None,
     ) -> None:
         self.mvft = mvft
         self.schema = mvft.schema
@@ -76,7 +82,8 @@ class MVQLSession:
         self.slow_log = slow_log
         self.engine = QueryEngine(
             mvft, tracer=tracer, metrics=metrics, lineage=lineage,
-            slow_log=slow_log,
+            slow_log=slow_log, cache=cache,
+            cache_policy_digest=cache_policy_digest,
         )
 
     @classmethod
@@ -85,9 +92,11 @@ class MVQLSession:
 
         ``cursor`` is a :class:`~repro.concurrency.cursor.SnapshotCursor`;
         the session reads the cursor's (cached) MultiVersion fact table,
-        so its results are immune to concurrent evolution transactions.
+        so its results are immune to concurrent evolution transactions —
+        and shares the owning manager's versioned result cache with every
+        other session on the same warehouse.
         """
-        return cls(cursor.mvft)
+        return cls(cursor.mvft, cache=getattr(cursor, "result_cache", None))
 
     @classmethod
     def as_of(cls, wal, target=None, **kwargs) -> "MVQLSession":

@@ -448,6 +448,7 @@ class DoctorReport:
     integrity: Any = None
     wal_stats: dict[str, Any] | None = None
     audit_stats: dict[str, Any] | None = None
+    cache_stats: dict[str, Any] | None = None
     slow_queries: list[SlowQueryRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
@@ -503,6 +504,7 @@ class DoctorReport:
             "integrity": integrity,
             "wal": self.wal_stats,
             "audit": self.audit_stats,
+            "cache": self.cache_stats,
             "slow_queries": [r.to_dict() for r in self.slow_queries],
             "notes": list(self.notes),
         }
@@ -524,6 +526,10 @@ class DoctorReport:
             lines.append("audit:")
             for key, value in self.audit_stats.items():
                 lines.append(f"  {key}: {value}")
+        if self.cache_stats is not None:
+            lines.append("cache:")
+            for key, value in self.cache_stats.items():
+                lines.append(f"  {key}: {value}")
         if self.slow_queries:
             lines.append(f"slow queries ({len(self.slow_queries)}):")
             for record in self.slow_queries:
@@ -543,6 +549,7 @@ def run_doctor(
     audit_log: Any = None,
     exporters: Iterable[Any] = (),
     bus: Any = None,
+    cache: Any = None,
 ) -> DoctorReport:
     """One health sweep: alerts + integrity + WAL stats + slow queries.
 
@@ -560,6 +567,11 @@ def run_doctor(
     :class:`~repro.observability.events.EventBus`) warn when they have
     dropped events or exhausted push retries — the telemetry pipeline is
     lossy by design, and the doctor is where the loss becomes visible.
+
+    ``cache`` (a :class:`~repro.cache.VersionedResultCache`, or anything
+    with a ``stats()`` dict) adds a residency/hit-rate section.  Cache
+    numbers are purely informational — a cold or thrashing cache is a
+    performance fact, not a health fault — so they never move ``status``.
     """
     # Imported lazily: repro.robustness.wal imports the observability
     # runtime, so a module-level import here would be a cycle.
@@ -705,6 +717,10 @@ def run_doctor(
                         observed=float(stats["dropped"]),
                     )
                 )
+    if cache is not None:
+        report.cache_stats = dict(
+            cache if isinstance(cache, Mapping) else cache.stats()
+        )
     if slow_log is not None:
         report.slow_queries = slow_log.slowest(5)
     return report

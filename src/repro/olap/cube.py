@@ -139,6 +139,14 @@ class Cube:
     precomputed aggregates — §1.1's "query results are pre-calculated in
     the form of aggregates".  Pivots the lattice cannot serve (custom time
     windows, level × level grids) fall back to the query engine.
+
+    Both paths memoize through a shared
+    :class:`~repro.cache.VersionedResultCache` (``cache``; a private one
+    is built when none is passed) and every pivot first re-checks the
+    live schema's version token (:meth:`refresh`), so a write between two
+    pivots is always visible in the second — the lattice is a lazy view,
+    not a one-shot materialization.  ``policy_digest`` scopes cache
+    entries to an RLS policy for secured server sessions.
     """
 
     def __init__(
@@ -152,8 +160,9 @@ class Cube:
         metrics=None,
         explain: bool = False,
         lineage=None,
+        cache=None,
+        policy_digest=None,
     ) -> None:
-        self.mvft = mvft
         self.schema = mvft.schema
         self._tracer = tracer
         self._metrics = metrics
@@ -162,18 +171,65 @@ class Cube:
 
             lineage = LineageRecorder()
         self.lineage = lineage
-        self.engine = QueryEngine(
-            mvft, tracer=tracer, metrics=metrics, lineage=lineage
-        )
+        if cache is None:
+            from repro.cache import VersionedResultCache
+
+            cache = VersionedResultCache()
+        self.cache = cache
+        self._policy_digest = policy_digest
         self.executor = executor
+        self._bind(mvft)
         if executor is not None and lineage is not None:
             # Executor-path pivots run on the executor's own engine.
             executor.engine.set_lineage(lineage)
         if lattice is None and materialize:
             from .aggregates import AggregateLattice
 
-            lattice = AggregateLattice(mvft, executor=executor)
+            lattice = AggregateLattice(
+                mvft, executor=executor, cache=cache, policy_digest=policy_digest
+            )
         self.lattice = lattice
+
+    def _bind(self, mvft: MultiVersionFactTable) -> None:
+        self.mvft = mvft
+        self.engine = QueryEngine(
+            mvft,
+            tracer=self._tracer,
+            metrics=self._metrics,
+            lineage=self.lineage,
+            cache=self.cache,
+            cache_policy_digest=self._policy_digest,
+        )
+
+    def refresh(self) -> bool:
+        """Rebuild against the live schema if it mutated since binding.
+
+        The MultiVersion table is frozen at inference time, so a cube
+        over a *live* (un-snapshotted) schema would otherwise keep
+        serving pre-write structure and totals forever — both through
+        the lattice and through the engine.  Every pivot first checks
+        the schema's version token and re-infers when stale; cubes over
+        MVCC snapshot clones never pay this (their schemas are
+        immutable).  Returns whether a rebuild happened.
+        """
+        if not self.mvft.is_stale():
+            return False
+        mvft = self.schema.multiversion_facts()
+        self._bind(mvft)
+        if self.executor is not None:
+            from .aggregates import _rebuild_executor
+
+            self.executor = _rebuild_executor(self.executor, mvft)
+            if self.executor is not None and self.lineage is not None:
+                self.executor.engine.set_lineage(self.lineage)
+        if self.lattice is not None:
+            self.lattice.rebind(mvft)
+        metrics = (
+            self._metrics if self._metrics is not None else _obs.current_metrics()
+        )
+        if metrics.enabled:
+            metrics.counter("olap.mvft_rebuilds").inc()
+        return True
 
     @classmethod
     def from_cursor(
@@ -191,7 +247,7 @@ class Cube:
         """
         return cls(
             cursor.mvft, materialize=materialize, executor=executor,
-            explain=explain,
+            explain=explain, cache=getattr(cursor, "result_cache", None),
         )
 
     @classmethod
@@ -238,6 +294,52 @@ class Cube:
                 axes.append(LevelAxis(did, level))
         return axes
 
+    def _view_key(
+        self,
+        mode: str,
+        row_axis: Axis,
+        col_axis: Axis,
+        measure: str,
+        time_range,
+        filters,
+    ):
+        """A version-bound cache key for the *finished* pivot view.
+
+        Only the hot shape memoizes — no filters, no time window, no
+        lineage capture; everything else recomputes (windows and filter
+        tuples are open-ended and lineage must observe the real run).
+        """
+        if filters or time_range is not None:
+            return None
+        if self.lineage is not None and self.lineage.enabled:
+            return None
+        from repro.cache import NO_POLICY, CacheKey
+
+        def tag(axis: Axis) -> str:
+            kind = "t" if isinstance(axis, TimeAxis) else "l"
+            return f"{kind}:{axis.name}"
+
+        digest = f"pivot:{mode}|{tag(row_axis)}|{tag(col_axis)}|{measure}"
+        policy = self._policy_digest if self._policy_digest is not None else NO_POLICY
+        return CacheKey(
+            getattr(self.mvft, "snapshot_version", 0),
+            getattr(self.mvft, "schema_token", 0),
+            policy,
+            digest,
+        )
+
+    @staticmethod
+    def _lattice_axes(
+        row_axis: Axis, col_axis: Axis
+    ) -> "tuple[TimeAxis, LevelAxis, bool] | None":
+        """``(time_axis, level_axis, transposed)`` when the pivot shape is
+        one the lattice stores (time × level either way), else ``None``."""
+        if isinstance(row_axis, TimeAxis) and isinstance(col_axis, LevelAxis):
+            return row_axis, col_axis, False
+        if isinstance(row_axis, LevelAxis) and isinstance(col_axis, TimeAxis):
+            return col_axis, row_axis, True
+        return None
+
     def _pivot_from_lattice(
         self,
         mode: str,
@@ -249,12 +351,10 @@ class Cube:
         """Serve a (time × level) pivot from the lattice, if possible."""
         if self.lattice is None or time_range is not None:
             return None
-        if isinstance(row_axis, TimeAxis) and isinstance(col_axis, LevelAxis):
-            time_axis, level_axis, transposed = row_axis, col_axis, False
-        elif isinstance(row_axis, LevelAxis) and isinstance(col_axis, TimeAxis):
-            time_axis, level_axis, transposed = col_axis, row_axis, True
-        else:
+        axes = self._lattice_axes(row_axis, col_axis)
+        if axes is None:
             return None
+        time_axis, level_axis, transposed = axes
         node = self.lattice.totals(
             mode,
             time_axis.granularity,
@@ -297,10 +397,22 @@ class Cube:
         """
         if row_axis == col_axis:
             raise QueryError("row and column axes must differ")
+        self.refresh()
         tracer = self._tracer if self._tracer is not None else _obs.current_tracer()
         metrics = (
             self._metrics if self._metrics is not None else _obs.current_metrics()
         )
+        view_key = self._view_key(mode, row_axis, col_axis, measure, time_range, filters)
+        if view_key is not None:
+            cached = self.cache.get(view_key)
+            if cached is not None:
+                # The finished view itself is memoized (not just the
+                # underlying result table), so a hot repeat skips the
+                # grid rebuild as well as the scan.
+                if metrics.enabled:
+                    metrics.counter("olap.pivots").inc()
+                    metrics.counter("olap.view_cache_hits").inc()
+                return cached
         with tracer.span(
             "olap.pivot",
             attributes={
@@ -314,7 +426,14 @@ class Cube:
             # explaining cube always takes the engine path — lineage would
             # otherwise be silently empty.
             lineage_on = self.lineage is not None and self.lineage.enabled
-            if not filters and not lineage_on:
+            servable = (
+                self.lattice is not None
+                and not filters
+                and not lineage_on
+                and time_range is None
+                and self._lattice_axes(row_axis, col_axis) is not None
+            )
+            if servable:
                 served = self._pivot_from_lattice(
                     mode, row_axis, col_axis, measure, time_range
                 )
@@ -323,15 +442,28 @@ class Cube:
                     if metrics.enabled:
                         metrics.counter("olap.pivots").inc()
                         metrics.counter("olap.lattice_hits").inc()
+                    if view_key is not None:
+                        self.cache.put(view_key, served)
                     return served
             span.set("served_by", "engine")
             if metrics.enabled:
                 metrics.counter("olap.pivots").inc()
-                if self.lattice is not None:
+                if servable:
+                    # A servable shape whose node came back empty — the
+                    # only case that is genuinely a lattice *miss*.
                     metrics.counter("olap.lattice_misses").inc()
-            return self._pivot_engine(
+                elif self.lattice is not None:
+                    # Shapes the lattice never stores (filters, time
+                    # windows, level × level, lineage capture) are
+                    # bypasses, not misses — they say nothing about the
+                    # lattice's effectiveness.
+                    metrics.counter("olap.lattice_bypass").inc()
+            view = self._pivot_engine(
                 mode, row_axis, col_axis, measure, time_range, filters
             )
+            if view_key is not None:
+                self.cache.put(view_key, view)
+            return view
 
     def explain_cell(
         self, row: object, col: object, measure: str, *, mode: str | None = None

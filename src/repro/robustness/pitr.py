@@ -370,9 +370,17 @@ class AsOfSnapshot:
 
     @property
     def mvft(self):
-        """The MultiVersion fact table of the historical schema (cached)."""
+        """The MultiVersion fact table of the historical schema (cached).
+
+        Stamped with the pinned LSN so versioned result-cache entries
+        computed by one AS-OF reader serve other readers of the same
+        target (the historical state at an LSN is immutable by
+        definition).
+        """
         if self._mvft is None:
-            self._mvft = self.schema.multiversion_facts()
+            mvft = self.schema.multiversion_facts()
+            mvft.snapshot_version = self.lsn
+            self._mvft = mvft
         return self._mvft
 
     def query_engine(self):

@@ -119,6 +119,15 @@ class ServerSession:
         self._slow_log = slow_log
         self._tracer = tracer
         self._metrics = metrics
+        # Sessions pinned to the same snapshot share the manager-wide
+        # result cache; the tenant's RLS policy digest is baked into
+        # every key this session writes, so tenants with different
+        # policies can never observe each other's cells even though the
+        # store is shared.
+        from repro.cache import policy_digest
+
+        self._result_cache = getattr(manager, "result_cache", None)
+        self._policy_digest = policy_digest(self.policy)
         self.cursor = manager.open_cursor()
         self.policy.validate(self.cursor.mvft)
         self._mvql: SecuredMVQLSession | None = None
@@ -143,6 +152,8 @@ class ServerSession:
                 tracer=self._tracer,
                 metrics=self._metrics,
                 slow_log=self._slow_log,
+                cache=self._result_cache,
+                cache_policy_digest=self._policy_digest,
             )
         return self._mvql
 
@@ -152,6 +163,8 @@ class ServerSession:
                 self.cursor.mvft,
                 tracer=self._tracer,
                 metrics=self._metrics,
+                cache=self._result_cache,
+                policy_digest=self._policy_digest,
             )
         return self._cube
 
@@ -166,6 +179,8 @@ class ServerSession:
             tracer=self._tracer,
             metrics=self._metrics,
             slow_log=self._slow_log,
+            cache=self._result_cache,
+            cache_policy_digest=self._policy_digest,
         )
         if len(self._asof_cache) >= MAX_CACHED_ASOF:
             self._asof_cache.pop(next(iter(self._asof_cache)))

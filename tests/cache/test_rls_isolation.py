@@ -1,0 +1,99 @@
+"""Tenant isolation of the shared result cache.
+
+Server sessions pinned to the same snapshot share one
+:class:`~repro.cache.VersionedResultCache` — that is the point of
+warehouse-wide caching — but every key a secured session writes carries
+its RLS policy digest, so two tenants with different row visibility can
+never observe each other's cells, even when they issue the *same*
+statement against the *same* version.
+"""
+
+from repro.cache import NO_POLICY, policy_digest
+from repro.concurrency import SnapshotManager
+from repro.robustness import TransactionManager
+from repro.server.auth import TenantConfig
+from repro.server.rls import RLSRule
+from repro.server.session import ServerSession
+from repro.workloads.case_study import ORG, build_case_study
+
+STATEMENT = "SELECT amount BY year, org.Division"
+
+
+def make_manager():
+    return SnapshotManager(TransactionManager(build_case_study().schema))
+
+
+def tenant(name, division):
+    return TenantConfig(
+        tenant=name,
+        api_key=f"{name}-key",
+        rls=(RLSRule(dimension=ORG, level="Division", values=(division,)),),
+    )
+
+
+def rows_of(payload):
+    return {(row["group"][0], row["group"][1]) for row in payload["page"]}
+
+
+class TestTenantIsolation:
+    def test_same_snapshot_same_statement_disjoint_entries(self):
+        manager = make_manager()
+        sales = ServerSession(tenant("sales_co", "Sales"), manager)
+        rd = ServerSession(tenant("rd_co", "R&D"), manager)
+        assert sales.version == rd.version  # same pinned snapshot
+
+        sales_rows = rows_of(sales.execute(STATEMENT))
+        rd_rows = rows_of(rd.execute(STATEMENT))
+        assert {div for _, div in sales_rows} == {"Sales"}
+        assert {div for _, div in rd_rows} == {"R&D"}
+
+        # the shared store holds entries for both tenants, scoped apart
+        cache = manager.result_cache
+        digests = {key.policy_digest for key in cache.keys()}
+        assert policy_digest(sales.policy) in digests
+        assert policy_digest(rd.policy) in digests
+        assert policy_digest(sales.policy) != policy_digest(rd.policy)
+
+        # re-running each statement is a pure hit — served from the
+        # tenant's own entries, with the same scoped rows
+        hits_before = cache.stats()["hits"]
+        assert rows_of(sales.execute(STATEMENT)) == sales_rows
+        assert rows_of(rd.execute(STATEMENT)) == rd_rows
+        assert cache.stats()["hits"] > hits_before
+
+    def test_equal_scope_tenants_do_share(self):
+        # sharing is per-policy, not per-tenant-name: two tenants with an
+        # identical policy digest may legitimately serve each other
+        manager = make_manager()
+        a = ServerSession(tenant("acme_a", "Sales"), manager)
+        b = ServerSession(tenant("acme_b", "Sales"), manager)
+        a.execute(STATEMENT)
+        hits_before = manager.result_cache.stats()["hits"]
+        b.execute(STATEMENT)
+        assert manager.result_cache.stats()["hits"] > hits_before
+
+    def test_unrestricted_tenant_keys_under_the_open_sentinel(self):
+        manager = make_manager()
+        ops = ServerSession(
+            TenantConfig(tenant="ops", api_key="ops-key", can_write=True),
+            manager,
+        )
+        ops.execute(STATEMENT)
+        digests = {key.policy_digest for key in manager.result_cache.keys()}
+        assert digests == {NO_POLICY}
+
+    def test_pivot_surface_is_scoped_too(self):
+        manager = make_manager()
+        sales = ServerSession(tenant("sales_co", "Sales"), manager)
+        rd = ServerSession(tenant("rd_co", "R&D"), manager)
+        sales_view = sales.pivot(
+            mode="tcm", rows="year", cols="org.Division", measure="amount"
+        )
+        rd_view = rd.pivot(
+            mode="tcm", rows="year", cols="org.Division", measure="amount"
+        )
+        assert sales_view["cols"] == ["Sales"]
+        assert rd_view["cols"] == ["R&D"]
+        # every cached entry carries one of the two tenant digests
+        digests = {key.policy_digest for key in manager.result_cache.keys()}
+        assert NO_POLICY not in digests

@@ -1,0 +1,91 @@
+"""Regression tests for the headline bug: a pivot issued *after* a write
+on the same ``Cube`` must reflect the write.
+
+The MultiVersion fact table is frozen at inference time, and the old
+eagerly-materialized lattice froze its nodes at construction on top of
+that — so ``pivot → write → pivot`` on a cube over a live schema served
+pre-write totals from both the lattice path and the engine path.  The
+cube now re-checks the schema's version token on every pivot and
+re-infers when stale; the lattice is a lazy cache-backed view, so its
+nodes can never outlive the versions they were computed against.
+"""
+
+from repro.core.chronology import YEAR, ym
+from repro.core.operations import EvolutionManager
+from repro.observability import MetricsRegistry
+from repro.olap.cube import Cube, LevelAxis, TimeAxis
+from repro.workloads.case_study import ORG, build_case_study, fact_instant
+
+
+def pivot(cube):
+    return cube.pivot("tcm", TimeAxis(YEAR), LevelAxis(ORG, "Division"), "amount")
+
+
+class TestPivotAfterWrite:
+    def test_pivot_reflects_fact_inserted_after_materialization(self):
+        study = build_case_study()
+        cube = Cube(study.schema.multiversion_facts(), materialize=True)
+        assert pivot(cube).cell("2001", "Sales").value == 150.0
+        study.schema.add_fact({ORG: "jones"}, fact_instant(2001), amount=40.0)
+        assert pivot(cube).cell("2001", "Sales").value == 190.0
+
+    def test_pivot_reflects_many_inserts(self):
+        study = build_case_study()
+        cube = Cube(study.schema.multiversion_facts(), materialize=True)
+        assert pivot(cube).cell("2003", "Sales").value == 200.0
+        for month in (7, 8, 9):
+            study.schema.add_fact(
+                {ORG: "bill"}, ym(2003, month), amount=10.0
+            )
+        assert pivot(cube).cell("2003", "Sales").value == 230.0
+
+    def test_pivot_reflects_reclassify_after_materialization(self):
+        study = build_case_study()
+        cube = Cube(study.schema.multiversion_facts(), materialize=True)
+        before = pivot(cube)
+        assert before.cell("2003", "R&D").value == 150.0
+        # move bill Sales -> R&D mid-2003, then record a fact under the
+        # new structure: the same cube must aggregate it under R&D
+        manager = EvolutionManager(study.schema)
+        manager.reclassify_member(
+            ORG, "bill", ym(2003, 7), old_parents=["sales"], new_parents=["rd"]
+        )
+        study.schema.add_fact({ORG: "bill"}, ym(2003, 9), amount=60.0)
+        after = pivot(cube)
+        assert after.cell("2003", "R&D").value == 210.0
+        assert after.cell("2003", "Sales").value == 200.0
+
+    def test_unmaterialized_cube_engine_path_also_refreshes(self):
+        # the bug was not lattice-only: the engine reads the frozen MVFT too
+        study = build_case_study()
+        cube = Cube(study.schema.multiversion_facts())
+        assert pivot(cube).cell("2001", "Sales").value == 150.0
+        study.schema.add_fact({ORG: "jones"}, fact_instant(2001), amount=40.0)
+        assert pivot(cube).cell("2001", "Sales").value == 190.0
+
+    def test_rebuilds_are_counted_and_stop_when_quiet(self):
+        study = build_case_study()
+        metrics = MetricsRegistry()
+        cube = Cube(
+            study.schema.multiversion_facts(), materialize=True, metrics=metrics
+        )
+        pivot(cube)
+        pivot(cube)  # no write in between: no rebuild
+        counters = metrics.snapshot()["counters"]
+        assert "olap.mvft_rebuilds" not in counters
+        study.schema.add_fact({ORG: "jones"}, fact_instant(2001), amount=40.0)
+        pivot(cube)
+        pivot(cube)  # still only one rebuild for one write
+        counters = metrics.snapshot()["counters"]
+        assert counters["olap.mvft_rebuilds"] == 1
+
+    def test_standalone_lattice_refreshes_too(self):
+        from repro.olap.aggregates import AggregateLattice
+
+        study = build_case_study()
+        lattice = AggregateLattice(study.schema.multiversion_facts())
+        node = lattice.totals("tcm", YEAR, ORG, "Division", "amount")
+        assert node[("2001", "Sales")][0] == 150.0
+        study.schema.add_fact({ORG: "jones"}, fact_instant(2001), amount=40.0)
+        node = lattice.totals("tcm", YEAR, ORG, "Division", "amount")
+        assert node[("2001", "Sales")][0] == 190.0

@@ -112,7 +112,7 @@ class TestExecutorIntegration:
         serial = AggregateLattice(mvft)
         sharded = AggregateLattice(mvft, executor=executor)
         assert sharded.node_count == serial.node_count
-        assert sharded._nodes == serial._nodes
+        assert dict(sharded._walk_nodes()) == dict(serial._walk_nodes())
 
     def test_snapshot_cursor_feeds_the_executor(self, study, txm):
         manager = SnapshotManager(txm)

@@ -175,6 +175,35 @@ class TestDocsObservability:
             assert topic in text
 
 
+class TestDocsCaching:
+    def test_caching_walkthrough_runs(self, capsys):
+        namespace = run_blocks(ROOT / "docs" / "caching.md")
+        out = capsys.readouterr().out
+        assert "hits=1 misses=1" in out
+        assert "policy namespace: open" in out
+        assert "before write: 150.0" in out
+        assert "after write: 190.0" in out
+        assert "cursors share: True" in out
+        assert "unrestricted namespace: True" in out
+        assert "scoped: True" in out
+        assert "residency stayed under budget: True" in out
+
+    def test_caching_doc_covers_the_surface(self):
+        text = (ROOT / "docs" / "caching.md").read_text()
+        for topic in (
+            "VersionedResultCache",
+            "snapshot_version",
+            "structure_version",
+            "policy_digest",
+            "query_digest",
+            "CLOCK",
+            "repro cache stats",
+            "repro doctor",
+            "BENCH_cache.json",
+        ):
+            assert topic in text
+
+
 class TestDocsServer:
     def test_server_walkthrough_runs(self, capsys):
         run_blocks(ROOT / "docs" / "server.md")
