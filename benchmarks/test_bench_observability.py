@@ -261,3 +261,54 @@ class TestOtlpThroughput:
         otlp = document["resourceSpans"][0]["scopeSpans"][0]["spans"]
         assert len(otlp) == 1500
         assert len({s["traceId"] for s in otlp}) == 500
+
+
+class TestUsageMeteringOverhead:
+    """Wrapping every statement in ``UsageMeter.measure`` must cost at
+    most 5% over the instrumented engine alone: the meter does two
+    registry snapshots per statement, never per-row work.  The honest
+    ratio lands in ``BENCH_observability.json``."""
+
+    def test_metering_adds_at_most_five_percent(
+        self, medium_workload, bench_sections
+    ):
+        from repro.observability import LabelledMetrics, UsageMeter
+
+        from repro.core import MONTH
+
+        mvft = medium_workload.schema.multiversion_facts()
+        # A statement-sized query (month × department over 5 years):
+        # the meter's fixed per-statement cost must drown in real work,
+        # not be compared against a microsecond-scale toy scan.
+        query = Query(
+            group_by=(TimeGroup(MONTH), LevelGroup("org", "Department"))
+        )
+        metrics = MetricsRegistry()
+        meter = UsageMeter(metrics)
+        engine = QueryEngine(
+            mvft, metrics=LabelledMetrics(metrics, {"tenant": "acme"})
+        )
+
+        def instrumented():
+            for _ in range(REPEATS):
+                engine.execute(query)
+
+        def metered():
+            for _ in range(REPEATS):
+                with meter.measure("acme", "bench", statement="q1"):
+                    engine.execute(query)
+
+        instrumented()  # warm caches
+        baseline = _best_of(instrumented)
+        with_metering = _best_of(metered)
+
+        ratio = with_metering / baseline if baseline else float("inf")
+        assert with_metering < baseline * 1.05 + 0.05
+        (record,) = meter.records("acme")
+        assert record.rows_scanned > 0  # the deltas were attributed
+        bench_sections["usage_metering"] = {
+            "instrumented_seconds": baseline,
+            "with_metering_seconds": with_metering,
+            "overhead_ratio": ratio,
+            "budget_ratio": 1.05,
+        }

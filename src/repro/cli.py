@@ -39,13 +39,23 @@ Commands:
   derivation: contributing member versions, mapping functions, and the
   ``⊗cf`` confidence reduction;
 * ``doctor [--rules FILE] [--wal PATH] [--audit-log FILE]
-  [--format text|json]`` — one health sweep: alert rules over the
-  instrumented demo workload's metrics, an integrity check of the
-  case-study schema, WAL stats, and (with both ``--wal`` and
-  ``--audit-log``) a cross-check that the audit trail agrees with the
-  journal on the last committed LSN; exits 0 (pass), 1 (warn) or 2
-  (fail); ``--format json`` prints the machine-readable
-  :meth:`DoctorReport.to_dict` shape external probes consume;
+  [--format text|json] [--bundle-dir DIR]`` — one health sweep: alert
+  rules over the instrumented demo workload's metrics, an integrity
+  check of the case-study schema, WAL stats, a per-tenant usage section,
+  and (with both ``--wal`` and ``--audit-log``) a cross-check that the
+  audit trail agrees with the journal on the last committed LSN; exits 0
+  (pass), 1 (warn) or 2 (fail); on FAIL the armed flight recorder dumps
+  a diagnostic bundle to ``--bundle-dir``; ``--format json`` prints the
+  machine-readable :meth:`DoctorReport.to_dict` shape external probes
+  consume;
+* ``usage [--tenant T] [--top N] [--format text|json]`` — run the demo
+  workload as two metered tenants and print the per-tenant usage
+  ledger: statement counts, engine-counter deltas (rows scanned, cells
+  emitted, cache hits/misses) and wall time, plus the top statements;
+* ``debug-bundle [--out DIR]`` — run the demo workload under a flight
+  recorder and dump the diagnostic bundle: recent spans as OTLP-JSON,
+  slow-query/audit/usage JSONL, a metrics snapshot, and a checksummed
+  ``MANIFEST.json``;
 * ``serve --config FILE [--host H] [--port P] [--wal PATH]
   [--audit-log FILE]`` — run the warehouse server over the case study:
   authenticated multi-tenant sessions, MVQL/pivot statements pinned to
@@ -246,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="row shards for the sharded pass (default 4; 1 disables it)",
     )
+    profile.add_argument(
+        "--cache",
+        action="store_true",
+        help="wire the serial pass through a versioned result cache and "
+        "report this run's hit/miss/bypass counts",
+    )
     _add_trace_options(profile)
     lineage = sub.add_parser(
         "lineage", help="explain how each cell of one SELECT was derived"
@@ -292,6 +308,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="report shape: readable text (default) or the DoctorReport "
         "JSON external probes consume",
     )
+    doctor.add_argument(
+        "--bundle-dir",
+        default="debug-bundle",
+        metavar="DIR",
+        help="where the armed flight recorder dumps its diagnostic "
+        "bundle when the sweep FAILs (default: debug-bundle)",
+    )
+    usage = sub.add_parser(
+        "usage", help="per-tenant usage metering over the demo workload"
+    )
+    usage.add_argument(
+        "--tenant", default=None, help="show only this tenant's ledger"
+    )
+    usage.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many top statements to list (default 5)",
+    )
+    usage.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output shape (default: text)",
+    )
+    bundle = sub.add_parser(
+        "debug-bundle",
+        help="dump a flight-recorder diagnostic bundle of the demo workload",
+    )
+    bundle.add_argument(
+        "--out",
+        default="debug-bundle",
+        metavar="DIR",
+        help="bundle directory (default: debug-bundle)",
+    )
     serve = sub.add_parser(
         "serve", help="run the multi-tenant warehouse server (case study)"
     )
@@ -317,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append per-tenant audit events (auth, statements, evolves, "
         "rejections, drain) to this JSONL file",
+    )
+    serve.add_argument(
+        "--usage-log",
+        default=None,
+        metavar="FILE",
+        help="meter per-tenant usage (engine-counter deltas per "
+        "statement) and append the charges to this JSONL file; also "
+        "enables the server's metrics registry",
     )
     serve.add_argument(
         "--ready-file",
@@ -776,6 +836,7 @@ def _cmd_profile(
     out,
     trace_format: str = "jsonl",
     trace_sample: float = 1.0,
+    cache: bool = False,
 ) -> int:
     from repro.mvql.ast import SelectStatement
     from repro.mvql.parser import parse
@@ -797,12 +858,18 @@ def _cmd_profile(
     except ReproError as exc:
         print(f"error: {exc}", file=out)
         return 1
+    result_cache = None
+    if cache:
+        from repro.cache import VersionedResultCache
+
+        result_cache = VersionedResultCache()
     profile = profile_query(
         mvft,
         query,
         shards=shards,
         statement=" ".join(statement.split()),
         tracer=_make_tracer(trace_out, trace_sample),
+        cache=result_cache,
     )
     print(profile.to_text(), file=out)
     if trace_out is not None and profile.tracer is not None:
@@ -856,6 +923,7 @@ def _cmd_serve(
     write_demo_config: str | None,
     out,
     audit_log: str | None = None,
+    usage_log: str | None = None,
 ) -> int:
     import asyncio
     import contextlib
@@ -880,9 +948,16 @@ def _cmd_serve(
     study = build_case_study()
     txm = TransactionManager(study.schema, wal=wal)
     manager = SnapshotManager(txm)
+    # Metering needs a metrics registry to snapshot engine counters
+    # from, so --usage-log switches one on.
+    extra: dict = {}
+    if usage_log is not None:
+        from repro.observability import MetricsRegistry
+
+        extra = {"metrics": MetricsRegistry(), "usage_log": usage_log}
     server = WarehouseServer(
         manager, config, host=host, port=port, wal_path=wal,
-        audit_log=audit_log,
+        audit_log=audit_log, **extra,
     )
 
     async def run() -> int:
@@ -981,6 +1056,98 @@ def _cmd_query(
     return status
 
 
+def _run_metered_demo(tracer=None, slow_log=None):
+    """Run the demo queries as two metered tenants.
+
+    Each tenant's statements execute through a tenant-labelled metrics
+    view inside a :class:`UsageMeter` charge, so the shared registry
+    ends up with per-tenant series and the meter with a per-tenant
+    ledger — the same shape a live server produces."""
+    from repro.observability import LabelledMetrics, MetricsRegistry, UsageMeter
+
+    metrics = MetricsRegistry()
+    meter = UsageMeter(metrics)
+    study = build_case_study()
+    mvft = study.schema.multiversion_facts()
+    workload = (
+        ("acme", "SELECT amount BY year, org.Division"),
+        ("acme", "SELECT amount BY year"),
+        ("ops", "SELECT amount BY year, org.Department"),
+    )
+    for tenant, statement in workload:
+        session = MVQLSession(
+            mvft,
+            metrics=LabelledMetrics(metrics, {"tenant": tenant}),
+            tracer=tracer,
+            slow_log=slow_log,
+        )
+        with meter.measure(tenant, f"{tenant}-cli", statement=statement):
+            session.execute(statement)
+    return metrics, meter
+
+
+def _cmd_usage(
+    out, *, tenant: str | None = None, top: int = 5, fmt: str = "text"
+) -> int:
+    import json
+
+    _, meter = _run_metered_demo()
+    if fmt == "json":
+        records = [record.to_dict() for record in meter.top(top, tenant=tenant)]
+        print(
+            json.dumps(
+                {"totals": meter.totals(), "records": records},
+                indent=2,
+                sort_keys=True,
+            ),
+            file=out,
+        )
+        return 0
+    print("per-tenant usage (demo workload)", file=out)
+    for name, bill in sorted(meter.totals().items()):
+        if tenant is not None and name != tenant:
+            continue
+        print(
+            f"  tenant {name}: statements={bill['statements']} "
+            f"errors={bill['errors']} "
+            f"rows_scanned={bill['rows_scanned']:g} "
+            f"cells_emitted={bill['cells_emitted']:g} "
+            f"cache_hits={bill['cache_hits']:g} "
+            f"wire_bytes={bill['wire_bytes']} "
+            f"seconds={bill['seconds']:.3f}",
+            file=out,
+        )
+    print(f"top {top} statements by rows_scanned:", file=out)
+    for record in meter.top(top, tenant=tenant):
+        statement = record.statement or record.op
+        print(
+            f"  {record.tenant:<8} {record.digest}  x{record.statements}  "
+            f"rows_scanned={record.rows_scanned:g}  [{statement[:60]}]",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_debug_bundle(out, *, directory: str = "debug-bundle") -> int:
+    from repro.observability import FlightRecorder, SlowQueryLog, Tracer
+
+    tracer = Tracer()
+    slow_log = SlowQueryLog(threshold=0.0)
+    metrics, meter = _run_metered_demo(tracer=tracer, slow_log=slow_log)
+    recorder = FlightRecorder(
+        tracer=tracer, metrics=metrics, slow_log=slow_log, usage=meter
+    )
+    manifest = recorder.dump(directory)
+    print(f"debug bundle: {directory}", file=out)
+    for name, info in sorted(manifest["files"].items()):
+        print(
+            f"  {name}: {info['entries']} entries, {info['bytes']} bytes, "
+            f"sha256 {info['sha256'][:12]}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_doctor(
     rules_path: str | None,
     wal: str | None,
@@ -988,13 +1155,18 @@ def _cmd_doctor(
     *,
     fmt: str = "text",
     audit_log: str | None = None,
+    bundle_dir: str = "debug-bundle",
 ) -> int:
     import json
 
     from repro.observability import (
         AlertRule,
+        FlightRecorder,
+        LabelledMetrics,
         MetricsRegistry,
         SlowQueryLog,
+        Tracer,
+        UsageMeter,
         run_doctor,
     )
 
@@ -1014,17 +1186,33 @@ def _cmd_doctor(
 
     metrics = MetricsRegistry()
     slow_log = SlowQueryLog(threshold=1.0)
+    tracer = Tracer()
+    meter = UsageMeter(metrics)
     cache = VersionedResultCache(metrics=metrics)
     study = build_case_study()
     mvft = study.schema.multiversion_facts()
-    engine = QueryEngine(mvft, metrics=metrics, slow_log=slow_log, cache=cache)
+    engine = QueryEngine(
+        mvft,
+        tracer=tracer,
+        # Tenant-labelled so the meter can attribute the engine-counter
+        # deltas — the same view a server session gets.
+        metrics=LabelledMetrics(metrics, {"tenant": "demo"}),
+        slow_log=slow_log,
+        cache=cache,
+    )
     q1 = Query(
         group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
         time_range=Interval(ym(2001, 1), ym(2002, 12)),
     )
     for _ in range(2):  # second pass hits the cache, so the report shows both
         for mode in mvft.modes.labels:
-            engine.execute(q1.with_mode(mode))
+            with meter.measure("demo", "doctor", statement=f"q1 [{mode}]"):
+                engine.execute(q1.with_mode(mode))
+    # The flight recorder is armed over everything the sweep observed —
+    # if the report FAILs, run_doctor dumps the diagnostic bundle.
+    flight = FlightRecorder(
+        tracer=tracer, metrics=metrics, slow_log=slow_log, usage=meter
+    )
     report = run_doctor(
         study.schema,
         metrics=metrics,
@@ -1033,6 +1221,9 @@ def _cmd_doctor(
         slow_log=slow_log,
         audit_log=audit_log,
         cache=cache,
+        usage=meter,
+        flight=flight,
+        flight_dir=bundle_dir,
     )
     if fmt == "json":
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
@@ -1088,6 +1279,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             out,
             trace_format=args.trace_format,
             trace_sample=args.trace_sample,
+            cache=args.cache,
         )
     if args.command == "lineage":
         return _cmd_lineage(args.statement, args.cell, args.measure, out)
@@ -1095,7 +1287,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_doctor(
             args.rules, args.wal, out, fmt=args.format,
             audit_log=args.audit_log,
+            bundle_dir=args.bundle_dir,
         )
+    if args.command == "usage":
+        return _cmd_usage(
+            out, tenant=args.tenant, top=args.top, fmt=args.format
+        )
+    if args.command == "debug-bundle":
+        return _cmd_debug_bundle(out, directory=args.out)
     if args.command == "serve":
         return _cmd_serve(
             args.config,
@@ -1106,6 +1305,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             args.write_demo_config,
             out,
             audit_log=args.audit_log,
+            usage_log=args.usage_log,
         )
     if args.command == "query":
         return _cmd_query(

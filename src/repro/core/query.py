@@ -573,9 +573,19 @@ class QueryEngine:
             if key is not None:
                 hit = cache.get(key)
                 if hit is not None:
+                    _, metrics = self._observability()
+                    if metrics.enabled:
+                        metrics.counter(
+                            "query.cache_hits", {"mode": query.mode}
+                        ).inc()
                     return hit
         table = self._execute_uncached(query)
         if key is not None:
+            _, metrics = self._observability()
+            if metrics.enabled:
+                metrics.counter(
+                    "query.cache_misses", {"mode": query.mode}
+                ).inc()
             cache.put(key, table)
         return table
 

@@ -67,12 +67,15 @@ from .export import (
     PushExporter,
     SpanPusher,
     TraceSampler,
+    format_traceparent,
+    parse_traceparent,
     read_otlp_json,
     read_push_file,
     spans_to_otlp,
     tracer_to_otlp,
     write_otlp_json,
 )
+from .flight import FlightRecorder, read_manifest
 from .health import (
     AlertResult,
     AlertRule,
@@ -97,6 +100,7 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LabelledMetrics,
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
@@ -110,12 +114,14 @@ from .runtime import (
     instrumented,
 )
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl
+from .usage import UsageCharge, UsageMeter, UsageRecord, read_usage_log
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "LabelledMetrics",
     "NullMetrics",
     "NULL_METRICS",
     "DEFAULT_BUCKETS",
@@ -125,6 +131,8 @@ __all__ = [
     "NULL_TRACER",
     "read_jsonl",
     "TraceSampler",
+    "format_traceparent",
+    "parse_traceparent",
     "spans_to_otlp",
     "tracer_to_otlp",
     "write_otlp_json",
@@ -163,6 +171,12 @@ __all__ = [
     "DEFAULT_RULES",
     "DoctorReport",
     "run_doctor",
+    "UsageCharge",
+    "UsageMeter",
+    "UsageRecord",
+    "read_usage_log",
+    "FlightRecorder",
+    "read_manifest",
     "enable",
     "disable",
     "enabled",

@@ -48,12 +48,16 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
+from .tracing import format_traceparent, parse_traceparent
+
 __all__ = [
     "SPAN_KIND_INTERNAL",
     "STATUS_CODE_ERROR",
     "TraceSampler",
     "span_id_hex",
     "trace_id_hex",
+    "format_traceparent",
+    "parse_traceparent",
     "spans_to_otlp",
     "tracer_to_otlp",
     "write_otlp_json",
@@ -144,12 +148,22 @@ def spans_to_otlp(
             root_cache[sid] = root
         return root
 
+    def trace_for(span) -> str:
+        # A span carrying an explicit trace id (a local root, anything
+        # that inherited one, or a remote-parented span resumed from a
+        # ``traceparent``) exports under it verbatim; only id-less spans
+        # fall back to the root-walk derivation.
+        explicit = getattr(span, "trace_id", None)
+        if explicit is not None:
+            return trace_id_hex(explicit)
+        return trace_id_hex(root_of(span))
+
     otlp_spans: list[dict[str, Any]] = []
     for span in span_list:
         start = base_unix_nano + (span.start_ns - origin_ns)
         end = base_unix_nano + (span.end_ns - origin_ns)
         record: dict[str, Any] = {
-            "traceId": trace_id_hex(root_of(span)),
+            "traceId": trace_for(span),
             "spanId": span_id_hex(span.span_id),
             "parentSpanId": (
                 span_id_hex(span.parent_id) if span.parent_id is not None else ""

@@ -90,6 +90,7 @@ class SlowQueryRecord:
     phases: tuple[tuple[str, float], ...]
     statement: str | None
     digest: str
+    tenant: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-friendly rendering."""
@@ -99,6 +100,7 @@ class SlowQueryRecord:
             "phases": dict(self.phases),
             "statement": self.statement,
             "digest": self.digest,
+            "tenant": self.tenant,
         }
 
     def to_text(self) -> str:
@@ -107,6 +109,8 @@ class SlowQueryRecord:
             f"{self.seconds * 1000:.1f}ms  mode={self.mode}  "
             f"digest={self.digest}"
         )
+        if self.tenant:
+            head += f"  tenant={self.tenant}"
         if self.statement:
             head += f"  {self.statement}"
         breakdown = "  ".join(f"{k}={v * 1000:.1f}ms" for k, v in self.phases)
@@ -138,6 +142,9 @@ class SlowQueryLog:
         self._statement_var: contextvars.ContextVar[str | None] = (
             contextvars.ContextVar("repro-slow-query-statement", default=None)
         )
+        self._tenant_var: contextvars.ContextVar[str | None] = (
+            contextvars.ContextVar("repro-slow-query-tenant", default=None)
+        )
         self.total_queries = 0
         self.total_slow = 0
 
@@ -156,6 +163,27 @@ class SlowQueryLog:
     def current_statement(self) -> str | None:
         """The MVQL text published in this context, if any."""
         return self._statement_var.get()
+
+    @contextmanager
+    def tenant(self, name: str) -> Iterator[None]:
+        """Attribute records inside the block to a tenant.
+
+        A server session wraps each statement with this, so one shared
+        log serving interleaved tenants groups slow queries by *who* ran
+        them, not just by statement shape.  Context-local like
+        :meth:`statement`, so concurrent sessions never mislabel each
+        other.
+        """
+        token = self._tenant_var.set(name)
+        try:
+            yield
+        finally:
+            self._tenant_var.reset(token)
+
+    @property
+    def current_tenant(self) -> str | None:
+        """The tenant published in this context, if any."""
+        return self._tenant_var.get()
 
     # -- recording (called by the query engine) ----------------------------------
 
@@ -181,6 +209,7 @@ class SlowQueryLog:
             phases=tuple((phases or {}).items()),
             statement=statement,
             digest=statement_digest(statement or mode),
+            tenant=self._tenant_var.get(),
         )
         with self._lock:
             self.total_slow += 1
@@ -203,6 +232,17 @@ class SlowQueryLog:
         out: dict[str, int] = {}
         for record in self.records():
             out[record.digest] = out.get(record.digest, 0) + 1
+        return out
+
+    def by_tenant(self) -> dict[str, dict[str, int]]:
+        """Digest occurrence counts grouped by tenant.
+
+        Records outside any :meth:`tenant` context land under ``""``.
+        """
+        out: dict[str, dict[str, int]] = {}
+        for record in self.records():
+            digests = out.setdefault(record.tenant or "", {})
+            digests[record.digest] = digests.get(record.digest, 0) + 1
         return out
 
     def to_text(self) -> str:
@@ -449,6 +489,7 @@ class DoctorReport:
     wal_stats: dict[str, Any] | None = None
     audit_stats: dict[str, Any] | None = None
     cache_stats: dict[str, Any] | None = None
+    usage_stats: dict[str, Any] | None = None
     slow_queries: list[SlowQueryRecord] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
@@ -505,6 +546,7 @@ class DoctorReport:
             "wal": self.wal_stats,
             "audit": self.audit_stats,
             "cache": self.cache_stats,
+            "usage": self.usage_stats,
             "slow_queries": [r.to_dict() for r in self.slow_queries],
             "notes": list(self.notes),
         }
@@ -530,6 +572,18 @@ class DoctorReport:
             lines.append("cache:")
             for key, value in self.cache_stats.items():
                 lines.append(f"  {key}: {value}")
+        if self.usage_stats is not None:
+            lines.append("usage:")
+            for key, value in self.usage_stats.items():
+                if key == "tenants":
+                    for tenant, totals in value.items():
+                        summary = "  ".join(
+                            f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                            for k, v in totals.items()
+                        )
+                        lines.append(f"  tenant {tenant}: {summary}")
+                else:
+                    lines.append(f"  {key}: {value}")
         if self.slow_queries:
             lines.append(f"slow queries ({len(self.slow_queries)}):")
             for record in self.slow_queries:
@@ -550,6 +604,9 @@ def run_doctor(
     exporters: Iterable[Any] = (),
     bus: Any = None,
     cache: Any = None,
+    usage: Any = None,
+    flight: Any = None,
+    flight_dir: Any = None,
 ) -> DoctorReport:
     """One health sweep: alerts + integrity + WAL stats + slow queries.
 
@@ -572,6 +629,16 @@ def run_doctor(
     with a ``stats()`` dict) adds a residency/hit-rate section.  Cache
     numbers are purely informational — a cold or thrashing cache is a
     performance fact, not a health fault — so they never move ``status``.
+
+    ``usage`` (a :class:`~repro.observability.usage.UsageMeter`) adds a
+    per-tenant attribution section — like the cache section it informs
+    and never moves ``status``.  ``flight`` (a
+    :class:`~repro.observability.flight.FlightRecorder`) arms the
+    post-mortem path: when the sweep lands on FAIL the recorder dumps a
+    checksummed debug bundle into ``flight_dir`` (default
+    ``debug-bundle``) and the report notes where it went — the moment
+    the doctor says "something is wrong" is exactly when the recent
+    spans/audit trail should stop scrolling away.
     """
     # Imported lazily: repro.robustness.wal imports the observability
     # runtime, so a module-level import here would be a cycle.
@@ -721,8 +788,23 @@ def run_doctor(
         report.cache_stats = dict(
             cache if isinstance(cache, Mapping) else cache.stats()
         )
+    if usage is not None:
+        report.usage_stats = dict(
+            usage if isinstance(usage, Mapping) else usage.stats()
+        )
     if slow_log is not None:
         report.slow_queries = slow_log.slowest(5)
+    if flight is not None and report.status == "fail":
+        target = flight_dir if flight_dir is not None else "debug-bundle"
+        try:
+            manifest = flight.dump(target)
+        except OSError as exc:  # pragma: no cover - environment-dependent
+            report.notes.append(f"flight recorder: dump failed ({exc})")
+        else:
+            spans = manifest["files"]["spans.otlp.json"]["entries"]
+            report.notes.append(
+                f"flight recorder: dumped {spans} spans to {target}"
+            )
     return report
 
 

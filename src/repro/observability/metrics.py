@@ -30,6 +30,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "LabelledMetrics",
     "NullMetrics",
     "NULL_METRICS",
     "DEFAULT_BUCKETS",
@@ -331,6 +332,58 @@ class MetricsRegistry:
 
 def _series_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
     return name + _render_labels(labels)
+
+
+class LabelledMetrics:
+    """A registry view that stamps fixed labels onto every instrument.
+
+    Wrapping a shared registry with ``LabelledMetrics(registry,
+    {"tenant": "acme"})`` gives a tenant's engines their own label
+    dimension on every counter/gauge/histogram they touch while the data
+    still lands in the one shared registry — the mechanism behind
+    per-tenant attribution of ``query.rows_scanned`` and friends.  The
+    stamped labels win over same-named call-site labels, so a series can
+    never escape its attribution.
+    """
+
+    def __init__(self, registry: Any, labels: Mapping[str, str]) -> None:
+        self._registry = registry
+        self.labels = {str(k): str(v) for k, v in labels.items()}
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self._registry, "enabled", False))
+
+    @property
+    def registry(self) -> Any:
+        """The underlying shared registry."""
+        return self._registry
+
+    def _merge(self, labels: Labels) -> dict[str, str]:
+        if not labels:
+            return self.labels
+        return {**labels, **self.labels}
+
+    def counter(self, name: str, labels: Labels = None) -> Any:
+        return self._registry.counter(name, self._merge(labels))
+
+    def gauge(self, name: str, labels: Labels = None) -> Any:
+        return self._registry.gauge(name, self._merge(labels))
+
+    def histogram(self, name: str, labels: Labels = None, **kwargs: Any) -> Any:
+        return self._registry.histogram(name, self._merge(labels), **kwargs)
+
+    def snapshot(self) -> dict[str, Any]:
+        return self._registry.snapshot()
+
+    def render_prometheus(self) -> str:
+        return self._registry.render_prometheus()
+
+    def reset(self) -> None:
+        self._registry.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LabelledMetrics({self._registry!r}, {self.labels!r})"
 
 
 class _NullInstrument:

@@ -79,6 +79,7 @@ class QueryProfile:
     shards: list[ShardTiming] = field(default_factory=list)
     merge_seconds: float | None = None
     modes: list[ModeStats] = field(default_factory=list)
+    cache: dict[str, int] | None = None
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
 
@@ -98,6 +99,7 @@ class QueryProfile:
                 for s in self.shards
             ],
             "merge_seconds": self.merge_seconds,
+            "cache": self.cache,
             "modes": [
                 {
                     "mode": m.mode,
@@ -138,6 +140,12 @@ class QueryProfile:
                 lines.append(
                     f"    merge      {'':<13}{self.merge_seconds * 1000:>9.3f} ms"
                 )
+        if self.cache is not None:
+            lines.append(
+                f"  cache: hits={self.cache['hits']}"
+                f" misses={self.cache['misses']}"
+                f" bypassed={self.cache['bypassed']}"
+            )
         if self.modes:
             lines.append("  per structure version:")
             lines.append(
@@ -170,6 +178,7 @@ def profile_query(
     all_modes: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    cache: Any = None,
 ) -> QueryProfile:
     """Profile ``query`` against ``mvft`` and return the report.
 
@@ -179,10 +188,19 @@ def profile_query(
     passes a sampler-equipped tracer for ``--trace-sample``); by default
     the run uses private instruments only — the process-wide defaults of
     :mod:`repro.observability.runtime` are neither read nor written.
+
+    ``cache`` (a :class:`~repro.cache.VersionedResultCache`) wires the
+    serial pass through the result cache and adds a ``cache`` section to
+    the report: this run's hit/miss counts, plus whether the query
+    *bypassed* the cache entirely (a query with no canonical digest —
+    e.g. one carrying a ``coordinate_filter`` — is uncacheable).  Note a
+    hit short-circuits the engine, so a hot profile shows the cached
+    path's timings, not the engine's.
     """
     tracer = tracer if tracer is not None else Tracer()
     metrics = metrics if metrics is not None else MetricsRegistry()
-    engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+    engine = QueryEngine(mvft, tracer=tracer, metrics=metrics, cache=cache)
+    before = cache.stats() if cache is not None else None
     table = engine.execute(query)
 
     profile = QueryProfile(
@@ -193,6 +211,13 @@ def profile_query(
         result_rows=len(table),
         total_seconds=_span_seconds(_first(tracer, "query.execute")),
     )
+    if cache is not None:
+        after = cache.stats()
+        profile.cache = {
+            "hits": int(after["hits"] - before["hits"]),
+            "misses": int(after["misses"] - before["misses"]),
+            "bypassed": int(cache.key_for(mvft, query) is None),
+        }
     collect_span = _first(tracer, "query.collect_contributions")
     finalize_span = _first(tracer, "query.finalize")
     for name, span in (

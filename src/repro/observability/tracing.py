@@ -31,12 +31,76 @@ from __future__ import annotations
 
 import contextvars
 import json
+import random
 import threading
 import time
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_jsonl",
+    "format_traceparent",
+    "parse_traceparent",
+]
+
+_TRACE_ID_MASK = (1 << 128) - 1
+_SPAN_ID_MASK = (1 << 64) - 1
+
+
+def format_traceparent(span: Any) -> str:
+    """Render a span as a W3C ``traceparent`` header value.
+
+    ``00-<32-hex traceId>-<16-hex spanId>-<flags>`` — the same 32/16-hex
+    id scheme the OTLP exporter emits, so a trace stitched over the wire
+    carries the ids a collector would show.  Flag ``01`` means the
+    originating tracer sampled this trace; ``00`` tells the far side to
+    drop its spans too.
+    """
+    trace_id = getattr(span, "trace_id", None)
+    if trace_id is None:
+        trace_id = span.span_id
+    flags = "01" if getattr(span, "sampled", True) else "00"
+    return (
+        f"00-{trace_id & _TRACE_ID_MASK:032x}"
+        f"-{span.span_id & _SPAN_ID_MASK:016x}-{flags}"
+    )
+
+
+def parse_traceparent(value: Any) -> tuple[int, int, bool] | None:
+    """Parse a ``traceparent`` into ``(trace_id, parent_span_id, sampled)``.
+
+    Returns ``None`` for anything malformed (wrong field widths, non-hex,
+    all-zero ids, the reserved ``ff`` version) — per the W3C contract a
+    bad header is *ignored*, never an error, so a confused client cannot
+    break the server's own tracing.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_hex, span_hex, flag_hex = parts
+    if (
+        len(version) != 2
+        or len(trace_hex) != 32
+        or len(span_hex) != 16
+        or len(flag_hex) != 2
+    ):
+        return None
+    try:
+        int(version, 16)
+        trace_id = int(trace_hex, 16)
+        span_id = int(span_hex, 16)
+        flags = int(flag_hex, 16)
+    except ValueError:
+        return None
+    if version == "ff" or trace_id == 0 or span_id == 0:
+        return None
+    return trace_id, span_id, bool(flags & 1)
 
 
 class Span:
@@ -46,6 +110,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "start_ns",
         "end_ns",
         "attributes",
@@ -61,11 +126,16 @@ class Span:
         parent_id: int | None,
         attributes: Mapping[str, Any] | None,
         sampled: bool = True,
+        trace_id: int | None = None,
     ) -> None:
         self._tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        # Local roots use their own span id as the trace id; children
+        # inherit it, and a remote parent (``traceparent=``) overrides it
+        # so spans on both sides of a socket export under one trace.
+        self.trace_id = span_id if trace_id is None else trace_id
         self.start_ns = 0
         self.end_ns = 0
         self.sampled = sampled
@@ -112,6 +182,7 @@ class Span:
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "name": self.name,
             "start_us": (self.start_ns - origin_ns) // 1000,
             "duration_us": self.duration_ns // 1000,
@@ -147,7 +218,11 @@ class Tracer:
     def __init__(self, *, sampler: Any = None) -> None:
         self._origin_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
-        self._next_id = 1
+        # Span ids count up from a per-tracer random 63-bit base: within
+        # one tracer they stay sequential (cheap, ordered), while two
+        # tracers whose spans meet in a single distributed trace (client
+        # + server joined by a ``traceparent``) cannot collide.
+        self._next_id = random.getrandbits(63) | 1
         self._finished: list[Span] = []
         # The stack holds an immutable tuple and is *replaced* on
         # push/pop: tasks sharing a copied context therefore never see
@@ -170,28 +245,41 @@ class Tracer:
         *,
         parent: Span | None = None,
         attributes: Mapping[str, Any] | None = None,
+        traceparent: str | None = None,
     ) -> Span:
         """A new span; use as a context manager.
 
         ``parent`` overrides the context-local nesting (for work handed
         to another thread); by default the innermost open span of the
-        current context is the parent.
+        current context is the parent.  ``traceparent`` resumes a trace
+        started by a *remote* caller: the span adopts the wire trace id,
+        names the remote span as its parent, and honours the caller's
+        sampling decision (children then inherit all three through the
+        context stack as usual).  A malformed ``traceparent`` is ignored.
         """
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
-        if parent is not None:
-            parent_id: int | None = parent.span_id
+        remote = parse_traceparent(traceparent) if traceparent else None
+        trace_id: int | None = None
+        if remote is not None:
+            trace_id, parent_id, sampled = remote
+        elif parent is not None:
+            parent_id = parent.span_id
             sampled = getattr(parent, "sampled", True)
+            trace_id = getattr(parent, "trace_id", None)
         else:
             stack = self._stack.get()
             if stack:
                 parent_id = stack[-1].span_id
                 sampled = stack[-1].sampled
+                trace_id = stack[-1].trace_id
             else:
                 parent_id = None
                 sampled = self.sampler.sample() if self.sampler else True
-        return Span(self, name, span_id, parent_id, attributes, sampled)
+        return Span(
+            self, name, span_id, parent_id, attributes, sampled, trace_id
+        )
 
     def _push(self, span: Span) -> None:
         self._stack.set(self._stack.get() + (span,))
@@ -303,6 +391,8 @@ class _NullSpan:
     name = ""
     span_id = 0
     parent_id = None
+    trace_id = None
+    sampled = True
     attributes: dict[str, Any] = {}
     duration_ns = 0
     duration_s = 0.0

@@ -1,0 +1,368 @@
+"""Per-tenant usage metering: who is burning the engine's budget?
+
+A multi-tenant warehouse whose structures keep evolving has a uniquely
+slippery cost model — the same MVQL text can scan ten times the rows
+after a ``Reclassify`` — so global counters are not enough; operators
+need engine work *attributed*.  :class:`UsageMeter` does that without
+touching the hot loops: the engines already push per-phase deltas into a
+shared :class:`~repro.observability.metrics.MetricsRegistry`, and a
+server session wraps that registry in
+:class:`~repro.observability.metrics.LabelledMetrics` so every series it
+touches carries a ``tenant`` label.  The meter then snapshots the
+tenant's labelled series immediately before and after each statement;
+the difference *is* that statement's bill (statements within one session
+are sequential, and concurrent tenants write disjoint labelled series,
+so the deltas never race).
+
+Bills accumulate in a bounded ledger keyed by ``(tenant, session,
+statement_digest)`` — the digest collapses repeated shapes of the same
+statement, mirroring :class:`~repro.observability.health.SlowQueryLog`
+grouping.  Every committed charge can also append one JSONL line
+(:func:`read_usage_log` reads it back) and republish on an
+:class:`~repro.observability.events.EventBus` under the ``"usage"``
+topic, so the push/CDC plumbing from PR 8 carries billing events too.
+
+The meter is surfaced four ways: the ``usage`` protocol op, the ``repro
+usage`` CLI, a ``usage`` section on the doctor report, and the
+flight-recorder debug bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from .health import statement_digest
+
+__all__ = ["UsageCharge", "UsageMeter", "UsageRecord", "read_usage_log"]
+
+#: Engine counters the meter attributes, as ``(ledger field, metric name)``.
+METERED_COUNTERS = (
+    ("rows_scanned", "query.rows_scanned"),
+    ("rows_matched", "query.rows_matched"),
+    ("cells_emitted", "query.cells_emitted"),
+    ("cache_hits", "query.cache_hits"),
+    ("cache_misses", "query.cache_misses"),
+)
+
+_STATEMENT_PREVIEW = 120
+
+
+@dataclass
+class UsageRecord:
+    """One ledger entry: everything a statement shape cost a tenant."""
+
+    tenant: str
+    session: str
+    digest: str
+    op: str
+    statement: str | None = None
+    statements: int = 0
+    errors: int = 0
+    seconds: float = 0.0
+    wire_bytes: int = 0
+    rows_scanned: float = 0.0
+    rows_matched: float = 0.0
+    cells_emitted: float = 0.0
+    cache_hits: float = 0.0
+    cache_misses: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "tenant": self.tenant,
+            "session": self.session,
+            "digest": self.digest,
+            "op": self.op,
+            "statements": self.statements,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 6),
+            "wire_bytes": self.wire_bytes,
+        }
+        for field_name, _metric in METERED_COUNTERS:
+            out[field_name] = getattr(self, field_name)
+        if self.statement:
+            out["statement"] = self.statement
+        return out
+
+
+class UsageCharge:
+    """The in-flight handle :meth:`UsageMeter.measure` yields.
+
+    The server adds what the registry cannot see — bytes on the wire —
+    before the context exits.
+    """
+
+    __slots__ = ("tenant", "session", "op", "statement", "wire_bytes")
+
+    def __init__(
+        self, tenant: str, session: str, op: str, statement: str | None
+    ) -> None:
+        self.tenant = tenant
+        self.session = session
+        self.op = op
+        self.statement = statement
+        self.wire_bytes = 0
+
+    def add_wire_bytes(self, count: int) -> "UsageCharge":
+        """Charge protocol bytes (request and/or response) to this call."""
+        self.wire_bytes += int(count)
+        return self
+
+
+class UsageMeter:
+    """Attributes engine counter deltas to ``(tenant, session, digest)``.
+
+    ``metrics`` is the *shared* registry the server and every tenant's
+    :class:`~repro.observability.metrics.LabelledMetrics` view write
+    into.  ``path`` (optional) appends one JSONL line per committed
+    charge; ``bus`` (optional) republishes the same event under the
+    ``"usage"`` topic.  The ledger holds at most ``capacity`` entries,
+    evicting the least-recently-charged — the JSONL trail, not the
+    ledger, is the durable record.
+    """
+
+    def __init__(
+        self,
+        metrics: Any,
+        *,
+        capacity: int = 256,
+        path: str | Path | None = None,
+        bus: Any = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._metrics = metrics
+        self.capacity = capacity
+        self.path = Path(path) if path is not None else None
+        self.bus = bus
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ledger: OrderedDict[tuple[str, str, str], UsageRecord] = (
+            OrderedDict()
+        )
+        self.charged = 0
+        self.evicted = 0
+
+    # -- measurement -------------------------------------------------------------
+
+    _BY_METRIC = {metric: field_name for field_name, metric in METERED_COUNTERS}
+
+    def _tenant_counters(self, tenant: str) -> dict[str, float]:
+        """Current totals of this tenant's metered series.
+
+        This runs twice per metered statement, so it reads the counter
+        instruments directly instead of rendering a full ``snapshot()``
+        (whose string keys would then need re-parsing).  Registries
+        without the internal table — custom metrics facades — fall back
+        to the snapshot scan.
+        """
+        totals = {field_name: 0.0 for field_name, _ in METERED_COUNTERS}
+        registry = getattr(self._metrics, "registry", self._metrics)
+        counters = getattr(registry, "_counters", None)
+        if counters is None:
+            return self._tenant_counters_from_snapshot(tenant, totals)
+        tag = ("tenant", tenant)
+        # list() under the registry lock: counter creation mutates the
+        # table from engine threads mid-iteration otherwise.
+        with registry._lock:
+            instruments = list(counters.values())
+        for instrument in instruments:
+            field_name = self._BY_METRIC.get(instrument.name)
+            if field_name is not None and tag in instrument.labels:
+                totals[field_name] += instrument.value
+        return totals
+
+    def _tenant_counters_from_snapshot(
+        self, tenant: str, totals: dict[str, float]
+    ) -> dict[str, float]:
+        snapshot = self._metrics.snapshot()["counters"]
+        tag = f'tenant="{tenant}"'
+        for key, value in snapshot.items():
+            brace = key.find("{")
+            if brace < 0:
+                continue
+            field_name = self._BY_METRIC.get(key[:brace])
+            if field_name is not None and tag in key[brace:]:
+                totals[field_name] += value
+        return totals
+
+    @contextmanager
+    def measure(
+        self,
+        tenant: str,
+        session: str,
+        *,
+        op: str = "query",
+        statement: str | None = None,
+    ) -> Iterator[UsageCharge]:
+        """Meter one statement: snapshot-delta the tenant's series around
+        the body and commit the bill on exit (errors included, flagged)."""
+        before = self._tenant_counters(tenant)
+        charge = UsageCharge(tenant, session, op, statement)
+        started = time.perf_counter()
+        failed = False
+        try:
+            yield charge
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            seconds = time.perf_counter() - started
+            after = self._tenant_counters(tenant)
+            deltas = {k: after[k] - before[k] for k in after}
+            self._commit(charge, seconds, deltas, failed)
+
+    def _commit(
+        self,
+        charge: UsageCharge,
+        seconds: float,
+        deltas: dict[str, float],
+        failed: bool,
+    ) -> None:
+        digest = statement_digest(charge.statement or charge.op)
+        key = (charge.tenant, charge.session, digest)
+        with self._lock:
+            record = self._ledger.get(key)
+            if record is None:
+                preview = (
+                    charge.statement[:_STATEMENT_PREVIEW]
+                    if charge.statement
+                    else None
+                )
+                record = UsageRecord(
+                    tenant=charge.tenant,
+                    session=charge.session,
+                    digest=digest,
+                    op=charge.op,
+                    statement=preview,
+                )
+                self._ledger[key] = record
+                while len(self._ledger) > self.capacity:
+                    self._ledger.popitem(last=False)
+                    self.evicted += 1
+            else:
+                self._ledger.move_to_end(key)
+            record.statements += 1
+            record.errors += 1 if failed else 0
+            record.seconds += seconds
+            record.wire_bytes += charge.wire_bytes
+            for field_name, delta in deltas.items():
+                setattr(record, field_name, getattr(record, field_name) + delta)
+            self.charged += 1
+        event = {
+            "at": round(self._clock(), 6),
+            "tenant": charge.tenant,
+            "session": charge.session,
+            "digest": digest,
+            "op": charge.op,
+            "seconds": round(seconds, 6),
+            "wire_bytes": charge.wire_bytes,
+            "ok": not failed,
+            **{k: v for k, v in deltas.items()},
+        }
+        if self.path is not None:
+            # Billing must never fail the billed statement: a full disk
+            # degrades the trail, not the workload.
+            try:
+                line = json.dumps(event, separators=(",", ":"))
+                with self._lock:
+                    with open(self.path, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+            except OSError:  # pragma: no cover - environment-dependent
+                pass
+        if self.bus is not None:
+            self.bus.publish("usage", event)
+
+    # -- reading -----------------------------------------------------------------
+
+    def records(self, tenant: str | None = None) -> list[UsageRecord]:
+        """Ledger entries, most recently charged last."""
+        with self._lock:
+            records = list(self._ledger.values())
+        if tenant is not None:
+            records = [r for r in records if r.tenant == tenant]
+        return records
+
+    def top(
+        self,
+        n: int = 10,
+        *,
+        by: str = "rows_scanned",
+        tenant: str | None = None,
+    ) -> list[UsageRecord]:
+        """The ``n`` costliest entries by one metered field."""
+        if by not in UsageRecord.__dataclass_fields__:
+            raise ValueError(f"unknown usage field {by!r}")
+        return sorted(
+            self.records(tenant), key=lambda r: getattr(r, by), reverse=True
+        )[:n]
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-tenant aggregation over the whole ledger."""
+        out: dict[str, dict[str, float]] = {}
+        for record in self.records():
+            bucket = out.setdefault(
+                record.tenant,
+                {
+                    "statements": 0,
+                    "errors": 0,
+                    "seconds": 0.0,
+                    "wire_bytes": 0,
+                    **{f: 0.0 for f, _ in METERED_COUNTERS},
+                },
+            )
+            bucket["statements"] += record.statements
+            bucket["errors"] += record.errors
+            bucket["seconds"] = round(bucket["seconds"] + record.seconds, 6)
+            bucket["wire_bytes"] += record.wire_bytes
+            for field_name, _metric in METERED_COUNTERS:
+                bucket[field_name] += getattr(record, field_name)
+        return out
+
+    def to_dicts(self, tenant: str | None = None) -> list[dict[str, Any]]:
+        """The ledger as JSON-ready dicts (the wire/CLI shape)."""
+        return [r.to_dict() for r in self.records(tenant)]
+
+    def stats(self) -> dict[str, Any]:
+        """The doctor's ``usage`` section: ledger health plus totals."""
+        with self._lock:
+            entries = len(self._ledger)
+        return {
+            "entries": entries,
+            "capacity": self.capacity,
+            "charged": self.charged,
+            "evicted": self.evicted,
+            "tenants": self.totals(),
+        }
+
+    def clear(self) -> None:
+        """Drop the ledger (the JSONL trail is untouched)."""
+        with self._lock:
+            self._ledger.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UsageMeter(entries={len(self._ledger)}, "
+            f"charged={self.charged})"
+        )
+
+
+def read_usage_log(
+    path: str | Path, *, tenant: str | None = None
+) -> list[dict[str, Any]]:
+    """Read a usage JSONL trail back, optionally filtered by tenant."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        if tenant is None or entry.get("tenant") == tenant:
+            out.append(entry)
+    return out

@@ -42,6 +42,7 @@ from .client import (
     RemoteShuttingDownError,
     RemoteStatementError,
     RemoteTable,
+    RemoteTimeoutError,
     WarehouseClient,
 )
 from .protocol import (
@@ -126,5 +127,6 @@ __all__ = [
     "RemoteRateLimitError",
     "RemoteShuttingDownError",
     "RemoteInternalError",
+    "RemoteTimeoutError",
     "ERROR_CLASSES",
 ]

@@ -13,6 +13,15 @@ Every protocol error code maps to a :class:`RemoteError` subclass
 validation on the server raises :class:`RemoteConflictError` here — the
 same control flow an in-process caller gets from
 :class:`~repro.concurrency.errors.WriteConflictError`, across the wire.
+A socket timeout while waiting for a response raises the client-side
+:class:`RemoteTimeoutError`; ``connect_timeout``/``request_timeout``
+split the dial budget from the per-request read budget.
+
+Pass ``tracer=`` to make the client the *head* of each request's trace:
+every ``call`` runs under a ``client.request`` span whose W3C-style
+``traceparent`` is stamped into the envelope, so the server's statement
+span (and the engine spans below it) join the client's trace — one
+connected trace per request end to end.
 
 ``query``/``pivot`` transparently drain the server's page stream by
 default (``fetch_all=False`` returns the first page plus the cursor for
@@ -41,6 +50,7 @@ __all__ = [
     "RemoteRateLimitError",
     "RemoteShuttingDownError",
     "RemoteInternalError",
+    "RemoteTimeoutError",
     "ERROR_CLASSES",
     "RemoteTable",
     "RemotePivot",
@@ -93,6 +103,15 @@ class RemoteShuttingDownError(RemoteError):
 
 class RemoteInternalError(RemoteError):
     """``internal`` — unexpected server-side failure."""
+
+
+class RemoteTimeoutError(RemoteError):
+    """The socket timed out waiting for the server's response.
+
+    Raised client-side (code ``timeout``): the server may still be
+    executing the statement; the connection is no longer usable because
+    the late response would desynchronize the request/response pairing.
+    """
 
 
 #: code → exception class; unknown codes fall back to :class:`RemoteError`.
@@ -196,10 +215,27 @@ class WarehouseClient:
         *,
         api_key: str | None = None,
         timeout: float = 30.0,
+        connect_timeout: float | None = None,
+        request_timeout: float | None = None,
+        tracer: Any = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        """``timeout`` is the legacy single knob; ``connect_timeout`` and
+        ``request_timeout`` override it for the dial and the per-request
+        read respectively.  ``tracer`` makes every request a client-side
+        span whose ``traceparent`` rides the envelope."""
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=timeout if connect_timeout is None else connect_timeout,
+        )
+        # The connect budget and the read budget are different animals: a
+        # dial should fail in seconds, a heavy statement may legitimately
+        # run much longer.  Re-arm the socket for the request phase.
+        self._sock.settimeout(
+            timeout if request_timeout is None else request_timeout
+        )
         self._file = self._sock.makefile("rwb")
         self._next_id = 1
+        self._tracer = tracer
         self.session: dict[str, Any] | None = None
         if api_key is not None:
             self.auth(api_key)
@@ -209,13 +245,35 @@ class WarehouseClient:
     def call(self, op: str, **fields: Any) -> dict[str, Any]:
         """Send one request and return the success payload, raising the
         mapped :class:`RemoteError` subclass on a typed failure."""
+        tracer = self._tracer
+        if tracer is not None and getattr(tracer, "enabled", False):
+            from repro.observability.tracing import format_traceparent
+
+            with tracer.span(
+                "client.request", attributes={"op": op}
+            ) as span:
+                fields["traceparent"] = format_traceparent(span)
+                return self._roundtrip(op, fields)
+        return self._roundtrip(op, fields)
+
+    def _roundtrip(self, op: str, fields: dict[str, Any]) -> dict[str, Any]:
         import json
 
         request_id = self._next_id
         self._next_id += 1
-        self._file.write(encode_message({"id": request_id, "op": op, **fields}))
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES + 2)
+        try:
+            self._file.write(
+                encode_message({"id": request_id, "op": op, **fields})
+            )
+            self._file.flush()
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+        except TimeoutError as exc:
+            raise RemoteTimeoutError(
+                "timeout",
+                f"no response to {op!r} within the request timeout "
+                f"({self._sock.gettimeout()}s); the connection is no "
+                f"longer usable",
+            ) from exc
         if not line:
             raise RemoteError(
                 "connection_closed", "server closed the connection"
@@ -380,6 +438,21 @@ class WarehouseClient:
     def stats(self) -> dict[str, Any]:
         """The server's metrics snapshot."""
         return self.call("stats")["metrics"]
+
+    def usage(self, tenant: str | None = None) -> dict[str, Any]:
+        """The per-tenant usage ledger: ``{"enabled", "records",
+        "totals"}``.  Read-only tenants always get their own bill;
+        write-capable tenants may pass ``tenant=`` (or ``None`` for the
+        whole ledger)."""
+        fields: dict[str, Any] = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        payload = self.call("usage", **fields)
+        return {
+            "enabled": payload["enabled"],
+            "records": payload["records"],
+            "totals": payload["totals"],
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -27,6 +27,17 @@ Change-data-capture rides the same protocol: the ``tail`` op streams
 committed WAL change events (``{"op": "tail", "from_lsn": 0}``) through
 the ordinary page-cursor machinery, and its ``cursor_lsn`` payload field
 is the resume token for the next call.
+
+Telemetry rides the envelope too.  A statement request may carry a
+W3C-style ``traceparent`` field
+(``00-<32-hex trace id>-<16-hex span id>-<2-hex flags>``); the server
+resumes that trace — same trace id, the client's span as remote parent,
+the client's sampling decision — so one request is one connected trace
+from client span to engine phase spans.  A malformed value is ignored,
+never an error, per the W3C spec.  The ``usage`` op returns the server's
+per-tenant usage ledger (``{"op": "usage", "tenant": "acme"}`` →
+``{"enabled", "records", "totals"}``); read-only tenants are always
+scoped to their own bill.
 """
 
 from __future__ import annotations

@@ -30,6 +30,7 @@ docs and benchmarks use.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -71,6 +72,7 @@ _ALL_OPS = (
     "health",
     "ready",
     "stats",
+    "usage",
     "tail",
     "close",
 )
@@ -109,9 +111,12 @@ class WarehouseServer:
         slow_log: Any = None,
         audit_log: Any = None,
         event_bus: Any = None,
+        usage: Any = None,
+        usage_log: Any = None,
         statement_delay: float = 0.0,
     ) -> None:
         from repro.observability.events import AuditLog, publish_commits
+        from repro.observability.usage import UsageMeter
 
         from .quotas import AdmissionController
 
@@ -133,6 +138,12 @@ class WarehouseServer:
             txm = getattr(manager, "txm", None)
             if txm is not None:
                 publish_commits(txm, event_bus)
+        # ``usage`` accepts a ready UsageMeter, ``False`` to disable, or
+        # None — in which case metering comes free with metrics: every
+        # statement's engine-counter deltas are attributed to its tenant.
+        if usage is None and metrics is not None:
+            usage = UsageMeter(metrics, path=usage_log, bus=event_bus)
+        self.usage = usage or None
         # Test/bench seam: an artificial per-statement delay to make
         # drain and saturation behaviour observable deterministically.
         self.statement_delay = statement_delay
@@ -308,7 +319,7 @@ class WarehouseServer:
         try:
             message = decode_line(line)
             request_id = message.get("id")
-            return await self._dispatch(conn, message)
+            return await self._dispatch(conn, message, wire_bytes=len(line))
         except Exception as exc:  # noqa: BLE001 - the wire must answer
             code = error_code_for(exc)
             session = conn.session
@@ -333,7 +344,7 @@ class WarehouseServer:
             return error_response(request_id, code, str(exc))
 
     async def _dispatch(
-        self, conn: _Connection, message: dict[str, Any]
+        self, conn: _Connection, message: dict[str, Any], *, wire_bytes: int = 0
     ) -> dict[str, Any]:
         op = message.get("op")
         request_id = message.get("id")
@@ -371,14 +382,23 @@ class WarehouseServer:
             )
         if op == "ready":
             return await self._op_ready(request_id)
+        if op == "usage":
+            return self._op_usage(conn, message)
         # The statement ops: gate, then hand the engine work to the pool.
         if self._draining:
             raise ShuttingDownError("server is draining; no new statements")
         with self.admission.admit(session.tenant.tenant):
-            return await self._run_statement(conn, op, message)
+            return await self._run_statement(
+                conn, op, message, wire_bytes=wire_bytes
+            )
 
     async def _run_statement(
-        self, conn: _Connection, op: str, message: dict[str, Any]
+        self,
+        conn: _Connection,
+        op: str,
+        message: dict[str, Any],
+        *,
+        wire_bytes: int = 0,
     ) -> dict[str, Any]:
         session = conn.session
         assert session is not None
@@ -386,6 +406,13 @@ class WarehouseServer:
         tracer = self._tracer_now()
         metrics = self._metrics_now()
         loop = asyncio.get_running_loop()
+        # W3C-style trace context from the client envelope: the statement
+        # span resumes the caller's trace (same trace id, remote parent,
+        # the client's sampling decision) instead of starting a new root.
+        # A malformed value is ignored, never an error.
+        traceparent = message.get("traceparent")
+        if not isinstance(traceparent, str):
+            traceparent = None
 
         def work() -> dict[str, Any]:
             if self.statement_delay:
@@ -418,12 +445,40 @@ class WarehouseServer:
         assert self._drained is not None
         self._drained.clear()
         started = time.perf_counter()
+        statement = message.get("statement")
+        meter = self.usage
         try:
             with tracer.span(
                 "server.statement",
                 attributes={"op": op, "tenant": session.tenant.tenant},
+                traceparent=traceparent,
             ):
-                payload = await loop.run_in_executor(self._pool, work)
+                # run_in_executor does NOT copy the caller's context, so
+                # snapshot it here — with the statement span open — and
+                # run the engine work inside it: engine phase spans (and
+                # the slow-log statement/tenant labels) then nest under
+                # this span instead of starting disconnected traces.
+                ctx = contextvars.copy_context()
+                if meter is not None:
+                    with meter.measure(
+                        session.tenant.tenant,
+                        session.session_id,
+                        op=op,
+                        statement=statement
+                        if isinstance(statement, str)
+                        else None,
+                    ) as charge:
+                        charge.add_wire_bytes(wire_bytes)
+                        payload = await loop.run_in_executor(
+                            self._pool, ctx.run, work
+                        )
+                        response = ok_response(request_id, **payload)
+                        charge.add_wire_bytes(len(encode_message(response)))
+                else:
+                    payload = await loop.run_in_executor(
+                        self._pool, ctx.run, work
+                    )
+                    response = ok_response(request_id, **payload)
         finally:
             self._inflight -= 1
             if self._inflight == 0:
@@ -443,7 +498,6 @@ class WarehouseServer:
             )
         else:
             detail: dict[str, Any] = {"op": op}
-            statement = message.get("statement")
             if isinstance(statement, str):
                 detail["statement"] = statement[:200]
             self._audit(
@@ -452,7 +506,7 @@ class WarehouseServer:
                 session=session.session_id,
                 **detail,
             )
-        return ok_response(request_id, **payload)
+        return response
 
     # -- simple ops --------------------------------------------------------------
 
@@ -490,6 +544,36 @@ class WarehouseServer:
         )
         return ok_response(message.get("id"), **session.describe())
 
+    def _op_usage(
+        self, conn: _Connection, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        """The per-tenant usage ledger.  Read-only tenants see their own
+        bill; write-capable (operator) tenants may ask for any tenant's
+        or the whole ledger."""
+        session = conn.session
+        assert session is not None
+        request_id = message.get("id")
+        if self.usage is None:
+            return ok_response(
+                request_id, enabled=False, records=[], totals={}
+            )
+        requested = message.get("tenant")
+        if requested is not None and not isinstance(requested, str):
+            raise BadRequestError("tenant must be a string")
+        if not session.tenant.can_write:
+            requested = session.tenant.tenant
+        totals = self.usage.totals()
+        if requested is not None:
+            totals = {
+                name: bill for name, bill in totals.items() if name == requested
+            }
+        return ok_response(
+            request_id,
+            enabled=True,
+            records=self.usage.to_dicts(requested),
+            totals=totals,
+        )
+
     def _op_health(self, request_id: Any) -> dict[str, Any]:
         """Liveness: cheap, lock-free, answers even while draining."""
         return ok_response(
@@ -515,6 +599,7 @@ class WarehouseServer:
                 metrics=metrics if metrics.enabled else None,
                 wal_path=self.wal_path,
                 slow_log=self.slow_log,
+                usage=self.usage,
             )
 
         report = await loop.run_in_executor(self._pool, sweep)

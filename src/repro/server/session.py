@@ -21,6 +21,7 @@ session never races itself.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import Any
 
@@ -118,6 +119,14 @@ class ServerSession:
         self.policy = tenant.policy()
         self._slow_log = slow_log
         self._tracer = tracer
+        # Every metric this session's engines emit carries the tenant
+        # label: the registry is shared across tenants, but the labelled
+        # view pins ``tenant=`` onto each series, so per-tenant deltas
+        # (the usage meter's raw material) never mix.
+        if metrics is not None:
+            from repro.observability.metrics import LabelledMetrics
+
+            metrics = LabelledMetrics(metrics, {"tenant": tenant.tenant})
         self._metrics = metrics
         # Sessions pinned to the same snapshot share the manager-wide
         # result cache; the tenant's RLS policy digest is baked into
@@ -249,7 +258,15 @@ class ServerSession:
         session = (
             self._session() if as_of is None else self._asof_session(as_of)
         )
-        result = session.execute(statement)
+        # Slow-query entries recorded under this statement carry the
+        # tenant, so ``repro doctor`` can say *whose* query was slow.
+        scope = (
+            self._slow_log.tenant(self.tenant.tenant)
+            if self._slow_log is not None and hasattr(self._slow_log, "tenant")
+            else contextlib.nullcontext()
+        )
+        with scope:
+            result = session.execute(statement)
         if isinstance(result, ResultTable):
             payload = result_table_to_dict(result, rows=False)
             serialized = [result_row_to_dict(row) for row in result.rows]

@@ -565,3 +565,84 @@ class TestTraceFormats:
         from repro.observability import read_jsonl
 
         assert read_jsonl(trace) == []
+
+
+class TestUsageCommand:
+    def test_text_report_covers_both_tenants(self):
+        status, out = run_cli("usage")
+        assert status == 0
+        assert "per-tenant usage" in out
+        assert "tenant acme:" in out and "tenant ops:" in out
+        assert "rows_scanned=" in out and "wire_bytes=" in out
+        assert "top 5 statements by rows_scanned:" in out
+
+    def test_tenant_filter(self):
+        status, out = run_cli("usage", "--tenant", "acme")
+        assert status == 0
+        assert "tenant acme:" in out
+        assert "tenant ops:" not in out
+
+    def test_json_report(self):
+        import json
+
+        status, out = run_cli("usage", "--format", "json", "--top", "2")
+        assert status == 0
+        report = json.loads(out)
+        assert set(report["totals"]) == {"acme", "ops"}
+        assert report["totals"]["acme"]["rows_scanned"] > 0
+        assert len(report["records"]) <= 2
+
+
+class TestDebugBundleCommand:
+    def test_bundle_round_trips(self, tmp_path):
+        from repro.observability import read_manifest, read_otlp_json
+
+        target = tmp_path / "bundle"
+        status, out = run_cli("debug-bundle", "--out", str(target))
+        assert status == 0
+        assert f"debug bundle: {target}" in out
+        manifest = read_manifest(target)
+        assert manifest["files"]["spans.otlp.json"]["entries"] > 0
+        spans = read_otlp_json(target / "spans.otlp.json")
+        assert {s["name"] for s in spans} >= {"query.execute"}
+        assert "sha256" in out
+
+
+class TestDoctorUsageSection:
+    def test_usage_section_reports_real_deltas(self):
+        status, out = run_cli("doctor")
+        assert status == 0
+        assert "usage:" in out
+        assert "tenant demo:" in out and "rows_scanned=" in out
+
+    def test_fail_dumps_a_bundle(self, tmp_path):
+        import json
+
+        from repro.observability import read_manifest
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps([
+            {"name": "any query is fatal", "metric": "query.executed",
+             "op": ">", "threshold": 0, "severity": "fail"},
+        ]))
+        target = tmp_path / "postmortem"
+        status, out = run_cli(
+            "doctor", "--rules", str(rules), "--bundle-dir", str(target)
+        )
+        assert status == 2
+        assert "flight recorder" in out
+        assert read_manifest(target)["files"]["spans.otlp.json"]["entries"] > 0
+
+
+class TestProfileCacheFlag:
+    STATEMENT = "SELECT amount BY year, org.Division DURING 2001..2002"
+
+    def test_cache_line_in_report(self):
+        status, out = run_cli("profile", self.STATEMENT, "--cache")
+        assert status == 0
+        assert "cache: hits=0 misses=1 bypassed=0" in out
+
+    def test_no_cache_line_without_flag(self):
+        status, out = run_cli("profile", self.STATEMENT)
+        assert status == 0
+        assert "cache:" not in out

@@ -153,6 +153,9 @@ class TestDocsObservability:
         assert "rows scanned: 10" in out    # the tcm slice of the case study
         assert "QUERY PROFILE" in out                # profiler report
         assert "per structure version:" in out
+        assert "traceparent: 00-" in out             # wire propagation
+        assert "acme bill:" in out                   # usage metering
+        assert "bundle files:" in out                # flight recorder dump
         profile = namespace["profile"]
         assert profile.shards and profile.modes
 
@@ -171,6 +174,14 @@ class TestDocsObservability:
             "SpanPusher",
             "read_push_file",
             "repro tail",
+            "format_traceparent",
+            "UsageMeter",
+            "LabelledMetrics",
+            "FlightRecorder",
+            "read_manifest",
+            "repro usage",
+            "repro debug-bundle",
+            "metrics.md",
         ):
             assert topic in text
 
@@ -220,6 +231,8 @@ class TestDocsServer:
         assert "drained cleanly: True" in out
         assert "auth ops True" in out                   # audit trail read back
         assert "drain None True" in out
+        assert "root: client.request" in out            # one connected trace
+        assert "metered tenants: ['acme', 'ops']" in out
 
     def test_server_doc_covers_the_surface(self):
         text = (ROOT / "docs" / "server.md").read_text()
@@ -237,5 +250,9 @@ class TestDocsServer:
             "repro audit --log",
             "repro tail",
             "--audit-log",
+            "traceparent",
+            "RemoteTimeoutError",
+            "usage",
+            "--usage-log",
         ):
             assert topic in text

@@ -116,9 +116,11 @@ class TestOtlpShape:
         # The file is one valid JSON document.
         json.loads(path.read_text(encoding="utf-8"))
 
-    def test_orphan_parent_starts_its_own_trace(self):
+    def test_orphan_parent_keeps_its_trace_id(self):
         # A span whose parent was cleared (or never finished) must not
-        # crash the converter — it becomes its own trace root.
+        # crash the converter — and exporting a subset must not change
+        # trace identity: the orphan still carries the trace id it was
+        # born with, so it rejoins its siblings in any collector.
         tracer = Tracer()
         with tracer.span("root") as root:
             with tracer.span("child"):
@@ -126,7 +128,7 @@ class TestOtlpShape:
         orphans = [s for s in tracer.spans if s.name == "child"]
         document = spans_to_otlp(orphans, origin_ns=tracer.origin_ns)
         (otlp,) = _otlp_spans(document)
-        assert int(otlp["traceId"], 16) == orphans[0].span_id
+        assert int(otlp["traceId"], 16) == root.trace_id == root.span_id
         assert root.finished
 
 

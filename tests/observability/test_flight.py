@@ -1,0 +1,199 @@
+"""Tests for the flight recorder and its checksummed debug bundle."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.observability import (
+    EventBus,
+    FlightRecorder,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    UsageMeter,
+    read_manifest,
+    read_otlp_json,
+    run_doctor,
+)
+from repro.workloads.case_study import ORG
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+
+
+class TestFlightRecorderRing:
+    def test_collect_pulls_only_new_spans(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(tracer=tracer)
+        with tracer.span("a"):
+            pass
+        assert recorder.collect() == 1
+        assert recorder.collect() == 0
+        with tracer.span("b"):
+            pass
+        assert recorder.collect() == 1
+        assert [s.name for s in recorder.spans] == ["a", "b"]
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(tracer=tracer, capacity=3)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        recorder.collect()
+        assert [s.name for s in recorder.spans] == ["s7", "s8", "s9"]
+
+    def test_tracer_clear_does_not_double_count(self):
+        tracer = Tracer()
+        recorder = FlightRecorder(tracer=tracer)
+        with tracer.span("before"):
+            pass
+        recorder.collect()
+        tracer.clear()
+        with tracer.span("after"):
+            pass
+        assert recorder.collect() == 1
+        assert [s.name for s in recorder.spans] == ["before", "after"]
+
+    def test_audit_events_arrive_off_the_bus(self):
+        bus = EventBus()
+        recorder = FlightRecorder(bus=bus)
+        bus.publish("audit", {"action": "auth", "tenant": "acme"})
+        bus.publish("commit", {"ignored": True})  # wrong topic
+        recorder.collect()
+        (event,) = recorder.audit_events
+        assert event["action"] == "auth"
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDebugBundle:
+    def _armed(self, mvft, tmp_path):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        slow_log = SlowQueryLog(threshold=0.0)
+        meter = UsageMeter(metrics)
+        bus = EventBus()
+        recorder = FlightRecorder(
+            tracer=tracer,
+            metrics=metrics,
+            slow_log=slow_log,
+            usage=meter,
+            bus=bus,
+        )
+        engine = QueryEngine(
+            mvft, tracer=tracer, metrics=metrics, slow_log=slow_log
+        )
+        with meter.measure("acme", "s1", statement="q1"):
+            engine.execute(Q1)
+        bus.publish("audit", {"action": "statement", "tenant": "acme"})
+        return recorder, tracer
+
+    def test_dump_round_trips(self, mvft, tmp_path):
+        recorder, tracer = self._armed(mvft, tmp_path)
+        target = tmp_path / "bundle"
+        manifest = recorder.dump(target)
+        # The manifest on disk matches the returned one and verifies.
+        assert read_manifest(target) == manifest
+        assert set(manifest["files"]) == {
+            "spans.otlp.json",
+            "slow_queries.jsonl",
+            "audit.jsonl",
+            "usage.jsonl",
+            "metrics.json",
+        }
+        # Spans re-import via the OTLP reader and keep their names.
+        spans = read_otlp_json(target / "spans.otlp.json")
+        assert len(spans) == manifest["files"]["spans.otlp.json"]["entries"]
+        assert {s["name"] for s in spans} >= {"query.execute"}
+        # The JSONL files parse line by line.
+        slow = [
+            json.loads(line)
+            for line in (target / "slow_queries.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert slow and slow[0]["seconds"] >= 0
+        usage = [
+            json.loads(line)
+            for line in (target / "usage.jsonl").read_text().splitlines()
+        ]
+        assert usage[0]["tenant"] == "acme"
+        audit = [
+            json.loads(line)
+            for line in (target / "audit.jsonl").read_text().splitlines()
+        ]
+        assert audit[0]["action"] == "statement"
+        snapshot = json.loads((target / "metrics.json").read_text())
+        assert any(
+            key.startswith("query.rows_scanned") for key in snapshot["counters"]
+        )
+
+    def test_tampering_is_detected(self, mvft, tmp_path):
+        recorder, _ = self._armed(mvft, tmp_path)
+        target = tmp_path / "bundle"
+        recorder.dump(target)
+        (target / "usage.jsonl").write_text('{"forged": true}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            read_manifest(target)
+        (target / "usage.jsonl").unlink()
+        with pytest.raises(ValueError, match="missing"):
+            read_manifest(target)
+
+    def test_dump_without_sources_writes_empty_bundle(self, tmp_path):
+        manifest = FlightRecorder().dump(tmp_path / "empty")
+        assert manifest["files"]["spans.otlp.json"]["entries"] == 0
+        assert read_manifest(tmp_path / "empty") == manifest
+
+
+class TestDoctorFlightDump:
+    def test_fail_triggers_a_bundle_dump(self, case_study, mvft, tmp_path):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        engine = QueryEngine(mvft, tracer=tracer, metrics=metrics)
+        engine.execute(Q1)
+        recorder = FlightRecorder(tracer=tracer, metrics=metrics)
+        # A failing alert rule forces status=fail.
+        from repro.observability import AlertRule
+
+        rules = [
+            AlertRule(
+                name="always",
+                metric="query.rows_scanned",
+                op=">",
+                threshold=0.0,
+                severity="fail",
+            )
+        ]
+        target = tmp_path / "postmortem"
+        report = run_doctor(
+            case_study.schema,
+            metrics=metrics,
+            rules=rules,
+            flight=recorder,
+            flight_dir=target,
+        )
+        assert report.status == "fail"
+        manifest = read_manifest(target)
+        assert manifest["files"]["spans.otlp.json"]["entries"] > 0
+        assert any("flight recorder" in note for note in report.notes)
+
+    def test_pass_does_not_dump(self, case_study, tmp_path):
+        recorder = FlightRecorder(tracer=Tracer())
+        target = tmp_path / "untouched"
+        report = run_doctor(case_study.schema, flight=recorder, flight_dir=target)
+        assert report.status in ("pass", "warn")
+        assert not target.exists()

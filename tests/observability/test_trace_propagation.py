@@ -1,0 +1,167 @@
+"""Wire-level trace propagation: traceparent, remote parents, sampling.
+
+The W3C-style ``traceparent`` (``00-<trace>-<span>-<flags>``) carries a
+trace across the client/server process boundary; these tests exercise
+the header codec, remote-parent adoption, sampled-out propagation, and
+isolation between concurrent asyncio sessions each resuming a different
+remote trace.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.concurrency.sharding import ShardedExecutor
+from repro.core import Interval, LevelGroup, Query, TimeGroup, YEAR, ym
+from repro.observability import (
+    TraceSampler,
+    Tracer,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.workloads.case_study import ORG
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+
+
+class TestTraceparentCodec:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            header = format_traceparent(root)
+        trace_id, span_id, sampled = parse_traceparent(header)
+        assert trace_id == root.trace_id
+        assert span_id == root.span_id
+        assert sampled is True
+
+    def test_header_shape(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            header = format_traceparent(root)
+        version, trace_hex, span_hex, flags = header.split("-")
+        assert version == "00"
+        assert len(trace_hex) == 32 and len(span_hex) == 16
+        assert flags == "01"
+
+    def test_unsampled_span_formats_flags_00(self):
+        tracer = Tracer(sampler=TraceSampler(ratio=0.0))
+        with tracer.span("root") as root:
+            header = format_traceparent(root)
+        assert header.endswith("-00")
+        assert parse_traceparent(header)[2] is False
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "garbage",
+            "00-abc-def-01",  # wrong widths
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # zero span id
+            "ff-" + "1" * 32 + "-" + "1" * 16 + "-01",  # forbidden version
+            "00-" + "x" * 32 + "-" + "1" * 16 + "-01",  # not hex
+            "00-" + "1" * 32 + "-" + "1" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_values_parse_to_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_malformed_traceparent_is_ignored_by_span(self):
+        tracer = Tracer()
+        with tracer.span("s", traceparent="not-a-header") as span:
+            pass
+        assert span.parent_id is None
+        assert span.trace_id == span.span_id
+
+
+class TestRemoteParentAdoption:
+    def test_two_tracers_one_trace(self):
+        client, server = Tracer(), Tracer()
+        with client.span("client.request") as request:
+            header = format_traceparent(request)
+        with server.span("server.statement", traceparent=header) as stmt:
+            with server.span("engine.phase") as phase:
+                pass
+        assert stmt.trace_id == request.trace_id == phase.trace_id
+        assert stmt.parent_id == request.span_id
+        assert phase.parent_id == stmt.span_id
+
+    def test_span_ids_do_not_collide_across_tracers(self):
+        # Each tracer draws span ids from its own random base, so spans
+        # meeting in one distributed trace stay distinct.
+        ids = set()
+        for _ in range(5):
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            ids.update(s.span_id for s in tracer.spans)
+        assert len(ids) == 10
+
+    def test_client_sampled_out_trace_stays_dropped_server_side(self):
+        client = Tracer(sampler=TraceSampler(ratio=0.0))
+        server = Tracer()
+        with client.span("client.request") as request:
+            header = format_traceparent(request)
+        with server.span("server.statement", traceparent=header):
+            with server.span("engine.phase"):
+                pass
+        assert client.spans == ()
+        assert server.spans == ()
+
+    def test_shard_spans_join_the_remote_trace(self, mvft):
+        # The sharded executor passes parent= explicitly to its worker
+        # spans; under a remote-parented statement span the whole shard
+        # fan-out must land in the caller's trace.
+        client, server = Tracer(), Tracer()
+        with client.span("client.request") as request:
+            header = format_traceparent(request)
+        with server.span("server.statement", traceparent=header):
+            ShardedExecutor(mvft, shards=4, tracer=server).execute(Q1)
+        assert server.spans
+        assert {s.trace_id for s in server.spans} == {request.trace_id}
+        shard_spans = server.find("shard.collect")
+        assert len(shard_spans) == 4
+
+
+class TestConcurrentRemoteTraces:
+    def test_concurrent_sessions_keep_their_own_remote_trace(self):
+        """Interleaved asyncio tasks, each resuming a different client's
+        trace, never adopt each other's trace id or parent."""
+        clients = [Tracer() for _ in range(4)]
+        headers = []
+        for i, client in enumerate(clients):
+            with client.span("client.request", attributes={"i": i}) as span:
+                headers.append(format_traceparent(span))
+        server = Tracer()
+
+        async def statement(i: int) -> None:
+            with server.span(
+                "server.statement",
+                attributes={"i": i},
+                traceparent=headers[i],
+            ):
+                await asyncio.sleep(0.001 * (i % 3))
+                with server.span("engine.phase", attributes={"i": i}):
+                    await asyncio.sleep(0)
+
+        async def run() -> None:
+            await asyncio.gather(*(statement(i) for i in range(len(clients))))
+
+        asyncio.run(run())
+        statements = {
+            s.attributes["i"]: s for s in server.find("server.statement")
+        }
+        phases = {s.attributes["i"]: s for s in server.find("engine.phase")}
+        for i, client in enumerate(clients):
+            root = client.spans[0]
+            assert statements[i].trace_id == root.trace_id
+            assert statements[i].parent_id == root.span_id
+            assert phases[i].trace_id == root.trace_id
+            assert phases[i].parent_id == statements[i].span_id
+        # Four distinct clients -> four distinct traces server-side.
+        assert len({s.trace_id for s in statements.values()}) == len(clients)

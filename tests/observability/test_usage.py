@@ -1,0 +1,227 @@
+"""Tests for per-tenant usage metering: LabelledMetrics + UsageMeter."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LevelGroup,
+    Query,
+    QueryEngine,
+    TimeGroup,
+    YEAR,
+    ym,
+)
+from repro.observability import (
+    EventBus,
+    LabelledMetrics,
+    MetricsRegistry,
+    UsageMeter,
+    read_usage_log,
+    statement_digest,
+)
+from repro.workloads.case_study import ORG
+
+Q1 = Query(
+    group_by=(TimeGroup(YEAR), LevelGroup(ORG, "Division")),
+    time_range=Interval(ym(2001, 1), ym(2002, 12)),
+)
+
+
+class TestLabelledMetrics:
+    def test_fixed_labels_ride_every_series(self):
+        base = MetricsRegistry()
+        view = LabelledMetrics(base, {"tenant": "acme"})
+        view.counter("query.rows_scanned", {"mode": "tcm"}).inc(7)
+        view.gauge("engine.load").set(2)
+        snap = base.snapshot()
+        assert snap["counters"] == {
+            'query.rows_scanned{mode="tcm",tenant="acme"}': 7.0
+        }
+        assert snap["gauges"] == {'engine.load{tenant="acme"}': 2.0}
+
+    def test_stamped_labels_win_over_call_labels(self):
+        # A caller passing its own tenant label cannot escape the view's
+        # attribution — the fixed labels overwrite on conflict.
+        base = MetricsRegistry()
+        view = LabelledMetrics(base, {"tenant": "acme"})
+        view.counter("c", {"tenant": "mallory"}).inc()
+        assert base.snapshot()["counters"] == {'c{tenant="acme"}': 1.0}
+
+    def test_view_delegates_enabled_and_snapshot(self):
+        base = MetricsRegistry()
+        view = LabelledMetrics(base, {"tenant": "t"})
+        assert view.enabled is True
+        assert view.registry is base
+        view.counter("c").inc()
+        assert view.snapshot() == base.snapshot()
+
+    def test_engine_under_a_view_produces_tenant_series(self, mvft):
+        base = MetricsRegistry()
+        engine = QueryEngine(
+            mvft, metrics=LabelledMetrics(base, {"tenant": "acme"})
+        )
+        engine.execute(Q1)
+        keys = base.snapshot()["counters"]
+        assert any(
+            key.startswith("query.rows_scanned{") and 'tenant="acme"' in key
+            for key in keys
+        )
+
+
+class TestUsageMeter:
+    def _run(self, mvft, meter, base, tenant, query, *, statement=None):
+        engine = QueryEngine(
+            mvft, metrics=LabelledMetrics(base, {"tenant": tenant})
+        )
+        with meter.measure(tenant, f"{tenant}-1", statement=statement):
+            engine.execute(query)
+
+    def test_measure_attributes_engine_deltas(self, mvft):
+        base = MetricsRegistry()
+        meter = UsageMeter(base)
+        self._run(mvft, meter, base, "acme", Q1, statement="q1")
+        (record,) = meter.records("acme")
+        assert record.statements == 1
+        assert record.errors == 0
+        assert record.rows_scanned > 0
+        assert record.cells_emitted > 0
+        assert record.digest == statement_digest("q1")
+
+    def test_repeated_statement_accumulates_one_record(self, mvft):
+        base = MetricsRegistry()
+        meter = UsageMeter(base)
+        for _ in range(3):
+            self._run(mvft, meter, base, "acme", Q1, statement="q1")
+        (record,) = meter.records("acme")
+        assert record.statements == 3
+        single = record.rows_scanned / 3
+        assert single > 0 and record.rows_scanned == pytest.approx(3 * single)
+
+    def test_errors_are_charged_and_reraised(self):
+        meter = UsageMeter(MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with meter.measure("acme", "s1", statement="boom"):
+                raise RuntimeError("boom")
+        (record,) = meter.records()
+        assert record.statements == 1 and record.errors == 1
+
+    def test_wire_bytes_come_from_the_charge(self):
+        meter = UsageMeter(MetricsRegistry())
+        with meter.measure("acme", "s1") as charge:
+            charge.add_wire_bytes(100)
+            charge.add_wire_bytes(42)
+        (record,) = meter.records()
+        assert record.wire_bytes == 142
+
+    def test_ledger_is_bounded_and_counts_evictions(self):
+        meter = UsageMeter(MetricsRegistry(), capacity=2)
+        for i in range(5):
+            with meter.measure("acme", "s1", statement=f"q{i}"):
+                pass
+        assert len(meter.records()) == 2
+        assert meter.evicted == 3
+        assert meter.stats()["charged"] == 5
+
+    def test_totals_aggregate_per_tenant(self):
+        meter = UsageMeter(MetricsRegistry())
+        with meter.measure("acme", "s1", statement="a"):
+            pass
+        with meter.measure("acme", "s1", statement="b"):
+            pass
+        with meter.measure("ops", "s2", statement="a"):
+            pass
+        totals = meter.totals()
+        assert totals["acme"]["statements"] == 2
+        assert totals["ops"]["statements"] == 1
+
+    def test_top_sorts_by_field_and_validates_it(self, mvft):
+        base = MetricsRegistry()
+        meter = UsageMeter(base)
+        self._run(mvft, meter, base, "acme", Q1, statement="expensive")
+        with meter.measure("acme", "s1", statement="cheap"):
+            pass
+        top = meter.top(1, by="rows_scanned")
+        assert top[0].statement == "expensive"
+        with pytest.raises(ValueError):
+            meter.top(1, by="nonsense")
+
+    def test_jsonl_trail_and_bus_republish(self, tmp_path):
+        bus = EventBus()
+        events = bus.subscribe("billing", topics=["usage"])
+        path = tmp_path / "usage.jsonl"
+        meter = UsageMeter(MetricsRegistry(), path=path, bus=bus)
+        with meter.measure("acme", "s1", statement="q") as charge:
+            charge.add_wire_bytes(10)
+        entries = read_usage_log(path)
+        assert len(entries) == 1
+        assert entries[0]["tenant"] == "acme"
+        assert entries[0]["wire_bytes"] == 10
+        assert entries[0]["ok"] is True
+        (published,) = events.drain()
+        assert published[0] == "usage"
+        assert published[1]["digest"] == statement_digest("q")
+        assert read_usage_log(path, tenant="other") == []
+
+    def test_tenant_tag_matching_is_exact(self):
+        # tenant="acme" must not absorb tenant="acme2"'s series.
+        base = MetricsRegistry()
+        meter = UsageMeter(base)
+        LabelledMetrics(base, {"tenant": "acme2"}).counter(
+            "query.rows_scanned", {"mode": "tcm"}
+        ).inc(99)
+        with meter.measure("acme", "s1"):
+            LabelledMetrics(base, {"tenant": "acme"}).counter(
+                "query.rows_scanned", {"mode": "tcm"}
+            ).inc(5)
+        (record,) = meter.records("acme")
+        assert record.rows_scanned == 5.0
+
+
+class TestConcurrentTenantAttribution:
+    def test_two_tenants_split_the_global_counters_exactly(self, mvft):
+        """Concurrent tenants: per-tenant bills sum to the global delta
+        and never bleed into each other (disjoint labelled series)."""
+        base = MetricsRegistry()
+        meter = UsageMeter(base)
+        rounds = 5
+        errors: list[BaseException] = []
+
+        def tenant_workload(tenant: str) -> None:
+            try:
+                engine = QueryEngine(
+                    mvft, metrics=LabelledMetrics(base, {"tenant": tenant})
+                )
+                for i in range(rounds):
+                    with meter.measure(
+                        tenant, f"{tenant}-1", statement=f"q[{i}]"
+                    ):
+                        engine.execute(Q1)
+            except BaseException as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant_workload, args=(name,))
+            for name in ("acme", "ops")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        totals = meter.totals()
+        assert set(totals) == {"acme", "ops"}
+        global_scanned = sum(
+            value
+            for key, value in base.snapshot()["counters"].items()
+            if key.startswith("query.rows_scanned{")
+        )
+        metered = totals["acme"]["rows_scanned"] + totals["ops"]["rows_scanned"]
+        assert metered == pytest.approx(global_scanned)
+        # Same query, same rounds -> identical bills; leakage would skew one.
+        assert totals["acme"]["rows_scanned"] == pytest.approx(
+            totals["ops"]["rows_scanned"]
+        )
+        assert totals["acme"]["statements"] == rounds

@@ -1,0 +1,205 @@
+"""End-to-end request telemetry over the wire.
+
+One client request against a live server must export as ONE connected
+OTLP trace: the client's ``client.request`` span is the root, and every
+server-side span (statement, MVQL, engine phases) chains up to it via
+the ``traceparent`` stamped into the protocol envelope.  Alongside the
+trace, every statement lands in the per-tenant usage ledger, and slow
+requests surface as typed timeouts on the client.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    SlowQueryLog,
+    TraceSampler,
+    Tracer,
+)
+from repro.observability.export import spans_to_otlp
+from repro.server import (
+    RemoteTimeoutError,
+    WarehouseClient,
+    serve_background,
+)
+
+STATEMENT = "SELECT amount BY year, org.Division"
+
+
+@pytest.fixture()
+def telemetry_server(manager, config):
+    """A server armed with its own tracer/metrics/slow-log, so tests can
+    inspect exactly what one request produced."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    slow_log = SlowQueryLog(threshold=0.0)
+    with serve_background(
+        manager,
+        config,
+        metrics=metrics,
+        tracer=tracer,
+        slow_log=slow_log,
+    ) as handle:
+        yield handle, tracer, metrics, slow_log
+
+
+def traced_client(handle, api_key="acme-key", **kwargs):
+    tracer = kwargs.pop("tracer", None) or Tracer()
+    return (
+        WarehouseClient(
+            handle.host, handle.port, api_key=api_key, tracer=tracer, **kwargs
+        ),
+        tracer,
+    )
+
+
+class TestOneTracePerRequest:
+    def test_single_connected_otlp_trace(self, telemetry_server, tmp_path):
+        handle, server_tracer, _, _ = telemetry_server
+        client, client_tracer = traced_client(handle)
+        with client:
+            server_tracer.clear()  # drop the auth request's spans
+            client_tracer.clear()
+            # fetch_all=False keeps this to exactly ONE wire request —
+            # page drains (and the close handshake) would each be their
+            # own trace, so snapshot the spans before the client exits.
+            client.query(STATEMENT, fetch_all=False)
+            spans = list(client_tracer.spans) + list(server_tracer.spans)
+        document = spans_to_otlp(spans)
+        path = tmp_path / "trace.otlp.json"
+        path.write_text(json.dumps(document))
+        exported = [
+            span
+            for resource in json.loads(path.read_text())["resourceSpans"]
+            for scope in resource["scopeSpans"]
+            for span in scope["spans"]
+        ]
+        # One trace id across client and server.
+        assert len({span["traceId"] for span in exported}) == 1
+        by_id = {span["spanId"]: span for span in exported}
+        roots = [s for s in exported if not s.get("parentSpanId")]
+        (root,) = roots
+        assert root["name"] == "client.request"
+        # Every span chains up to the client root.
+        for span in exported:
+            node = span
+            for _ in range(len(exported)):
+                parent = node.get("parentSpanId")
+                if not parent:
+                    break
+                node = by_id[parent]
+            assert node["spanId"] == root["spanId"]
+        names = {span["name"] for span in exported}
+        assert {"client.request", "server.statement"} <= names
+        assert any(name.startswith("query.") for name in names)
+
+    def test_client_sampling_decision_rules_the_server(self, telemetry_server):
+        handle, server_tracer, _, _ = telemetry_server
+        client, client_tracer = traced_client(
+            handle, tracer=Tracer(sampler=TraceSampler(ratio=0.0))
+        )
+        with client:
+            server_tracer.clear()
+            client.query(STATEMENT)
+        assert client_tracer.spans == ()
+        assert server_tracer.find("server.statement") == []
+
+    def test_slow_log_carries_the_tenant(self, telemetry_server):
+        handle, _, _, slow_log = telemetry_server
+        client, _ = traced_client(handle)
+        with client:
+            client.query(STATEMENT)
+        statements = [r for r in slow_log.records() if r.statement]
+        assert statements
+        assert {r.tenant for r in statements} == {"acme"}
+
+
+class TestRequestTimeout:
+    def test_read_timeout_maps_to_typed_error(self, manager, config):
+        with serve_background(manager, config, statement_delay=0.6) as handle:
+            with WarehouseClient(
+                handle.host,
+                handle.port,
+                api_key="acme-key",
+                request_timeout=0.15,
+            ) as client:
+                with pytest.raises(RemoteTimeoutError) as excinfo:
+                    client.query(STATEMENT)
+        assert excinfo.value.code == "timeout"
+
+    def test_connect_timeout_is_independent(self, server_handle):
+        # A generous connect timeout with a tight request timeout still
+        # connects and authenticates fine when statements are fast.
+        with WarehouseClient(
+            server_handle.host,
+            server_handle.port,
+            api_key="acme-key",
+            connect_timeout=5.0,
+            request_timeout=5.0,
+        ) as client:
+            assert client.query(STATEMENT).rows
+
+
+class TestUsageOverTheWire:
+    def test_ledger_attributes_concurrent_tenants(self, telemetry_server):
+        handle, _, metrics, _ = telemetry_server
+        rounds = 3
+        errors: list[BaseException] = []
+
+        def workload(api_key: str) -> None:
+            try:
+                with WarehouseClient(
+                    handle.host, handle.port, api_key=api_key
+                ) as client:
+                    for _ in range(rounds):
+                        client.query(STATEMENT)
+            except BaseException as exc:  # pragma: no cover - surfacing
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=workload, args=(key,))
+            for key in ("acme-key", "ops-key")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        totals = handle.server.usage.totals()
+        assert set(totals) == {"acme", "ops"}
+        global_scanned = sum(
+            value
+            for key, value in metrics.snapshot()["counters"].items()
+            if key.startswith("query.rows_scanned{")
+        )
+        metered = sum(bill["rows_scanned"] for bill in totals.values())
+        assert metered == pytest.approx(global_scanned)
+        assert totals["acme"]["statements"] == rounds
+        assert totals["ops"]["statements"] == rounds
+        assert all(bill["wire_bytes"] > 0 for bill in totals.values())
+
+    def test_usage_op_scopes_by_capability(self, telemetry_server):
+        handle, _, _, _ = telemetry_server
+        with WarehouseClient(
+            handle.host, handle.port, api_key="acme-key"
+        ) as acme, WarehouseClient(
+            handle.host, handle.port, api_key="ops-key"
+        ) as ops:
+            acme.query(STATEMENT)
+            ops.query("SELECT amount BY year")
+            # Read-only acme sees only its own bill, whatever it asks for.
+            mine = acme.usage()
+            assert mine["enabled"] is True
+            assert set(mine["totals"]) == {"acme"}
+            assert set(acme.usage(tenant="ops")["totals"]) == {"acme"}
+            # Write-capable ops sees everyone, or can narrow to a tenant.
+            assert set(ops.usage()["totals"]) == {"acme", "ops"}
+            narrowed = ops.usage(tenant="acme")
+            assert set(narrowed["totals"]) == {"acme"}
+            assert all(
+                record["tenant"] == "acme" for record in narrowed["records"]
+            )
